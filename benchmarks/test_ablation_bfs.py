@@ -1,0 +1,66 @@
+"""Ablation: depth-first TM vs Günther-style breadth-first matching.
+
+The paper picked depth-first TM partly because the breadth-first
+alternative "must record the pairs of matching tree-nodes at tree level
+n before descending to level n+1", which can take a lot of memory for
+high-fanout indices. This benchmark measures that argument: the same
+match runs depth-first, breadth-first with unbounded queue memory, and
+breadth-first with queues squeezed to a few hundred pairs (forcing
+sequential spills).
+"""
+
+from conftest import record_table  # noqa: F401
+
+from repro.join import match_trees
+from repro.join.bfs_matching import match_trees_bfs
+from repro.metrics import Phase
+from repro.rtree import RTree
+
+
+def test_bfs_vs_dfs(benchmark, ablation_env):
+    ws, tree_r, file_s, d_s = ablation_env
+
+    # The join-time tree for D_S (built once, uncharged, for a pure
+    # matcher-vs-matcher comparison).
+    with ws.metrics.phase(Phase.SETUP):
+        tree_s = RTree.build(ws.buffer, ws.config, d_s, metrics=None)
+        tree_s.metrics = ws.metrics
+
+    variants = [
+        ("dfs", lambda: match_trees(tree_s, tree_r, ws.metrics)),
+        ("bfs-unbounded",
+         lambda: match_trees_bfs(tree_s, tree_r, ws.metrics)),
+        ("bfs-512-pairs",
+         lambda: match_trees_bfs(tree_s, tree_r, ws.metrics,
+                                 queue_budget_pairs=512)),
+        ("bfs-64-pairs",
+         lambda: match_trees_bfs(tree_s, tree_r, ws.metrics,
+                                 queue_budget_pairs=64)),
+    ]
+    costs = {}
+    answers = set()
+
+    def sweep():
+        for label, run in variants:
+            ws.start_measurement()
+            with ws.metrics.phase(Phase.MATCH):
+                pairs = run()
+            answers.add(frozenset(pairs))
+            costs[label] = ws.metrics.summary()
+        return costs
+
+    benchmark.pedantic(sweep, rounds=1, iterations=1)
+    assert len(answers) == 1  # traversal order never changes the answer
+
+    for label, summary in costs.items():
+        benchmark.extra_info[label] = round(summary.total_io)
+        print(f"{label:14s} match_io={summary.match_io:7.0f} "
+              f"total={summary.total_io:7.0f}")
+
+    # The paper's argument, quantified: squeezing the BFS queue costs
+    # real I/O that depth-first never pays.
+    assert costs["bfs-64-pairs"].total_io > costs["dfs"].total_io
+    assert costs["bfs-64-pairs"].total_io > \
+        costs["bfs-unbounded"].total_io
+    # With unbounded memory the traversal orders cost about the same.
+    assert costs["bfs-unbounded"].total_io < 1.5 * costs["dfs"].total_io

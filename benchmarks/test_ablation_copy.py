@@ -1,0 +1,58 @@
+"""Ablation: seed-copy strategies C1 vs C2 vs C3 (Section 2.1).
+
+The paper: copying raw minimum bounding boxes (C1) can mislead insertion
+when the seeding tree has badly formed boxes (its Figure 3 example), so
+center points (C2) or center points at the slot level with true child
+boxes above (C3) "almost always out-perform strategy C1".
+
+Reproduction note (recorded in EXPERIMENTS.md): on our workloads the
+three strategies land within a few percent of each other — the Figure 3
+pathology requires a seeding tree whose boxes misdescribe their
+children far more than clustered rectangle data produces. The benchmark
+therefore asserts the *band* (strategy choice never costs more than
+15%) and records the sweep for inspection, rather than forcing the
+paper's strict ordering onto noise.
+"""
+
+from conftest import record_table  # noqa: F401  (fixture import side)
+
+from repro.join import seeded_tree_join
+from repro.seeded import CopyStrategy
+
+
+def run_strategy(env, strategy):
+    ws, tree_r, file_s, _ = env
+    ws.start_measurement()
+    result = seeded_tree_join(file_s, tree_r, ws.buffer, ws.config,
+                              ws.metrics, copy_strategy=strategy)
+    return ws.metrics.summary(), result.pair_set()
+
+
+def test_copy_strategies(benchmark, ablation_env):
+    summaries = {}
+    answers = set()
+
+    def sweep():
+        for strategy in CopyStrategy:
+            summary, pairs = run_strategy(ablation_env, strategy)
+            summaries[strategy] = summary
+            answers.add(frozenset(pairs))
+        return summaries
+
+    benchmark.pedantic(sweep, rounds=1, iterations=1)
+
+    # Correctness is policy-independent.
+    assert len(answers) == 1
+
+    c1 = summaries[CopyStrategy.MBR].total_io
+    c2 = summaries[CopyStrategy.CENTER].total_io
+    c3 = summaries[CopyStrategy.CENTER_AT_SLOTS].total_io
+    for strategy, summary in summaries.items():
+        benchmark.extra_info[strategy.value] = round(summary.total_io)
+        print(f"{strategy.value}: total_io={summary.total_io:.0f} "
+              f"match_rd={summary.match_read:.0f}")
+
+    # Strategy choice is low-risk: every strategy lands within 15% of
+    # the best (see module docstring for the paper-vs-measured note).
+    best = min(c1, c2, c3)
+    assert max(c1, c2, c3) < 1.15 * best

@@ -1,0 +1,75 @@
+"""Ablation: the seeded-tree conclusions across spatial data families.
+
+The paper evaluates on one synthetic family (uniform clusters). This
+benchmark re-runs the central comparison on four qualitatively different
+distributions — Gaussian clusters, Zipf-skewed hot-spots, road-like
+elongated paths, and a regular parcel grid — and asserts the paper's
+core ordering (STJ beats RTJ; construction stays cheap) on every one.
+"""
+
+from conftest import BENCH_SEED, record_table  # noqa: F401
+
+from repro.config import SystemConfig
+from repro.join import naive_join, spatial_join
+from repro.workload import (
+    generate_gaussian_clusters,
+    generate_grid_cells,
+    generate_paths,
+    generate_skewed,
+)
+from repro.workspace import Workspace
+
+FAMILIES = {
+    "gaussian": lambda n, seed, oid: generate_gaussian_clusters(
+        n, seed=seed, oid_start=oid),
+    "skewed": lambda n, seed, oid: generate_skewed(
+        n, seed=seed, oid_start=oid),
+    "paths": lambda n, seed, oid: generate_paths(
+        n, seed=seed, oid_start=oid),
+    "grid": lambda n, seed, oid: generate_grid_cells(
+        int(n ** 0.5), seed=seed, oid_start=oid),
+}
+
+
+def run_family(name, make):
+    ws = Workspace(SystemConfig(page_size=512, buffer_pages=128))
+    d_r = make(10_000, BENCH_SEED + 51, 0)
+    d_s = make(4_000, BENCH_SEED + 52, 1_000_000)
+    tree_r = ws.install_rtree(d_r)
+    file_s = ws.install_datafile(d_s)
+
+    out = {}
+    reference = None
+    for method in ("BFJ", "RTJ", "STJ1-2N"):
+        ws.start_measurement()
+        result = spatial_join(file_s, tree_r, ws.buffer, ws.config,
+                              ws.metrics, method=method)
+        if reference is None:
+            reference = result.pair_set()
+        else:
+            assert result.pair_set() == reference, (name, method)
+        out[method] = ws.metrics.summary()
+    return out
+
+
+def test_families(benchmark):
+    results = benchmark.pedantic(
+        lambda: {name: run_family(name, make)
+                 for name, make in FAMILIES.items()},
+        rounds=1, iterations=1,
+    )
+
+    for name, methods in results.items():
+        totals = {m: s.total_io for m, s in methods.items()}
+        for method, total in totals.items():
+            benchmark.extra_info[f"{name}_{method}"] = round(total)
+        print(f"{name:9s} " + "  ".join(
+            f"{m}={v:7.0f}" for m, v in totals.items()
+        ))
+
+    for name, methods in results.items():
+        stj, rtj = methods["STJ1-2N"], methods["RTJ"]
+        # The core ordering survives every distribution.
+        assert stj.total_io < rtj.total_io, name
+        # And the linked-list construction advantage too.
+        assert stj.construct_read < rtj.construct_read / 2, name

@@ -1,0 +1,45 @@
+"""Ablation: linked-list construction on vs off (Section 3.1).
+
+The paper: "Our earlier experiments showed that STJ incurred similar
+numbers of creation time reads as RTJ when intermediate linked list was
+not used. Using intermediate linked lists in tree construction
+successfully eliminated most of the buffer misses." This benchmark flips
+exactly that switch.
+"""
+
+from conftest import record_table  # noqa: F401
+
+from repro.join import seeded_tree_join
+
+
+def test_linked_lists(benchmark, ablation_env):
+    ws, tree_r, file_s, _ = ablation_env
+    summaries = {}
+    answers = set()
+
+    def sweep():
+        for use_lists in (False, True):
+            ws.start_measurement()
+            result = seeded_tree_join(
+                file_s, tree_r, ws.buffer, ws.config, ws.metrics,
+                use_linked_lists=use_lists,
+            )
+            summaries[use_lists] = ws.metrics.summary()
+            answers.add(frozenset(result.pair_set()))
+        return summaries
+
+    benchmark.pedantic(sweep, rounds=1, iterations=1)
+    assert len(answers) == 1
+
+    without, with_lists = summaries[False], summaries[True]
+    benchmark.extra_info["construct_rd_without"] = round(without.construct_read)
+    benchmark.extra_info["construct_rd_with"] = round(with_lists.construct_read)
+    print(f"without lists: construct_rd={without.construct_read:.0f} "
+          f"total={without.total_io:.0f}")
+    print(f"with lists:    construct_rd={with_lists.construct_read:.0f} "
+          f"total={with_lists.total_io:.0f}")
+
+    # Lists eliminate most construction-time random reads...
+    assert with_lists.construct_read < without.construct_read / 2
+    # ...and lower the construction-attributed I/O overall.
+    assert with_lists.construct_io < without.construct_io

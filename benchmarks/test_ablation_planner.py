@@ -1,0 +1,56 @@
+"""Ablation: how good is the Section-5 cost-based planner?
+
+For every point of series 1 (the ``||D_S||`` sweep, where the BFJ → STJ
+crossover lives), compare the planner's choice against the measured
+winner. The planner sees only join-time metadata; the benchmark asserts
+it never picks a method that costs more than twice the measured best —
+the "no blowups" guarantee a planner must give.
+"""
+
+from conftest import record_table  # noqa: F401
+
+from repro.experiments.configs import SERIES_TABLES
+from repro.join.planner import plan_join
+
+
+def test_planner_vs_measured(benchmark, series1_results):
+    def evaluate():
+        report = []
+        for table in SERIES_TABLES[1]:
+            result = series1_results[table]
+            plan = plan_join(
+                result.profile.config,
+                n_s=result.d_s_size,
+                # Metadata the planner would read from the catalog:
+                tree_r_pages=result.profile.config.estimated_tree_pages(
+                    result.d_r_size
+                ),
+                tree_r_height=4,
+            )
+            measured = {
+                r.algorithm: r.summary.total_io for r in result.rows
+                if r.algorithm in ("BFJ", "RTJ", "STJ1-2N")
+            }
+            chosen = plan.best.method
+            chosen_key = "STJ1-2N" if chosen == "STJ" else chosen
+            best_alg = min(measured, key=measured.get)
+            report.append(
+                (table, chosen, best_alg,
+                 measured[chosen_key], measured[best_alg])
+            )
+        return report
+
+    report = benchmark.pedantic(evaluate, rounds=1, iterations=1)
+
+    for table, chosen, best_alg, chosen_cost, best_cost in report:
+        benchmark.extra_info[f"table{table}"] = f"{chosen} vs {best_alg}"
+        print(f"table {table}: planner={chosen:4s} "
+              f"measured-best={best_alg:8s} "
+              f"cost {chosen_cost:.0f} vs {best_cost:.0f}")
+        # The planner's pick never costs more than 2x the true winner.
+        assert chosen_cost <= 2.0 * best_cost
+
+    # In the overflow regime (the larger D_S points) the planner must
+    # pick the seeded tree, the measured winner.
+    late = [chosen for table, chosen, *_ in report if table >= 3]
+    assert all(c == "STJ" for c in late)

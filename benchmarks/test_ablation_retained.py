@@ -1,0 +1,83 @@
+"""Ablation: the seeded tree retained as a selection index (Section 5).
+
+"If necessary, a seeded tree can be retained after join and used as an
+ordinary spatial access method for spatial selections. The height of a
+seeded tree is no greater than the height of the R-tree constructed with
+the same input data plus the number of seed levels." This benchmark
+retains the join's seeded tree, fires a window-query workload at it and
+at an R-tree over the same data, and compares per-query I/O.
+"""
+
+import random
+
+from conftest import BENCH_SEED, record_table  # noqa: F401
+
+from repro.geometry import Rect
+from repro.join import seeded_tree_join
+from repro.metrics import Phase
+from repro.rtree import RTree
+
+NUM_QUERIES = 400
+
+
+def query_windows(seed):
+    rng = random.Random(seed)
+    out = []
+    for _ in range(NUM_QUERIES):
+        cx, cy = rng.random(), rng.random()
+        w, h = rng.random() * 0.05, rng.random() * 0.05
+        window = Rect.from_center(cx, cy, w, h).clipped_to(Rect(0, 0, 1, 1))
+        out.append(window)
+    return out
+
+
+def test_retained_selection_index(benchmark, ablation_env):
+    ws, tree_r, file_s, d_s = ablation_env
+
+    ws.start_measurement()
+    joined = seeded_tree_join(file_s, tree_r, ws.buffer, ws.config,
+                              ws.metrics)
+    seeded = joined.index
+
+    ws.start_measurement()
+    with ws.metrics.phase(Phase.SETUP):
+        rtree = RTree.build(ws.buffer, ws.config, d_s, metrics=None)
+        rtree.metrics = ws.metrics
+        ws.buffer.purge()
+    ws.disk.reset_arm()
+
+    windows = query_windows(BENCH_SEED + 41)
+
+    def run_queries(tree):
+        ws.start_measurement()
+        answers = []
+        with ws.metrics.phase(Phase.MATCH):
+            for window in windows:
+                answers.append(sorted(tree.window_query(window)))
+        return answers, ws.metrics.summary()
+
+    def sweep():
+        seeded_answers, seeded_cost = run_queries(seeded)
+        rtree_answers, rtree_cost = run_queries(rtree)
+        return seeded_answers, seeded_cost, rtree_answers, rtree_cost
+
+    seeded_answers, seeded_cost, rtree_answers, rtree_cost = \
+        benchmark.pedantic(sweep, rounds=1, iterations=1)
+
+    # Same answers from both indices.
+    assert seeded_answers == rtree_answers
+
+    per_query_seeded = seeded_cost.match_read / NUM_QUERIES
+    per_query_rtree = rtree_cost.match_read / NUM_QUERIES
+    benchmark.extra_info["seeded_io_per_query"] = round(per_query_seeded, 2)
+    benchmark.extra_info["rtree_io_per_query"] = round(per_query_rtree, 2)
+    print(f"seeded tree: {per_query_seeded:.2f} I/O per window query; "
+          f"height {seeded.height}")
+    print(f"r-tree:      {per_query_rtree:.2f} I/O per window query; "
+          f"height {rtree.height}")
+
+    # The retained seeded tree is a usable selection index: within 2x of
+    # a purpose-built R-tree per query.
+    assert per_query_seeded < 2 * per_query_rtree + 0.5
+    # Height bound from Section 5.
+    assert seeded.height <= rtree.height + seeded.seed_levels

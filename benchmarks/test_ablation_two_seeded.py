@@ -1,0 +1,57 @@
+"""Ablation: the two-seeded-tree scenario (Section 5).
+
+When both inputs are derived, the paper offers two sources for the
+common artificial seed levels — a uniform grid of slots or spatially
+sampled data. This benchmark compares them (and a grid-resolution sweep)
+on a pair of index-less data sets.
+"""
+
+from conftest import BENCH_SEED, record_table  # noqa: F401
+
+from repro.config import SystemConfig
+from repro.join import naive_join, two_seeded_join
+from repro.workload import ClusteredConfig, generate_clustered
+from repro.workspace import Workspace
+
+
+def test_two_seeded_variants(benchmark):
+    ws = Workspace(SystemConfig(page_size=512, buffer_pages=128))
+    d_a = generate_clustered(ClusteredConfig(
+        4_000, objects_per_cluster=20, seed=BENCH_SEED + 61,
+    ))
+    d_b = generate_clustered(ClusteredConfig(
+        4_000, objects_per_cluster=20, seed=BENCH_SEED + 62,
+        oid_start=1_000_000,
+    ))
+    file_a = ws.install_datafile(d_a, name="A")
+    file_b = ws.install_datafile(d_b, name="B")
+    oracle = naive_join(d_a, d_b).pair_set()
+
+    configs = [
+        ("grid-8", dict(seeds="grid", grid_cells=8)),
+        ("grid-16", dict(seeds="grid", grid_cells=16)),
+        ("grid-32", dict(seeds="grid", grid_cells=32)),
+        ("sample-256", dict(seeds="sample", sample_size=256)),
+    ]
+    costs = {}
+
+    def sweep():
+        for label, kwargs in configs:
+            ws.start_measurement()
+            result = two_seeded_join(file_a, file_b, ws.buffer, ws.config,
+                                     ws.metrics, **kwargs)
+            assert result.pair_set() == oracle
+            costs[label] = ws.metrics.summary()
+        return costs
+
+    benchmark.pedantic(sweep, rounds=1, iterations=1)
+
+    for label, summary in costs.items():
+        benchmark.extra_info[label] = round(summary.total_io)
+        print(f"{label:11s} total={summary.total_io:7.0f} "
+              f"match={summary.match_io:7.0f}")
+
+    # All variants are in the same cost regime — no configuration may
+    # blow up (within 3x of the best).
+    totals = [s.total_io for s in costs.values()]
+    assert max(totals) < 3 * min(totals)

@@ -1,0 +1,52 @@
+"""Ablation: bounding-box update policies U1-U5 (Section 2.2).
+
+The paper's finding: the policies that let the tree adapt to the data —
+U3 (enclose data only, all levels), U4 and U5 (slot level only) — always
+gave better performance than never updating (U1) or dragging the seed
+box along (U2), with only marginal differences among the best three.
+
+Reproduction note (recorded in EXPERIMENTS.md): on our workloads all
+five policies land within a few percent — with C3's center-point slots,
+distance-guided descent already sends objects to well-matched slots, so
+box updates barely change routing. The benchmark asserts the band and
+records the sweep instead of forcing the paper's ordering onto noise.
+"""
+
+from conftest import record_table  # noqa: F401
+
+from repro.join import seeded_tree_join
+from repro.seeded import UpdatePolicy
+
+BEST = (UpdatePolicy.ENCLOSE_DATA_ONLY, UpdatePolicy.SLOT_WITH_SEED,
+        UpdatePolicy.SLOT_DATA_ONLY)
+
+
+def test_update_policies(benchmark, ablation_env):
+    ws, tree_r, file_s, _ = ablation_env
+    summaries = {}
+    answers = set()
+
+    def sweep():
+        for policy in UpdatePolicy:
+            ws.start_measurement()
+            result = seeded_tree_join(file_s, tree_r, ws.buffer, ws.config,
+                                      ws.metrics, update_policy=policy)
+            summaries[policy] = ws.metrics.summary()
+            answers.add(frozenset(result.pair_set()))
+        return summaries
+
+    benchmark.pedantic(sweep, rounds=1, iterations=1)
+    assert len(answers) == 1  # results are policy-independent
+
+    for policy, summary in summaries.items():
+        benchmark.extra_info[policy.value] = round(summary.total_io)
+        print(f"{policy.value}: total_io={summary.total_io:.0f}")
+
+    totals = [s.total_io for s in summaries.values()]
+    # Policy choice is low-risk: the full U1-U5 spread stays within 15%
+    # (see module docstring for the paper-vs-measured note).
+    assert max(totals) < 1.15 * min(totals)
+    # "The differences between the three best update policies were
+    # marginal" — the paper's winning trio stays within 10%.
+    best = [summaries[p].total_io for p in BEST]
+    assert max(best) < 1.1 * min(best)

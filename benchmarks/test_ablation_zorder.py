@@ -1,0 +1,68 @@
+"""Ablation: the z-order merge join against the tree-based methods.
+
+The paper's related work describes Orenstein's z-order approach as the
+main alternative family to tree-matching joins. This benchmark runs it
+on the shared workload (with the indexed side's z-file pre-built, like
+``T_R``), sweeps its redundancy knob ([Ore89]: more elements per object
+= tighter covers but bigger files), and places it among STJ/RTJ/BFJ.
+
+Expected shape: ZOJ's I/O is purely sequential (build one sorted run,
+merge two), so its *disk* cost is very competitive; it pays instead in
+CPU (exact tests on candidate pairs) and in file redundancy.
+"""
+
+from conftest import record_table  # noqa: F401
+
+from repro.join import seeded_tree_join
+from repro.join.zjoin import z_order_join
+from repro.metrics import Phase
+from repro.zorder import ZFile
+
+
+def test_zorder_join(benchmark, ablation_env):
+    ws, tree_r, file_s, d_s = ablation_env
+
+    # Reference answer and cost from the seeded tree.
+    ws.start_measurement()
+    stj_result = seeded_tree_join(file_s, tree_r, ws.buffer, ws.config,
+                                  ws.metrics)
+    stj_cost = ws.metrics.summary()
+    oracle = stj_result.pair_set()
+
+    # Pre-build Z_R for each redundancy level (uncharged, like T_R),
+    # then run the z-order join.
+    d_r = tree_r.all_objects()
+    costs = {}
+    redundancy = {}
+
+    def sweep():
+        for budget in (1, 4, 16):
+            ws.start_measurement()
+            with ws.metrics.phase(Phase.SETUP):
+                zfile_r = ZFile.build(ws.disk, ws.config, d_r,
+                                      max_elements=budget, name="Z_R")
+            ws.disk.reset_arm()
+            result = z_order_join(file_s, zfile_r, ws.config, ws.metrics,
+                                  max_elements=budget)
+            assert result.pair_set() == oracle
+            costs[budget] = ws.metrics.summary()
+            redundancy[budget] = zfile_r.redundancy
+        return costs
+
+    benchmark.pedantic(sweep, rounds=1, iterations=1)
+
+    print(f"STJ reference: total={stj_cost.total_io:.0f} "
+          f"bbox={stj_cost.bbox_k:.0f}K")
+    for budget, summary in costs.items():
+        benchmark.extra_info[f"zoj_total@{budget}"] = round(summary.total_io)
+        print(f"ZOJ budget={budget:2d}: total={summary.total_io:7.0f} "
+              f"redundancy={redundancy[budget]:.2f} "
+              f"bbox={summary.bbox_k:7.0f}K")
+
+    # Redundancy grows with the element budget.
+    assert redundancy[16] > redundancy[1] >= 1.0
+    # More redundancy = bigger files = more merge I/O.
+    assert costs[16].total_io > costs[1].total_io
+    # ZOJ's sequential profile keeps its disk cost in the tree joins'
+    # regime (within 3x of STJ on this workload).
+    assert costs[1].total_io < 3 * stj_cost.total_io

@@ -1,0 +1,33 @@
+"""Figure 10: tree-construction I/O vs cover quotient (series 2).
+
+Construction cost is a property of ||D_S|| and the buffer, not of the
+data's clustering: with ||D_S|| fixed at 40K, the paper's STJ
+construction line is *flat* (its construct-read column reads 236 at
+every quotient) and RTJ's stays high and roughly flat. That flatness is
+exactly what this benchmark asserts.
+"""
+
+from conftest import record_table
+
+from repro.experiments.configs import SERIES_TABLES
+from repro.experiments.figures import figure_series, format_figure
+
+
+def test_figure10(benchmark, series2_results):
+    series = benchmark.pedantic(
+        figure_series, args=(10, series2_results), rounds=1, iterations=1,
+    )
+    print("\n" + format_figure(10, series2_results, compare_paper=True))
+    record_table(benchmark, series2_results[SERIES_TABLES[2][-1]])
+    lines = dict(series)
+
+    # BFJ builds nothing at any quotient.
+    assert all(v == 0 for v in lines["BFJ"])
+
+    # STJ construction is flat across the quotient range (within 2x).
+    stj = lines["STJ1-2N"]
+    assert max(stj) < 2 * min(stj)
+
+    # RTJ construction exceeds STJ's at every quotient by a wide margin.
+    for x in range(5):
+        assert lines["RTJ"][x] > 2 * lines["STJ1-2N"][x]

@@ -1,0 +1,35 @@
+"""Figure 11: tree-matching I/O vs cover quotient (series 2).
+
+The paper: "as the degree of clustering decreases, the number of disk
+accesses by STJ at tree matching time becomes close to that of RTJ" —
+with most leaves overlapping, there is little left for a better-shaped
+tree to skip. BFJ's matching (its whole cost) meanwhile keeps climbing.
+"""
+
+from conftest import record_table
+
+from repro.experiments.configs import SERIES_TABLES
+from repro.experiments.figures import figure_series, format_figure
+
+
+def test_figure11(benchmark, series2_results):
+    series = benchmark.pedantic(
+        figure_series, args=(11, series2_results), rounds=1, iterations=1,
+    )
+    print("\n" + format_figure(11, series2_results, compare_paper=True))
+    record_table(benchmark, series2_results[SERIES_TABLES[2][-1]])
+    lines = dict(series)
+
+    # Matching cost rises as clustering weakens, for every algorithm.
+    for name, values in lines.items():
+        assert values[-1] > values[0], name
+
+    # STJ's matching converges toward RTJ's at low clustering: the gap
+    # at quotient 1.0 is within 25%.
+    rtj, stj = lines["RTJ"][-1], lines["STJ1-2N"][-1]
+    assert abs(rtj - stj) < 0.25 * rtj
+
+    # BFJ's matching is the most expensive at every quotient beyond the
+    # most clustered point.
+    for x in range(1, 5):
+        assert lines["BFJ"][x] == max(v[x] for v in lines.values())

@@ -1,0 +1,34 @@
+"""Figure 6: total disk I/O vs ||D_S|| (series 1).
+
+The paper's headline plot: as the derived data set grows, every
+algorithm's total cost rises, RTJ and BFJ diverge upward, and the STJ
+curves stay lowest (with Table 1's boundary case as the only exception).
+"""
+
+from conftest import record_table
+
+from repro.experiments.configs import SERIES_TABLES
+from repro.experiments.figures import figure_series, format_figure
+
+
+def test_figure6(benchmark, series1_results):
+    series = benchmark.pedantic(
+        figure_series, args=(6, series1_results), rounds=1, iterations=1,
+    )
+    print("\n" + format_figure(6, series1_results, compare_paper=True))
+    record_table(benchmark, series1_results[SERIES_TABLES[1][-1]])
+    lines = dict(series)
+
+    # Costs rise with ||D_S|| for every algorithm.
+    for name, values in lines.items():
+        assert values[0] < values[-1], name
+
+    # STJ stays below RTJ at every point, and below BFJ beyond the
+    # boundary case (the first point).
+    for x in range(4):
+        best_stj = min(
+            v[x] for name, v in lines.items() if name.startswith("STJ")
+        )
+        assert best_stj < lines["RTJ"][x]
+        if x > 0:
+            assert best_stj < lines["BFJ"][x]

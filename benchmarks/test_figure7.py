@@ -1,0 +1,35 @@
+"""Figure 7: tree-construction I/O vs ||D_S|| (series 1).
+
+The linked-list result in one picture: RTJ's construction cost explodes
+with the size of the join-time tree, while every STJ variant's stays a
+shallow, near-linear line (the paper's RTJ line reaches ~19000 at 80K
+where STJ sits near 2500-3000).
+"""
+
+from conftest import record_table
+
+from repro.experiments.configs import SERIES_TABLES
+from repro.experiments.figures import figure_series, format_figure
+
+
+def test_figure7(benchmark, series1_results):
+    series = benchmark.pedantic(
+        figure_series, args=(7, series1_results), rounds=1, iterations=1,
+    )
+    print("\n" + format_figure(7, series1_results, compare_paper=True))
+    record_table(benchmark, series1_results[SERIES_TABLES[1][-1]])
+    lines = dict(series)
+
+    # BFJ builds nothing, ever.
+    assert all(v == 0 for v in lines["BFJ"])
+
+    # RTJ's construction grows much faster than STJ's: compare the
+    # increase from the smallest to the largest D_S.
+    rtj_growth = lines["RTJ"][-1] - lines["RTJ"][0]
+    stj_growth = lines["STJ1-2N"][-1] - lines["STJ1-2N"][0]
+    assert rtj_growth > 2 * stj_growth
+
+    # And at the endpoint, RTJ construction dwarfs every STJ variant's.
+    for name, values in lines.items():
+        if name.startswith("STJ"):
+            assert lines["RTJ"][-1] > 2 * values[-1], name

@@ -1,0 +1,35 @@
+"""Figure 8: tree-matching I/O vs ||D_S|| (series 1).
+
+Matching cost rises with the number of objects on the un-indexed side
+for every method; BFJ (whose whole cost is matching) rises fastest once
+its touched node set outgrows the buffer, while the tree-vs-tree
+matchers stay close to each other — the seeded tree's better shape gives
+it the lower line.
+"""
+
+from conftest import record_table
+
+from repro.experiments.configs import SERIES_TABLES
+from repro.experiments.figures import figure_series, format_figure
+
+
+def test_figure8(benchmark, series1_results):
+    series = benchmark.pedantic(
+        figure_series, args=(8, series1_results), rounds=1, iterations=1,
+    )
+    print("\n" + format_figure(8, series1_results, compare_paper=True))
+    record_table(benchmark, series1_results[SERIES_TABLES[1][-1]])
+    lines = dict(series)
+
+    # Matching cost rises with ||D_S|| for every algorithm.
+    for name, values in lines.items():
+        assert values[-1] > values[0], name
+
+    # Beyond the boundary case, BFJ's matching is the most expensive —
+    # it re-reads T_R per query instead of walking both trees once.
+    for x in range(1, 4):
+        assert lines["BFJ"][x] == max(v[x] for v in lines.values())
+
+    # STJ's matching beats RTJ's at the clustered setting (better tree
+    # organisation; the paper's Figure 8 shows the same ordering).
+    assert lines["STJ1-2N"][-1] <= 1.2 * lines["RTJ"][-1]

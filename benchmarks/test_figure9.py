@@ -1,0 +1,41 @@
+"""Figure 9: total disk I/O vs cover quotient (series 2).
+
+As clustering weakens (quotient 0.2 -> 1.0), totals rise for everyone.
+BFJ degrades fastest and ends as the worst method; the STJ curves stay
+lowest across the whole range.
+"""
+
+from conftest import record_table
+
+from repro.experiments.configs import SERIES_TABLES
+from repro.experiments.figures import figure_series, format_figure
+
+
+def test_figure9(benchmark, series2_results):
+    series = benchmark.pedantic(
+        figure_series, args=(9, series2_results), rounds=1, iterations=1,
+    )
+    print("\n" + format_figure(9, series2_results, compare_paper=True))
+    record_table(benchmark, series2_results[SERIES_TABLES[2][-1]])
+    lines = dict(series)
+
+    # Everyone pays more with less clustering.
+    for name, values in lines.items():
+        assert values[-1] > values[0], name
+
+    # BFJ's degradation is the steepest of all methods.
+    growth = {
+        name: values[-1] / values[0] for name, values in lines.items()
+    }
+    assert growth["BFJ"] == max(growth.values())
+
+    # BFJ is the worst method at quotient 1.0.
+    assert lines["BFJ"][-1] == max(v[-1] for v in lines.values())
+
+    # The best STJ variant leads at every quotient.
+    for x in range(5):
+        best_stj = min(
+            v[x] for name, v in lines.items() if name.startswith("STJ")
+        )
+        assert best_stj < lines["RTJ"][x]
+        assert best_stj < lines["BFJ"][x]

@@ -1,0 +1,47 @@
+"""Robustness: the paper's orderings hold across workload seeds.
+
+The paper reports single runs per configuration. This benchmark repeats
+the central Table 2 configuration under several workload seeds and
+asserts that the *conclusions* — not the exact counts — are
+seed-independent: STJ beats RTJ in every run, and the ranking spread of
+each method stays moderate.
+"""
+
+from conftest import BENCH_SEED, profile, record_table  # noqa: F401
+
+from repro.experiments import run_table_repeated
+
+SEEDS = tuple(range(BENCH_SEED, BENCH_SEED + 4))
+
+
+def test_orderings_stable_across_seeds(benchmark):
+    results, aggregates = benchmark.pedantic(
+        run_table_repeated,
+        args=(2, SEEDS),
+        kwargs=dict(profile=profile(),
+                    algorithms=("BFJ", "RTJ", "STJ1-2N", "STJ1-3F")),
+        rounds=1, iterations=1,
+    )
+
+    by_alg = {a.algorithm: a for a in aggregates}
+    for agg in aggregates:
+        benchmark.extra_info[f"{agg.algorithm}_mean"] = round(agg.mean_total)
+        benchmark.extra_info[f"{agg.algorithm}_spread"] = round(
+            agg.spread * 100
+        )
+        print(f"{agg.algorithm:8s} mean={agg.mean_total:7.0f} "
+              f"stdev={agg.stdev_total:6.1f} spread={agg.spread * 100:5.1f}%")
+
+    # STJ beats RTJ in every single run, not just on average.
+    for result in results:
+        stj = result.row("STJ1-2N").summary.total_io
+        rtj = result.row("RTJ").summary.total_io
+        assert stj < rtj
+
+    # Mean ordering matches the paper's Table 2.
+    assert by_alg["STJ1-2N"].mean_total < by_alg["RTJ"].mean_total
+    assert by_alg["STJ1-2N"].mean_total < by_alg["BFJ"].mean_total
+
+    # No method's cost is wildly seed-dependent (spread under 80%).
+    for agg in aggregates:
+        assert agg.spread < 0.8, agg.algorithm

@@ -1,0 +1,27 @@
+"""Table 1: ||D_R||=100K, ||D_S||=20K, quotient 0.2 (scaled by profile).
+
+The paper's *boundary case*: D_S is small enough that BFJ touches fewer
+T_R nodes than the buffer holds, so BFJ wins on total I/O — the one
+configuration where STJ does not.
+"""
+
+from conftest import BENCH_SEED, assert_common_shape, profile, record_table, totals
+
+from repro.experiments import run_table
+from repro.experiments.tables import format_table
+
+
+def test_table1(benchmark):
+    result = benchmark.pedantic(
+        run_table, args=(1,), kwargs=dict(profile=profile(), seed=BENCH_SEED),
+        rounds=1, iterations=1,
+    )
+    print("\n" + format_table(result, compare_paper=True))
+    record_table(benchmark, result)
+    assert_common_shape(result)
+
+    t = totals(result)
+    # The boundary-case claim: BFJ is competitive here (the paper has it
+    # winning outright); it must at least beat RTJ, whose join-time
+    # construction dominates at every size.
+    assert t["BFJ"] < t["RTJ"]

@@ -1,0 +1,35 @@
+"""Table 2: ||D_R||=100K, ||D_S||=40K, quotient 0.2 (scaled by profile).
+
+The paper's central configuration (it anchors both series): the
+join-time tree for D_S is roughly twice the buffer, so RTJ's
+construction thrashes while STJ's linked lists stay sequential, and the
+seeded tree beats both baselines by a wide margin.
+"""
+
+from conftest import (
+    BENCH_SEED,
+    assert_common_shape,
+    assert_overflow_regime,
+    profile,
+    record_table,
+    totals,
+)
+
+from repro.experiments import run_table
+from repro.experiments.tables import format_table
+
+
+def test_table2(benchmark):
+    result = benchmark.pedantic(
+        run_table, args=(2,), kwargs=dict(profile=profile(), seed=BENCH_SEED),
+        rounds=1, iterations=1,
+    )
+    print("\n" + format_table(result, compare_paper=True))
+    record_table(benchmark, result)
+    assert_common_shape(result)
+    assert_overflow_regime(result)
+
+    # Paper: RTJ loses even to BFJ here — construction misses outweigh
+    # the cheaper matching.
+    t = totals(result)
+    assert t["RTJ"] > t["BFJ"]

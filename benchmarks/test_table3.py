@@ -1,0 +1,37 @@
+"""Table 3: ||D_R||=100K, ||D_S||=60K, quotient 0.2 (scaled by profile).
+
+Series 1, third point: D_S has grown past half of D_R. RTJ's
+construction cost keeps climbing roughly linearly with ||D_S|| while
+STJ's stays sequential, so the seeded tree's margin over RTJ widens
+relative to Table 2.
+"""
+
+from conftest import (
+    BENCH_SEED,
+    assert_common_shape,
+    assert_overflow_regime,
+    best_stj_total,
+    profile,
+    record_table,
+    totals,
+)
+
+from repro.experiments import run_table
+from repro.experiments.tables import format_table
+
+
+def test_table3(benchmark):
+    result = benchmark.pedantic(
+        run_table, args=(3,), kwargs=dict(profile=profile(), seed=BENCH_SEED),
+        rounds=1, iterations=1,
+    )
+    print("\n" + format_table(result, compare_paper=True))
+    record_table(benchmark, result)
+    assert_common_shape(result)
+    assert_overflow_regime(result)
+
+    t = totals(result)
+    # Paper: both baselines lose clearly at this size (RTJ 16754 and
+    # BFJ 13650 vs 3404-4652 for the STJ variants).
+    assert best_stj_total(result) < 0.8 * t["BFJ"]
+    assert best_stj_total(result) < 0.8 * t["RTJ"]

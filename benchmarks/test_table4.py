@@ -1,0 +1,40 @@
+"""Table 4: ||D_R||=100K, ||D_S||=80K, quotient 0.2 (scaled by profile).
+
+Series 1 endpoint: the join-time tree is now several times the buffer.
+This is where RTJ is at its worst (the paper reports 22354 total against
+4276 for STJ2-3F — more than 5x), and where the construction-cost gap
+between a straightforward build and the linked-list build is widest.
+"""
+
+from conftest import (
+    BENCH_SEED,
+    assert_common_shape,
+    assert_overflow_regime,
+    profile,
+    record_table,
+    totals,
+)
+
+from repro.experiments import run_table
+from repro.experiments.tables import format_table
+
+
+def test_table4(benchmark):
+    result = benchmark.pedantic(
+        run_table, args=(4,), kwargs=dict(profile=profile(), seed=BENCH_SEED),
+        rounds=1, iterations=1,
+    )
+    print("\n" + format_table(result, compare_paper=True))
+    record_table(benchmark, result)
+    assert_common_shape(result)
+    assert_overflow_regime(result)
+
+    # At the largest D_S, RTJ's construction reads alone exceed any STJ
+    # variant's *entire* cost.
+    rtj_construct = result.row("RTJ").summary.construct_read
+    for row in result.rows:
+        if row.algorithm.startswith("STJ"):
+            assert rtj_construct > 0.5 * row.summary.total_io
+
+    t = totals(result)
+    assert t["RTJ"] > t["BFJ"]  # construction misses still dominate

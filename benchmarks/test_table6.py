@@ -1,0 +1,35 @@
+"""Table 6: ||D_R||=100K, ||D_S||=40K, quotient 0.6 (scaled by profile).
+
+Series 2, middle point. The paper's observation here: with less
+clustering, most leaf pairs must be visited anyway, so STJ's matching
+advantage over RTJ shrinks — tree *construction* cost becomes the
+deciding factor, and STJ's stays less than half of RTJ's.
+"""
+
+from conftest import (
+    BENCH_SEED,
+    assert_common_shape,
+    assert_overflow_regime,
+    profile,
+    record_table,
+)
+
+from repro.experiments import run_table
+from repro.experiments.tables import format_table
+
+
+def test_table6(benchmark):
+    result = benchmark.pedantic(
+        run_table, args=(6,), kwargs=dict(profile=profile(), seed=BENCH_SEED),
+        rounds=1, iterations=1,
+    )
+    print("\n" + format_table(result, compare_paper=True))
+    record_table(benchmark, result)
+    assert_common_shape(result)
+    assert_overflow_regime(result)
+
+    # Construction decides: STJ's construction-attributed I/O is less
+    # than half of RTJ's (paper: ~1300 vs ~7600).
+    rtj = result.row("RTJ").summary
+    stj = result.row("STJ1-2N").summary
+    assert stj.construct_io < rtj.construct_io / 2

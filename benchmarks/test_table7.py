@@ -1,0 +1,35 @@
+"""Table 7: ||D_R||=100K, ||D_S||=40K, quotient 0.8 (scaled by profile).
+
+Series 2, fourth point: nearly unclustered data. The paper notes that
+seed-level filtering's effectiveness diminishes here — almost every D_S
+object overlaps something in D_R, so the filter pays CPU without
+removing much — while the STJ variants still beat both baselines.
+"""
+
+from conftest import (
+    BENCH_SEED,
+    assert_common_shape,
+    assert_overflow_regime,
+    profile,
+    record_table,
+    totals,
+)
+
+from repro.experiments import run_table
+from repro.experiments.tables import format_table
+
+
+def test_table7(benchmark):
+    result = benchmark.pedantic(
+        run_table, args=(7,), kwargs=dict(profile=profile(), seed=BENCH_SEED),
+        rounds=1, iterations=1,
+    )
+    print("\n" + format_table(result, compare_paper=True))
+    record_table(benchmark, result)
+    assert_common_shape(result)
+    assert_overflow_regime(result)
+
+    t = totals(result)
+    # Filtering's I/O gain has largely evaporated: the filtered variant
+    # is no longer meaningfully cheaper than the unfiltered one.
+    assert t["STJ1-2F"] > 0.85 * t["STJ1-2N"]

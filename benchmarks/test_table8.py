@@ -1,0 +1,35 @@
+"""Table 8: ||D_R||=100K, ||D_S||=40K, quotient 1.0 (scaled by profile).
+
+Series 2 endpoint: no effective clustering at all. The paper's worst
+case for BFJ — its window queries touch far more of T_R than the buffer
+holds, and it posts the largest total of the whole evaluation (31831) —
+while STJ still beats RTJ on the strength of cheap construction alone.
+"""
+
+from conftest import (
+    BENCH_SEED,
+    assert_common_shape,
+    assert_overflow_regime,
+    profile,
+    record_table,
+    totals,
+)
+
+from repro.experiments import run_table
+from repro.experiments.tables import format_table
+
+
+def test_table8(benchmark):
+    result = benchmark.pedantic(
+        run_table, args=(8,), kwargs=dict(profile=profile(), seed=BENCH_SEED),
+        rounds=1, iterations=1,
+    )
+    print("\n" + format_table(result, compare_paper=True))
+    record_table(benchmark, result)
+    assert_common_shape(result)
+    assert_overflow_regime(result)
+
+    t = totals(result)
+    # BFJ is the worst algorithm at quotient 1.0 (paper: 31831 vs
+    # 10934 for RTJ and ~5000 for the STJ variants).
+    assert t["BFJ"] == max(t.values())

@@ -1,0 +1,80 @@
+"""repro — Spatial Joins Using Seeded Trees (Lo & Ravishankar, SIGMOD 1994).
+
+A from-scratch reproduction of the paper's complete system: seeded trees
+with all copy/update policies, linked-list construction and seed-level
+filtering; the Guttman R-tree and the TM tree-matching algorithm they run
+against; a simulated disk/buffer stack producing the paper's I/O cost
+accounting; the Section-4 workload generator; and an experiment harness
+regenerating every table and figure of the evaluation.
+
+Quick start::
+
+    from repro import Workspace, spatial_join
+    from repro.workload import ClusteredConfig, generate_clustered
+
+    ws = Workspace()                                   # 1 KiB pages, 512-page buffer
+    d_r = generate_clustered(ClusteredConfig(10_000, seed=1))
+    d_s = generate_clustered(ClusteredConfig(4_000, seed=2, oid_start=10_000))
+    tree_r = ws.install_rtree(d_r)                     # the pre-existing index
+    file_s = ws.install_datafile(d_s)                  # the derived data set
+    result = spatial_join(file_s, tree_r, ws.buffer, ws.config, ws.metrics,
+                          method="STJ1-2N")
+    print(len(result), "intersecting pairs")
+    print(ws.metrics.summary())
+"""
+
+from .config import SystemConfig
+from .errors import ReproError
+from .geometry import Rect
+from .metrics import CostSummary, MetricsCollector, Phase
+from .rtree import RTree, bulk_load_str
+from .seeded import CopyStrategy, SeededTree, UpdatePolicy
+from .storage import BufferPool, DataFile, DiskSimulator
+from .join import (
+    JoinResult,
+    STJVariant,
+    brute_force_join,
+    match_trees,
+    naive_join,
+    plan_spatial_join,
+    rtree_join,
+    seeded_tree_join,
+    spatial_join,
+    two_seeded_join,
+    z_order_join,
+)
+from .zorder import ZFile
+from .workspace import Workspace
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "SystemConfig",
+    "ReproError",
+    "Rect",
+    "CostSummary",
+    "MetricsCollector",
+    "Phase",
+    "RTree",
+    "bulk_load_str",
+    "CopyStrategy",
+    "SeededTree",
+    "UpdatePolicy",
+    "BufferPool",
+    "DataFile",
+    "DiskSimulator",
+    "JoinResult",
+    "STJVariant",
+    "brute_force_join",
+    "match_trees",
+    "naive_join",
+    "plan_spatial_join",
+    "rtree_join",
+    "seeded_tree_join",
+    "spatial_join",
+    "two_seeded_join",
+    "z_order_join",
+    "ZFile",
+    "Workspace",
+    "__version__",
+]

@@ -1,0 +1,165 @@
+"""System configuration for the simulated storage stack and tree indices.
+
+The paper (Section 4) fixes a concrete physical design:
+
+* disk page size = memory page size = tree node size = 1 KiB,
+* data-file entries of a 16-byte bounding box plus a 4-byte object id,
+* a dedicated buffer of 512 pages,
+* disk cost counted in random accesses, a sequential access costing 1/30
+  of a random access.
+
+:class:`SystemConfig` captures those constants plus everything derived from
+them (node fan-out, data-page capacity). All other components take a config
+instance rather than reading globals, so experiments can run several
+configurations side by side — the scale profiles in
+:mod:`repro.experiments.profiles` do exactly that.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from .errors import ConfigError
+
+#: Disk-cost weight of one sequential access relative to one random access.
+#: The paper states "a sequential disk access counts as 1/30 of a random
+#: disk access" (Section 4.1).
+SEQUENTIAL_COST_FRACTION = 1.0 / 30.0
+
+
+@dataclass(frozen=True)
+class SystemConfig:
+    """Physical design parameters shared by storage, trees, and joins.
+
+    Parameters
+    ----------
+    page_size:
+        Size of one disk/memory page in bytes. Tree nodes and data pages
+        each occupy exactly one page.
+    buffer_pages:
+        Capacity of the dedicated buffer pool, in pages.
+    bbox_bytes:
+        On-disk size of one bounding box (four coordinates).
+    pointer_bytes:
+        On-disk size of a child-page pointer in a non-leaf tree node.
+    oid_bytes:
+        On-disk size of an object identifier in leaf nodes and data files.
+    node_header_bytes:
+        Per-node overhead (level, entry count, etc.). The default leaves a
+        1 KiB page with capacity for exactly 50 entries of 20 bytes, which
+        matches the paper's "fan-out of at least 50".
+    sequential_cost:
+        Cost of a sequential access, as a fraction of a random access.
+    min_fill_fraction:
+        Minimum node occupancy after a split, as a fraction of capacity
+        (Guttman's ``m``; 0.4 is the customary choice).
+    list_flush_threshold:
+        Minimum length, in pages, for a linked list to be written out when
+        a batch flush is triggered ("longer than a small pre-defined
+        constant", Section 3.1).
+    """
+
+    page_size: int = 1024
+    buffer_pages: int = 512
+    bbox_bytes: int = 16
+    pointer_bytes: int = 4
+    oid_bytes: int = 4
+    node_header_bytes: int = 24
+    sequential_cost: float = SEQUENTIAL_COST_FRACTION
+    min_fill_fraction: float = 0.4
+    list_flush_threshold: int = 2
+
+    def __post_init__(self) -> None:
+        if self.page_size <= self.node_header_bytes:
+            raise ConfigError(
+                f"page_size ({self.page_size}) must exceed node_header_bytes "
+                f"({self.node_header_bytes})"
+            )
+        if self.buffer_pages < 1:
+            raise ConfigError("buffer_pages must be at least 1")
+        if min(self.bbox_bytes, self.pointer_bytes, self.oid_bytes) <= 0:
+            raise ConfigError("entry field sizes must be positive")
+        if not 0.0 < self.sequential_cost <= 1.0:
+            raise ConfigError("sequential_cost must be in (0, 1]")
+        if not 0.0 < self.min_fill_fraction <= 0.5:
+            raise ConfigError("min_fill_fraction must be in (0, 0.5]")
+        if self.node_capacity < 2:
+            raise ConfigError(
+                "page_size too small: tree nodes must hold at least 2 entries"
+            )
+        if self.list_flush_threshold < 1:
+            raise ConfigError("list_flush_threshold must be at least 1")
+
+    # ----------------------------------------------------------------- #
+    # Derived geometry
+    # ----------------------------------------------------------------- #
+
+    @property
+    def nonleaf_entry_bytes(self) -> int:
+        """Bytes per (mbr, child-pointer) entry in a non-leaf node."""
+        return self.bbox_bytes + self.pointer_bytes
+
+    @property
+    def leaf_entry_bytes(self) -> int:
+        """Bytes per (mbr, oid) entry in a leaf node or data file."""
+        return self.bbox_bytes + self.oid_bytes
+
+    @property
+    def node_capacity(self) -> int:
+        """Maximum entries per tree node (Guttman's ``M``).
+
+        The paper stores both entry kinds in same-size nodes; with the
+        default 4-byte pointer and oid the two capacities coincide, so a
+        single fan-out is used throughout.
+        """
+        entry = max(self.nonleaf_entry_bytes, self.leaf_entry_bytes)
+        return (self.page_size - self.node_header_bytes) // entry
+
+    @property
+    def node_min_fill(self) -> int:
+        """Minimum entries per node after a split (Guttman's ``m``)."""
+        return max(1, int(self.node_capacity * self.min_fill_fraction))
+
+    @property
+    def data_page_capacity(self) -> int:
+        """Entries per sequential data-file / linked-list page."""
+        return (self.page_size - self.node_header_bytes) // self.leaf_entry_bytes
+
+    # ----------------------------------------------------------------- #
+    # Cost model and sizing helpers
+    # ----------------------------------------------------------------- #
+
+    def io_cost(self, random_accesses: int, sequential_accesses: int) -> float:
+        """Total disk cost in units of random accesses (paper's metric)."""
+        return random_accesses + sequential_accesses * self.sequential_cost
+
+    def data_pages_for(self, num_objects: int) -> int:
+        """Pages needed to store ``num_objects`` entries sequentially."""
+        if num_objects <= 0:
+            return 0
+        cap = self.data_page_capacity
+        return (num_objects + cap - 1) // cap
+
+    def estimated_tree_pages(self, num_objects: int, fill: float = 0.7) -> int:
+        """Rough page count of an R-tree over ``num_objects`` objects.
+
+        Used at join time to decide whether linked-list construction is
+        worthwhile (Section 3.1: "if we estimate that the tree size will be
+        larger than the buffer size"). Assumes the conventional ~70% node
+        occupancy of a dynamically built R-tree.
+        """
+        if num_objects <= 0:
+            return 0
+        per_node = max(1, int(self.node_capacity * fill))
+        pages = 0
+        level_count = num_objects
+        while True:
+            nodes = (level_count + per_node - 1) // per_node
+            pages += nodes
+            if nodes == 1:
+                return pages
+            level_count = nodes
+
+    def scaled(self, **overrides: object) -> "SystemConfig":
+        """Return a copy of this config with the given fields replaced."""
+        return replace(self, **overrides)  # type: ignore[arg-type]

@@ -1,0 +1,70 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+Every error raised by this library derives from :class:`ReproError`, so
+callers can catch a single base class. The subclasses mirror the major
+subsystems: configuration, simulated storage, tree indices, and the
+experiment harness.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class ConfigError(ReproError):
+    """A :class:`~repro.config.SystemConfig` value is invalid or inconsistent."""
+
+
+class GeometryError(ReproError):
+    """A rectangle or other geometric argument is malformed."""
+
+
+class StorageError(ReproError):
+    """Base class for simulated-storage failures."""
+
+
+class PageNotFoundError(StorageError):
+    """A page id was read that was never written to the simulated disk."""
+
+
+class BufferFullError(StorageError):
+    """The buffer pool cannot evict any page (everything is pinned)."""
+
+
+class PinError(StorageError):
+    """A page was unpinned more times than it was pinned."""
+
+
+class TreeError(ReproError):
+    """Base class for index-structure failures."""
+
+
+class NodeOverflowError(TreeError):
+    """More entries were placed in a node than its capacity allows."""
+
+
+class SeedingError(TreeError):
+    """The seeding phase of a seeded tree was misconfigured.
+
+    Raised, for example, when the requested number of seed levels exceeds
+    the height of the seeding tree, or when growing is attempted before
+    seeding.
+    """
+
+
+class TreePhaseError(TreeError):
+    """An operation was invoked in the wrong phase of a tree's lifecycle.
+
+    Seeded trees move through ``seeding -> growing -> cleanup -> ready``;
+    inserting after cleanup or matching before cleanup raises this error.
+    """
+
+
+class WorkloadError(ReproError):
+    """A workload/data-set generation request is invalid."""
+
+
+class ExperimentError(ReproError):
+    """An experiment id, profile, or algorithm name is unknown."""

@@ -1,0 +1,41 @@
+"""The experiment harness: regenerate every table and figure of the paper.
+
+* :mod:`~repro.experiments.profiles` — scale profiles (tiny/small/quarter/
+  full) that preserve the ratios driving the paper's dynamics;
+* :mod:`~repro.experiments.configs` — the workload of each table/figure;
+* :mod:`~repro.experiments.paper_data` — the numbers printed in the paper,
+  for side-by-side comparison;
+* :mod:`~repro.experiments.runner` — executes the joins and captures rows;
+* :mod:`~repro.experiments.tables` / :mod:`~repro.experiments.figures` —
+  render paper-layout output;
+* ``python -m repro.experiments`` — the command-line entry point.
+"""
+
+from .configs import EXPERIMENTS, ExperimentSpec, series_for_figure
+from .profiles import PROFILES, ScaleProfile
+from .runner import (
+    AggregateRow,
+    ExperimentRow,
+    TableResult,
+    run_series,
+    run_table,
+    run_table_repeated,
+)
+from .tables import regenerate_table
+from .figures import regenerate_figure
+
+__all__ = [
+    "EXPERIMENTS",
+    "ExperimentSpec",
+    "series_for_figure",
+    "PROFILES",
+    "ScaleProfile",
+    "AggregateRow",
+    "ExperimentRow",
+    "TableResult",
+    "run_series",
+    "run_table",
+    "run_table_repeated",
+    "regenerate_table",
+    "regenerate_figure",
+]

@@ -1,0 +1,227 @@
+"""Executable validation of the paper's headline claims.
+
+EXPERIMENTS.md records the paper-vs-measured comparison as prose; this
+module makes it executable: each claim of the paper's Section 4.1 /
+Section 6 narrative is a predicate over regenerated series results, and
+``python -m repro.experiments claims`` re-runs both series and reports
+PASS/FAIL per claim. The benchmark suite asserts the same shapes; this
+is the one-shot, human-readable version.
+
+Claims are evaluated on whatever profile the caller selects. Claim 2
+(the Table 1 boundary case) is location-sensitive — the paper's own
+numbers place it wherever BFJ's working set first exceeds the buffer —
+so it is asserted only on profiles where the crossover falls inside the
+measured range (see EXPERIMENTS.md, deviation D8).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from .configs import SERIES_TABLES
+from .runner import TableResult
+
+#: Claim checks receive {table: TableResult} covering both series.
+Check = Callable[[dict[int, "TableResult"]], tuple[bool, str]]
+
+
+@dataclass(frozen=True)
+class Claim:
+    number: int
+    text: str
+    check: Check
+    profiles: tuple[str, ...] = ()   # empty = applies to every profile
+
+
+def _stj_variants(result: TableResult) -> list[str]:
+    return [r.algorithm for r in result.rows if r.algorithm.startswith("STJ")]
+
+
+def _best_stj(result: TableResult) -> float:
+    return min(
+        r.summary.total_io for r in result.rows
+        if r.algorithm.startswith("STJ")
+    )
+
+
+def _total(result: TableResult, algorithm: str) -> float:
+    return result.row(algorithm).summary.total_io
+
+
+def _claim1(results) -> tuple[bool, str]:
+    factors = []
+    for table in (2, 3, 4, 5, 6, 7, 8):
+        best_baseline = min(_total(results[table], "BFJ"),
+                            _total(results[table], "RTJ"))
+        factors.append(best_baseline / _best_stj(results[table]))
+    ok = all(f > 1.2 for f in factors)
+    return ok, (
+        "STJ vs best baseline factors (tables 2-8): "
+        + ", ".join(f"{f:.1f}x" for f in factors)
+    )
+
+
+def _claim3(results) -> tuple[bool, str]:
+    rows = []
+    for table in (2, 3, 4):
+        rtj = _total(results[table], "RTJ")
+        bfj = _total(results[table], "BFJ")
+        rows.append((table, rtj, bfj))
+    ok = all(rtj > bfj for _, rtj, bfj in rows)
+    detail = "; ".join(f"t{t}: RTJ {r:.0f} vs BFJ {b:.0f}"
+                       for t, r, b in rows)
+    return ok, detail
+
+
+def _claim4(results) -> tuple[bool, str]:
+    stj = [results[t].row("STJ1-2N").summary.construct_read
+           for t in (1, 2, 3, 4)]
+    rtj = [results[t].row("RTJ").summary.construct_read
+           for t in (1, 2, 3, 4)]
+    ok = stj[-1] < rtj[-1] / 5 and max(stj) < min(
+        r for r in rtj[1:]
+    )
+    return ok, (
+        f"STJ cons rd {[round(v) for v in stj]} vs "
+        f"RTJ {[round(v) for v in rtj]}"
+    )
+
+
+def _claim5(results) -> tuple[bool, str]:
+    series2 = SERIES_TABLES[2]
+    bfj = [_total(results[t], "BFJ") for t in series2]
+    growth = {
+        r.algorithm: _total(results[series2[-1]], r.algorithm)
+        / _total(results[series2[0]], r.algorithm)
+        for r in results[series2[0]].rows
+    }
+    ok = bfj[-1] > bfj[0] and growth["BFJ"] == max(growth.values())
+    return ok, (
+        f"BFJ rises {bfj[0]:.0f} -> {bfj[-1]:.0f}; its growth factor "
+        f"{growth['BFJ']:.1f}x is the largest"
+    )
+
+
+def _claim6(results) -> tuple[bool, str]:
+    last = SERIES_TABLES[2][-1]
+    stj_match = results[last].row("STJ1-2N").summary.match_read
+    rtj_match = results[last].row("RTJ").summary.match_read
+    stj_cons = results[last].row("STJ1-2N").summary.construct_io
+    rtj_cons = results[last].row("RTJ").summary.construct_io
+    ok = abs(stj_match - rtj_match) < 0.3 * rtj_match \
+        and stj_cons < rtj_cons / 2
+    return ok, (
+        f"q=1.0 matching: STJ {stj_match:.0f} vs RTJ {rtj_match:.0f}; "
+        f"construction: {stj_cons:.0f} vs {rtj_cons:.0f}"
+    )
+
+
+def _claim7(results) -> tuple[bool, str]:
+    gains = {}
+    for table in (2, 8):
+        n = _total(results[table], "STJ1-2N")
+        f = _total(results[table], "STJ1-2F")
+        gains[table] = (n - f) / n
+    ok = gains[2] >= gains[8] - 0.02
+    return ok, (
+        f"filtering gain {gains[2] * 100:.1f}% at q=0.2 vs "
+        f"{gains[8] * 100:.1f}% at q=1.0"
+    )
+
+
+def _claim8(results) -> tuple[bool, str]:
+    t2 = results[2]
+    bbox = {r.algorithm: r.summary.bbox_tests for r in t2.rows}
+    ok = (
+        bbox["STJ1-2F"] > 3 * bbox["STJ1-2N"]
+        and bbox["BFJ"] == max(bbox.values())
+        and bbox["STJ1-2N"] <= 1.3 * min(bbox.values())
+    )
+    return ok, (
+        f"bbox K: 2N={bbox['STJ1-2N'] // 1000}, "
+        f"2F={bbox['STJ1-2F'] // 1000}, "
+        f"3F={bbox['STJ1-3F'] // 1000}, BFJ={bbox['BFJ'] // 1000}, "
+        f"RTJ={bbox['RTJ'] // 1000}"
+    )
+
+
+def _claim9(results) -> tuple[bool, str]:
+    t2 = results[2]
+    bbox = {r.algorithm: r.summary.bbox_tests for r in t2.rows}
+    ok = bbox["RTJ"] < bbox["STJ1-2F"] < bbox["BFJ"]
+    return ok, (
+        f"RTJ {bbox['RTJ'] // 1000}K < STJ-F "
+        f"{bbox['STJ1-2F'] // 1000}K < BFJ {bbox['BFJ'] // 1000}K"
+    )
+
+
+def _claim2(results) -> tuple[bool, str]:
+    t1 = results[1]
+    bfj = _total(t1, "BFJ")
+    best_stj = _best_stj(t1)
+    ok = bfj < 1.1 * best_stj
+    return ok, f"table 1: BFJ {bfj:.0f} vs best STJ {best_stj:.0f}"
+
+
+CLAIMS: tuple[Claim, ...] = (
+    Claim(1, "STJ beats the better baseline everywhere past the boundary "
+             "case", _claim1),
+    Claim(2, "Boundary case: BFJ competitive at the smallest ||D_S||",
+          _claim2, profiles=("tiny", "small", "quarter")),
+    Claim(3, "RTJ loses even to BFJ in series 1", _claim3),
+    Claim(4, "STJ construction reads small and near-flat; RTJ's blow up",
+          _claim4),
+    Claim(5, "Less clustering raises costs; BFJ degrades fastest",
+          _claim5),
+    Claim(6, "At low clustering STJ matching converges to RTJ's; "
+             "construction decides", _claim6),
+    Claim(7, "Filtering's I/O gain shrinks as the quotient grows",
+          _claim7),
+    Claim(8, "Filtering multiplies bbox CPU; STJ-N cheapest, BFJ dearest",
+          _claim8),
+    Claim(9, "STJ-F CPU sits between RTJ's and BFJ's", _claim9),
+)
+
+
+@dataclass(frozen=True)
+class ClaimOutcome:
+    claim: Claim
+    passed: bool | None       # None = not applicable to this profile
+    detail: str
+
+
+def evaluate_claims(
+    results: dict[int, TableResult], profile_name: str
+) -> list[ClaimOutcome]:
+    """Check every claim against regenerated series results."""
+    outcomes = []
+    for claim in CLAIMS:
+        if claim.profiles and profile_name not in claim.profiles:
+            outcomes.append(ClaimOutcome(
+                claim, None,
+                f"not asserted on profile {profile_name!r} "
+                f"(see EXPERIMENTS.md)",
+            ))
+            continue
+        passed, detail = claim.check(results)
+        outcomes.append(ClaimOutcome(claim, passed, detail))
+    return outcomes
+
+
+def format_claims(outcomes: list[ClaimOutcome]) -> str:
+    lines = ["Headline claims (paper -> measured):", ""]
+    for outcome in outcomes:
+        if outcome.passed is None:
+            status = "SKIP"
+        else:
+            status = "PASS" if outcome.passed else "FAIL"
+        lines.append(
+            f"  [{status}] {outcome.claim.number}. {outcome.claim.text}"
+        )
+        lines.append(f"         {outcome.detail}")
+    failed = sum(1 for o in outcomes if o.passed is False)
+    checked = sum(1 for o in outcomes if o.passed is not None)
+    lines.append("")
+    lines.append(f"{checked - failed}/{checked} claims hold")
+    return "\n".join(lines)

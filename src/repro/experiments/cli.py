@@ -1,0 +1,197 @@
+"""Command-line entry point: ``python -m repro.experiments``.
+
+Examples::
+
+    python -m repro.experiments list
+    python -m repro.experiments table 2 --profile quarter
+    python -m repro.experiments figure 6 --profile tiny --no-paper
+    python -m repro.experiments all --profile tiny
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+
+from .configs import EXPERIMENTS, FIGURES, SERIES_TABLES
+from .figures import format_figure, regenerate_figure
+from .profiles import PROFILES
+from .runner import run_series
+from .tables import format_table, regenerate_table
+
+
+def _add_common(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--profile", default="tiny", choices=sorted(PROFILES),
+        help="scale profile (default: tiny)",
+    )
+    parser.add_argument("--seed", type=int, default=0,
+                        help="workload random seed (default: 0)")
+    parser.add_argument(
+        "--no-paper", action="store_true",
+        help="omit the paper's printed numbers from the output",
+    )
+    parser.add_argument(
+        "--no-verify", action="store_true",
+        help="skip cross-checking that all algorithms agree",
+    )
+    parser.add_argument(
+        "--json", action="store_true",
+        help="emit machine-readable JSON instead of text tables",
+    )
+    parser.add_argument(
+        "--chart", action="store_true",
+        help="append an ASCII chart to figure output",
+    )
+    parser.add_argument(
+        "--repeat", type=int, default=1, metavar="N",
+        help="repeat with N workload seeds and report mean/stdev "
+             "(table command only)",
+    )
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-experiments",
+        description=(
+            "Regenerate the tables and figures of 'Spatial Joins Using "
+            "Seeded Trees' (SIGMOD 1994)"
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_list = sub.add_parser("list", help="list experiments and profiles")
+    del p_list
+
+    p_table = sub.add_parser("table", help="regenerate one table (1-8)")
+    p_table.add_argument("number", type=int, choices=sorted(EXPERIMENTS))
+    _add_common(p_table)
+
+    p_figure = sub.add_parser("figure", help="regenerate one figure (6-11)")
+    p_figure.add_argument("number", type=int, choices=sorted(FIGURES))
+    _add_common(p_figure)
+
+    p_all = sub.add_parser(
+        "all", help="regenerate every table and figure (both series)"
+    )
+    _add_common(p_all)
+
+    p_claims = sub.add_parser(
+        "claims",
+        help="re-run both series and check the paper's headline claims",
+    )
+    _add_common(p_claims)
+    return parser
+
+
+def _cmd_list() -> int:
+    print("Experiments (Lo & Ravishankar, SIGMOD 1994):")
+    for spec in EXPERIMENTS.values():
+        print(f"  {spec.title()}  (series {spec.series})")
+    for fig, (series, _metric, label) in sorted(FIGURES.items()):
+        print(f"  Figure {fig}: {label} (series {series})")
+    print("\nProfiles:")
+    for prof in PROFILES.values():
+        print(f"  {prof.name:8s} {prof.description}")
+    return 0
+
+
+def _cmd_all(args: argparse.Namespace) -> int:
+    compare = not args.no_paper
+    verify = not args.no_verify
+    for series in (1, 2):
+        started = time.perf_counter()
+        results = run_series(
+            series, profile=args.profile, seed=args.seed, verify=verify
+        )
+        elapsed = time.perf_counter() - started
+        print(f"=== Series {series} (ran in {elapsed:.1f}s) ===\n")
+        for table in SERIES_TABLES[series]:
+            print(format_table(results[table], compare_paper=compare))
+            print()
+        for fig, (fig_series, _m, _l) in sorted(FIGURES.items()):
+            if fig_series == series:
+                print(format_figure(fig, results, compare_paper=compare))
+                print()
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.command == "list":
+        return _cmd_list()
+    if args.command == "table":
+        if args.repeat > 1:
+            from .runner import run_table_repeated
+
+            seeds = tuple(range(args.seed, args.seed + args.repeat))
+            _results, aggregates = run_table_repeated(
+                args.number, seeds, profile=args.profile,
+                verify=not args.no_verify,
+            )
+            print(f"Table {args.number} [{args.profile}] over "
+                  f"{args.repeat} seeds {seeds}: total I/O")
+            print(f"{'Alg.':10s} {'mean':>9s} {'stdev':>8s} "
+                  f"{'min':>9s} {'max':>9s} {'spread':>7s}")
+            for agg in aggregates:
+                print(f"{agg.algorithm:10s} {agg.mean_total:9.0f} "
+                      f"{agg.stdev_total:8.1f} {agg.min_total:9.0f} "
+                      f"{agg.max_total:9.0f} {agg.spread * 100:6.1f}%")
+            return 0
+        if args.json:
+            from .runner import run_table
+
+            result = run_table(args.number, profile=args.profile,
+                               seed=args.seed, verify=not args.no_verify)
+            print(json.dumps(result.to_dict(), indent=2))
+            return 0
+        print(
+            regenerate_table(
+                args.number, profile=args.profile, seed=args.seed,
+                compare_paper=not args.no_paper,
+                verify=not args.no_verify,
+            )
+        )
+        return 0
+    if args.command == "figure":
+        print(
+            regenerate_figure(
+                args.number, profile=args.profile, seed=args.seed,
+                compare_paper=not args.no_paper,
+                verify=not args.no_verify,
+                chart=args.chart,
+            )
+        )
+        return 0
+    if args.command == "claims":
+        from .claims import evaluate_claims, format_claims
+
+        results = {}
+        for series in (1, 2):
+            results.update(run_series(
+                series, profile=args.profile, seed=args.seed,
+                verify=not args.no_verify,
+            ))
+        outcomes = evaluate_claims(results, args.profile)
+        print(format_claims(outcomes))
+        return 0 if not any(o.passed is False for o in outcomes) else 1
+    if args.command == "all":
+        if args.json:
+            payload = {}
+            for series in (1, 2):
+                results = run_series(
+                    series, profile=args.profile, seed=args.seed,
+                    verify=not args.no_verify,
+                )
+                for table, result in results.items():
+                    payload[f"table{table}"] = result.to_dict()
+            print(json.dumps(payload, indent=2))
+            return 0
+        return _cmd_all(args)
+    return 2
+
+
+if __name__ == "__main__":
+    sys.exit(main())

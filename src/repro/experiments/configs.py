@@ -1,0 +1,109 @@
+"""Definitions of the paper's experiments (Section 4.1).
+
+Two series:
+
+* **Series 1** (Tables 1-4, Figures 6-8): ``||D_R||`` fixed at 100K,
+  ``||D_S||`` varied over 20K/40K/60K/80K, cover quotient 0.2.
+* **Series 2** (Tables 2, 5-8, Figures 9-11): ``||D_R|| = 100K`` and
+  ``||D_S|| = 40K`` fixed, cover quotient varied over 0.2-1.0.
+
+Each table runs the eight algorithm variants of the paper's tables;
+each figure plots one I/O metric for the corresponding series.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import ExperimentError
+from .paper_data import PAPER_ALGORITHMS
+
+#: Full-scale object counts (scaled down by the active profile).
+D_R_FULL = 100_000
+
+SERIES1_DS_FULL = (20_000, 40_000, 60_000, 80_000)
+SERIES1_QUOTIENT = 0.2
+
+SERIES2_DS_FULL = 40_000
+SERIES2_QUOTIENTS = (0.2, 0.4, 0.6, 0.8, 1.0)
+
+
+@dataclass(frozen=True)
+class ExperimentSpec:
+    """One table's workload: data-set sizes and degree of clustering."""
+
+    table: int
+    d_r_full: int
+    d_s_full: int
+    cover_quotient: float
+    series: int
+
+    @property
+    def name(self) -> str:
+        return f"table{self.table}"
+
+    def title(self) -> str:
+        return (
+            f"Table {self.table}: ||D_R||={self.d_r_full // 1000}K, "
+            f"||D_S||={self.d_s_full // 1000}K, quotient "
+            f"{self.cover_quotient}"
+        )
+
+
+EXPERIMENTS: dict[int, ExperimentSpec] = {
+    1: ExperimentSpec(1, D_R_FULL, 20_000, 0.2, series=1),
+    2: ExperimentSpec(2, D_R_FULL, 40_000, 0.2, series=1),
+    3: ExperimentSpec(3, D_R_FULL, 60_000, 0.2, series=1),
+    4: ExperimentSpec(4, D_R_FULL, 80_000, 0.2, series=1),
+    5: ExperimentSpec(5, D_R_FULL, 40_000, 0.4, series=2),
+    6: ExperimentSpec(6, D_R_FULL, 40_000, 0.6, series=2),
+    7: ExperimentSpec(7, D_R_FULL, 40_000, 0.8, series=2),
+    8: ExperimentSpec(8, D_R_FULL, 40_000, 1.0, series=2),
+}
+
+#: Tables contributing to each series, in x-axis order. Table 2 is the
+#: quotient-0.2 point of series 2, exactly as in the paper.
+SERIES_TABLES: dict[int, tuple[int, ...]] = {
+    1: (1, 2, 3, 4),
+    2: (2, 5, 6, 7, 8),
+}
+
+#: Figure number -> (series, metric attribute of CostSummary, y label).
+FIGURES: dict[int, tuple[int, str, str]] = {
+    6: (1, "total_io", "Total disk I/O"),
+    7: (1, "construct_io", "Tree construction I/O"),
+    8: (1, "match_io", "Tree matching I/O"),
+    9: (2, "total_io", "Total disk I/O"),
+    10: (2, "construct_io", "Tree construction I/O"),
+    11: (2, "match_io", "Tree matching I/O"),
+}
+
+#: The eight algorithm variants of every paper table.
+ALGORITHMS = PAPER_ALGORITHMS
+
+
+def get_experiment(table: int) -> ExperimentSpec:
+    try:
+        return EXPERIMENTS[table]
+    except KeyError:
+        raise ExperimentError(
+            f"unknown table {table}; the paper has tables 1-8"
+        ) from None
+
+
+def series_for_figure(figure: int) -> int:
+    try:
+        return FIGURES[figure][0]
+    except KeyError:
+        raise ExperimentError(
+            f"unknown figure {figure}; the paper has figures 6-11"
+        ) from None
+
+
+def series_x_values(series: int) -> list:
+    """The x-axis of a series: ||D_S|| (full-scale) or cover quotient."""
+    if series == 1:
+        return [EXPERIMENTS[t].d_s_full for t in SERIES_TABLES[1]]
+    if series == 2:
+        return [EXPERIMENTS[t].cover_quotient for t in SERIES_TABLES[2]]
+    raise ExperimentError(f"unknown series {series}")

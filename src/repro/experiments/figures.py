@@ -1,0 +1,106 @@
+"""Render regenerated figures (the I/O-versus-x series plots).
+
+The paper's Figures 6-11 plot one I/O metric per algorithm against the
+series' x-axis (``||D_S||`` for series 1, cover quotient for series 2).
+A text harness cannot draw the plots, so each figure is emitted as the
+series it plots — one line per algorithm — which is the same information
+the curves carry. The paper's own series (recomputed from its printed
+tables) can be emitted alongside for comparison.
+"""
+
+from __future__ import annotations
+
+from ..errors import ExperimentError
+from ..metrics.report import format_ascii_chart, format_series
+from .configs import FIGURES, SERIES_TABLES, series_x_values
+from .paper_data import PAPER_TABLES, paper_construct_io, paper_match_io, paper_total
+from .profiles import ScaleProfile
+from .runner import TableResult, run_series
+
+_PAPER_METRICS = {
+    "total_io": paper_total,
+    "construct_io": paper_construct_io,
+    "match_io": paper_match_io,
+}
+
+
+def figure_series(
+    figure: int, results: dict[int, TableResult]
+) -> list[tuple[str, list[float]]]:
+    """Extract a figure's per-algorithm series from regenerated tables."""
+    if figure not in FIGURES:
+        raise ExperimentError(f"unknown figure {figure}; the paper has 6-11")
+    series, metric, _label = FIGURES[figure]
+    tables = SERIES_TABLES[series]
+    missing = [t for t in tables if t not in results]
+    if missing:
+        raise ExperimentError(
+            f"figure {figure} needs tables {tables}; missing {missing}"
+        )
+    algorithms = [r.algorithm for r in results[tables[0]].rows]
+    out = []
+    for algorithm in algorithms:
+        values = [
+            getattr(results[t].row(algorithm).summary, metric)
+            for t in tables
+        ]
+        out.append((algorithm, values))
+    return out
+
+
+def paper_figure_series(figure: int) -> list[tuple[str, list[float]]]:
+    """The same series computed from the paper's printed tables."""
+    series, metric, _label = FIGURES[figure]
+    tables = SERIES_TABLES[series]
+    fn = _PAPER_METRICS[metric]
+    algorithms = list(PAPER_TABLES[tables[0]].keys())
+    return [
+        (algorithm, [float(fn(t, algorithm)) for t in tables])
+        for algorithm in algorithms
+    ]
+
+
+def format_figure(
+    figure: int,
+    results: dict[int, TableResult],
+    compare_paper: bool = False,
+    chart: bool = False,
+) -> str:
+    series, metric, label = FIGURES[figure]
+    x_label = "||D_S||" if series == 1 else "cover quotient"
+    x_values = series_x_values(series)
+    profile = results[SERIES_TABLES[series][0]].profile
+    title = (
+        f"Figure {figure} [{profile.name}]: {label} vs {x_label} "
+        f"(series {series})"
+    )
+    data = figure_series(figure, results)
+    text = format_series(x_label, x_values, data, title=title)
+    if chart:
+        text += "\n\n" + format_ascii_chart(x_values, data)
+    if not compare_paper:
+        return text
+    paper_text = format_series(
+        x_label, x_values, paper_figure_series(figure),
+        title=f"Paper's Figure {figure} (derived from its tables):",
+    )
+    return f"{text}\n\n{paper_text}"
+
+
+def regenerate_figure(
+    figure: int,
+    profile: str | ScaleProfile = "tiny",
+    seed: int = 0,
+    compare_paper: bool = True,
+    results: dict[int, TableResult] | None = None,
+    chart: bool = False,
+    **kwargs,
+) -> str:
+    """Run a figure's series (or reuse ``results``) and render it."""
+    if figure not in FIGURES:
+        raise ExperimentError(f"unknown figure {figure}; the paper has 6-11")
+    series = FIGURES[figure][0]
+    if results is None:
+        results = run_series(series, profile=profile, seed=seed, **kwargs)
+    return format_figure(figure, results, compare_paper=compare_paper,
+                         chart=chart)

@@ -1,0 +1,277 @@
+"""Executes the paper's experiments and captures paper-layout rows.
+
+The protocol per algorithm run mirrors Section 4: the input data file and
+the pre-computed R-tree ``T_R`` exist on disk before measurement begins
+(built in the metrics SETUP phase, which summaries exclude), the buffer
+starts cold, and the join's construction/matching phases are charged
+separately. All algorithms of a table run against the *same* data and
+``T_R``; the runner cross-checks that they produce identical result sets.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+from ..errors import ExperimentError
+from ..join import spatial_join
+from ..metrics import CostSummary
+from ..rtree import RTree
+from ..storage import DataFile
+from ..workload import ClusteredConfig, generate_clustered
+from ..workspace import Workspace
+from .configs import (
+    ALGORITHMS,
+    EXPERIMENTS,
+    SERIES_TABLES,
+    ExperimentSpec,
+    get_experiment,
+)
+from .profiles import ScaleProfile, get_profile
+
+#: Object ids of D_S start here so the two data sets never collide.
+_DS_OID_BASE = 10_000_000
+
+
+@dataclass(frozen=True)
+class ExperimentRow:
+    """One algorithm's costs in one table."""
+
+    algorithm: str
+    summary: CostSummary
+    pairs: int
+    elapsed_s: float
+
+
+@dataclass(frozen=True)
+class TableResult:
+    """All rows of one regenerated table."""
+
+    spec: ExperimentSpec
+    profile: ScaleProfile
+    rows: tuple[ExperimentRow, ...]
+    d_r_size: int
+    d_s_size: int
+
+    def row(self, algorithm: str) -> ExperimentRow:
+        for r in self.rows:
+            if r.algorithm == algorithm:
+                return r
+        raise ExperimentError(
+            f"algorithm {algorithm!r} not in table {self.spec.table} result"
+        )
+
+    def title(self) -> str:
+        return (
+            f"Table {self.spec.table} [{self.profile.name}]: "
+            f"||D_R||={self.d_r_size}, ||D_S||={self.d_s_size}, "
+            f"quotient {self.spec.cover_quotient}"
+        )
+
+    def to_dict(self) -> dict:
+        """A JSON-friendly record (for --json output and downstream
+        analysis tooling)."""
+        return {
+            "table": self.spec.table,
+            "series": self.spec.series,
+            "profile": self.profile.name,
+            "d_r": self.d_r_size,
+            "d_s": self.d_s_size,
+            "cover_quotient": self.spec.cover_quotient,
+            "rows": [
+                {
+                    "algorithm": r.algorithm,
+                    "pairs": r.pairs,
+                    "elapsed_s": round(r.elapsed_s, 4),
+                    "match_read": round(r.summary.match_read, 2),
+                    "match_write": round(r.summary.match_write, 2),
+                    "construct_read": round(r.summary.construct_read, 2),
+                    "construct_write": round(r.summary.construct_write, 2),
+                    "total_io": round(r.summary.total_io, 2),
+                    "bbox_tests": r.summary.bbox_tests,
+                    "xy_tests": r.summary.xy_tests,
+                }
+                for r in self.rows
+            ],
+        }
+
+
+class _Environment:
+    """A workspace with D_R installed; reusable across one series."""
+
+    def __init__(self, spec: ExperimentSpec, profile: ScaleProfile,
+                 seed: int, data_side_bound: float):
+        self.profile = profile
+        self.seed = seed
+        self.data_side_bound = data_side_bound
+        self.workspace = Workspace(profile.config)
+        self.d_r_size = profile.objects(spec.d_r_full)
+        self.cover_quotient = spec.cover_quotient
+        d_r = generate_clustered(
+            ClusteredConfig(
+                num_objects=self.d_r_size,
+                cover_quotient=spec.cover_quotient,
+                objects_per_cluster=profile.objects_per_cluster,
+                data_side_bound=data_side_bound,
+                seed=seed * 7919 + 1,
+            )
+        )
+        self.tree_r: RTree = self.workspace.install_rtree(d_r)
+
+    def make_ds(self, spec: ExperimentSpec) -> tuple[DataFile, int]:
+        d_s_size = self.profile.objects(spec.d_s_full)
+        d_s = generate_clustered(
+            ClusteredConfig(
+                num_objects=d_s_size,
+                cover_quotient=spec.cover_quotient,
+                objects_per_cluster=self.profile.objects_per_cluster,
+                data_side_bound=self.data_side_bound,
+                seed=self.seed * 7919 + 100 + spec.table,
+                oid_start=_DS_OID_BASE,
+            )
+        )
+        return self.workspace.install_datafile(d_s, name=f"D_S(t{spec.table})"), d_s_size
+
+
+def _run_spec(
+    env: _Environment,
+    spec: ExperimentSpec,
+    algorithms: tuple[str, ...],
+    verify: bool,
+) -> TableResult:
+    ws = env.workspace
+    file_s, d_s_size = env.make_ds(spec)
+    rows: list[ExperimentRow] = []
+    reference: set | None = None
+    for algorithm in algorithms:
+        ws.start_measurement()
+        started = time.perf_counter()
+        result = spatial_join(
+            file_s, env.tree_r, ws.buffer, ws.config, ws.metrics,
+            method=algorithm,
+        )
+        elapsed = time.perf_counter() - started
+        if verify:
+            pair_set = result.pair_set()
+            if reference is None:
+                reference = pair_set
+            elif pair_set != reference:
+                raise ExperimentError(
+                    f"{algorithm} produced a different result set in "
+                    f"table {spec.table}: {len(pair_set)} vs "
+                    f"{len(reference)} pairs"
+                )
+        rows.append(
+            ExperimentRow(
+                algorithm=algorithm,
+                summary=ws.metrics.summary(),
+                pairs=len(result),
+                elapsed_s=elapsed,
+            )
+        )
+    return TableResult(
+        spec=spec,
+        profile=env.profile,
+        rows=tuple(rows),
+        d_r_size=env.d_r_size,
+        d_s_size=d_s_size,
+    )
+
+
+def run_table(
+    table: int,
+    profile: str | ScaleProfile = "tiny",
+    seed: int = 0,
+    algorithms: tuple[str, ...] = ALGORITHMS,
+    verify: bool = True,
+    data_side_bound: float = 0.004,
+) -> TableResult:
+    """Regenerate one paper table at the given scale profile."""
+    prof = profile if isinstance(profile, ScaleProfile) else get_profile(profile)
+    spec = get_experiment(table)
+    env = _Environment(spec, prof, seed, data_side_bound)
+    return _run_spec(env, spec, algorithms, verify)
+
+
+@dataclass(frozen=True)
+class AggregateRow:
+    """One algorithm's total-I/O statistics over repeated runs."""
+
+    algorithm: str
+    runs: int
+    mean_total: float
+    stdev_total: float
+    min_total: float
+    max_total: float
+
+    @property
+    def spread(self) -> float:
+        """Relative spread (max-min)/mean; workload-seed sensitivity."""
+        return ((self.max_total - self.min_total) / self.mean_total
+                if self.mean_total else 0.0)
+
+
+def run_table_repeated(
+    table: int,
+    seeds: tuple[int, ...],
+    profile: str | ScaleProfile = "tiny",
+    algorithms: tuple[str, ...] = ALGORITHMS,
+    verify: bool = True,
+    data_side_bound: float = 0.004,
+) -> tuple[list[TableResult], list[AggregateRow]]:
+    """Regenerate one table under several workload seeds.
+
+    Returns the per-seed results plus per-algorithm aggregates of total
+    I/O. The paper reports single runs; repeated seeds quantify how
+    seed-sensitive each conclusion is (the benchmark suite asserts the
+    *orderings* are stable, not the exact values).
+    """
+    import statistics
+
+    if not seeds:
+        raise ExperimentError("run_table_repeated needs at least one seed")
+    results = [
+        run_table(table, profile=profile, seed=seed, algorithms=algorithms,
+                  verify=verify, data_side_bound=data_side_bound)
+        for seed in seeds
+    ]
+    aggregates = []
+    for algorithm in algorithms:
+        totals = [r.row(algorithm).summary.total_io for r in results]
+        aggregates.append(AggregateRow(
+            algorithm=algorithm,
+            runs=len(totals),
+            mean_total=statistics.fmean(totals),
+            stdev_total=statistics.stdev(totals) if len(totals) > 1 else 0.0,
+            min_total=min(totals),
+            max_total=max(totals),
+        ))
+    return results, aggregates
+
+
+def run_series(
+    series: int,
+    profile: str | ScaleProfile = "tiny",
+    seed: int = 0,
+    algorithms: tuple[str, ...] = ALGORITHMS,
+    verify: bool = True,
+    data_side_bound: float = 0.004,
+) -> dict[int, TableResult]:
+    """Regenerate every table of a series, sharing ``T_R`` where the
+    paper does (series 1 uses one D_R for all four tables)."""
+    if series not in SERIES_TABLES:
+        raise ExperimentError(f"unknown series {series}; the paper has 1 and 2")
+    prof = profile if isinstance(profile, ScaleProfile) else get_profile(profile)
+    results: dict[int, TableResult] = {}
+    if series == 1:
+        env = _Environment(EXPERIMENTS[1], prof, seed, data_side_bound)
+        for table in SERIES_TABLES[1]:
+            results[table] = _run_spec(
+                env, EXPERIMENTS[table], algorithms, verify
+            )
+    else:
+        for table in SERIES_TABLES[2]:
+            spec = EXPERIMENTS[table]
+            env = _Environment(spec, prof, seed, data_side_bound)
+            results[table] = _run_spec(env, spec, algorithms, verify)
+    return results

@@ -1,0 +1,50 @@
+"""Render regenerated tables, optionally beside the paper's numbers."""
+
+from __future__ import annotations
+
+from ..metrics.report import format_cost_table
+from .paper_data import PAPER_TABLES
+from .profiles import ScaleProfile
+from .runner import TableResult, run_table
+
+
+def format_table(result: TableResult, compare_paper: bool = False) -> str:
+    """One regenerated table in the paper's column layout.
+
+    With ``compare_paper`` the paper's printed rows follow, so shapes can
+    be eyeballed line against line (absolute values differ by the scale
+    profile; ratios and orderings are the reproduction target).
+    """
+    rows = [(r.algorithm, r.summary) for r in result.rows]
+    text = format_cost_table(rows, title=result.title())
+    if not compare_paper:
+        return text
+
+    paper = PAPER_TABLES[result.spec.table]
+    lines = [text, "", f"Paper's Table {result.spec.table} (full scale):"]
+    header = (
+        f"{'Alg.':10s} {'match rd':>9s} {'match wr':>9s} {'cons rd':>8s} "
+        f"{'cons wr':>8s} {'total':>7s} {'bbox(K)':>8s} {'XY(K)':>6s}"
+    )
+    lines.append(header)
+    for r in result.rows:
+        if r.algorithm not in paper:
+            continue
+        m_rd, m_wr, c_rd, c_wr, total, bbox, xy = paper[r.algorithm]
+        lines.append(
+            f"{r.algorithm:10s} {m_rd:9d} {m_wr:9d} {c_rd:8d} "
+            f"{c_wr:8d} {total:7d} {bbox:8d} {xy:6d}"
+        )
+    return "\n".join(lines)
+
+
+def regenerate_table(
+    table: int,
+    profile: str | ScaleProfile = "tiny",
+    seed: int = 0,
+    compare_paper: bool = True,
+    **kwargs,
+) -> str:
+    """Run one paper table and render it (the CLI's ``table`` command)."""
+    result = run_table(table, profile=profile, seed=seed, **kwargs)
+    return format_table(result, compare_paper=compare_paper)

@@ -1,0 +1,12 @@
+"""Planar rectangle algebra and the plane-sweep pair enumeration.
+
+Everything in the library ultimately manipulates axis-aligned minimum
+bounding rectangles (MBRs); this subpackage owns their representation
+(:class:`~repro.geometry.rect.Rect`) and the sweep-line intersection join
+used by the tree-matching algorithm (:mod:`repro.geometry.sweep`).
+"""
+
+from .rect import Rect, union_all
+from .sweep import sweep_pairs
+
+__all__ = ["Rect", "union_all", "sweep_pairs"]

@@ -1,0 +1,131 @@
+"""Plane-sweep enumeration of overlapping rectangle pairs.
+
+This is the *internal-loop* sweep join of Brinkhoff, Kriegel and Seeger
+(SIGMOD 1993), which the paper adopts for its tree-matching component TM:
+both entry lists are sorted on the rectangles' lower x-coordinates and a
+merge-like scan tests only pairs whose x-extents can still overlap, with a
+final y-axis test. Compared to the naive nested loop it dramatically
+reduces the number of overlap tests, which is exactly the quantity the
+paper reports as CPU cost.
+
+The sweep is generic over the element type: callers supply ``rect_of`` to
+extract the :class:`~repro.geometry.rect.Rect` from an element (tree-node
+entries, raw rectangles, ...).
+
+CPU accounting
+--------------
+The paper's "XY" CPU column counts "operations that test whether two
+bounding boxes overlap along the X or Y axis" during tree matching. The
+sweep therefore reports, through an optional ``counters`` object exposing
+an ``xy_tests`` integer attribute:
+
+* one test per x-axis comparison in the inner scan (including the failing
+  comparison that terminates the scan), and
+* one test per y-axis overlap check of a surviving candidate pair.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Sequence, TypeVar
+
+from .rect import Rect
+
+T = TypeVar("T")
+U = TypeVar("U")
+
+_IDENTITY: Callable[[Any], Rect] = lambda x: x  # noqa: E731 - tiny adapter
+
+
+def sweep_pairs(
+    items_a: Sequence[T],
+    items_b: Sequence[U],
+    rect_of: Callable[[Any], Rect] = _IDENTITY,
+    counters: Any | None = None,
+) -> list[tuple[T, U]]:
+    """Return all pairs ``(a, b)`` whose rectangles overlap.
+
+    Elements of ``items_a`` always appear first in the emitted pairs
+    regardless of the interleaving the sweep visits them in. The output
+    order follows the sweep (ascending ``xlo`` of the later-starting
+    element), which the matching algorithm exploits to schedule page
+    accesses in plane-sweep order.
+
+    Parameters
+    ----------
+    items_a, items_b:
+        The two collections to join. They are not modified; sorted copies
+        are made internally.
+    rect_of:
+        Extracts the rectangle from an element. Defaults to the identity,
+        for collections of bare :class:`Rect` objects.
+    counters:
+        Optional object with an ``xy_tests`` attribute (e.g.
+        :class:`repro.metrics.counters.CpuCounters`) that receives the
+        axis-test counts described in the module docstring.
+    """
+    if not items_a or not items_b:
+        return []
+
+    a_sorted = sorted(items_a, key=lambda e: rect_of(e).xlo)
+    b_sorted = sorted(items_b, key=lambda e: rect_of(e).xlo)
+
+    out: list[tuple[T, U]] = []
+    xy = 0
+
+    i = j = 0
+    na, nb = len(a_sorted), len(b_sorted)
+    while i < na and j < nb:
+        ea, eb = a_sorted[i], b_sorted[j]
+        ra, rb = rect_of(ea), rect_of(eb)
+        if ra.xlo <= rb.xlo:
+            # ea is the sweep anchor; scan b entries starting at j.
+            xhi = ra.xhi
+            ylo, yhi = ra.ylo, ra.yhi
+            k = j
+            while k < nb:
+                rk = rect_of(b_sorted[k])
+                xy += 1  # x-axis comparison
+                if rk.xlo > xhi:
+                    break
+                xy += 1  # y-axis overlap check
+                if ylo <= rk.yhi and rk.ylo <= yhi:
+                    out.append((ea, b_sorted[k]))
+                k += 1
+            i += 1
+        else:
+            # eb is the sweep anchor; scan a entries starting at i.
+            xhi = rb.xhi
+            ylo, yhi = rb.ylo, rb.yhi
+            k = i
+            while k < na:
+                rk = rect_of(a_sorted[k])
+                xy += 1
+                if rk.xlo > xhi:
+                    break
+                xy += 1
+                if ylo <= rk.yhi and rk.ylo <= yhi:
+                    out.append((a_sorted[k], eb))
+                k += 1
+            j += 1
+
+    if counters is not None:
+        counters.xy_tests += xy
+    return out
+
+
+def brute_force_pairs(
+    items_a: Sequence[T],
+    items_b: Sequence[U],
+    rect_of: Callable[[Any], Rect] = _IDENTITY,
+) -> list[tuple[T, U]]:
+    """Nested-loop reference implementation of :func:`sweep_pairs`.
+
+    Quadratic; used by tests as an oracle and by the naive join baseline.
+    """
+    out: list[tuple[T, U]] = []
+    for ea in items_a:
+        ra = rect_of(ea)
+        for eb in items_b:
+            if ra.intersects(rect_of(eb)):
+                out.append((ea, eb))
+    return out

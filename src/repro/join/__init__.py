@@ -1,0 +1,48 @@
+"""Spatial-join algorithms.
+
+The three algorithms of the paper's evaluation (Section 4):
+
+* :func:`~repro.join.stj.seeded_tree_join` (**STJ**) — build a seeded
+  tree for the un-indexed data set, then match it against the existing
+  R-tree with TM;
+* :func:`~repro.join.rtj.rtree_join` (**RTJ**) — build an ordinary R-tree
+  at join time, then match with TM;
+* :func:`~repro.join.bfj.brute_force_join` (**BFJ**) — one window query
+  against the existing R-tree per input rectangle.
+
+Plus the tree-matching component TM itself
+(:func:`~repro.join.matching.match_trees`, after [BKS93]), a quadratic
+reference join used as a testing oracle
+(:func:`~repro.join.naive.naive_join`), the two-seeded-tree extension of
+Section 5 (:func:`~repro.join.two_seeded.two_seeded_join`), and the
+:func:`~repro.join.api.spatial_join` facade.
+"""
+
+from .matching import match_trees
+from .bfs_matching import match_trees_bfs
+from .naive import naive_join
+from .result import JoinResult
+from .bfj import brute_force_join
+from .rtj import rtree_join
+from .stj import seeded_tree_join
+from .two_seeded import two_seeded_join
+from .zjoin import z_order_join
+from .api import spatial_join, STJVariant
+from .planner import JoinPlan, plan_join, plan_spatial_join
+
+__all__ = [
+    "match_trees",
+    "match_trees_bfs",
+    "naive_join",
+    "JoinResult",
+    "brute_force_join",
+    "rtree_join",
+    "seeded_tree_join",
+    "two_seeded_join",
+    "z_order_join",
+    "spatial_join",
+    "STJVariant",
+    "JoinPlan",
+    "plan_join",
+    "plan_spatial_join",
+]

@@ -1,0 +1,108 @@
+"""The public join facade and the paper's variant naming scheme.
+
+The paper names its seeded-tree variants like ``STJ1-2F``: flavour 1 or 2
+(STJ1 = copy strategy C3 with update policy U3, STJ2 = C3 with U4), the
+number of seed levels after the hyphen, and a trailing ``F``/``N`` for
+seed-level filtering on/off. :class:`STJVariant` parses and renders those
+names; :func:`spatial_join` accepts them directly, so experiment code can
+say ``spatial_join(data, tree, ..., method="STJ2-3F")`` and get exactly
+the paper's configuration.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+
+from ..config import SystemConfig
+from ..errors import ExperimentError
+from ..metrics import MetricsCollector
+from ..rtree import RTree
+from ..seeded import CopyStrategy, UpdatePolicy
+from ..storage import BufferPool, DataFile
+from .bfj import brute_force_join
+from .result import JoinResult
+from .rtj import rtree_join
+from .stj import seeded_tree_join
+
+_VARIANT_RE = re.compile(r"^STJ([12])-(\d+)([FN])$", re.IGNORECASE)
+
+#: Flavour number -> (copy strategy, update policy), per Section 4.1.
+_FLAVOURS = {
+    1: (CopyStrategy.CENTER_AT_SLOTS, UpdatePolicy.ENCLOSE_DATA_ONLY),
+    2: (CopyStrategy.CENTER_AT_SLOTS, UpdatePolicy.SLOT_WITH_SEED),
+}
+
+
+@dataclass(frozen=True)
+class STJVariant:
+    """One named STJ configuration, e.g. ``STJ1-2N`` or ``STJ2-3F``."""
+
+    flavour: int
+    seed_levels: int
+    filtering: bool
+
+    @classmethod
+    def parse(cls, name: str) -> "STJVariant":
+        match = _VARIANT_RE.match(name.strip())
+        if not match:
+            raise ExperimentError(
+                f"not an STJ variant name: {name!r} (expected e.g. 'STJ1-2F')"
+            )
+        return cls(
+            flavour=int(match.group(1)),
+            seed_levels=int(match.group(2)),
+            filtering=match.group(3).upper() == "F",
+        )
+
+    @property
+    def name(self) -> str:
+        return (
+            f"STJ{self.flavour}-{self.seed_levels}"
+            f"{'F' if self.filtering else 'N'}"
+        )
+
+    @property
+    def copy_strategy(self) -> CopyStrategy:
+        return _FLAVOURS[self.flavour][0]
+
+    @property
+    def update_policy(self) -> UpdatePolicy:
+        return _FLAVOURS[self.flavour][1]
+
+
+def spatial_join(
+    data_s: DataFile,
+    tree_r: RTree,
+    buffer: BufferPool,
+    config: SystemConfig,
+    metrics: MetricsCollector,
+    method: str = "STJ1-2N",
+    **stj_options,
+) -> JoinResult:
+    """Join a derived data set with an R-tree-indexed one.
+
+    ``method`` selects the algorithm: ``"BFJ"``, ``"RTJ"``, a paper
+    variant name like ``"STJ1-2F"``, or plain ``"STJ"`` (which uses the
+    keyword arguments of :func:`~repro.join.stj.seeded_tree_join`).
+    """
+    upper = method.strip().upper()
+    if upper == "BFJ":
+        return brute_force_join(data_s, tree_r, metrics)
+    if upper == "RTJ":
+        return rtree_join(data_s, tree_r, buffer, config, metrics)
+    if upper == "STJ":
+        return seeded_tree_join(
+            data_s, tree_r, buffer, config, metrics, **stj_options
+        )
+    variant = STJVariant.parse(upper)
+    result = seeded_tree_join(
+        data_s, tree_r, buffer, config, metrics,
+        copy_strategy=variant.copy_strategy,
+        update_policy=variant.update_policy,
+        seed_levels=variant.seed_levels,
+        filtering=variant.filtering,
+        **stj_options,
+    )
+    result.algorithm = variant.name
+    return result

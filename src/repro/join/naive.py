@@ -1,0 +1,27 @@
+"""Quadratic reference join — the correctness oracle.
+
+Not one of the paper's algorithms; it exists so every other join can be
+checked against an implementation too simple to be wrong. No I/O or CPU
+accounting is attached.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from ..geometry import Rect
+from .result import JoinResult
+
+
+def naive_join(
+    data_s: Iterable[tuple[Rect, int]],
+    data_r: Iterable[tuple[Rect, int]],
+) -> JoinResult:
+    """All (oid_s, oid_r) pairs with overlapping rectangles, by brute force."""
+    list_r = list(data_r)
+    pairs = []
+    for rect_s, oid_s in data_s:
+        for rect_r, oid_r in list_r:
+            if rect_s.intersects(rect_r):
+                pairs.append((oid_s, oid_r))
+    return JoinResult(pairs=pairs, index=None, algorithm="naive")

@@ -1,0 +1,35 @@
+"""The common result record of all join algorithms."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+#: One join answer: (oid from the derived data set D_S, oid from D_R).
+JoinPair = tuple[int, int]
+
+
+@dataclass
+class JoinResult:
+    """What a join algorithm hands back.
+
+    ``pairs`` always orients answers as (D_S object id, D_R object id) so
+    results from different algorithms compare directly. ``index`` is the
+    join-time structure an algorithm built (a seeded tree or R-tree),
+    retained because Section 5 notes it can serve later selections; BFJ
+    builds nothing and leaves it ``None``.
+    """
+
+    pairs: list[JoinPair] = field(default_factory=list)
+    index: Any | None = None
+    algorithm: str = ""
+
+    def __len__(self) -> int:
+        return len(self.pairs)
+
+    def pair_set(self) -> set[JoinPair]:
+        """Deduplicated answers, for comparisons between algorithms."""
+        return set(self.pairs)
+
+    def __repr__(self) -> str:
+        return f"JoinResult({self.algorithm or 'join'}: {len(self.pairs)} pairs)"

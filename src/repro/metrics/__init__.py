@@ -1,0 +1,22 @@
+"""Cost accounting: disk I/O per phase and CPU overlap-test counters.
+
+The paper evaluates algorithms by (a) disk accesses, split into tree
+*construction* and tree *matching* phases, with sequential accesses worth
+1/30 of a random access, and (b) CPU cost measured as counts of overlap
+tests ("bbox" tests during construction, "XY" axis tests during matching).
+This subpackage reproduces that accounting verbatim so experiment output
+can be laid out exactly like the paper's Tables 1-8.
+"""
+
+from .counters import CpuCounters, IoCounters
+from .collector import CostSummary, MetricsCollector, Phase
+from .report import format_cost_table
+
+__all__ = [
+    "CpuCounters",
+    "IoCounters",
+    "CostSummary",
+    "MetricsCollector",
+    "Phase",
+    "format_cost_table",
+]

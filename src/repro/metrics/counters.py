@@ -1,0 +1,78 @@
+"""Plain counter records for disk and CPU cost accounting."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass
+class IoCounters:
+    """Raw disk-access counts for one phase.
+
+    ``random_*`` and ``sequential_*`` are counts of page accesses; the
+    paper's cost metric weighs a sequential access at 1/30 of a random one
+    (see :meth:`repro.config.SystemConfig.io_cost`).
+    """
+
+    random_reads: int = 0
+    sequential_reads: int = 0
+    random_writes: int = 0
+    sequential_writes: int = 0
+
+    def read_cost(self, sequential_cost: float) -> float:
+        """Effective read cost in random-access units."""
+        return self.random_reads + self.sequential_reads * sequential_cost
+
+    def write_cost(self, sequential_cost: float) -> float:
+        """Effective write cost in random-access units."""
+        return self.random_writes + self.sequential_writes * sequential_cost
+
+    def total_cost(self, sequential_cost: float) -> float:
+        return self.read_cost(sequential_cost) + self.write_cost(sequential_cost)
+
+    @property
+    def total_accesses(self) -> int:
+        """Raw number of page accesses, ignoring the cost weighting."""
+        return (
+            self.random_reads
+            + self.sequential_reads
+            + self.random_writes
+            + self.sequential_writes
+        )
+
+    def merged_with(self, other: "IoCounters") -> "IoCounters":
+        return IoCounters(
+            self.random_reads + other.random_reads,
+            self.sequential_reads + other.sequential_reads,
+            self.random_writes + other.random_writes,
+            self.sequential_writes + other.sequential_writes,
+        )
+
+
+@dataclass
+class CpuCounters:
+    """CPU cost expressed as overlap-test counts, as in the paper.
+
+    Attributes
+    ----------
+    bbox_tests:
+        Bounding-box tests performed during tree construction: overlap
+        tests, area-enlargement evaluations of candidate children, and
+        seed-level filter probes (the paper's "bbox" column).
+    xy_tests:
+        Single-axis overlap comparisons performed by the plane sweep
+        during tree matching (the paper's "XY" column).
+    """
+
+    bbox_tests: int = 0
+    xy_tests: int = 0
+
+    @property
+    def bbox_k(self) -> float:
+        """bbox tests in thousands (the unit of the paper's tables)."""
+        return self.bbox_tests / 1000.0
+
+    @property
+    def xy_k(self) -> float:
+        """XY tests in thousands (the unit of the paper's tables)."""
+        return self.xy_tests / 1000.0

@@ -1,0 +1,140 @@
+"""Rendering of paper-style cost tables.
+
+Tables 1-8 of the paper share one layout::
+
+              |            I/O costs                  | CPU costs (K tests)
+    Alg.      | match rd | wr | construct rd | wr | total | bbox | XY
+
+:func:`format_cost_table` renders a list of ``(name, CostSummary)`` rows
+in that layout; the experiment harness and the benchmark suite both use it
+so printed output can be compared line-by-line with the paper.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from .collector import CostSummary
+
+_HEADERS = (
+    "Alg.",
+    "match rd",
+    "match wr",
+    "cons rd",
+    "cons wr",
+    "total",
+    "bbox(K)",
+    "XY(K)",
+)
+
+
+def _row_cells(name: str, s: CostSummary) -> tuple[str, ...]:
+    return (
+        name,
+        f"{s.match_read:.0f}",
+        f"{s.match_write:.0f}",
+        f"{s.construct_read:.0f}",
+        f"{s.construct_write:.0f}",
+        f"{s.total_io:.0f}",
+        f"{s.bbox_k:.0f}",
+        f"{s.xy_k:.0f}",
+    )
+
+
+def format_cost_table(
+    rows: Sequence[tuple[str, CostSummary]], title: str | None = None
+) -> str:
+    """Render rows as an aligned text table in the paper's column layout."""
+    cells = [_HEADERS] + [_row_cells(name, summary) for name, summary in rows]
+    widths = [max(len(row[i]) for row in cells) for i in range(len(_HEADERS))]
+
+    def fmt(row: Iterable[str]) -> str:
+        return "  ".join(cell.rjust(w) for cell, w in zip(row, widths))
+
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(fmt(cells[0]))
+    lines.append("  ".join("-" * w for w in widths))
+    lines.extend(fmt(row) for row in cells[1:])
+    return "\n".join(lines)
+
+
+def format_series(
+    x_label: str,
+    x_values: Sequence[object],
+    series: Sequence[tuple[str, Sequence[float]]],
+    title: str | None = None,
+) -> str:
+    """Render figure data (one line per algorithm) as a CSV-like table.
+
+    Used for Figures 6-11, which plot one I/O metric against the x-axis
+    variable (``||D_S||`` or the cover quotient).
+    """
+    lines = []
+    if title:
+        lines.append(title)
+    header = [x_label] + [str(x) for x in x_values]
+    lines.append(", ".join(header))
+    for name, values in series:
+        lines.append(", ".join([name] + [f"{v:.0f}" for v in values]))
+    return "\n".join(lines)
+
+
+def format_ascii_chart(
+    x_values: Sequence[object],
+    series: Sequence[tuple[str, Sequence[float]]],
+    height: int = 16,
+    title: str | None = None,
+) -> str:
+    """A terminal rendition of a figure: one marker letter per series.
+
+    Each series gets the first letter of its name (upper-cased, with
+    later same-letter series falling back to digits); points that land
+    on the same cell show the later series' marker. Good enough to see
+    crossovers and divergence at a glance in the CLI output.
+    """
+    if height < 2:
+        raise ValueError("chart height must be at least 2")
+    points = [
+        (name, [float(v) for v in values]) for name, values in series
+    ]
+    all_values = [v for _, values in points for v in values]
+    if not all_values:
+        return title or ""
+    top = max(all_values) or 1.0
+
+    markers: list[str] = []
+    used: set[str] = set()
+    for i, (name, _) in enumerate(points):
+        mark = name[0].upper() if name else "?"
+        if mark in used:
+            mark = str(i % 10)
+        used.add(mark)
+        markers.append(mark)
+
+    columns = len(x_values)
+    col_width = 6
+    grid = [[" "] * (columns * col_width) for _ in range(height)]
+    for (name, values), mark in zip(points, markers):
+        for col, value in enumerate(values[:columns]):
+            row = height - 1 - int(value / top * (height - 1))
+            grid[row][col * col_width + col_width // 2] = mark
+
+    lines = []
+    if title:
+        lines.append(title)
+    for i, row in enumerate(grid):
+        label = f"{top * (height - 1 - i) / (height - 1):10.0f} |"
+        lines.append(label + "".join(row))
+    axis = " " * 10 + " +" + "-" * (columns * col_width)
+    lines.append(axis)
+    x_labels = "".join(
+        f"{str(x):^{col_width}s}" for x in x_values
+    )
+    lines.append(" " * 12 + x_labels)
+    legend = "  ".join(
+        f"{mark}={name}" for (name, _), mark in zip(points, markers)
+    )
+    lines.append(" " * 12 + legend)
+    return "\n".join(lines)

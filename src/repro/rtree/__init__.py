@@ -1,0 +1,38 @@
+"""The R-tree substrate (Guttman 1984, original structure).
+
+The paper assumes "a system in which the R-tree is the main type of
+spatial index" and deliberately uses the original R-tree rather than any
+variant. This subpackage provides:
+
+* :class:`~repro.rtree.rtree.RTree` — a fully dynamic R-tree whose every
+  node access goes through the buffer pool, so building one at join time
+  (algorithm RTJ) exhibits exactly the buffer-miss behaviour the paper
+  studies;
+* Guttman's quadratic node split plus the cheaper linear variant
+  (:mod:`repro.rtree.split`);
+* STR bulk loading (:mod:`repro.rtree.bulk`) as a post-paper baseline used
+  in ablation benchmarks.
+"""
+
+from .node import Entry, Node, node_mbr
+from .rtree import RTree
+from .bulk import bulk_load_str
+from .rstar import rstar_split
+from .split import linear_split, quadratic_split
+from .persist import dump_tree, load_tree
+from .stats import collect_tree_stats, pairing_degree
+
+__all__ = [
+    "Entry",
+    "Node",
+    "node_mbr",
+    "RTree",
+    "bulk_load_str",
+    "rstar_split",
+    "linear_split",
+    "quadratic_split",
+    "dump_tree",
+    "load_tree",
+    "collect_tree_stats",
+    "pairing_degree",
+]

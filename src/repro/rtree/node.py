@@ -1,0 +1,82 @@
+"""R-tree node and entry types.
+
+A node at *level 0* is a leaf whose entries reference object ids; a node
+at level ``L > 0`` references child nodes at level ``L - 1`` by page id.
+This matches the paper's description: non-leaf entries are ``(mbr, cp)``
+pairs, leaf entries are ``(mbr, oid)`` pairs.
+
+Seeded trees reuse these types for their grown nodes, and extend
+:class:`Entry` with the optional ``shadow`` field used by seed-level
+filtering (Section 3.2) — the field exists on every entry but is ``None``
+outside seed nodes, costing one slot per entry.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from ..geometry import Rect, union_all
+
+
+class Entry:
+    """One (mbr, ref) pair.
+
+    ``ref`` is a child page id in a non-leaf node and an object id in a
+    leaf. Two extra fields exist only for seed-node entries:
+
+    * ``shadow`` — the unmodified seeding-tree bounding box used by
+      seed-level filtering (Section 3.2); ``None`` otherwise.
+    * ``touched`` — whether the box was updated since seeding; the
+      data-only update policies U3/U5 replace the seed value on the first
+      update and union afterwards, so they must remember this.
+    """
+
+    __slots__ = ("mbr", "ref", "shadow", "touched")
+
+    def __init__(self, mbr: Rect, ref: int, shadow: Rect | None = None):
+        self.mbr = mbr
+        self.ref = ref
+        self.shadow = shadow
+        self.touched = False
+
+    def __repr__(self) -> str:
+        return f"Entry(mbr={self.mbr!r}, ref={self.ref})"
+
+
+class Node:
+    """One R-tree (or seeded-tree) node, occupying one page.
+
+    ``page_id`` is assigned when the node is registered with the buffer
+    pool; a value of ``-1`` marks a node not yet materialised.
+    """
+
+    __slots__ = ("page_id", "level", "entries")
+
+    def __init__(self, level: int, entries: list[Entry] | None = None,
+                 page_id: int = -1):
+        self.level = level
+        self.entries = entries if entries is not None else []
+        self.page_id = page_id
+
+    @property
+    def is_leaf(self) -> bool:
+        return self.level == 0
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    def __repr__(self) -> str:
+        return (
+            f"Node(page={self.page_id}, level={self.level}, "
+            f"entries={len(self.entries)})"
+        )
+
+
+def node_mbr(node: Node) -> Rect:
+    """True minimum bounding rectangle of a node's entries."""
+    return union_all(e.mbr for e in node.entries)
+
+
+def entries_mbr(entries: Iterable[Entry]) -> Rect:
+    """MBR of a plain entry collection (used while splitting)."""
+    return union_all(e.mbr for e in entries)

@@ -1,0 +1,176 @@
+"""Tree-quality statistics.
+
+The paper's Figure 1 argues that a tree *optimised for spatial
+selection* (minimal bounding-box areas) is not necessarily *optimised
+for spatial join* (bounding boxes aligned with the partner tree's, so
+each node pairs with few partner nodes). These metrics quantify both
+views and let experiments show the mechanism, not just the outcome:
+
+* classic selection-oriented quality: node fill, total area and margin
+  per level, overlap among sibling boxes (dead space proxies);
+* join-oriented quality: for two trees, the number of node pairs TM must
+  visit — the *pairing degree* — computed level by level.
+
+Works on anything with the tree duck-type (``root_id``,
+``_node_unaccounted``): both :class:`~repro.rtree.rtree.RTree` and
+:class:`~repro.seeded.tree.SeededTree`. All access is unaccounted — the
+statistics are analysis, not workload.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from ..geometry import Rect, sweep_pairs
+from .node import Node, node_mbr
+
+
+@dataclass(frozen=True)
+class LevelStats:
+    """Aggregates over all nodes of one level."""
+
+    level: int
+    nodes: int
+    entries: int
+    total_area: float
+    total_margin: float
+    overlap_area: float       # pairwise intersection among the level's boxes
+
+    @property
+    def average_fill(self) -> float:
+        return self.entries / self.nodes if self.nodes else 0.0
+
+
+@dataclass(frozen=True)
+class TreeStats:
+    """Selection-oriented quality summary of one tree."""
+
+    num_nodes: int
+    num_objects: int
+    height: int
+    levels: tuple[LevelStats, ...] = field(default=())
+
+    def level(self, level: int) -> LevelStats:
+        for ls in self.levels:
+            if ls.level == level:
+                return ls
+        raise KeyError(level)
+
+
+def _walk(tree: Any):
+    stack = [tree.root_id]
+    while stack:
+        node: Node = tree._node_unaccounted(stack.pop())
+        yield node
+        if not node.is_leaf:
+            stack.extend(e.ref for e in node.entries)
+
+
+def collect_tree_stats(tree: Any) -> TreeStats:
+    """Selection-oriented quality metrics for one finished tree."""
+    by_level: dict[int, list[Node]] = {}
+    num_objects = 0
+    for node in _walk(tree):
+        by_level.setdefault(node.level, []).append(node)
+        if node.is_leaf:
+            num_objects += len(node.entries)
+
+    levels = []
+    for level in sorted(by_level):
+        nodes = by_level[level]
+        boxes = [node_mbr(n) for n in nodes if n.entries]
+        overlap = 0.0
+        for a, b in sweep_pairs(boxes, boxes):
+            if a is b:
+                continue
+            inter = a.intersection(b)
+            if inter is not None:
+                overlap += inter.area()
+        overlap /= 2.0  # each unordered pair was seen twice
+        levels.append(
+            LevelStats(
+                level=level,
+                nodes=len(nodes),
+                entries=sum(len(n.entries) for n in nodes),
+                total_area=sum(b.area() for b in boxes),
+                total_margin=sum(b.margin() for b in boxes),
+                overlap_area=overlap,
+            )
+        )
+    height = max(by_level) + 1 if by_level else 0
+    return TreeStats(
+        num_nodes=sum(len(v) for v in by_level.values()),
+        num_objects=num_objects,
+        height=height,
+        levels=tuple(levels),
+    )
+
+
+def pairing_degree(tree_a: Any, tree_b: Any) -> int:
+    """Number of node pairs TM would visit matching the two trees.
+
+    This is the join-oriented quality metric behind the paper's Figure 1
+    (a tree aligned with its partner pairs each of its nodes with fewer
+    partner nodes). Computed by the same recursion as TM, without any
+    I/O or result collection. Note that raw pairing counts are only one
+    ingredient of match-time I/O — buffer locality and node counts
+    matter too — so treat this as a diagnostic, not a scoreboard.
+    """
+    count = 0
+
+    def descend(page_a: int, page_b: int) -> None:
+        nonlocal count
+        count += 1
+        node_a: Node = tree_a._node_unaccounted(page_a)
+        node_b: Node = tree_b._node_unaccounted(page_b)
+        if node_a.is_leaf and node_b.is_leaf:
+            return
+        if node_a.is_leaf:
+            window = node_mbr(node_a)
+            for e in node_b.entries:
+                if e.mbr.intersects(window):
+                    descend(page_a, e.ref)
+            return
+        if node_b.is_leaf:
+            window = node_mbr(node_b)
+            for e in node_a.entries:
+                if e.mbr.intersects(window):
+                    descend(e.ref, page_b)
+            return
+        box = node_mbr(node_a).intersection(node_mbr(node_b))
+        if box is None:
+            return
+        cand_a = [e for e in node_a.entries if e.mbr.intersects(box)]
+        cand_b = [e for e in node_b.entries if e.mbr.intersects(box)]
+        for ea, eb in sweep_pairs(cand_a, cand_b, rect_of=lambda e: e.mbr):
+            descend(ea.ref, eb.ref)
+
+    root_a = tree_a._node_unaccounted(tree_a.root_id)
+    root_b = tree_b._node_unaccounted(tree_b.root_id)
+    if not root_a.entries or not root_b.entries:
+        return 0
+    descend(tree_a.root_id, tree_b.root_id)
+    return count
+
+
+def format_tree_stats(stats: TreeStats, title: str = "") -> str:
+    """Render a per-level quality table."""
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(
+        f"{'lvl':>3s} {'nodes':>6s} {'fill':>6s} {'area':>10s} "
+        f"{'margin':>10s} {'overlap':>10s}"
+    )
+    for ls in stats.levels:
+        lines.append(
+            f"{ls.level:3d} {ls.nodes:6d} {ls.average_fill:6.1f} "
+            f"{ls.total_area:10.4f} {ls.total_margin:10.3f} "
+            f"{ls.overlap_area:10.4f}"
+        )
+    lines.append(
+        f"total: {stats.num_nodes} nodes, {stats.num_objects} objects, "
+        f"height {stats.height}"
+    )
+    return "\n".join(lines)

@@ -1,0 +1,24 @@
+"""Seeded trees — the paper's primary contribution (Sections 2 and 3).
+
+A seeded tree is an R-tree-like index constructed *at join time* for a
+data set that has no pre-computed index. Its top ``k`` levels (the *seed
+levels*) are copied from the join partner's R-tree, so the tree grows into
+a shape aligned with the other operand; the bottom levels (*grown levels*)
+form an R-tree forest hanging off the *slots* of the last seed level.
+
+The pieces:
+
+* :mod:`~repro.seeded.policies` — seed-copy strategies C1-C3 and
+  bounding-box update policies U1-U5;
+* :class:`~repro.seeded.tree.SeededTree` — the seeding / growing /
+  clean-up lifecycle;
+* :mod:`~repro.seeded.linked_lists` — the intermediate linked-list
+  construction of Section 3.1 that trades random buffer-miss I/O for
+  sequential batch I/O;
+* :mod:`~repro.seeded.filtering` — seed-level filtering (Section 3.2).
+"""
+
+from .policies import CopyStrategy, UpdatePolicy
+from .tree import SeededTree
+
+__all__ = ["CopyStrategy", "UpdatePolicy", "SeededTree"]

@@ -1,0 +1,111 @@
+"""Seed-node copy strategies and bounding-box update policies.
+
+Section 2.1 of the paper studies three ways of deriving the seed nodes'
+bounding-box fields from the seeding tree:
+
+* **C1** — copy the minimal bounding boxes unchanged.
+* **C2** — copy only the *center points* of the minimal bounding boxes
+  (stored as degenerate rectangles).
+* **C3** — at the slot level copy center points; at the levels above,
+  store the true minimum bounding box of the node's (already transformed)
+  children.
+
+Section 2.2 studies five policies for updating the traversed seed
+bounding boxes after each insertion:
+
+* **U1** — never update.
+* **U2** — update every traversed box to enclose the inserted object *and*
+  the original seed box.
+* **U3** — update every traversed box to enclose only the inserted data
+  (the first insertion replaces the seed value).
+* **U4** — like U2, but only at the slot level.
+* **U5** — like U3, but only at the slot level.
+
+The paper's experiments find C2/C3 and U3/U4/U5 consistently best, and
+its reported variants are STJ1 = (C3, U3) and STJ2 = (C3, U4).
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+
+from ..geometry import Rect
+from ..rtree.node import Entry
+
+
+class CopyStrategy(Enum):
+    """How seeding copies bounding boxes from the seeding tree."""
+
+    MBR = "C1"
+    CENTER = "C2"
+    CENTER_AT_SLOTS = "C3"
+
+    @classmethod
+    def parse(cls, text: str) -> "CopyStrategy":
+        """Accept the paper's names ("C1".."C3") or enum member names."""
+        text = text.strip().upper()
+        for member in cls:
+            if member.value == text or member.name == text:
+                return member
+        raise ValueError(f"unknown copy strategy {text!r}")
+
+
+class UpdatePolicy(Enum):
+    """How traversed seed bounding boxes react to each insertion."""
+
+    NONE = "U1"
+    ENCLOSE_WITH_SEED = "U2"
+    ENCLOSE_DATA_ONLY = "U3"
+    SLOT_WITH_SEED = "U4"
+    SLOT_DATA_ONLY = "U5"
+
+    @classmethod
+    def parse(cls, text: str) -> "UpdatePolicy":
+        """Accept the paper's names ("U1".."U5") or enum member names."""
+        text = text.strip().upper()
+        for member in cls:
+            if member.value == text or member.name == text:
+                return member
+        raise ValueError(f"unknown update policy {text!r}")
+
+    @property
+    def updates_all_levels(self) -> bool:
+        return self in (UpdatePolicy.ENCLOSE_WITH_SEED,
+                        UpdatePolicy.ENCLOSE_DATA_ONLY)
+
+    @property
+    def updates_slot_level(self) -> bool:
+        return self is not UpdatePolicy.NONE
+
+    @property
+    def encloses_seed_box(self) -> bool:
+        """True when updated boxes keep enclosing the original seed value."""
+        return self in (UpdatePolicy.ENCLOSE_WITH_SEED,
+                        UpdatePolicy.SLOT_WITH_SEED)
+
+
+def apply_update(
+    policy: UpdatePolicy,
+    entry: Entry,
+    rect: Rect,
+    at_slot_level: bool,
+) -> bool:
+    """Apply ``policy`` to one traversed seed entry after inserting ``rect``.
+
+    Uses ``entry.touched`` to tell whether the box was updated since
+    seeding — the data-only policies (U3/U5) *replace* the seed value on
+    the first update and union afterwards. Returns True when the entry's
+    box was modified.
+    """
+    if policy is UpdatePolicy.NONE:
+        return False
+    if not at_slot_level and not policy.updates_all_levels:
+        return False
+    if policy.encloses_seed_box or entry.touched:
+        entry.mbr = entry.mbr.union(rect)
+    else:
+        # First data-only update: the box becomes the inserted rectangle,
+        # dropping the seed value entirely (U3/U5 semantics).
+        entry.mbr = Rect(rect.xlo, rect.ylo, rect.xhi, rect.yhi)
+    entry.touched = True
+    return True

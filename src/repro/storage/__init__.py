@@ -1,0 +1,23 @@
+"""Simulated storage stack: disk, buffer pool, page codec, data files.
+
+The paper's evaluation metric is disk-access counts under a fixed physical
+design (1 KiB pages, a dedicated 512-page buffer, sequential accesses worth
+1/30 of a random access). This subpackage simulates exactly that machinery:
+
+* :class:`~repro.storage.disk.DiskSimulator` — the page store; classifies
+  every access as random or sequential and reports it to the metrics
+  collector under the current phase.
+* :class:`~repro.storage.buffer.BufferPool` — LRU page cache with pinning
+  and dirty-page write-back; all tree-node traffic goes through it.
+* :mod:`~repro.storage.codec` — ``struct``-based page layouts proving the
+  configured fan-outs actually fit the configured page size.
+* :class:`~repro.storage.datafile.DataFile` — sequential input files of
+  (bbox, oid) entries, scanned with sequential I/O.
+"""
+
+from .pager import Page, PageKind
+from .disk import DiskSimulator
+from .buffer import BufferPool
+from .datafile import DataFile
+
+__all__ = ["Page", "PageKind", "DiskSimulator", "BufferPool", "DataFile"]

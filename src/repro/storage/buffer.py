@@ -1,0 +1,281 @@
+"""The dedicated buffer pool.
+
+The paper assumes "a dedicated buffer of 512 pages" shared by tree
+construction and tree matching, with these behaviours (Section 4):
+
+* pages holding newly created tree nodes are dirty and must be written to
+  disk before their frames can be re-used;
+* the buffer is *not* purged between construction and matching, so matching
+  starts with a warm cache;
+* dirty pages evicted during matching cause disk writes that show up in the
+  match-phase ``wr`` column (but are attributed to construction when the
+  paper splits costs per phase).
+
+:class:`BufferPool` implements an LRU cache with pin counts over a
+:class:`~repro.storage.disk.DiskSimulator`. All accounting falls out of the
+disk's own classification: a miss triggers ``disk.read``, an eviction of a
+dirty page triggers ``disk.write``.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Any, Iterator
+
+from ..errors import BufferFullError, PinError, StorageError
+from .disk import DiskSimulator
+from .pager import Page, PageKind
+
+
+@dataclass
+class BufferStats:
+    """Hit/miss/eviction statistics (not part of the paper's cost model)."""
+
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+    dirty_writebacks: int = 0
+
+    @property
+    def hit_ratio(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+
+class _Frame:
+    __slots__ = ("page", "dirty", "pin_count", "referenced")
+
+    def __init__(self, page: Page, dirty: bool):
+        self.page = page
+        self.dirty = dirty
+        self.pin_count = 0
+        self.referenced = False
+
+
+class BufferPool:
+    """Fixed-capacity page cache with pinning and write-back.
+
+    Replacement policy is pluggable — ``"lru"`` (the default, and what
+    the paper's buffer manager is assumed to be), ``"fifo"``, or
+    ``"clock"`` (second chance). The experiments all run LRU; the
+    alternatives exist for the buffer-policy ablation benchmark.
+    """
+
+    POLICIES = ("lru", "fifo", "clock")
+
+    def __init__(self, capacity: int, disk: DiskSimulator,
+                 policy: str = "lru"):
+        if capacity < 1:
+            raise StorageError("buffer capacity must be at least 1 page")
+        if policy not in self.POLICIES:
+            raise StorageError(
+                f"unknown replacement policy {policy!r}; "
+                f"choose from {self.POLICIES}"
+            )
+        self.capacity = capacity
+        self.disk = disk
+        self.policy = policy
+        self.stats = BufferStats()
+        # Eviction order: least recently used first (LRU), insertion
+        # order (FIFO), or clock-hand order with reference bits (CLOCK).
+        self._frames: "OrderedDict[int, _Frame]" = OrderedDict()
+
+    # ----------------------------------------------------------------- #
+    # Core operations
+    # ----------------------------------------------------------------- #
+
+    def fetch(self, page_id: int, pin: bool = False) -> Page:
+        """Return the page, reading it from disk on a miss."""
+        frame = self._frames.get(page_id)
+        if frame is not None:
+            self.stats.hits += 1
+            if self.policy == "lru":
+                self._frames.move_to_end(page_id)
+            elif self.policy == "clock":
+                frame.referenced = True
+        else:
+            self.stats.misses += 1
+            page = self.disk.read(page_id)
+            frame = self._admit(page, dirty=False)
+        if pin:
+            frame.pin_count += 1
+        return frame.page
+
+    def new_page(self, kind: PageKind, payload: Any, pin: bool = False) -> Page:
+        """Create a page in the buffer (no I/O yet; it is born dirty)."""
+        page_id = self.disk.allocate()
+        page = Page(page_id, kind, payload)
+        frame = self._admit(page, dirty=True)
+        if pin:
+            frame.pin_count += 1
+        return page
+
+    def adopt(self, page: Page, dirty: bool = True, pin: bool = False) -> None:
+        """Place an externally created page into the buffer.
+
+        Used by the seeding phase, which builds seed nodes in memory from
+        ``T_R``'s pages, and by linked-list code that assembles pages
+        before registering them.
+        """
+        if page.page_id in self._frames:
+            raise StorageError(f"page {page.page_id} is already buffered")
+        frame = self._admit(page, dirty=dirty)
+        if pin:
+            frame.pin_count += 1
+
+    def mark_dirty(self, page_id: int) -> None:
+        frame = self._frames.get(page_id)
+        if frame is None:
+            raise StorageError(f"page {page_id} is not resident")
+        frame.dirty = True
+
+    # ----------------------------------------------------------------- #
+    # Pinning
+    # ----------------------------------------------------------------- #
+
+    def pin(self, page_id: int) -> None:
+        frame = self._frames.get(page_id)
+        if frame is None:
+            raise StorageError(f"cannot pin non-resident page {page_id}")
+        frame.pin_count += 1
+
+    def unpin(self, page_id: int) -> None:
+        frame = self._frames.get(page_id)
+        if frame is None:
+            raise PinError(f"cannot unpin non-resident page {page_id}")
+        if frame.pin_count <= 0:
+            raise PinError(f"page {page_id} is not pinned")
+        frame.pin_count -= 1
+
+    def pin_count(self, page_id: int) -> int:
+        frame = self._frames.get(page_id)
+        return frame.pin_count if frame is not None else 0
+
+    # ----------------------------------------------------------------- #
+    # Explicit write-back / discard
+    # ----------------------------------------------------------------- #
+
+    def flush_page(self, page_id: int) -> None:
+        """Write one dirty page back to disk (it stays resident, clean)."""
+        frame = self._frames.get(page_id)
+        if frame is None:
+            raise StorageError(f"page {page_id} is not resident")
+        if frame.dirty:
+            self.disk.write(frame.page)
+            frame.dirty = False
+
+    def flush_all(self) -> None:
+        """Write back every dirty resident page (pages stay resident)."""
+        for frame in self._frames.values():
+            if frame.dirty:
+                self.disk.write(frame.page)
+                frame.dirty = False
+
+    def drop(self, page_id: int, write_back: bool = False) -> None:
+        """Remove a page from the buffer without the usual eviction write.
+
+        The linked-list batch flush (Section 3.1) persists whole lists with
+        one sequential ``write_run`` and then *drops* the frames — paying
+        the eviction write here as well would double-charge the I/O.
+        """
+        frame = self._frames.get(page_id)
+        if frame is None:
+            return
+        if frame.pin_count > 0:
+            raise PinError(f"cannot drop pinned page {page_id}")
+        if write_back and frame.dirty:
+            self.disk.write(frame.page)
+        del self._frames[page_id]
+
+    def purge(self) -> None:
+        """Empty the buffer, writing dirty pages back first.
+
+        Experiments call this between the setup phase (building ``T_R``)
+        and the join so the join starts with a cold cache, exactly like
+        the paper's protocol.
+        """
+        self.flush_all()
+        if any(f.pin_count for f in self._frames.values()):
+            raise PinError("cannot purge: some pages are pinned")
+        self._frames.clear()
+
+    # ----------------------------------------------------------------- #
+    # Internals
+    # ----------------------------------------------------------------- #
+
+    def _admit(self, page: Page, dirty: bool) -> _Frame:
+        while len(self._frames) >= self.capacity:
+            self._evict_one()
+        frame = _Frame(page, dirty)
+        self._frames[page.page_id] = frame
+        return frame
+
+    def _evict_one(self) -> None:
+        victim = self._pick_victim()
+        if victim is None:
+            raise BufferFullError(
+                f"all {len(self._frames)} buffered pages are pinned"
+            )
+        frame = self._frames[victim]
+        if frame.dirty:
+            self.disk.write(frame.page)
+            self.stats.dirty_writebacks += 1
+        self.stats.evictions += 1
+        del self._frames[victim]
+
+    def _pick_victim(self) -> int | None:
+        """First evictable frame under the configured policy."""
+        if self.policy in ("lru", "fifo"):
+            # The OrderedDict is already in eviction order: access
+            # recency for LRU (move_to_end on hit), admission order for
+            # FIFO (never reordered).
+            for page_id, frame in self._frames.items():
+                if frame.pin_count == 0:
+                    return page_id
+            return None
+        # CLOCK: sweep, giving referenced frames a second chance by
+        # rotating them behind the hand; two full sweeps guarantee a
+        # victim if any frame is unpinned.
+        for _ in range(2 * len(self._frames)):
+            page_id, frame = next(iter(self._frames.items()))
+            if frame.pin_count > 0:
+                self._frames.move_to_end(page_id)
+                continue
+            if frame.referenced:
+                frame.referenced = False
+                self._frames.move_to_end(page_id)
+                continue
+            return page_id
+        return None
+
+    # ----------------------------------------------------------------- #
+    # Inspection
+    # ----------------------------------------------------------------- #
+
+    def __contains__(self, page_id: int) -> bool:
+        return page_id in self._frames
+
+    def __len__(self) -> int:
+        return len(self._frames)
+
+    @property
+    def free_frames(self) -> int:
+        return self.capacity - len(self._frames)
+
+    def resident_ids(self) -> Iterator[int]:
+        """Resident page ids in LRU order (least recent first)."""
+        return iter(self._frames.keys())
+
+    def is_dirty(self, page_id: int) -> bool:
+        frame = self._frames.get(page_id)
+        return bool(frame and frame.dirty)
+
+    def peek(self, page_id: int) -> Page | None:
+        """Resident page without touching LRU order or statistics.
+
+        For tests and tree-introspection helpers that must not perturb
+        the cost accounting.
+        """
+        frame = self._frames.get(page_id)
+        return frame.page if frame is not None else None

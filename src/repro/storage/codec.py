@@ -1,0 +1,154 @@
+"""Byte-level page layouts.
+
+The simulator keeps page payloads as live Python objects for speed, but
+the configured physical design (16-byte bounding boxes, 4-byte pointers,
+1 KiB pages, fan-out 50) must actually be realisable. This module defines
+the on-disk layouts with :mod:`struct` and is exercised by the test suite
+to prove that every configured capacity fits in a configured page:
+
+* **Tree node page** — a 24-byte header (magic, node kind, level, entry
+  count) followed by ``count`` entries of four ``float32`` coordinates and
+  one ``uint32`` child-pointer / object id: 20 bytes per entry, exactly the
+  paper's 16-byte bbox + 4-byte pointer.
+* **Data / linked-list page** — the same header plus an ``int64`` next-page
+  pointer, followed by (bbox, oid) entries.
+
+Coordinates are stored as IEEE-754 single precision, so a decode returns
+values rounded to ``float32``; callers that need exact round-trips should
+quantise first (see :func:`quantize`).
+"""
+
+from __future__ import annotations
+
+import struct
+
+from ..config import SystemConfig
+from ..errors import NodeOverflowError, StorageError
+
+_MAGIC = 0x5254  # "RT"
+
+_NODE_HEADER = struct.Struct("<HBBHH")       # magic, kind, pad, level, count
+_DATA_HEADER = struct.Struct("<HBBHHq")      # ... + next page id (int64)
+_ENTRY = struct.Struct("<ffffI")             # xlo, ylo, xhi, yhi, ref
+
+KIND_INTERNAL = 0
+KIND_LEAF = 1
+KIND_DATA = 2
+
+#: Sentinel "no next page" value for data-page chains.
+NO_NEXT_PAGE = -1
+
+EntryTuple = tuple[float, float, float, float, int]
+
+
+def quantize(value: float) -> float:
+    """Round a coordinate to its stored (float32) precision."""
+    return struct.unpack("<f", struct.pack("<f", value))[0]
+
+
+# --------------------------------------------------------------------- #
+# Tree node pages
+# --------------------------------------------------------------------- #
+
+def encode_node(
+    config: SystemConfig,
+    level: int,
+    is_leaf: bool,
+    entries: list[EntryTuple],
+) -> bytes:
+    """Serialise a tree node into exactly ``config.page_size`` bytes."""
+    if len(entries) > config.node_capacity:
+        raise NodeOverflowError(
+            f"{len(entries)} entries exceed node capacity "
+            f"{config.node_capacity}"
+        )
+    if not 0 <= level < 0x10000:
+        raise StorageError(f"level {level} does not fit in the header")
+    kind = KIND_LEAF if is_leaf else KIND_INTERNAL
+    parts = [_NODE_HEADER.pack(_MAGIC, kind, 0, level, len(entries))]
+    parts.append(b"\x00" * (config.node_header_bytes - _NODE_HEADER.size))
+    for xlo, ylo, xhi, yhi, ref in entries:
+        parts.append(_ENTRY.pack(xlo, ylo, xhi, yhi, ref))
+    blob = b"".join(parts)
+    if len(blob) > config.page_size:
+        raise NodeOverflowError(
+            f"encoded node is {len(blob)} bytes; page is {config.page_size}"
+        )
+    return blob + b"\x00" * (config.page_size - len(blob))
+
+
+def decode_node(
+    config: SystemConfig, data: bytes
+) -> tuple[int, bool, list[EntryTuple]]:
+    """Inverse of :func:`encode_node`; returns (level, is_leaf, entries)."""
+    if len(data) != config.page_size:
+        raise StorageError(
+            f"page blob is {len(data)} bytes; expected {config.page_size}"
+        )
+    magic, kind, _pad, level, count = _NODE_HEADER.unpack_from(data, 0)
+    if magic != _MAGIC:
+        raise StorageError("bad magic: not a tree-node page")
+    if kind not in (KIND_INTERNAL, KIND_LEAF):
+        raise StorageError(f"bad node kind {kind}")
+    entries: list[EntryTuple] = []
+    offset = config.node_header_bytes
+    for _ in range(count):
+        xlo, ylo, xhi, yhi, ref = _ENTRY.unpack_from(data, offset)
+        entries.append((xlo, ylo, xhi, yhi, ref))
+        offset += _ENTRY.size
+    return level, kind == KIND_LEAF, entries
+
+
+# --------------------------------------------------------------------- #
+# Data / linked-list pages
+# --------------------------------------------------------------------- #
+
+def encode_data_page(
+    config: SystemConfig,
+    entries: list[EntryTuple],
+    next_page_id: int = NO_NEXT_PAGE,
+) -> bytes:
+    """Serialise a data page (sequential file page or linked-list page)."""
+    if len(entries) > config.data_page_capacity:
+        raise NodeOverflowError(
+            f"{len(entries)} entries exceed data-page capacity "
+            f"{config.data_page_capacity}"
+        )
+    parts = [
+        _DATA_HEADER.pack(_MAGIC, KIND_DATA, 0, 0, len(entries), next_page_id)
+    ]
+    if _DATA_HEADER.size > config.node_header_bytes:
+        # The next-pointer borrows header padding; the default 24-byte
+        # header leaves 16 spare bytes, far more than the 8 needed.
+        raise StorageError("node_header_bytes too small for a data header")
+    parts.append(b"\x00" * (config.node_header_bytes - _DATA_HEADER.size))
+    for xlo, ylo, xhi, yhi, oid in entries:
+        parts.append(_ENTRY.pack(xlo, ylo, xhi, yhi, oid))
+    blob = b"".join(parts)
+    if len(blob) > config.page_size:
+        raise NodeOverflowError(
+            f"encoded data page is {len(blob)} bytes; page is "
+            f"{config.page_size}"
+        )
+    return blob + b"\x00" * (config.page_size - len(blob))
+
+
+def decode_data_page(
+    config: SystemConfig, data: bytes
+) -> tuple[list[EntryTuple], int]:
+    """Inverse of :func:`encode_data_page`; returns (entries, next_page_id)."""
+    if len(data) != config.page_size:
+        raise StorageError(
+            f"page blob is {len(data)} bytes; expected {config.page_size}"
+        )
+    magic, kind, _pad, _lvl, count, next_page_id = _DATA_HEADER.unpack_from(
+        data, 0
+    )
+    if magic != _MAGIC or kind != KIND_DATA:
+        raise StorageError("bad magic/kind: not a data page")
+    entries: list[EntryTuple] = []
+    offset = config.node_header_bytes
+    for _ in range(count):
+        entries.append(_ENTRY.unpack_from(data, offset))
+        offset += _ENTRY.size
+    return entries, next_page_id

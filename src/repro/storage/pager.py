@@ -1,0 +1,47 @@
+"""Page objects and page kinds for the simulated storage stack.
+
+A :class:`Page` is the unit of disk I/O and buffering. For speed the
+simulator keeps page payloads as live Python objects (tree nodes, data-page
+records) rather than byte strings; :mod:`repro.storage.codec` provides the
+byte-level layouts and is used by tests to prove every payload actually
+fits in a configured page.
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+from typing import Any
+
+
+class PageKind(Enum):
+    """What a page stores; used for statistics and sanity checks."""
+
+    TREE_NODE = "tree_node"
+    DATA = "data"          # sequential data-file page
+    LIST = "list"          # intermediate linked-list page (Section 3.1)
+
+
+class Page:
+    """One disk/buffer page.
+
+    Attributes
+    ----------
+    page_id:
+        Stable identifier; contiguous ids model physically contiguous
+        pages, which is what makes run I/O sequential.
+    kind:
+        The :class:`PageKind` of the payload.
+    payload:
+        The live object stored in the page (a tree node, a data-page
+        record, ...). The simulator treats it opaquely.
+    """
+
+    __slots__ = ("page_id", "kind", "payload")
+
+    def __init__(self, page_id: int, kind: PageKind, payload: Any):
+        self.page_id = page_id
+        self.kind = kind
+        self.payload = payload
+
+    def __repr__(self) -> str:
+        return f"Page(id={self.page_id}, kind={self.kind.value})"

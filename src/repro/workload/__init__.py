@@ -1,0 +1,29 @@
+"""Synthetic spatial workloads (the Section 4 generation scheme)."""
+
+from .generator import (
+    ClusteredConfig,
+    cluster_side_bound,
+    generate_clustered,
+    generate_clusters,
+    generate_uniform,
+    measure_cover_quotient,
+)
+from .families import (
+    generate_gaussian_clusters,
+    generate_grid_cells,
+    generate_paths,
+    generate_skewed,
+)
+
+__all__ = [
+    "ClusteredConfig",
+    "cluster_side_bound",
+    "generate_clustered",
+    "generate_clusters",
+    "generate_uniform",
+    "measure_cover_quotient",
+    "generate_gaussian_clusters",
+    "generate_grid_cells",
+    "generate_paths",
+    "generate_skewed",
+]

@@ -1,0 +1,216 @@
+"""Additional spatial data families beyond the paper's generator.
+
+The paper evaluates on its Section-4 clustered-rectangle scheme. Real
+GIS layers come in more shapes; these generators produce the usual
+suspects so robustness experiments can check that the seeded-tree
+conclusions do not hinge on one synthetic distribution:
+
+* :func:`generate_gaussian_clusters` — cluster members scattered
+  normally around their center (soft edges, unlike the paper's uniform
+  boxes);
+* :func:`generate_skewed` — Zipf-weighted cluster sizes: a few huge
+  hot-spots and a long tail (city-like density);
+* :func:`generate_paths` — elongated rectangles chained along random
+  walks (roads, rivers, utility lines); aspect ratios far from square,
+  the regime of the paper's Figure 3 discussion;
+* :func:`generate_grid_cells` — a regular tessellation (raster/land-use
+  layers): zero overlap, perfectly uniform.
+
+All generators share the map-clipping convention of the paper's scheme
+and are deterministic per seed.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+
+from ..errors import WorkloadError
+from ..geometry import Rect
+from ..storage.datafile import DataEntry
+from .generator import DEFAULT_MAP_AREA
+
+
+def _clip_entry(rect: Rect, oid: int, area: Rect) -> DataEntry | None:
+    clipped = rect.clipped_to(area)
+    return (clipped, oid) if clipped is not None else None
+
+
+def generate_gaussian_clusters(
+    num_objects: int,
+    num_clusters: int = 25,
+    sigma: float = 0.03,
+    side_bound: float = 0.004,
+    map_area: Rect = DEFAULT_MAP_AREA,
+    seed: int = 0,
+    oid_start: int = 0,
+) -> list[DataEntry]:
+    """Normally distributed clusters around uniform random centers."""
+    if num_objects < 0:
+        raise WorkloadError("num_objects must be non-negative")
+    if num_clusters < 1:
+        raise WorkloadError("need at least one cluster")
+    rng = random.Random(seed)
+    centers = [
+        (map_area.xlo + rng.random() * map_area.width,
+         map_area.ylo + rng.random() * map_area.height)
+        for _ in range(num_clusters)
+    ]
+    out: list[DataEntry] = []
+    oid = oid_start
+    while len(out) < num_objects:
+        cx, cy = centers[rng.randrange(num_clusters)]
+        x = rng.gauss(cx, sigma * map_area.width)
+        y = rng.gauss(cy, sigma * map_area.height)
+        w = rng.random() * side_bound
+        h = rng.random() * side_bound
+        entry = _clip_entry(Rect.from_center(x, y, w, h), oid, map_area)
+        if entry is not None:
+            out.append(entry)
+            oid += 1
+    rng.shuffle(out)
+    return out
+
+
+def generate_skewed(
+    num_objects: int,
+    num_clusters: int = 50,
+    zipf_s: float = 1.2,
+    cluster_side: float = 0.08,
+    side_bound: float = 0.004,
+    map_area: Rect = DEFAULT_MAP_AREA,
+    seed: int = 0,
+    oid_start: int = 0,
+) -> list[DataEntry]:
+    """Zipf-distributed cluster populations: hot-spots plus a long tail."""
+    if num_objects < 0:
+        raise WorkloadError("num_objects must be non-negative")
+    if num_clusters < 1:
+        raise WorkloadError("need at least one cluster")
+    if zipf_s <= 0:
+        raise WorkloadError("zipf_s must be positive")
+    rng = random.Random(seed)
+    weights = [1.0 / (rank ** zipf_s) for rank in range(1, num_clusters + 1)]
+    total = sum(weights)
+    weights = [w / total for w in weights]
+    clusters = [
+        Rect.from_center(
+            map_area.xlo + rng.random() * map_area.width,
+            map_area.ylo + rng.random() * map_area.height,
+            rng.random() * cluster_side,
+            rng.random() * cluster_side,
+        ).clipped_to(map_area)
+        for _ in range(num_clusters)
+    ]
+    out: list[DataEntry] = []
+    oid = oid_start
+    while len(out) < num_objects:
+        cluster = rng.choices(clusters, weights=weights, k=1)[0]
+        if cluster is None:
+            continue
+        x = cluster.xlo + rng.random() * cluster.width
+        y = cluster.ylo + rng.random() * cluster.height
+        w = rng.random() * side_bound
+        h = rng.random() * side_bound
+        entry = _clip_entry(Rect.from_center(x, y, w, h), oid, map_area)
+        if entry is not None:
+            out.append(entry)
+            oid += 1
+    rng.shuffle(out)
+    return out
+
+
+def generate_paths(
+    num_objects: int,
+    num_paths: int = 20,
+    step: float = 0.02,
+    thickness: float = 0.002,
+    map_area: Rect = DEFAULT_MAP_AREA,
+    seed: int = 0,
+    oid_start: int = 0,
+) -> list[DataEntry]:
+    """Elongated segments chained along random walks (road networks).
+
+    Each path starts at a uniform point and takes fixed-length steps
+    with slowly drifting heading; every step becomes one thin rectangle
+    bounding that segment — high aspect ratios, strong local
+    correlation, the classic worst case for minimal-area bounding boxes.
+    """
+    if num_objects < 0:
+        raise WorkloadError("num_objects must be non-negative")
+    if num_paths < 1:
+        raise WorkloadError("need at least one path")
+    rng = random.Random(seed)
+    per_path = max(1, num_objects // num_paths)
+    out: list[DataEntry] = []
+    oid = oid_start
+    for _ in range(num_paths):
+        x = map_area.xlo + rng.random() * map_area.width
+        y = map_area.ylo + rng.random() * map_area.height
+        heading = rng.random() * 2 * math.pi
+        for _ in range(per_path):
+            if len(out) >= num_objects:
+                break
+            heading += rng.gauss(0.0, 0.35)
+            nx = x + math.cos(heading) * step
+            ny = y + math.sin(heading) * step
+            seg = Rect(
+                min(x, nx) - thickness / 2, min(y, ny) - thickness / 2,
+                max(x, nx) + thickness / 2, max(y, ny) + thickness / 2,
+            )
+            entry = _clip_entry(seg, oid, map_area)
+            if entry is not None:
+                out.append(entry)
+                oid += 1
+            # Bounce back into the map rather than walking off it.
+            if not map_area.contains_point(nx, ny):
+                heading += math.pi
+                nx = min(max(nx, map_area.xlo), map_area.xhi)
+                ny = min(max(ny, map_area.ylo), map_area.yhi)
+            x, y = nx, ny
+    # Top up short walks so the count is exact.
+    while len(out) < num_objects:
+        x = map_area.xlo + rng.random() * map_area.width
+        y = map_area.ylo + rng.random() * map_area.height
+        entry = _clip_entry(
+            Rect.from_center(x, y, step, thickness), oid, map_area
+        )
+        if entry is not None:
+            out.append(entry)
+            oid += 1
+    rng.shuffle(out)
+    return out
+
+
+def generate_grid_cells(
+    cells_per_side: int,
+    coverage: float = 0.9,
+    map_area: Rect = DEFAULT_MAP_AREA,
+    seed: int = 0,
+    oid_start: int = 0,
+) -> list[DataEntry]:
+    """A regular tessellation: one rectangle per grid cell (land parcels).
+
+    ``coverage`` scales each cell's rectangle inside its grid slot, so
+    neighbouring objects never overlap (coverage < 1) or exactly tile
+    the map (coverage = 1).
+    """
+    if cells_per_side < 1:
+        raise WorkloadError("cells_per_side must be at least 1")
+    if not 0 < coverage <= 1:
+        raise WorkloadError("coverage must be in (0, 1]")
+    rng = random.Random(seed)
+    sx = map_area.width / cells_per_side
+    sy = map_area.height / cells_per_side
+    out: list[DataEntry] = []
+    oid = oid_start
+    for i in range(cells_per_side):
+        for j in range(cells_per_side):
+            cx = map_area.xlo + (i + 0.5) * sx
+            cy = map_area.ylo + (j + 0.5) * sy
+            out.append(
+                (Rect.from_center(cx, cy, sx * coverage, sy * coverage), oid)
+            )
+            oid += 1
+    rng.shuffle(out)
+    return out

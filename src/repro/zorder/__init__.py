@@ -1,0 +1,20 @@
+"""Z-order substrate: space-filling-curve decomposition and z-files.
+
+The paper's related-work section describes Orenstein's z-order join
+family ([Ore89] [Ore90] [Ore91]): decompose each spatial object into
+quadtree *elements*, order the elements along the Z (Morton) curve,
+store them in a one-dimensional index, and join two data sets by merging
+their z-value streams. This subpackage provides that machinery so the
+z-order join can run as an extra baseline against STJ/RTJ/BFJ:
+
+* :mod:`~repro.zorder.curve` — Morton interleaving, quadtree cells as
+  z-intervals, budgeted decomposition of a rectangle into elements;
+* :mod:`~repro.zorder.zfile` — a *z-file*: the elements of one data set
+  sorted in z-order and stored on contiguous pages (the leaf level of
+  Orenstein's B+-tree), read and written sequentially.
+"""
+
+from .curve import ZElement, decompose, interleave, z_point
+from .zfile import ZFile
+
+__all__ = ["ZElement", "decompose", "interleave", "z_point", "ZFile"]

@@ -1,0 +1,60 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.config import SystemConfig
+from repro.geometry import Rect
+from repro.metrics import MetricsCollector
+from repro.storage import BufferPool, DiskSimulator
+
+
+@pytest.fixture
+def config() -> SystemConfig:
+    """A mid-size physical design: fan-out 24, 64-page buffer."""
+    return SystemConfig(page_size=512, buffer_pages=64)
+
+
+@pytest.fixture
+def cap4_config() -> SystemConfig:
+    """A micro design (fan-out 4) that forces splits with few inserts."""
+    return SystemConfig(page_size=104, buffer_pages=64)
+
+
+@pytest.fixture
+def metrics(config) -> MetricsCollector:
+    return MetricsCollector(config)
+
+
+@pytest.fixture
+def disk(metrics) -> DiskSimulator:
+    return DiskSimulator(metrics)
+
+
+@pytest.fixture
+def buffer(disk, config) -> BufferPool:
+    return BufferPool(config.buffer_pages, disk)
+
+
+def random_rects(n: int, seed: int = 0, side: float = 0.05) -> list[Rect]:
+    """Deterministic random rectangles in the unit square."""
+    rng = random.Random(seed)
+    out = []
+    for _ in range(n):
+        cx, cy = rng.random(), rng.random()
+        w, h = rng.random() * side, rng.random() * side
+        r = Rect.from_center(cx, cy, w, h).clipped_to(Rect(0, 0, 1, 1))
+        assert r is not None
+        out.append(r)
+    return out
+
+
+def random_entries(
+    n: int, seed: int = 0, side: float = 0.05, oid_start: int = 0
+) -> list[tuple[Rect, int]]:
+    return [
+        (r, oid_start + i) for i, r in enumerate(random_rects(n, seed, side))
+    ]

@@ -1,0 +1,90 @@
+"""Tests for the executable headline-claims validator."""
+
+import pytest
+
+from repro.config import SystemConfig
+from repro.experiments.claims import (
+    CLAIMS,
+    ClaimOutcome,
+    evaluate_claims,
+    format_claims,
+)
+from repro.experiments.profiles import ScaleProfile
+from repro.experiments.runner import run_series
+
+MICRO = ScaleProfile(
+    name="micro",
+    divisor=50,
+    config=SystemConfig(page_size=224, buffer_pages=40),
+    description="claims-test profile (fan-out 10)",
+)
+
+
+@pytest.fixture(scope="module")
+def both_series():
+    results = {}
+    for series in (1, 2):
+        results.update(run_series(series, profile=MICRO, seed=0))
+    return results
+
+
+class TestClaimRegistry:
+    def test_nine_claims(self):
+        assert [c.number for c in CLAIMS] == list(range(1, 10))
+
+    def test_texts_are_unique(self):
+        assert len({c.text for c in CLAIMS}) == len(CLAIMS)
+
+    def test_only_boundary_claim_is_profile_gated(self):
+        gated = [c.number for c in CLAIMS if c.profiles]
+        assert gated == [2]
+
+
+class TestEvaluate:
+    def test_every_claim_gets_an_outcome(self, both_series):
+        outcomes = evaluate_claims(both_series, "micro")
+        assert len(outcomes) == len(CLAIMS)
+        assert all(isinstance(o, ClaimOutcome) for o in outcomes)
+
+    def test_gated_claim_skipped_on_foreign_profile(self, both_series):
+        outcomes = evaluate_claims(both_series, "micro")
+        boundary = next(o for o in outcomes if o.claim.number == 2)
+        assert boundary.passed is None
+
+    def test_gated_claim_checked_on_matching_profile(self, both_series):
+        outcomes = evaluate_claims(both_series, "quarter")
+        boundary = next(o for o in outcomes if o.claim.number == 2)
+        assert boundary.passed is not None
+
+    def test_core_claims_hold_even_at_micro_scale(self, both_series):
+        """The scale-robust claims (1, 3, 4) must hold even on the
+        smallest profile the machinery supports."""
+        outcomes = {o.claim.number: o for o in
+                    evaluate_claims(both_series, "micro")}
+        for number in (1, 3, 4):
+            assert outcomes[number].passed, outcomes[number].detail
+
+    def test_details_are_informative(self, both_series):
+        for o in evaluate_claims(both_series, "micro"):
+            assert o.detail
+            assert len(o.detail) > 10
+
+
+class TestFormat:
+    def test_format_lists_every_claim(self, both_series):
+        text = format_claims(evaluate_claims(both_series, "micro"))
+        for claim in CLAIMS:
+            assert f"{claim.number}." in text
+        assert "claims hold" in text
+
+    def test_format_marks_skips(self, both_series):
+        text = format_claims(evaluate_claims(both_series, "micro"))
+        assert "[SKIP]" in text  # claim 2 on a foreign profile
+
+    def test_failed_claims_render_fail(self):
+        claim = CLAIMS[0]
+        text = format_claims(
+            [ClaimOutcome(claim, False, "it broke")]
+        )
+        assert "[FAIL]" in text
+        assert "0/1 claims hold" in text

@@ -1,0 +1,142 @@
+"""Tests for the experiment harness: profiles, configs, paper data."""
+
+import pytest
+
+from repro.errors import ExperimentError
+from repro.experiments.configs import (
+    ALGORITHMS,
+    EXPERIMENTS,
+    FIGURES,
+    SERIES_TABLES,
+    get_experiment,
+    series_for_figure,
+    series_x_values,
+)
+from repro.experiments.paper_data import (
+    PAPER_ALGORITHMS,
+    PAPER_TABLES,
+    paper_construct_io,
+    paper_match_io,
+    paper_total,
+)
+from repro.experiments.profiles import PROFILES, get_profile
+
+
+class TestProfiles:
+    def test_all_profiles_exist(self):
+        assert set(PROFILES) == {"tiny", "small", "quarter", "full"}
+
+    def test_full_profile_is_the_paper(self):
+        full = get_profile("full")
+        assert full.divisor == 1
+        assert full.config.page_size == 1024
+        assert full.config.buffer_pages == 512
+        assert full.config.node_capacity == 50
+        assert full.objects(100_000) == 100_000
+        assert full.objects_per_cluster == 200
+
+    def test_scaling_preserves_cluster_count(self):
+        for prof in PROFILES.values():
+            full_clusters = 100_000 / 200
+            scaled_clusters = prof.objects(100_000) / prof.objects_per_cluster
+            assert scaled_clusters == pytest.approx(full_clusters, rel=0.1)
+
+    def test_unknown_profile_raises(self):
+        with pytest.raises(ExperimentError):
+            get_profile("gigantic")
+
+    def test_tiny_is_smallest(self):
+        sizes = {
+            name: p.objects(100_000) for name, p in PROFILES.items()
+        }
+        assert sizes["tiny"] < sizes["small"] < sizes["quarter"] < sizes["full"]
+
+
+class TestConfigs:
+    def test_eight_tables(self):
+        assert sorted(EXPERIMENTS) == list(range(1, 9))
+
+    def test_series_membership(self):
+        assert SERIES_TABLES[1] == (1, 2, 3, 4)
+        assert SERIES_TABLES[2] == (2, 5, 6, 7, 8)
+
+    def test_series1_varies_ds(self):
+        sizes = [EXPERIMENTS[t].d_s_full for t in SERIES_TABLES[1]]
+        assert sizes == [20_000, 40_000, 60_000, 80_000]
+        assert all(
+            EXPERIMENTS[t].cover_quotient == 0.2 for t in SERIES_TABLES[1]
+        )
+
+    def test_series2_varies_quotient(self):
+        quotients = [EXPERIMENTS[t].cover_quotient for t in SERIES_TABLES[2]]
+        assert quotients == [0.2, 0.4, 0.6, 0.8, 1.0]
+        assert all(
+            EXPERIMENTS[t].d_s_full == 40_000 for t in SERIES_TABLES[2]
+        )
+
+    def test_six_figures(self):
+        assert sorted(FIGURES) == [6, 7, 8, 9, 10, 11]
+
+    def test_series_for_figure(self):
+        assert series_for_figure(6) == 1
+        assert series_for_figure(11) == 2
+        with pytest.raises(ExperimentError):
+            series_for_figure(12)
+
+    def test_series_x_values(self):
+        assert series_x_values(1) == [20_000, 40_000, 60_000, 80_000]
+        assert series_x_values(2) == [0.2, 0.4, 0.6, 0.8, 1.0]
+        with pytest.raises(ExperimentError):
+            series_x_values(3)
+
+    def test_get_experiment_rejects_unknown(self):
+        with pytest.raises(ExperimentError):
+            get_experiment(9)
+
+    def test_titles(self):
+        assert "40K" in EXPERIMENTS[2].title()
+        assert EXPERIMENTS[5].name == "table5"
+
+
+class TestPaperData:
+    def test_every_table_has_all_algorithms(self):
+        for table, rows in PAPER_TABLES.items():
+            assert tuple(rows) == PAPER_ALGORITHMS
+
+    def test_algorithms_match_harness(self):
+        assert ALGORITHMS == PAPER_ALGORITHMS
+
+    def test_row_shape(self):
+        for rows in PAPER_TABLES.values():
+            for row in rows.values():
+                assert len(row) == 7
+                assert all(v >= 0 for v in row)
+
+    def test_helpers(self):
+        assert paper_total(2, "BFJ") == 8864
+        assert paper_match_io(2, "RTJ") == 2439
+        assert paper_construct_io(2, "RTJ") == 50 + 6015 + 1219
+
+    def test_headline_claims_hold_in_paper_data(self):
+        """Sanity: the transcription preserves the paper's own claims."""
+        for table in range(2, 9):
+            best_stj = min(
+                paper_total(table, a) for a in PAPER_ALGORITHMS
+                if a.startswith("STJ")
+            )
+            assert best_stj < paper_total(table, "BFJ")
+            assert best_stj < paper_total(table, "RTJ")
+        # Table 1 is the boundary case: BFJ wins there.
+        assert paper_total(1, "BFJ") < min(
+            paper_total(1, a) for a in PAPER_ALGORITHMS if a != "BFJ"
+        )
+
+    def test_rtj_worse_than_bfj_in_series1(self):
+        for table in (2, 3, 4):
+            assert paper_total(table, "RTJ") > paper_total(table, "BFJ")
+
+    def test_filtering_multiplies_bbox_tests(self):
+        for table in PAPER_TABLES:
+            n = PAPER_TABLES[table]["STJ1-2N"][5]
+            f = PAPER_TABLES[table]["STJ1-2F"][5]
+            assert f > 4 * n

@@ -1,0 +1,257 @@
+"""Tests for the experiment runner, table/figure rendering, and CLI.
+
+A "micro" profile keeps these fast while preserving the machinery: every
+algorithm variant really runs, results are cross-checked, and the output
+formats are exercised end to end.
+"""
+
+import pytest
+
+from repro.config import SystemConfig
+from repro.errors import ExperimentError
+from repro.experiments import (
+    ExperimentRow,
+    TableResult,
+    regenerate_figure,
+    regenerate_table,
+    run_series,
+    run_table,
+)
+from repro.experiments.cli import build_parser, main
+from repro.experiments.figures import figure_series, format_figure, paper_figure_series
+from repro.experiments.profiles import ScaleProfile
+from repro.experiments.tables import format_table
+
+MICRO = ScaleProfile(
+    name="micro",
+    divisor=50,
+    config=SystemConfig(page_size=104, buffer_pages=48),
+    description="test-only profile",
+)
+
+
+@pytest.fixture(scope="module")
+def table2():
+    return run_table(2, profile=MICRO, seed=0)
+
+
+@pytest.fixture(scope="module")
+def series1():
+    return run_series(1, profile=MICRO, seed=0)
+
+
+class TestRunTable:
+    def test_all_algorithms_present(self, table2):
+        assert [r.algorithm for r in table2.rows] == [
+            "BFJ", "RTJ", "STJ1-2N", "STJ2-2N", "STJ1-2F", "STJ2-2F",
+            "STJ1-3F", "STJ2-3F",
+        ]
+
+    def test_all_agree_on_pairs(self, table2):
+        counts = {r.pairs for r in table2.rows}
+        assert len(counts) == 1
+
+    def test_sizes_scaled(self, table2):
+        assert table2.d_r_size == 2000
+        assert table2.d_s_size == 800
+
+    def test_summaries_populated(self, table2):
+        for row in table2.rows:
+            assert row.summary.total_io > 0
+            assert row.elapsed_s > 0
+        bfj = table2.row("BFJ")
+        assert bfj.summary.construct_read == 0
+        assert bfj.summary.xy_tests == 0
+
+    def test_row_lookup_unknown_raises(self, table2):
+        with pytest.raises(ExperimentError):
+            table2.row("ZORDER")
+
+    def test_unknown_table_raises(self):
+        with pytest.raises(ExperimentError):
+            run_table(9, profile=MICRO)
+
+    def test_subset_of_algorithms(self):
+        result = run_table(1, profile=MICRO, algorithms=("BFJ", "STJ1-2N"))
+        assert len(result.rows) == 2
+
+    def test_deterministic_for_seed(self):
+        a = run_table(1, profile=MICRO, seed=3,
+                      algorithms=("BFJ",)).row("BFJ")
+        b = run_table(1, profile=MICRO, seed=3,
+                      algorithms=("BFJ",)).row("BFJ")
+        assert a.summary == b.summary
+        assert a.pairs == b.pairs
+
+    def test_title_mentions_profile(self, table2):
+        assert "micro" in table2.title()
+
+
+class TestRunSeries:
+    def test_series1_tables(self, series1):
+        assert sorted(series1) == [1, 2, 3, 4]
+        assert all(isinstance(r, TableResult) for r in series1.values())
+
+    def test_series1_shares_dr(self, series1):
+        assert len({r.d_r_size for r in series1.values()}) == 1
+
+    def test_ds_grows_along_series1(self, series1):
+        sizes = [series1[t].d_s_size for t in (1, 2, 3, 4)]
+        assert sizes == sorted(sizes)
+        assert len(set(sizes)) == 4
+
+    def test_unknown_series_raises(self):
+        with pytest.raises(ExperimentError):
+            run_series(3, profile=MICRO)
+
+    def test_series2_runs(self):
+        results = run_series(
+            2, profile=MICRO, algorithms=("BFJ", "STJ1-2N")
+        )
+        assert sorted(results) == [2, 5, 6, 7, 8]
+        quotients = [results[t].spec.cover_quotient for t in (2, 5, 6, 7, 8)]
+        assert quotients == [0.2, 0.4, 0.6, 0.8, 1.0]
+
+
+class TestFormatting:
+    def test_format_table_plain(self, table2):
+        text = format_table(table2)
+        assert "Table 2" in text
+        assert "STJ1-2N" in text
+        assert "match rd" in text
+
+    def test_format_table_with_paper(self, table2):
+        text = format_table(table2, compare_paper=True)
+        assert "Paper's Table 2" in text
+        assert "8864" in text  # paper's BFJ total
+
+    def test_regenerate_table_end_to_end(self):
+        text = regenerate_table(1, profile=MICRO, compare_paper=True,
+                                algorithms=("BFJ", "RTJ"))
+        assert "Table 1" in text
+
+    def test_figure_series_extraction(self, series1):
+        series = figure_series(6, series1)
+        names = [name for name, _ in series]
+        assert "BFJ" in names and "STJ1-2N" in names
+        for _, values in series:
+            assert len(values) == 4
+
+    def test_figure_series_missing_tables(self, series1):
+        partial = {1: series1[1]}
+        with pytest.raises(ExperimentError):
+            figure_series(6, partial)
+
+    def test_format_figure(self, series1):
+        text = format_figure(6, series1, compare_paper=True)
+        assert "Figure 6" in text
+        assert "||D_S||" in text
+        assert "Paper's Figure 6" in text
+
+    def test_regenerate_figure_with_cached_results(self, series1):
+        text = regenerate_figure(7, results=series1)
+        assert "Figure 7" in text
+
+    def test_regenerate_unknown_figure(self):
+        with pytest.raises(ExperimentError):
+            regenerate_figure(5, profile=MICRO)
+
+    def test_paper_figure_series_shapes(self):
+        series = paper_figure_series(6)
+        bfj = dict(series)["BFJ"]
+        assert bfj == [438.0, 8864.0, 13650.0, 17151.0]
+
+
+class TestCli:
+    def test_parser_accepts_commands(self):
+        parser = build_parser()
+        args = parser.parse_args(["table", "3", "--profile", "tiny"])
+        assert args.command == "table"
+        assert args.number == 3
+
+    def test_list_command(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "Table 8" in out
+        assert "Figure 11" in out
+        assert "quarter" in out
+
+    def test_parser_rejects_bad_table(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["table", "12"])
+
+    def test_parser_rejects_bad_profile(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["table", "1", "--profile", "huge"])
+
+
+class TestJsonExport:
+    def test_to_dict_round_trips_through_json(self, table2):
+        import json
+
+        payload = json.loads(json.dumps(table2.to_dict()))
+        assert payload["table"] == 2
+        assert payload["profile"] == "micro"
+        assert len(payload["rows"]) == 8
+        bfj = payload["rows"][0]
+        assert bfj["algorithm"] == "BFJ"
+        assert bfj["construct_read"] == 0
+        assert bfj["total_io"] > 0
+        assert bfj["pairs"] == table2.rows[0].pairs
+
+    def test_cli_json_flag(self, capsys):
+        import json
+
+        from repro.experiments.cli import build_parser
+
+        args = build_parser().parse_args(
+            ["table", "1", "--profile", "tiny", "--json"]
+        )
+        assert args.json
+
+
+class TestRepeatedRuns:
+    def test_aggregates_across_seeds(self):
+        from repro.experiments import run_table_repeated
+
+        results, aggregates = run_table_repeated(
+            1, seeds=(0, 1), profile=MICRO,
+            algorithms=("BFJ", "STJ1-2N"),
+        )
+        assert len(results) == 2
+        assert [a.algorithm for a in aggregates] == ["BFJ", "STJ1-2N"]
+        for agg in aggregates:
+            assert agg.runs == 2
+            assert agg.min_total <= agg.mean_total <= agg.max_total
+            assert agg.stdev_total >= 0
+            assert 0 <= agg.spread
+
+    def test_single_seed_has_zero_stdev(self):
+        from repro.experiments import run_table_repeated
+
+        _, aggregates = run_table_repeated(
+            1, seeds=(5,), profile=MICRO, algorithms=("BFJ",),
+        )
+        assert aggregates[0].stdev_total == 0.0
+        assert aggregates[0].spread == 0.0
+
+    def test_empty_seeds_rejected(self):
+        from repro.experiments import run_table_repeated
+
+        with pytest.raises(ExperimentError):
+            run_table_repeated(1, seeds=(), profile=MICRO)
+
+
+class TestChartOutput:
+    def test_figure_with_chart(self, series1):
+        text = regenerate_figure(6, results=series1, chart=True,
+                                 compare_paper=False)
+        assert "Figure 6" in text
+        assert "B=BFJ" in text       # chart legend
+        assert "+---" in text        # chart axis
+
+    def test_cli_accepts_chart_flag(self):
+        args = build_parser().parse_args(
+            ["figure", "6", "--profile", "tiny", "--chart"]
+        )
+        assert args.chart

@@ -1,0 +1,111 @@
+"""Tests for the plane-sweep pair enumeration."""
+
+from hypothesis import given
+
+from repro.geometry import Rect, sweep_pairs
+from repro.geometry.sweep import brute_force_pairs
+from repro.metrics.counters import CpuCounters
+
+from ..conftest import random_rects
+from ..strategies import rect_lists
+
+
+def pair_key(pairs):
+    return sorted((id(a), id(b)) for a, b in pairs)
+
+
+class TestSweepBasics:
+    def test_empty_left(self):
+        assert sweep_pairs([], [Rect(0, 0, 1, 1)]) == []
+
+    def test_empty_right(self):
+        assert sweep_pairs([Rect(0, 0, 1, 1)], []) == []
+
+    def test_single_overlap(self):
+        a, b = Rect(0, 0, 2, 2), Rect(1, 1, 3, 3)
+        assert sweep_pairs([a], [b]) == [(a, b)]
+
+    def test_single_disjoint(self):
+        assert sweep_pairs([Rect(0, 0, 1, 1)], [Rect(5, 5, 6, 6)]) == []
+
+    def test_x_overlap_but_y_disjoint(self):
+        a, b = Rect(0, 0, 2, 1), Rect(1, 5, 3, 6)
+        assert sweep_pairs([a], [b]) == []
+
+    def test_orientation_preserved(self):
+        """Pairs are always (a_element, b_element) regardless of sweep
+        interleaving."""
+        a = [Rect(1, 0, 2, 1)]
+        b = [Rect(0, 0, 3, 1)]  # b starts left of a
+        [(pa, pb)] = sweep_pairs(a, b)
+        assert pa is a[0]
+        assert pb is b[0]
+
+    def test_duplicates_counted_separately(self):
+        r = Rect(0, 0, 1, 1)
+        a = [r, Rect(0, 0, 1, 1)]
+        b = [Rect(0.5, 0.5, 2, 2)]
+        assert len(sweep_pairs(a, b)) == 2
+
+    def test_rect_of_adapter(self):
+        wrapped_a = [("x", Rect(0, 0, 2, 2))]
+        wrapped_b = [("y", Rect(1, 1, 3, 3))]
+        pairs = sweep_pairs(wrapped_a, wrapped_b, rect_of=lambda e: e[1])
+        assert pairs == [(wrapped_a[0], wrapped_b[0])]
+
+    def test_matches_brute_force_on_random_data(self):
+        a = random_rects(120, seed=1)
+        b = random_rects(150, seed=2)
+        assert pair_key(sweep_pairs(a, b)) == pair_key(brute_force_pairs(a, b))
+
+    def test_identical_lists(self):
+        a = random_rects(60, seed=3)
+        assert pair_key(sweep_pairs(a, a)) == pair_key(brute_force_pairs(a, a))
+
+
+class TestSweepCounters:
+    def test_counts_are_recorded(self):
+        counters = CpuCounters()
+        a = random_rects(50, seed=4)
+        b = random_rects(50, seed=5)
+        sweep_pairs(a, b, counters=counters)
+        assert counters.xy_tests > 0
+        assert counters.bbox_tests == 0
+
+    def test_sweep_cheaper_than_nested_loop(self):
+        """The whole point of the sweep: far fewer than n*m tests."""
+        counters = CpuCounters()
+        a = random_rects(200, seed=6, side=0.01)
+        b = random_rects(200, seed=7, side=0.01)
+        sweep_pairs(a, b, counters=counters)
+        assert counters.xy_tests < 200 * 200 / 2
+
+    def test_no_counts_without_counters(self):
+        # Smoke: counters=None must not raise.
+        sweep_pairs(random_rects(10), random_rects(10), counters=None)
+
+    def test_counter_accumulates_across_calls(self):
+        counters = CpuCounters()
+        a, b = random_rects(20, seed=8), random_rects(20, seed=9)
+        sweep_pairs(a, b, counters=counters)
+        first = counters.xy_tests
+        sweep_pairs(a, b, counters=counters)
+        assert counters.xy_tests == 2 * first
+
+
+# --------------------------------------------------------------------- #
+# Property: sweep result == brute-force result, always
+# --------------------------------------------------------------------- #
+
+
+@given(rect_lists(max_size=30), rect_lists(max_size=30))
+def test_sweep_equals_brute_force(a, b):
+    assert pair_key(sweep_pairs(a, b)) == pair_key(brute_force_pairs(a, b))
+
+
+@given(rect_lists(max_size=25))
+def test_self_join_includes_diagonal(a):
+    pairs = sweep_pairs(a, a)
+    keys = {(id(x), id(y)) for x, y in pairs}
+    for r in a:
+        assert (id(r), id(r)) in keys  # every rect overlaps itself

@@ -1,0 +1,214 @@
+"""Tests for the three join algorithms (BFJ, RTJ, STJ) and their facade.
+
+The central integration property: every algorithm and every STJ variant
+returns exactly the same pair set as the quadratic oracle.
+"""
+
+import pytest
+
+from repro.config import SystemConfig
+from repro.errors import ExperimentError
+from repro.geometry import Rect
+from repro.join import (
+    STJVariant,
+    brute_force_join,
+    naive_join,
+    rtree_join,
+    seeded_tree_join,
+    spatial_join,
+)
+from repro.metrics import Phase
+from repro.seeded import CopyStrategy, SeededTree, UpdatePolicy
+from repro.workspace import Workspace
+
+from ..conftest import random_entries
+
+N_R, N_S = 250, 150
+
+
+@pytest.fixture(scope="module")
+def env():
+    """A shared workspace with T_R and D_S installed, plus the oracle."""
+    ws = Workspace(SystemConfig(page_size=104, buffer_pages=128))
+    r_entries = random_entries(N_R, seed=21)
+    s_entries = random_entries(N_S, seed=22, oid_start=10_000)
+    tree_r = ws.install_rtree(r_entries)
+    file_s = ws.install_datafile(s_entries, name="D_S")
+    oracle = naive_join(s_entries, r_entries).pair_set()
+    return ws, tree_r, file_s, oracle
+
+
+ALL_METHODS = [
+    "BFJ", "RTJ",
+    "STJ1-2N", "STJ2-2N", "STJ1-2F", "STJ2-2F",
+    "STJ1-3F", "STJ2-3F", "STJ1-3N",
+]
+
+
+class TestResultCorrectness:
+    @pytest.mark.parametrize("method", ALL_METHODS)
+    def test_matches_oracle(self, env, method):
+        ws, tree_r, file_s, oracle = env
+        ws.start_measurement()
+        result = spatial_join(file_s, tree_r, ws.buffer, ws.config,
+                              ws.metrics, method=method)
+        assert result.pair_set() == oracle
+
+    @pytest.mark.parametrize("policy", list(UpdatePolicy))
+    def test_every_update_policy_correct(self, env, policy):
+        ws, tree_r, file_s, oracle = env
+        ws.start_measurement()
+        result = seeded_tree_join(
+            file_s, tree_r, ws.buffer, ws.config, ws.metrics,
+            update_policy=policy,
+        )
+        assert result.pair_set() == oracle
+
+    @pytest.mark.parametrize("strategy", list(CopyStrategy))
+    def test_every_copy_strategy_correct(self, env, strategy):
+        ws, tree_r, file_s, oracle = env
+        ws.start_measurement()
+        result = seeded_tree_join(
+            file_s, tree_r, ws.buffer, ws.config, ws.metrics,
+            copy_strategy=strategy,
+        )
+        assert result.pair_set() == oracle
+
+    def test_forced_linked_lists_correct(self, env):
+        ws, tree_r, file_s, oracle = env
+        ws.start_measurement()
+        result = seeded_tree_join(
+            file_s, tree_r, ws.buffer, ws.config, ws.metrics,
+            use_linked_lists=True,
+        )
+        assert result.pair_set() == oracle
+
+
+class TestAlgorithmShapes:
+    def test_bfj_builds_nothing(self, env):
+        ws, tree_r, file_s, _ = env
+        ws.start_measurement()
+        result = brute_force_join(file_s, tree_r, ws.metrics)
+        assert result.index is None
+        s = ws.metrics.summary()
+        assert s.construct_read == 0
+        assert s.construct_write == 0
+
+    def test_rtj_returns_its_tree(self, env):
+        ws, tree_r, file_s, _ = env
+        ws.start_measurement()
+        result = rtree_join(file_s, tree_r, ws.buffer, ws.config, ws.metrics)
+        assert result.index is not None
+        assert len(result.index) == N_S
+        result.index.validate()
+
+    def test_stj_returns_seeded_tree(self, env):
+        ws, tree_r, file_s, _ = env
+        ws.start_measurement()
+        result = seeded_tree_join(file_s, tree_r, ws.buffer, ws.config,
+                                  ws.metrics)
+        assert isinstance(result.index, SeededTree)
+        result.index.validate()
+
+    def test_stj_construction_charged_to_construct(self, env):
+        ws, tree_r, file_s, _ = env
+        ws.start_measurement()
+        seeded_tree_join(file_s, tree_r, ws.buffer, ws.config, ws.metrics)
+        s = ws.metrics.summary()
+        # At minimum the sequential D_S scan is construction I/O.
+        assert s.construct_read > 0
+
+    def test_bfj_xy_tests_zero(self, env):
+        """BFJ never plane-sweeps: its CPU is pure bbox tests."""
+        ws, tree_r, file_s, _ = env
+        ws.start_measurement()
+        brute_force_join(file_s, tree_r, ws.metrics)
+        s = ws.metrics.summary()
+        assert s.xy_tests == 0
+        assert s.bbox_tests > 0
+
+    def test_retained_stj_index_answers_selections(self, env):
+        """Section 5: the seeded tree can serve later window queries."""
+        ws, tree_r, file_s, _ = env
+        ws.start_measurement()
+        result = seeded_tree_join(file_s, tree_r, ws.buffer, ws.config,
+                                  ws.metrics)
+        window = Rect(0.2, 0.2, 0.8, 0.8)
+        expected = sorted(
+            o for r, o in file_s.read_all_unaccounted()
+            if r.intersects(window)
+        )
+        assert sorted(result.index.window_query(window)) == expected
+
+
+class TestVariantParsing:
+    def test_parse_fields(self):
+        v = STJVariant.parse("STJ2-3F")
+        assert v.flavour == 2
+        assert v.seed_levels == 3
+        assert v.filtering
+
+    def test_parse_case_insensitive(self):
+        assert STJVariant.parse("stj1-2n") == STJVariant(1, 2, False)
+
+    def test_name_round_trip(self):
+        for name in ("STJ1-2N", "STJ2-3F", "STJ1-4F"):
+            assert STJVariant.parse(name).name == name
+
+    def test_policies(self):
+        assert STJVariant.parse("STJ1-2N").update_policy is \
+            UpdatePolicy.ENCLOSE_DATA_ONLY
+        assert STJVariant.parse("STJ2-2N").update_policy is \
+            UpdatePolicy.SLOT_WITH_SEED
+        assert STJVariant.parse("STJ1-2N").copy_strategy is \
+            CopyStrategy.CENTER_AT_SLOTS
+
+    @pytest.mark.parametrize("bad", ["STJ", "STJ3-2N", "STJ1-N", "RTJ",
+                                     "STJ1-2X", ""])
+    def test_bad_names_rejected(self, bad):
+        with pytest.raises(ExperimentError):
+            STJVariant.parse(bad)
+
+    def test_spatial_join_rejects_unknown_method(self, env):
+        ws, tree_r, file_s, _ = env
+        with pytest.raises(ExperimentError):
+            spatial_join(file_s, tree_r, ws.buffer, ws.config, ws.metrics,
+                         method="ZORDER")
+
+    def test_spatial_join_plain_stj_accepts_kwargs(self, env):
+        ws, tree_r, file_s, oracle = env
+        ws.start_measurement()
+        result = spatial_join(
+            file_s, tree_r, ws.buffer, ws.config, ws.metrics,
+            method="stj", seed_levels=2, filtering=True,
+        )
+        assert result.pair_set() == oracle
+
+    def test_algorithm_label_set(self, env):
+        ws, tree_r, file_s, _ = env
+        ws.start_measurement()
+        result = spatial_join(file_s, tree_r, ws.buffer, ws.config,
+                              ws.metrics, method="STJ1-2F")
+        assert result.algorithm == "STJ1-2F"
+
+
+class TestEmptyInputs:
+    def test_empty_ds(self):
+        ws = Workspace(SystemConfig(page_size=104, buffer_pages=64))
+        tree_r = ws.install_rtree(random_entries(50, seed=23))
+        file_s = ws.install_datafile([])
+        for method in ("BFJ", "RTJ", "STJ1-2N"):
+            ws.start_measurement()
+            result = spatial_join(file_s, tree_r, ws.buffer, ws.config,
+                                  ws.metrics, method=method)
+            assert result.pairs == []
+
+    def test_empty_dr(self):
+        ws = Workspace(SystemConfig(page_size=104, buffer_pages=64))
+        tree_r = ws.install_rtree([])
+        file_s = ws.install_datafile(random_entries(20, seed=24))
+        for method in ("BFJ", "RTJ"):
+            ws.start_measurement()
+            result = spatial_join(file_s, tree_r, ws.buffer, ws.config,
+                                  ws.metrics, method=method)
+            assert result.pairs == []

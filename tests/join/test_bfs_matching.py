@@ -1,0 +1,153 @@
+"""Tests for the breadth-first matcher and its spilling queue."""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.config import SystemConfig
+from repro.join import match_trees, naive_join
+from repro.join.bfs_matching import _PairQueue, match_trees_bfs
+from repro.metrics import MetricsCollector, Phase
+from repro.rtree import RTree
+from repro.seeded import SeededTree
+from repro.storage import BufferPool, DiskSimulator
+
+from ..conftest import random_entries
+from ..strategies import entry_lists
+
+
+def make_env(buffer_pages=256, page_size=224):
+    cfg = SystemConfig(page_size=page_size, buffer_pages=buffer_pages)
+    m = MetricsCollector(cfg)
+    buf = BufferPool(cfg.buffer_pages, DiskSimulator(m))
+    return cfg, m, buf
+
+
+class TestPairQueue:
+    def make(self, budget):
+        cfg = SystemConfig(page_size=224)
+        m = MetricsCollector(cfg)
+        return _PairQueue(DiskSimulator(m), cfg, budget), m
+
+    def test_fifo_without_budget(self):
+        q, _ = self.make(None)
+        for i in range(100):
+            q.append((i, i + 1))
+        assert len(q) == 100
+        assert list(q.drain()) == [(i, i + 1) for i in range(100)]
+        assert len(q) == 0
+
+    def test_spills_beyond_budget(self):
+        q, m = self.make(10)
+        with m.phase(Phase.MATCH):
+            for i in range(45):
+                q.append((i, i))
+        assert q.spilled_pairs > 0
+        assert len(q) == 45
+        io = m.io_for(Phase.MATCH)
+        assert io.random_writes + io.sequential_writes > 0
+
+    def test_drain_replays_spills_in_order(self):
+        q, m = self.make(7)
+        with m.phase(Phase.MATCH):
+            for i in range(30):
+                q.append((i, 0))
+            drained = [a for a, _ in q.drain()]
+        assert drained == list(range(30))
+
+    def test_spill_io_is_sequential(self):
+        q, m = self.make(5)
+        with m.phase(Phase.MATCH):
+            for i in range(200):
+                q.append((i, i))
+            list(q.drain())
+        io = m.io_for(Phase.MATCH)
+        assert io.sequential_writes + io.sequential_reads >= 0
+        # Each spill run costs one seek; the page bodies are sequential.
+        assert io.random_writes <= q.pairs_per_page and io.random_writes >= 1
+
+
+class TestBfsMatching:
+    def build_pair(self, n_a=300, n_b=300, env=None):
+        cfg, m, buf = env or make_env()
+        tree_a = RTree.build(buf, cfg, random_entries(n_a, seed=81),
+                             metrics=m)
+        tree_b = RTree.build(
+            buf, cfg, random_entries(n_b, seed=82, oid_start=10_000),
+            metrics=m,
+        )
+        return tree_a, tree_b, m
+
+    def test_equals_dfs_matcher(self):
+        tree_a, tree_b, m = self.build_pair()
+        bfs = set(match_trees_bfs(tree_a, tree_b, m))
+        dfs = set(match_trees(tree_a, tree_b, m))
+        assert bfs == dfs
+
+    def test_equals_naive(self):
+        tree_a, tree_b, m = self.build_pair()
+        got = set(match_trees_bfs(tree_a, tree_b, m))
+        want = naive_join(
+            random_entries(300, seed=81),
+            random_entries(300, seed=82, oid_start=10_000),
+        ).pair_set()
+        assert got == want
+
+    def test_budgeted_queue_same_answer(self):
+        tree_a, tree_b, m = self.build_pair()
+        unbounded = set(match_trees_bfs(tree_a, tree_b, m))
+        tight = set(match_trees_bfs(tree_a, tree_b, m,
+                                    queue_budget_pairs=8))
+        assert tight == unbounded
+
+    def test_tight_budget_pays_spill_io(self):
+        env = make_env()
+        tree_a, tree_b, m = self.build_pair(env=env)
+        with m.phase(Phase.MATCH):
+            match_trees_bfs(tree_a, tree_b, m)
+        free = m.io_for(Phase.MATCH).total_accesses
+        m.reset()
+        with m.phase(Phase.MATCH):
+            match_trees_bfs(tree_a, tree_b, m, queue_budget_pairs=4)
+        tight = m.io_for(Phase.MATCH).total_accesses
+        assert tight > free
+
+    def test_empty_trees(self):
+        env = make_env()
+        cfg, m, buf = env
+        empty = RTree(buf, cfg, metrics=m)
+        other = RTree.build(buf, cfg, random_entries(20, seed=83),
+                            metrics=m)
+        assert match_trees_bfs(empty, other, m) == []
+        assert match_trees_bfs(other, empty, m) == []
+
+    def test_works_on_seeded_trees(self):
+        cfg, m, buf = make_env()
+        r_entries = random_entries(250, seed=84)
+        s_entries = random_entries(200, seed=85, oid_start=10_000)
+        t_r = RTree.build(buf, cfg, r_entries, metrics=m)
+        tree = SeededTree(buf, cfg, m)
+        tree.seed(t_r)
+        tree.grow_from(s_entries)
+        tree.cleanup()
+        got = set(match_trees_bfs(tree, t_r, m))
+        assert got == naive_join(s_entries, r_entries).pair_set()
+
+    def test_no_pins_leak(self):
+        env = make_env()
+        cfg, m, buf = env
+        tree_a, tree_b, m = self.build_pair(env=env)
+        match_trees_bfs(tree_a, tree_b, m, queue_budget_pairs=16)
+        for page_id in list(buf.resident_ids()):
+            assert buf.pin_count(page_id) == 0
+
+
+@settings(max_examples=15, deadline=None)
+@given(entry_lists(min_size=1, max_size=30),
+       entry_lists(min_size=1, max_size=30))
+def test_bfs_always_equals_naive(a_entries, b_entries):
+    b_entries = [(r, o + 10_000) for r, o in b_entries]
+    cfg, m, buf = make_env(page_size=104)
+    tree_a = RTree.build(buf, cfg, a_entries, metrics=m)
+    tree_b = RTree.build(buf, cfg, b_entries, metrics=m)
+    got = set(match_trees_bfs(tree_a, tree_b, m, queue_budget_pairs=6))
+    assert got == naive_join(a_entries, b_entries).pair_set()

@@ -1,0 +1,177 @@
+"""Tests for the TM tree-matching algorithm."""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.config import SystemConfig
+from repro.geometry import Rect
+from repro.join import match_trees, naive_join
+from repro.metrics import MetricsCollector, Phase
+from repro.rtree import RTree
+from repro.seeded import SeededTree
+from repro.storage import BufferPool, DiskSimulator
+
+from ..conftest import random_entries
+from ..strategies import entry_lists
+
+
+def make_env(buffer_pages=512, page_size=104):
+    cfg = SystemConfig(page_size=page_size, buffer_pages=buffer_pages)
+    m = MetricsCollector(cfg)
+    buf = BufferPool(cfg.buffer_pages, DiskSimulator(m))
+    return cfg, m, buf
+
+
+def build_rtree(entries, env=None):
+    cfg, m, buf = env or make_env()
+    return RTree.build(buf, cfg, entries, metrics=m), (cfg, m, buf)
+
+
+class TestMatchRTrees:
+    def test_matches_naive_join(self):
+        a_entries = random_entries(150, seed=1)
+        b_entries = random_entries(180, seed=2, oid_start=1000)
+        env = make_env()
+        tree_a, _ = build_rtree(a_entries, env)
+        tree_b, _ = build_rtree(b_entries, env)
+        got = set(match_trees(tree_a, tree_b, env[1]))
+        want = naive_join(a_entries, b_entries).pair_set()
+        assert got == want
+
+    def test_orientation(self):
+        env = make_env()
+        tree_a, _ = build_rtree([(Rect(0, 0, 1, 1), 7)], env)
+        tree_b, _ = build_rtree([(Rect(0.5, 0.5, 2, 2), 9)], env)
+        assert match_trees(tree_a, tree_b, env[1]) == [(7, 9)]
+
+    def test_empty_trees(self):
+        env = make_env()
+        tree_a, _ = build_rtree([], env)
+        tree_b, _ = build_rtree(random_entries(10), env)
+        assert match_trees(tree_a, tree_b, env[1]) == []
+        assert match_trees(tree_b, tree_a, env[1]) == []
+
+    def test_disjoint_trees(self):
+        env = make_env()
+        left = [(Rect(0, 0, 0.1, 0.1), 1)]
+        right = [(Rect(5, 5, 5.1, 5.1), 2)]
+        tree_a, _ = build_rtree(left, env)
+        tree_b, _ = build_rtree(right, env)
+        assert match_trees(tree_a, tree_b, env[1]) == []
+
+    def test_no_duplicate_pairs(self):
+        env = make_env()
+        a_entries = random_entries(120, seed=3)
+        b_entries = random_entries(120, seed=4, oid_start=1000)
+        tree_a, _ = build_rtree(a_entries, env)
+        tree_b, _ = build_rtree(b_entries, env)
+        pairs = match_trees(tree_a, tree_b, env[1])
+        assert len(pairs) == len(set(pairs))
+
+    def test_different_heights(self):
+        env = make_env()
+        tree_a, _ = build_rtree(random_entries(5, seed=5), env)     # shallow
+        tree_b, _ = build_rtree(random_entries(300, seed=6, oid_start=1000),
+                                env)                                 # deep
+        assert tree_a.height < tree_b.height
+        got = set(match_trees(tree_a, tree_b, env[1]))
+        want = naive_join(random_entries(5, seed=5),
+                          random_entries(300, seed=6, oid_start=1000)).pair_set()
+        assert got == want
+
+    def test_self_match(self):
+        env = make_env()
+        entries = random_entries(80, seed=7)
+        tree, _ = build_rtree(entries, env)
+        got = set(match_trees(tree, tree, env[1]))
+        want = naive_join(entries, entries).pair_set()
+        assert got == want
+
+
+class TestMatchSeededTree:
+    def test_seeded_vs_rtree_matches_naive(self):
+        env = make_env()
+        cfg, m, buf = env
+        r_entries = random_entries(200, seed=8)
+        s_entries = random_entries(150, seed=9, oid_start=1000)
+        tree_r = RTree.build(buf, cfg, r_entries, metrics=m)
+        tree_s = SeededTree(buf, cfg, m)
+        tree_s.seed(tree_r)
+        tree_s.grow_from(s_entries)
+        tree_s.cleanup()
+        got = set(match_trees(tree_s, tree_r, m))
+        want = naive_join(s_entries, r_entries).pair_set()
+        assert got == want
+
+    def test_unbalanced_seeded_tree(self):
+        """Grown subtrees of different heights must not confuse TM."""
+        env = make_env()
+        cfg, m, buf = env
+        r_entries = random_entries(150, seed=10)
+        tree_r = RTree.build(buf, cfg, r_entries, metrics=m)
+        skewed = [
+            (Rect(0.001 * i, 0.001, 0.001 * i + 0.002, 0.003), 1000 + i)
+            for i in range(120)
+        ] + [(Rect(0.9, 0.9, 0.92, 0.92), 5000)]
+        tree_s = SeededTree(buf, cfg, m)
+        tree_s.seed(tree_r)
+        tree_s.grow_from(skewed)
+        tree_s.cleanup()
+        got = set(match_trees(tree_s, tree_r, m))
+        want = naive_join(skewed, r_entries).pair_set()
+        assert got == want
+
+
+class TestMatchAccounting:
+    def test_xy_tests_counted(self):
+        env = make_env()
+        cfg, m, buf = env
+        tree_a, _ = build_rtree(random_entries(100, seed=11), env)
+        tree_b, _ = build_rtree(random_entries(100, seed=12, oid_start=500),
+                                env)
+        before = m.cpu.xy_tests
+        match_trees(tree_a, tree_b, m)
+        assert m.cpu.xy_tests > before
+
+    def test_io_charged_to_current_phase(self):
+        # Small enough to force misses, large enough for TM's pinned
+        # recursion spine (two pages per level of descent).
+        env = make_env(buffer_pages=20)
+        cfg, m, buf = env
+        tree_a, _ = build_rtree(random_entries(150, seed=13), env)
+        tree_b, _ = build_rtree(random_entries(150, seed=14, oid_start=500),
+                                env)
+        with m.phase(Phase.MATCH):
+            match_trees(tree_a, tree_b, m)
+        assert m.io_for(Phase.MATCH).random_reads > 0
+
+    def test_no_pins_leak(self):
+        env = make_env()
+        cfg, m, buf = env
+        tree_a, _ = build_rtree(random_entries(80, seed=15), env)
+        tree_b, _ = build_rtree(random_entries(80, seed=16, oid_start=500),
+                                env)
+        match_trees(tree_a, tree_b, m)
+        for page_id in list(buf.resident_ids()):
+            assert buf.pin_count(page_id) == 0
+
+    def test_works_without_metrics(self):
+        env = make_env()
+        tree_a, _ = build_rtree(random_entries(30, seed=17), env)
+        tree_b, _ = build_rtree(random_entries(30, seed=18, oid_start=500),
+                                env)
+        pairs = match_trees(tree_a, tree_b, None)
+        assert isinstance(pairs, list)
+
+
+@settings(max_examples=20, deadline=None)
+@given(entry_lists(min_size=1, max_size=40),
+       entry_lists(min_size=1, max_size=40))
+def test_match_always_equals_naive(a_entries, b_entries):
+    b_entries = [(r, o + 10_000) for r, o in b_entries]
+    env = make_env()
+    cfg, m, buf = env
+    tree_a = RTree.build(buf, cfg, a_entries, metrics=m)
+    tree_b = RTree.build(buf, cfg, b_entries, metrics=m)
+    got = set(match_trees(tree_a, tree_b, m))
+    assert got == naive_join(a_entries, b_entries).pair_set()

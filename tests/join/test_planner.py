@@ -1,0 +1,164 @@
+"""Tests for cost estimation and the join planner."""
+
+import pytest
+
+from repro.config import SystemConfig
+from repro.errors import ExperimentError
+from repro.join import naive_join
+from repro.join.planner import (
+    CostEstimate,
+    estimate_bfj,
+    estimate_join_selectivity,
+    estimate_rtj,
+    estimate_stj,
+    plan_join,
+    plan_spatial_join,
+)
+from repro.workload import ClusteredConfig, generate_clustered, generate_uniform
+from repro.workspace import Workspace
+
+CFG = SystemConfig(page_size=512, buffer_pages=128)  # fan-out 24
+
+
+class TestSelectivityEstimate:
+    def test_zero_for_empty_inputs(self):
+        assert estimate_join_selectivity(0, 100, 0.01, 0.01) == 0.0
+        assert estimate_join_selectivity(100, 0, 0.01, 0.01) == 0.0
+
+    def test_grows_with_cardinalities(self):
+        small = estimate_join_selectivity(100, 100, 0.01, 0.01)
+        large = estimate_join_selectivity(1000, 100, 0.01, 0.01)
+        assert large == pytest.approx(10 * small)
+
+    def test_grows_with_extent(self):
+        thin = estimate_join_selectivity(100, 100, 0.001, 0.001)
+        fat = estimate_join_selectivity(100, 100, 0.05, 0.05)
+        assert fat > thin
+
+    def test_clustering_raises_density(self):
+        spread = estimate_join_selectivity(100, 100, 0.01, 0.01, coverage=1.0)
+        packed = estimate_join_selectivity(100, 100, 0.01, 0.01, coverage=0.2)
+        assert packed > spread
+
+    def test_within_factor_of_truth_on_uniform_data(self):
+        n_s, n_r, side = 400, 400, 0.02
+        d_s = generate_uniform(n_s, side_bound=side, seed=1)
+        d_r = generate_uniform(n_r, side_bound=side, seed=2, oid_start=10_000)
+        truth = len(naive_join(d_s, d_r).pairs)
+        # Average drawn side is side/2.
+        predicted = estimate_join_selectivity(n_s, n_r, side / 2, side / 2)
+        assert truth / 3 <= predicted <= truth * 3
+
+
+class TestEstimators:
+    def test_bfj_grows_with_ds(self):
+        a = estimate_bfj(CFG, 1_000, tree_r_pages=800, tree_r_height=4)
+        b = estimate_bfj(CFG, 10_000, tree_r_pages=800, tree_r_height=4)
+        assert b.total_io > a.total_io
+        assert a.construct_io == 0
+
+    def test_bfj_cheap_when_tr_fits_buffer(self):
+        fits = estimate_bfj(CFG, 5_000, tree_r_pages=100, tree_r_height=3)
+        thrash = estimate_bfj(CFG, 5_000, tree_r_pages=2_000, tree_r_height=4)
+        assert fits.total_io < thrash.total_io
+
+    def test_rtj_construction_explodes_past_buffer(self):
+        fits = estimate_rtj(CFG, 2_000, tree_r_pages=800, tree_r_height=4)
+        over = estimate_rtj(CFG, 20_000, tree_r_pages=800, tree_r_height=4)
+        assert over.construct_io > 5 * fits.construct_io
+
+    def test_stj_construction_stays_near_linear(self):
+        small = estimate_stj(CFG, 5_000, tree_r_pages=800, tree_r_height=4)
+        large = estimate_stj(CFG, 20_000, tree_r_pages=800, tree_r_height=4)
+        # 4x the data should cost well under 8x the construction.
+        assert large.construct_io < 8 * small.construct_io
+
+    def test_stj_beats_rtj_in_overflow_regime(self):
+        stj = estimate_stj(CFG, 20_000, tree_r_pages=2_000, tree_r_height=4)
+        rtj = estimate_rtj(CFG, 20_000, tree_r_pages=2_000, tree_r_height=4)
+        assert stj.total_io < rtj.total_io
+
+
+class TestPlanJoin:
+    def test_ranks_three_methods(self):
+        plan = plan_join(CFG, 10_000, tree_r_pages=1_500, tree_r_height=4)
+        assert sorted(e.method for e in plan.estimates) == \
+            ["BFJ", "RTJ", "STJ"]
+        assert isinstance(plan.best, CostEstimate)
+
+    def test_estimate_lookup(self):
+        plan = plan_join(CFG, 10_000, tree_r_pages=1_500, tree_r_height=4)
+        assert plan.estimate_for("RTJ").method == "RTJ"
+        with pytest.raises(ExperimentError):
+            plan.estimate_for("ZORDER")
+
+    def test_boundary_case_picks_bfj(self):
+        """Tiny derived set, T_R working set fits the buffer: Table 1."""
+        plan = plan_join(CFG, 500, tree_r_pages=150, tree_r_height=3)
+        assert plan.best.method == "BFJ"
+
+    def test_overflow_case_picks_stj(self):
+        plan = plan_join(CFG, 20_000, tree_r_pages=2_000, tree_r_height=4)
+        assert plan.best.method == "STJ"
+
+    def test_never_picks_rtj(self):
+        """The paper found RTJ dominated everywhere; the estimators
+        agree across a broad sweep."""
+        for n_s in (500, 2_000, 10_000, 40_000):
+            for pages in (100, 800, 3_000):
+                plan = plan_join(CFG, n_s, pages, 4)
+                assert plan.best.method != "RTJ", (n_s, pages)
+
+
+class TestPlanSpatialJoin:
+    @pytest.fixture(scope="class")
+    def env(self):
+        ws = Workspace(CFG)
+        d_r = generate_clustered(ClusteredConfig(
+            10_000, objects_per_cluster=20, seed=51,
+        ))
+        d_s = generate_clustered(ClusteredConfig(
+            4_000, objects_per_cluster=20, seed=52, oid_start=10**6,
+        ))
+        tree_r = ws.install_rtree(d_r)
+        file_s = ws.install_datafile(d_s)
+        oracle = naive_join(d_s, d_r).pair_set()
+        return ws, tree_r, file_s, oracle
+
+    def test_plan_only_costs_nothing(self, env):
+        ws, tree_r, file_s, _ = env
+        ws.start_measurement()
+        plan, result = plan_spatial_join(
+            file_s, tree_r, ws.buffer, ws.config, ws.metrics, execute=False,
+        )
+        assert result is None
+        assert ws.metrics.summary().total_io == 0
+        assert plan.best.method in ("BFJ", "STJ")
+
+    def test_executed_plan_is_correct(self, env):
+        ws, tree_r, file_s, oracle = env
+        ws.start_measurement()
+        plan, result = plan_spatial_join(
+            file_s, tree_r, ws.buffer, ws.config, ws.metrics,
+        )
+        assert result is not None
+        assert result.pair_set() == oracle
+
+    def test_planner_choice_is_competitive(self, env):
+        """The chosen method's measured cost is within 2.5x of the best
+        measured method — the planner must never pick a blowup."""
+        from repro.join import spatial_join
+
+        ws, tree_r, file_s, _ = env
+        measured = {}
+        for method in ("BFJ", "RTJ", "STJ1-2N"):
+            ws.start_measurement()
+            spatial_join(file_s, tree_r, ws.buffer, ws.config, ws.metrics,
+                         method=method)
+            measured[method] = ws.metrics.summary().total_io
+        plan, _ = plan_spatial_join(
+            file_s, tree_r, ws.buffer, ws.config, ws.metrics, execute=False,
+        )
+        chosen = plan.best.method
+        chosen_key = "STJ1-2N" if chosen == "STJ" else chosen
+        assert measured[chosen_key] <= 2.5 * min(measured.values())

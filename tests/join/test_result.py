@@ -1,0 +1,52 @@
+"""Tests for JoinResult and the naive oracle itself."""
+
+from repro.geometry import Rect
+from repro.join import JoinResult, naive_join
+
+
+class TestJoinResult:
+    def test_len_and_pair_set(self):
+        r = JoinResult(pairs=[(1, 2), (1, 2), (3, 4)], algorithm="X")
+        assert len(r) == 3
+        assert r.pair_set() == {(1, 2), (3, 4)}
+
+    def test_repr(self):
+        r = JoinResult(pairs=[(1, 2)], algorithm="STJ")
+        assert "STJ" in repr(r)
+        assert "1 pairs" in repr(r)
+
+    def test_defaults(self):
+        r = JoinResult()
+        assert r.pairs == []
+        assert r.index is None
+
+
+class TestNaiveJoin:
+    def test_basic(self):
+        a = [(Rect(0, 0, 1, 1), 1), (Rect(5, 5, 6, 6), 2)]
+        b = [(Rect(0.5, 0.5, 2, 2), 10)]
+        assert naive_join(a, b).pairs == [(1, 10)]
+
+    def test_empty_sides(self):
+        assert naive_join([], [(Rect(0, 0, 1, 1), 1)]).pairs == []
+        assert naive_join([(Rect(0, 0, 1, 1), 1)], []).pairs == []
+
+    def test_orientation(self):
+        a = [(Rect(0, 0, 1, 1), 7)]
+        b = [(Rect(0, 0, 1, 1), 8)]
+        assert naive_join(a, b).pairs == [(7, 8)]
+
+    def test_cartesian_when_all_overlap(self):
+        a = [(Rect(0, 0, 1, 1), i) for i in range(3)]
+        b = [(Rect(0, 0, 1, 1), 10 + i) for i in range(4)]
+        assert len(naive_join(a, b).pairs) == 12
+
+    def test_touching_counts(self):
+        a = [(Rect(0, 0, 1, 1), 1)]
+        b = [(Rect(1, 1, 2, 2), 2)]
+        assert naive_join(a, b).pairs == [(1, 2)]
+
+    def test_consumes_iterators(self):
+        a = iter([(Rect(0, 0, 1, 1), 1)])
+        b = iter([(Rect(0, 0, 1, 1), 2)])
+        assert naive_join(a, b).pairs == [(1, 2)]

@@ -1,0 +1,113 @@
+"""Tests for the two-seeded-tree join (Section 5 extension)."""
+
+import pytest
+
+from repro.config import SystemConfig
+from repro.errors import ExperimentError
+from repro.geometry import Rect
+from repro.join import naive_join, two_seeded_join
+from repro.join.two_seeded import grid_boxes, sample_boxes
+from repro.metrics import Phase
+from repro.workspace import Workspace
+
+from ..conftest import random_entries
+
+
+@pytest.fixture(scope="module")
+def env():
+    ws = Workspace(SystemConfig(page_size=104, buffer_pages=128))
+    a_entries = random_entries(180, seed=31)
+    b_entries = random_entries(150, seed=32, oid_start=10_000)
+    file_a = ws.install_datafile(a_entries, name="A")
+    file_b = ws.install_datafile(b_entries, name="B")
+    oracle = naive_join(a_entries, b_entries).pair_set()
+    return ws, file_a, file_b, oracle
+
+
+class TestGridBoxes:
+    def test_tiles_cover_map(self):
+        boxes = grid_boxes(Rect(0, 0, 1, 1), 4)
+        assert len(boxes) == 16
+        assert sum(b.area() for b in boxes) == pytest.approx(1.0)
+
+    def test_single_cell(self):
+        [box] = grid_boxes(Rect(0, 0, 2, 2), 1)
+        assert box == Rect(0, 0, 2, 2)
+
+    def test_rejects_zero_cells(self):
+        with pytest.raises(ExperimentError):
+            grid_boxes(Rect(0, 0, 1, 1), 0)
+
+
+class TestSampleBoxes:
+    def test_samples_from_both_inputs(self, env):
+        ws, file_a, file_b, _ = env
+        with ws.metrics.phase(Phase.SETUP):
+            boxes = sample_boxes(file_a, file_b, sample_size=40, seed=1)
+        assert len(boxes) == 40
+        all_rects = {
+            r for r, _ in file_a.read_all_unaccounted()
+        } | {r for r, _ in file_b.read_all_unaccounted()}
+        assert all(b in all_rects for b in boxes)
+
+    def test_small_inputs_sample_everything(self):
+        ws = Workspace(SystemConfig(page_size=104, buffer_pages=64))
+        file_a = ws.install_datafile(random_entries(5, seed=33))
+        file_b = ws.install_datafile(random_entries(5, seed=34, oid_start=99))
+        boxes = sample_boxes(file_a, file_b, sample_size=100)
+        assert len(boxes) == 10
+
+    def test_empty_inputs_raise(self):
+        ws = Workspace(SystemConfig(page_size=104, buffer_pages=64))
+        file_a = ws.install_datafile([])
+        file_b = ws.install_datafile([])
+        with pytest.raises(ExperimentError):
+            sample_boxes(file_a, file_b, sample_size=10)
+
+    def test_deterministic_for_seed(self, env):
+        ws, file_a, file_b, _ = env
+        a = sample_boxes(file_a, file_b, sample_size=20, seed=7)
+        b = sample_boxes(file_a, file_b, sample_size=20, seed=7)
+        assert a == b
+
+
+class TestTwoSeededJoin:
+    def test_grid_matches_oracle(self, env):
+        ws, file_a, file_b, oracle = env
+        ws.start_measurement()
+        result = two_seeded_join(file_a, file_b, ws.buffer, ws.config,
+                                 ws.metrics, seeds="grid", grid_cells=4)
+        assert result.pair_set() == oracle
+        assert result.algorithm == "2STJ"
+
+    def test_sample_matches_oracle(self, env):
+        ws, file_a, file_b, oracle = env
+        ws.start_measurement()
+        result = two_seeded_join(file_a, file_b, ws.buffer, ws.config,
+                                 ws.metrics, seeds="sample", sample_size=30)
+        assert result.pair_set() == oracle
+
+    def test_unknown_seed_source_rejected(self, env):
+        ws, file_a, file_b, _ = env
+        with pytest.raises(ExperimentError):
+            two_seeded_join(file_a, file_b, ws.buffer, ws.config,
+                            ws.metrics, seeds="magic")
+
+    def test_costs_include_both_constructions(self, env):
+        ws, file_a, file_b, _ = env
+        ws.start_measurement()
+        two_seeded_join(file_a, file_b, ws.buffer, ws.config, ws.metrics,
+                        seeds="grid", grid_cells=4)
+        s = ws.metrics.summary()
+        # Both data files were scanned during construction.
+        assert s.construct_read > 0
+        assert s.match_read >= 0
+
+    def test_custom_map_area(self, env):
+        ws, file_a, file_b, oracle = env
+        ws.start_measurement()
+        result = two_seeded_join(
+            file_a, file_b, ws.buffer, ws.config, ws.metrics,
+            seeds="grid", grid_cells=8, map_area=Rect(0, 0, 1, 1),
+        )
+        assert result.pair_set() == oracle

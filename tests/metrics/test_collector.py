@@ -1,0 +1,113 @@
+"""Tests for per-phase cost collection and summaries."""
+
+import pytest
+
+from repro.config import SystemConfig
+from repro.metrics import CostSummary, MetricsCollector, Phase
+
+
+class TestPhases:
+    def test_default_phase_is_setup(self):
+        m = MetricsCollector()
+        assert m.current_phase is Phase.SETUP
+
+    def test_phase_context_restores(self):
+        m = MetricsCollector()
+        with m.phase(Phase.CONSTRUCT):
+            assert m.current_phase is Phase.CONSTRUCT
+            with m.phase(Phase.MATCH):
+                assert m.current_phase is Phase.MATCH
+            assert m.current_phase is Phase.CONSTRUCT
+        assert m.current_phase is Phase.SETUP
+
+    def test_phase_restored_on_exception(self):
+        m = MetricsCollector()
+        with pytest.raises(ValueError):
+            with m.phase(Phase.MATCH):
+                raise ValueError("boom")
+        assert m.current_phase is Phase.SETUP
+
+    def test_records_go_to_current_phase(self):
+        m = MetricsCollector()
+        m.record_read()
+        with m.phase(Phase.CONSTRUCT):
+            m.record_write(sequential=True, count=3)
+        assert m.io_for(Phase.SETUP).random_reads == 1
+        assert m.io_for(Phase.CONSTRUCT).sequential_writes == 3
+        assert m.io_for(Phase.MATCH).total_accesses == 0
+
+
+class TestSummary:
+    def test_setup_excluded(self):
+        m = MetricsCollector()
+        m.record_read(count=100)  # setup: must not appear
+        with m.phase(Phase.MATCH):
+            m.record_read(count=5)
+        s = m.summary()
+        assert s.match_read == 5
+        assert s.total_io == 5
+
+    def test_sequential_weighting(self):
+        m = MetricsCollector(SystemConfig())
+        with m.phase(Phase.CONSTRUCT):
+            m.record_read(sequential=True, count=30)
+            m.record_read(count=2)
+        s = m.summary()
+        assert s.construct_read == pytest.approx(3.0)
+
+    def test_cpu_counters(self):
+        m = MetricsCollector()
+        m.count_bbox_tests(1500)
+        m.count_xy_tests(2500)
+        s = m.summary()
+        assert s.bbox_tests == 1500
+        assert s.xy_tests == 2500
+        assert s.bbox_k == pytest.approx(1.5)
+        assert s.xy_k == pytest.approx(2.5)
+
+    def test_total_io_sums_all_columns(self):
+        m = MetricsCollector()
+        with m.phase(Phase.CONSTRUCT):
+            m.record_read(count=1)
+            m.record_write(count=2)
+        with m.phase(Phase.MATCH):
+            m.record_read(count=4)
+            m.record_write(count=8)
+        assert m.summary().total_io == 15
+
+    def test_construct_io_charges_match_writes(self):
+        """The paper attributes match-time write-backs to construction."""
+        m = MetricsCollector()
+        with m.phase(Phase.CONSTRUCT):
+            m.record_read(count=10)
+            m.record_write(count=20)
+        with m.phase(Phase.MATCH):
+            m.record_read(count=40)
+            m.record_write(count=80)
+        s = m.summary()
+        assert s.construct_io == 10 + 20 + 80
+        assert s.match_io == 40
+
+    def test_summary_is_frozen_snapshot(self):
+        m = MetricsCollector()
+        with m.phase(Phase.MATCH):
+            m.record_read()
+        s1 = m.summary()
+        with m.phase(Phase.MATCH):
+            m.record_read()
+        assert m.summary().match_read == 2
+        assert s1.match_read == 1
+        assert isinstance(s1, CostSummary)
+
+
+class TestReset:
+    def test_reset_zeroes_everything(self):
+        m = MetricsCollector()
+        with m.phase(Phase.MATCH):
+            m.record_read(count=9)
+        m.count_bbox_tests(5)
+        m.reset()
+        s = m.summary()
+        assert s.total_io == 0
+        assert s.bbox_tests == 0
+        assert m.current_phase is Phase.SETUP

@@ -1,0 +1,49 @@
+"""Tests for the raw counter records."""
+
+import pytest
+
+from repro.metrics import CpuCounters, IoCounters
+
+
+class TestIoCounters:
+    def test_defaults_zero(self):
+        io = IoCounters()
+        assert io.total_accesses == 0
+        assert io.total_cost(1 / 30) == 0.0
+
+    def test_read_cost_weighting(self):
+        io = IoCounters(random_reads=3, sequential_reads=60)
+        assert io.read_cost(1 / 30) == pytest.approx(5.0)
+
+    def test_write_cost_weighting(self):
+        io = IoCounters(random_writes=1, sequential_writes=30)
+        assert io.write_cost(1 / 30) == pytest.approx(2.0)
+
+    def test_total_cost(self):
+        io = IoCounters(2, 30, 3, 60)
+        assert io.total_cost(1 / 30) == pytest.approx(2 + 1 + 3 + 2)
+
+    def test_total_accesses_raw(self):
+        io = IoCounters(1, 2, 3, 4)
+        assert io.total_accesses == 10
+
+    def test_merged_with(self):
+        a = IoCounters(1, 2, 3, 4)
+        b = IoCounters(10, 20, 30, 40)
+        m = a.merged_with(b)
+        assert (m.random_reads, m.sequential_reads) == (11, 22)
+        assert (m.random_writes, m.sequential_writes) == (33, 44)
+        # originals untouched
+        assert a.random_reads == 1
+
+
+class TestCpuCounters:
+    def test_thousands_properties(self):
+        cpu = CpuCounters(bbox_tests=2500, xy_tests=500)
+        assert cpu.bbox_k == pytest.approx(2.5)
+        assert cpu.xy_k == pytest.approx(0.5)
+
+    def test_direct_mutation(self):
+        cpu = CpuCounters()
+        cpu.xy_tests += 7
+        assert cpu.xy_tests == 7

@@ -1,0 +1,106 @@
+"""Tests for the paper-layout table and series rendering."""
+
+from repro.metrics import CostSummary
+from repro.metrics.report import format_cost_table, format_series
+
+
+def summary(**overrides):
+    base = dict(
+        match_read=100.0, match_write=10.0,
+        construct_read=20.0, construct_write=30.0,
+        bbox_tests=5000, xy_tests=7000,
+    )
+    base.update(overrides)
+    return CostSummary(**base)
+
+
+class TestCostTable:
+    def test_contains_all_columns(self):
+        text = format_cost_table([("BFJ", summary())])
+        for token in ("Alg.", "match rd", "cons wr", "total", "bbox(K)", "XY(K)"):
+            assert token in text
+
+    def test_row_values_formatted(self):
+        text = format_cost_table([("STJ1-2N", summary())])
+        line = text.splitlines()[-1]
+        assert "STJ1-2N" in line
+        assert "160" in line  # total = 100+10+20+30
+        assert "5" in line    # bbox K
+        assert "7" in line    # xy K
+
+    def test_title_line(self):
+        text = format_cost_table([("X", summary())], title="Table 9")
+        assert text.splitlines()[0] == "Table 9"
+
+    def test_multiple_rows_aligned(self):
+        text = format_cost_table(
+            [("A", summary()), ("LONGNAME", summary(match_read=123456.0))]
+        )
+        lines = text.splitlines()
+        assert len({len(line) for line in lines[-2:]}) == 1  # equal width
+
+    def test_empty_rows(self):
+        text = format_cost_table([])
+        assert "Alg." in text
+
+
+class TestSeries:
+    def test_header_and_rows(self):
+        text = format_series(
+            "||D_S||", [20000, 40000],
+            [("BFJ", [1.0, 2.0]), ("STJ1-2N", [0.5, 0.75])],
+        )
+        lines = text.splitlines()
+        assert lines[0] == "||D_S||, 20000, 40000"
+        assert lines[1] == "BFJ, 1, 2"
+        assert lines[2].startswith("STJ1-2N")
+
+    def test_title(self):
+        text = format_series("x", [1], [("a", [1.0])], title="Figure 6")
+        assert text.splitlines()[0] == "Figure 6"
+
+
+class TestAsciiChart:
+    def test_basic_structure(self):
+        from repro.metrics.report import format_ascii_chart
+
+        text = format_ascii_chart(
+            [10, 20, 30],
+            [("BFJ", [1.0, 2.0, 3.0]), ("RTJ", [3.0, 2.0, 1.0])],
+            height=8, title="chart",
+        )
+        lines = text.splitlines()
+        assert lines[0] == "chart"
+        assert any("B=BFJ" in line for line in lines)
+        assert any("R=RTJ" in line for line in lines)
+        # 8 data rows + axis + labels + legend + title
+        assert len(lines) == 8 + 4
+
+    def test_marker_collision_falls_back_to_digits(self):
+        from repro.metrics.report import format_ascii_chart
+
+        text = format_ascii_chart(
+            [1, 2], [("STJ1", [1.0, 2.0]), ("STJ2", [2.0, 1.0])],
+        )
+        assert "S=STJ1" in text
+        assert "1=STJ2" in text
+
+    def test_empty_series(self):
+        from repro.metrics.report import format_ascii_chart
+
+        assert format_ascii_chart([], [], title="t") == "t"
+
+    def test_rejects_tiny_height(self):
+        import pytest
+
+        from repro.metrics.report import format_ascii_chart
+
+        with pytest.raises(ValueError):
+            format_ascii_chart([1], [("A", [1.0])], height=1)
+
+    def test_max_value_on_top_row(self):
+        from repro.metrics.report import format_ascii_chart
+
+        text = format_ascii_chart([1], [("A", [100.0])], height=4)
+        top_row = text.splitlines()[0]
+        assert "A" in top_row

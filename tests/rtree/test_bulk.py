@@ -1,0 +1,77 @@
+"""Tests for STR bulk loading."""
+
+import pytest
+
+from repro.config import SystemConfig
+from repro.geometry import Rect
+from repro.metrics import MetricsCollector
+from repro.rtree import RTree, bulk_load_str
+from repro.storage import BufferPool, DiskSimulator
+
+from ..conftest import random_entries
+
+
+def bulk(entries, page_size=104, buffer_pages=256):
+    cfg = SystemConfig(page_size=page_size, buffer_pages=buffer_pages)
+    m = MetricsCollector(cfg)
+    buf = BufferPool(cfg.buffer_pages, DiskSimulator(m))
+    return bulk_load_str(buf, cfg, entries, metrics=m)
+
+
+class TestBulkLoad:
+    def test_empty(self):
+        tree = bulk([])
+        assert len(tree) == 0
+        assert tree.window_query(Rect(0, 0, 1, 1)) == []
+
+    def test_single(self):
+        tree = bulk([(Rect(0, 0, 1, 1), 5)])
+        assert len(tree) == 1
+        assert tree.window_query(Rect(0, 0, 2, 2)) == [5]
+
+    def test_queries_match_linear_scan(self):
+        entries = random_entries(300, seed=1)
+        tree = bulk(entries)
+        tree.validate(check_min_fill=False)
+        window = Rect(0.3, 0.3, 0.6, 0.6)
+        expected = sorted(o for r, o in entries if r.intersects(window))
+        assert sorted(tree.window_query(window)) == expected
+
+    def test_count(self):
+        tree = bulk(random_entries(123, seed=2))
+        assert len(tree) == 123
+
+    def test_is_ordinary_rtree(self):
+        tree = bulk(random_entries(40, seed=3))
+        assert isinstance(tree, RTree)
+        # Dynamic inserts still work afterwards.
+        tree.insert(Rect(0.1, 0.1, 0.2, 0.2), 999)
+        assert 999 in tree.window_query(Rect(0, 0, 1, 1))
+        tree.validate(check_min_fill=False)
+
+    def test_packing_is_tight(self):
+        """STR packs nodes nearly full; far fewer nodes than a dynamic
+        build of the same data."""
+        entries = random_entries(400, seed=4)
+        packed = bulk(entries)
+        cfg = SystemConfig(page_size=104, buffer_pages=256)
+        m = MetricsCollector(cfg)
+        dynamic = RTree.build(
+            BufferPool(cfg.buffer_pages, DiskSimulator(m)), cfg, entries,
+            metrics=m,
+        )
+        assert packed.num_nodes() < dynamic.num_nodes()
+
+    def test_exact_capacity_multiple(self):
+        # 16 entries with fan-out 4: exactly 4 leaves + 1 root.
+        entries = random_entries(16, seed=5)
+        tree = bulk(entries)
+        assert tree.num_nodes() == 5
+        assert tree.height == 2
+
+    def test_counts_cpu(self):
+        cfg = SystemConfig(page_size=104, buffer_pages=64)
+        m = MetricsCollector(cfg)
+        buf = BufferPool(cfg.buffer_pages, DiskSimulator(m))
+        bulk_load_str(buf, cfg, random_entries(50, seed=6), metrics=m)
+        assert m.cpu.bbox_tests > 0

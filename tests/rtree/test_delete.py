@@ -1,0 +1,132 @@
+"""Tests for Guttman deletion with tree condensation."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.config import SystemConfig
+from repro.geometry import Rect
+from repro.metrics import MetricsCollector
+from repro.rtree import RTree
+from repro.storage import BufferPool, DiskSimulator
+
+from ..conftest import random_entries
+from ..strategies import entry_lists
+
+
+def build(entries, buffer_pages=256):
+    cfg = SystemConfig(page_size=104, buffer_pages=buffer_pages)
+    m = MetricsCollector(cfg)
+    tree = RTree.build(
+        BufferPool(cfg.buffer_pages, DiskSimulator(m)), cfg, entries,
+        metrics=m,
+    )
+    return tree
+
+
+class TestDeleteBasics:
+    def test_delete_existing(self):
+        entries = random_entries(30, seed=1)
+        tree = build(entries)
+        rect, oid = entries[7]
+        assert tree.delete(rect, oid)
+        assert len(tree) == 29
+        assert oid not in tree.window_query(rect)
+        tree.validate()
+
+    def test_delete_missing_oid(self):
+        entries = random_entries(10, seed=2)
+        tree = build(entries)
+        assert not tree.delete(entries[0][0], 999)
+        assert len(tree) == 10
+
+    def test_delete_wrong_rect(self):
+        entries = random_entries(10, seed=3)
+        tree = build(entries)
+        assert not tree.delete(Rect(0.9, 0.9, 0.95, 0.95), entries[0][1])
+
+    def test_delete_from_empty(self):
+        tree = build([])
+        assert not tree.delete(Rect(0, 0, 1, 1), 0)
+
+    def test_delete_twice(self):
+        entries = random_entries(20, seed=4)
+        tree = build(entries)
+        rect, oid = entries[0]
+        assert tree.delete(rect, oid)
+        assert not tree.delete(rect, oid)
+
+    def test_delete_last_object(self):
+        tree = build([])
+        tree.insert(Rect(0, 0, 1, 1), 1)
+        assert tree.delete(Rect(0, 0, 1, 1), 1)
+        assert len(tree) == 0
+        tree.validate()
+
+
+class TestCondensation:
+    def test_tree_shrinks_after_mass_delete(self):
+        entries = random_entries(200, seed=5)
+        tree = build(entries)
+        tall = tree.height
+        for rect, oid in entries[:180]:
+            assert tree.delete(rect, oid)
+        tree.validate()
+        assert len(tree) == 20
+        assert tree.height <= tall
+
+    def test_delete_everything(self):
+        entries = random_entries(120, seed=6)
+        tree = build(entries)
+        for rect, oid in entries:
+            assert tree.delete(rect, oid)
+        assert len(tree) == 0
+        assert tree.window_query(Rect(0, 0, 1, 1)) == []
+        tree.validate()
+
+    def test_queries_correct_after_deletes(self):
+        entries = random_entries(150, seed=7)
+        tree = build(entries)
+        removed = set()
+        rng = random.Random(8)
+        for rect, oid in rng.sample(entries, 70):
+            assert tree.delete(rect, oid)
+            removed.add(oid)
+        window = Rect(0.2, 0.2, 0.7, 0.7)
+        expected = sorted(
+            o for r, o in entries if o not in removed and r.intersects(window)
+        )
+        assert sorted(tree.window_query(window)) == expected
+        tree.validate()
+
+    def test_interleaved_insert_delete(self):
+        tree = build([])
+        live: dict[int, Rect] = {}
+        rng = random.Random(9)
+        entries = random_entries(160, seed=10)
+        for i, (rect, oid) in enumerate(entries):
+            tree.insert(rect, oid)
+            live[oid] = rect
+            if i % 3 == 2:
+                victim = rng.choice(sorted(live))
+                assert tree.delete(live[victim], victim)
+                del live[victim]
+        tree.validate()
+        assert len(tree) == len(live)
+        window = Rect(0, 0, 1, 1)
+        assert sorted(tree.window_query(window)) == sorted(live)
+
+
+@settings(max_examples=15, deadline=None)
+@given(entry_lists(min_size=5, max_size=40), st.integers(0, 1_000_000))
+def test_delete_random_subset_preserves_invariants(entries, seed):
+    tree = build(entries)
+    rng = random.Random(seed)
+    victims = rng.sample(entries, len(entries) // 2)
+    for rect, oid in victims:
+        assert tree.delete(rect, oid)
+    tree.validate()
+    survivors = sorted(set(o for _, o in entries) - set(o for _, o in victims))
+    assert sorted(o for _, o in tree.all_objects()) == survivors

@@ -1,0 +1,136 @@
+"""Tests for best-first k-nearest-neighbour search."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.config import SystemConfig
+from repro.geometry import Rect
+from repro.metrics import MetricsCollector
+from repro.rtree import RTree
+from repro.seeded import SeededTree
+from repro.storage import BufferPool, DiskSimulator
+
+from ..conftest import random_entries
+from ..strategies import entry_lists
+
+
+def build(entries, page_size=104, buffer_pages=128):
+    cfg = SystemConfig(page_size=page_size, buffer_pages=buffer_pages)
+    m = MetricsCollector(cfg)
+    return RTree.build(BufferPool(cfg.buffer_pages, DiskSimulator(m)),
+                       cfg, entries, metrics=m)
+
+
+def oracle(entries, x, y, k):
+    def dist(rect):
+        dx = max(rect.xlo - x, 0.0, x - rect.xhi)
+        dy = max(rect.ylo - y, 0.0, y - rect.yhi)
+        return math.hypot(dx, dy)
+
+    return sorted((dist(r), o) for r, o in entries)[:k]
+
+
+class TestNearestNeighbors:
+    def test_single_nearest(self):
+        entries = random_entries(200, seed=1)
+        tree = build(entries)
+        [(d, oid)] = tree.nearest_neighbors(0.5, 0.5, k=1)
+        [(ed, eoid)] = oracle(entries, 0.5, 0.5, 1)
+        assert d == pytest.approx(ed)
+        assert oid == eoid
+
+    def test_k_results_sorted(self):
+        entries = random_entries(300, seed=2)
+        tree = build(entries)
+        got = tree.nearest_neighbors(0.3, 0.7, k=10)
+        assert len(got) == 10
+        dists = [d for d, _ in got]
+        assert dists == sorted(dists)
+
+    def test_matches_oracle_distances(self):
+        entries = random_entries(300, seed=3)
+        tree = build(entries)
+        got = tree.nearest_neighbors(0.8, 0.2, k=15)
+        want = oracle(entries, 0.8, 0.2, 15)
+        # Distances must agree exactly; ids may differ only on exact ties.
+        assert [d for d, _ in got] == pytest.approx([d for d, _ in want])
+
+    def test_point_inside_object_is_distance_zero(self):
+        tree = build([(Rect(0.4, 0.4, 0.6, 0.6), 7)])
+        [(d, oid)] = tree.nearest_neighbors(0.5, 0.5)
+        assert d == 0.0
+        assert oid == 7
+
+    def test_k_larger_than_tree(self):
+        entries = random_entries(5, seed=4)
+        tree = build(entries)
+        got = tree.nearest_neighbors(0.5, 0.5, k=50)
+        assert len(got) == 5
+
+    def test_empty_tree(self):
+        tree = build([])
+        assert tree.nearest_neighbors(0.5, 0.5, k=3) == []
+
+    def test_k_zero(self):
+        tree = build(random_entries(10, seed=5))
+        assert tree.nearest_neighbors(0.5, 0.5, k=0) == []
+
+    def test_charges_io_and_cpu(self):
+        entries = random_entries(400, seed=6)
+        tree = build(entries, buffer_pages=8 * 4)
+        m = tree.metrics
+        before_cpu = m.cpu.bbox_tests
+        tree.nearest_neighbors(0.1, 0.9, k=5)
+        assert m.cpu.bbox_tests > before_cpu
+
+    def test_visits_fewer_nodes_than_full_scan(self):
+        """Branch and bound must prune: far fewer node reads than the
+        tree has nodes."""
+        entries = random_entries(800, seed=7, side=0.01)
+        tree = build(entries)
+        hits_before = tree.buffer.stats.hits + tree.buffer.stats.misses
+        tree.nearest_neighbors(0.5, 0.5, k=3)
+        reads = (tree.buffer.stats.hits + tree.buffer.stats.misses
+                 - hits_before)
+        assert reads < tree.num_nodes() / 3
+
+
+class TestSeededTreeKnn:
+    def test_retained_seeded_tree_answers_knn(self):
+        cfg = SystemConfig(page_size=104, buffer_pages=128)
+        m = MetricsCollector(cfg)
+        buf = BufferPool(cfg.buffer_pages, DiskSimulator(m))
+        r_entries = random_entries(150, seed=8)
+        t_r = RTree.build(buf, cfg, r_entries, metrics=m)
+        s_entries = random_entries(200, seed=9, oid_start=1000)
+        tree = SeededTree(buf, cfg, m)
+        tree.seed(t_r)
+        tree.grow_from(s_entries)
+        tree.cleanup()
+        got = tree.nearest_neighbors(0.25, 0.25, k=8)
+        want = oracle(s_entries, 0.25, 0.25, 8)
+        assert [d for d, _ in got] == pytest.approx([d for d, _ in want])
+
+    def test_requires_ready_phase(self):
+        from repro.errors import TreePhaseError
+
+        cfg = SystemConfig(page_size=104, buffer_pages=64)
+        m = MetricsCollector(cfg)
+        tree = SeededTree(BufferPool(64, DiskSimulator(m)), cfg, m)
+        with pytest.raises(TreePhaseError):
+            tree.nearest_neighbors(0.5, 0.5)
+
+
+@settings(max_examples=25, deadline=None)
+@given(entry_lists(min_size=1, max_size=50),
+       st.integers(1, 10),
+       st.integers(0, 16), st.integers(0, 16))
+def test_knn_distances_match_oracle(entries, k, gx, gy):
+    x, y = gx / 16.0, gy / 16.0
+    tree = build(entries)
+    got = tree.nearest_neighbors(x, y, k=k)
+    want = oracle(entries, x, y, k)
+    assert [round(d, 9) for d, _ in got] == [round(d, 9) for d, _ in want]

@@ -1,0 +1,138 @@
+"""Tests for tree dump/load through the page codec."""
+
+import pytest
+
+from repro.config import SystemConfig
+from repro.errors import StorageError
+from repro.geometry import Rect
+from repro.metrics import MetricsCollector
+from repro.rtree import RTree
+from repro.rtree.persist import dump_tree, load_tree
+from repro.seeded import SeededTree
+from repro.storage import BufferPool, DiskSimulator
+
+
+def grid_entries(n, seed_offset=0, oid_start=0):
+    """Entries on a 1/256 grid: exactly representable in float32."""
+    out = []
+    for i in range(n):
+        v = ((i * 37 + seed_offset) % 200) / 256.0
+        w = ((i * 53 + seed_offset) % 40 + 1) / 256.0
+        out.append((Rect(v, v / 2, min(1.0, v + w), min(1.0, v / 2 + w)),
+                    oid_start + i))
+    return out
+
+
+def make_env(page_size=512, buffer_pages=128):
+    cfg = SystemConfig(page_size=page_size, buffer_pages=buffer_pages)
+    m = MetricsCollector(cfg)
+    buf = BufferPool(cfg.buffer_pages, DiskSimulator(m))
+    return cfg, m, buf
+
+
+class TestRoundTrip:
+    def test_queries_identical_after_reload(self):
+        cfg, m, buf = make_env()
+        entries = grid_entries(300)
+        tree = RTree.build(buf, cfg, entries, metrics=m)
+        blob = dump_tree(tree)
+
+        cfg2, m2, buf2 = make_env()
+        loaded = load_tree(buf2, cfg2, blob, metrics=m2)
+        loaded.validate(check_min_fill=False)
+        assert len(loaded) == 300
+        for window in (Rect(0, 0, 0.5, 0.5), Rect(0.3, 0.1, 0.9, 0.4)):
+            assert sorted(loaded.window_query(window)) == \
+                sorted(tree.window_query(window))
+
+    def test_structure_preserved(self):
+        cfg, m, buf = make_env()
+        tree = RTree.build(buf, cfg, grid_entries(500), metrics=m)
+        blob = dump_tree(tree)
+        cfg2, m2, buf2 = make_env()
+        loaded = load_tree(buf2, cfg2, blob, metrics=m2)
+        assert loaded.height == tree.height
+        assert loaded.num_nodes() == tree.num_nodes()
+
+    def test_empty_tree(self):
+        cfg, m, buf = make_env()
+        tree = RTree(buf, cfg, metrics=m)
+        blob = dump_tree(tree)
+        cfg2, m2, buf2 = make_env()
+        loaded = load_tree(buf2, cfg2, blob, metrics=m2)
+        assert len(loaded) == 0
+        assert loaded.window_query(Rect(0, 0, 1, 1)) == []
+
+    def test_loaded_tree_accepts_inserts(self):
+        cfg, m, buf = make_env()
+        tree = RTree.build(buf, cfg, grid_entries(100), metrics=m)
+        blob = dump_tree(tree)
+        cfg2, m2, buf2 = make_env()
+        loaded = load_tree(buf2, cfg2, blob, metrics=m2)
+        loaded.insert(Rect(0.125, 0.125, 0.25, 0.25), 9999)
+        assert 9999 in loaded.window_query(Rect(0.1, 0.1, 0.3, 0.3))
+        loaded.validate(check_min_fill=False)
+
+    def test_seeded_tree_dump(self):
+        cfg, m, buf = make_env()
+        t_r = RTree.build(buf, cfg, grid_entries(900), metrics=m)
+        seeded = SeededTree(buf, cfg, m)
+        seeded.seed(t_r)
+        s_entries = grid_entries(150, seed_offset=7, oid_start=10_000)
+        seeded.grow_from(s_entries)
+        seeded.cleanup()
+        blob = dump_tree(seeded)
+        cfg2, m2, buf2 = make_env()
+        loaded = load_tree(buf2, cfg2, blob, metrics=m2)
+        window = Rect(0.2, 0.1, 0.7, 0.4)
+        assert sorted(loaded.window_query(window)) == \
+            sorted(seeded.window_query(window))
+
+
+class TestQuantization:
+    def test_lossy_dump_rejected_by_default(self):
+        cfg, m, buf = make_env()
+        tree = RTree.build(
+            buf, cfg, [(Rect(0.1, 0.1, 0.2, 0.2), 1)], metrics=m,
+        )  # 0.1 is not float32-exact
+        with pytest.raises(StorageError):
+            dump_tree(tree)
+
+    def test_lossy_dump_allowed_explicitly(self):
+        cfg, m, buf = make_env()
+        tree = RTree.build(
+            buf, cfg, [(Rect(0.1, 0.1, 0.2, 0.2), 1)], metrics=m,
+        )
+        blob = dump_tree(tree, allow_quantize=True)
+        cfg2, m2, buf2 = make_env()
+        loaded = load_tree(buf2, cfg2, blob, metrics=m2)
+        assert len(loaded) == 1
+        # The rounded box still answers a generous window query.
+        assert loaded.window_query(Rect(0, 0, 1, 1)) == [1]
+
+
+class TestValidation:
+    def test_bad_magic(self):
+        cfg, m, buf = make_env()
+        with pytest.raises(StorageError):
+            load_tree(buf, cfg, b"NOPE" + b"\x00" * 100, metrics=m)
+
+    def test_truncated_blob(self):
+        cfg, m, buf = make_env()
+        tree = RTree.build(buf, cfg, grid_entries(50), metrics=m)
+        blob = dump_tree(tree)
+        with pytest.raises(StorageError):
+            load_tree(buf, cfg, blob[:-10], metrics=m)
+
+    def test_page_size_mismatch(self):
+        cfg, m, buf = make_env(page_size=512)
+        tree = RTree.build(buf, cfg, grid_entries(50), metrics=m)
+        blob = dump_tree(tree)
+        cfg2, m2, buf2 = make_env(page_size=1024)
+        with pytest.raises(StorageError):
+            load_tree(buf2, cfg2, blob, metrics=m2)
+
+    def test_tiny_blob(self):
+        cfg, m, buf = make_env()
+        with pytest.raises(StorageError):
+            load_tree(buf, cfg, b"x", metrics=m)

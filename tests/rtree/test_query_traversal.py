@@ -1,0 +1,74 @@
+"""Edge-case tests for the shared selection traversals."""
+
+import pytest
+
+from repro.config import SystemConfig
+from repro.geometry import Rect
+from repro.metrics import MetricsCollector, Phase
+from repro.rtree import RTree
+from repro.rtree.query import _mindist_sq
+from repro.storage import BufferPool, DiskSimulator
+
+from ..conftest import random_entries
+
+
+def build(entries, buffer_pages=64):
+    cfg = SystemConfig(page_size=104, buffer_pages=buffer_pages)
+    m = MetricsCollector(cfg)
+    return RTree.build(BufferPool(cfg.buffer_pages, DiskSimulator(m)),
+                       cfg, entries, metrics=m)
+
+
+class TestMindist:
+    def test_zero_inside(self):
+        assert _mindist_sq(Rect(0, 0, 1, 1), 0.5, 0.5) == 0.0
+
+    def test_zero_on_boundary(self):
+        assert _mindist_sq(Rect(0, 0, 1, 1), 1.0, 0.5) == 0.0
+
+    def test_axis_distance(self):
+        assert _mindist_sq(Rect(0, 0, 1, 1), 2.0, 0.5) == 1.0
+
+    def test_corner_distance(self):
+        assert _mindist_sq(Rect(0, 0, 1, 1), 2.0, 2.0) == 2.0
+
+    def test_degenerate_rect(self):
+        assert _mindist_sq(Rect.point(0.5, 0.5), 0.5, 1.0) == pytest.approx(0.25)
+
+
+class TestWindowEdgeCases:
+    def test_degenerate_window(self):
+        entries = [(Rect(0.2, 0.2, 0.4, 0.4), 1),
+                   (Rect(0.6, 0.6, 0.8, 0.8), 2)]
+        tree = build(entries)
+        # A zero-area window on a boundary still selects by closed
+        # semantics.
+        assert tree.window_query(Rect(0.4, 0.4, 0.4, 0.4)) == [1]
+
+    def test_window_equals_whole_map(self):
+        entries = random_entries(60, seed=1)
+        tree = build(entries)
+        assert sorted(tree.window_query(Rect(0, 0, 1, 1))) == \
+            sorted(o for _, o in entries)
+
+    def test_window_covering_single_point_object(self):
+        tree = build([(Rect.point(0.5, 0.5), 9)])
+        assert tree.window_query(Rect(0.5, 0.5, 0.6, 0.6)) == [9]
+        assert tree.window_query(Rect(0.51, 0.51, 0.6, 0.6)) == []
+
+    def test_query_io_charged_under_pressure(self):
+        entries = random_entries(300, seed=2)
+        tree = build(entries, buffer_pages=8)
+        m = tree.metrics
+        with m.phase(Phase.MATCH):
+            tree.window_query(Rect(0, 0, 1, 1))
+        assert m.io_for(Phase.MATCH).random_reads > 0
+
+    def test_repeat_query_hits_cache(self):
+        entries = random_entries(100, seed=3)
+        tree = build(entries, buffer_pages=256)
+        m = tree.metrics
+        tree.window_query(Rect(0.2, 0.2, 0.4, 0.4))
+        with m.phase(Phase.MATCH):
+            tree.window_query(Rect(0.2, 0.2, 0.4, 0.4))
+        assert m.io_for(Phase.MATCH).total_accesses == 0

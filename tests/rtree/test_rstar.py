@@ -1,0 +1,118 @@
+"""Tests for the R* topological split."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.config import SystemConfig
+from repro.errors import TreeError
+from repro.geometry import Rect
+from repro.metrics import MetricsCollector
+from repro.rtree import RTree
+from repro.rtree.node import Entry
+from repro.rtree.rstar import rstar_split
+from repro.rtree.split import check_split, quadratic_split
+from repro.rtree.stats import collect_tree_stats
+from repro.storage import BufferPool, DiskSimulator
+
+from ..conftest import random_entries, random_rects
+from ..strategies import small_rects
+
+
+def entries_from(rects):
+    return [Entry(r, i) for i, r in enumerate(rects)]
+
+
+class TestSplitContract:
+    def test_partitions_input(self):
+        entries = entries_from(random_rects(25, seed=1))
+        check_split(entries, rstar_split(entries, min_fill=10), 10)
+
+    def test_minimum_sizes(self):
+        entries = entries_from(random_rects(12, seed=2))
+        a, b = rstar_split(entries, min_fill=5)
+        assert len(a) >= 5 and len(b) >= 5
+
+    def test_rejects_degenerate_inputs(self):
+        with pytest.raises(TreeError):
+            rstar_split(entries_from(random_rects(1)), 1)
+        with pytest.raises(TreeError):
+            rstar_split(entries_from(random_rects(3)), 2)
+
+    def test_identical_rects(self):
+        r = Rect(0.4, 0.4, 0.5, 0.5)
+        entries = [Entry(r, i) for i in range(8)]
+        check_split(entries, rstar_split(entries, 3), 3)
+
+    def test_counts_cpu(self):
+        m = MetricsCollector()
+        entries = entries_from(random_rects(20, seed=3))
+        rstar_split(entries, 8, metrics=m)
+        assert m.cpu.bbox_tests == 20
+
+
+class TestSplitQuality:
+    def test_separates_bimodal_data_cleanly(self):
+        left = [Entry(Rect(0.0, i / 10, 0.1, i / 10 + 0.05), i)
+                for i in range(6)]
+        right = [Entry(Rect(0.9, i / 10, 1.0, i / 10 + 0.05), 100 + i)
+                 for i in range(6)]
+        a, b = rstar_split(left + right, min_fill=4)
+        groups = [{e.ref for e in a}, {e.ref for e in b}]
+        assert {e.ref for e in left} in groups
+        assert {e.ref for e in right} in groups
+
+    def test_lower_overlap_than_quadratic_on_average(self):
+        """The R* split's reason to exist: less group overlap."""
+
+        def overlap_of(split, seed):
+            entries = entries_from(random_rects(30, seed=seed, side=0.3))
+            a, b = split(entries, min_fill=12)
+            from repro.geometry import union_all
+            inter = union_all(e.mbr for e in a).intersection(
+                union_all(e.mbr for e in b)
+            )
+            return inter.area() if inter else 0.0
+
+        seeds = range(20)
+        rstar = sum(overlap_of(rstar_split, s) for s in seeds)
+        quad = sum(overlap_of(quadratic_split, s) for s in seeds)
+        assert rstar <= quad
+
+
+class TestRStarTree:
+    def build(self, split, n=400, seed=4):
+        cfg = SystemConfig(page_size=224, buffer_pages=512)
+        m = MetricsCollector(cfg)
+        buf = BufferPool(cfg.buffer_pages, DiskSimulator(m))
+        return RTree.build(buf, cfg, random_entries(n, seed=seed),
+                           metrics=m, split=split)
+
+    def test_tree_valid_and_correct(self):
+        tree = self.build(rstar_split)
+        tree.validate()
+        window = Rect(0.2, 0.2, 0.6, 0.6)
+        expected = sorted(
+            o for r, o in random_entries(400, seed=4) if r.intersects(window)
+        )
+        assert sorted(tree.window_query(window)) == expected
+
+    def test_leaf_overlap_not_worse_than_quadratic(self):
+        rstar_stats = collect_tree_stats(self.build(rstar_split))
+        quad_stats = collect_tree_stats(self.build(quadratic_split))
+        assert rstar_stats.level(0).overlap_area <= \
+            1.1 * quad_stats.level(0).overlap_area
+
+    def test_delete_works_with_rstar_split(self):
+        tree = self.build(rstar_split, n=150, seed=5)
+        entries = random_entries(150, seed=5)
+        for rect, oid in entries[:75]:
+            assert tree.delete(rect, oid)
+        tree.validate()
+
+
+@given(st.lists(small_rects(), min_size=4, max_size=24),
+       st.integers(min_value=1, max_value=2))
+def test_rstar_split_properties(rects, min_fill):
+    entries = entries_from(rects)
+    check_split(entries, rstar_split(entries, min_fill), min_fill)

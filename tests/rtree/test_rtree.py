@@ -1,0 +1,205 @@
+"""Tests for the dynamic R-tree: insertion, queries, invariants."""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.config import SystemConfig
+from repro.errors import TreeError
+from repro.geometry import Rect
+from repro.metrics import MetricsCollector, Phase
+from repro.rtree import RTree
+from repro.rtree.split import linear_split
+from repro.storage import BufferPool, DiskSimulator
+
+from ..conftest import random_entries
+from ..strategies import entry_lists
+
+
+def make_tree(config=None, metrics=None):
+    cfg = config or SystemConfig(page_size=104, buffer_pages=256)  # fan-out 4
+    m = metrics or MetricsCollector(cfg)
+    disk = DiskSimulator(m)
+    buf = BufferPool(cfg.buffer_pages, disk)
+    return RTree(buf, cfg, metrics=m), cfg, m
+
+
+class TestEmptyTree:
+    def test_empty_properties(self):
+        tree, _, _ = make_tree()
+        assert len(tree) == 0
+        assert tree.height == 1
+        assert tree.mbr() is None
+        assert tree.window_query(Rect(0, 0, 1, 1)) == []
+
+    def test_validate_empty(self):
+        tree, _, _ = make_tree()
+        tree.validate()
+
+
+class TestInsertion:
+    def test_single_insert(self):
+        tree, _, _ = make_tree()
+        tree.insert(Rect(0, 0, 1, 1), 42)
+        assert len(tree) == 1
+        assert tree.window_query(Rect(0.5, 0.5, 2, 2)) == [42]
+
+    def test_growth_splits_root(self):
+        tree, cfg, _ = make_tree()
+        for rect, oid in random_entries(20, seed=1):
+            tree.insert(rect, oid)
+        assert tree.height >= 2
+        tree.validate()
+
+    def test_three_levels(self):
+        tree, _, _ = make_tree()
+        for rect, oid in random_entries(120, seed=2):
+            tree.insert(rect, oid)
+        assert tree.height >= 3
+        tree.validate()
+
+    def test_mbr_covers_everything(self):
+        tree, _, _ = make_tree()
+        entries = random_entries(60, seed=3)
+        for rect, oid in entries:
+            tree.insert(rect, oid)
+        mbr = tree.mbr()
+        assert all(mbr.contains(r) for r, _ in entries)
+
+    def test_duplicate_rects_allowed(self):
+        tree, _, _ = make_tree()
+        r = Rect(0.2, 0.2, 0.3, 0.3)
+        for i in range(15):
+            tree.insert(r, i)
+        assert sorted(tree.window_query(r)) == list(range(15))
+        tree.validate()
+
+    def test_build_classmethod(self):
+        tree, cfg, m = make_tree()
+        built = RTree.build(tree.buffer, cfg, random_entries(30, seed=4),
+                            metrics=m)
+        assert len(built) == 30
+        built.validate()
+
+    def test_linear_split_variant(self):
+        cfg = SystemConfig(page_size=104, buffer_pages=256)
+        m = MetricsCollector(cfg)
+        disk = DiskSimulator(m)
+        buf = BufferPool(cfg.buffer_pages, disk)
+        tree = RTree.build(buf, cfg, random_entries(80, seed=5),
+                           metrics=m, split=linear_split)
+        tree.validate()
+        assert len(tree) == 80
+
+
+class TestQueries:
+    def test_window_query_matches_linear_scan(self):
+        tree, _, _ = make_tree()
+        entries = random_entries(200, seed=6)
+        for rect, oid in entries:
+            tree.insert(rect, oid)
+        window = Rect(0.25, 0.25, 0.5, 0.5)
+        expected = sorted(o for r, o in entries if r.intersects(window))
+        assert sorted(tree.window_query(window)) == expected
+
+    def test_point_query(self):
+        tree, _, _ = make_tree()
+        tree.insert(Rect(0, 0, 1, 1), 1)
+        tree.insert(Rect(2, 2, 3, 3), 2)
+        assert tree.point_query(0.5, 0.5) == [1]
+        assert tree.point_query(2.0, 2.0) == [2]  # boundary point
+        assert tree.point_query(1.5, 1.5) == []
+
+    def test_window_outside_everything(self):
+        tree, _, _ = make_tree()
+        for rect, oid in random_entries(40, seed=7):
+            tree.insert(rect, oid)
+        assert tree.window_query(Rect(10, 10, 11, 11)) == []
+
+    def test_query_counts_bbox_tests(self):
+        tree, _, m = make_tree()
+        for rect, oid in random_entries(40, seed=8):
+            tree.insert(rect, oid)
+        before = m.cpu.bbox_tests
+        tree.window_query(Rect(0, 0, 1, 1))
+        assert m.cpu.bbox_tests > before
+
+
+class TestIntrospection:
+    def test_all_objects(self):
+        tree, _, _ = make_tree()
+        entries = random_entries(50, seed=9)
+        for rect, oid in entries:
+            tree.insert(rect, oid)
+        assert sorted(tree.all_objects(), key=lambda e: e[1]) == entries
+
+    def test_num_nodes_consistent_with_levels(self):
+        tree, _, _ = make_tree()
+        for rect, oid in random_entries(100, seed=10):
+            tree.insert(rect, oid)
+        per_level = [
+            len(tree.nodes_at_level(lv)) for lv in range(tree.height)
+        ]
+        assert sum(per_level) == tree.num_nodes()
+        assert per_level[-1] == 1  # single root
+        # strictly narrowing toward the root
+        assert all(a > b for a, b in zip(per_level, per_level[1:]))
+
+    def test_read_node_rejects_non_node_pages(self):
+        tree, cfg, m = make_tree()
+        from repro.storage import DataFile
+        f = DataFile.create(tree.buffer.disk, cfg, random_entries(5))
+        with pytest.raises(TreeError):
+            tree.read_node(f.first_page_id)
+
+    def test_repr(self):
+        tree, _, _ = make_tree()
+        assert "objects=0" in repr(tree)
+
+
+class TestBufferInteraction:
+    def test_small_buffer_still_correct(self):
+        """Correctness is independent of buffer pressure."""
+        cfg = SystemConfig(page_size=104, buffer_pages=8)
+        m = MetricsCollector(cfg)
+        disk = DiskSimulator(m)
+        buf = BufferPool(cfg.buffer_pages, disk)
+        entries = random_entries(150, seed=11)
+        with m.phase(Phase.CONSTRUCT):
+            tree = RTree.build(buf, cfg, entries, metrics=m)
+        tree.validate()
+        window = Rect(0.1, 0.1, 0.6, 0.6)
+        expected = sorted(o for r, o in entries if r.intersects(window))
+        assert sorted(tree.window_query(window)) == expected
+
+    def test_small_buffer_causes_construction_io(self):
+        cfg = SystemConfig(page_size=104, buffer_pages=8)
+        m = MetricsCollector(cfg)
+        disk = DiskSimulator(m)
+        buf = BufferPool(cfg.buffer_pages, disk)
+        with m.phase(Phase.CONSTRUCT):
+            RTree.build(buf, cfg, random_entries(200, seed=12), metrics=m)
+        io = m.io_for(Phase.CONSTRUCT)
+        assert io.random_reads > 0    # re-reads of evicted nodes
+        assert io.random_writes > 0   # dirty write-backs
+
+    def test_large_buffer_no_construction_io(self):
+        tree, _, m = make_tree()  # 256-page buffer, small tree
+        with m.phase(Phase.CONSTRUCT):
+            for rect, oid in random_entries(100, seed=13):
+                tree.insert(rect, oid)
+        assert m.io_for(Phase.CONSTRUCT).total_accesses == 0
+
+
+@settings(max_examples=25, deadline=None)
+@given(entry_lists(min_size=1, max_size=60))
+def test_rtree_query_equals_linear_scan(entries):
+    cfg = SystemConfig(page_size=104, buffer_pages=64)
+    m = MetricsCollector(cfg)
+    tree = RTree.build(
+        BufferPool(cfg.buffer_pages, DiskSimulator(m)), cfg, entries,
+        metrics=m,
+    )
+    tree.validate()
+    window = Rect(0.25, 0.25, 0.75, 0.75)
+    expected = sorted(o for r, o in entries if r.intersects(window))
+    assert sorted(tree.window_query(window)) == expected

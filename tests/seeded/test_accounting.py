@@ -1,0 +1,151 @@
+"""Tests for the seeded tree's cost accounting, phase by phase.
+
+These pin down *where* the costs land — the property the whole
+reproduction rests on: construction charges construction, matching
+charges matching, sequential mechanisms actually produce sequential
+accesses.
+"""
+
+import pytest
+
+from repro.config import SystemConfig
+from repro.join import match_trees
+from repro.metrics import MetricsCollector, Phase
+from repro.rtree import RTree
+from repro.seeded import SeededTree
+from repro.storage import BufferPool, DataFile, DiskSimulator
+
+from ..conftest import random_entries
+
+
+def build_env(buffer_pages=64, page_size=224, n_r=1500):
+    cfg = SystemConfig(page_size=page_size, buffer_pages=buffer_pages)
+    m = MetricsCollector(cfg)
+    disk = DiskSimulator(m)
+    buf = BufferPool(cfg.buffer_pages, disk)
+    with m.phase(Phase.SETUP):
+        t_r = RTree.build(buf, cfg, random_entries(n_r, seed=61),
+                          metrics=None)
+        t_r.metrics = m
+        buf.purge()
+    disk.reset_arm()
+    return cfg, m, disk, buf, t_r
+
+
+def build_datafile(disk, cfg, m, n=1000, seed=62):
+    with m.phase(Phase.SETUP):
+        return DataFile.create(
+            disk, cfg, random_entries(n, seed=seed, oid_start=10_000)
+        )
+
+
+class TestConstructionAccounting:
+    def test_grow_from_datafile_charges_sequential_scan(self):
+        cfg, m, disk, buf, t_r = build_env()
+        file_s = build_datafile(disk, cfg, m)
+        tree = SeededTree(buf, cfg, m, use_linked_lists=False)
+        with m.phase(Phase.CONSTRUCT):
+            tree.seed(t_r)
+            tree.grow_from(file_s)
+            tree.cleanup()
+        io = m.io_for(Phase.CONSTRUCT)
+        # The D_S scan contributes its pages as one sequential sweep.
+        assert io.sequential_reads >= file_s.num_pages - 1
+
+    def test_seeding_reads_charged(self):
+        cfg, m, disk, buf, t_r = build_env()
+        tree = SeededTree(buf, cfg, m, seed_levels=2)
+        with m.phase(Phase.CONSTRUCT):
+            tree.seed(t_r)
+        io = m.io_for(Phase.CONSTRUCT)
+        # Root + its children of T_R were read (cold cache after setup).
+        root_arity = len(t_r._node_unaccounted(t_r.root_id).entries)
+        assert io.random_reads >= 1 + root_arity
+
+    def test_linked_lists_shift_io_to_sequential(self):
+        cfg, m, disk, buf, t_r = build_env(buffer_pages=32)
+        file_s = build_datafile(disk, cfg, m, n=2000)
+
+        def construct(use_lists):
+            m.reset()
+            buf.purge()
+            disk.reset_arm()
+            tree = SeededTree(buf, cfg, m, use_linked_lists=use_lists)
+            with m.phase(Phase.CONSTRUCT):
+                tree.seed(t_r)
+                tree.grow_from(file_s)
+                tree.cleanup()
+            return m.io_for(Phase.CONSTRUCT)
+
+        direct = construct(False)
+        lists = construct(True)
+        # With lists, random reads shrink dramatically...
+        assert lists.random_reads < direct.random_reads / 2
+        # ...bought with extra *sequential* traffic (batches + regroup).
+        assert lists.sequential_reads > direct.sequential_reads
+        assert lists.sequential_writes > direct.sequential_writes
+
+    def test_filtering_adds_cpu_not_io(self):
+        cfg, m, disk, buf, t_r = build_env()
+        file_s = build_datafile(disk, cfg, m)
+
+        costs = {}
+        for filtering in (False, True):
+            m.reset()
+            buf.purge()
+            disk.reset_arm()
+            tree = SeededTree(buf, cfg, m, filtering=filtering)
+            with m.phase(Phase.CONSTRUCT):
+                tree.seed(t_r)
+                tree.grow_from(file_s)
+                tree.cleanup()
+            costs[filtering] = (m.cpu.bbox_tests, m.summary().construct_io)
+
+        assert costs[True][0] > 2 * costs[False][0]       # CPU up
+        assert costs[True][1] <= costs[False][1] * 1.1    # I/O not worse
+
+
+class TestMatchAccounting:
+    def test_match_reads_charged_to_match_phase(self):
+        cfg, m, disk, buf, t_r = build_env(buffer_pages=32)
+        file_s = build_datafile(disk, cfg, m)
+        tree = SeededTree(buf, cfg, m)
+        with m.phase(Phase.CONSTRUCT):
+            tree.seed(t_r)
+            tree.grow_from(file_s)
+            tree.cleanup()
+        construct_before = m.io_for(Phase.CONSTRUCT).total_accesses
+        with m.phase(Phase.MATCH):
+            match_trees(tree, t_r, m)
+        assert m.io_for(Phase.MATCH).random_reads > 0
+        assert m.io_for(Phase.CONSTRUCT).total_accesses == construct_before
+
+    def test_warm_buffer_matching_writes_dirty_pages(self):
+        """Dirty T_S pages evicted during matching land in the match
+        write column — the effect the paper explicitly calls out."""
+        cfg, m, disk, buf, t_r = build_env(buffer_pages=32)
+        file_s = build_datafile(disk, cfg, m, n=2000)
+        tree = SeededTree(buf, cfg, m)
+        with m.phase(Phase.CONSTRUCT):
+            tree.seed(t_r)
+            tree.grow_from(file_s)
+            tree.cleanup()
+        with m.phase(Phase.MATCH):
+            match_trees(tree, t_r, m)
+        assert m.io_for(Phase.MATCH).random_writes > 0
+
+    def test_summary_charges_match_writes_to_construction(self):
+        cfg, m, disk, buf, t_r = build_env(buffer_pages=32)
+        file_s = build_datafile(disk, cfg, m, n=2000)
+        tree = SeededTree(buf, cfg, m)
+        with m.phase(Phase.CONSTRUCT):
+            tree.seed(t_r)
+            tree.grow_from(file_s)
+            tree.cleanup()
+        with m.phase(Phase.MATCH):
+            match_trees(tree, t_r, m)
+        s = m.summary()
+        assert s.construct_io == pytest.approx(
+            s.construct_read + s.construct_write + s.match_write
+        )
+        assert s.match_io == pytest.approx(s.match_read)

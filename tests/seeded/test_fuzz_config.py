@@ -1,0 +1,66 @@
+"""Configuration fuzzing: every seeded-tree knob combination is correct.
+
+Hypothesis draws arbitrary combinations of copy strategy, update policy,
+seed levels, filtering, linked lists, split algorithm and buffer size,
+runs the full seed → grow → cleanup → match pipeline, and compares
+against the quadratic oracle. The parametrised unit tests cover the
+named variants; this covers the cross-product they skip.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.config import SystemConfig
+from repro.join import match_trees, naive_join
+from repro.metrics import MetricsCollector
+from repro.rtree import RTree
+from repro.rtree.rstar import rstar_split
+from repro.rtree.split import linear_split, quadratic_split
+from repro.seeded import CopyStrategy, SeededTree, UpdatePolicy
+from repro.storage import BufferPool, DiskSimulator
+
+from ..conftest import random_entries
+
+SPLITS = (quadratic_split, linear_split, rstar_split)
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    copy_strategy=st.sampled_from(list(CopyStrategy)),
+    update_policy=st.sampled_from(list(UpdatePolicy)),
+    seed_levels=st.integers(1, 2),
+    filtering=st.booleans(),
+    use_lists=st.sampled_from([None, True, False]),
+    split_idx=st.integers(0, len(SPLITS) - 1),
+    buffer_pages=st.sampled_from([24, 48, 200]),
+    n_s=st.integers(10, 160),
+    data_seed=st.integers(0, 5),
+)
+def test_any_configuration_matches_oracle(
+    copy_strategy, update_policy, seed_levels, filtering, use_lists,
+    split_idx, buffer_pages, n_s, data_seed,
+):
+    cfg = SystemConfig(page_size=104, buffer_pages=buffer_pages)
+    m = MetricsCollector(cfg)
+    buf = BufferPool(cfg.buffer_pages, DiskSimulator(m))
+
+    r_entries = random_entries(200, seed=100 + data_seed)
+    s_entries = random_entries(n_s, seed=200 + data_seed, oid_start=10_000)
+    t_r = RTree.build(buf, cfg, r_entries, metrics=m)
+
+    tree = SeededTree(
+        buf, cfg, m,
+        copy_strategy=copy_strategy,
+        update_policy=update_policy,
+        seed_levels=seed_levels,
+        filtering=filtering,
+        use_linked_lists=use_lists,
+        split=SPLITS[split_idx],
+    )
+    tree.seed(t_r)
+    tree.grow_from(s_entries)
+    tree.cleanup()
+    tree.validate()
+
+    got = set(match_trees(tree, t_r, m))
+    assert got == naive_join(s_entries, r_entries).pair_set()

@@ -1,0 +1,145 @@
+"""Tests for the intermediate linked-list manager (Section 3.1)."""
+
+import pytest
+
+from repro.config import SystemConfig
+from repro.errors import StorageError
+from repro.geometry import Rect
+from repro.metrics import MetricsCollector, Phase
+from repro.seeded.linked_lists import LinkedListManager
+from repro.storage import DiskSimulator
+
+from ..conftest import random_entries
+
+
+def make_manager(num_slots=4, budget=8, page_size=104):
+    cfg = SystemConfig(page_size=page_size)  # data capacity 4
+    metrics = MetricsCollector(cfg)
+    disk = DiskSimulator(metrics)
+    return LinkedListManager(disk, cfg, num_slots, budget), metrics, cfg
+
+
+def drain_all(manager):
+    out = {}
+    for slot, entries in manager.regroup_and_drain():
+        out.setdefault(slot, []).extend(entries)
+    return out
+
+
+class TestAppend:
+    def test_entries_accumulate(self):
+        mgr, _, _ = make_manager()
+        entries = random_entries(10)
+        for rect, oid in entries:
+            mgr.append(oid % 4, (rect, oid))
+        assert mgr.total_entries == 10
+        assert mgr.entries_in_slot(0) == 3  # oids 0, 4, 8
+
+    def test_page_budget_rejected_if_zero(self):
+        cfg = SystemConfig(page_size=104)
+        disk = DiskSimulator(MetricsCollector(cfg))
+        with pytest.raises(StorageError):
+            LinkedListManager(disk, cfg, 2, 0)
+
+    def test_resident_pages_grow_with_capacity(self):
+        mgr, _, cfg = make_manager()
+        for rect, oid in random_entries(cfg.data_page_capacity + 1):
+            mgr.append(0, (rect, oid))
+        assert mgr.resident_pages == 2
+
+
+class TestFlushing:
+    def test_no_flush_under_budget(self):
+        mgr, metrics, _ = make_manager(budget=50)
+        for rect, oid in random_entries(40):
+            mgr.append(oid % 4, (rect, oid))
+        assert mgr.batches_flushed == 0
+        assert metrics.io_for(Phase.SETUP).total_accesses == 0
+
+    def test_flush_triggers_at_budget(self):
+        mgr, metrics, _ = make_manager(num_slots=2, budget=4)
+        with metrics.phase(Phase.CONSTRUCT):
+            for rect, oid in random_entries(60):
+                mgr.append(oid % 2, (rect, oid))
+        assert mgr.batches_flushed >= 1
+        io = metrics.io_for(Phase.CONSTRUCT)
+        # Batch writes are sequential sweeps, not random scatter.
+        assert io.sequential_writes > io.random_writes
+
+    def test_flush_prefers_long_lists(self):
+        mgr, metrics, _ = make_manager(num_slots=2, budget=6)
+        with metrics.phase(Phase.CONSTRUCT):
+            # Slot 0 gets a long list, slot 1 a single short page.
+            for rect, oid in random_entries(21):
+                mgr.append(0, (rect, oid))
+            mgr.append(1, (Rect(0, 0, 1, 1), 99))
+            # Trigger pressure
+            for rect, oid in random_entries(8, oid_start=200):
+                mgr.append(0, (rect, oid))
+        # The short slot-1 list (1 page <= threshold 2) stayed resident.
+        assert mgr.slots[1].resident_pages == 1
+
+    def test_flush_all_fallback_with_tiny_lists(self):
+        """Many slots with 1-page lists: the threshold frees nothing, so
+        everything must be flushed instead of deadlocking."""
+        mgr, metrics, _ = make_manager(num_slots=16, budget=4)
+        with metrics.phase(Phase.CONSTRUCT):
+            for slot in range(16):
+                mgr.append(slot, (Rect(0, 0, 1, 1), slot))
+        assert mgr.batches_flushed >= 1
+
+
+class TestRegroupAndDrain:
+    def test_round_trip_without_flushes(self):
+        mgr, metrics, _ = make_manager(budget=100)
+        entries = random_entries(30)
+        for rect, oid in entries:
+            mgr.append(oid % 4, (rect, oid))
+        grouped = drain_all(mgr)
+        flat = sorted(
+            (oid for es in grouped.values() for _, oid in es)
+        )
+        assert flat == [oid for _, oid in entries]
+        assert metrics.io_for(Phase.SETUP).total_accesses == 0  # all resident
+
+    def test_round_trip_with_flushes(self):
+        mgr, metrics, _ = make_manager(num_slots=3, budget=4)
+        entries = random_entries(100)
+        with metrics.phase(Phase.CONSTRUCT):
+            for rect, oid in entries:
+                mgr.append(oid % 3, (rect, oid))
+            grouped = drain_all(mgr)
+        for slot, slot_entries in grouped.items():
+            assert sorted(o for _, o in slot_entries) == [
+                o for _, o in entries if o % 3 == slot
+            ]
+
+    def test_groups_are_slot_ordered(self):
+        mgr, _, _ = make_manager(num_slots=5, budget=100)
+        for rect, oid in random_entries(25):
+            mgr.append(oid % 5, (rect, oid))
+        order = [slot for slot, _ in mgr.regroup_and_drain()]
+        assert order == sorted(order)
+
+    def test_regroup_io_is_sequential(self):
+        mgr, metrics, _ = make_manager(num_slots=8, budget=4)
+        with metrics.phase(Phase.CONSTRUCT):
+            for rect, oid in random_entries(120):
+                mgr.append(oid % 8, (rect, oid))
+            drain_all(mgr)
+        io = metrics.io_for(Phase.CONSTRUCT)
+        # The whole point of Section 3.1: sequential dwarfs random.
+        assert io.sequential_reads > 5 * io.random_reads
+        assert io.sequential_writes > 5 * io.random_writes
+
+    def test_drain_clears_state(self):
+        mgr, _, _ = make_manager(budget=100)
+        for rect, oid in random_entries(10):
+            mgr.append(oid % 4, (rect, oid))
+        drain_all(mgr)
+        assert mgr.resident_pages == 0
+        assert not mgr.batches
+
+    def test_empty_manager_drains_nothing(self):
+        mgr, _, _ = make_manager()
+        assert drain_all(mgr) == {}

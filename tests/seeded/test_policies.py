@@ -1,0 +1,102 @@
+"""Tests for copy strategies and update policies."""
+
+import pytest
+
+from repro.geometry import Rect
+from repro.rtree.node import Entry
+from repro.seeded.policies import CopyStrategy, UpdatePolicy, apply_update
+
+
+class TestParsing:
+    @pytest.mark.parametrize("text,member", [
+        ("C1", CopyStrategy.MBR),
+        ("c2", CopyStrategy.CENTER),
+        ("C3", CopyStrategy.CENTER_AT_SLOTS),
+        ("CENTER", CopyStrategy.CENTER),
+    ])
+    def test_copy_parse(self, text, member):
+        assert CopyStrategy.parse(text) is member
+
+    @pytest.mark.parametrize("text,member", [
+        ("U1", UpdatePolicy.NONE),
+        ("u2", UpdatePolicy.ENCLOSE_WITH_SEED),
+        ("U3", UpdatePolicy.ENCLOSE_DATA_ONLY),
+        ("U4", UpdatePolicy.SLOT_WITH_SEED),
+        ("U5", UpdatePolicy.SLOT_DATA_ONLY),
+    ])
+    def test_update_parse(self, text, member):
+        assert UpdatePolicy.parse(text) is member
+
+    def test_bad_names_raise(self):
+        with pytest.raises(ValueError):
+            CopyStrategy.parse("C9")
+        with pytest.raises(ValueError):
+            UpdatePolicy.parse("U0")
+
+
+class TestPolicyFlags:
+    def test_levels_updated(self):
+        assert UpdatePolicy.ENCLOSE_WITH_SEED.updates_all_levels
+        assert UpdatePolicy.ENCLOSE_DATA_ONLY.updates_all_levels
+        assert not UpdatePolicy.SLOT_WITH_SEED.updates_all_levels
+        assert not UpdatePolicy.NONE.updates_all_levels
+
+    def test_slot_updated(self):
+        assert not UpdatePolicy.NONE.updates_slot_level
+        for p in (UpdatePolicy.ENCLOSE_WITH_SEED, UpdatePolicy.SLOT_DATA_ONLY):
+            assert p.updates_slot_level
+
+    def test_seed_box_retention(self):
+        assert UpdatePolicy.ENCLOSE_WITH_SEED.encloses_seed_box
+        assert UpdatePolicy.SLOT_WITH_SEED.encloses_seed_box
+        assert not UpdatePolicy.ENCLOSE_DATA_ONLY.encloses_seed_box
+        assert not UpdatePolicy.SLOT_DATA_ONLY.encloses_seed_box
+
+
+SEED_BOX = Rect(0.0, 0.0, 0.2, 0.2)
+DATA = Rect(0.5, 0.5, 0.6, 0.6)
+DATA2 = Rect(0.8, 0.8, 0.9, 0.9)
+
+
+def fresh_entry():
+    return Entry(Rect(*SEED_BOX.as_tuple()), -1)
+
+
+class TestApplyUpdate:
+    def test_u1_never_changes(self):
+        e = fresh_entry()
+        assert not apply_update(UpdatePolicy.NONE, e, DATA, at_slot_level=True)
+        assert e.mbr == SEED_BOX
+        assert not e.touched
+
+    def test_u2_unions_with_seed(self):
+        e = fresh_entry()
+        assert apply_update(UpdatePolicy.ENCLOSE_WITH_SEED, e, DATA, False)
+        assert e.mbr == SEED_BOX.union(DATA)
+
+    def test_u3_replaces_then_unions(self):
+        e = fresh_entry()
+        apply_update(UpdatePolicy.ENCLOSE_DATA_ONLY, e, DATA, True)
+        assert e.mbr == DATA  # seed value dropped
+        apply_update(UpdatePolicy.ENCLOSE_DATA_ONLY, e, DATA2, True)
+        assert e.mbr == DATA.union(DATA2)
+
+    def test_u4_only_at_slot_level(self):
+        e = fresh_entry()
+        assert not apply_update(UpdatePolicy.SLOT_WITH_SEED, e, DATA, False)
+        assert e.mbr == SEED_BOX
+        assert apply_update(UpdatePolicy.SLOT_WITH_SEED, e, DATA, True)
+        assert e.mbr == SEED_BOX.union(DATA)
+
+    def test_u5_only_at_slot_level_data_only(self):
+        e = fresh_entry()
+        assert not apply_update(UpdatePolicy.SLOT_DATA_ONLY, e, DATA, False)
+        assert apply_update(UpdatePolicy.SLOT_DATA_ONLY, e, DATA, True)
+        assert e.mbr == DATA
+
+    def test_touched_flag_tracks_updates(self):
+        e = fresh_entry()
+        apply_update(UpdatePolicy.SLOT_DATA_ONLY, e, DATA, False)
+        assert not e.touched  # nothing happened off the slot level
+        apply_update(UpdatePolicy.SLOT_DATA_ONLY, e, DATA, True)
+        assert e.touched

@@ -1,0 +1,92 @@
+"""Tests for the seeded tree's retained-index after-life (Section 5)."""
+
+import pytest
+
+from repro.config import SystemConfig
+from repro.errors import TreePhaseError
+from repro.geometry import Rect
+from repro.metrics import MetricsCollector
+from repro.rtree import RTree
+from repro.seeded import SeededTree
+from repro.storage import BufferPool, DiskSimulator
+
+from ..conftest import random_entries
+
+
+def finished_tree(n_r=150, n_s=120, seed=40):
+    cfg = SystemConfig(page_size=104, buffer_pages=256)
+    m = MetricsCollector(cfg)
+    buf = BufferPool(cfg.buffer_pages, DiskSimulator(m))
+    t_r = RTree.build(buf, cfg, random_entries(n_r, seed=seed), metrics=m)
+    tree = SeededTree(buf, cfg, m)
+    tree.seed(t_r)
+    entries = random_entries(n_s, seed=seed + 1, oid_start=1000)
+    tree.grow_from(entries)
+    tree.cleanup()
+    return tree, entries
+
+
+class TestInsertRetained:
+    def test_rejected_before_ready(self):
+        cfg = SystemConfig(page_size=104, buffer_pages=64)
+        m = MetricsCollector(cfg)
+        buf = BufferPool(cfg.buffer_pages, DiskSimulator(m))
+        tree = SeededTree(buf, cfg, m)
+        with pytest.raises(TreePhaseError):
+            tree.insert_retained(Rect(0, 0, 1, 1), 1)
+
+    def test_inserted_objects_queryable(self):
+        tree, entries = finished_tree()
+        new = Rect(0.33, 0.33, 0.34, 0.34)
+        tree.insert_retained(new, 9999)
+        assert 9999 in tree.window_query(Rect(0.3, 0.3, 0.4, 0.4))
+        assert len(tree) == len(entries) + 1
+
+    def test_original_objects_survive(self):
+        tree, entries = finished_tree()
+        for i, (rect, _) in enumerate(random_entries(80, seed=99,
+                                                     oid_start=50_000)):
+            tree.insert_retained(rect, 50_000 + i)
+        got = {oid for _, oid in tree.all_objects()}
+        assert {oid for _, oid in entries} <= got
+        assert len(got) == len(entries) + 80
+
+    def test_invariants_hold_after_many_inserts(self):
+        tree, _ = finished_tree()
+        for rect, oid in random_entries(200, seed=41, oid_start=70_000):
+            tree.insert_retained(rect, oid)
+        tree.validate()
+
+    def test_query_matches_linear_scan_after_growth(self):
+        tree, entries = finished_tree()
+        extra = random_entries(150, seed=42, oid_start=80_000)
+        for rect, oid in extra:
+            tree.insert_retained(rect, oid)
+        window = Rect(0.2, 0.2, 0.7, 0.7)
+        expected = sorted(
+            oid for rect, oid in entries + extra if rect.intersects(window)
+        )
+        assert sorted(tree.window_query(window)) == expected
+
+    def test_root_may_grow(self):
+        """Massive retained growth may split the old root: the tree is an
+        ordinary index now and must keep working."""
+        tree, _ = finished_tree(n_s=20)
+        before = tree.height
+        for rect, oid in random_entries(600, seed=43, oid_start=90_000):
+            tree.insert_retained(rect, oid)
+        tree.validate()
+        assert tree.height >= before
+
+    def test_empty_tree_accepts_retained_inserts(self):
+        cfg = SystemConfig(page_size=104, buffer_pages=64)
+        m = MetricsCollector(cfg)
+        buf = BufferPool(cfg.buffer_pages, DiskSimulator(m))
+        t_r = RTree.build(buf, cfg, random_entries(80, seed=44), metrics=m)
+        tree = SeededTree(buf, cfg, m)
+        tree.seed(t_r)
+        tree.grow_from([])
+        tree.cleanup()  # collapses to an empty leaf
+        tree.insert_retained(Rect(0.5, 0.5, 0.6, 0.6), 1)
+        assert tree.window_query(Rect(0, 0, 1, 1)) == [1]
+        tree.validate()

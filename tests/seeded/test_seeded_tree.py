@@ -1,0 +1,415 @@
+"""Tests for the seeded tree lifecycle: seeding, growing, clean-up."""
+
+import pytest
+
+from repro.config import SystemConfig
+from repro.errors import SeedingError, TreePhaseError
+from repro.geometry import Rect
+from repro.metrics import MetricsCollector
+from repro.rtree import RTree
+from repro.seeded import CopyStrategy, SeededTree, UpdatePolicy
+from repro.seeded.tree import TreePhase
+from repro.storage import BufferPool, DiskSimulator
+
+from ..conftest import random_entries
+
+
+class Env:
+    def __init__(self, buffer_pages=512, page_size=104):
+        self.config = SystemConfig(page_size=page_size,
+                                   buffer_pages=buffer_pages)
+        self.metrics = MetricsCollector(self.config)
+        self.disk = DiskSimulator(self.metrics)
+        self.buffer = BufferPool(self.config.buffer_pages, self.disk)
+
+    def seeding_tree(self, n=150, seed=0) -> RTree:
+        return RTree.build(
+            self.buffer, self.config, random_entries(n, seed=seed),
+            metrics=self.metrics, name="T_R",
+        )
+
+    def seeded(self, **kwargs) -> SeededTree:
+        return SeededTree(self.buffer, self.config, self.metrics, **kwargs)
+
+
+def grow_and_finish(tree: SeededTree, entries) -> SeededTree:
+    tree.grow_from(entries)
+    tree.cleanup()
+    return tree
+
+
+class TestSeeding:
+    def test_copies_root_arity(self):
+        env = Env()
+        t_r = env.seeding_tree()
+        tree = env.seeded(seed_levels=2)
+        tree.seed(t_r)
+        seed_root = tree.read_node(tree.root_id)
+        source_root = t_r.read_node(t_r.root_id)
+        assert len(seed_root.entries) == len(source_root.entries)
+
+    def test_slot_count_matches_level_entries(self):
+        env = Env()
+        t_r = env.seeding_tree()
+        tree = env.seeded(seed_levels=2)
+        tree.seed(t_r)
+        source_root = t_r.read_node(t_r.root_id)
+        expected_slots = sum(
+            len(t_r.read_node(e.ref).entries) for e in source_root.entries
+        )
+        assert tree.num_slots == expected_slots
+
+    def test_too_many_seed_levels_rejected(self):
+        env = Env()
+        t_r = env.seeding_tree(n=10)  # shallow tree
+        tree = env.seeded(seed_levels=t_r.height)
+        with pytest.raises(SeedingError):
+            tree.seed(t_r)
+
+    def test_zero_seed_levels_rejected(self):
+        env = Env()
+        with pytest.raises(SeedingError):
+            env.seeded(seed_levels=0)
+
+    def test_double_seed_rejected(self):
+        env = Env()
+        t_r = env.seeding_tree()
+        tree = env.seeded()
+        tree.seed(t_r)
+        with pytest.raises(TreePhaseError):
+            tree.seed(t_r)
+
+    def test_no_pins_left_after_lifecycle(self):
+        env = Env()
+        t_r = env.seeding_tree()
+        tree = env.seeded()
+        tree.seed(t_r)
+        grow_and_finish(tree, random_entries(30, seed=5, oid_start=1000))
+        for page_id in list(env.buffer.resident_ids()):
+            assert env.buffer.pin_count(page_id) == 0
+
+    def test_survives_seed_levels_larger_than_buffer(self):
+        """Seed pages are not pinned, so a buffer smaller than the seed
+        levels pages them in and out instead of deadlocking."""
+        env = Env(buffer_pages=12)
+        t_r = env.seeding_tree(n=400)
+        tree = env.seeded(seed_levels=3)
+        tree.seed(t_r)
+        entries = random_entries(100, seed=55, oid_start=1000)
+        grow_and_finish(tree, entries)
+        tree.validate()
+        assert sorted(tree.all_objects(), key=lambda e: e[1]) == entries
+
+
+class TestCopyStrategies:
+    def seed_with(self, strategy, seed_levels=2):
+        env = Env()
+        t_r = env.seeding_tree()
+        tree = env.seeded(copy_strategy=strategy, seed_levels=seed_levels)
+        tree.seed(t_r)
+        return env, t_r, tree
+
+    def test_c1_copies_exact_boxes(self):
+        env, t_r, tree = self.seed_with(CopyStrategy.MBR)
+        seed_root = tree.read_node(tree.root_id)
+        source_root = t_r.read_node(t_r.root_id)
+        for copy, orig in zip(seed_root.entries, source_root.entries):
+            assert copy.mbr == orig.mbr
+
+    def test_c2_stores_center_points_everywhere(self):
+        env, t_r, tree = self.seed_with(CopyStrategy.CENTER)
+        for nodes in tree._seed_nodes_by_depth():
+            for node in nodes:
+                assert all(e.mbr.is_point() for e in node.entries)
+
+    def test_c2_points_are_source_centers(self):
+        env, t_r, tree = self.seed_with(CopyStrategy.CENTER)
+        seed_root = tree.read_node(tree.root_id)
+        source_root = t_r.read_node(t_r.root_id)
+        for copy, orig in zip(seed_root.entries, source_root.entries):
+            assert copy.mbr.center() == orig.mbr.center()
+
+    def test_c3_slot_level_is_points(self):
+        env, t_r, tree = self.seed_with(CopyStrategy.CENTER_AT_SLOTS)
+        slot_nodes = tree._seed_nodes_by_depth()[-1]
+        for node in slot_nodes:
+            assert all(e.mbr.is_point() for e in node.entries)
+
+    def test_c3_upper_levels_bound_children(self):
+        env, t_r, tree = self.seed_with(CopyStrategy.CENTER_AT_SLOTS)
+        by_depth = tree._seed_nodes_by_depth()
+        for node in by_depth[0]:
+            for e in node.entries:
+                child = tree._node_unaccounted(e.ref)
+                from repro.rtree.node import node_mbr
+                assert e.mbr == node_mbr(child)
+
+
+class TestGrowing:
+    def test_phase_guards(self):
+        env = Env()
+        tree = env.seeded()
+        with pytest.raises(TreePhaseError):
+            tree.insert(Rect(0, 0, 1, 1), 1)
+        with pytest.raises(TreePhaseError):
+            tree.grow_from([])
+        with pytest.raises(TreePhaseError):
+            tree.cleanup()
+        with pytest.raises(TreePhaseError):
+            tree.window_query(Rect(0, 0, 1, 1))
+
+    def test_insert_after_cleanup_rejected(self):
+        env = Env()
+        tree = env.seeded()
+        tree.seed(env.seeding_tree())
+        grow_and_finish(tree, [])
+        with pytest.raises(TreePhaseError):
+            tree.insert(Rect(0, 0, 1, 1), 1)
+
+    def test_count_tracks_inserts(self):
+        env = Env()
+        tree = env.seeded()
+        tree.seed(env.seeding_tree())
+        entries = random_entries(40, seed=6, oid_start=1000)
+        tree.grow_from(entries)
+        assert len(tree) == 40
+
+    def test_seed_structure_never_changes(self):
+        """Splits must not propagate into the seed levels."""
+        env = Env()
+        tree = env.seeded(seed_levels=2)
+        tree.seed(env.seeding_tree())
+        arities = [
+            [len(n.entries) for n in nodes]
+            for nodes in tree._seed_nodes_by_depth()
+        ]
+        tree.grow_from(random_entries(300, seed=7, oid_start=1000))
+        after = [
+            [len(n.entries) for n in nodes]
+            for nodes in tree._seed_nodes_by_depth()
+        ]
+        assert arities == after
+
+    def test_u1_leaves_seed_boxes_untouched_while_growing(self):
+        env = Env()
+        tree = env.seeded(update_policy=UpdatePolicy.NONE,
+                          copy_strategy=CopyStrategy.MBR)
+        tree.seed(env.seeding_tree())
+        before = [
+            e.mbr for n in tree._seed_nodes_by_depth()[-1] for e in n.entries
+        ]
+        tree.grow_from(random_entries(100, seed=8, oid_start=1000))
+        after = [
+            e.mbr for n in tree._seed_nodes_by_depth()[-1] for e in n.entries
+        ]
+        assert before == after
+
+    def test_u2_extends_seed_boxes(self):
+        env = Env()
+        tree = env.seeded(update_policy=UpdatePolicy.ENCLOSE_WITH_SEED,
+                          copy_strategy=CopyStrategy.MBR)
+        tree.seed(env.seeding_tree())
+        root = tree.read_node(tree.root_id)
+        originals = [e.mbr for e in root.entries]
+        tree.grow_from(random_entries(100, seed=9, oid_start=1000))
+        updated = [e.mbr for e in root.entries]
+        # U2 keeps enclosing the seed box.
+        assert all(u.contains(o) for u, o in zip(updated, originals))
+        assert any(u != o for u, o in zip(updated, originals))
+
+
+class TestCleanup:
+    @pytest.mark.parametrize("policy", list(UpdatePolicy))
+    @pytest.mark.parametrize("strategy", list(CopyStrategy))
+    def test_all_policy_combinations_validate(self, policy, strategy):
+        env = Env()
+        tree = env.seeded(update_policy=policy, copy_strategy=strategy)
+        tree.seed(env.seeding_tree())
+        entries = random_entries(120, seed=10, oid_start=1000)
+        grow_and_finish(tree, entries)
+        tree.validate()
+        got = sorted(tree.all_objects(), key=lambda e: e[1])
+        assert got == entries
+
+    def test_empty_growth_collapses_to_empty_leaf(self):
+        env = Env()
+        tree = env.seeded()
+        tree.seed(env.seeding_tree())
+        grow_and_finish(tree, [])
+        assert tree.window_query(Rect(0, 0, 1, 1)) == []
+        assert tree.num_nodes() == 1
+        tree.validate()
+
+    def test_empty_slots_pruned(self):
+        env = Env()
+        tree = env.seeded()
+        tree.seed(env.seeding_tree())
+        # A single object uses exactly one slot.
+        grow_and_finish(tree, [(Rect(0.5, 0.5, 0.55, 0.55), 1)])
+        tree.validate()
+        stats = tree.stats()
+        assert stats.used_slots == 1
+        # Every surviving path leads to data.
+        assert tree.all_objects() == [(Rect(0.5, 0.5, 0.55, 0.55), 1)]
+
+    def test_window_query_matches_linear_scan(self):
+        env = Env()
+        tree = env.seeded()
+        tree.seed(env.seeding_tree())
+        entries = random_entries(250, seed=11, oid_start=1000)
+        grow_and_finish(tree, entries)
+        window = Rect(0.2, 0.2, 0.6, 0.6)
+        expected = sorted(o for r, o in entries if r.intersects(window))
+        assert sorted(tree.window_query(window)) == expected
+
+    def test_point_query(self):
+        env = Env()
+        tree = env.seeded()
+        tree.seed(env.seeding_tree())
+        grow_and_finish(tree, [(Rect(0.4, 0.4, 0.6, 0.6), 77)])
+        assert tree.point_query(0.5, 0.5) == [77]
+        assert tree.point_query(0.9, 0.9) == []
+
+    def test_double_cleanup_rejected(self):
+        env = Env()
+        tree = env.seeded()
+        tree.seed(env.seeding_tree())
+        grow_and_finish(tree, [])
+        with pytest.raises(TreePhaseError):
+            tree.cleanup()
+
+    def test_unbalance_is_possible(self):
+        """Grown subtrees may end at different heights; the tree still
+        validates (the matcher never requires balance)."""
+        env = Env()
+        tree = env.seeded()
+        tree.seed(env.seeding_tree())
+        # Skew: many objects in one corner, one object elsewhere.
+        skewed = [
+            (Rect(0.01 * i / 100, 0.01, 0.01 * i / 100 + 0.005, 0.015), i)
+            for i in range(100)
+        ] + [(Rect(0.9, 0.9, 0.95, 0.95), 100)]
+        grow_and_finish(tree, skewed)
+        tree.validate()
+        levels = {
+            tree._node_unaccounted(e.ref).level
+            for n in tree.iter_nodes() if not n.is_leaf
+            for e in n.entries
+        }
+        assert len(levels) > 1
+
+
+class TestLinkedListsIntegration:
+    def test_forced_lists_equal_direct_growth(self):
+        entries = random_entries(200, seed=12, oid_start=1000)
+        results = []
+        for use_lists in (False, True):
+            env = Env()
+            tree = env.seeded(use_linked_lists=use_lists)
+            tree.seed(env.seeding_tree())
+            grow_and_finish(tree, entries)
+            tree.validate()
+            results.append(sorted(tree.all_objects(), key=lambda e: e[1]))
+        assert results[0] == results[1] == entries
+
+    def test_auto_decision_small_input_is_direct(self):
+        env = Env()
+        tree = env.seeded()  # buffer 512 pages >> tiny tree
+        tree.seed(env.seeding_tree())
+        tree.grow_from(random_entries(20, seed=13, oid_start=1000))
+        assert tree._lists is None
+        tree.cleanup()
+
+    def test_auto_decision_large_input_uses_lists(self):
+        env = Env(buffer_pages=32)
+        tree = env.seeded()
+        tree.seed(env.seeding_tree(n=60))
+        tree.grow_from(random_entries(400, seed=14, oid_start=1000))
+        # grow_from defers subtree building; lists still active
+        assert tree._lists is not None
+        tree.cleanup()
+        tree.validate()
+        assert len(tree) == 400
+
+    def test_stats_capture_batches(self):
+        env = Env(buffer_pages=32)
+        tree = env.seeded(use_linked_lists=True)
+        tree.seed(env.seeding_tree(n=60))
+        grow_and_finish(tree, random_entries(500, seed=15, oid_start=1000))
+        stats = tree.stats()
+        assert stats.list_batches > 0
+        assert stats.list_pages_flushed > 0
+
+
+class TestArtificialSeeding:
+    def test_grid_boxes_become_slots(self):
+        env = Env()
+        boxes = [
+            Rect(i / 4, j / 4, (i + 1) / 4, (j + 1) / 4)
+            for i in range(4) for j in range(4)
+        ]
+        tree = env.seeded()
+        tree.seed_from_boxes(boxes)
+        assert tree.num_slots == 16
+        entries = random_entries(150, seed=16, oid_start=1000)
+        grow_and_finish(tree, entries)
+        tree.validate()
+        assert sorted(tree.all_objects(), key=lambda e: e[1]) == entries
+
+    def test_many_boxes_build_multiple_levels(self):
+        env = Env()  # capacity 4
+        boxes = [
+            Rect(i / 10, j / 10, (i + 1) / 10, (j + 1) / 10)
+            for i in range(10) for j in range(10)
+        ]
+        tree = env.seeded()
+        tree.seed_from_boxes(boxes)
+        assert tree.seed_levels >= 3  # 100 boxes at fan-out 4
+        assert tree.num_slots == 100
+        grow_and_finish(tree, random_entries(80, seed=17, oid_start=1000))
+        tree.validate()
+
+    def test_filtering_with_artificial_seeds_rejected(self):
+        env = Env()
+        tree = env.seeded(filtering=True)
+        with pytest.raises(SeedingError):
+            tree.seed_from_boxes([Rect(0, 0, 1, 1)])
+
+    def test_empty_boxes_rejected(self):
+        env = Env()
+        with pytest.raises(SeedingError):
+            env.seeded().seed_from_boxes([])
+
+    def test_after_seed_rejected(self):
+        env = Env()
+        tree = env.seeded()
+        tree.seed(env.seeding_tree())
+        with pytest.raises(TreePhaseError):
+            tree.seed_from_boxes([Rect(0, 0, 1, 1)])
+
+
+class TestStatsAndRepr:
+    def test_stats_fields(self):
+        env = Env()
+        tree = env.seeded()
+        tree.seed(env.seeding_tree())
+        entries = random_entries(60, seed=18, oid_start=1000)
+        grow_and_finish(tree, entries)
+        stats = tree.stats()
+        assert stats.inserted == 60
+        assert stats.filtered == 0
+        assert 0 < stats.used_slots <= stats.num_slots
+        assert stats.seed_levels == 2
+
+    def test_repr_shows_phase(self):
+        env = Env()
+        tree = env.seeded()
+        assert "created" in repr(tree)
+        assert tree.phase is TreePhase.CREATED
+
+    def test_height_upper_bound(self):
+        env = Env()
+        tree = env.seeded(seed_levels=2)
+        tree.seed(env.seeding_tree())
+        grow_and_finish(tree, random_entries(100, seed=19, oid_start=1000))
+        assert tree.height >= 3  # 2 seed levels + at least a leaf level

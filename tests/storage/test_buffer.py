@@ -1,0 +1,268 @@
+"""Tests for the LRU buffer pool."""
+
+import pytest
+
+from repro.errors import BufferFullError, PinError, StorageError
+from repro.metrics import MetricsCollector, Phase
+from repro.storage import BufferPool, DiskSimulator, Page, PageKind
+
+
+def make_stack(capacity=4):
+    metrics = MetricsCollector()
+    disk = DiskSimulator(metrics)
+    return BufferPool(capacity, disk), disk, metrics
+
+
+def on_disk(disk, payload):
+    p = Page(disk.allocate(), PageKind.DATA, payload)
+    disk.write(p)
+    return p
+
+
+class TestBasics:
+    def test_rejects_zero_capacity(self):
+        _, disk, _ = make_stack()
+        with pytest.raises(StorageError):
+            BufferPool(0, disk)
+
+    def test_miss_reads_from_disk(self):
+        buf, disk, metrics = make_stack()
+        p = on_disk(disk, "a")
+        with metrics.phase(Phase.MATCH):
+            got = buf.fetch(p.page_id)
+        assert got is p
+        assert metrics.io_for(Phase.MATCH).random_reads == 1
+        assert buf.stats.misses == 1
+
+    def test_hit_costs_nothing(self):
+        buf, disk, metrics = make_stack()
+        p = on_disk(disk, "a")
+        buf.fetch(p.page_id)
+        with metrics.phase(Phase.MATCH):
+            buf.fetch(p.page_id)
+        assert metrics.io_for(Phase.MATCH).total_accesses == 0
+        assert buf.stats.hits == 1
+
+    def test_new_page_costs_nothing_until_eviction(self):
+        buf, _, metrics = make_stack()
+        buf.new_page(PageKind.TREE_NODE, "node")
+        assert metrics.io_for(Phase.SETUP).total_accesses == 0
+
+    def test_capacity_never_exceeded(self):
+        buf, disk, _ = make_stack(capacity=3)
+        for i in range(10):
+            buf.new_page(PageKind.TREE_NODE, i)
+            assert len(buf) <= 3
+
+    def test_contains_and_len(self):
+        buf, disk, _ = make_stack()
+        p = on_disk(disk, "a")
+        assert p.page_id not in buf
+        buf.fetch(p.page_id)
+        assert p.page_id in buf
+        assert len(buf) == 1
+        assert buf.free_frames == 3
+
+
+class TestLRU:
+    def test_evicts_least_recently_used(self):
+        buf, disk, _ = make_stack(capacity=2)
+        a = on_disk(disk, "a")
+        b = on_disk(disk, "b")
+        c = on_disk(disk, "c")
+        buf.fetch(a.page_id)
+        buf.fetch(b.page_id)
+        buf.fetch(a.page_id)  # a is now most recent
+        buf.fetch(c.page_id)  # must evict b
+        assert a.page_id in buf
+        assert b.page_id not in buf
+        assert c.page_id in buf
+
+    def test_resident_ids_in_lru_order(self):
+        buf, disk, _ = make_stack(capacity=3)
+        pages = [on_disk(disk, i) for i in range(3)]
+        for p in pages:
+            buf.fetch(p.page_id)
+        buf.fetch(pages[0].page_id)  # bump 0 to most recent
+        order = list(buf.resident_ids())
+        assert order == [pages[1].page_id, pages[2].page_id, pages[0].page_id]
+
+
+class TestDirtyWriteback:
+    def test_clean_eviction_writes_nothing(self):
+        buf, disk, metrics = make_stack(capacity=1)
+        a = on_disk(disk, "a")
+        b = on_disk(disk, "b")
+        buf.fetch(a.page_id)
+        with metrics.phase(Phase.MATCH):
+            buf.fetch(b.page_id)  # evicts clean a
+        assert metrics.io_for(Phase.MATCH).random_writes == 0
+
+    def test_dirty_eviction_writes_back(self):
+        buf, disk, metrics = make_stack(capacity=1)
+        with metrics.phase(Phase.CONSTRUCT):
+            buf.new_page(PageKind.TREE_NODE, "dirty")  # born dirty
+            buf.new_page(PageKind.TREE_NODE, "more")   # evicts the first
+        assert metrics.io_for(Phase.CONSTRUCT).random_writes == 1
+        assert buf.stats.dirty_writebacks == 1
+
+    def test_mark_dirty_then_evict_writes(self):
+        buf, disk, metrics = make_stack(capacity=1)
+        a = on_disk(disk, "a")
+        buf.fetch(a.page_id)
+        buf.mark_dirty(a.page_id)
+        with metrics.phase(Phase.MATCH):
+            buf.fetch(on_disk(disk, "b").page_id)
+        assert metrics.io_for(Phase.MATCH).random_writes == 1
+
+    def test_mark_dirty_nonresident_raises(self):
+        buf, _, _ = make_stack()
+        with pytest.raises(StorageError):
+            buf.mark_dirty(42)
+
+    def test_flush_page_clears_dirty(self):
+        buf, disk, _ = make_stack()
+        p = buf.new_page(PageKind.TREE_NODE, "n")
+        assert buf.is_dirty(p.page_id)
+        buf.flush_page(p.page_id)
+        assert not buf.is_dirty(p.page_id)
+        assert disk.exists(p.page_id)
+
+    def test_flush_all(self):
+        buf, disk, _ = make_stack()
+        pages = [buf.new_page(PageKind.TREE_NODE, i) for i in range(3)]
+        buf.flush_all()
+        assert all(not buf.is_dirty(p.page_id) for p in pages)
+        assert all(disk.exists(p.page_id) for p in pages)
+
+    def test_purge_empties_and_preserves_data(self):
+        buf, disk, _ = make_stack()
+        p = buf.new_page(PageKind.TREE_NODE, "keep me")
+        buf.purge()
+        assert len(buf) == 0
+        assert disk.read(p.page_id).payload == "keep me"
+
+
+class TestPinning:
+    def test_pinned_pages_survive_pressure(self):
+        buf, disk, _ = make_stack(capacity=2)
+        a = on_disk(disk, "a")
+        buf.fetch(a.page_id, pin=True)
+        for i in range(5):
+            buf.new_page(PageKind.TREE_NODE, i)
+        assert a.page_id in buf
+
+    def test_all_pinned_raises(self):
+        buf, disk, _ = make_stack(capacity=2)
+        buf.new_page(PageKind.TREE_NODE, 0, pin=True)
+        buf.new_page(PageKind.TREE_NODE, 1, pin=True)
+        with pytest.raises(BufferFullError):
+            buf.new_page(PageKind.TREE_NODE, 2)
+
+    def test_unpin_releases(self):
+        buf, disk, _ = make_stack(capacity=1)
+        p = buf.new_page(PageKind.TREE_NODE, 0, pin=True)
+        buf.unpin(p.page_id)
+        buf.new_page(PageKind.TREE_NODE, 1)  # can evict now
+        assert p.page_id not in buf
+
+    def test_pin_counts_nest(self):
+        buf, _, _ = make_stack()
+        p = buf.new_page(PageKind.TREE_NODE, 0, pin=True)
+        buf.pin(p.page_id)
+        assert buf.pin_count(p.page_id) == 2
+        buf.unpin(p.page_id)
+        assert buf.pin_count(p.page_id) == 1
+
+    def test_unpin_unpinned_raises(self):
+        buf, _, _ = make_stack()
+        p = buf.new_page(PageKind.TREE_NODE, 0)
+        with pytest.raises(PinError):
+            buf.unpin(p.page_id)
+
+    def test_unpin_nonresident_raises(self):
+        buf, _, _ = make_stack()
+        with pytest.raises(PinError):
+            buf.unpin(999)
+
+    def test_pin_nonresident_raises(self):
+        buf, _, _ = make_stack()
+        with pytest.raises(StorageError):
+            buf.pin(999)
+
+    def test_purge_with_pins_raises(self):
+        buf, _, _ = make_stack()
+        buf.new_page(PageKind.TREE_NODE, 0, pin=True)
+        with pytest.raises(PinError):
+            buf.purge()
+
+
+class TestDrop:
+    def test_drop_discards_without_write(self):
+        buf, disk, metrics = make_stack()
+        p = buf.new_page(PageKind.LIST, "list data")
+        buf.drop(p.page_id)
+        assert p.page_id not in buf
+        assert not disk.exists(p.page_id)
+
+    def test_drop_with_writeback(self):
+        buf, disk, _ = make_stack()
+        p = buf.new_page(PageKind.LIST, "flush me")
+        buf.drop(p.page_id, write_back=True)
+        assert disk.read(p.page_id).payload == "flush me"
+
+    def test_drop_nonresident_is_noop(self):
+        buf, _, _ = make_stack()
+        buf.drop(12345)  # must not raise
+
+    def test_drop_pinned_raises(self):
+        buf, _, _ = make_stack()
+        p = buf.new_page(PageKind.LIST, 0, pin=True)
+        with pytest.raises(PinError):
+            buf.drop(p.page_id)
+
+
+class TestAdoptAndPeek:
+    def test_adopt_places_external_page(self):
+        buf, disk, _ = make_stack()
+        pid = disk.allocate()
+        page = Page(pid, PageKind.TREE_NODE, "adopted")
+        buf.adopt(page)
+        assert buf.fetch(pid) is page
+
+    def test_adopt_duplicate_raises(self):
+        buf, disk, _ = make_stack()
+        p = buf.new_page(PageKind.TREE_NODE, 0)
+        with pytest.raises(StorageError):
+            buf.adopt(p)
+
+    def test_peek_does_not_touch_lru_or_stats(self):
+        buf, disk, _ = make_stack(capacity=2)
+        a = on_disk(disk, "a")
+        b = on_disk(disk, "b")
+        buf.fetch(a.page_id)
+        buf.fetch(b.page_id)
+        hits_before = buf.stats.hits
+        assert buf.peek(a.page_id).payload == "a"
+        assert buf.stats.hits == hits_before
+        # a must still be the LRU victim despite the peek
+        buf.fetch(on_disk(disk, "c").page_id)
+        assert a.page_id not in buf
+
+    def test_peek_nonresident_is_none(self):
+        buf, _, _ = make_stack()
+        assert buf.peek(5) is None
+
+
+class TestStats:
+    def test_hit_ratio(self):
+        buf, disk, _ = make_stack()
+        p = on_disk(disk, "a")
+        buf.fetch(p.page_id)
+        buf.fetch(p.page_id)
+        buf.fetch(p.page_id)
+        assert buf.stats.hit_ratio == pytest.approx(2 / 3)
+
+    def test_hit_ratio_empty(self):
+        buf, _, _ = make_stack()
+        assert buf.stats.hit_ratio == 0.0

@@ -1,0 +1,150 @@
+"""Tests proving the configured layouts fit the configured pages."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.config import SystemConfig
+from repro.errors import NodeOverflowError, StorageError
+from repro.storage import codec
+
+
+def entry(i: int) -> codec.EntryTuple:
+    base = i / 64.0
+    return (
+        codec.quantize(base),
+        codec.quantize(base + 0.5),
+        codec.quantize(base + 1.0),
+        codec.quantize(base + 1.5),
+        i,
+    )
+
+
+class TestNodeCodec:
+    def test_round_trip(self):
+        cfg = SystemConfig()
+        entries = [entry(i) for i in range(10)]
+        blob = codec.encode_node(cfg, level=2, is_leaf=False, entries=entries)
+        level, is_leaf, decoded = codec.decode_node(cfg, blob)
+        assert level == 2
+        assert not is_leaf
+        assert decoded == entries
+
+    def test_leaf_flag_round_trips(self):
+        cfg = SystemConfig()
+        blob = codec.encode_node(cfg, 0, True, [entry(1)])
+        _, is_leaf, _ = codec.decode_node(cfg, blob)
+        assert is_leaf
+
+    def test_blob_is_exactly_one_page(self):
+        cfg = SystemConfig()
+        blob = codec.encode_node(cfg, 0, True, [entry(0)])
+        assert len(blob) == cfg.page_size
+
+    def test_full_node_fits(self):
+        """The headline physical claim: 50 entries fit a 1 KiB page."""
+        cfg = SystemConfig()
+        entries = [entry(i) for i in range(cfg.node_capacity)]
+        blob = codec.encode_node(cfg, 1, False, entries)
+        assert len(blob) == cfg.page_size
+        assert codec.decode_node(cfg, blob)[2] == entries
+
+    def test_over_capacity_rejected(self):
+        cfg = SystemConfig()
+        entries = [entry(i) for i in range(cfg.node_capacity + 1)]
+        with pytest.raises(NodeOverflowError):
+            codec.encode_node(cfg, 0, True, entries)
+
+    def test_empty_node(self):
+        cfg = SystemConfig()
+        blob = codec.encode_node(cfg, 0, True, [])
+        assert codec.decode_node(cfg, blob) == (0, True, [])
+
+    def test_bad_level_rejected(self):
+        cfg = SystemConfig()
+        with pytest.raises(StorageError):
+            codec.encode_node(cfg, 70000, False, [])
+
+    def test_decode_wrong_size_rejected(self):
+        cfg = SystemConfig()
+        with pytest.raises(StorageError):
+            codec.decode_node(cfg, b"\x00" * 10)
+
+    def test_decode_bad_magic_rejected(self):
+        cfg = SystemConfig()
+        with pytest.raises(StorageError):
+            codec.decode_node(cfg, b"\xff" * cfg.page_size)
+
+
+class TestDataPageCodec:
+    def test_round_trip_with_next_pointer(self):
+        cfg = SystemConfig()
+        entries = [entry(i) for i in range(7)]
+        blob = codec.encode_data_page(cfg, entries, next_page_id=1234)
+        decoded, next_id = codec.decode_data_page(cfg, blob)
+        assert decoded == entries
+        assert next_id == 1234
+
+    def test_no_next_sentinel(self):
+        cfg = SystemConfig()
+        blob = codec.encode_data_page(cfg, [entry(0)])
+        _, next_id = codec.decode_data_page(cfg, blob)
+        assert next_id == codec.NO_NEXT_PAGE
+
+    def test_full_data_page_fits(self):
+        cfg = SystemConfig()
+        entries = [entry(i) for i in range(cfg.data_page_capacity)]
+        blob = codec.encode_data_page(cfg, entries, next_page_id=7)
+        assert len(blob) == cfg.page_size
+        assert codec.decode_data_page(cfg, blob)[0] == entries
+
+    def test_over_capacity_rejected(self):
+        cfg = SystemConfig()
+        entries = [entry(i) for i in range(cfg.data_page_capacity + 1)]
+        with pytest.raises(NodeOverflowError):
+            codec.encode_data_page(cfg, entries)
+
+    def test_node_decoder_rejects_data_page(self):
+        cfg = SystemConfig()
+        blob = codec.encode_data_page(cfg, [entry(0)])
+        with pytest.raises(StorageError):
+            codec.decode_node(cfg, blob)
+
+    def test_data_decoder_rejects_node_page(self):
+        cfg = SystemConfig()
+        blob = codec.encode_node(cfg, 0, True, [entry(0)])
+        with pytest.raises(StorageError):
+            codec.decode_data_page(cfg, blob)
+
+
+class TestSmallPages:
+    def test_512_byte_page_capacity(self):
+        """The scaled profiles' 512 B pages hold 24 entries."""
+        cfg = SystemConfig(page_size=512)
+        assert cfg.node_capacity == 24
+        entries = [entry(i) for i in range(24)]
+        blob = codec.encode_node(cfg, 0, True, entries)
+        assert len(blob) == 512
+
+
+@given(
+    st.lists(
+        st.tuples(
+            st.integers(0, 255).map(lambda v: v / 256.0),
+            st.integers(0, 255).map(lambda v: v / 256.0),
+            st.integers(256, 512).map(lambda v: v / 256.0),
+            st.integers(256, 512).map(lambda v: v / 256.0),
+            st.integers(0, 2**32 - 1),
+        ),
+        max_size=24,
+    ),
+    st.booleans(),
+    st.integers(0, 100),
+)
+def test_node_codec_round_trips_any_entries(entries, is_leaf, level):
+    cfg = SystemConfig(page_size=512)
+    blob = codec.encode_node(cfg, level, is_leaf, entries)
+    got_level, got_leaf, got = codec.decode_node(cfg, blob)
+    assert (got_level, got_leaf) == (level, is_leaf)
+    # 1/256 steps are exactly representable in float32.
+    assert got == entries

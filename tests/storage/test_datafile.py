@@ -1,0 +1,113 @@
+"""Tests for sequential data files."""
+
+import pytest
+
+from repro.config import SystemConfig
+from repro.metrics import MetricsCollector, Phase
+from repro.storage import DataFile, DiskSimulator
+
+from ..conftest import random_entries
+
+
+def make(config=None):
+    cfg = config or SystemConfig(page_size=512)  # data capacity 24
+    metrics = MetricsCollector(cfg)
+    disk = DiskSimulator(metrics)
+    return cfg, metrics, disk
+
+
+class TestCreate:
+    def test_page_count(self):
+        cfg, _, disk = make()
+        f = DataFile.create(disk, cfg, random_entries(50))
+        assert f.num_objects == 50
+        assert f.num_pages == (50 + 23) // 24
+        assert len(f) == 50
+
+    def test_write_is_one_sequential_run(self):
+        cfg, metrics, disk = make()
+        with metrics.phase(Phase.SETUP):
+            DataFile.create(disk, cfg, random_entries(100))
+        io = metrics.io_for(Phase.SETUP)
+        assert io.random_writes == 1
+        assert io.sequential_writes == f_pages(cfg, 100) - 1
+
+    def test_empty_file(self):
+        cfg, _, disk = make()
+        f = DataFile.create(disk, cfg, [])
+        assert f.num_objects == 0
+        assert f.num_pages == 0
+        assert list(f.scan()) == []
+
+    def test_exactly_one_page(self):
+        cfg, _, disk = make()
+        f = DataFile.create(disk, cfg, random_entries(24))
+        assert f.num_pages == 1
+
+
+def f_pages(cfg, n):
+    return cfg.data_pages_for(n)
+
+
+class TestScan:
+    def test_round_trip_order_preserved(self):
+        cfg, _, disk = make()
+        entries = random_entries(75)
+        f = DataFile.create(disk, cfg, entries)
+        assert list(f.scan()) == entries
+
+    def test_scan_is_sequential(self):
+        cfg, metrics, disk = make()
+        f = DataFile.create(disk, cfg, random_entries(100))
+        disk.reset_arm()
+        with metrics.phase(Phase.MATCH):
+            list(f.scan())
+        io = metrics.io_for(Phase.MATCH)
+        assert io.random_reads == 1
+        assert io.sequential_reads == f.num_pages - 1
+
+    def test_scan_pages_groups_by_page(self):
+        cfg, _, disk = make()
+        entries = random_entries(50)
+        f = DataFile.create(disk, cfg, entries)
+        pages = list(f.scan_pages())
+        assert [len(p) for p in pages] == [24, 24, 2]
+        flat = [e for page in pages for e in page]
+        assert flat == entries
+
+    def test_repeated_scans_each_charge(self):
+        cfg, metrics, disk = make()
+        f = DataFile.create(disk, cfg, random_entries(48))
+        with metrics.phase(Phase.MATCH):
+            list(f.scan())
+            list(f.scan())
+        io = metrics.io_for(Phase.MATCH)
+        assert io.random_reads + io.sequential_reads == 2 * f.num_pages
+
+
+class TestUnaccounted:
+    def test_read_all_unaccounted(self):
+        cfg, metrics, disk = make()
+        entries = random_entries(30)
+        f = DataFile.create(disk, cfg, entries)
+        before = metrics.io_for(Phase.SETUP).total_accesses
+        assert f.read_all_unaccounted() == entries
+        assert metrics.io_for(Phase.SETUP).total_accesses == before
+
+    def test_repr_mentions_name(self):
+        cfg, _, disk = make()
+        f = DataFile.create(disk, cfg, random_entries(5), name="D_S")
+        assert "D_S" in repr(f)
+
+
+class TestChaining:
+    def test_pages_are_chained(self):
+        cfg, _, disk = make()
+        f = DataFile.create(disk, cfg, random_entries(60))
+        pid = f.first_page_id
+        seen = 0
+        while pid != -1:
+            record = disk.peek(pid).payload
+            seen += len(record.entries)
+            pid = record.next_page_id
+        assert seen == 60

@@ -1,0 +1,201 @@
+"""Tests for the disk simulator's accounting and page store."""
+
+import pytest
+
+from repro.errors import PageNotFoundError, StorageError
+from repro.metrics import MetricsCollector, Phase
+from repro.storage import DiskSimulator, Page, PageKind
+
+
+def make_disk():
+    metrics = MetricsCollector()
+    return DiskSimulator(metrics), metrics
+
+
+def page(disk, payload="x"):
+    return Page(disk.allocate(), PageKind.DATA, payload)
+
+
+class TestAllocation:
+    def test_ids_are_contiguous(self):
+        disk, _ = make_disk()
+        first = disk.allocate(5)
+        nxt = disk.allocate()
+        assert nxt == first + 5
+
+    def test_rejects_nonpositive_count(self):
+        disk, _ = make_disk()
+        with pytest.raises(StorageError):
+            disk.allocate(0)
+
+    def test_allocated_counter(self):
+        disk, _ = make_disk()
+        disk.allocate(3)
+        assert disk.allocated_pages == 3
+
+
+class TestReadWrite:
+    def test_round_trip(self):
+        disk, _ = make_disk()
+        p = page(disk, payload={"k": 1})
+        disk.write(p)
+        assert disk.read(p.page_id) is p
+
+    def test_read_unwritten_raises(self):
+        disk, _ = make_disk()
+        disk.allocate()
+        with pytest.raises(PageNotFoundError):
+            disk.read(0)
+
+    def test_write_unallocated_raises(self):
+        disk, _ = make_disk()
+        with pytest.raises(StorageError):
+            disk.write(Page(99, PageKind.DATA, None))
+
+    def test_written_pages_counter(self):
+        disk, _ = make_disk()
+        p = page(disk)
+        disk.write(p)
+        disk.write(p)  # overwrite
+        assert disk.written_pages == 1
+
+
+class TestClassification:
+    def test_first_access_is_random(self):
+        disk, metrics = make_disk()
+        p = page(disk)
+        with metrics.phase(Phase.MATCH):
+            disk.write(p)
+        io = metrics.io_for(Phase.MATCH)
+        assert io.random_writes == 1
+        assert io.sequential_writes == 0
+
+    def test_consecutive_pages_are_sequential(self):
+        disk, metrics = make_disk()
+        first = disk.allocate(3)
+        pages = [Page(first + i, PageKind.DATA, i) for i in range(3)]
+        with metrics.phase(Phase.MATCH):
+            for p in pages:
+                disk.write(p)
+        io = metrics.io_for(Phase.MATCH)
+        assert io.random_writes == 1
+        assert io.sequential_writes == 2
+
+    def test_backwards_access_is_random(self):
+        disk, metrics = make_disk()
+        first = disk.allocate(2)
+        a = Page(first, PageKind.DATA, 0)
+        b = Page(first + 1, PageKind.DATA, 1)
+        with metrics.phase(Phase.MATCH):
+            disk.write(b)
+            disk.write(a)  # going backwards: a seek
+        io = metrics.io_for(Phase.MATCH)
+        assert io.random_writes == 2
+
+    def test_read_after_adjacent_write_is_sequential(self):
+        disk, metrics = make_disk()
+        first = disk.allocate(2)
+        disk.write(Page(first, PageKind.DATA, 0))
+        disk.write(Page(first + 1, PageKind.DATA, 1))
+        with metrics.phase(Phase.MATCH):
+            disk.reset_arm()
+            disk.read(first)          # random (arm was reset)
+            disk.read(first + 1)      # sequential
+        io = metrics.io_for(Phase.MATCH)
+        assert io.random_reads == 1
+        assert io.sequential_reads == 1
+
+    def test_reset_arm_forces_random(self):
+        disk, metrics = make_disk()
+        first = disk.allocate(2)
+        disk.write(Page(first, PageKind.DATA, 0))
+        disk.write(Page(first + 1, PageKind.DATA, 1))
+        disk.reset_arm()
+        with metrics.phase(Phase.MATCH):
+            disk.read(first + 1)
+        assert metrics.io_for(Phase.MATCH).random_reads == 1
+
+
+class TestRunIO:
+    def test_write_run_costs_one_seek(self):
+        disk, metrics = make_disk()
+        first = disk.allocate(10)
+        pages = [Page(first + i, PageKind.LIST, i) for i in range(10)]
+        with metrics.phase(Phase.CONSTRUCT):
+            disk.write_run(pages)
+        io = metrics.io_for(Phase.CONSTRUCT)
+        assert io.random_writes == 1
+        assert io.sequential_writes == 9
+
+    def test_read_run_costs_one_seek(self):
+        disk, metrics = make_disk()
+        first = disk.allocate(10)
+        disk.write_run([Page(first + i, PageKind.LIST, i) for i in range(10)])
+        disk.reset_arm()
+        with metrics.phase(Phase.CONSTRUCT):
+            got = disk.read_run(first, 10)
+        assert [p.payload for p in got] == list(range(10))
+        io = metrics.io_for(Phase.CONSTRUCT)
+        assert io.random_reads == 1
+        assert io.sequential_reads == 9
+
+    def test_write_run_rejects_gaps(self):
+        disk, _ = make_disk()
+        first = disk.allocate(3)
+        pages = [Page(first, PageKind.LIST, 0), Page(first + 2, PageKind.LIST, 2)]
+        with pytest.raises(StorageError):
+            disk.write_run(pages)
+
+    def test_write_run_empty_is_noop(self):
+        disk, metrics = make_disk()
+        disk.write_run([])
+        assert metrics.io_for(Phase.SETUP).total_accesses == 0
+
+    def test_read_run_missing_page_raises(self):
+        disk, _ = make_disk()
+        disk.allocate(3)
+        with pytest.raises(PageNotFoundError):
+            disk.read_run(0, 3)
+
+
+class TestUnaccountedAccess:
+    def test_peek_charges_nothing(self):
+        disk, metrics = make_disk()
+        p = page(disk)
+        disk.write(p)
+        before = metrics.io_for(Phase.SETUP).total_accesses
+        assert disk.peek(p.page_id) is p
+        assert disk.peek(12345) is None
+        assert metrics.io_for(Phase.SETUP).total_accesses == before
+
+    def test_install_places_pages_free(self):
+        disk, metrics = make_disk()
+        first = disk.allocate(3)
+        disk.install([Page(first + i, PageKind.TREE_NODE, i) for i in range(3)])
+        assert disk.exists(first + 2)
+        assert metrics.io_for(Phase.SETUP).total_accesses == 0
+
+    def test_install_rejects_unallocated(self):
+        disk, _ = make_disk()
+        with pytest.raises(StorageError):
+            disk.install([Page(7, PageKind.TREE_NODE, None)])
+
+    def test_pages_of_kind(self):
+        disk, _ = make_disk()
+        first = disk.allocate(2)
+        disk.write(Page(first, PageKind.DATA, "d"))
+        disk.write(Page(first + 1, PageKind.TREE_NODE, "t"))
+        assert [p.payload for p in disk.pages_of_kind(PageKind.DATA)] == ["d"]
+
+
+class TestPhaseAttribution:
+    def test_accesses_follow_current_phase(self):
+        disk, metrics = make_disk()
+        p = page(disk)
+        with metrics.phase(Phase.CONSTRUCT):
+            disk.write(p)
+        with metrics.phase(Phase.MATCH):
+            disk.read(p.page_id)
+        assert metrics.io_for(Phase.CONSTRUCT).random_writes == 1
+        assert metrics.io_for(Phase.MATCH).random_reads == 1
+        assert metrics.io_for(Phase.SETUP).total_accesses == 0

@@ -1,0 +1,43 @@
+"""Hypothesis strategies shared by the property-based tests."""
+
+from __future__ import annotations
+
+from hypothesis import strategies as st
+
+from repro.geometry import Rect
+
+#: Coordinates drawn from a bounded grid so unions/intersections stay
+#: exactly representable and comparisons are never poisoned by float
+#: noise. The grid is fine enough (1/1024 steps) to exercise geometry.
+coordinate = st.integers(min_value=0, max_value=1024).map(lambda v: v / 1024.0)
+
+
+@st.composite
+def rects(draw) -> Rect:
+    """An arbitrary well-formed rectangle in the unit square."""
+    x1, x2 = sorted((draw(coordinate), draw(coordinate)))
+    y1, y2 = sorted((draw(coordinate), draw(coordinate)))
+    return Rect(x1, y1, x2, y2)
+
+
+@st.composite
+def small_rects(draw, max_side: float = 0.125) -> Rect:
+    """A rectangle with bounded extent (realistic data objects)."""
+    cx, cy = draw(coordinate), draw(coordinate)
+    w = draw(st.integers(min_value=0, max_value=128)) / 1024.0
+    h = draw(st.integers(min_value=0, max_value=128)) / 1024.0
+    w, h = min(w, max_side), min(h, max_side)
+    xlo, ylo = max(0.0, cx - w / 2), max(0.0, cy - h / 2)
+    xhi, yhi = min(1.0, cx + w / 2), min(1.0, cy + h / 2)
+    return Rect(xlo, ylo, xhi, yhi)
+
+
+def rect_lists(min_size: int = 0, max_size: int = 40):
+    return st.lists(rects(), min_size=min_size, max_size=max_size)
+
+
+def entry_lists(min_size: int = 1, max_size: int = 60):
+    """(rect, oid) pairs with distinct oids."""
+    return st.lists(small_rects(), min_size=min_size, max_size=max_size).map(
+        lambda rs: [(r, i) for i, r in enumerate(rs)]
+    )

@@ -1,0 +1,124 @@
+"""Tests for the physical-design configuration."""
+
+import pytest
+
+from repro.config import SEQUENTIAL_COST_FRACTION, SystemConfig
+from repro.errors import ConfigError
+
+
+class TestDefaults:
+    def test_paper_defaults(self):
+        """The default config is the paper's setup exactly."""
+        cfg = SystemConfig()
+        assert cfg.page_size == 1024
+        assert cfg.buffer_pages == 512
+        assert cfg.bbox_bytes == 16
+        assert cfg.oid_bytes == 4
+        assert cfg.sequential_cost == pytest.approx(1 / 30)
+
+    def test_default_fanout_is_fifty(self):
+        """1 KiB pages with 20-byte entries give the paper's fan-out 50."""
+        assert SystemConfig().node_capacity == 50
+
+    def test_data_page_capacity_matches_node(self):
+        cfg = SystemConfig()
+        assert cfg.data_page_capacity == cfg.node_capacity
+
+    def test_min_fill_is_forty_percent(self):
+        assert SystemConfig().node_min_fill == 20
+
+
+class TestDerived:
+    def test_entry_sizes(self):
+        cfg = SystemConfig()
+        assert cfg.nonleaf_entry_bytes == 20
+        assert cfg.leaf_entry_bytes == 20
+
+    def test_small_page_capacity(self):
+        cfg = SystemConfig(page_size=104)
+        assert cfg.node_capacity == 4
+        assert cfg.node_min_fill == 1
+
+    def test_data_pages_for(self):
+        cfg = SystemConfig()  # capacity 50
+        assert cfg.data_pages_for(0) == 0
+        assert cfg.data_pages_for(1) == 1
+        assert cfg.data_pages_for(50) == 1
+        assert cfg.data_pages_for(51) == 2
+        assert cfg.data_pages_for(40_000) == 800
+
+    def test_estimated_tree_pages_grows_with_objects(self):
+        cfg = SystemConfig()
+        small = cfg.estimated_tree_pages(1_000)
+        large = cfg.estimated_tree_pages(40_000)
+        assert 0 < small < large
+
+    def test_estimated_tree_pages_includes_upper_levels(self):
+        cfg = SystemConfig()
+        # 40K objects at 70% fill: ~1143 leaves plus parents and a root.
+        est = cfg.estimated_tree_pages(40_000)
+        assert est > 40_000 // 35
+        assert est < 40_000 // 35 + 100
+
+    def test_estimated_tree_pages_empty(self):
+        assert SystemConfig().estimated_tree_pages(0) == 0
+
+
+class TestCostModel:
+    def test_io_cost_weights_sequential(self):
+        cfg = SystemConfig()
+        assert cfg.io_cost(10, 0) == 10
+        assert cfg.io_cost(0, 30) == pytest.approx(1.0)
+        assert cfg.io_cost(5, 60) == pytest.approx(7.0)
+
+    def test_sequential_fraction_constant(self):
+        assert SEQUENTIAL_COST_FRACTION == pytest.approx(1 / 30)
+
+
+class TestValidation:
+    def test_rejects_tiny_page(self):
+        with pytest.raises(ConfigError):
+            SystemConfig(page_size=24)
+
+    def test_rejects_page_below_two_entries(self):
+        with pytest.raises(ConfigError):
+            SystemConfig(page_size=48)
+
+    def test_rejects_zero_buffer(self):
+        with pytest.raises(ConfigError):
+            SystemConfig(buffer_pages=0)
+
+    def test_rejects_bad_sequential_cost(self):
+        with pytest.raises(ConfigError):
+            SystemConfig(sequential_cost=0.0)
+        with pytest.raises(ConfigError):
+            SystemConfig(sequential_cost=1.5)
+
+    def test_rejects_bad_min_fill(self):
+        with pytest.raises(ConfigError):
+            SystemConfig(min_fill_fraction=0.6)
+        with pytest.raises(ConfigError):
+            SystemConfig(min_fill_fraction=0.0)
+
+    def test_rejects_zero_entry_fields(self):
+        with pytest.raises(ConfigError):
+            SystemConfig(bbox_bytes=0)
+
+    def test_rejects_zero_flush_threshold(self):
+        with pytest.raises(ConfigError):
+            SystemConfig(list_flush_threshold=0)
+
+
+class TestScaled:
+    def test_scaled_overrides(self):
+        cfg = SystemConfig().scaled(buffer_pages=64)
+        assert cfg.buffer_pages == 64
+        assert cfg.page_size == 1024
+
+    def test_scaled_validates(self):
+        with pytest.raises(ConfigError):
+            SystemConfig().scaled(buffer_pages=0)
+
+    def test_frozen(self):
+        with pytest.raises(Exception):
+            SystemConfig().page_size = 2048  # type: ignore[misc]

@@ -1,0 +1,51 @@
+"""Tests for the exception hierarchy and the public API surface."""
+
+import pytest
+
+import repro
+from repro import errors
+
+
+class TestHierarchy:
+    def test_everything_derives_from_repro_error(self):
+        for name in dir(errors):
+            obj = getattr(errors, name)
+            if isinstance(obj, type) and issubclass(obj, Exception):
+                assert issubclass(obj, errors.ReproError), name
+
+    def test_storage_family(self):
+        assert issubclass(errors.PageNotFoundError, errors.StorageError)
+        assert issubclass(errors.BufferFullError, errors.StorageError)
+        assert issubclass(errors.PinError, errors.StorageError)
+
+    def test_tree_family(self):
+        assert issubclass(errors.NodeOverflowError, errors.TreeError)
+        assert issubclass(errors.SeedingError, errors.TreeError)
+        assert issubclass(errors.TreePhaseError, errors.TreeError)
+
+    def test_one_catch_all(self):
+        with pytest.raises(errors.ReproError):
+            raise errors.ExperimentError("boom")
+
+
+class TestPublicApi:
+    def test_all_exports_resolve(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), name
+
+    def test_version(self):
+        major, *_ = repro.__version__.split(".")
+        assert int(major) >= 1
+
+    def test_key_entry_points_present(self):
+        # The names a downstream user builds on; renaming any of these
+        # is a breaking change and should trip this test.
+        for name in ("Workspace", "SeededTree", "RTree", "spatial_join",
+                     "seeded_tree_join", "two_seeded_join", "z_order_join",
+                     "plan_spatial_join", "Rect", "SystemConfig"):
+            assert name in repro.__all__
+
+    def test_experiments_package_importable(self):
+        from repro.experiments import EXPERIMENTS, PROFILES
+
+        assert EXPERIMENTS and PROFILES

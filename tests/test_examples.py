@@ -1,0 +1,34 @@
+"""Smoke tests: every shipped example runs cleanly end to end.
+
+Examples are user-facing documentation; a broken one is a bug. Each is
+executed as a subprocess (the way users run them) with a generous
+timeout; the scripts contain their own internal assertions (result
+cross-checks), so a zero exit status means the scenario really worked.
+"""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES_DIR = pathlib.Path(__file__).resolve().parent.parent / "examples"
+ALL_EXAMPLES = sorted(p.name for p in EXAMPLES_DIR.glob("*.py"))
+
+
+def test_examples_directory_is_complete():
+    """The deliverable: a quickstart plus domain scenarios."""
+    assert "quickstart.py" in ALL_EXAMPLES
+    assert len(ALL_EXAMPLES) >= 3
+
+
+@pytest.mark.parametrize("script", ALL_EXAMPLES)
+def test_example_runs(script):
+    proc = subprocess.run(
+        [sys.executable, str(EXAMPLES_DIR / script)],
+        capture_output=True, text=True, timeout=600,
+    )
+    assert proc.returncode == 0, (
+        f"{script} failed:\n{proc.stdout}\n{proc.stderr}"
+    )
+    assert proc.stdout.strip(), f"{script} printed nothing"

@@ -1,0 +1,198 @@
+"""Cross-module integration tests.
+
+The load-bearing property of the whole library: every join algorithm, in
+every configuration, on every workload shape, computes exactly the pair
+set of the quadratic oracle — while the cost accounting reproduces the
+paper's qualitative behaviour.
+"""
+
+import pytest
+
+from repro import (
+    Phase,
+    SystemConfig,
+    Workspace,
+    naive_join,
+    seeded_tree_join,
+    spatial_join,
+)
+from repro.workload import ClusteredConfig, generate_clustered
+
+METHODS = ["BFJ", "RTJ", "STJ1-2N", "STJ2-2N", "STJ1-2F", "STJ2-2F",
+           "STJ1-3F", "STJ2-3F"]
+
+
+def build_env(n_r=3000, n_s=1200, quotient=0.2, buffer_pages=48,
+              seed=0, opc=40, page_size=224):
+    # Fan-out 10: large enough that seed slots, grown subtrees, and the
+    # buffer relate the way the paper's fan-out-50 setup does.
+    ws = Workspace(SystemConfig(page_size=page_size,
+                                buffer_pages=buffer_pages))
+    d_r = generate_clustered(ClusteredConfig(
+        n_r, cover_quotient=quotient, objects_per_cluster=opc, seed=seed,
+    ))
+    d_s = generate_clustered(ClusteredConfig(
+        n_s, cover_quotient=quotient, objects_per_cluster=opc,
+        seed=seed + 1, oid_start=1_000_000,
+    ))
+    tree_r = ws.install_rtree(d_r)
+    file_s = ws.install_datafile(d_s)
+    oracle = naive_join(d_s, d_r).pair_set()
+    return ws, tree_r, file_s, oracle
+
+
+@pytest.fixture(scope="module")
+def clustered_env():
+    return build_env()
+
+
+class TestAllAlgorithmsAgree:
+    @pytest.mark.parametrize("method", METHODS)
+    def test_clustered_workload(self, clustered_env, method):
+        ws, tree_r, file_s, oracle = clustered_env
+        ws.start_measurement()
+        result = spatial_join(file_s, tree_r, ws.buffer, ws.config,
+                              ws.metrics, method=method)
+        assert result.pair_set() == oracle
+
+    def test_unclustered_workload(self):
+        ws, tree_r, file_s, oracle = build_env(quotient=1.0, seed=5)
+        for method in ("BFJ", "RTJ", "STJ1-2N", "STJ1-3F"):
+            ws.start_measurement()
+            result = spatial_join(file_s, tree_r, ws.buffer, ws.config,
+                                  ws.metrics, method=method)
+            assert result.pair_set() == oracle
+
+    def test_tiny_buffer_does_not_change_results(self):
+        ws, tree_r, file_s, oracle = build_env(
+            n_r=1500, n_s=600, buffer_pages=24, seed=9
+        )
+        for method in ("BFJ", "RTJ", "STJ1-2N"):
+            ws.start_measurement()
+            result = spatial_join(file_s, tree_r, ws.buffer, ws.config,
+                                  ws.metrics, method=method)
+            assert result.pair_set() == oracle
+
+
+class TestPaperShape:
+    """The qualitative results the reproduction must preserve."""
+
+    @pytest.fixture(scope="class")
+    def costs(self):
+        ws, tree_r, file_s, _ = build_env(seed=2)
+        out = {}
+        for method in METHODS:
+            ws.start_measurement()
+            spatial_join(file_s, tree_r, ws.buffer, ws.config, ws.metrics,
+                         method=method)
+            out[method] = ws.metrics.summary()
+        return out
+
+    def test_stj_beats_rtj_total_io(self, costs):
+        for variant in ("STJ1-2N", "STJ2-2N", "STJ1-2F", "STJ1-3F"):
+            assert costs[variant].total_io < costs["RTJ"].total_io
+
+    def test_rtj_construction_reads_dominate(self, costs):
+        """RTJ's buffer misses vs STJ's linked lists (paper's headline)."""
+        assert costs["RTJ"].construct_read > \
+            5 * costs["STJ1-2N"].construct_read
+
+    def test_bfj_has_no_construction(self, costs):
+        assert costs["BFJ"].construct_read == 0
+        assert costs["BFJ"].construct_write == 0
+        assert costs["BFJ"].match_write == 0
+
+    def test_stj_without_filtering_has_lowest_cpu(self, costs):
+        # 10% tolerance: at test scale the STJ-vs-RTJ CPU margin is thin
+        # (at the paper's scale it is decisive; see the benchmarks).
+        reference = costs["STJ1-2N"].bbox_tests + costs["STJ1-2N"].xy_tests
+        for other in ("BFJ", "RTJ", "STJ1-2F", "STJ1-3F"):
+            total = costs[other].bbox_tests + costs[other].xy_tests
+            assert reference <= 1.1 * total
+
+    def test_filtering_multiplies_bbox_tests(self, costs):
+        assert costs["STJ1-2F"].bbox_tests > 3 * costs["STJ1-2N"].bbox_tests
+        assert costs["STJ1-3F"].bbox_tests > costs["STJ1-2F"].bbox_tests
+
+    def test_bfj_cpu_is_highest(self, costs):
+        assert costs["BFJ"].bbox_tests > costs["RTJ"].bbox_tests
+        assert costs["BFJ"].bbox_tests > costs["STJ1-2N"].bbox_tests
+
+
+class TestDerivedDataSetScenario:
+    """The paper's motivating Q2: non-spatial selection, then join."""
+
+    def test_selection_then_join(self):
+        ws = Workspace(SystemConfig(page_size=104, buffer_pages=48))
+        buildings = generate_clustered(
+            ClusteredConfig(2000, seed=20, objects_per_cluster=40)
+        )
+        parks = generate_clustered(
+            ClusteredConfig(800, seed=21, oid_start=100_000,
+                            objects_per_cluster=40)
+        )
+        tree_parks = ws.install_rtree(parks)
+        # Non-spatial selection: say government buildings are those with
+        # oid % 10 == 0. The result is a derived set with no index.
+        government = [(r, o) for r, o in buildings if o % 10 == 0]
+        file_gov = ws.install_datafile(government, name="gov_buildings")
+
+        ws.start_measurement()
+        result = seeded_tree_join(file_gov, tree_parks, ws.buffer,
+                                  ws.config, ws.metrics)
+        assert result.pair_set() == naive_join(government, parks).pair_set()
+
+    def test_join_output_feeds_second_join(self):
+        """Chained joins: the output of one spatial join is a derived
+        data set joined again (the paper's multi-layer overlay case)."""
+        ws = Workspace(SystemConfig(page_size=104, buffer_pages=48))
+        layer_a = generate_clustered(
+            ClusteredConfig(1200, seed=22, objects_per_cluster=40)
+        )
+        layer_b = generate_clustered(
+            ClusteredConfig(1200, seed=23, oid_start=10_000,
+                            objects_per_cluster=40)
+        )
+        layer_c = generate_clustered(
+            ClusteredConfig(800, seed=24, oid_start=20_000,
+                            objects_per_cluster=40)
+        )
+        tree_b = ws.install_rtree(layer_b, name="T_B")
+        file_a = ws.install_datafile(layer_a, name="A")
+
+        first = seeded_tree_join(file_a, tree_b, ws.buffer, ws.config,
+                                 ws.metrics)
+        # Derived set: the A-side objects that matched something in B.
+        matched = {a for a, _ in first.pair_set()}
+        derived = [(r, o) for r, o in layer_a if o in matched]
+        file_derived = ws.install_datafile(derived, name="A&B")
+        tree_c = ws.install_rtree(layer_c, name="T_C")
+
+        second = seeded_tree_join(file_derived, tree_c, ws.buffer,
+                                  ws.config, ws.metrics)
+        assert second.pair_set() == naive_join(derived, layer_c).pair_set()
+
+
+class TestAccountingConsistency:
+    def test_phases_partition_io(self):
+        """Setup + construct + match accounts for every disk access."""
+        ws, tree_r, file_s, _ = build_env(n_r=1000, n_s=400, seed=30)
+        ws.start_measurement()
+        spatial_join(file_s, tree_r, ws.buffer, ws.config, ws.metrics,
+                     method="STJ1-2N")
+        per_phase = sum(
+            ws.metrics.io_for(p).total_accesses for p in Phase
+        )
+        summary = ws.metrics.summary()
+        assert per_phase > 0
+        assert summary.total_io <= per_phase  # weighting only shrinks
+
+    def test_repeated_runs_are_reproducible(self):
+        ws, tree_r, file_s, _ = build_env(n_r=1000, n_s=400, seed=31)
+        snapshots = []
+        for _ in range(2):
+            ws.start_measurement()
+            spatial_join(file_s, tree_r, ws.buffer, ws.config, ws.metrics,
+                         method="STJ1-2N")
+            snapshots.append(ws.metrics.summary())
+        assert snapshots[0] == snapshots[1]

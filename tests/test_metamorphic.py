@@ -1,0 +1,111 @@
+"""Metamorphic properties of the spatial join.
+
+A spatial join's answer must be invariant under transformations that
+preserve the overlap relation — translation, uniform scaling, axis
+swapping, and input-order permutation. Each test joins a base workload
+and its transformed twin and demands identical pair sets. These catch
+coordinate-handling bugs (lost axis, flipped comparison, order
+dependence) that value-based tests can slide past.
+"""
+
+import random
+
+import pytest
+
+from repro.config import SystemConfig
+from repro.geometry import Rect
+from repro.join import naive_join, seeded_tree_join
+from repro.workspace import Workspace
+
+from .conftest import random_entries
+
+
+def join_pairs(s_entries, r_entries, map_hint=None):
+    """Run STJ on arbitrary (possibly transformed) inputs."""
+    ws = Workspace(SystemConfig(page_size=224, buffer_pages=64))
+    tree_r = ws.install_rtree(r_entries)
+    file_s = ws.install_datafile(s_entries)
+    result = seeded_tree_join(file_s, tree_r, ws.buffer, ws.config,
+                              ws.metrics)
+    return result.pair_set()
+
+
+def transform(entries, fn):
+    return [(fn(rect), oid) for rect, oid in entries]
+
+
+@pytest.fixture(scope="module")
+def base():
+    s = random_entries(250, seed=71)
+    r = random_entries(250, seed=72, oid_start=10_000)
+    return s, r, join_pairs(s, r)
+
+
+class TestInvariance:
+    def test_base_matches_oracle(self, base):
+        s, r, pairs = base
+        assert pairs == naive_join(s, r).pair_set()
+
+    def test_translation(self, base):
+        s, r, pairs = base
+
+        def shift(rect):
+            return Rect(rect.xlo + 3, rect.ylo - 7,
+                        rect.xhi + 3, rect.yhi - 7)
+
+        assert join_pairs(transform(s, shift), transform(r, shift)) == pairs
+
+    def test_uniform_scaling(self, base):
+        s, r, pairs = base
+
+        def scale(rect):
+            return Rect(rect.xlo * 5, rect.ylo * 5,
+                        rect.xhi * 5, rect.yhi * 5)
+
+        assert join_pairs(transform(s, scale), transform(r, scale)) == pairs
+
+    def test_axis_swap(self, base):
+        s, r, pairs = base
+
+        def swap(rect):
+            return Rect(rect.ylo, rect.xlo, rect.yhi, rect.xhi)
+
+        assert join_pairs(transform(s, swap), transform(r, swap)) == pairs
+
+    def test_point_reflection(self, base):
+        s, r, pairs = base
+
+        def reflect(rect):
+            return Rect(-rect.xhi, -rect.yhi, -rect.xlo, -rect.ylo)
+
+        assert join_pairs(transform(s, reflect),
+                          transform(r, reflect)) == pairs
+
+    def test_input_order_permutation(self, base):
+        s, r, pairs = base
+        rng = random.Random(73)
+        s2, r2 = list(s), list(r)
+        rng.shuffle(s2)
+        rng.shuffle(r2)
+        assert join_pairs(s2, r2) == pairs
+
+    def test_symmetry(self, base):
+        """join(S, R) flipped equals join(R, S)."""
+        s, r, pairs = base
+        flipped = {(b, a) for a, b in join_pairs(r, s)}
+        assert flipped == pairs
+
+
+class TestMonotonicity:
+    def test_subset_of_inputs_gives_subset_of_pairs(self, base):
+        s, r, pairs = base
+        half_s = s[:125]
+        sub = join_pairs(half_s, r)
+        kept = {oid for _, oid in half_s}
+        assert sub == {(a, b) for a, b in pairs if a in kept}
+
+    def test_adding_disjoint_data_adds_nothing(self, base):
+        s, r, pairs = base
+        far = [(Rect(50 + i, 50, 50.01 + i, 50.01), 90_000 + i)
+               for i in range(20)]
+        assert join_pairs(s + far, r) == pairs

@@ -1,0 +1,186 @@
+"""Model-based (stateful) property tests.
+
+Hypothesis drives random operation sequences against the buffer pool and
+the R-tree, checking them after every step against trivially correct
+in-memory models. These catch interaction bugs that example-based tests
+miss: eviction vs. pinning races, dirty-data loss, delete/insert
+interleavings that violate tree invariants.
+"""
+
+import pytest
+from hypothesis import settings
+from hypothesis import strategies as st
+from hypothesis.stateful import (
+    RuleBasedStateMachine,
+    invariant,
+    precondition,
+    rule,
+)
+
+from repro.config import SystemConfig
+from repro.errors import BufferFullError
+from repro.geometry import Rect
+from repro.metrics import MetricsCollector
+from repro.rtree import RTree
+from repro.storage import BufferPool, DiskSimulator, Page, PageKind
+
+
+class BufferPoolMachine(RuleBasedStateMachine):
+    """The buffer pool must never lose data and never exceed capacity.
+
+    Model: a dict of the latest payload written per page. Every fetch
+    must return it, whether the page is resident or was evicted and
+    re-read.
+    """
+
+    CAPACITY = 4
+
+    def __init__(self):
+        super().__init__()
+        self.metrics = MetricsCollector()
+        self.disk = DiskSimulator(self.metrics)
+        self.pool = BufferPool(self.CAPACITY, self.disk)
+        self.model: dict[int, int] = {}      # page id -> expected payload
+        self.pinned: set[int] = set()
+        self.counter = 0
+
+    # ------------------------------------------------------------- #
+
+    @rule()
+    def new_page(self):
+        self.counter += 1
+        payload = [self.counter]  # mutable payload, like a tree node
+        try:
+            page = self.pool.new_page(PageKind.TREE_NODE, payload)
+        except BufferFullError:
+            assert len(self.pinned) >= self.CAPACITY
+            return
+        self.model[page.page_id] = self.counter
+
+    @precondition(lambda self: self.model)
+    @rule(data=st.data())
+    def fetch_and_check(self, data):
+        page_id = data.draw(st.sampled_from(sorted(self.model)))
+        try:
+            page = self.pool.fetch(page_id)
+        except BufferFullError:
+            assert len(self.pinned) >= self.CAPACITY
+            return
+        assert page.payload[0] == self.model[page_id]
+
+    @precondition(lambda self: self.model)
+    @rule(data=st.data())
+    def mutate_resident(self, data):
+        page_id = data.draw(st.sampled_from(sorted(self.model)))
+        try:
+            page = self.pool.fetch(page_id)
+        except BufferFullError:
+            assert len(self.pinned) >= self.CAPACITY
+            return
+        self.counter += 1
+        page.payload[0] = self.counter
+        self.pool.mark_dirty(page_id)
+        self.model[page_id] = self.counter
+
+    @precondition(lambda self: self.model and len(self.pinned) + 1 < 4)
+    @rule(data=st.data())
+    def pin_one(self, data):
+        page_id = data.draw(st.sampled_from(sorted(self.model)))
+        try:
+            self.pool.fetch(page_id, pin=True)
+        except BufferFullError:
+            return
+        self.pinned.add(page_id)
+
+    @precondition(lambda self: self.pinned)
+    @rule(data=st.data())
+    def unpin_one(self, data):
+        page_id = data.draw(st.sampled_from(sorted(self.pinned)))
+        self.pool.unpin(page_id)
+        if self.pool.pin_count(page_id) == 0:
+            self.pinned.discard(page_id)
+
+    @rule()
+    def flush_all(self):
+        self.pool.flush_all()
+
+    # ------------------------------------------------------------- #
+
+    @invariant()
+    def capacity_respected(self):
+        assert len(self.pool) <= self.CAPACITY
+
+    @invariant()
+    def pinned_pages_resident(self):
+        for page_id in self.pinned:
+            assert page_id in self.pool
+
+
+class RTreeMachine(RuleBasedStateMachine):
+    """Insert/delete interleavings must preserve all tree invariants.
+
+    Model: a dict of live (oid -> rect). After every step the tree's
+    structural invariants hold and a window query equals a linear scan
+    of the model.
+    """
+
+    def __init__(self):
+        super().__init__()
+        cfg = SystemConfig(page_size=104, buffer_pages=64)  # fan-out 4
+        self.metrics = MetricsCollector(cfg)
+        self.tree = RTree(
+            BufferPool(cfg.buffer_pages, DiskSimulator(self.metrics)),
+            cfg, metrics=self.metrics,
+        )
+        self.model: dict[int, Rect] = {}
+        self.next_oid = 0
+
+    @rule(x=st.integers(0, 64), y=st.integers(0, 64),
+          w=st.integers(0, 16), h=st.integers(0, 16))
+    def insert(self, x, y, w, h):
+        rect = Rect(x / 64, y / 64, min(1.0, (x + w) / 64),
+                    min(1.0, (y + h) / 64))
+        self.tree.insert(rect, self.next_oid)
+        self.model[self.next_oid] = rect
+        self.next_oid += 1
+
+    @precondition(lambda self: self.model)
+    @rule(data=st.data())
+    def delete(self, data):
+        oid = data.draw(st.sampled_from(sorted(self.model)))
+        assert self.tree.delete(self.model[oid], oid)
+        del self.model[oid]
+
+    @precondition(lambda self: self.model)
+    @rule(data=st.data())
+    def delete_missing(self, data):
+        oid = data.draw(st.sampled_from(sorted(self.model)))
+        # Right oid, wrong rect: must refuse and change nothing.
+        assert not self.tree.delete(Rect(0.9, 0.99, 0.95, 1.0), oid + 10_000)
+        assert len(self.tree) == len(self.model)
+
+    @invariant()
+    def structurally_valid(self):
+        self.tree.validate()
+
+    @invariant()
+    def query_matches_model(self):
+        window = Rect(0.25, 0.25, 0.75, 0.75)
+        expected = sorted(
+            oid for oid, rect in self.model.items()
+            if rect.intersects(window)
+        )
+        assert sorted(self.tree.window_query(window)) == expected
+
+
+TestBufferPoolMachine = pytest.mark.filterwarnings("ignore")(
+    BufferPoolMachine.TestCase
+)
+TestBufferPoolMachine.settings = settings(
+    max_examples=30, stateful_step_count=40, deadline=None
+)
+
+TestRTreeMachine = RTreeMachine.TestCase
+TestRTreeMachine.settings = settings(
+    max_examples=20, stateful_step_count=30, deadline=None
+)

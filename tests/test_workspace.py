@@ -1,0 +1,63 @@
+"""Tests for the experiment workspace protocol."""
+
+import pytest
+
+from repro.config import SystemConfig
+from repro.geometry import Rect
+from repro.metrics import Phase
+from repro.workspace import Workspace
+
+from .conftest import random_entries
+
+
+@pytest.fixture
+def ws():
+    return Workspace(SystemConfig(page_size=104, buffer_pages=64))
+
+
+class TestSetup:
+    def test_default_config_is_paper(self):
+        assert Workspace().config.page_size == 1024
+
+    def test_install_datafile_charges_setup_only(self, ws):
+        ws.install_datafile(random_entries(100, seed=1))
+        assert ws.metrics.summary().total_io == 0
+        assert ws.metrics.io_for(Phase.SETUP).total_accesses > 0
+
+    def test_install_rtree_charges_setup_only(self, ws):
+        tree = ws.install_rtree(random_entries(120, seed=2))
+        tree.validate()
+        assert ws.metrics.summary().total_io == 0
+        assert ws.metrics.summary().bbox_tests == 0
+
+    def test_rtree_starts_cold(self, ws):
+        """After install, the buffer is purged: the join pays to read T_R."""
+        tree = ws.install_rtree(random_entries(120, seed=3))
+        assert len(ws.buffer) == 0
+        with ws.metrics.phase(Phase.MATCH):
+            tree.window_query(Rect(0, 0, 1, 1))
+        assert ws.metrics.io_for(Phase.MATCH).random_reads > 0
+
+    def test_rtree_survives_purge(self, ws):
+        entries = random_entries(100, seed=4)
+        tree = ws.install_rtree(entries)
+        assert sorted(tree.all_objects(), key=lambda e: e[1]) == entries
+
+    def test_tree_uses_workspace_metrics_after_install(self, ws):
+        tree = ws.install_rtree(random_entries(50, seed=5))
+        assert tree.metrics is ws.metrics
+
+
+class TestStartMeasurement:
+    def test_resets_counters_and_cache(self, ws):
+        tree = ws.install_rtree(random_entries(80, seed=6))
+        with ws.metrics.phase(Phase.MATCH):
+            tree.window_query(Rect(0, 0, 1, 1))
+        assert ws.metrics.summary().total_io > 0
+        ws.start_measurement()
+        assert ws.metrics.summary().total_io == 0
+        assert ws.metrics.summary().bbox_tests == 0
+        assert len(ws.buffer) == 0
+
+    def test_repr(self, ws):
+        assert "buffer=64p" in repr(ws)

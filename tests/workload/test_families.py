@@ -1,0 +1,155 @@
+"""Tests for the additional spatial data families."""
+
+import pytest
+
+from repro.errors import WorkloadError
+from repro.geometry import Rect
+from repro.workload import (
+    generate_gaussian_clusters,
+    generate_grid_cells,
+    generate_paths,
+    generate_skewed,
+)
+from repro.workload.generator import DEFAULT_MAP_AREA
+
+MAP = DEFAULT_MAP_AREA
+
+FAMILIES = [
+    lambda n, seed: generate_gaussian_clusters(n, seed=seed),
+    lambda n, seed: generate_skewed(n, seed=seed),
+    lambda n, seed: generate_paths(n, seed=seed),
+]
+
+
+@pytest.mark.parametrize("family", FAMILIES)
+class TestCommonContract:
+    def test_count_exact(self, family):
+        assert len(family(500, 1)) == 500
+
+    def test_zero_objects(self, family):
+        assert family(0, 1) == []
+
+    def test_inside_map(self, family):
+        entries = family(400, 2)
+        assert all(MAP.contains(r) for r, _ in entries)
+
+    def test_oids_unique(self, family):
+        entries = family(300, 3)
+        assert len({o for _, o in entries}) == 300
+
+    def test_deterministic(self, family):
+        assert family(200, 4) == family(200, 4)
+
+    def test_seeds_differ(self, family):
+        assert family(200, 5) != family(200, 6)
+
+
+class TestGaussianClusters:
+    def test_clustering_is_real(self):
+        """Most mass concentrates near the cluster centers."""
+        entries = generate_gaussian_clusters(
+            2000, num_clusters=4, sigma=0.01, seed=7,
+        )
+        # With 4 tight clusters, a 32x32 occupancy grid stays sparse.
+        cells = {
+            (int(r.center()[0] * 32), int(r.center()[1] * 32))
+            for r, _ in entries
+        }
+        assert len(cells) < 200
+
+    def test_validation(self):
+        with pytest.raises(WorkloadError):
+            generate_gaussian_clusters(-1)
+        with pytest.raises(WorkloadError):
+            generate_gaussian_clusters(10, num_clusters=0)
+
+
+class TestSkewed:
+    def test_hot_spot_dominates(self):
+        entries = generate_skewed(3000, num_clusters=30, zipf_s=1.5, seed=8)
+        # Bucket by coarse location; the biggest bucket holds far more
+        # than a uniform share.
+        from collections import Counter
+
+        buckets = Counter(
+            (int(r.center()[0] * 10), int(r.center()[1] * 10))
+            for r, _ in entries
+        )
+        top = buckets.most_common(1)[0][1]
+        assert top > 3 * (3000 / 100)
+
+    def test_validation(self):
+        with pytest.raises(WorkloadError):
+            generate_skewed(10, zipf_s=0.0)
+        with pytest.raises(WorkloadError):
+            generate_skewed(10, num_clusters=0)
+
+
+class TestPaths:
+    def test_segments_are_elongated(self):
+        entries = generate_paths(500, step=0.03, thickness=0.002, seed=9)
+        ratios = []
+        for r, _ in entries:
+            if min(r.width, r.height) > 0:
+                ratios.append(max(r.width, r.height) /
+                              min(r.width, r.height))
+        assert sum(ratios) / len(ratios) > 3
+
+    def test_segments_form_chains(self):
+        """Walk steps share endpoints, so the overlap graph is dense:
+        nearly every segment touches its chain neighbours, shuffle or
+        not. Random thin rectangles would barely touch at all."""
+        from repro.geometry import sweep_pairs
+
+        entries = generate_paths(300, num_paths=5, seed=10)
+        rects = [r for r, _ in entries]
+        touching = sum(
+            1 for a, b in sweep_pairs(rects, rects) if a is not b
+        ) // 2
+        assert touching > 200
+
+    def test_validation(self):
+        with pytest.raises(WorkloadError):
+            generate_paths(-5)
+        with pytest.raises(WorkloadError):
+            generate_paths(10, num_paths=0)
+
+
+class TestGridCells:
+    def test_exact_tessellation(self):
+        entries = generate_grid_cells(8, coverage=1.0)
+        assert len(entries) == 64
+        total = sum(r.area() for r, _ in entries)
+        assert total == pytest.approx(MAP.area())
+
+    def test_partial_coverage_disjoint(self):
+        entries = generate_grid_cells(6, coverage=0.8, seed=11)
+        rects = [r for r, _ in entries]
+        for i, a in enumerate(rects):
+            for b in rects[i + 1:]:
+                assert not a.intersects(b)
+
+    def test_validation(self):
+        with pytest.raises(WorkloadError):
+            generate_grid_cells(0)
+        with pytest.raises(WorkloadError):
+            generate_grid_cells(4, coverage=0.0)
+        with pytest.raises(WorkloadError):
+            generate_grid_cells(4, coverage=1.5)
+
+
+class TestJoinsAcrossFamilies:
+    @pytest.mark.parametrize("family", FAMILIES)
+    def test_stj_correct_on_every_family(self, family):
+        from repro.config import SystemConfig
+        from repro.join import naive_join, seeded_tree_join
+        from repro.workspace import Workspace
+
+        ws = Workspace(SystemConfig(page_size=224, buffer_pages=64))
+        d_r = family(600, 21)
+        d_s = [(r, o + 1_000_000) for r, o in family(400, 22)]
+        tree_r = ws.install_rtree(d_r)
+        file_s = ws.install_datafile(d_s)
+        result = seeded_tree_join(file_s, tree_r, ws.buffer, ws.config,
+                                  ws.metrics)
+        assert result.pair_set() == naive_join(d_s, d_r).pair_set()

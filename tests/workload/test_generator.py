@@ -1,0 +1,182 @@
+"""Tests for the Section-4 clustered workload generator."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import WorkloadError
+from repro.geometry import Rect
+from repro.workload import (
+    ClusteredConfig,
+    cluster_side_bound,
+    generate_clustered,
+    generate_clusters,
+    generate_uniform,
+    measure_cover_quotient,
+)
+from repro.workload.generator import DEFAULT_MAP_AREA
+
+MAP = DEFAULT_MAP_AREA
+
+
+class TestClusterSideBound:
+    def test_matches_expected_area(self):
+        # x clusters of expected area (b/2)^2 must total q.
+        for q in (0.2, 0.5, 1.0):
+            b = cluster_side_bound(q, 100)
+            assert 100 * (b / 2) ** 2 == pytest.approx(q)
+
+    def test_rejects_bad_inputs(self):
+        with pytest.raises(WorkloadError):
+            cluster_side_bound(0.0, 10)
+        with pytest.raises(WorkloadError):
+            cluster_side_bound(0.2, 0)
+
+
+class TestGenerateClusters:
+    @pytest.mark.parametrize("quotient", [0.1, 0.3, 0.6, 1.0])
+    def test_cover_quotient_hits_target_after_clipping(self, quotient):
+        cfg = ClusteredConfig(num_objects=4000, cover_quotient=quotient,
+                              seed=1)
+        clusters = generate_clusters(cfg, random.Random(1))
+        measured = measure_cover_quotient(clusters)
+        assert measured == pytest.approx(quotient, rel=0.02)
+
+    def test_cluster_count(self):
+        cfg = ClusteredConfig(num_objects=1000, objects_per_cluster=200)
+        assert cfg.num_clusters == 5
+        clusters = generate_clusters(cfg, random.Random(0))
+        assert len(clusters) == 5
+
+    def test_partial_last_cluster(self):
+        cfg = ClusteredConfig(num_objects=450, objects_per_cluster=200)
+        assert cfg.num_clusters == 3
+
+    def test_clusters_inside_map(self):
+        cfg = ClusteredConfig(num_objects=2000, cover_quotient=1.0, seed=2)
+        for c in generate_clusters(cfg, random.Random(2)):
+            assert MAP.contains(c)
+
+
+class TestGenerateClustered:
+    def test_object_count(self):
+        entries = generate_clustered(ClusteredConfig(777, seed=3))
+        assert len(entries) == 777
+
+    def test_oids_consecutive_from_start(self):
+        entries = generate_clustered(
+            ClusteredConfig(50, seed=4, oid_start=1000)
+        )
+        assert sorted(o for _, o in entries) == list(range(1000, 1050))
+
+    def test_rects_inside_map(self):
+        entries = generate_clustered(ClusteredConfig(1000, seed=5))
+        assert all(MAP.contains(r) for r, _ in entries)
+
+    def test_deterministic_per_seed(self):
+        a = generate_clustered(ClusteredConfig(200, seed=6))
+        b = generate_clustered(ClusteredConfig(200, seed=6))
+        assert a == b
+
+    def test_different_seeds_differ(self):
+        a = generate_clustered(ClusteredConfig(200, seed=7))
+        b = generate_clustered(ClusteredConfig(200, seed=8))
+        assert a != b
+
+    def test_zero_objects(self):
+        assert generate_clustered(ClusteredConfig(0)) == []
+
+    def test_negative_rejected(self):
+        with pytest.raises(WorkloadError):
+            generate_clustered(ClusteredConfig(-1))
+
+    def test_data_side_bound_respected(self):
+        entries = generate_clustered(
+            ClusteredConfig(500, seed=9, data_side_bound=0.01)
+        )
+        assert all(r.width <= 0.01 and r.height <= 0.01 for r, _ in entries)
+
+    def test_shuffle_randomises_order(self):
+        shuffled = generate_clustered(ClusteredConfig(400, seed=10))
+        ordered = generate_clustered(
+            ClusteredConfig(400, seed=10, shuffle=False)
+        )
+        assert sorted(shuffled, key=lambda e: e[1]) == sorted(
+            ordered, key=lambda e: e[1]
+        )
+        assert shuffled != ordered
+
+    def test_unshuffled_order_is_cluster_grouped(self):
+        """Without shuffling, consecutive objects are spatially close —
+        the input-order locality the paper warns about."""
+
+        def closeness(entries):
+            pairs = list(zip(entries, entries[1:]))
+            return sum(
+                1 for (a, _), (b, _) in pairs
+                if abs(a.center()[0] - b.center()[0]) < 0.1
+                and abs(a.center()[1] - b.center()[1]) < 0.1
+            ) / len(pairs)
+
+        base = dict(cover_quotient=0.05, objects_per_cluster=50, seed=11)
+        ordered = generate_clustered(
+            ClusteredConfig(400, shuffle=False, **base)
+        )
+        shuffled = generate_clustered(ClusteredConfig(400, **base))
+        assert closeness(ordered) > 2 * closeness(shuffled)
+
+    def test_higher_quotient_spreads_data(self):
+        """Lower quotient = more clustered = fewer occupied grid cells."""
+
+        def occupied_cells(entries, grid=32):
+            cells = set()
+            for r, _ in entries:
+                cx, cy = r.center()
+                cells.add((min(int(cx * grid), grid - 1),
+                           min(int(cy * grid), grid - 1)))
+            return len(cells)
+
+        tight = generate_clustered(
+            ClusteredConfig(2000, seed=12, cover_quotient=0.1)
+        )
+        loose = generate_clustered(
+            ClusteredConfig(2000, seed=12, cover_quotient=1.0)
+        )
+        assert occupied_cells(loose) > occupied_cells(tight)
+
+
+class TestGenerateUniform:
+    def test_count_and_bounds(self):
+        entries = generate_uniform(300, seed=13)
+        assert len(entries) == 300
+        assert all(MAP.contains(r) for r, _ in entries)
+
+    def test_oid_start(self):
+        entries = generate_uniform(10, seed=14, oid_start=500)
+        assert [o for _, o in entries] == list(range(500, 510))
+
+    def test_rejects_negative(self):
+        with pytest.raises(WorkloadError):
+            generate_uniform(-5)
+
+    def test_custom_map_area(self):
+        area = Rect(10, 10, 20, 20)
+        entries = generate_uniform(50, seed=15, map_area=area)
+        assert all(area.contains(r) for r, _ in entries)
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    st.integers(min_value=1, max_value=500),
+    st.sampled_from([0.1, 0.2, 0.5, 1.0]),
+    st.integers(min_value=0, max_value=10_000),
+)
+def test_generator_properties(n, quotient, seed):
+    cfg = ClusteredConfig(n, cover_quotient=quotient, seed=seed,
+                          objects_per_cluster=50)
+    entries = generate_clustered(cfg)
+    assert len(entries) == n
+    assert len({o for _, o in entries}) == n
+    assert all(MAP.contains(r) for r, _ in entries)
