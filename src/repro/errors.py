@@ -29,6 +29,37 @@ class PageNotFoundError(StorageError):
     """A page id was read that was never written to the simulated disk."""
 
 
+class TransientIOError(StorageError):
+    """A device hiccup on one access; retrying the access may succeed.
+
+    Raised only by an armed :class:`~repro.storage.faults.FaultInjector`.
+    The buffer pool and data-file scan paths retry these with bounded
+    exponential backoff before letting them propagate.
+    """
+
+
+class CorruptPageError(StorageError):
+    """A page failed its integrity check (torn write, bit flip, truncation).
+
+    Corruption is persistent: retrying the read returns the same bytes,
+    so this error is never retried. It surfaces instead of garbage
+    geometry wherever checksums are verified — the byte codec, tree-dump
+    loading, and the simulated disk under fault injection.
+    """
+
+
+class SimulatedCrashError(StorageError):
+    """A fault-plan crash point fired; in-flight buffered state is lost.
+
+    Construction drivers catch this to attempt checkpoint-based recovery;
+    anywhere else it propagates as an ordinary typed failure.
+    """
+
+
+class RecoveryError(StorageError):
+    """Crash/fault recovery gave up (attempt budget exhausted)."""
+
+
 class BufferFullError(StorageError):
     """The buffer pool cannot evict any page (everything is pinned)."""
 

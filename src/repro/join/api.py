@@ -19,7 +19,7 @@ from ..errors import ExperimentError
 from ..metrics import MetricsCollector
 from ..rtree import RTree
 from ..seeded import CopyStrategy, UpdatePolicy
-from ..storage import BufferPool, DataFile
+from ..storage import BufferPool, DataFile, RecoveryPolicy
 from .bfj import brute_force_join
 from .result import JoinResult
 from .rtj import rtree_join
@@ -78,6 +78,7 @@ def spatial_join(
     config: SystemConfig,
     metrics: MetricsCollector,
     method: str = "STJ1-2N",
+    recovery: RecoveryPolicy | None = None,
     **stj_options,
 ) -> JoinResult:
     """Join a derived data set with an R-tree-indexed one.
@@ -85,15 +86,24 @@ def spatial_join(
     ``method`` selects the algorithm: ``"BFJ"``, ``"RTJ"``, a paper
     variant name like ``"STJ1-2F"``, or plain ``"STJ"`` (which uses the
     keyword arguments of :func:`~repro.join.stj.seeded_tree_join`).
+
+    ``recovery`` arms fault tolerance for the construction-based
+    methods: checkpointed builds, bounded crash recovery, and (for STJ)
+    graceful degradation to BFJ when construction fails irrecoverably —
+    the downgrade is recorded on the returned result. BFJ builds nothing
+    and ignores the policy. ``None`` (the default) runs the legacy
+    non-recovering paths, byte-identical in cost.
     """
     upper = method.strip().upper()
     if upper == "BFJ":
         return brute_force_join(data_s, tree_r, metrics)
     if upper == "RTJ":
-        return rtree_join(data_s, tree_r, buffer, config, metrics)
+        return rtree_join(data_s, tree_r, buffer, config, metrics,
+                          recovery=recovery)
     if upper == "STJ":
         return seeded_tree_join(
-            data_s, tree_r, buffer, config, metrics, **stj_options
+            data_s, tree_r, buffer, config, metrics,
+            recovery=recovery, **stj_options,
         )
     variant = STJVariant.parse(upper)
     result = seeded_tree_join(
@@ -102,7 +112,11 @@ def spatial_join(
         update_policy=variant.update_policy,
         seed_levels=variant.seed_levels,
         filtering=variant.filtering,
+        recovery=recovery,
         **stj_options,
     )
-    result.algorithm = variant.name
+    if not result.degraded:
+        result.algorithm = variant.name
+    else:
+        result.fallback_from = variant.name
     return result

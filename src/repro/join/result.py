@@ -18,11 +18,21 @@ class JoinResult:
     join-time structure an algorithm built (a seeded tree or R-tree),
     retained because Section 5 notes it can serve later selections; BFJ
     builds nothing and leaves it ``None``.
+
+    ``degraded`` records graceful degradation under fault injection: the
+    requested algorithm's construction failed irrecoverably and the join
+    was answered by brute force instead. ``fallback_from`` names the
+    algorithm that was abandoned and ``degraded_reason`` carries the
+    storage error that forced the downgrade. The *answers* of a degraded
+    result are still exact — only the cost profile changed.
     """
 
     pairs: list[JoinPair] = field(default_factory=list)
     index: Any | None = None
     algorithm: str = ""
+    degraded: bool = False
+    fallback_from: str = ""
+    degraded_reason: str = ""
 
     def __len__(self) -> int:
         return len(self.pairs)

@@ -11,15 +11,24 @@ Construction is charged to the CONSTRUCT phase, matching to MATCH; the
 buffer is *not* purged in between (warm cache), so dirty ``T_S`` pages
 written back during matching appear in the match ``wr`` column exactly as
 in the paper's tables.
+
+Under a :class:`~repro.storage.RecoveryPolicy` construction snapshots
+itself periodically (see :mod:`repro.rtree.checkpoint`) and a simulated
+crash resumes from the last snapshot within a bounded crash budget;
+exhausting the budget raises :class:`~repro.errors.RecoveryError`. RTJ
+has no BFJ fallback of its own — callers wanting degradation use STJ,
+whose seeded construction is the paper's subject. With ``recovery=None``
+(the default) the legacy path runs, byte-identical in cost.
 """
 
 from __future__ import annotations
 
 from ..config import SystemConfig
+from ..errors import RecoveryError, SimulatedCrashError
 from ..metrics import MetricsCollector, Phase
-from ..rtree import RTree
+from ..rtree import RTree, RTreeCheckpointer, build_with_checkpoints
 from ..rtree.split import SplitFunction, quadratic_split
-from ..storage import BufferPool, DataFile
+from ..storage import BufferPool, DataFile, RecoveryPolicy
 from .matching import match_trees
 from .result import JoinResult
 
@@ -31,13 +40,65 @@ def rtree_join(
     config: SystemConfig,
     metrics: MetricsCollector,
     split: SplitFunction = quadratic_split,
+    recovery: RecoveryPolicy | None = None,
 ) -> JoinResult:
     """Build an R-tree for ``data_s`` and TM-match it against ``tree_r``."""
     with metrics.phase(Phase.CONSTRUCT):
-        tree_s = RTree.build(
-            buffer, config, data_s.scan(), metrics=metrics, split=split,
-            name="T_S(rtj)",
-        )
+        if recovery is None:
+            tree_s = RTree.build(
+                buffer, config, data_s.scan(), metrics=metrics, split=split,
+                name="T_S(rtj)",
+            )
+        else:
+            tree_s = _build_with_recovery(
+                data_s, buffer, config, metrics, split, recovery
+            )
     with metrics.phase(Phase.MATCH):
         pairs = match_trees(tree_s, tree_r, metrics)
     return JoinResult(pairs=pairs, index=tree_s, algorithm="RTJ")
+
+
+def _build_with_recovery(
+    data_s: DataFile,
+    buffer: BufferPool,
+    config: SystemConfig,
+    metrics: MetricsCollector,
+    split: SplitFunction,
+    recovery: RecoveryPolicy,
+) -> RTree:
+    """Checkpointed build surviving crashes within the crash budget.
+
+    Each crash discards the buffer, reloads the latest durable snapshot
+    (a charged sequential read), and re-scans the input — skipping the
+    prefix the snapshot already absorbed. Non-crash storage errors
+    (corruption, exhausted retries) propagate untouched.
+    """
+    checkpointer = (
+        RTreeCheckpointer(buffer.disk, config, recovery.checkpoint_every)
+        if recovery.checkpoint_every else None
+    )
+    resume = None
+    attempts = recovery.max_crash_recoveries + 1
+    for attempt in range(attempts):
+        try:
+            return build_with_checkpoints(
+                buffer, config, data_s.scan(), metrics,
+                checkpointer=checkpointer, resume=resume, split=split,
+                name="T_S(rtj)",
+            )
+        except SimulatedCrashError as crash:
+            buffer.crash_discard()
+            buffer.disk.reset_arm()
+            if attempt == attempts - 1:
+                raise RecoveryError(
+                    f"join-time R-tree construction crashed {attempts} "
+                    f"times; crash budget "
+                    f"({recovery.max_crash_recoveries} recoveries) "
+                    f"exhausted"
+                ) from crash
+            metrics.record_crash_recovery()
+            resume = (
+                checkpointer.load_latest(buffer, metrics, name="T_S(rtj)")
+                if checkpointer is not None else None
+            )
+    raise AssertionError("unreachable")  # pragma: no cover

@@ -12,16 +12,28 @@ are exposed; the paper's named variants are::
 Construction (seeding + growing + clean-up, including all linked-list
 traffic) is charged to the CONSTRUCT phase; matching to MATCH, with the
 buffer kept warm in between, as in the paper's protocol.
+
+Under a :class:`~repro.storage.RecoveryPolicy` construction becomes
+fault-tolerant: the growing phase takes durable checkpoints (see
+:mod:`repro.seeded.recovery`), a simulated crash discards the buffer and
+resumes from the last salvage within a bounded crash budget, and if
+construction still fails with a storage error the join degrades to BFJ
+against the pre-computed ``T_R`` — the answers stay exact, only the cost
+profile changes, and the downgrade is recorded on the result and in the
+fault counters. With ``recovery=None`` (the default) the legacy
+non-recovering path runs, byte-identical in cost.
 """
 
 from __future__ import annotations
 
 from ..config import SystemConfig
+from ..errors import RecoveryError, SimulatedCrashError, StorageError
 from ..metrics import MetricsCollector, Phase
 from ..rtree import RTree
 from ..rtree.split import SplitFunction, quadratic_split
-from ..seeded import CopyStrategy, SeededTree, UpdatePolicy
-from ..storage import BufferPool, DataFile
+from ..seeded import CopyStrategy, GrowCheckpointer, SeededTree, UpdatePolicy
+from ..storage import BufferPool, DataFile, RecoveryPolicy
+from .bfj import brute_force_join
 from .matching import match_trees
 from .result import JoinResult
 
@@ -39,13 +51,13 @@ def seeded_tree_join(
     filtering: bool = False,
     use_linked_lists: bool | None = None,
     split: SplitFunction = quadratic_split,
+    recovery: RecoveryPolicy | None = None,
 ) -> JoinResult:
     """Join ``data_s`` with ``tree_r`` by constructing a seeded tree.
 
     Defaults give the paper's STJ1 with two seed levels and no filtering.
     """
-    tree_s = SeededTree(
-        buffer, config, metrics,
+    tree_kwargs = dict(
         copy_strategy=copy_strategy,
         update_policy=update_policy,
         seed_levels=seed_levels,
@@ -54,10 +66,85 @@ def seeded_tree_join(
         split=split,
         name="T_S(stj)",
     )
-    with metrics.phase(Phase.CONSTRUCT):
-        tree_s.seed(tree_r)
-        tree_s.grow_from(data_s)
-        tree_s.cleanup()
+
+    if recovery is None:
+        tree_s = SeededTree(buffer, config, metrics, **tree_kwargs)
+        with metrics.phase(Phase.CONSTRUCT):
+            tree_s.seed(tree_r)
+            tree_s.grow_from(data_s)
+            tree_s.cleanup()
+        with metrics.phase(Phase.MATCH):
+            pairs = match_trees(tree_s, tree_r, metrics)
+        return JoinResult(pairs=pairs, index=tree_s, algorithm="STJ")
+
+    try:
+        with metrics.phase(Phase.CONSTRUCT):
+            tree_s = _construct_with_recovery(
+                data_s, tree_r, buffer, config, metrics, recovery,
+                tree_kwargs,
+            )
+    except StorageError as exc:
+        if not recovery.fallback_to_bfj:
+            raise
+        # Irrecoverable construction failure: degrade to brute force
+        # against the pre-computed T_R. Answers stay exact.
+        with metrics.phase(Phase.CONSTRUCT):
+            metrics.record_fallback()
+        result = brute_force_join(data_s, tree_r, metrics)
+        result.degraded = True
+        result.fallback_from = "STJ"
+        result.degraded_reason = f"{type(exc).__name__}: {exc}"
+        return result
+
     with metrics.phase(Phase.MATCH):
         pairs = match_trees(tree_s, tree_r, metrics)
     return JoinResult(pairs=pairs, index=tree_s, algorithm="STJ")
+
+
+def _construct_with_recovery(
+    data_s: DataFile,
+    tree_r: RTree,
+    buffer: BufferPool,
+    config: SystemConfig,
+    metrics: MetricsCollector,
+    recovery: RecoveryPolicy,
+    tree_kwargs: dict,
+) -> SeededTree:
+    """Build the seeded tree, surviving crashes within the crash budget.
+
+    Each crash discards the buffer (dirty pages die, disk survives) and
+    the next attempt re-seeds a fresh tree — seeding is deterministic, so
+    the salvage record's slot indices line up — then resumes growing from
+    the last durable checkpoint. Storage errors other than crashes
+    (corruption, exhausted retries) propagate to the caller's fallback.
+    """
+    checkpointer = (
+        GrowCheckpointer(buffer.disk, recovery.checkpoint_every)
+        if recovery.checkpoint_every else None
+    )
+    salvage = None
+    attempts = recovery.max_crash_recoveries + 1
+    for attempt in range(attempts):
+        tree_s = SeededTree(buffer, config, metrics, **tree_kwargs)
+        try:
+            tree_s.seed(tree_r)
+            tree_s.grow_from(data_s, checkpointer=checkpointer,
+                             resume=salvage)
+            tree_s.cleanup()
+            return tree_s
+        except SimulatedCrashError as crash:
+            buffer.crash_discard()
+            buffer.disk.reset_arm()
+            if attempt == attempts - 1:
+                raise RecoveryError(
+                    f"seeded-tree construction crashed {attempts} times; "
+                    f"crash budget "
+                    f"({recovery.max_crash_recoveries} recoveries) "
+                    f"exhausted"
+                ) from crash
+            metrics.record_crash_recovery()
+            salvage = (
+                checkpointer.load_latest()
+                if checkpointer is not None else None
+            )
+    raise AssertionError("unreachable")  # pragma: no cover

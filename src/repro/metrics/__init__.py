@@ -8,15 +8,17 @@ This subpackage reproduces that accounting verbatim so experiment output
 can be laid out exactly like the paper's Tables 1-8.
 """
 
-from .counters import CpuCounters, IoCounters
+from .counters import CpuCounters, FaultCounters, IoCounters
 from .collector import CostSummary, MetricsCollector, Phase
-from .report import format_cost_table
+from .report import format_cost_table, format_fault_table
 
 __all__ = [
     "CpuCounters",
+    "FaultCounters",
     "IoCounters",
     "CostSummary",
     "MetricsCollector",
     "Phase",
     "format_cost_table",
+    "format_fault_table",
 ]

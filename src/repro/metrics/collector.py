@@ -23,7 +23,7 @@ from enum import Enum
 from typing import Iterator
 
 from ..config import SystemConfig
-from .counters import CpuCounters, IoCounters
+from .counters import CpuCounters, FaultCounters, IoCounters
 
 
 class Phase(Enum):
@@ -96,6 +96,9 @@ class MetricsCollector:
         self.config = config or SystemConfig()
         self.cpu = CpuCounters()
         self._io: dict[Phase, IoCounters] = {p: IoCounters() for p in Phase}
+        self._faults: dict[Phase, FaultCounters] = {
+            p: FaultCounters() for p in Phase
+        }
         self._phase = Phase.SETUP
 
     # ----------------------------------------------------------------- #
@@ -134,6 +137,45 @@ class MetricsCollector:
         else:
             io.random_writes += count
 
+    #: Fault kind strings (FaultKind.value) -> FaultCounters field.
+    _FAULT_FIELDS = {
+        "transient_read": "transient_read_errors",
+        "torn_write": "torn_writes",
+        "bit_flip": "bit_flips",
+        "crash": "crashes",
+    }
+
+    def record_fault(self, kind: str) -> None:
+        """Count one injected fault of ``kind`` under the current phase."""
+        try:
+            name = self._FAULT_FIELDS[kind]
+        except KeyError:
+            raise ValueError(f"unknown fault kind {kind!r}") from None
+        counters = self._faults[self._phase]
+        setattr(counters, name, getattr(counters, name) + 1)
+
+    def record_retry(self, backoff: float = 0.0) -> None:
+        """Count one transient-error retry and its virtual backoff."""
+        counters = self._faults[self._phase]
+        counters.retries += 1
+        counters.backoff_seconds += backoff
+
+    def record_page_recovered(self) -> None:
+        """Count a read that succeeded only after retrying."""
+        self._faults[self._phase].pages_recovered += 1
+
+    def record_checkpoint(self) -> None:
+        """Count one durable construction checkpoint."""
+        self._faults[self._phase].checkpoints += 1
+
+    def record_crash_recovery(self) -> None:
+        """Count one crash survived by resuming from a checkpoint."""
+        self._faults[self._phase].crash_recoveries += 1
+
+    def record_fallback(self) -> None:
+        """Count one algorithm downgrade (e.g. STJ -> BFJ)."""
+        self._faults[self._phase].fallbacks += 1
+
     def count_bbox_tests(self, count: int = 1) -> None:
         self.cpu.bbox_tests += count
 
@@ -147,6 +189,17 @@ class MetricsCollector:
     def io_for(self, phase: Phase) -> IoCounters:
         """Raw counters for one phase (a live reference, not a copy)."""
         return self._io[phase]
+
+    def faults_for(self, phase: Phase) -> FaultCounters:
+        """Fault/recovery counters for one phase (a live reference)."""
+        return self._faults[phase]
+
+    def fault_totals(self) -> FaultCounters:
+        """Fault/recovery counters merged across all phases."""
+        total = FaultCounters()
+        for counters in self._faults.values():
+            total = total.merged_with(counters)
+        return total
 
     def summary(self) -> CostSummary:
         """Paper-style summary of the join-charged phases.
@@ -170,4 +223,5 @@ class MetricsCollector:
         """Zero all counters and return to the SETUP phase."""
         self.cpu = CpuCounters()
         self._io = {p: IoCounters() for p in Phase}
+        self._faults = {p: FaultCounters() for p in Phase}
         self._phase = Phase.SETUP

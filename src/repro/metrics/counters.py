@@ -50,6 +50,62 @@ class IoCounters:
 
 
 @dataclass
+class FaultCounters:
+    """Fault-injection and recovery activity for one phase.
+
+    Populated only under an armed
+    :class:`~repro.storage.faults.FaultInjector`; all-zero in ordinary
+    runs. ``retries``/``backoff_seconds`` are the retry budget spent on
+    transient errors (the re-issued disk accesses themselves land in
+    :class:`IoCounters` as usual); ``pages_recovered`` counts reads that
+    succeeded after at least one retry.
+    """
+
+    transient_read_errors: int = 0
+    torn_writes: int = 0
+    bit_flips: int = 0
+    crashes: int = 0
+    retries: int = 0
+    backoff_seconds: float = 0.0
+    pages_recovered: int = 0
+    checkpoints: int = 0
+    crash_recoveries: int = 0
+    fallbacks: int = 0
+
+    @property
+    def faults_injected(self) -> int:
+        """Total injected faults of every kind."""
+        return (
+            self.transient_read_errors
+            + self.torn_writes
+            + self.bit_flips
+            + self.crashes
+        )
+
+    @property
+    def is_zero(self) -> bool:
+        return self.faults_injected == 0 and self.retries == 0 and (
+            self.checkpoints == 0
+            and self.crash_recoveries == 0
+            and self.fallbacks == 0
+        )
+
+    def merged_with(self, other: "FaultCounters") -> "FaultCounters":
+        return FaultCounters(
+            self.transient_read_errors + other.transient_read_errors,
+            self.torn_writes + other.torn_writes,
+            self.bit_flips + other.bit_flips,
+            self.crashes + other.crashes,
+            self.retries + other.retries,
+            self.backoff_seconds + other.backoff_seconds,
+            self.pages_recovered + other.pages_recovered,
+            self.checkpoints + other.checkpoints,
+            self.crash_recoveries + other.crash_recoveries,
+            self.fallbacks + other.fallbacks,
+        )
+
+
+@dataclass
 class CpuCounters:
     """CPU cost expressed as overlap-test counts, as in the paper.
 

@@ -14,7 +14,8 @@ from __future__ import annotations
 
 from typing import Iterable, Sequence
 
-from .collector import CostSummary
+from .collector import CostSummary, MetricsCollector, Phase
+from .counters import FaultCounters
 
 _HEADERS = (
     "Alg.",
@@ -47,6 +48,70 @@ def format_cost_table(
     """Render rows as an aligned text table in the paper's column layout."""
     cells = [_HEADERS] + [_row_cells(name, summary) for name, summary in rows]
     widths = [max(len(row[i]) for row in cells) for i in range(len(_HEADERS))]
+
+    def fmt(row: Iterable[str]) -> str:
+        return "  ".join(cell.rjust(w) for cell, w in zip(row, widths))
+
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(fmt(cells[0]))
+    lines.append("  ".join("-" * w for w in widths))
+    lines.extend(fmt(row) for row in cells[1:])
+    return "\n".join(lines)
+
+
+_FAULT_HEADERS = (
+    "phase",
+    "transient",
+    "torn",
+    "bitflip",
+    "crash",
+    "retries",
+    "backoff(s)",
+    "recovered",
+    "ckpts",
+    "resumes",
+    "fallbacks",
+)
+
+
+def _fault_cells(label: str, f: FaultCounters) -> tuple[str, ...]:
+    return (
+        label,
+        str(f.transient_read_errors),
+        str(f.torn_writes),
+        str(f.bit_flips),
+        str(f.crashes),
+        str(f.retries),
+        f"{f.backoff_seconds:.3f}",
+        str(f.pages_recovered),
+        str(f.checkpoints),
+        str(f.crash_recoveries),
+        str(f.fallbacks),
+    )
+
+
+def format_fault_table(
+    metrics: MetricsCollector, title: str | None = None
+) -> str:
+    """Render per-phase fault/recovery counters as an aligned text table.
+
+    One row per accounting phase plus a total row, so a chaos run shows
+    where its injected faults landed and what the recovery machinery
+    (retries, checkpoints, crash resumes, algorithm fallbacks) did about
+    them. All-zero phases are kept: a flat row of zeros is itself the
+    evidence that a run was fault-free.
+    """
+    rows = [
+        _fault_cells(phase.value, metrics.faults_for(phase))
+        for phase in Phase
+    ]
+    rows.append(_fault_cells("total", metrics.fault_totals()))
+    cells = [_FAULT_HEADERS] + rows
+    widths = [
+        max(len(row[i]) for row in cells) for i in range(len(_FAULT_HEADERS))
+    ]
 
     def fmt(row: Iterable[str]) -> str:
         return "  ".join(cell.rjust(w) for cell, w in zip(row, widths))

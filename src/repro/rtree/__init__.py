@@ -11,12 +11,16 @@ variant. This subpackage provides:
 * Guttman's quadratic node split plus the cheaper linear variant
   (:mod:`repro.rtree.split`);
 * STR bulk loading (:mod:`repro.rtree.bulk`) as a post-paper baseline used
-  in ablation benchmarks.
+  in ablation benchmarks;
+* construction checkpointing (:mod:`repro.rtree.checkpoint`) so a
+  join-time build can survive simulated crashes by resuming from the
+  last durable snapshot.
 """
 
 from .node import Entry, Node, node_mbr
 from .rtree import RTree
 from .bulk import bulk_load_str
+from .checkpoint import RTreeCheckpointer, build_with_checkpoints
 from .rstar import rstar_split
 from .split import linear_split, quadratic_split
 from .persist import dump_tree, load_tree
@@ -27,6 +31,8 @@ __all__ = [
     "Node",
     "node_mbr",
     "RTree",
+    "RTreeCheckpointer",
+    "build_with_checkpoints",
     "bulk_load_str",
     "rstar_split",
     "linear_split",

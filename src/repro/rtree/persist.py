@@ -15,14 +15,20 @@ Coordinates are stored as ``float32`` (the paper's 16-byte bounding
 boxes); loading a tree built from wider floats rounds its boxes to that
 precision. :func:`dump_tree` refuses lossy dumps unless
 ``allow_quantize=True``, so silent precision loss cannot happen.
+
+Dumps carry two integrity layers: each node page embeds the codec's
+per-page CRC32, and the header stores a CRC32 over the whole page body,
+so a truncated or bit-flipped blob is rejected with a typed
+:class:`~repro.errors.CorruptPageError` before any node materialises.
 """
 
 from __future__ import annotations
 
 import struct
+import zlib
 
 from ..config import SystemConfig
-from ..errors import StorageError, TreeError
+from ..errors import CorruptPageError, StorageError, TreeError
 from ..metrics import MetricsCollector
 from ..storage import BufferPool, PageKind
 from ..storage.codec import decode_node, encode_node, quantize
@@ -30,8 +36,9 @@ from .node import Entry, Node
 from .rtree import RTree
 
 _MAGIC = b"RTDP"
-_VERSION = 1
-_HEADER = struct.Struct("<4sHHIQ")   # magic, version, page_size(KiB-safe), pages, objects
+_VERSION = 2
+# magic, version, page_size, pages, objects, body crc32
+_HEADER = struct.Struct("<4sHHIQI")
 
 
 def dump_tree(tree, allow_quantize: bool = False) -> bytes:
@@ -63,10 +70,12 @@ def dump_tree(tree, allow_quantize: bool = False) -> bytes:
             encode_node(config, node.level, node.is_leaf, entries)
         )
 
+    body = b"".join(blobs)
     header = _HEADER.pack(
-        _MAGIC, _VERSION, config.page_size, len(blobs), len(tree)
+        _MAGIC, _VERSION, config.page_size, len(blobs), len(tree),
+        zlib.crc32(body),
     )
-    return header + b"".join(blobs)
+    return header + body
 
 
 def load_tree(
@@ -82,10 +91,17 @@ def load_tree(
     a retained seeded tree loads as the plain (possibly unbalanced)
     index it has become. Loaded pages are born dirty, like any other
     join-time structure.
+
+    Corruption (truncation, length mismatch, checksum failure, dangling
+    child pointers) raises :class:`CorruptPageError`; a structurally
+    sound blob for the wrong format or page size raises plain
+    :class:`StorageError`.
     """
     if len(data) < _HEADER.size:
-        raise StorageError("blob too short to hold a tree header")
-    magic, version, page_size, num_pages, count = _HEADER.unpack_from(data)
+        raise CorruptPageError("blob too short to hold a tree header")
+    magic, version, page_size, num_pages, count, body_crc = (
+        _HEADER.unpack_from(data)
+    )
     if magic != _MAGIC:
         raise StorageError("bad magic: not a dumped tree")
     if version != _VERSION:
@@ -97,8 +113,14 @@ def load_tree(
         )
     expected = _HEADER.size + num_pages * config.page_size
     if len(data) != expected:
-        raise StorageError(
+        raise CorruptPageError(
             f"blob is {len(data)} bytes; header promises {expected}"
+        )
+    actual_crc = zlib.crc32(data[_HEADER.size:])
+    if actual_crc != body_crc:
+        raise CorruptPageError(
+            f"dump body checksum mismatch: stored {body_crc:#010x}, "
+            f"computed {actual_crc:#010x}"
         )
 
     # First pass: materialise every node and record its new page id.
@@ -125,7 +147,9 @@ def load_tree(
             continue
         for e in node.entries:
             if not 0 <= e.ref < num_pages:
-                raise StorageError(f"dangling child index {e.ref} in dump")
+                raise CorruptPageError(
+                    f"dangling child index {e.ref} in dump"
+                )
             e.ref = page_ids[e.ref]
 
     tree = RTree(buffer, config, metrics=metrics, name=name)

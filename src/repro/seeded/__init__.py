@@ -15,10 +15,19 @@ The pieces:
 * :mod:`~repro.seeded.linked_lists` — the intermediate linked-list
   construction of Section 3.1 that trades random buffer-miss I/O for
   sequential batch I/O;
-* :mod:`~repro.seeded.filtering` — seed-level filtering (Section 3.2).
+* :mod:`~repro.seeded.filtering` — seed-level filtering (Section 3.2);
+* :mod:`~repro.seeded.recovery` — growing-phase checkpoints and crash
+  salvage built on the durability of flushed list batches.
 """
 
 from .policies import CopyStrategy, UpdatePolicy
+from .recovery import GrowCheckpointer, GrowSalvage
 from .tree import SeededTree
 
-__all__ = ["CopyStrategy", "UpdatePolicy", "SeededTree"]
+__all__ = [
+    "CopyStrategy",
+    "UpdatePolicy",
+    "SeededTree",
+    "GrowCheckpointer",
+    "GrowSalvage",
+]

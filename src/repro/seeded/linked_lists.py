@@ -21,13 +21,14 @@ the budget is the buffer capacity minus the pinned seed pages.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Iterator
+from typing import Iterable, Iterator
 
 from ..config import SystemConfig
 from ..errors import StorageError
 from ..storage import Page, PageKind
 from ..storage.datafile import DataEntry, DataPageRecord
 from ..storage.disk import DiskSimulator
+from ..storage.faults import retry_read
 
 
 @dataclass(frozen=True)
@@ -107,24 +108,29 @@ class LinkedListManager:
         slot.pages[-1].append(entry)
         slot.total_entries += 1
 
-    def _flush_batch(self) -> None:
+    def _flush_batch(
+        self, victims: list[tuple[int, "SlotList"]] | None = None
+    ) -> None:
         """Write out all lists longer than the threshold as one batch.
 
         The whole batch occupies one contiguous disk run, so it costs one
         random access plus sequential accesses for the rest — this is the
         paper's replacement of random I/O with sequential I/O. Lists at or
         below the threshold stay resident; if that frees nothing (many
-        tiny lists), every non-empty list is flushed instead.
+        tiny lists), every non-empty list is flushed instead. An explicit
+        ``victims`` list overrides the threshold selection (checkpoints
+        flush everything).
         """
-        victims = [
-            (i, s) for i, s in enumerate(self.slots)
-            if s.resident_pages > self.flush_threshold
-        ]
-        if not victims:
+        if victims is None:
             victims = [
                 (i, s) for i, s in enumerate(self.slots)
-                if s.resident_pages > 0
+                if s.resident_pages > self.flush_threshold
             ]
+            if not victims:
+                victims = [
+                    (i, s) for i, s in enumerate(self.slots)
+                    if s.resident_pages > 0
+                ]
         if not victims:
             raise StorageError("buffer full but no list pages to flush")
 
@@ -150,6 +156,37 @@ class LinkedListManager:
         self.resident_pages -= total
         self.batches_flushed += 1
         self.pages_flushed += total
+
+    # ----------------------------------------------------------------- #
+    # Checkpoint / crash-recovery support
+    # ----------------------------------------------------------------- #
+
+    def flush_all(self) -> None:
+        """Force every resident list page out as one batch.
+
+        Construction checkpoints call this so that *all* appended entries
+        are durable — after it returns, the batch records alone describe
+        every entry ever appended, which is what makes a salvage record
+        (see :mod:`repro.seeded.recovery`) complete. A no-op when nothing
+        is resident.
+        """
+        victims = [
+            (i, s) for i, s in enumerate(self.slots) if s.resident_pages > 0
+        ]
+        if victims:
+            self._flush_batch(victims)
+
+    def adopt_batches(self, batches: Iterable[Batch]) -> None:
+        """Install batches flushed by a previous (crashed) incarnation.
+
+        The batch pages are already durable on the shared disk; adopting
+        them costs no I/O now — they are read back (charged) by the usual
+        :meth:`regroup_and_drain` sweep during clean-up.
+        """
+        adopted = list(batches)
+        self.batches.extend(adopted)
+        self.batches_flushed += len(adopted)
+        self.pages_flushed += sum(b.num_pages for b in adopted)
 
     # ----------------------------------------------------------------- #
     # Rebuild-time access
@@ -178,9 +215,19 @@ class LinkedListManager:
         """
         per_slot: dict[int, list[DataEntry]] = {}
 
-        # Step 1: sequential batch replays.
+        # Step 1: sequential batch replays, each page retried on
+        # transient faults (identical charge when fault-free).
         for batch in self.batches:
-            pages = self.disk.read_run(batch.first_page_id, batch.num_pages)
+            pages = [
+                retry_read(
+                    lambda pid=page_id: self.disk.read(pid),
+                    self.disk.metrics,
+                )
+                for page_id in range(
+                    batch.first_page_id,
+                    batch.first_page_id + batch.num_pages,
+                )
+            ]
             by_id = {p.page_id: p for p in pages}
             for segment in batch.segments:
                 bucket = per_slot.setdefault(segment.slot_index, [])
@@ -221,7 +268,11 @@ class LinkedListManager:
                 for i in range(num_pages)
             ]
             self.disk.write_run(pages)
-            self.disk.read_run(first_id, num_pages)
+            for page_id in range(first_id, first_id + num_pages):
+                retry_read(
+                    lambda pid=page_id: self.disk.read(pid),
+                    self.disk.metrics,
+                )
 
         yield from ordered
 

@@ -1,0 +1,125 @@
+"""Crash recovery for the seeded tree's growing phase.
+
+Seeded-tree construction under linked lists (Section 3.1) has a useful
+durability property: once a batch is flushed, its pages live on disk and
+survive a crash that wipes the buffer. A *growing-phase checkpoint*
+exploits this — it forces every resident list page out
+(:meth:`~repro.seeded.linked_lists.LinkedListManager.flush_all`), at
+which point the batch records alone describe every entry appended so
+far, and writes a small :class:`GrowSalvage` record to a ``META`` page.
+
+After a crash the driver re-seeds a fresh tree from the same ``T_R``
+(seeding is deterministic, so slot indices line up), reads the salvage
+record back (a charged, retried read), and hands it to
+:meth:`SeededTree.grow_from` as ``resume``: the adopted batches supply
+everything already appended and the scanned input prefix is skipped.
+
+Direct-insertion mode (small trees, no linked lists) has no durable
+construction state — its grown nodes are dirty buffer pages that a crash
+destroys — so checkpoints are a no-op there and recovery restarts the
+bounded attempt from scratch.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+from ..errors import RecoveryError
+from ..storage import Page, PageKind
+from ..storage.disk import DiskSimulator
+from ..storage.faults import retry_read
+from .linked_lists import Batch
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from .tree import SeededTree
+
+
+@dataclass(frozen=True)
+class GrowSalvage:
+    """Everything needed to resume a crashed growing phase.
+
+    Captured at a checkpoint, immediately after ``flush_all`` made every
+    appended entry durable, so the counters are mutually consistent:
+    ``inserted`` entries live in ``batches``, ``filtered`` more were
+    dropped by seed-level filtering, and together they account for the
+    first ``entries_scanned`` objects of the input scan.
+    """
+
+    batches: tuple[Batch, ...]
+    entries_scanned: int
+    inserted: int
+    filtered: int
+    slot_counts: tuple[int, ...]
+    meta_page_id: int
+
+
+class GrowCheckpointer:
+    """Periodic durable checkpoints of a growing seeded tree."""
+
+    def __init__(self, disk: DiskSimulator, every: int):
+        if every < 1:
+            raise ValueError("checkpoint interval must be at least 1")
+        self.disk = disk
+        self.every = every
+        self._latest: GrowSalvage | None = None
+        self._since = 0
+
+    def maybe_checkpoint(self, tree: "SeededTree",
+                         entries_scanned: int) -> None:
+        """Checkpoint when ``every`` inserts have passed since the last."""
+        self._since += 1
+        if self._since >= self.every:
+            self.checkpoint(tree, entries_scanned)
+
+    def checkpoint(self, tree: "SeededTree", entries_scanned: int) -> None:
+        """Flush the tree's lists and write a salvage record durably.
+
+        A no-op in direct-insertion mode (nothing durable to record).
+        The salvage is installed only after its META page write returns,
+        so a crash mid-checkpoint leaves the previous one in force.
+        """
+        lists = tree._lists
+        if lists is None:
+            return
+        lists.flush_all()
+        meta_id = self.disk.allocate(1)
+        salvage = GrowSalvage(
+            batches=tuple(lists.batches),
+            entries_scanned=entries_scanned,
+            inserted=len(tree),
+            filtered=tree.filtered_count,
+            slot_counts=tuple(s.count for s in tree._slots),
+            meta_page_id=meta_id,
+        )
+        self.disk.write(Page(meta_id, PageKind.META, salvage))
+        self.disk.metrics.record_checkpoint()
+        self._latest = salvage
+        self._since = 0
+
+    def latest(self) -> GrowSalvage | None:
+        return self._latest
+
+    def load_latest(self) -> GrowSalvage | None:
+        """Read the latest salvage record back from disk (charged).
+
+        Returns ``None`` when no checkpoint was ever taken. The read is
+        retried on transient faults; a corrupt META page propagates as
+        :class:`~repro.errors.CorruptPageError` (the salvage is unusable,
+        so the caller's crash budget or fallback decides what happens
+        next), and a page that no longer holds a salvage record raises
+        :class:`RecoveryError`.
+        """
+        salvage = self._latest
+        if salvage is None:
+            return None
+        page = retry_read(
+            lambda: self.disk.read(salvage.meta_page_id),
+            self.disk.metrics,
+        )
+        loaded = page.payload
+        if not isinstance(loaded, GrowSalvage):
+            raise RecoveryError(
+                f"page {salvage.meta_page_id} does not hold a salvage record"
+            )
+        return loaded

@@ -36,7 +36,7 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass
 from enum import Enum
-from typing import Iterable, Iterator
+from typing import TYPE_CHECKING, Iterable, Iterator
 
 from ..config import SystemConfig
 from ..errors import SeedingError, TreeError, TreePhaseError
@@ -53,6 +53,9 @@ from ..storage.datafile import DataFile
 from .filtering import passes_filter
 from .linked_lists import LinkedListManager
 from .policies import CopyStrategy, UpdatePolicy, apply_update
+
+if TYPE_CHECKING:  # pragma: no cover - annotation-only imports
+    from .recovery import GrowCheckpointer, GrowSalvage
 
 
 class TreePhase(Enum):
@@ -350,13 +353,27 @@ class SeededTree:
     # Phase 2: growing
     # ----------------------------------------------------------------- #
 
-    def grow_from(self, source: DataFile | Iterable[tuple[Rect, int]]) -> None:
+    def grow_from(
+        self,
+        source: DataFile | Iterable[tuple[Rect, int]],
+        *,
+        checkpointer: "GrowCheckpointer | None" = None,
+        resume: "GrowSalvage | None" = None,
+    ) -> None:
         """Insert every object of ``source`` (the data set ``D_S``).
 
         A :class:`DataFile` is scanned sequentially (accounted); a plain
         iterable is consumed directly. Linked-list construction is
         switched on automatically when the estimated tree size exceeds
         the buffer, unless forced either way at construction time.
+
+        ``checkpointer`` takes a durable growing-phase checkpoint every
+        N inserts (see :mod:`repro.seeded.recovery`); ``resume`` replays
+        a salvage record from a crashed previous attempt — the flushed
+        batches are adopted, counters restored, and the already-scanned
+        input prefix skipped (its scan I/O is still charged: recovery
+        re-reads the input). Resuming forces linked-list mode, since
+        that is the only mode that leaves durable state to salvage.
         """
         if self.phase is not TreePhase.SEEDED:
             raise TreePhaseError(f"cannot grow in phase {self.phase.value}")
@@ -371,6 +388,8 @@ class SeededTree:
         if use_lists is None:
             estimated = self.config.estimated_tree_pages(expected)
             use_lists = estimated > self.buffer.capacity
+        if resume is not None:
+            use_lists = True
         if use_lists and self._lists is None:
             # Leave room for the hot seed pages, but never let huge seed
             # levels squeeze the lists below half the buffer.
@@ -381,9 +400,45 @@ class SeededTree:
             self._lists = LinkedListManager(
                 self.buffer.disk, self.config, len(self._slots), budget
             )
+        if resume is not None:
+            self._adopt_salvage(resume)
 
+        skip = resume.entries_scanned if resume is not None else 0
+        scanned = 0
         for rect, oid in entries:
+            scanned += 1
+            if scanned <= skip:
+                continue
             self.insert(rect, oid)
+            if checkpointer is not None:
+                checkpointer.maybe_checkpoint(self, scanned)
+
+    def _adopt_salvage(self, salvage: "GrowSalvage") -> None:
+        """Restore the durable state of a crashed growing phase.
+
+        The caller must have re-seeded this tree from the same seeding
+        tree (seeding is deterministic, so slot indices line up); a slot
+        count mismatch means the salvage belongs to a different seeding
+        and is rejected.
+        """
+        from ..errors import RecoveryError
+
+        if len(salvage.slot_counts) != len(self._slots):
+            raise RecoveryError(
+                f"salvage record has {len(salvage.slot_counts)} slots; "
+                f"this tree has {len(self._slots)}"
+            )
+        if self._count or any(s.count for s in self._slots):
+            raise RecoveryError(
+                "cannot adopt a salvage record into a tree that has "
+                "already grown"
+            )
+        assert self._lists is not None
+        self._lists.adopt_batches(salvage.batches)
+        self._count = salvage.inserted
+        self._filtered = salvage.filtered
+        for slot, count in zip(self._slots, salvage.slot_counts):
+            slot.count = count
 
     def insert(self, rect: Rect, oid: int) -> None:
         """Insert one object: filter, descend the seed levels, grow."""

@@ -13,11 +13,32 @@ design (1 KiB pages, a dedicated 512-page buffer, sequential accesses worth
   configured fan-outs actually fit the configured page size.
 * :class:`~repro.storage.datafile.DataFile` — sequential input files of
   (bbox, oid) entries, scanned with sequential I/O.
+* :mod:`~repro.storage.faults` — deterministic fault injection (transient
+  read errors, torn writes, bit flips, crash points), retry policies, and
+  the recovery policy used by checkpointed join-time construction.
 """
 
 from .pager import Page, PageKind
+from .faults import (
+    FaultInjector,
+    FaultKind,
+    FaultPlan,
+    RecoveryPolicy,
+    RetryPolicy,
+)
 from .disk import DiskSimulator
 from .buffer import BufferPool
 from .datafile import DataFile
 
-__all__ = ["Page", "PageKind", "DiskSimulator", "BufferPool", "DataFile"]
+__all__ = [
+    "Page",
+    "PageKind",
+    "DiskSimulator",
+    "BufferPool",
+    "DataFile",
+    "FaultInjector",
+    "FaultKind",
+    "FaultPlan",
+    "RecoveryPolicy",
+    "RetryPolicy",
+]

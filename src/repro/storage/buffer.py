@@ -23,8 +23,9 @@ from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Any, Iterator
 
-from ..errors import BufferFullError, PinError, StorageError
+from ..errors import BufferFullError, PinError, StorageError, TransientIOError
 from .disk import DiskSimulator
+from .faults import DEFAULT_RETRY_POLICY, RetryPolicy
 from .pager import Page, PageKind
 
 
@@ -65,7 +66,7 @@ class BufferPool:
     POLICIES = ("lru", "fifo", "clock")
 
     def __init__(self, capacity: int, disk: DiskSimulator,
-                 policy: str = "lru"):
+                 policy: str = "lru", retry: RetryPolicy | None = None):
         if capacity < 1:
             raise StorageError("buffer capacity must be at least 1 page")
         if policy not in self.POLICIES:
@@ -76,6 +77,7 @@ class BufferPool:
         self.capacity = capacity
         self.disk = disk
         self.policy = policy
+        self.retry = retry or DEFAULT_RETRY_POLICY
         self.stats = BufferStats()
         # Eviction order: least recently used first (LRU), insertion
         # order (FIFO), or clock-hand order with reference bits (CLOCK).
@@ -96,11 +98,34 @@ class BufferPool:
                 frame.referenced = True
         else:
             self.stats.misses += 1
-            page = self.disk.read(page_id)
+            page = self._read_retrying(page_id)
             frame = self._admit(page, dirty=False)
         if pin:
             frame.pin_count += 1
         return frame.page
+
+    def _read_retrying(self, page_id: int) -> Page:
+        """Disk read with bounded exponential backoff on transient faults.
+
+        Each retry re-issues (and re-charges) the disk access; the retry
+        count and virtual backoff land in the fault counters. Corruption
+        is persistent and is never retried. Without fault injection the
+        first attempt always succeeds and this is just ``disk.read``.
+        """
+        policy = self.retry
+        attempt = 0
+        while True:
+            try:
+                page = self.disk.read(page_id)
+            except TransientIOError:
+                attempt += 1
+                if attempt >= policy.max_attempts:
+                    raise
+                self.disk.metrics.record_retry(policy.delay_for(attempt - 1))
+                continue
+            if attempt:
+                self.disk.metrics.record_page_recovered()
+            return page
 
     def new_page(self, kind: PageKind, payload: Any, pin: bool = False) -> Page:
         """Create a page in the buffer (no I/O yet; it is born dirty)."""
@@ -187,6 +212,16 @@ class BufferPool:
         if write_back and frame.dirty:
             self.disk.write(frame.page)
         del self._frames[page_id]
+
+    def crash_discard(self) -> None:
+        """Drop every frame without any write-back (simulated power loss).
+
+        Dirty pages that were never flushed are gone — exactly what a
+        crash point means. Pin counts are void: the pinning code paths
+        died with the crash. Recovery drivers call this before resuming
+        from a checkpoint so nothing stale survives into the new attempt.
+        """
+        self._frames.clear()
 
     def purge(self) -> None:
         """Empty the buffer, writing dirty pages back first.

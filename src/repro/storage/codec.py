@@ -7,11 +7,16 @@ the on-disk layouts with :mod:`struct` and is exercised by the test suite
 to prove that every configured capacity fits in a configured page:
 
 * **Tree node page** — a 24-byte header (magic, node kind, level, entry
-  count) followed by ``count`` entries of four ``float32`` coordinates and
-  one ``uint32`` child-pointer / object id: 20 bytes per entry, exactly the
-  paper's 16-byte bbox + 4-byte pointer.
+  count, CRC32) followed by ``count`` entries of four ``float32``
+  coordinates and one ``uint32`` child-pointer / object id: 20 bytes per
+  entry, exactly the paper's 16-byte bbox + 4-byte pointer.
 * **Data / linked-list page** — the same header plus an ``int64`` next-page
   pointer, followed by (bbox, oid) entries.
+
+Every encoded page embeds a CRC32 checksum computed over the *entire*
+page (padding included) with the checksum field zeroed. Decoders verify
+it first, so a torn write, bit flip, or truncation surfaces as a typed
+:class:`~repro.errors.CorruptPageError` instead of garbage geometry.
 
 Coordinates are stored as IEEE-754 single precision, so a decode returns
 values rounded to ``float32``; callers that need exact round-trips should
@@ -21,15 +26,19 @@ quantise first (see :func:`quantize`).
 from __future__ import annotations
 
 import struct
+import zlib
 
 from ..config import SystemConfig
-from ..errors import NodeOverflowError, StorageError
+from ..errors import CorruptPageError, NodeOverflowError, StorageError
 
 _MAGIC = 0x5254  # "RT"
 
-_NODE_HEADER = struct.Struct("<HBBHH")       # magic, kind, pad, level, count
-_DATA_HEADER = struct.Struct("<HBBHHq")      # ... + next page id (int64)
+_NODE_HEADER = struct.Struct("<HBBHHI")      # magic, kind, pad, level, count, crc
+_DATA_HEADER = struct.Struct("<HBBHHIq")     # ... + next page id (int64)
 _ENTRY = struct.Struct("<ffffI")             # xlo, ylo, xhi, yhi, ref
+_CRC = struct.Struct("<I")
+#: Byte offset of the CRC32 field, shared by both header layouts.
+_CRC_OFFSET = 8
 
 KIND_INTERNAL = 0
 KIND_LEAF = 1
@@ -44,6 +53,36 @@ EntryTuple = tuple[float, float, float, float, int]
 def quantize(value: float) -> float:
     """Round a coordinate to its stored (float32) precision."""
     return struct.unpack("<f", struct.pack("<f", value))[0]
+
+
+def _seal(blob: bytes) -> bytes:
+    """Fill in the page checksum (computed with the CRC field zeroed)."""
+    crc = zlib.crc32(blob)  # blob carries zeros in the CRC field
+    return blob[:_CRC_OFFSET] + _CRC.pack(crc) + blob[_CRC_OFFSET + _CRC.size:]
+
+
+def verify_page(data: bytes) -> None:
+    """Check a page blob's embedded CRC32; raise on any corruption.
+
+    Any single-byte change anywhere in the page — header, entries,
+    padding, or the checksum field itself — makes the check fail.
+    """
+    if len(data) <= _CRC_OFFSET + _CRC.size:
+        raise CorruptPageError(
+            f"page blob of {len(data)} bytes is too short to carry a checksum"
+        )
+    (stored,) = _CRC.unpack_from(data, _CRC_OFFSET)
+    zeroed = (
+        data[:_CRC_OFFSET]
+        + b"\x00" * _CRC.size
+        + data[_CRC_OFFSET + _CRC.size:]
+    )
+    actual = zlib.crc32(zeroed)
+    if stored != actual:
+        raise CorruptPageError(
+            f"page checksum mismatch: stored {stored:#010x}, "
+            f"computed {actual:#010x}"
+        )
 
 
 # --------------------------------------------------------------------- #
@@ -65,7 +104,7 @@ def encode_node(
     if not 0 <= level < 0x10000:
         raise StorageError(f"level {level} does not fit in the header")
     kind = KIND_LEAF if is_leaf else KIND_INTERNAL
-    parts = [_NODE_HEADER.pack(_MAGIC, kind, 0, level, len(entries))]
+    parts = [_NODE_HEADER.pack(_MAGIC, kind, 0, level, len(entries), 0)]
     parts.append(b"\x00" * (config.node_header_bytes - _NODE_HEADER.size))
     for xlo, ylo, xhi, yhi, ref in entries:
         parts.append(_ENTRY.pack(xlo, ylo, xhi, yhi, ref))
@@ -74,22 +113,27 @@ def encode_node(
         raise NodeOverflowError(
             f"encoded node is {len(blob)} bytes; page is {config.page_size}"
         )
-    return blob + b"\x00" * (config.page_size - len(blob))
+    return _seal(blob + b"\x00" * (config.page_size - len(blob)))
 
 
 def decode_node(
     config: SystemConfig, data: bytes
 ) -> tuple[int, bool, list[EntryTuple]]:
-    """Inverse of :func:`encode_node`; returns (level, is_leaf, entries)."""
+    """Inverse of :func:`encode_node`; returns (level, is_leaf, entries).
+
+    Raises :class:`CorruptPageError` for any integrity failure: wrong
+    blob size, checksum mismatch, bad magic, or an alien page kind.
+    """
     if len(data) != config.page_size:
-        raise StorageError(
+        raise CorruptPageError(
             f"page blob is {len(data)} bytes; expected {config.page_size}"
         )
-    magic, kind, _pad, level, count = _NODE_HEADER.unpack_from(data, 0)
+    verify_page(data)
+    magic, kind, _pad, level, count, _crc = _NODE_HEADER.unpack_from(data, 0)
     if magic != _MAGIC:
-        raise StorageError("bad magic: not a tree-node page")
+        raise CorruptPageError("bad magic: not a tree-node page")
     if kind not in (KIND_INTERNAL, KIND_LEAF):
-        raise StorageError(f"bad node kind {kind}")
+        raise CorruptPageError(f"bad node kind {kind}")
     entries: list[EntryTuple] = []
     offset = config.node_header_bytes
     for _ in range(count):
@@ -115,11 +159,11 @@ def encode_data_page(
             f"{config.data_page_capacity}"
         )
     parts = [
-        _DATA_HEADER.pack(_MAGIC, KIND_DATA, 0, 0, len(entries), next_page_id)
+        _DATA_HEADER.pack(_MAGIC, KIND_DATA, 0, 0, len(entries), 0, next_page_id)
     ]
     if _DATA_HEADER.size > config.node_header_bytes:
-        # The next-pointer borrows header padding; the default 24-byte
-        # header leaves 16 spare bytes, far more than the 8 needed.
+        # The next-pointer and checksum borrow header padding; the
+        # default 24-byte header holds the 24-byte data header exactly.
         raise StorageError("node_header_bytes too small for a data header")
     parts.append(b"\x00" * (config.node_header_bytes - _DATA_HEADER.size))
     for xlo, ylo, xhi, yhi, oid in entries:
@@ -130,22 +174,27 @@ def encode_data_page(
             f"encoded data page is {len(blob)} bytes; page is "
             f"{config.page_size}"
         )
-    return blob + b"\x00" * (config.page_size - len(blob))
+    return _seal(blob + b"\x00" * (config.page_size - len(blob)))
 
 
 def decode_data_page(
     config: SystemConfig, data: bytes
 ) -> tuple[list[EntryTuple], int]:
-    """Inverse of :func:`encode_data_page`; returns (entries, next_page_id)."""
+    """Inverse of :func:`encode_data_page`; returns (entries, next_page_id).
+
+    Raises :class:`CorruptPageError` for any integrity failure, exactly
+    like :func:`decode_node`.
+    """
     if len(data) != config.page_size:
-        raise StorageError(
+        raise CorruptPageError(
             f"page blob is {len(data)} bytes; expected {config.page_size}"
         )
-    magic, kind, _pad, _lvl, count, next_page_id = _DATA_HEADER.unpack_from(
-        data, 0
+    verify_page(data)
+    magic, kind, _pad, _lvl, count, _crc, next_page_id = (
+        _DATA_HEADER.unpack_from(data, 0)
     )
     if magic != _MAGIC or kind != KIND_DATA:
-        raise StorageError("bad magic/kind: not a data page")
+        raise CorruptPageError("bad magic/kind: not a data page")
     entries: list[EntryTuple] = []
     offset = config.node_header_bytes
     for _ in range(count):

@@ -15,6 +15,11 @@ one). :class:`DiskSimulator` reproduces that accounting:
 
 Accesses are reported to the :class:`~repro.metrics.MetricsCollector`,
 which attributes them to the current phase (setup / construct / match).
+
+An optional :class:`~repro.storage.faults.FaultInjector` hooks every
+accounted access *after* it is charged — a failed access still spins the
+disk — and may raise typed errors or tear writes per its fault plan.
+Without an injector (or with it disarmed) the accounting is untouched.
 """
 
 from __future__ import annotations
@@ -23,14 +28,22 @@ from typing import Iterable, Sequence
 
 from ..errors import PageNotFoundError, StorageError
 from ..metrics import MetricsCollector
+from .faults import FaultInjector
 from .pager import Page, PageKind
 
 
 class DiskSimulator:
     """In-memory page store with random/sequential access accounting."""
 
-    def __init__(self, metrics: MetricsCollector | None = None):
+    def __init__(
+        self,
+        metrics: MetricsCollector | None = None,
+        injector: FaultInjector | None = None,
+    ):
         self.metrics = metrics or MetricsCollector()
+        self.injector = injector
+        if injector is not None and injector.metrics is None:
+            injector.metrics = self.metrics
         self._pages: dict[int, Page] = {}
         self._next_id = 0
         self._last_accessed: int | None = None
@@ -81,6 +94,8 @@ class DiskSimulator:
         except KeyError:
             raise PageNotFoundError(f"page {page_id} was never written") from None
         self.metrics.record_read(sequential=self._classify(page_id))
+        if self.injector is not None:
+            self.injector.on_read(page_id)
         return page
 
     def write(self, page: Page) -> None:
@@ -90,6 +105,10 @@ class DiskSimulator:
                 f"page id {page.page_id} was not allocated on this disk"
             )
         self.metrics.record_write(sequential=self._classify(page.page_id))
+        if self.injector is not None:
+            # A crash here loses the in-flight write (the store below
+            # never runs); a torn write marks the page and stores anyway.
+            self.injector.on_write(page)
         self._pages[page.page_id] = page
 
     # ----------------------------------------------------------------- #
@@ -109,10 +128,17 @@ class DiskSimulator:
                     f"page id {page.page_id} was not allocated on this disk"
                 )
             self.metrics.record_write(sequential=self._classify(page.page_id))
+            if self.injector is not None:
+                self.injector.on_write(page)
             self._pages[page.page_id] = page
 
     def read_run(self, first_id: int, count: int) -> list[Page]:
-        """Read ``count`` contiguous pages starting at ``first_id``."""
+        """Read ``count`` contiguous pages starting at ``first_id``.
+
+        Under fault injection a mid-run fault aborts the sweep after the
+        pages already transferred were charged; a retry re-issues (and
+        re-charges) the whole run, as a real sequential replay would.
+        """
         out = []
         for page_id in range(first_id, first_id + count):
             try:
@@ -122,6 +148,8 @@ class DiskSimulator:
                     f"page {page_id} was never written"
                 ) from None
             self.metrics.record_read(sequential=self._classify(page_id))
+            if self.injector is not None:
+                self.injector.on_read(page_id)
             out.append(page)
         return out
 

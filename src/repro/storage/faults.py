@@ -1,0 +1,333 @@
+"""Deterministic fault injection for the simulated storage stack.
+
+The paper's evaluation assumes a perfect device; a production system
+cannot. This module adds an *adversarial* device model on top of
+:class:`~repro.storage.disk.DiskSimulator` without touching its cost
+accounting: a :class:`FaultInjector` is consulted on every accounted read
+and write and may, per its :class:`FaultPlan`,
+
+* raise :class:`~repro.errors.TransientIOError` on a read (a hiccup that
+  a retry can survive);
+* *tear* a write — the page is stored but marked bad, so any later read
+  of it raises :class:`~repro.errors.CorruptPageError` (checksum
+  verification catching a partial write);
+* surface latent *bit-flip* corruption on a read, also as
+  :class:`~repro.errors.CorruptPageError` (persistent — re-reads keep
+  failing, exactly like a real checksum mismatch at rest);
+* fire a *crash point* after a scheduled number of accesses, raising
+  :class:`~repro.errors.SimulatedCrashError`. A crash models power loss:
+  the buffer pool's frames are gone (see
+  :meth:`~repro.storage.buffer.BufferPool.crash_discard`) while pages
+  already written to disk survive.
+
+Everything is deterministic: one seed fixes the whole fault schedule, so
+any chaos-test failure replays exactly. When the injector is disabled —
+or absent — every hook is a no-op and the I/O counts of a run are
+byte-identical to a run without the module loaded.
+
+:class:`RetryPolicy` bounds the exponential backoff used by the read
+paths; :class:`RecoveryPolicy` bounds construction checkpointing and
+crash recovery for the join algorithms.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import TYPE_CHECKING, Callable, TypeVar
+
+from ..errors import (
+    ConfigError,
+    CorruptPageError,
+    SimulatedCrashError,
+    TransientIOError,
+)
+
+if TYPE_CHECKING:
+    from ..metrics import MetricsCollector
+    from .pager import Page
+
+T = TypeVar("T")
+
+
+class FaultKind(Enum):
+    """The failure modes the injector can produce."""
+
+    TRANSIENT_READ = "transient_read"
+    TORN_WRITE = "torn_write"
+    BIT_FLIP = "bit_flip"
+    CRASH = "crash"
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """One deterministic fault schedule (rates are per accounted access).
+
+    Parameters
+    ----------
+    transient_read_rate:
+        Probability that a read raises :class:`TransientIOError`. A page
+        stops being flaky after ``max_transient_per_page`` injected
+        errors, so a bounded retry loop is guaranteed to get through —
+        the recoverable regime. Raise the cap above the retry budget to
+        exercise the unrecoverable regime.
+    torn_write_rate:
+        Probability that a write is torn. The page is marked bad and
+        every later read of it raises :class:`CorruptPageError`.
+    bit_flip_rate:
+        Probability that a read discovers latent corruption (a bit flip
+        at rest caught by the checksum). Persistent like a torn write.
+    crash_after_ops:
+        Fire one :class:`SimulatedCrashError` once this many accesses
+        have been observed while armed, then disarm the crash point.
+    crash_every_ops:
+        Recurring variant: crash every N accesses. Used to exhaust
+        recovery budgets in tests; ``crash_after_ops`` takes effect
+        first when both are set.
+    max_transient_per_page:
+        See ``transient_read_rate``.
+    """
+
+    transient_read_rate: float = 0.0
+    torn_write_rate: float = 0.0
+    bit_flip_rate: float = 0.0
+    crash_after_ops: int | None = None
+    crash_every_ops: int | None = None
+    max_transient_per_page: int = 2
+
+    def __post_init__(self) -> None:
+        for name in ("transient_read_rate", "torn_write_rate", "bit_flip_rate"):
+            rate = getattr(self, name)
+            if not 0.0 <= rate <= 1.0:
+                raise ConfigError(f"{name} must be in [0, 1], got {rate}")
+        for name in ("crash_after_ops", "crash_every_ops"):
+            ops = getattr(self, name)
+            if ops is not None and ops < 1:
+                raise ConfigError(f"{name} must be positive when set")
+        if self.max_transient_per_page < 0:
+            raise ConfigError("max_transient_per_page must be non-negative")
+
+    @property
+    def is_quiet(self) -> bool:
+        """True when this plan can never inject anything."""
+        return (
+            self.transient_read_rate == 0.0
+            and self.torn_write_rate == 0.0
+            and self.bit_flip_rate == 0.0
+            and self.crash_after_ops is None
+            and self.crash_every_ops is None
+        )
+
+
+class FaultInjector:
+    """Seeded fault source consulted by the disk on every accounted access.
+
+    Create it disabled, wire it into a :class:`DiskSimulator`, build the
+    pristine inputs, then :meth:`arm` it for the join under test. Faults
+    are reported to the metrics collector under the current phase, so a
+    chaos run's injections are observable next to its I/O costs.
+    """
+
+    def __init__(
+        self,
+        plan: FaultPlan | None = None,
+        seed: int = 0,
+        metrics: "MetricsCollector | None" = None,
+    ):
+        self.plan = plan or FaultPlan()
+        self.metrics = metrics
+        self.enabled = False
+        self._rng = random.Random(seed)
+        self._ops = 0
+        self._crash_fired = False
+        self._bad_pages: set[int] = set()
+        self._transient_injected: dict[int, int] = {}
+
+    # ----------------------------------------------------------------- #
+    # Arming
+    # ----------------------------------------------------------------- #
+
+    def arm(self, plan: FaultPlan | None = None) -> None:
+        """Start injecting (optionally switching to a new plan)."""
+        if plan is not None:
+            self.plan = plan
+        self.enabled = True
+
+    def disarm(self) -> None:
+        self.enabled = False
+
+    @property
+    def ops_observed(self) -> int:
+        """Accesses seen while armed (the crash clock)."""
+        return self._ops
+
+    def page_is_bad(self, page_id: int) -> bool:
+        """True when the page holds a torn write or a surfaced bit flip."""
+        return page_id in self._bad_pages
+
+    # ----------------------------------------------------------------- #
+    # Hooks (called by DiskSimulator after charging the access)
+    # ----------------------------------------------------------------- #
+
+    def on_read(self, page_id: int) -> None:
+        """May raise a crash, corruption, or transient error for a read."""
+        if not self.enabled:
+            return
+        self._tick()
+        plan = self.plan
+        if page_id in self._bad_pages:
+            raise CorruptPageError(
+                f"page {page_id} failed its checksum (injected corruption)"
+            )
+        if plan.bit_flip_rate and self._rng.random() < plan.bit_flip_rate:
+            self._bad_pages.add(page_id)
+            self._record(FaultKind.BIT_FLIP)
+            raise CorruptPageError(
+                f"page {page_id} failed its checksum (injected bit flip)"
+            )
+        if plan.transient_read_rate and self._rng.random() < plan.transient_read_rate:
+            injected = self._transient_injected.get(page_id, 0)
+            if injected < plan.max_transient_per_page:
+                self._transient_injected[page_id] = injected + 1
+                self._record(FaultKind.TRANSIENT_READ)
+                raise TransientIOError(
+                    f"transient device error reading page {page_id}"
+                )
+
+    def on_write(self, page: "Page") -> None:
+        """May raise a crash or silently tear the write."""
+        if not self.enabled:
+            return
+        self._tick()
+        plan = self.plan
+        if plan.torn_write_rate and self._rng.random() < plan.torn_write_rate:
+            # Torn writes are silent at write time; detection happens at
+            # the next read, like a real checksum verification.
+            self._bad_pages.add(page.page_id)
+            self._record(FaultKind.TORN_WRITE)
+        elif page.page_id in self._bad_pages:
+            # A clean rewrite replaces the torn content.
+            self._bad_pages.discard(page.page_id)
+
+    def _tick(self) -> None:
+        self._ops += 1
+        plan = self.plan
+        if (
+            not self._crash_fired
+            and plan.crash_after_ops is not None
+            and self._ops >= plan.crash_after_ops
+        ):
+            self._crash_fired = True
+            self._record(FaultKind.CRASH)
+            raise SimulatedCrashError(
+                f"crash point fired after {self._ops} accesses"
+            )
+        if (
+            plan.crash_every_ops is not None
+            and self._ops % plan.crash_every_ops == 0
+        ):
+            self._record(FaultKind.CRASH)
+            raise SimulatedCrashError(
+                f"recurring crash point fired at access {self._ops}"
+            )
+
+    def _record(self, kind: FaultKind) -> None:
+        if self.metrics is not None:
+            self.metrics.record_fault(kind.value)
+
+
+# --------------------------------------------------------------------- #
+# Retry and recovery policies
+# --------------------------------------------------------------------- #
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Bounded exponential backoff for transient read errors.
+
+    ``max_attempts`` counts the initial try: 4 attempts = up to 3
+    retries. Backoff delays are virtual (the simulator has no clock);
+    they are charged to the metrics collector's ``backoff_seconds`` so a
+    chaos run shows how much wall time a real deployment would have
+    spent waiting.
+    """
+
+    max_attempts: int = 4
+    base_delay: float = 0.001
+    multiplier: float = 2.0
+    max_delay: float = 0.1
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ConfigError("max_attempts must be at least 1")
+        if self.base_delay < 0 or self.max_delay < 0:
+            raise ConfigError("delays must be non-negative")
+        if self.multiplier < 1.0:
+            raise ConfigError("multiplier must be at least 1")
+
+    def delay_for(self, retry_index: int) -> float:
+        """Backoff before the ``retry_index``-th retry (0-based)."""
+        return min(
+            self.base_delay * self.multiplier ** retry_index, self.max_delay
+        )
+
+
+DEFAULT_RETRY_POLICY = RetryPolicy()
+
+
+def retry_read(
+    fn: Callable[[], T],
+    metrics: "MetricsCollector | None",
+    policy: RetryPolicy | None = None,
+) -> T:
+    """Run a read thunk, retrying transient errors per ``policy``.
+
+    Every retry re-issues the underlying disk access, so the retry
+    budget is charged to the I/O counters automatically; the retry count
+    and virtual backoff go to the fault counters. A read that succeeds
+    after at least one retry counts as a recovered page.
+    """
+    policy = policy or DEFAULT_RETRY_POLICY
+    attempt = 0
+    while True:
+        try:
+            result = fn()
+        except TransientIOError:
+            attempt += 1
+            if attempt >= policy.max_attempts:
+                raise
+            if metrics is not None:
+                metrics.record_retry(policy.delay_for(attempt - 1))
+            continue
+        if attempt and metrics is not None:
+            metrics.record_page_recovered()
+        return result
+
+
+@dataclass(frozen=True)
+class RecoveryPolicy:
+    """How a join construction phase checkpoints and survives crashes.
+
+    Parameters
+    ----------
+    checkpoint_every:
+        Inserts between durable construction checkpoints; 0 disables
+        checkpointing (a crash then restarts the attempt from scratch).
+    max_crash_recoveries:
+        Crash points survived before giving up with
+        :class:`~repro.errors.RecoveryError`.
+    fallback_to_bfj:
+        For STJ only: on irrecoverable seeded-tree construction failure,
+        degrade to BFJ against the pre-computed ``T_R`` instead of
+        raising, recording the downgrade in the result and metrics.
+    """
+
+    checkpoint_every: int = 64
+    max_crash_recoveries: int = 2
+    fallback_to_bfj: bool = True
+
+    def __post_init__(self) -> None:
+        if self.checkpoint_every < 0:
+            raise ConfigError("checkpoint_every must be non-negative")
+        if self.max_crash_recoveries < 0:
+            raise ConfigError("max_crash_recoveries must be non-negative")

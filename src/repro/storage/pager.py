@@ -19,6 +19,7 @@ class PageKind(Enum):
     TREE_NODE = "tree_node"
     DATA = "data"          # sequential data-file page
     LIST = "list"          # intermediate linked-list page (Section 3.1)
+    META = "meta"          # durable construction-checkpoint record
 
 
 class Page:

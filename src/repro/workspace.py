@@ -23,16 +23,26 @@ from .geometry import Rect
 from .metrics import MetricsCollector, Phase
 from .rtree import RTree
 from .rtree.split import SplitFunction, quadratic_split
-from .storage import BufferPool, DataFile, DiskSimulator
+from .storage import BufferPool, DataFile, DiskSimulator, FaultInjector
 
 
 class Workspace:
-    """Config + metrics + disk + buffer, wired the way the paper ran."""
+    """Config + metrics + disk + buffer, wired the way the paper ran.
 
-    def __init__(self, config: SystemConfig | None = None):
+    Pass an (unarmed) :class:`~repro.storage.FaultInjector` to make the
+    stack fault-capable: setup stays fault-free, and the caller arms the
+    injector (``ws.disk.injector.arm()``) right before the join under
+    test. A disarmed injector perturbs nothing.
+    """
+
+    def __init__(
+        self,
+        config: SystemConfig | None = None,
+        injector: FaultInjector | None = None,
+    ):
         self.config = config or SystemConfig()
         self.metrics = MetricsCollector(self.config)
-        self.disk = DiskSimulator(self.metrics)
+        self.disk = DiskSimulator(self.metrics, injector=injector)
         self.buffer = BufferPool(self.config.buffer_pages, self.disk)
 
     # ----------------------------------------------------------------- #

@@ -1,0 +1,192 @@
+"""STJ under faults: crash resume from flushed batches, BFJ fallback."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config import SystemConfig
+from repro.errors import RecoveryError
+from repro.geometry import Rect
+from repro.join import naive_join, seeded_tree_join, spatial_join
+from repro.metrics import MetricsCollector, Phase
+from repro.rtree import RTree
+from repro.storage import (
+    BufferPool,
+    DiskSimulator,
+    FaultInjector,
+    FaultPlan,
+    RecoveryPolicy,
+)
+from repro.storage.datafile import DataFile
+
+from ..conftest import random_entries
+
+
+def _grid_entries(n: int, seed: int) -> list[tuple[Rect, int]]:
+    """Entries on the 1/1024 grid: exact under float32 snapshots."""
+    return [
+        (
+            Rect(
+                round(r.xlo * 1024) / 1024, round(r.ylo * 1024) / 1024,
+                round(r.xhi * 1024) / 1024, round(r.yhi * 1024) / 1024,
+            ),
+            oid,
+        )
+        for r, oid in random_entries(n, seed=seed)
+    ]
+
+
+def _world(plan: FaultPlan | None, *, buffer_pages: int = 16,
+           n_r: int = 700, n_s: int = 400, seed: int = 0):
+    """T_R durable on disk, D_S as a data file, injector not yet armed.
+
+    ``n_r`` is sized so T_R reaches height 3: the default two seed
+    levels need a seeding tree of at least three levels.
+    """
+    config = SystemConfig(page_size=512, buffer_pages=buffer_pages)
+    metrics = MetricsCollector(config)
+    injector = FaultInjector(plan, seed=seed) if plan is not None else None
+    disk = DiskSimulator(metrics, injector=injector)
+    buffer = BufferPool(buffer_pages, disk)
+    d_r = _grid_entries(n_r, seed=31)
+    d_s = _grid_entries(n_s, seed=32)
+    tree_r = RTree.build(buffer, config, d_r, name="T_R")
+    data_s = DataFile.create(disk, config, d_s, name="D_S")
+    buffer.purge()
+    disk.reset_arm()
+    return config, metrics, injector, disk, buffer, tree_r, data_s, d_r, d_s
+
+
+class TestStjCrashRecovery:
+    def test_crash_resumes_from_flushed_batches(self):
+        plan = FaultPlan(crash_after_ops=80)
+        (config, metrics, injector, _, buffer, tree_r, data_s, d_r, d_s) = (
+            _world(plan)
+        )
+        injector.arm()
+        result = seeded_tree_join(
+            data_s, tree_r, buffer, config, metrics,
+            use_linked_lists=True,
+            recovery=RecoveryPolicy(checkpoint_every=32),
+        )
+        assert not result.degraded
+        assert result.pair_set() == naive_join(d_s, d_r).pair_set()
+        result.index.validate()
+        faults = metrics.fault_totals()
+        assert faults.crashes == 1
+        assert faults.crash_recoveries == 1
+        assert faults.checkpoints >= 1
+
+    def test_crash_budget_exhaustion_without_fallback(self):
+        plan = FaultPlan(crash_every_ops=30)
+        (config, metrics, injector, _, buffer, tree_r, data_s, _, _) = (
+            _world(plan)
+        )
+        injector.arm()
+        with pytest.raises(RecoveryError):
+            seeded_tree_join(
+                data_s, tree_r, buffer, config, metrics,
+                use_linked_lists=True,
+                recovery=RecoveryPolicy(
+                    checkpoint_every=0,
+                    max_crash_recoveries=1,
+                    fallback_to_bfj=False,
+                ),
+            )
+        assert metrics.fault_totals().crash_recoveries == 1
+
+    def test_legacy_path_without_policy_is_unchanged(self):
+        (config, metrics, _, _, buffer, tree_r, data_s, d_r, d_s) = (
+            _world(None)
+        )
+        result = seeded_tree_join(data_s, tree_r, buffer, config, metrics)
+        assert result.pair_set() == naive_join(d_s, d_r).pair_set()
+        assert metrics.fault_totals().is_zero
+
+
+class TestStjFallback:
+    def test_torn_writes_degrade_to_bfj(self):
+        # Every write is torn; the tiny buffer forces T_S pages out and
+        # back in, so construction hits CorruptPageError and the join
+        # degrades to BFJ against the durable T_R. Answers stay exact.
+        plan = FaultPlan(torn_write_rate=1.0)
+        (config, metrics, injector, _, buffer, tree_r, data_s, d_r, d_s) = (
+            _world(plan, buffer_pages=8)
+        )
+        injector.arm()
+        result = seeded_tree_join(
+            data_s, tree_r, buffer, config, metrics,
+            use_linked_lists=False,
+            recovery=RecoveryPolicy(checkpoint_every=32),
+        )
+        assert result.degraded
+        assert result.algorithm == "BFJ"
+        assert result.fallback_from == "STJ"
+        assert "CorruptPageError" in result.degraded_reason
+        assert result.index is None
+        assert result.pair_set() == naive_join(d_s, d_r).pair_set()
+        faults = metrics.fault_totals()
+        assert faults.fallbacks == 1
+        assert faults.torn_writes > 0
+        assert metrics.faults_for(Phase.CONSTRUCT).fallbacks == 1
+
+    def test_crash_budget_exhaustion_degrades_when_allowed(self):
+        plan = FaultPlan(crash_after_ops=60)
+        (config, metrics, injector, _, buffer, tree_r, data_s, d_r, d_s) = (
+            _world(plan)
+        )
+        injector.arm()
+        result = seeded_tree_join(
+            data_s, tree_r, buffer, config, metrics,
+            use_linked_lists=True,
+            recovery=RecoveryPolicy(
+                checkpoint_every=0, max_crash_recoveries=0,
+                fallback_to_bfj=True,
+            ),
+        )
+        assert result.degraded
+        assert "RecoveryError" in result.degraded_reason
+        assert result.pair_set() == naive_join(d_s, d_r).pair_set()
+
+
+class TestSpatialJoinFacade:
+    def test_variant_name_survives_recovery(self):
+        plan = FaultPlan(crash_after_ops=80)
+        (config, metrics, injector, _, buffer, tree_r, data_s, d_r, d_s) = (
+            _world(plan)
+        )
+        injector.arm()
+        result = spatial_join(
+            data_s, tree_r, buffer, config, metrics, method="STJ1-2N",
+            use_linked_lists=True,
+            recovery=RecoveryPolicy(checkpoint_every=32),
+        )
+        assert result.algorithm == "STJ1-2N"
+        assert result.pair_set() == naive_join(d_s, d_r).pair_set()
+
+    def test_degraded_variant_records_fallback_name(self):
+        plan = FaultPlan(torn_write_rate=1.0)
+        (config, metrics, injector, _, buffer, tree_r, data_s, d_r, d_s) = (
+            _world(plan, buffer_pages=8)
+        )
+        injector.arm()
+        result = spatial_join(
+            data_s, tree_r, buffer, config, metrics, method="STJ1-2N",
+            use_linked_lists=False,
+            recovery=RecoveryPolicy(checkpoint_every=32),
+        )
+        assert result.degraded
+        assert result.algorithm == "BFJ"
+        assert result.fallback_from == "STJ1-2N"
+        assert result.pair_set() == naive_join(d_s, d_r).pair_set()
+
+    def test_bfj_ignores_recovery_policy(self):
+        (config, metrics, _, _, buffer, tree_r, data_s, d_r, d_s) = (
+            _world(None)
+        )
+        result = spatial_join(
+            data_s, tree_r, buffer, config, metrics, method="BFJ",
+            recovery=RecoveryPolicy(),
+        )
+        assert result.pair_set() == naive_join(d_s, d_r).pair_set()
+        assert not result.degraded

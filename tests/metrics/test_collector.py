@@ -100,6 +100,64 @@ class TestSummary:
         assert isinstance(s1, CostSummary)
 
 
+class TestFaultRecording:
+    def test_record_fault_goes_to_current_phase(self):
+        m = MetricsCollector()
+        m.record_fault("transient_read")
+        with m.phase(Phase.CONSTRUCT):
+            m.record_fault("crash")
+            m.record_fault("torn_write")
+            m.record_fault("bit_flip")
+        assert m.faults_for(Phase.SETUP).transient_read_errors == 1
+        construct = m.faults_for(Phase.CONSTRUCT)
+        assert construct.crashes == 1
+        assert construct.torn_writes == 1
+        assert construct.bit_flips == 1
+        assert m.faults_for(Phase.MATCH).is_zero
+
+    def test_record_fault_rejects_unknown_kind(self):
+        m = MetricsCollector()
+        with pytest.raises(ValueError):
+            m.record_fault("gamma_ray")
+
+    def test_recovery_records(self):
+        m = MetricsCollector()
+        with m.phase(Phase.CONSTRUCT):
+            m.record_retry(backoff=0.01)
+            m.record_retry(backoff=0.02)
+            m.record_page_recovered()
+            m.record_checkpoint()
+            m.record_crash_recovery()
+            m.record_fallback()
+        f = m.faults_for(Phase.CONSTRUCT)
+        assert f.retries == 2
+        assert f.backoff_seconds == pytest.approx(0.03)
+        assert f.pages_recovered == 1
+        assert f.checkpoints == 1
+        assert f.crash_recoveries == 1
+        assert f.fallbacks == 1
+
+    def test_fault_totals_merge_phases(self):
+        m = MetricsCollector()
+        m.record_fault("crash")
+        with m.phase(Phase.MATCH):
+            m.record_fault("crash")
+            m.record_retry()
+        total = m.fault_totals()
+        assert total.crashes == 2
+        assert total.retries == 1
+        # totals are a snapshot, not a live view
+        m.record_fault("crash")
+        assert total.crashes == 2
+
+    def test_reset_clears_fault_counters(self):
+        m = MetricsCollector()
+        m.record_fault("bit_flip")
+        m.record_checkpoint()
+        m.reset()
+        assert m.fault_totals().is_zero
+
+
 class TestReset:
     def test_reset_zeroes_everything(self):
         m = MetricsCollector()

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.metrics import CpuCounters, IoCounters
+from repro.metrics import CpuCounters, FaultCounters, IoCounters
 
 
 class TestIoCounters:
@@ -35,6 +35,48 @@ class TestIoCounters:
         assert (m.random_writes, m.sequential_writes) == (33, 44)
         # originals untouched
         assert a.random_reads == 1
+
+
+class TestFaultCounters:
+    def test_defaults_are_zero(self):
+        f = FaultCounters()
+        assert f.faults_injected == 0
+        assert f.is_zero
+
+    def test_faults_injected_sums_fault_kinds_only(self):
+        f = FaultCounters(
+            transient_read_errors=1, torn_writes=2, bit_flips=3, crashes=4,
+            retries=99, checkpoints=5, pages_recovered=7,
+        )
+        assert f.faults_injected == 10
+
+    def test_is_zero_sensitive_to_recovery_activity(self):
+        # A fault-free run that still checkpointed is not "zero": the
+        # counters double as a cost-transparency check and checkpoints
+        # cost I/O.
+        assert not FaultCounters(retries=1).is_zero
+        assert not FaultCounters(checkpoints=1).is_zero
+        assert not FaultCounters(crash_recoveries=1).is_zero
+        assert not FaultCounters(fallbacks=1).is_zero
+        # backoff_seconds alone never occurs without a retry; recovered
+        # pages never without a retry either, so is_zero ignores them.
+        assert FaultCounters(backoff_seconds=0.5, pages_recovered=1).is_zero
+
+    def test_merged_with(self):
+        a = FaultCounters(transient_read_errors=1, retries=2,
+                          backoff_seconds=0.25, checkpoints=1)
+        b = FaultCounters(transient_read_errors=10, torn_writes=3,
+                          backoff_seconds=0.5, fallbacks=1)
+        m = a.merged_with(b)
+        assert m.transient_read_errors == 11
+        assert m.torn_writes == 3
+        assert m.retries == 2
+        assert m.backoff_seconds == pytest.approx(0.75)
+        assert m.checkpoints == 1
+        assert m.fallbacks == 1
+        # originals untouched
+        assert a.transient_read_errors == 1
+        assert b.retries == 0
 
 
 class TestCpuCounters:

@@ -1,7 +1,11 @@
 """Tests for the paper-layout table and series rendering."""
 
-from repro.metrics import CostSummary
-from repro.metrics.report import format_cost_table, format_series
+from repro.metrics import CostSummary, MetricsCollector, Phase
+from repro.metrics.report import (
+    format_cost_table,
+    format_fault_table,
+    format_series,
+)
 
 
 def summary(**overrides):
@@ -42,6 +46,47 @@ class TestCostTable:
     def test_empty_rows(self):
         text = format_cost_table([])
         assert "Alg." in text
+
+
+class TestFaultTable:
+    def test_contains_all_columns_and_phases(self):
+        text = format_fault_table(MetricsCollector())
+        for token in ("phase", "transient", "torn", "bitflip", "crash",
+                      "retries", "backoff(s)", "recovered", "ckpts",
+                      "resumes", "fallbacks"):
+            assert token in text
+        for phase in Phase:
+            assert phase.value in text
+        assert "total" in text
+
+    def test_zero_run_renders_zero_rows(self):
+        text = format_fault_table(MetricsCollector())
+        total_line = text.splitlines()[-1]
+        assert total_line.split() == ["total"] + ["0"] * 5 + ["0.000"] + [
+            "0"
+        ] * 4
+
+    def test_counts_land_in_phase_row_and_total(self):
+        m = MetricsCollector()
+        with m.phase(Phase.CONSTRUCT):
+            m.record_fault("crash")
+            m.record_crash_recovery()
+            m.record_retry(backoff=1.5)
+        text = format_fault_table(m, title="chaos run")
+        lines = text.splitlines()
+        assert lines[0] == "chaos run"
+        construct = next(l for l in lines if l.lstrip().startswith("construct"))
+        assert construct.split() == [
+            "construct", "0", "0", "0", "1", "1", "1.500", "0", "0", "1", "0",
+        ]
+        assert lines[-1].split()[4] == "1"  # crash column in the total row
+
+    def test_rows_aligned(self):
+        m = MetricsCollector()
+        with m.phase(Phase.MATCH):
+            m.record_retry(backoff=123.456)
+        lines = format_fault_table(m).splitlines()
+        assert len({len(line) for line in lines[2:]}) == 1
 
 
 class TestSeries:

@@ -1,0 +1,166 @@
+"""Construction checkpointing: snapshots, crash resume, budget limits."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config import SystemConfig
+from repro.errors import RecoveryError
+from repro.metrics import MetricsCollector, Phase
+from repro.rtree import RTree, RTreeCheckpointer, build_with_checkpoints
+from repro.storage import (
+    BufferPool,
+    DiskSimulator,
+    FaultInjector,
+    FaultPlan,
+    RecoveryPolicy,
+)
+from repro.storage.datafile import DataFile
+from repro.join import naive_join, rtree_join
+
+from ..conftest import random_entries
+
+CONFIG = SystemConfig(page_size=512, buffer_pages=16)
+
+
+def _stack(plan: FaultPlan | None = None, seed: int = 0):
+    metrics = MetricsCollector(CONFIG)
+    injector = FaultInjector(plan, seed=seed) if plan is not None else None
+    disk = DiskSimulator(metrics, injector=injector)
+    buffer = BufferPool(CONFIG.buffer_pages, disk)
+    return metrics, injector, disk, buffer
+
+
+# 1/1024-grid entries: float32-exact, so snapshot quantization is lossless.
+def _grid_entries(n: int, seed: int = 0) -> list:
+    return [
+        (
+            type(r)(
+                round(r.xlo * 1024) / 1024, round(r.ylo * 1024) / 1024,
+                round(r.xhi * 1024) / 1024, round(r.yhi * 1024) / 1024,
+            ),
+            oid,
+        )
+        for r, oid in random_entries(n, seed=seed)
+    ]
+
+
+class TestCheckpointedBuild:
+    def test_same_objects_as_plain_build(self):
+        entries = _grid_entries(150, seed=1)
+        _, _, disk, buffer = _stack()
+        ckpt = RTreeCheckpointer(disk, CONFIG, every=25)
+        tree = build_with_checkpoints(
+            buffer, CONFIG, entries, checkpointer=ckpt
+        )
+        tree.validate(check_min_fill=False)
+
+        _, _, _, plain_buffer = _stack()
+        plain = RTree.build(plain_buffer, CONFIG, entries)
+        assert set(tree.all_objects()) == set(plain.all_objects())
+        assert ckpt.latest() is not None
+        assert ckpt.latest().entries_done == 150
+
+    def test_checkpoints_are_charged(self):
+        entries = _grid_entries(80, seed=2)
+        metrics, _, disk, buffer = _stack()
+        with metrics.phase(Phase.CONSTRUCT):
+            RTree.build(buffer, CONFIG, entries)
+        plain_io = metrics.io_for(Phase.CONSTRUCT).total_accesses
+
+        metrics2, _, disk2, buffer2 = _stack()
+        ckpt = RTreeCheckpointer(disk2, CONFIG, every=20)
+        with metrics2.phase(Phase.CONSTRUCT):
+            build_with_checkpoints(
+                buffer2, CONFIG, entries, checkpointer=ckpt
+            )
+        ckpt_io = metrics2.io_for(Phase.CONSTRUCT).total_accesses
+        assert ckpt_io > plain_io  # durability is not free
+        assert metrics2.faults_for(Phase.CONSTRUCT).checkpoints == 4
+
+    def test_snapshot_round_trip(self):
+        entries = _grid_entries(60, seed=3)
+        metrics, _, disk, buffer = _stack()
+        ckpt = RTreeCheckpointer(disk, CONFIG, every=60)
+        tree = build_with_checkpoints(
+            buffer, CONFIG, entries, checkpointer=ckpt
+        )
+        before = metrics.io_for(Phase.SETUP).total_accesses
+        loaded, done = ckpt.load_latest(buffer)
+        assert done == 60
+        assert set(loaded.all_objects()) == set(tree.all_objects())
+        # The blob read-back is charged.
+        assert metrics.io_for(Phase.SETUP).total_accesses > before
+
+    def test_resume_skips_absorbed_prefix(self):
+        entries = _grid_entries(100, seed=4)
+        _, _, disk, buffer = _stack()
+        ckpt = RTreeCheckpointer(disk, CONFIG, every=40)
+        build_with_checkpoints(
+            buffer, CONFIG, entries[:80], checkpointer=ckpt
+        )
+        # Simulate post-crash resume: snapshot holds the first 80.
+        buffer.crash_discard()
+        resume = ckpt.load_latest(buffer)
+        tree = build_with_checkpoints(
+            buffer, CONFIG, entries, resume=resume
+        )
+        assert set(tree.all_objects()) == set(entries)
+        tree.validate(check_min_fill=False)
+
+
+class TestRtjCrashRecovery:
+    def _join_world(self, plan: FaultPlan | None, seed: int = 0):
+        # D_S large enough that T_S outgrows the 16-page buffer, so
+        # construction generates real disk traffic for faults to hit.
+        metrics, injector, disk, buffer = _stack(plan, seed=seed)
+        d_r = _grid_entries(200, seed=21)
+        d_s = _grid_entries(400, seed=22)
+        tree_r = RTree.build(buffer, CONFIG, d_r, name="T_R")
+        data_s = DataFile.create(disk, CONFIG, d_s, name="D_S")
+        buffer.purge()  # T_R durable: a crash must not destroy it
+        disk.reset_arm()
+        return metrics, injector, disk, buffer, tree_r, data_s, d_r, d_s
+
+    def test_crash_recovery_completes_with_exact_answers(self):
+        plan = FaultPlan(crash_after_ops=120)
+        metrics, injector, disk, buffer, tree_r, data_s, d_r, d_s = (
+            self._join_world(plan)
+        )
+        injector.arm()
+        result = rtree_join(
+            data_s, tree_r, buffer, CONFIG, metrics,
+            recovery=RecoveryPolicy(checkpoint_every=64),
+        )
+        oracle = naive_join(d_s, d_r)
+        assert result.pair_set() == oracle.pair_set()
+        faults = metrics.fault_totals()
+        assert faults.crashes == 1
+        assert faults.crash_recoveries == 1
+        assert faults.checkpoints >= 1
+
+    def test_crash_budget_exhaustion_raises_recovery_error(self):
+        # Recurring crashes with checkpointing disabled: every attempt
+        # restarts from scratch and dies again.
+        plan = FaultPlan(crash_every_ops=40)
+        metrics, injector, _, buffer, tree_r, data_s, _, _ = (
+            self._join_world(plan)
+        )
+        injector.arm()
+        with pytest.raises(RecoveryError):
+            rtree_join(
+                data_s, tree_r, buffer, CONFIG, metrics,
+                recovery=RecoveryPolicy(
+                    checkpoint_every=0, max_crash_recoveries=2
+                ),
+            )
+        assert metrics.fault_totals().crash_recoveries == 2
+
+    def test_no_recovery_policy_is_legacy_path(self):
+        metrics, _, disk, buffer, tree_r, data_s, d_r, d_s = (
+            self._join_world(None)
+        )
+        result = rtree_join(data_s, tree_r, buffer, CONFIG, metrics)
+        oracle = naive_join(d_s, d_r)
+        assert result.pair_set() == oracle.pair_set()
+        assert metrics.fault_totals().is_zero

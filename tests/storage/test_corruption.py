@@ -1,0 +1,145 @@
+"""Page and dump integrity: corruption is always caught, never silent."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.config import SystemConfig
+from repro.errors import CorruptPageError, StorageError
+from repro.rtree import RTree, dump_tree, load_tree
+from repro.storage import BufferPool, DiskSimulator
+from repro.storage.codec import (
+    decode_data_page,
+    decode_node,
+    encode_data_page,
+    encode_node,
+    verify_page,
+)
+
+from ..conftest import random_entries
+from ..strategies import coordinate
+
+CONFIG = SystemConfig(page_size=512, buffer_pages=64)
+
+
+@st.composite
+def codec_entries(draw, max_size: int = 20):
+    """(bbox, ref) tuples on the 1/1024 grid (float32-exact)."""
+    n = draw(st.integers(min_value=0, max_value=max_size))
+    out = []
+    for i in range(n):
+        x1, x2 = sorted((draw(coordinate), draw(coordinate)))
+        y1, y2 = sorted((draw(coordinate), draw(coordinate)))
+        out.append((x1, y1, x2, y2, i))
+    return out
+
+
+class TestSingleByteCorruption:
+    """The tentpole property: one flipped byte can never change entries."""
+
+    @settings(max_examples=60, deadline=None)
+    @given(entries=codec_entries(), pos=st.integers(min_value=0),
+           value=st.integers(min_value=0, max_value=255))
+    def test_node_page_byte_flip(self, entries, pos, value):
+        blob = encode_node(CONFIG, 0, True, entries)
+        pos %= len(blob)
+        mutated = blob[:pos] + bytes([value]) + blob[pos + 1:]
+        if mutated == blob:
+            level, is_leaf, decoded = decode_node(CONFIG, mutated)
+            assert (level, is_leaf, decoded) == (0, True, entries)
+        else:
+            with pytest.raises(CorruptPageError):
+                decode_node(CONFIG, mutated)
+
+    @settings(max_examples=60, deadline=None)
+    @given(entries=codec_entries(), next_id=st.integers(-1, 1000),
+           pos=st.integers(min_value=0),
+           value=st.integers(min_value=0, max_value=255))
+    def test_data_page_byte_flip(self, entries, next_id, pos, value):
+        blob = encode_data_page(CONFIG, entries, next_id)
+        pos %= len(blob)
+        mutated = blob[:pos] + bytes([value]) + blob[pos + 1:]
+        if mutated == blob:
+            decoded, decoded_next = decode_data_page(CONFIG, mutated)
+            assert decoded == entries and decoded_next == next_id
+        else:
+            with pytest.raises(CorruptPageError):
+                decode_data_page(CONFIG, mutated)
+
+    @settings(max_examples=40, deadline=None)
+    @given(entries=codec_entries(), drop=st.integers(min_value=1,
+                                                     max_value=511))
+    def test_truncated_page_rejected(self, entries, drop):
+        blob = encode_node(CONFIG, 0, True, entries)
+        with pytest.raises(CorruptPageError):
+            decode_node(CONFIG, blob[:-drop])
+
+
+class TestVerifyPage:
+    def test_intact_page_passes(self):
+        blob = encode_node(CONFIG, 1, False, [(0.0, 0.0, 1.0, 1.0, 42)])
+        verify_page(blob)  # no raise
+
+    def test_too_short_blob(self):
+        with pytest.raises(CorruptPageError):
+            verify_page(b"\x00" * 8)
+
+    def test_crc_field_corruption_detected(self):
+        blob = encode_node(CONFIG, 0, True, [])
+        mutated = blob[:8] + b"\xff\xff\xff\xff" + blob[12:]
+        with pytest.raises(CorruptPageError):
+            verify_page(mutated)
+
+
+class TestDumpIntegrity:
+    def _dumped_tree(self) -> bytes:
+        metrics_disk = DiskSimulator()
+        buffer = BufferPool(64, metrics_disk)
+        tree = RTree.build(buffer, CONFIG, random_entries(120, seed=9))
+        return dump_tree(tree, allow_quantize=True)
+
+    def _load(self, blob: bytes) -> RTree:
+        disk = DiskSimulator()
+        buffer = BufferPool(64, disk)
+        return load_tree(buffer, CONFIG, blob)
+
+    def test_round_trip_intact(self):
+        blob = self._dumped_tree()
+        tree = self._load(blob)
+        assert len(tree) == 120
+        tree.validate(check_min_fill=False)
+
+    def test_truncated_blob_rejected(self):
+        blob = self._dumped_tree()
+        with pytest.raises(CorruptPageError):
+            self._load(blob[: len(blob) // 2])
+        with pytest.raises(CorruptPageError):
+            self._load(blob[:10])
+
+    def test_interior_bit_flip_rejected(self):
+        blob = self._dumped_tree()
+        for pos in (len(blob) // 3, len(blob) - 7):
+            mutated = (
+                blob[:pos] + bytes([blob[pos] ^ 0x40]) + blob[pos + 1:]
+            )
+            with pytest.raises(CorruptPageError):
+                self._load(mutated)
+
+    def test_header_crc_flip_rejected(self):
+        blob = self._dumped_tree()
+        # The body-CRC field sits in the last 4 header bytes.
+        pos = 20
+        mutated = blob[:pos] + bytes([blob[pos] ^ 0x01]) + blob[pos + 1:]
+        with pytest.raises((CorruptPageError, StorageError)):
+            self._load(mutated)
+
+    def test_wrong_page_size_is_not_corruption(self):
+        blob = self._dumped_tree()
+        other = SystemConfig(page_size=1024, buffer_pages=64)
+        disk = DiskSimulator()
+        buffer = BufferPool(64, disk)
+        with pytest.raises(StorageError) as excinfo:
+            load_tree(buffer, other, blob)
+        assert not isinstance(excinfo.value, CorruptPageError)

@@ -1,0 +1,265 @@
+"""Fault injection: determinism, typed errors, retry recovery, crashes."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config import SystemConfig
+from repro.errors import (
+    ConfigError,
+    CorruptPageError,
+    SimulatedCrashError,
+    TransientIOError,
+)
+from repro.metrics import MetricsCollector, Phase
+from repro.storage import (
+    BufferPool,
+    DiskSimulator,
+    FaultInjector,
+    FaultPlan,
+    Page,
+    PageKind,
+    RetryPolicy,
+)
+from repro.storage.datafile import DataFile
+from repro.storage.faults import retry_read
+
+from ..conftest import random_entries
+
+
+def _faulty_stack(plan: FaultPlan, seed: int = 0, buffer_pages: int = 8):
+    config = SystemConfig(page_size=512, buffer_pages=buffer_pages)
+    metrics = MetricsCollector(config)
+    injector = FaultInjector(plan, seed=seed)
+    disk = DiskSimulator(metrics, injector=injector)
+    buffer = BufferPool(buffer_pages, disk)
+    return config, metrics, injector, disk, buffer
+
+
+def _write_pages(disk: DiskSimulator, n: int) -> list[int]:
+    first = disk.allocate(n)
+    for i in range(n):
+        disk.write(Page(first + i, PageKind.DATA, f"payload-{i}"))
+    return list(range(first, first + n))
+
+
+class TestFaultPlan:
+    def test_rates_validated(self):
+        with pytest.raises(ConfigError):
+            FaultPlan(transient_read_rate=1.5)
+        with pytest.raises(ConfigError):
+            FaultPlan(torn_write_rate=-0.1)
+        with pytest.raises(ConfigError):
+            FaultPlan(crash_after_ops=0)
+
+    def test_quiet_plan(self):
+        assert FaultPlan().is_quiet
+        assert not FaultPlan(bit_flip_rate=0.1).is_quiet
+        assert not FaultPlan(crash_every_ops=10).is_quiet
+
+
+class TestDisabledInjector:
+    def test_disabled_injector_never_fires(self):
+        plan = FaultPlan(transient_read_rate=1.0, torn_write_rate=1.0,
+                         bit_flip_rate=1.0, crash_after_ops=1)
+        _, metrics, injector, disk, _ = _faulty_stack(plan)
+        ids = _write_pages(disk, 5)
+        for pid in ids:
+            disk.read(pid)
+        assert injector.ops_observed == 0
+        assert metrics.fault_totals().is_zero
+
+    def test_io_counts_identical_with_and_without_injector(self):
+        """Cost transparency: a disarmed injector perturbs nothing."""
+
+        def run(with_injector: bool):
+            config = SystemConfig(page_size=512, buffer_pages=8)
+            metrics = MetricsCollector(config)
+            injector = (
+                FaultInjector(FaultPlan(transient_read_rate=1.0))
+                if with_injector else None
+            )
+            disk = DiskSimulator(metrics, injector=injector)
+            buffer = BufferPool(8, disk)
+            data = DataFile.create(
+                disk, config, random_entries(200, seed=3), name="d"
+            )
+            with metrics.phase(Phase.MATCH):
+                list(data.scan())
+                for pid in range(data.first_page_id, data.first_page_id + 3):
+                    buffer.fetch(pid)
+            io = metrics.io_for(Phase.MATCH)
+            return (io.random_reads, io.sequential_reads,
+                    io.random_writes, io.sequential_writes)
+
+        assert run(with_injector=False) == run(with_injector=True)
+
+
+class TestDeterminism:
+    def test_same_seed_same_schedule(self):
+        def schedule(seed: int) -> list[str]:
+            plan = FaultPlan(transient_read_rate=0.4,
+                             max_transient_per_page=100)
+            _, _, injector, disk, _ = _faulty_stack(plan, seed=seed)
+            ids = _write_pages(disk, 1)
+            injector.arm()
+            out = []
+            for _ in range(50):
+                try:
+                    disk.read(ids[0])
+                    out.append("ok")
+                except TransientIOError:
+                    out.append("transient")
+            return out
+
+        assert schedule(7) == schedule(7)
+        assert schedule(7) != schedule(8)
+
+
+class TestTransientAndRetry:
+    def test_buffer_retry_recovers_and_counts(self):
+        plan = FaultPlan(transient_read_rate=1.0, max_transient_per_page=2)
+        _, metrics, injector, disk, buffer = _faulty_stack(plan)
+        ids = _write_pages(disk, 1)
+        injector.arm()
+        page = buffer.fetch(ids[0])
+        assert page.payload == "payload-0"
+        faults = metrics.faults_for(Phase.SETUP)
+        assert faults.transient_read_errors == 2
+        assert faults.retries == 2
+        assert faults.pages_recovered == 1
+        assert faults.backoff_seconds > 0
+
+    def test_retry_budget_exhaustion_raises(self):
+        plan = FaultPlan(transient_read_rate=1.0, max_transient_per_page=50)
+        _, _, injector, disk, _ = _faulty_stack(plan)
+        buffer = BufferPool(8, disk, retry=RetryPolicy(max_attempts=3))
+        ids = _write_pages(disk, 1)
+        injector.arm()
+        with pytest.raises(TransientIOError):
+            buffer.fetch(ids[0])
+
+    def test_retry_recharges_io(self):
+        """Each retry re-issues the disk access: retries are not free."""
+        plan = FaultPlan(transient_read_rate=1.0, max_transient_per_page=2)
+        _, metrics, injector, disk, buffer = _faulty_stack(plan)
+        ids = _write_pages(disk, 1)
+        before = metrics.io_for(Phase.SETUP).total_accesses
+        injector.arm()
+        buffer.fetch(ids[0])
+        after = metrics.io_for(Phase.SETUP).total_accesses
+        assert after - before == 3  # 2 failed attempts + 1 success
+
+    def test_datafile_scan_retries_transients(self):
+        # A single-page file keeps the guarantee airtight: at most 2
+        # transients can ever be injected, under the 3-retry budget.
+        plan = FaultPlan(transient_read_rate=1.0, max_transient_per_page=2)
+        config, metrics, injector, disk, _ = _faulty_stack(plan, seed=11)
+        data = DataFile.create(
+            disk, config, random_entries(20, seed=5), name="d"
+        )
+        assert data.num_pages == 1
+        injector.arm()
+        entries = list(data.scan())
+        assert len(entries) == 20
+        assert metrics.fault_totals().transient_read_errors == 2
+        assert metrics.fault_totals().pages_recovered == 1
+
+    def test_retry_read_helper_propagates_corruption(self):
+        calls = []
+
+        def thunk():
+            calls.append(1)
+            raise CorruptPageError("bad")
+
+        with pytest.raises(CorruptPageError):
+            retry_read(thunk, None)
+        assert len(calls) == 1  # corruption is never retried
+
+
+class TestTornWritesAndBitFlips:
+    def test_torn_write_detected_on_read(self):
+        plan = FaultPlan(torn_write_rate=1.0)
+        _, metrics, injector, disk, _ = _faulty_stack(plan)
+        pid = disk.allocate()
+        injector.arm()
+        disk.write(Page(pid, PageKind.DATA, "x"))
+        assert injector.page_is_bad(pid)
+        with pytest.raises(CorruptPageError):
+            disk.read(pid)
+        faults = metrics.fault_totals()
+        assert faults.torn_writes == 1
+
+    def test_clean_rewrite_clears_torn_mark(self):
+        plan = FaultPlan(torn_write_rate=1.0)
+        _, _, injector, disk, _ = _faulty_stack(plan)
+        pid = disk.allocate()
+        injector.arm()
+        disk.write(Page(pid, PageKind.DATA, "x"))
+        assert injector.page_is_bad(pid)
+        injector.arm(FaultPlan())  # faults off, injector still armed
+        disk.write(Page(pid, PageKind.DATA, "y"))
+        assert not injector.page_is_bad(pid)
+        assert disk.read(pid).payload == "y"
+
+    def test_bit_flip_is_persistent(self):
+        plan = FaultPlan(bit_flip_rate=1.0)
+        _, metrics, injector, disk, _ = _faulty_stack(plan)
+        ids = _write_pages(disk, 1)
+        injector.arm()
+        for _ in range(3):
+            with pytest.raises(CorruptPageError):
+                disk.read(ids[0])
+        # One bit flip surfaced; later reads fail on the bad-page mark.
+        assert metrics.fault_totals().bit_flips == 1
+
+
+class TestCrashes:
+    def test_crash_after_ops_fires_once(self):
+        plan = FaultPlan(crash_after_ops=3)
+        _, metrics, injector, disk, _ = _faulty_stack(plan)
+        ids = _write_pages(disk, 10)
+        injector.arm()
+        disk.read(ids[0])
+        disk.read(ids[1])
+        with pytest.raises(SimulatedCrashError):
+            disk.read(ids[2])
+        # One-shot: the crash point has been consumed.
+        for pid in ids[3:]:
+            disk.read(pid)
+        assert metrics.fault_totals().crashes == 1
+
+    def test_recurring_crash_every_ops(self):
+        plan = FaultPlan(crash_every_ops=2)
+        _, metrics, injector, disk, _ = _faulty_stack(plan)
+        ids = _write_pages(disk, 8)
+        injector.arm()
+        crashes = 0
+        for pid in ids:
+            try:
+                disk.read(pid)
+            except SimulatedCrashError:
+                crashes += 1
+        assert crashes == 4
+        assert metrics.fault_totals().crashes == 4
+
+    def test_crash_loses_in_flight_write(self):
+        plan = FaultPlan(crash_after_ops=1)
+        _, _, injector, disk, _ = _faulty_stack(plan)
+        pid = disk.allocate()
+        injector.arm()
+        with pytest.raises(SimulatedCrashError):
+            disk.write(Page(pid, PageKind.DATA, "lost"))
+        assert not disk.exists(pid)
+
+    def test_crash_discard_drops_dirty_pages(self):
+        _, _, _, disk, buffer = _faulty_stack(FaultPlan())
+        ids = _write_pages(disk, 2)
+        buffer.fetch(ids[0])
+        dirty = buffer.new_page(PageKind.TREE_NODE, "never-flushed")
+        buffer.fetch(ids[1], pin=True)
+        buffer.crash_discard()
+        assert len(buffer) == 0
+        assert not disk.exists(dirty.page_id)  # the dirty page died
+        assert disk.exists(ids[0])             # durable pages survive
+        assert buffer.pin_count(ids[1]) == 0   # pins are void

@@ -1,0 +1,176 @@
+"""Chaos harness: every join under randomized fault schedules.
+
+The invariant is the tentpole of the fault-injection layer: under ANY
+fault plan a join either returns the exact oracle answer or raises a
+typed :class:`~repro.errors.ReproError` — it never silently returns a
+wrong result. 70 deterministic schedules x 3 algorithms = 210 runs.
+
+``-k smoke`` selects the fixed-seed smoke subset CI runs on every push.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.config import SystemConfig
+from repro.errors import ReproError
+from repro.geometry import Rect
+from repro.join import naive_join, spatial_join
+from repro.metrics import MetricsCollector, Phase
+from repro.rtree import RTree
+from repro.storage import (
+    BufferPool,
+    DiskSimulator,
+    FaultInjector,
+    FaultPlan,
+    RecoveryPolicy,
+)
+from repro.storage.datafile import DataFile
+
+from .conftest import random_entries
+
+# Small pages + a small pool so modest data sets generate real disk
+# traffic (evictions, write-backs) for the fault plans to bite on, and
+# so T_R is tall enough for the default two seed levels.
+CONFIG = SystemConfig(page_size=256, buffer_pages=32)
+N_R, N_S = 200, 300
+METHODS = ("BFJ", "RTJ", "STJ1-2N")
+RECOVERY = RecoveryPolicy(checkpoint_every=32)
+
+_oracle_cache: set | None = None
+
+
+def _grid_entries(n: int, seed: int) -> list[tuple[Rect, int]]:
+    """Entries on the 1/1024 grid (exact under float32 checkpoints)."""
+    return [
+        (
+            Rect(
+                round(r.xlo * 1024) / 1024, round(r.ylo * 1024) / 1024,
+                round(r.xhi * 1024) / 1024, round(r.yhi * 1024) / 1024,
+            ),
+            oid,
+        )
+        for r, oid in random_entries(n, seed=seed)
+    ]
+
+
+def _datasets():
+    return _grid_entries(N_R, seed=71), _grid_entries(N_S, seed=72)
+
+
+def _oracle() -> set:
+    global _oracle_cache
+    if _oracle_cache is None:
+        d_r, d_s = _datasets()
+        _oracle_cache = naive_join(d_s, d_r).pair_set()
+    return _oracle_cache
+
+
+def _random_plan(seed: int) -> FaultPlan:
+    """One deterministic fault schedule drawn from ``seed``."""
+    rng = random.Random(seed * 2654435761 % 2**32)
+    kind = rng.choice(
+        ["quiet", "transient", "torn", "bitflip",
+         "crash_once", "crash_recurring", "mixed"]
+    )
+    if kind == "quiet":
+        return FaultPlan()
+    if kind == "transient":
+        return FaultPlan(transient_read_rate=rng.uniform(0.02, 0.3))
+    if kind == "torn":
+        return FaultPlan(torn_write_rate=rng.uniform(0.01, 0.2))
+    if kind == "bitflip":
+        return FaultPlan(bit_flip_rate=rng.uniform(0.005, 0.05))
+    if kind == "crash_once":
+        return FaultPlan(crash_after_ops=rng.randrange(40, 400))
+    if kind == "crash_recurring":
+        return FaultPlan(crash_every_ops=rng.randrange(60, 400))
+    return FaultPlan(
+        transient_read_rate=rng.uniform(0.0, 0.1),
+        torn_write_rate=rng.uniform(0.0, 0.05),
+        bit_flip_rate=rng.uniform(0.0, 0.01),
+        crash_after_ops=rng.randrange(100, 500),
+    )
+
+
+def _build_world(injector: FaultInjector | None):
+    """T_R durable on disk, D_S on disk, nothing armed yet."""
+    d_r, d_s = _datasets()
+    metrics = MetricsCollector(CONFIG)
+    disk = DiskSimulator(metrics, injector=injector)
+    buffer = BufferPool(CONFIG.buffer_pages, disk)
+    tree_r = RTree.build(buffer, CONFIG, d_r, name="T_R")
+    data_s = DataFile.create(disk, CONFIG, d_s, name="D_S")
+    buffer.purge()
+    disk.reset_arm()
+    return metrics, buffer, tree_r, data_s
+
+
+def _chaos_run(method: str, seed: int) -> None:
+    plan = _random_plan(seed)
+    injector = FaultInjector(plan, seed=seed)
+    metrics, buffer, tree_r, data_s = _build_world(injector)
+    injector.arm()
+    try:
+        result = spatial_join(
+            data_s, tree_r, buffer, CONFIG, metrics,
+            method=method, recovery=RECOVERY,
+        )
+    except ReproError:
+        return  # a typed failure is an acceptable outcome
+    except Exception as exc:  # noqa: BLE001 — the invariant under test
+        pytest.fail(
+            f"untyped {type(exc).__name__} escaped under plan {plan}: {exc}"
+        )
+    assert result.pair_set() == _oracle(), (
+        f"silently wrong answer under plan {plan}"
+    )
+    if plan.is_quiet:
+        assert metrics.fault_totals().faults_injected == 0
+
+
+class TestChaos:
+    @pytest.mark.parametrize("method", METHODS)
+    @pytest.mark.parametrize("seed", range(70))
+    def test_exact_or_typed_error(self, method: str, seed: int):
+        _chaos_run(method, seed)
+
+
+class TestChaosSmoke:
+    """Fixed-seed subset for CI (`pytest tests/test_chaos.py -k smoke`)."""
+
+    @pytest.mark.parametrize("method", METHODS)
+    @pytest.mark.parametrize("seed", (3, 11, 29))
+    def test_smoke(self, method: str, seed: int):
+        _chaos_run(method, seed)
+
+
+class TestCostTransparency:
+    """A present-but-disarmed injector must not perturb any accounting."""
+
+    @pytest.mark.parametrize("method", METHODS)
+    def test_io_identical_with_and_without_injector(self, method: str):
+        def run(injector):
+            metrics, buffer, tree_r, data_s = _build_world(injector)
+            result = spatial_join(
+                data_s, tree_r, buffer, CONFIG, metrics, method=method
+            )
+            counts = {
+                phase.value: (
+                    io.random_reads, io.sequential_reads,
+                    io.random_writes, io.sequential_writes,
+                )
+                for phase in Phase
+                for io in [metrics.io_for(phase)]
+            }
+            return result.pair_set(), counts, metrics.fault_totals()
+
+        bare_pairs, bare_io, _ = run(None)
+        inj_pairs, inj_io, inj_faults = run(
+            FaultInjector(FaultPlan(transient_read_rate=0.5), seed=1)
+        )  # never armed
+        assert bare_pairs == inj_pairs == _oracle()
+        assert bare_io == inj_io
+        assert inj_faults.is_zero

@@ -61,3 +61,28 @@ class TestStartMeasurement:
 
     def test_repr(self, ws):
         assert "buffer=64p" in repr(ws)
+
+
+class TestFaultCapableWorkspace:
+    """The README's fault-plan recipe: inject at construction, arm later."""
+
+    def test_setup_is_fault_free_until_armed(self):
+        from repro.storage import FaultInjector, FaultPlan
+
+        injector = FaultInjector(
+            FaultPlan(transient_read_rate=1.0), seed=7
+        )
+        ws = Workspace(
+            SystemConfig(page_size=104, buffer_pages=64), injector=injector
+        )
+        assert ws.disk.injector is injector
+        tree = ws.install_rtree(random_entries(100, seed=8))
+        assert ws.metrics.fault_totals().is_zero  # never armed during setup
+        ws.disk.injector.arm()
+        with ws.metrics.phase(Phase.MATCH):
+            # Transients are capped below the retry budget, so the query
+            # still succeeds — it just pays for the retries.
+            tree.window_query(Rect(0, 0, 1, 1))
+        faults = ws.metrics.faults_for(Phase.MATCH)
+        assert faults.transient_read_errors > 0
+        assert faults.pages_recovered > 0
