@@ -1,0 +1,120 @@
+#!/usr/bin/env python
+"""Benchmark the execution engine across all six join pipelines.
+
+A standalone script (not a pytest-benchmark module): it runs every
+algorithm the engine executes — the paper's three plus the oracle, the
+z-order merge join and the two-seeded join — on one small fixed-seed
+clustered workload, and writes ``BENCH_engine.json`` next to the repo
+root. Per algorithm it records the per-phase wall time and raw
+random/sequential I/O pulled from the engine's trace, alongside the
+paper-model :class:`~repro.metrics.CostSummary`. The workload is kept
+small because NAIVE is quadratic; the point is the per-phase *shape*
+of each pipeline, not headline scale.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_engine.py
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import sys
+
+from repro.config import SystemConfig
+from repro.join import spatial_join
+from repro.workload import ClusteredConfig, generate_clustered
+from repro.workspace import Workspace
+
+SEED = 20240131
+N_R = 1_200
+N_S = 500
+CONFIG = SystemConfig(page_size=512, buffer_pages=64)
+
+METHODS = ("BFJ", "RTJ", "STJ1-2N", "NAIVE", "ZJOIN", "2STJ")
+
+
+def run() -> dict:
+    ws = Workspace(CONFIG)
+    d_r = generate_clustered(ClusteredConfig(
+        N_R, cover_quotient=2.0, objects_per_cluster=20, seed=SEED,
+    ))
+    d_s = generate_clustered(ClusteredConfig(
+        N_S, cover_quotient=2.0, objects_per_cluster=20, seed=SEED + 1,
+        oid_start=10**6,
+    ))
+    tree_r = ws.install_rtree(d_r)
+    file_s = ws.install_datafile(d_s)
+    file_r = ws.install_datafile(d_r, name="D_R(raw)")
+
+    out: dict = {
+        "workload": {
+            "seed": SEED,
+            "d_r": N_R,
+            "d_s": N_S,
+            "page_size": CONFIG.page_size,
+            "buffer_pages": CONFIG.buffer_pages,
+        },
+        "algorithms": {},
+    }
+    reference = None
+    for method in METHODS:
+        ws.start_measurement()
+        result = spatial_join(
+            file_s, tree_r, ws.buffer, ws.config, ws.metrics,
+            method=method, data_r=file_r, trace=True,
+        )
+        pair_set = result.pair_set()
+        if reference is None:
+            reference = pair_set
+        elif pair_set != reference:
+            raise SystemExit(f"{method} answer differs from BFJ")
+        summary = ws.metrics.summary()
+        (root,) = result.trace.roots
+        phases = [
+            {
+                "phase": span.name,
+                "accounting": span.phase,
+                "wall_s": round(span.duration_s, 6),
+                "io": {
+                    acc: {
+                        "random_reads": io.random_reads,
+                        "sequential_reads": io.sequential_reads,
+                        "random_writes": io.random_writes,
+                        "sequential_writes": io.sequential_writes,
+                    }
+                    for acc, io in span.io.items()
+                },
+            }
+            for span in root.children
+        ]
+        out["algorithms"][method] = {
+            "pairs": len(pair_set),
+            "wall_s": round(root.duration_s, 6),
+            "construct_read": round(summary.construct_read, 3),
+            "construct_write": round(summary.construct_write, 3),
+            "match_read": round(summary.match_read, 3),
+            "match_write": round(summary.match_write, 3),
+            "total_io": round(summary.total_io, 3),
+            "phases": phases,
+        }
+        print(
+            f"{method:8s} pairs={len(pair_set):5d} "
+            f"total_io={summary.total_io:9.1f} "
+            f"wall={root.duration_s * 1e3:8.1f}ms "
+            f"phases={[p['phase'] for p in phases]}"
+        )
+    return out
+
+
+def main() -> int:
+    out = run()
+    target = pathlib.Path(__file__).resolve().parent.parent / "BENCH_engine.json"
+    target.write_text(json.dumps(out, indent=2, sort_keys=True) + "\n")
+    print(f"wrote {target}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

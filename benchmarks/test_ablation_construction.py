@@ -15,7 +15,7 @@ against T_R to confirm identical answers.
 
 from conftest import record_table  # noqa: F401
 
-from repro.join import match_trees, naive_join
+from repro.join import match_trees
 from repro.metrics import Phase
 from repro.rtree import RTree, bulk_load_str
 from repro.seeded import SeededTree

@@ -10,7 +10,7 @@ core ordering (STJ beats RTJ; construction stays cheap) on every one.
 from conftest import BENCH_SEED, record_table  # noqa: F401
 
 from repro.config import SystemConfig
-from repro.join import naive_join, spatial_join
+from repro.join import spatial_join
 from repro.workload import (
     generate_gaussian_clusters,
     generate_grid_cells,

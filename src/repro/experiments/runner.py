@@ -14,8 +14,9 @@ import time
 from dataclasses import dataclass
 
 from ..errors import ExperimentError
-from ..join import spatial_join
+from ..join import JoinPlan, plan_join, spatial_join
 from ..metrics import CostSummary
+from ..metrics.tracing import JoinTrace
 from ..rtree import RTree
 from ..storage import DataFile
 from ..workload import ClusteredConfig, generate_clustered
@@ -41,6 +42,7 @@ class ExperimentRow:
     summary: CostSummary
     pairs: int
     elapsed_s: float
+    trace: JoinTrace | None = None
 
 
 @dataclass(frozen=True)
@@ -52,6 +54,9 @@ class TableResult:
     rows: tuple[ExperimentRow, ...]
     d_r_size: int
     d_s_size: int
+    #: The cost-model ranking for this table's join-time quantities,
+    #: computed from the same metadata the measured runs saw.
+    plan: JoinPlan | None = None
 
     def row(self, algorithm: str) -> ExperimentRow:
         for r in self.rows:
@@ -138,9 +143,16 @@ def _run_spec(
     spec: ExperimentSpec,
     algorithms: tuple[str, ...],
     verify: bool,
+    trace: bool = False,
 ) -> TableResult:
     ws = env.workspace
     file_s, d_s_size = env.make_ds(spec)
+    plan = plan_join(
+        ws.config,
+        n_s=len(file_s),
+        tree_r_pages=env.tree_r.num_nodes(),
+        tree_r_height=env.tree_r.height,
+    )
     rows: list[ExperimentRow] = []
     reference: set | None = None
     for algorithm in algorithms:
@@ -148,7 +160,7 @@ def _run_spec(
         started = time.perf_counter()
         result = spatial_join(
             file_s, env.tree_r, ws.buffer, ws.config, ws.metrics,
-            method=algorithm,
+            method=algorithm, trace=trace,
         )
         elapsed = time.perf_counter() - started
         if verify:
@@ -167,6 +179,7 @@ def _run_spec(
                 summary=ws.metrics.summary(),
                 pairs=len(result),
                 elapsed_s=elapsed,
+                trace=result.trace,
             )
         )
     return TableResult(
@@ -175,6 +188,7 @@ def _run_spec(
         rows=tuple(rows),
         d_r_size=env.d_r_size,
         d_s_size=d_s_size,
+        plan=plan,
     )
 
 
@@ -185,12 +199,17 @@ def run_table(
     algorithms: tuple[str, ...] = ALGORITHMS,
     verify: bool = True,
     data_side_bound: float = 0.004,
+    trace: bool = False,
 ) -> TableResult:
-    """Regenerate one paper table at the given scale profile."""
+    """Regenerate one paper table at the given scale profile.
+
+    ``trace=True`` attaches a per-row engine trace (``row.trace``);
+    tracing observes the metrics collector without changing any counter.
+    """
     prof = profile if isinstance(profile, ScaleProfile) else get_profile(profile)
     spec = get_experiment(table)
     env = _Environment(spec, prof, seed, data_side_bound)
-    return _run_spec(env, spec, algorithms, verify)
+    return _run_spec(env, spec, algorithms, verify, trace=trace)
 
 
 @dataclass(frozen=True)

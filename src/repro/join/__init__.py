@@ -16,8 +16,15 @@ reference join used as a testing oracle
 (:func:`~repro.join.naive.naive_join`), the two-seeded-tree extension of
 Section 5 (:func:`~repro.join.two_seeded.two_seeded_join`), and the
 :func:`~repro.join.api.spatial_join` facade.
+
+Every algorithm — the paper's three, the oracle, the z-order merge join
+and the two-seeded join — executes as a
+:class:`~repro.join.engine.JoinPipeline` of named phases run by the
+:mod:`~repro.join.engine` executor, which owns cost-phase transitions,
+crash recovery, BFJ degradation and structured tracing.
 """
 
+from .engine import ExecutionContext, JoinPhase, JoinPipeline
 from .matching import match_trees
 from .bfs_matching import match_trees_bfs
 from .naive import naive_join

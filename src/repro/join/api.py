@@ -7,6 +7,16 @@ seed-level filtering on/off. :class:`STJVariant` parses and renders those
 names; :func:`spatial_join` accepts them directly, so experiment code can
 say ``spatial_join(data, tree, ..., method="STJ2-3F")`` and get exactly
 the paper's configuration.
+
+Beyond the paper's three evaluated methods, the facade dispatches the
+whole algorithm shelf through the execution engine: ``"NAIVE"`` (the
+quadratic oracle), ``"ZJOIN"`` (the z-order merge join), and ``"2STJ"``
+(the two-seeded-tree join of Section 5). These need the indexed side's
+raw rectangles, not its R-tree; pass them as ``data_r`` (a
+:class:`~repro.storage.DataFile`) or let the facade lift them out of
+``tree_r`` — an oracle-style extraction that charges no read I/O, since
+no real system would join through an index it is simultaneously
+dismantling.
 """
 
 from __future__ import annotations
@@ -16,14 +26,21 @@ from dataclasses import dataclass
 
 from ..config import SystemConfig
 from ..errors import ExperimentError
-from ..metrics import MetricsCollector
+from ..metrics import MetricsCollector, Phase
+from ..metrics.tracing import JoinTrace
 from ..rtree import RTree
+from ..rtree.split import quadratic_split
 from ..seeded import CopyStrategy, UpdatePolicy
 from ..storage import BufferPool, DataFile, RecoveryPolicy
+from ..zorder.zfile import ZFile
 from .bfj import brute_force_join
+from .engine import ExecutionContext, JoinPhase, JoinPipeline
+from .naive import naive_pipeline
 from .result import JoinResult
 from .rtj import rtree_join
 from .stj import seeded_tree_join
+from .two_seeded import two_seeded_phases
+from .zjoin import zjoin_phases
 
 _VARIANT_RE = re.compile(r"^STJ([12])-(\d+)([FN])$", re.IGNORECASE)
 
@@ -71,6 +88,132 @@ class STJVariant:
         return _FLAVOURS[self.flavour][1]
 
 
+def _make_trace(
+    trace: bool | JoinTrace,
+    metrics: MetricsCollector,
+    buffer: BufferPool | None,
+) -> JoinTrace | None:
+    if isinstance(trace, JoinTrace):
+        return trace
+    return JoinTrace(metrics, buffer) if trace else None
+
+
+def _indexed_side_entries(tree_r: RTree, data_r: DataFile | None):
+    """The raw (rect, oid) entries of the indexed side.
+
+    A supplied ``data_r`` file is scanned through the accounted path;
+    otherwise the entries are lifted out of ``tree_r`` uncharged.
+    """
+    if data_r is not None:
+        return data_r
+    return tree_r.all_objects()
+
+
+def _naive_join(
+    data_s: DataFile,
+    tree_r: RTree,
+    metrics: MetricsCollector,
+    data_r: DataFile | None,
+    trace: JoinTrace | None,
+) -> JoinResult:
+    ctx = ExecutionContext(
+        data_s=data_s, metrics=metrics, tree_r=tree_r, trace=trace,
+        options={"data_r": _indexed_side_entries(tree_r, data_r)},
+    )
+    return naive_pipeline("NAIVE").execute(ctx)
+
+
+def _prepare_zfile_r(ctx: ExecutionContext) -> None:
+    """Derive the indexed side's z-file at join time (charged)."""
+    data_r = ctx.options.get("data_r")
+    entries = (
+        data_r.scan() if data_r is not None else ctx.tree_r.all_objects()
+    )
+    ctx.options["zfile_r"] = ZFile.build(
+        ctx.buffer.disk, ctx.config, entries,
+        max_elements=ctx.options["max_elements"], name="Z_R",
+    )
+
+
+def _zorder_join(
+    data_s: DataFile,
+    tree_r: RTree,
+    buffer: BufferPool,
+    config: SystemConfig,
+    metrics: MetricsCollector,
+    data_r: DataFile | None,
+    trace: JoinTrace | None,
+    max_elements: int = 4,
+) -> JoinResult:
+    # The indexed side has an R-tree but no z-file, so a prepare phase
+    # derives one at join time, charged to construction alongside Z_S.
+    pipeline = JoinPipeline("ZJOIN", [
+        JoinPhase("prepare", _prepare_zfile_r, metrics_phase=Phase.CONSTRUCT),
+        *zjoin_phases(),
+    ])
+    ctx = ExecutionContext(
+        data_s=data_s, metrics=metrics, tree_r=tree_r, buffer=buffer,
+        config=config, trace=trace,
+        options={"data_r": data_r, "max_elements": max_elements},
+    )
+    return pipeline.execute(ctx)
+
+
+def _prepare_data_b(ctx: ExecutionContext) -> None:
+    """Materialise the indexed side as a derived data file if needed.
+
+    Section 5's scenario treats both inputs as index-less, so the write
+    is join-time construction work.
+    """
+    if ctx.options.get("data_b") is None:
+        ctx.options["data_b"] = DataFile.create(
+            ctx.buffer.disk, ctx.config, ctx.tree_r.all_objects(),
+            name="D_R(2stj)",
+        )
+
+
+def _two_seeded_from_facade(
+    data_s: DataFile,
+    tree_r: RTree,
+    buffer: BufferPool,
+    config: SystemConfig,
+    metrics: MetricsCollector,
+    data_r: DataFile | None,
+    trace: JoinTrace | None,
+    *,
+    seeds: str = "grid",
+    grid_cells: int = 16,
+    sample_size: int = 256,
+    map_area=None,
+    copy_strategy: CopyStrategy = CopyStrategy.CENTER_AT_SLOTS,
+    update_policy: UpdatePolicy = UpdatePolicy.ENCLOSE_DATA_ONLY,
+    use_linked_lists: bool | None = None,
+    split=None,
+    sample_seed: int = 0,
+) -> JoinResult:
+    pipeline = JoinPipeline("2STJ", [
+        JoinPhase("prepare", _prepare_data_b, metrics_phase=Phase.CONSTRUCT),
+        *two_seeded_phases(),
+    ])
+    ctx = ExecutionContext(
+        data_s=data_s, metrics=metrics, tree_r=tree_r, buffer=buffer,
+        config=config, trace=trace,
+        options={
+            "data_b": data_r,
+            "seeds": seeds,
+            "grid_cells": grid_cells,
+            "sample_size": sample_size,
+            "map_area": map_area,
+            "copy_strategy": copy_strategy,
+            "update_policy": update_policy,
+            "use_linked_lists": use_linked_lists,
+            "split": split if split is not None else quadratic_split,
+            "sample_seed": sample_seed,
+        },
+    )
+    return pipeline.execute(ctx)
+
+
 def spatial_join(
     data_s: DataFile,
     tree_r: RTree,
@@ -79,13 +222,19 @@ def spatial_join(
     metrics: MetricsCollector,
     method: str = "STJ1-2N",
     recovery: RecoveryPolicy | None = None,
-    **stj_options,
+    trace: bool | JoinTrace = False,
+    data_r: DataFile | None = None,
+    **method_options,
 ) -> JoinResult:
     """Join a derived data set with an R-tree-indexed one.
 
     ``method`` selects the algorithm: ``"BFJ"``, ``"RTJ"``, a paper
-    variant name like ``"STJ1-2F"``, or plain ``"STJ"`` (which uses the
-    keyword arguments of :func:`~repro.join.stj.seeded_tree_join`).
+    variant name like ``"STJ1-2F"``, plain ``"STJ"`` (which uses the
+    keyword arguments of :func:`~repro.join.stj.seeded_tree_join`), or
+    one of the extended methods ``"NAIVE"``, ``"ZJOIN"``, ``"2STJ"``
+    (which accept the keyword arguments of their drivers and use
+    ``data_r`` — or rectangles lifted from ``tree_r`` — as the indexed
+    side's raw data).
 
     ``recovery`` arms fault tolerance for the construction-based
     methods: checkpointed builds, bounded crash recovery, and (for STJ)
@@ -93,17 +242,32 @@ def spatial_join(
     the downgrade is recorded on the returned result. BFJ builds nothing
     and ignores the policy. ``None`` (the default) runs the legacy
     non-recovering paths, byte-identical in cost.
+
+    ``trace=True`` records a :class:`~repro.metrics.tracing.JoinTrace`
+    span tree on the result (``result.trace``); tracing observes the
+    metrics collector without perturbing any counter.
     """
     upper = method.strip().upper()
+    join_trace = _make_trace(trace, metrics, buffer)
     if upper == "BFJ":
-        return brute_force_join(data_s, tree_r, metrics)
+        return brute_force_join(data_s, tree_r, metrics, trace=join_trace)
     if upper == "RTJ":
         return rtree_join(data_s, tree_r, buffer, config, metrics,
-                          recovery=recovery)
+                          recovery=recovery, trace=join_trace)
+    if upper == "NAIVE":
+        return _naive_join(data_s, tree_r, metrics, data_r, join_trace)
+    if upper == "ZJOIN":
+        return _zorder_join(data_s, tree_r, buffer, config, metrics,
+                            data_r, join_trace, **method_options)
+    if upper == "2STJ":
+        return _two_seeded_from_facade(
+            data_s, tree_r, buffer, config, metrics, data_r, join_trace,
+            **method_options,
+        )
     if upper == "STJ":
         return seeded_tree_join(
             data_s, tree_r, buffer, config, metrics,
-            recovery=recovery, **stj_options,
+            recovery=recovery, trace=join_trace, **method_options,
         )
     variant = STJVariant.parse(upper)
     result = seeded_tree_join(
@@ -113,7 +277,8 @@ def spatial_join(
         seed_levels=variant.seed_levels,
         filtering=variant.filtering,
         recovery=recovery,
-        **stj_options,
+        trace=join_trace,
+        **method_options,
     )
     if not result.degraded:
         result.algorithm = variant.name

@@ -5,31 +5,48 @@
 aggregation of answers to these window queries is equivalent to a spatial
 join between ``D_R`` and ``D_S``."
 
-BFJ creates no structures, so it has no construction phase: the
-sequential scan of ``D_S`` and all ``T_R`` node reads are charged to
+BFJ creates no structures, so its pipeline is a single ``match`` phase:
+the sequential scan of ``D_S`` and all ``T_R`` node reads are charged to
 matching. It profits fully from the buffer — when the set of touched
 ``T_R`` nodes fits in the buffer, repeat queries hit memory, which is
 exactly the boundary case in which the paper observed BFJ winning
-(Table 1).
+(Table 1). The same pipeline serves as the engine's degradation target
+when STJ construction fails irrecoverably.
 """
 
 from __future__ import annotations
 
 from ..metrics import MetricsCollector, Phase
+from ..metrics.tracing import JoinTrace
 from ..rtree import RTree
 from ..storage import DataFile
+from .engine import ExecutionContext, JoinPhase, JoinPipeline
 from .result import JoinResult
+
+
+def _match(ctx: ExecutionContext) -> None:
+    pairs = []
+    for rect, oid_s in ctx.data_s.scan():
+        for oid_r in ctx.tree_r.window_query(rect):
+            pairs.append((oid_s, oid_r))
+    ctx.state["pairs"] = pairs
+
+
+def bfj_pipeline() -> JoinPipeline:
+    """One window query per ``D_S`` rectangle, all charged to matching."""
+    return JoinPipeline("BFJ", [
+        JoinPhase("match", _match, metrics_phase=Phase.MATCH),
+    ])
 
 
 def brute_force_join(
     data_s: DataFile,
     tree_r: RTree,
     metrics: MetricsCollector,
+    trace: JoinTrace | None = None,
 ) -> JoinResult:
     """Join ``data_s`` with the data indexed by ``tree_r`` via window queries."""
-    pairs = []
-    with metrics.phase(Phase.MATCH):
-        for rect, oid_s in data_s.scan():
-            for oid_r in tree_r.window_query(rect):
-                pairs.append((oid_s, oid_r))
-    return JoinResult(pairs=pairs, index=None, algorithm="BFJ")
+    ctx = ExecutionContext(
+        data_s=data_s, metrics=metrics, tree_r=tree_r, trace=trace,
+    )
+    return bfj_pipeline().execute(ctx)

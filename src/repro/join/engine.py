@@ -1,0 +1,264 @@
+"""The phase-based join execution engine.
+
+Every join algorithm in this package is expressed as a
+:class:`JoinPipeline` — an ordered list of named :class:`JoinPhase`
+steps (``prepare`` → ``construct`` → ``filter`` → ``match`` →
+``cleanup``; algorithms use the subset they need) — executed by one
+engine that owns everything the drivers used to re-implement by hand:
+
+* :meth:`~repro.metrics.MetricsCollector.phase` transitions, so cost
+  attribution lives in exactly one place;
+* checkpoint/resume crash recovery for construction phases (the loop
+  previously duplicated between ``rtj._build_with_recovery`` and
+  ``stj._construct_with_recovery``);
+* the STJ→BFJ graceful-degradation path under a
+  :class:`~repro.storage.RecoveryPolicy`;
+* structured tracing (:mod:`repro.metrics.tracing`): one root span per
+  join, one child span per phase, attached to the returned
+  :class:`~repro.join.result.JoinResult`.
+
+Drivers declare *what* each phase does through plain callables on an
+:class:`ExecutionContext`; the engine decides *how* phases run. This is
+the seam later work attaches to — per-phase scheduling, batching, and
+parallel matching all wrap the executor, not six drivers.
+"""
+
+from __future__ import annotations
+
+from contextlib import nullcontext
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from ..config import SystemConfig
+from ..errors import RecoveryError, SimulatedCrashError, StorageError
+from ..metrics import MetricsCollector, Phase
+from ..metrics.tracing import JoinTrace
+from ..storage import BufferPool, RecoveryPolicy
+from .result import JoinResult
+
+__all__ = [
+    "ExecutionContext",
+    "JoinPhase",
+    "JoinPipeline",
+    "PHASE_ORDER",
+]
+
+#: Canonical pipeline phase names, in execution order. Algorithms use a
+#: subset; the engine checks declared phases respect this order so every
+#: pipeline reads the same way.
+PHASE_ORDER = ("prepare", "construct", "filter", "match", "cleanup")
+
+
+@dataclass
+class ExecutionContext:
+    """Everything a pipeline run needs, plus scratch state between phases.
+
+    ``options`` holds per-algorithm knobs (split function, variant
+    policies, seed sources); ``state`` is the hand-off area phases write
+    to and read from — conventionally ``state["index"]`` for the
+    join-time structure and ``state["pairs"]`` for the answer set.
+    """
+
+    data_s: Any
+    metrics: MetricsCollector
+    tree_r: Any | None = None
+    buffer: BufferPool | None = None
+    config: SystemConfig | None = None
+    recovery: RecoveryPolicy | None = None
+    trace: JoinTrace | None = None
+    options: dict[str, Any] = field(default_factory=dict)
+    state: dict[str, Any] = field(default_factory=dict)
+
+
+#: A phase body: mutates ``ctx.state``, returns nothing.
+PhaseBody = Callable[[ExecutionContext], None]
+#: A recoverable construction body: ``(ctx, checkpointer, resume)``.
+RecoverableBody = Callable[[ExecutionContext, Any, Any], None]
+
+
+@dataclass
+class JoinPhase:
+    """One named step of a pipeline.
+
+    ``metrics_phase`` selects the accounting phase the engine charges the
+    step's I/O to (``None`` leaves the collector's current phase alone —
+    used by oracle pipelines that account nothing).
+
+    Construction phases may declare the recovery protocol:
+    ``recoverable_body`` runs instead of ``body`` whenever the context
+    carries a :class:`~repro.storage.RecoveryPolicy`, inside the
+    engine's checkpoint/resume loop, with ``make_checkpointer`` /
+    ``load_resume`` supplying the algorithm-specific snapshot machinery.
+    ``fallback_errors`` (with a pipeline-level fallback factory) marks
+    the phase as degradable: a :class:`~repro.errors.StorageError`
+    escaping it downgrades the join instead of failing it.
+    """
+
+    name: str
+    body: PhaseBody
+    metrics_phase: Phase | None = None
+    recoverable_body: RecoverableBody | None = None
+    make_checkpointer: Callable[[ExecutionContext], Any] | None = None
+    load_resume: Callable[[ExecutionContext, Any], Any] | None = None
+    recovery_label: str = "construction"
+    allow_fallback: bool = False
+
+
+class JoinPipeline:
+    """An ordered list of phases plus the executor that runs them.
+
+    Parameters
+    ----------
+    algorithm:
+        Name stamped on the :class:`~repro.join.result.JoinResult`.
+    phases:
+        The steps, in an order consistent with :data:`PHASE_ORDER`.
+    fallback:
+        Factory returning the degradation pipeline (BFJ) used when a
+        phase with ``allow_fallback`` fails irrecoverably under a policy
+        with ``fallback_to_bfj``. ``None`` disables degradation.
+    """
+
+    def __init__(
+        self,
+        algorithm: str,
+        phases: list[JoinPhase],
+        fallback: Callable[[], "JoinPipeline"] | None = None,
+    ):
+        ranks = {name: i for i, name in enumerate(PHASE_ORDER)}
+        last = -1
+        for phase in phases:
+            rank = ranks.get(phase.name)
+            if rank is None:
+                raise ValueError(
+                    f"unknown pipeline phase {phase.name!r}; "
+                    f"expected one of {PHASE_ORDER}"
+                )
+            if rank < last:
+                raise ValueError(
+                    f"phase {phase.name!r} out of order; pipelines follow "
+                    f"{PHASE_ORDER}"
+                )
+            last = rank
+        self.algorithm = algorithm
+        self.phases = phases
+        self.fallback = fallback
+
+    # ----------------------------------------------------------------- #
+    # Execution
+    # ----------------------------------------------------------------- #
+
+    def execute(self, ctx: ExecutionContext) -> JoinResult:
+        """Run the phases and assemble the result.
+
+        The engine — never a driver — enters accounting phases, drives
+        the crash-recovery loop, performs BFJ degradation, and records
+        trace spans.
+        """
+        if ctx.trace is not None and ctx.trace.depth == 0:
+            root_cm = ctx.trace.span(self.algorithm, kind="join")
+        elif ctx.trace is not None:
+            # Degradation re-enters execute() under the original root.
+            root_cm = ctx.trace.span(f"join:{self.algorithm}", kind="join")
+        else:
+            root_cm = nullcontext()
+        with root_cm:
+            for phase in self.phases:
+                try:
+                    self._run_phase(ctx, phase)
+                except StorageError as exc:
+                    if (
+                        phase.allow_fallback
+                        and self.fallback is not None
+                        and ctx.recovery is not None
+                        and ctx.recovery.fallback_to_bfj
+                    ):
+                        return self._degrade(ctx, exc)
+                    raise
+            return self._assemble(ctx)
+
+    def _run_phase(self, ctx: ExecutionContext, phase: JoinPhase) -> None:
+        metrics_cm = (
+            ctx.metrics.phase(phase.metrics_phase)
+            if phase.metrics_phase is not None
+            else nullcontext()
+        )
+        span_cm = (
+            ctx.trace.span(phase.name, kind="phase",
+                           phase=phase.metrics_phase)
+            if ctx.trace is not None
+            else nullcontext()
+        )
+        with span_cm, metrics_cm:
+            if phase.recoverable_body is not None and ctx.recovery is not None:
+                self._run_with_recovery(ctx, phase)
+            else:
+                phase.body(ctx)
+
+    def _run_with_recovery(
+        self, ctx: ExecutionContext, phase: JoinPhase
+    ) -> None:
+        """Checkpointed construction surviving crashes within the budget.
+
+        Each simulated crash discards the buffer (dirty pages die, the
+        disk survives), resets the arm, and resumes the next attempt from
+        the latest durable snapshot — a charged read. Non-crash storage
+        errors (corruption, exhausted retries) propagate to the caller's
+        fallback handling. Exhausting the crash budget raises
+        :class:`~repro.errors.RecoveryError`.
+        """
+        recovery = ctx.recovery
+        assert recovery is not None and phase.recoverable_body is not None
+        checkpointer = (
+            phase.make_checkpointer(ctx)
+            if recovery.checkpoint_every and phase.make_checkpointer
+            else None
+        )
+        resume = None
+        attempts = recovery.max_crash_recoveries + 1
+        for attempt in range(attempts):
+            try:
+                phase.recoverable_body(ctx, checkpointer, resume)
+                return
+            except SimulatedCrashError as crash:
+                assert ctx.buffer is not None
+                ctx.buffer.crash_discard()
+                ctx.buffer.disk.reset_arm()
+                if attempt == attempts - 1:
+                    raise RecoveryError(
+                        f"{phase.recovery_label} crashed {attempts} times; "
+                        f"crash budget "
+                        f"({recovery.max_crash_recoveries} recoveries) "
+                        f"exhausted"
+                    ) from crash
+                ctx.metrics.record_crash_recovery()
+                resume = (
+                    phase.load_resume(ctx, checkpointer)
+                    if checkpointer is not None and phase.load_resume
+                    else None
+                )
+        raise AssertionError("unreachable")  # pragma: no cover
+
+    def _degrade(self, ctx: ExecutionContext, exc: StorageError) -> JoinResult:
+        """Answer by brute force after irrecoverable construction failure.
+
+        The answers stay exact — only the cost profile changes; the
+        downgrade is recorded in the fault counters and on the result.
+        """
+        assert self.fallback is not None
+        with ctx.metrics.phase(Phase.CONSTRUCT):
+            ctx.metrics.record_fallback()
+        result = self.fallback().execute(ctx)
+        result.degraded = True
+        result.fallback_from = self.algorithm
+        result.degraded_reason = f"{type(exc).__name__}: {exc}"
+        return result
+
+    def _assemble(self, ctx: ExecutionContext) -> JoinResult:
+        result = JoinResult(
+            pairs=ctx.state.get("pairs", []),
+            index=ctx.state.get("index"),
+            algorithm=self.algorithm,
+        )
+        result.trace = ctx.trace
+        return result

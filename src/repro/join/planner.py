@@ -27,10 +27,10 @@ from dataclasses import dataclass
 
 from ..config import SystemConfig
 from ..errors import ExperimentError
-from ..geometry import Rect
 from ..metrics import MetricsCollector
+from ..metrics.tracing import JoinTrace
 from ..rtree import RTree
-from ..storage import BufferPool, DataFile
+from ..storage import BufferPool, DataFile, RecoveryPolicy
 from .api import spatial_join
 from .result import JoinResult
 
@@ -40,7 +40,14 @@ _FILL = 0.7
 
 @dataclass(frozen=True)
 class CostEstimate:
-    """Predicted disk cost of one join method, in random-access units."""
+    """Predicted disk cost of one join method, in random-access units.
+
+    The breakdown uses the execution engine's phase vocabulary
+    (:data:`~repro.join.engine.PHASE_ORDER`): ``construct_io`` predicts
+    what the measured run charges to its construct phases, ``match_io``
+    to its match phase, so an estimate lines up column-for-column with a
+    :class:`~repro.metrics.CostSummary` from an actual run.
+    """
 
     method: str
     construct_io: float
@@ -49,6 +56,10 @@ class CostEstimate:
     @property
     def total_io(self) -> float:
         return self.construct_io + self.match_io
+
+    def phase_io(self) -> dict[str, float]:
+        """The estimate keyed by engine phase name."""
+        return {"construct": self.construct_io, "match": self.match_io}
 
 
 @dataclass(frozen=True)
@@ -235,12 +246,15 @@ def plan_spatial_join(
     metrics: MetricsCollector,
     execute: bool = True,
     stj_method: str = "STJ1-2N",
+    recovery: RecoveryPolicy | None = None,
+    trace: bool | JoinTrace = False,
 ) -> tuple[JoinPlan, JoinResult | None]:
     """Plan — and by default run — the cheapest join method.
 
     The planner reads only metadata (object counts, tree size/height),
     costing no I/O; the chosen method then runs through the ordinary
-    :func:`~repro.join.api.spatial_join` facade.
+    :func:`~repro.join.api.spatial_join` facade, with ``recovery`` and
+    ``trace`` passed straight through to the engine.
     """
     plan = plan_join(
         config,
@@ -254,5 +268,5 @@ def plan_spatial_join(
     if method == "STJ":
         method = stj_method
     result = spatial_join(data_s, tree_r, buffer, config, metrics,
-                          method=method)
+                          method=method, recovery=recovery, trace=trace)
     return plan, result

@@ -25,6 +25,11 @@ class JoinResult:
     algorithm that was abandoned and ``degraded_reason`` carries the
     storage error that forced the downgrade. The *answers* of a degraded
     result are still exact — only the cost profile changed.
+
+    ``trace`` is the :class:`~repro.metrics.tracing.JoinTrace` span tree
+    the engine recorded, when tracing was requested (``None`` otherwise):
+    per-phase wall time, I/O deltas, buffer hit rates and fault counters,
+    exportable as Chrome trace-event JSON via ``trace.to_chrome_trace()``.
     """
 
     pairs: list[JoinPair] = field(default_factory=list)
@@ -33,6 +38,7 @@ class JoinResult:
     degraded: bool = False
     fallback_from: str = ""
     degraded_reason: str = ""
+    trace: Any | None = None
 
     def __len__(self) -> int:
         return len(self.pairs)

@@ -7,30 +7,85 @@ R-tree construction at join time. The paper's key negative finding is
 that this construction thrashes the buffer once the tree outgrows it,
 making RTJ lose even to BFJ on total I/O.
 
-Construction is charged to the CONSTRUCT phase, matching to MATCH; the
-buffer is *not* purged in between (warm cache), so dirty ``T_S`` pages
-written back during matching appear in the match ``wr`` column exactly as
-in the paper's tables.
+The pipeline has two phases: ``construct`` (the join-time build) and
+``match`` (tree matching, with the buffer kept warm in between, so dirty
+``T_S`` pages written back during matching appear in the match ``wr``
+column exactly as in the paper's tables).
 
-Under a :class:`~repro.storage.RecoveryPolicy` construction snapshots
+Under a :class:`~repro.storage.RecoveryPolicy` the engine runs the
+construct phase through its checkpoint/resume loop: the build snapshots
 itself periodically (see :mod:`repro.rtree.checkpoint`) and a simulated
 crash resumes from the last snapshot within a bounded crash budget;
 exhausting the budget raises :class:`~repro.errors.RecoveryError`. RTJ
-has no BFJ fallback of its own — callers wanting degradation use STJ,
-whose seeded construction is the paper's subject. With ``recovery=None``
-(the default) the legacy path runs, byte-identical in cost.
+declares no BFJ fallback of its own — callers wanting degradation use
+STJ, whose seeded construction is the paper's subject. With
+``recovery=None`` (the default) the legacy path runs, byte-identical in
+cost.
 """
 
 from __future__ import annotations
 
+from typing import Any
+
 from ..config import SystemConfig
-from ..errors import RecoveryError, SimulatedCrashError
 from ..metrics import MetricsCollector, Phase
+from ..metrics.tracing import JoinTrace
 from ..rtree import RTree, RTreeCheckpointer, build_with_checkpoints
 from ..rtree.split import SplitFunction, quadratic_split
 from ..storage import BufferPool, DataFile, RecoveryPolicy
+from .engine import ExecutionContext, JoinPhase, JoinPipeline
 from .matching import match_trees
 from .result import JoinResult
+
+_TREE_NAME = "T_S(rtj)"
+
+
+def _construct(ctx: ExecutionContext) -> None:
+    ctx.state["index"] = RTree.build(
+        ctx.buffer, ctx.config, ctx.data_s.scan(), metrics=ctx.metrics,
+        split=ctx.options["split"], name=_TREE_NAME,
+    )
+
+
+def _construct_recoverable(
+    ctx: ExecutionContext, checkpointer: Any, resume: Any
+) -> None:
+    ctx.state["index"] = build_with_checkpoints(
+        ctx.buffer, ctx.config, ctx.data_s.scan(), ctx.metrics,
+        checkpointer=checkpointer, resume=resume,
+        split=ctx.options["split"], name=_TREE_NAME,
+    )
+
+
+def _make_checkpointer(ctx: ExecutionContext) -> RTreeCheckpointer:
+    assert ctx.buffer is not None and ctx.recovery is not None
+    return RTreeCheckpointer(
+        ctx.buffer.disk, ctx.config, ctx.recovery.checkpoint_every
+    )
+
+
+def _load_resume(ctx: ExecutionContext, checkpointer: Any) -> Any:
+    return checkpointer.load_latest(ctx.buffer, ctx.metrics, name=_TREE_NAME)
+
+
+def _match(ctx: ExecutionContext) -> None:
+    ctx.state["pairs"] = match_trees(
+        ctx.state["index"], ctx.tree_r, ctx.metrics
+    )
+
+
+def rtj_pipeline() -> JoinPipeline:
+    """Join-time R-tree build, then TM matching."""
+    return JoinPipeline("RTJ", [
+        JoinPhase(
+            "construct", _construct, metrics_phase=Phase.CONSTRUCT,
+            recoverable_body=_construct_recoverable,
+            make_checkpointer=_make_checkpointer,
+            load_resume=_load_resume,
+            recovery_label="join-time R-tree construction",
+        ),
+        JoinPhase("match", _match, metrics_phase=Phase.MATCH),
+    ])
 
 
 def rtree_join(
@@ -41,64 +96,12 @@ def rtree_join(
     metrics: MetricsCollector,
     split: SplitFunction = quadratic_split,
     recovery: RecoveryPolicy | None = None,
+    trace: JoinTrace | None = None,
 ) -> JoinResult:
     """Build an R-tree for ``data_s`` and TM-match it against ``tree_r``."""
-    with metrics.phase(Phase.CONSTRUCT):
-        if recovery is None:
-            tree_s = RTree.build(
-                buffer, config, data_s.scan(), metrics=metrics, split=split,
-                name="T_S(rtj)",
-            )
-        else:
-            tree_s = _build_with_recovery(
-                data_s, buffer, config, metrics, split, recovery
-            )
-    with metrics.phase(Phase.MATCH):
-        pairs = match_trees(tree_s, tree_r, metrics)
-    return JoinResult(pairs=pairs, index=tree_s, algorithm="RTJ")
-
-
-def _build_with_recovery(
-    data_s: DataFile,
-    buffer: BufferPool,
-    config: SystemConfig,
-    metrics: MetricsCollector,
-    split: SplitFunction,
-    recovery: RecoveryPolicy,
-) -> RTree:
-    """Checkpointed build surviving crashes within the crash budget.
-
-    Each crash discards the buffer, reloads the latest durable snapshot
-    (a charged sequential read), and re-scans the input — skipping the
-    prefix the snapshot already absorbed. Non-crash storage errors
-    (corruption, exhausted retries) propagate untouched.
-    """
-    checkpointer = (
-        RTreeCheckpointer(buffer.disk, config, recovery.checkpoint_every)
-        if recovery.checkpoint_every else None
+    ctx = ExecutionContext(
+        data_s=data_s, metrics=metrics, tree_r=tree_r, buffer=buffer,
+        config=config, recovery=recovery, trace=trace,
+        options={"split": split},
     )
-    resume = None
-    attempts = recovery.max_crash_recoveries + 1
-    for attempt in range(attempts):
-        try:
-            return build_with_checkpoints(
-                buffer, config, data_s.scan(), metrics,
-                checkpointer=checkpointer, resume=resume, split=split,
-                name="T_S(rtj)",
-            )
-        except SimulatedCrashError as crash:
-            buffer.crash_discard()
-            buffer.disk.reset_arm()
-            if attempt == attempts - 1:
-                raise RecoveryError(
-                    f"join-time R-tree construction crashed {attempts} "
-                    f"times; crash budget "
-                    f"({recovery.max_crash_recoveries} recoveries) "
-                    f"exhausted"
-                ) from crash
-            metrics.record_crash_recovery()
-            resume = (
-                checkpointer.load_latest(buffer, metrics, name="T_S(rtj)")
-                if checkpointer is not None else None
-            )
-    raise AssertionError("unreachable")  # pragma: no cover
+    return rtj_pipeline().execute(ctx)

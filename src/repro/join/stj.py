@@ -9,33 +9,86 @@ are exposed; the paper's named variants are::
     STJ1-2N  two seed levels, no filtering
     STJ1-3F  three seed levels, seed-level filtering on
 
-Construction (seeding + growing + clean-up, including all linked-list
-traffic) is charged to the CONSTRUCT phase; matching to MATCH, with the
+The pipeline has two phases: ``construct`` (seeding + growing +
+clean-up, including all linked-list traffic) and ``match``, with the
 buffer kept warm in between, as in the paper's protocol.
 
-Under a :class:`~repro.storage.RecoveryPolicy` construction becomes
-fault-tolerant: the growing phase takes durable checkpoints (see
-:mod:`repro.seeded.recovery`), a simulated crash discards the buffer and
-resumes from the last salvage within a bounded crash budget, and if
-construction still fails with a storage error the join degrades to BFJ
-against the pre-computed ``T_R`` — the answers stay exact, only the cost
-profile changes, and the downgrade is recorded on the result and in the
-fault counters. With ``recovery=None`` (the default) the legacy
-non-recovering path runs, byte-identical in cost.
+Under a :class:`~repro.storage.RecoveryPolicy` the engine runs the
+construct phase through its checkpoint/resume loop: the growing phase
+takes durable checkpoints (see :mod:`repro.seeded.recovery`), a
+simulated crash discards the buffer and resumes from the last salvage
+within a bounded crash budget — each attempt re-seeds a fresh tree,
+which is deterministic, so the salvage record's slot indices line up —
+and if construction still fails with a storage error the engine degrades
+the join to BFJ against the pre-computed ``T_R``: the answers stay
+exact, only the cost profile changes, and the downgrade is recorded on
+the result and in the fault counters. With ``recovery=None`` (the
+default) the legacy non-recovering path runs, byte-identical in cost.
 """
 
 from __future__ import annotations
 
+from typing import Any
+
 from ..config import SystemConfig
-from ..errors import RecoveryError, SimulatedCrashError, StorageError
 from ..metrics import MetricsCollector, Phase
+from ..metrics.tracing import JoinTrace
 from ..rtree import RTree
 from ..rtree.split import SplitFunction, quadratic_split
 from ..seeded import CopyStrategy, GrowCheckpointer, SeededTree, UpdatePolicy
 from ..storage import BufferPool, DataFile, RecoveryPolicy
-from .bfj import brute_force_join
+from .bfj import bfj_pipeline
+from .engine import ExecutionContext, JoinPhase, JoinPipeline
 from .matching import match_trees
 from .result import JoinResult
+
+
+def _build_tree(ctx: ExecutionContext, checkpointer: Any, salvage: Any) -> None:
+    tree_s = SeededTree(
+        ctx.buffer, ctx.config, ctx.metrics, **ctx.options["tree_kwargs"]
+    )
+    tree_s.seed(ctx.tree_r)
+    tree_s.grow_from(ctx.data_s, checkpointer=checkpointer, resume=salvage)
+    tree_s.cleanup()
+    ctx.state["index"] = tree_s
+
+
+def _construct(ctx: ExecutionContext) -> None:
+    _build_tree(ctx, None, None)
+
+
+def _make_checkpointer(ctx: ExecutionContext) -> GrowCheckpointer:
+    assert ctx.buffer is not None and ctx.recovery is not None
+    return GrowCheckpointer(ctx.buffer.disk, ctx.recovery.checkpoint_every)
+
+
+def _load_resume(ctx: ExecutionContext, checkpointer: Any) -> Any:
+    return checkpointer.load_latest()
+
+
+def _match(ctx: ExecutionContext) -> None:
+    ctx.state["pairs"] = match_trees(
+        ctx.state["index"], ctx.tree_r, ctx.metrics
+    )
+
+
+def stj_pipeline() -> JoinPipeline:
+    """Seeded-tree build then TM matching, degradable to BFJ."""
+    return JoinPipeline(
+        "STJ",
+        [
+            JoinPhase(
+                "construct", _construct, metrics_phase=Phase.CONSTRUCT,
+                recoverable_body=_build_tree,
+                make_checkpointer=_make_checkpointer,
+                load_resume=_load_resume,
+                recovery_label="seeded-tree construction",
+                allow_fallback=True,
+            ),
+            JoinPhase("match", _match, metrics_phase=Phase.MATCH),
+        ],
+        fallback=bfj_pipeline,
+    )
 
 
 def seeded_tree_join(
@@ -52,6 +105,7 @@ def seeded_tree_join(
     use_linked_lists: bool | None = None,
     split: SplitFunction = quadratic_split,
     recovery: RecoveryPolicy | None = None,
+    trace: JoinTrace | None = None,
 ) -> JoinResult:
     """Join ``data_s`` with ``tree_r`` by constructing a seeded tree.
 
@@ -66,85 +120,9 @@ def seeded_tree_join(
         split=split,
         name="T_S(stj)",
     )
-
-    if recovery is None:
-        tree_s = SeededTree(buffer, config, metrics, **tree_kwargs)
-        with metrics.phase(Phase.CONSTRUCT):
-            tree_s.seed(tree_r)
-            tree_s.grow_from(data_s)
-            tree_s.cleanup()
-        with metrics.phase(Phase.MATCH):
-            pairs = match_trees(tree_s, tree_r, metrics)
-        return JoinResult(pairs=pairs, index=tree_s, algorithm="STJ")
-
-    try:
-        with metrics.phase(Phase.CONSTRUCT):
-            tree_s = _construct_with_recovery(
-                data_s, tree_r, buffer, config, metrics, recovery,
-                tree_kwargs,
-            )
-    except StorageError as exc:
-        if not recovery.fallback_to_bfj:
-            raise
-        # Irrecoverable construction failure: degrade to brute force
-        # against the pre-computed T_R. Answers stay exact.
-        with metrics.phase(Phase.CONSTRUCT):
-            metrics.record_fallback()
-        result = brute_force_join(data_s, tree_r, metrics)
-        result.degraded = True
-        result.fallback_from = "STJ"
-        result.degraded_reason = f"{type(exc).__name__}: {exc}"
-        return result
-
-    with metrics.phase(Phase.MATCH):
-        pairs = match_trees(tree_s, tree_r, metrics)
-    return JoinResult(pairs=pairs, index=tree_s, algorithm="STJ")
-
-
-def _construct_with_recovery(
-    data_s: DataFile,
-    tree_r: RTree,
-    buffer: BufferPool,
-    config: SystemConfig,
-    metrics: MetricsCollector,
-    recovery: RecoveryPolicy,
-    tree_kwargs: dict,
-) -> SeededTree:
-    """Build the seeded tree, surviving crashes within the crash budget.
-
-    Each crash discards the buffer (dirty pages die, disk survives) and
-    the next attempt re-seeds a fresh tree — seeding is deterministic, so
-    the salvage record's slot indices line up — then resumes growing from
-    the last durable checkpoint. Storage errors other than crashes
-    (corruption, exhausted retries) propagate to the caller's fallback.
-    """
-    checkpointer = (
-        GrowCheckpointer(buffer.disk, recovery.checkpoint_every)
-        if recovery.checkpoint_every else None
+    ctx = ExecutionContext(
+        data_s=data_s, metrics=metrics, tree_r=tree_r, buffer=buffer,
+        config=config, recovery=recovery, trace=trace,
+        options={"tree_kwargs": tree_kwargs},
     )
-    salvage = None
-    attempts = recovery.max_crash_recoveries + 1
-    for attempt in range(attempts):
-        tree_s = SeededTree(buffer, config, metrics, **tree_kwargs)
-        try:
-            tree_s.seed(tree_r)
-            tree_s.grow_from(data_s, checkpointer=checkpointer,
-                             resume=salvage)
-            tree_s.cleanup()
-            return tree_s
-        except SimulatedCrashError as crash:
-            buffer.crash_discard()
-            buffer.disk.reset_arm()
-            if attempt == attempts - 1:
-                raise RecoveryError(
-                    f"seeded-tree construction crashed {attempts} times; "
-                    f"crash budget "
-                    f"({recovery.max_crash_recoveries} recoveries) "
-                    f"exhausted"
-                ) from crash
-            metrics.record_crash_recovery()
-            salvage = (
-                checkpointer.load_latest()
-                if checkpointer is not None else None
-            )
-    raise AssertionError("unreachable")  # pragma: no cover
+    return stj_pipeline().execute(ctx)

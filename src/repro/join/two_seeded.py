@@ -8,7 +8,11 @@ spatially sampled data. Matching two trees seeded identically preserves
 the alignment benefit of seeding: corresponding regions of the two data
 sets land under corresponding slots.
 
-Both variants proposed in the paper's discussion are implemented:
+As a pipeline: ``prepare`` derives the common seed boxes, ``construct``
+builds both seeded trees over them, ``match`` runs TM; prepare and
+construct are both charged to the construction accounting phase (the
+sampling scans are join-time work). Both variants proposed in the
+paper's discussion are implemented:
 
 * ``seeds="grid"`` — slot boxes uniformly tile the map area;
 * ``seeds="sample"`` — slot boxes are a spatial sample of both inputs
@@ -23,9 +27,11 @@ from ..config import SystemConfig
 from ..errors import ExperimentError
 from ..geometry import Rect
 from ..metrics import MetricsCollector, Phase
+from ..metrics.tracing import JoinTrace
 from ..rtree.split import SplitFunction, quadratic_split
 from ..seeded import CopyStrategy, SeededTree, UpdatePolicy
 from ..storage import BufferPool, DataFile
+from .engine import ExecutionContext, JoinPhase, JoinPipeline
 from .matching import match_trees
 from .result import JoinResult
 
@@ -74,6 +80,64 @@ def sample_boxes(
     return reservoir
 
 
+def _prepare(ctx: ExecutionContext) -> None:
+    opts = ctx.options
+    if opts["seeds"] == "grid":
+        area = opts["map_area"] or Rect(0.0, 0.0, 1.0, 1.0)
+        boxes = grid_boxes(area, opts["grid_cells"])
+    elif opts["seeds"] == "sample":
+        boxes = sample_boxes(
+            ctx.data_s, opts["data_b"], opts["sample_size"],
+            opts["sample_seed"],
+        )
+    else:
+        raise ExperimentError(
+            f"unknown seed source {opts['seeds']!r}; use 'grid' or 'sample'"
+        )
+    ctx.state["seed_boxes"] = boxes
+
+
+def _construct(ctx: ExecutionContext) -> None:
+    opts = ctx.options
+    boxes = ctx.state["seed_boxes"]
+    trees = []
+    for data, label in ((ctx.data_s, "T_A"), (opts["data_b"], "T_B")):
+        tree = SeededTree(
+            ctx.buffer, ctx.config, ctx.metrics,
+            copy_strategy=opts["copy_strategy"],
+            update_policy=opts["update_policy"],
+            use_linked_lists=opts["use_linked_lists"],
+            split=opts["split"],
+            name=label,
+        )
+        tree.seed_from_boxes(boxes)
+        tree.grow_from(data)
+        tree.cleanup()
+        trees.append(tree)
+    ctx.state["tree_a"], ctx.state["tree_b"] = trees
+    ctx.state["index"] = trees[0]
+
+
+def _match(ctx: ExecutionContext) -> None:
+    ctx.state["pairs"] = match_trees(
+        ctx.state["tree_a"], ctx.state["tree_b"], ctx.metrics
+    )
+
+
+def two_seeded_phases() -> list[JoinPhase]:
+    """The prepare/construct/match steps, for composition by the facade."""
+    return [
+        JoinPhase("prepare", _prepare, metrics_phase=Phase.CONSTRUCT),
+        JoinPhase("construct", _construct, metrics_phase=Phase.CONSTRUCT),
+        JoinPhase("match", _match, metrics_phase=Phase.MATCH),
+    ]
+
+
+def two_seeded_pipeline(algorithm: str = "2STJ") -> JoinPipeline:
+    """Common seed levels, two seeded trees, one TM match."""
+    return JoinPipeline(algorithm, two_seeded_phases())
+
+
 def two_seeded_join(
     data_a: DataFile,
     data_b: DataFile,
@@ -90,39 +154,26 @@ def two_seeded_join(
     use_linked_lists: bool | None = None,
     split: SplitFunction = quadratic_split,
     sample_seed: int = 0,
+    trace: JoinTrace | None = None,
 ) -> JoinResult:
     """Join two index-less data sets via a common artificial seeding.
 
     Returns pairs oriented (``data_a`` oid, ``data_b`` oid).
     """
-    with metrics.phase(Phase.CONSTRUCT):
-        if seeds == "grid":
-            area = map_area or Rect(0.0, 0.0, 1.0, 1.0)
-            boxes = grid_boxes(area, grid_cells)
-        elif seeds == "sample":
-            boxes = sample_boxes(data_a, data_b, sample_size, sample_seed)
-        else:
-            raise ExperimentError(
-                f"unknown seed source {seeds!r}; use 'grid' or 'sample'"
-            )
-
-        trees = []
-        for data, label in ((data_a, "T_A"), (data_b, "T_B")):
-            tree = SeededTree(
-                buffer, config, metrics,
-                copy_strategy=copy_strategy,
-                update_policy=update_policy,
-                use_linked_lists=use_linked_lists,
-                split=split,
-                name=label,
-            )
-            tree.seed_from_boxes(boxes)
-            tree.grow_from(data)
-            tree.cleanup()
-            trees.append(tree)
-    tree_a, tree_b = trees
-
-    with metrics.phase(Phase.MATCH):
-        pairs = match_trees(tree_a, tree_b, metrics)
-    result = JoinResult(pairs=pairs, index=tree_a, algorithm="2STJ")
-    return result
+    ctx = ExecutionContext(
+        data_s=data_a, metrics=metrics, buffer=buffer, config=config,
+        trace=trace,
+        options={
+            "data_b": data_b,
+            "seeds": seeds,
+            "grid_cells": grid_cells,
+            "sample_size": sample_size,
+            "map_area": map_area,
+            "copy_strategy": copy_strategy,
+            "update_policy": update_policy,
+            "use_linked_lists": use_linked_lists,
+            "split": split,
+            "sample_seed": sample_seed,
+        },
+    )
+    return two_seeded_pipeline().execute(ctx)

@@ -16,11 +16,11 @@ Candidates are then filtered with an exact bounding-box test (element
 covers are conservative) and deduplicated (one object pair can meet
 through several element pairs).
 
-Cost profile: the derived side's z-file is built at join time (one data
-scan plus one sequential write — charged to construction), the indexed
-side's pre-exists like ``T_R``; matching is one sequential sweep of each
-z-file. The price is *redundancy*: each object appears once per element,
-inflating the files ([Ore89]); the trade-off is benchmarked in
+As a pipeline: ``construct`` builds the derived side's z-file (one data
+scan plus one sequential write), ``match`` is one sequential sweep of
+each z-file; the indexed side's z-file pre-exists like ``T_R``. The
+price is *redundancy*: each object appears once per element, inflating
+the files ([Ore89]); the trade-off is benchmarked in
 ``benchmarks/test_ablation_zorder.py``.
 """
 
@@ -28,10 +28,98 @@ from __future__ import annotations
 
 from ..config import SystemConfig
 from ..metrics import MetricsCollector, Phase
+from ..metrics.tracing import JoinTrace
 from ..storage import DataFile
 from ..storage.disk import DiskSimulator
 from ..zorder.zfile import ZEntry, ZFile
+from .engine import ExecutionContext, JoinPhase, JoinPipeline
 from .result import JoinResult
+
+
+def merge_z_streams(
+    zfile_s: ZFile, zfile_r: ZFile, metrics: MetricsCollector
+) -> list[tuple[int, int]]:
+    """Stack-based merge of two z-files into deduplicated object pairs."""
+    pairs: set[tuple[int, int]] = set()
+    cpu = metrics.cpu
+    stack_s: list[ZEntry] = []
+    stack_r: list[ZEntry] = []
+    iter_s = zfile_s.scan()
+    iter_r = zfile_r.scan()
+    head_s = next(iter_s, None)
+    head_r = next(iter_r, None)
+
+    def pop_expired(stack: list[ZEntry], zlo: int) -> None:
+        while stack and stack[-1].element.zhi < zlo:
+            stack.pop()
+
+    while head_s is not None or head_r is not None:
+        # Merge order must put containing intervals before contained
+        # ones on zlo ties (ancestors first), or a parent arriving
+        # second would never see its already-consumed child.
+        if head_r is None:
+            take_s = True
+        elif head_s is None:
+            take_s = False
+        else:
+            key_s = (head_s.element.zlo, -head_s.element.zhi)
+            key_r = (head_r.element.zlo, -head_r.element.zhi)
+            take_s = key_s <= key_r
+        entry = head_s if take_s else head_r
+        assert entry is not None
+        zlo = entry.element.zlo
+        pop_expired(stack_s, zlo)
+        pop_expired(stack_r, zlo)
+
+        own_stack, other_stack = (
+            (stack_s, stack_r) if take_s else (stack_r, stack_s)
+        )
+        # Every element still on the other stack contains this one:
+        # candidate pairs, subject to the exact rectangle test.
+        for other in other_stack:
+            cpu.xy_tests += 1           # interval containment check
+            cpu.bbox_tests += 1         # exact bbox test
+            if entry.mbr.intersects(other.mbr):
+                if take_s:
+                    pairs.add((entry.oid, other.oid))
+                else:
+                    pairs.add((other.oid, entry.oid))
+        own_stack.append(entry)
+
+        if take_s:
+            head_s = next(iter_s, None)
+        else:
+            head_r = next(iter_r, None)
+
+    return sorted(pairs)
+
+
+def _construct(ctx: ExecutionContext) -> None:
+    zfile_r: ZFile = ctx.options["zfile_r"]
+    disk: DiskSimulator = zfile_r.disk
+    ctx.state["index"] = ZFile.build(
+        disk, ctx.config, ctx.data_s.scan(),
+        max_elements=ctx.options["max_elements"], name="Z_S",
+    )
+
+
+def _match(ctx: ExecutionContext) -> None:
+    ctx.state["pairs"] = merge_z_streams(
+        ctx.state["index"], ctx.options["zfile_r"], ctx.metrics
+    )
+
+
+def zjoin_phases() -> list[JoinPhase]:
+    """The construct/match steps, for composition by the facade."""
+    return [
+        JoinPhase("construct", _construct, metrics_phase=Phase.CONSTRUCT),
+        JoinPhase("match", _match, metrics_phase=Phase.MATCH),
+    ]
+
+
+def zjoin_pipeline(algorithm: str = "ZOJ") -> JoinPipeline:
+    """Build the derived side's z-file, then merge the two streams."""
+    return JoinPipeline(algorithm, zjoin_phases())
 
 
 def z_order_join(
@@ -40,6 +128,7 @@ def z_order_join(
     config: SystemConfig,
     metrics: MetricsCollector,
     max_elements: int = 4,
+    trace: JoinTrace | None = None,
 ) -> JoinResult:
     """Join a derived data set with a z-indexed one by stream merging.
 
@@ -47,63 +136,8 @@ def z_order_join(
     the SETUP phase with :meth:`ZFile.build`); the z-file for ``data_s``
     is constructed at join time.
     """
-    disk: DiskSimulator = zfile_r.disk
-    with metrics.phase(Phase.CONSTRUCT):
-        zfile_s = ZFile.build(
-            disk, config, data_s.scan(), max_elements=max_elements,
-            name="Z_S",
-        )
-
-    pairs: set[tuple[int, int]] = set()
-    cpu = metrics.cpu
-    with metrics.phase(Phase.MATCH):
-        stack_s: list[ZEntry] = []
-        stack_r: list[ZEntry] = []
-        iter_s = zfile_s.scan()
-        iter_r = zfile_r.scan()
-        head_s = next(iter_s, None)
-        head_r = next(iter_r, None)
-
-        def pop_expired(stack: list[ZEntry], zlo: int) -> None:
-            while stack and stack[-1].element.zhi < zlo:
-                stack.pop()
-
-        while head_s is not None or head_r is not None:
-            # Merge order must put containing intervals before contained
-            # ones on zlo ties (ancestors first), or a parent arriving
-            # second would never see its already-consumed child.
-            if head_r is None:
-                take_s = True
-            elif head_s is None:
-                take_s = False
-            else:
-                key_s = (head_s.element.zlo, -head_s.element.zhi)
-                key_r = (head_r.element.zlo, -head_r.element.zhi)
-                take_s = key_s <= key_r
-            entry = head_s if take_s else head_r
-            assert entry is not None
-            zlo = entry.element.zlo
-            pop_expired(stack_s, zlo)
-            pop_expired(stack_r, zlo)
-
-            own_stack, other_stack = (
-                (stack_s, stack_r) if take_s else (stack_r, stack_s)
-            )
-            # Every element still on the other stack contains this one:
-            # candidate pairs, subject to the exact rectangle test.
-            for other in other_stack:
-                cpu.xy_tests += 1           # interval containment check
-                cpu.bbox_tests += 1         # exact bbox test
-                if entry.mbr.intersects(other.mbr):
-                    if take_s:
-                        pairs.add((entry.oid, other.oid))
-                    else:
-                        pairs.add((other.oid, entry.oid))
-            own_stack.append(entry)
-
-            if take_s:
-                head_s = next(iter_s, None)
-            else:
-                head_r = next(iter_r, None)
-
-    return JoinResult(pairs=sorted(pairs), index=zfile_s, algorithm="ZOJ")
+    ctx = ExecutionContext(
+        data_s=data_s, metrics=metrics, config=config, trace=trace,
+        options={"zfile_r": zfile_r, "max_elements": max_elements},
+    )
+    return zjoin_pipeline().execute(ctx)

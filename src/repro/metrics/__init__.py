@@ -10,7 +10,8 @@ can be laid out exactly like the paper's Tables 1-8.
 
 from .counters import CpuCounters, FaultCounters, IoCounters
 from .collector import CostSummary, MetricsCollector, Phase
-from .report import format_cost_table, format_fault_table
+from .report import format_cost_table, format_fault_table, format_trace_tree
+from .tracing import JoinTrace, TraceSpan, validate_chrome_trace
 
 __all__ = [
     "CpuCounters",
@@ -19,6 +20,10 @@ __all__ = [
     "CostSummary",
     "MetricsCollector",
     "Phase",
+    "JoinTrace",
+    "TraceSpan",
+    "validate_chrome_trace",
     "format_cost_table",
     "format_fault_table",
+    "format_trace_tree",
 ]

@@ -15,7 +15,8 @@ from __future__ import annotations
 from typing import Iterable, Sequence
 
 from .collector import CostSummary, MetricsCollector, Phase
-from .counters import FaultCounters
+from .counters import FaultCounters, IoCounters
+from .tracing import JoinTrace, TraceSpan
 
 _HEADERS = (
     "Alg.",
@@ -122,6 +123,66 @@ def format_fault_table(
     lines.append(fmt(cells[0]))
     lines.append("  ".join("-" * w for w in widths))
     lines.extend(fmt(row) for row in cells[1:])
+    return "\n".join(lines)
+
+
+def _span_cells(span: TraceSpan) -> str:
+    """The per-span statistics column of the trace tree."""
+    io = IoCounters()
+    for delta in span.io.values():
+        io = io.merged_with(delta)
+    parts = [f"{span.duration_s * 1e3:8.2f}ms"]
+    parts.append(
+        f"rd={io.random_reads}+{io.sequential_reads}s "
+        f"wr={io.random_writes}+{io.sequential_writes}s"
+    )
+    if span.bbox_tests or span.xy_tests:
+        parts.append(
+            f"bbox={span.bbox_tests / 1000.0:.1f}K "
+            f"xy={span.xy_tests / 1000.0:.1f}K"
+        )
+    if span.buffer_hits or span.buffer_misses:
+        parts.append(f"hit={span.buffer_hit_rate:.1%}")
+    if span.faults_injected or span.crash_recoveries or span.fallbacks:
+        parts.append(
+            f"faults={span.faults_injected} "
+            f"resumes={span.crash_recoveries} "
+            f"fallbacks={span.fallbacks}"
+        )
+    if span.error:
+        parts.append(f"ERROR[{span.error}]")
+    return "  ".join(parts)
+
+
+def format_trace_tree(trace: JoinTrace, title: str | None = None) -> str:
+    """Render a :class:`~repro.metrics.tracing.JoinTrace` as a terminal
+    tree.
+
+    One line per span — the join root, then each pipeline phase —
+    showing wall time, raw random/sequential access deltas, CPU test
+    deltas, the buffer hit rate over the span, and any fault/recovery
+    activity. The companion machine-readable export is
+    :meth:`~repro.metrics.tracing.JoinTrace.to_chrome_trace`.
+    """
+    lines: list[str] = []
+    if title:
+        lines.append(title)
+
+    def walk(span: TraceSpan, prefix: str, is_last: bool, depth: int) -> None:
+        if depth == 0:
+            head = span.name
+            child_prefix = ""
+        else:
+            connector = "└─ " if is_last else "├─ "
+            head = prefix + connector + span.name
+            child_prefix = prefix + ("   " if is_last else "│  ")
+        label = f" [{span.phase}]" if span.phase else ""
+        lines.append(f"{head}{label}  {_span_cells(span)}")
+        for i, child in enumerate(span.children):
+            walk(child, child_prefix, i == len(span.children) - 1, depth + 1)
+
+    for root in trace.roots:
+        walk(root, "", True, 0)
     return "\n".join(lines)
 
 

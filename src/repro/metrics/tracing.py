@@ -1,0 +1,410 @@
+"""Structured execution tracing for the join engine.
+
+The :class:`~repro.join.engine.JoinPipeline` executor opens one *root*
+span per join and one child span per pipeline phase. Each span snapshots
+the shared :class:`~repro.metrics.MetricsCollector` (and optionally the
+buffer pool) on entry and exit, so a closed span carries the *deltas* its
+work produced:
+
+* wall-clock duration,
+* random/sequential read/write counts, split by accounting phase,
+* CPU overlap-test counts,
+* fault/recovery counter movement,
+* buffer hits/misses and the hit rate over the span.
+
+A finished :class:`JoinTrace` hangs off the
+:class:`~repro.join.result.JoinResult` and exports two ways: a terminal
+tree (:func:`repro.metrics.report.format_trace_tree`) and Chrome
+trace-event JSON (:meth:`JoinTrace.to_chrome_trace`) loadable in
+``chrome://tracing`` / Perfetto. The event schema is documented in
+DESIGN.md §7 and enforced by :func:`validate_chrome_trace`.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterator
+
+from .collector import MetricsCollector, Phase
+from .counters import IoCounters
+
+__all__ = [
+    "TraceSpan",
+    "JoinTrace",
+    "validate_chrome_trace",
+    "TraceSchemaError",
+]
+
+
+class TraceSchemaError(ValueError):
+    """A chrome-trace event list does not match the documented schema."""
+
+
+def _io_dict(io: IoCounters) -> dict[str, int]:
+    return {
+        "random_reads": io.random_reads,
+        "sequential_reads": io.sequential_reads,
+        "random_writes": io.random_writes,
+        "sequential_writes": io.sequential_writes,
+    }
+
+
+def _io_sub(after: IoCounters, before: IoCounters) -> IoCounters:
+    return IoCounters(
+        after.random_reads - before.random_reads,
+        after.sequential_reads - before.sequential_reads,
+        after.random_writes - before.random_writes,
+        after.sequential_writes - before.sequential_writes,
+    )
+
+
+@dataclass
+class _Snapshot:
+    """Counter state at one instant, for delta computation."""
+
+    io: dict[Phase, IoCounters]
+    bbox_tests: int
+    xy_tests: int
+    faults_injected: int
+    retries: int
+    crash_recoveries: int
+    checkpoints: int
+    fallbacks: int
+    buffer_hits: int
+    buffer_misses: int
+
+    @classmethod
+    def capture(
+        cls, metrics: MetricsCollector, buffer: Any | None
+    ) -> "_Snapshot":
+        faults = metrics.fault_totals()
+        stats = getattr(buffer, "stats", None)
+        return cls(
+            io={
+                p: IoCounters(
+                    metrics.io_for(p).random_reads,
+                    metrics.io_for(p).sequential_reads,
+                    metrics.io_for(p).random_writes,
+                    metrics.io_for(p).sequential_writes,
+                )
+                for p in Phase
+            },
+            bbox_tests=metrics.cpu.bbox_tests,
+            xy_tests=metrics.cpu.xy_tests,
+            faults_injected=faults.faults_injected,
+            retries=faults.retries,
+            crash_recoveries=faults.crash_recoveries,
+            checkpoints=faults.checkpoints,
+            fallbacks=faults.fallbacks,
+            buffer_hits=stats.hits if stats is not None else 0,
+            buffer_misses=stats.misses if stats is not None else 0,
+        )
+
+
+@dataclass
+class TraceSpan:
+    """One node of the span tree: a join, a phase, or a custom region."""
+
+    name: str
+    kind: str  # "join" | "phase"
+    phase: str | None = None  # accounting phase the work was charged to
+    start_s: float = 0.0
+    end_s: float | None = None
+    children: list["TraceSpan"] = field(default_factory=list)
+    error: str | None = None
+    #: Raw access-count deltas keyed by accounting-phase name.
+    io: dict[str, IoCounters] = field(default_factory=dict)
+    bbox_tests: int = 0
+    xy_tests: int = 0
+    faults_injected: int = 0
+    retries: int = 0
+    crash_recoveries: int = 0
+    checkpoints: int = 0
+    fallbacks: int = 0
+    buffer_hits: int = 0
+    buffer_misses: int = 0
+
+    @property
+    def duration_s(self) -> float:
+        if self.end_s is None:
+            return 0.0
+        return self.end_s - self.start_s
+
+    @property
+    def buffer_hit_rate(self) -> float:
+        total = self.buffer_hits + self.buffer_misses
+        return self.buffer_hits / total if total else 0.0
+
+    def total_accesses(self) -> int:
+        return sum(io.total_accesses for io in self.io.values())
+
+    def walk(self) -> Iterator["TraceSpan"]:
+        yield self
+        for child in self.children:
+            yield from child.walk()
+
+
+class JoinTrace:
+    """A span tree recorded while a join pipeline executes.
+
+    Created by :func:`~repro.join.api.spatial_join` (``trace=True``) or
+    handed to a pipeline directly via the execution context. The trace
+    observes the collector; it never mutates any counter, so a traced
+    run's :class:`~repro.metrics.CostSummary` is identical to an
+    untraced one.
+    """
+
+    def __init__(
+        self,
+        metrics: MetricsCollector,
+        buffer: Any | None = None,
+        clock: Callable[[], float] = time.perf_counter,
+    ):
+        self.metrics = metrics
+        self.buffer = buffer
+        self.clock = clock
+        self.roots: list[TraceSpan] = []
+        self._stack: list[TraceSpan] = []
+        self._origin = clock()
+
+    # ----------------------------------------------------------------- #
+    # Recording
+    # ----------------------------------------------------------------- #
+
+    def span(
+        self, name: str, kind: str = "phase", phase: Phase | None = None
+    ) -> "_SpanContext":
+        """Open a child span of whatever span is currently active."""
+        return _SpanContext(self, name, kind, phase)
+
+    def _open(self, span: TraceSpan) -> None:
+        if self._stack:
+            self._stack[-1].children.append(span)
+        else:
+            self.roots.append(span)
+        self._stack.append(span)
+
+    def _close(self, span: TraceSpan) -> None:
+        assert self._stack and self._stack[-1] is span
+        self._stack.pop()
+
+    @property
+    def depth(self) -> int:
+        """Number of currently open spans (0 when idle)."""
+        return len(self._stack)
+
+    # ----------------------------------------------------------------- #
+    # Aggregation
+    # ----------------------------------------------------------------- #
+
+    def spans(self) -> Iterator[TraceSpan]:
+        for root in self.roots:
+            yield from root.walk()
+
+    def phase_io_totals(self) -> dict[str, IoCounters]:
+        """Access counts summed over *phase* spans, keyed by accounting
+        phase.
+
+        Phase spans partition the pipeline's work (the root join span
+        subsumes them and is excluded), so these totals equal the
+        collector's per-phase counters for everything that ran inside
+        the pipeline — the property the trace tests pin down against
+        :meth:`~repro.metrics.MetricsCollector.summary`.
+        """
+        totals: dict[str, IoCounters] = {}
+        for span in self.spans():
+            if span.kind != "phase":
+                continue
+            for phase_name, io in span.io.items():
+                merged = totals.setdefault(phase_name, IoCounters())
+                totals[phase_name] = merged.merged_with(io)
+        return totals
+
+    # ----------------------------------------------------------------- #
+    # Export
+    # ----------------------------------------------------------------- #
+
+    def to_chrome_trace(self) -> list[dict]:
+        """The span tree as Chrome trace-event JSON (``ph: "X"`` events).
+
+        Timestamps are microseconds relative to the trace origin; the
+        schema is documented in DESIGN.md §7 and checked by
+        :func:`validate_chrome_trace`.
+        """
+        events: list[dict] = []
+
+        def emit(span: TraceSpan, depth: int) -> None:
+            events.append({
+                "name": span.name,
+                "cat": span.kind,
+                "ph": "X",
+                "ts": round((span.start_s - self._origin) * 1e6, 3),
+                "dur": round(span.duration_s * 1e6, 3),
+                "pid": 1,
+                "tid": depth + 1,
+                "args": {
+                    "phase": span.phase,
+                    "error": span.error,
+                    "io": {
+                        phase_name: _io_dict(io)
+                        for phase_name, io in span.io.items()
+                    },
+                    "cpu": {
+                        "bbox_tests": span.bbox_tests,
+                        "xy_tests": span.xy_tests,
+                    },
+                    "faults": {
+                        "injected": span.faults_injected,
+                        "retries": span.retries,
+                        "crash_recoveries": span.crash_recoveries,
+                        "checkpoints": span.checkpoints,
+                        "fallbacks": span.fallbacks,
+                    },
+                    "buffer": {
+                        "hits": span.buffer_hits,
+                        "misses": span.buffer_misses,
+                        "hit_rate": round(span.buffer_hit_rate, 6),
+                    },
+                },
+            })
+            for child in span.children:
+                emit(child, depth + 1)
+
+        for root in self.roots:
+            emit(root, 0)
+        return events
+
+    def to_json(self, indent: int | None = None) -> str:
+        return json.dumps(self.to_chrome_trace(), indent=indent)
+
+
+class _SpanContext:
+    """Context manager recording one span's snapshots and lifetime."""
+
+    def __init__(
+        self,
+        trace: JoinTrace,
+        name: str,
+        kind: str,
+        phase: Phase | None,
+    ):
+        self.trace = trace
+        self.span = TraceSpan(
+            name=name, kind=kind, phase=phase.value if phase else None
+        )
+        self._before: _Snapshot | None = None
+
+    def __enter__(self) -> TraceSpan:
+        self.span.start_s = self.trace.clock()
+        self._before = _Snapshot.capture(self.trace.metrics, self.trace.buffer)
+        self.trace._open(self.span)
+        return self.span
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        span, before = self.span, self._before
+        assert before is not None
+        after = _Snapshot.capture(self.trace.metrics, self.trace.buffer)
+        span.end_s = self.trace.clock()
+        span.io = {
+            p.value: delta
+            for p in Phase
+            if (delta := _io_sub(after.io[p], before.io[p])).total_accesses
+        }
+        span.bbox_tests = after.bbox_tests - before.bbox_tests
+        span.xy_tests = after.xy_tests - before.xy_tests
+        span.faults_injected = after.faults_injected - before.faults_injected
+        span.retries = after.retries - before.retries
+        span.crash_recoveries = (
+            after.crash_recoveries - before.crash_recoveries
+        )
+        span.checkpoints = after.checkpoints - before.checkpoints
+        span.fallbacks = after.fallbacks - before.fallbacks
+        span.buffer_hits = after.buffer_hits - before.buffer_hits
+        span.buffer_misses = after.buffer_misses - before.buffer_misses
+        if exc is not None:
+            span.error = f"{type(exc).__name__}: {exc}"
+        self.trace._close(span)
+        return None
+
+
+# --------------------------------------------------------------------- #
+# Schema validation
+# --------------------------------------------------------------------- #
+
+_EVENT_KEYS = {"name", "cat", "ph", "ts", "dur", "pid", "tid", "args"}
+_ARG_KEYS = {"phase", "error", "io", "cpu", "faults", "buffer"}
+_IO_KEYS = {
+    "random_reads", "sequential_reads", "random_writes", "sequential_writes",
+}
+_CPU_KEYS = {"bbox_tests", "xy_tests"}
+_FAULT_KEYS = {
+    "injected", "retries", "crash_recoveries", "checkpoints", "fallbacks",
+}
+_BUFFER_KEYS = {"hits", "misses", "hit_rate"}
+_PHASE_NAMES = {p.value for p in Phase}
+
+
+def validate_chrome_trace(events: list[dict]) -> None:
+    """Check a chrome-trace event list against the DESIGN.md §7 schema.
+
+    Raises :class:`TraceSchemaError` naming the first offending event and
+    field; returns ``None`` when every event conforms.
+    """
+    if not isinstance(events, list):
+        raise TraceSchemaError("trace must be a list of event objects")
+    for i, event in enumerate(events):
+        where = f"event[{i}]"
+        if not isinstance(event, dict):
+            raise TraceSchemaError(f"{where}: not an object")
+        if set(event) != _EVENT_KEYS:
+            raise TraceSchemaError(
+                f"{where}: keys {sorted(event)} != {sorted(_EVENT_KEYS)}"
+            )
+        if not isinstance(event["name"], str) or not event["name"]:
+            raise TraceSchemaError(f"{where}: name must be a non-empty string")
+        if event["cat"] not in ("join", "phase"):
+            raise TraceSchemaError(f"{where}: cat {event['cat']!r} invalid")
+        if event["ph"] != "X":
+            raise TraceSchemaError(f"{where}: ph must be 'X' (complete event)")
+        for num_key in ("ts", "dur"):
+            value = event[num_key]
+            if not isinstance(value, (int, float)) or value < 0:
+                raise TraceSchemaError(
+                    f"{where}: {num_key} must be a non-negative number"
+                )
+        for int_key in ("pid", "tid"):
+            if not isinstance(event[int_key], int) or event[int_key] < 1:
+                raise TraceSchemaError(
+                    f"{where}: {int_key} must be a positive integer"
+                )
+        args = event["args"]
+        if not isinstance(args, dict) or set(args) != _ARG_KEYS:
+            raise TraceSchemaError(f"{where}: args keys mismatch")
+        if args["phase"] is not None and args["phase"] not in _PHASE_NAMES:
+            raise TraceSchemaError(
+                f"{where}: unknown accounting phase {args['phase']!r}"
+            )
+        if args["error"] is not None and not isinstance(args["error"], str):
+            raise TraceSchemaError(f"{where}: error must be null or string")
+        for phase_name, io in args["io"].items():
+            if phase_name not in _PHASE_NAMES:
+                raise TraceSchemaError(
+                    f"{where}: io keyed by unknown phase {phase_name!r}"
+                )
+            if set(io) != _IO_KEYS:
+                raise TraceSchemaError(f"{where}: io[{phase_name}] keys")
+            if any(not isinstance(v, int) or v < 0 for v in io.values()):
+                raise TraceSchemaError(
+                    f"{where}: io[{phase_name}] counts must be >= 0"
+                )
+        if set(args["cpu"]) != _CPU_KEYS:
+            raise TraceSchemaError(f"{where}: cpu keys mismatch")
+        if set(args["faults"]) != _FAULT_KEYS:
+            raise TraceSchemaError(f"{where}: faults keys mismatch")
+        if set(args["buffer"]) != _BUFFER_KEYS:
+            raise TraceSchemaError(f"{where}: buffer keys mismatch")
+        rate = args["buffer"]["hit_rate"]
+        if not isinstance(rate, (int, float)) or not 0.0 <= rate <= 1.0:
+            raise TraceSchemaError(f"{where}: hit_rate out of [0, 1]")

@@ -22,7 +22,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any
 
-from ..geometry import Rect, sweep_pairs
+from ..geometry import sweep_pairs
 from .node import Node, node_mbr
 
 

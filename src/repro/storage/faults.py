@@ -33,7 +33,7 @@ crash recovery for the join algorithms.
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from enum import Enum
 from typing import TYPE_CHECKING, Callable, TypeVar
 

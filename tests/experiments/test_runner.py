@@ -10,7 +10,6 @@ import pytest
 from repro.config import SystemConfig
 from repro.errors import ExperimentError
 from repro.experiments import (
-    ExperimentRow,
     TableResult,
     regenerate_figure,
     regenerate_table,

@@ -17,7 +17,6 @@ from repro.join import (
     seeded_tree_join,
     spatial_join,
 )
-from repro.metrics import Phase
 from repro.seeded import CopyStrategy, SeededTree, UpdatePolicy
 from repro.workspace import Workspace
 

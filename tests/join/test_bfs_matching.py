@@ -1,6 +1,5 @@
 """Tests for the breadth-first matcher and its spilling queue."""
 
-import pytest
 from hypothesis import given, settings
 
 from repro.config import SystemConfig

@@ -1,0 +1,237 @@
+"""Tests for the phase-based join execution engine."""
+
+import pytest
+
+from repro.config import SystemConfig
+from repro.errors import CorruptPageError, RecoveryError, SimulatedCrashError
+from repro.join.engine import (
+    PHASE_ORDER,
+    ExecutionContext,
+    JoinPhase,
+    JoinPipeline,
+)
+from repro.metrics import JoinTrace, MetricsCollector, Phase
+from repro.storage import BufferPool, DiskSimulator, RecoveryPolicy
+
+
+def _ctx(**kwargs) -> ExecutionContext:
+    config = kwargs.pop("config", SystemConfig(page_size=512, buffer_pages=8))
+    metrics = kwargs.pop("metrics", None) or MetricsCollector(config)
+    if "buffer" not in kwargs:
+        kwargs["buffer"] = BufferPool(
+            config.buffer_pages, DiskSimulator(metrics)
+        )
+    return ExecutionContext(
+        data_s=None, metrics=metrics, config=config, **kwargs
+    )
+
+
+class TestPipelineShape:
+    def test_unknown_phase_name_rejected(self):
+        with pytest.raises(ValueError, match="unknown pipeline phase"):
+            JoinPipeline("X", [JoinPhase("mystery", lambda ctx: None)])
+
+    def test_out_of_order_phases_rejected(self):
+        with pytest.raises(ValueError, match="out of order"):
+            JoinPipeline("X", [
+                JoinPhase("match", lambda ctx: None),
+                JoinPhase("construct", lambda ctx: None),
+            ])
+
+    def test_repeated_phase_name_allowed(self):
+        """Composed pipelines may run two construct steps back to back."""
+        JoinPipeline("X", [
+            JoinPhase("construct", lambda ctx: None),
+            JoinPhase("construct", lambda ctx: None),
+            JoinPhase("match", lambda ctx: None),
+        ])
+
+    def test_canonical_order_is_complete(self):
+        JoinPipeline("X", [
+            JoinPhase(name, lambda ctx: None) for name in PHASE_ORDER
+        ])
+
+
+class TestExecution:
+    def test_phases_run_in_order_and_result_assembled(self):
+        calls = []
+
+        def prepare(ctx):
+            calls.append("prepare")
+            ctx.state["seen"] = 1
+
+        def match(ctx):
+            calls.append("match")
+            assert ctx.state["seen"] == 1
+            ctx.state["pairs"] = [(1, 2)]
+            ctx.state["index"] = "idx"
+
+        pipeline = JoinPipeline("TOY", [
+            JoinPhase("prepare", prepare),
+            JoinPhase("match", match),
+        ])
+        result = pipeline.execute(_ctx())
+        assert calls == ["prepare", "match"]
+        assert result.algorithm == "TOY"
+        assert result.pairs == [(1, 2)]
+        assert result.index == "idx"
+        assert not result.degraded
+
+    def test_engine_owns_accounting_phase_transitions(self):
+        observed = []
+
+        def body(ctx):
+            observed.append(ctx.metrics.current_phase)
+
+        pipeline = JoinPipeline("TOY", [
+            JoinPhase("construct", body, metrics_phase=Phase.CONSTRUCT),
+            JoinPhase("match", body, metrics_phase=Phase.MATCH),
+        ])
+        ctx = _ctx()
+        pipeline.execute(ctx)
+        assert observed == [Phase.CONSTRUCT, Phase.MATCH]
+        assert ctx.metrics.current_phase == Phase.SETUP
+
+    def test_none_metrics_phase_leaves_collector_alone(self):
+        observed = []
+        pipeline = JoinPipeline("TOY", [
+            JoinPhase("match", lambda c: observed.append(
+                c.metrics.current_phase)),
+        ])
+        pipeline.execute(_ctx())
+        assert observed == [Phase.SETUP]
+
+    def test_trace_attached_with_root_and_phase_spans(self):
+        pipeline = JoinPipeline("TOY", [
+            JoinPhase("construct", lambda c: None,
+                      metrics_phase=Phase.CONSTRUCT),
+            JoinPhase("match", lambda c: c.state.update(pairs=[]),
+                      metrics_phase=Phase.MATCH),
+        ])
+        metrics = MetricsCollector(SystemConfig(512, 8))
+        ctx = _ctx(metrics=metrics, trace=JoinTrace(metrics))
+        result = pipeline.execute(ctx)
+        assert result.trace is ctx.trace
+        (root,) = result.trace.roots
+        assert root.name == "TOY" and root.kind == "join"
+        assert [c.name for c in root.children] == ["construct", "match"]
+        assert [c.kind for c in root.children] == ["phase", "phase"]
+
+
+class TestRecoveryLoop:
+    def _crashing_phase(self, crashes: int, log: list) -> JoinPhase:
+        state = {"left": crashes}
+
+        def recoverable(ctx, checkpointer, resume):
+            log.append(("attempt", resume))
+            if state["left"] > 0:
+                state["left"] -= 1
+                raise SimulatedCrashError("boom")
+            ctx.state["pairs"] = []
+
+        return JoinPhase(
+            "construct", lambda ctx: pytest.fail("body must not run"),
+            metrics_phase=Phase.CONSTRUCT,
+            recoverable_body=recoverable,
+            make_checkpointer=lambda ctx: "ckpt",
+            load_resume=lambda ctx, ckpt: f"resume-from-{ckpt}",
+            recovery_label="toy construction",
+        )
+
+    def test_without_policy_plain_body_runs(self):
+        ran = []
+        phase = JoinPhase(
+            "construct", lambda ctx: ran.append("body"),
+            recoverable_body=lambda ctx, c, r: pytest.fail("needs policy"),
+        )
+        JoinPipeline("TOY", [phase]).execute(_ctx())
+        assert ran == ["body"]
+
+    def test_crashes_within_budget_are_recovered(self):
+        log = []
+        phase = self._crashing_phase(crashes=2, log=log)
+        ctx = _ctx(recovery=RecoveryPolicy(max_crash_recoveries=2))
+        result = JoinPipeline("TOY", [phase]).execute(ctx)
+        assert not result.degraded
+        assert log == [
+            ("attempt", None),
+            ("attempt", "resume-from-ckpt"),
+            ("attempt", "resume-from-ckpt"),
+        ]
+        assert ctx.metrics.fault_totals().crash_recoveries == 2
+
+    def test_exhausted_budget_raises_recovery_error_with_label(self):
+        log = []
+        phase = self._crashing_phase(crashes=99, log=log)
+        ctx = _ctx(recovery=RecoveryPolicy(
+            max_crash_recoveries=1, fallback_to_bfj=False,
+        ))
+        with pytest.raises(RecoveryError, match="toy construction crashed"):
+            JoinPipeline("TOY", [phase]).execute(ctx)
+        assert len(log) == 2
+
+    def test_checkpointing_disabled_skips_checkpointer(self):
+        log = []
+        phase = self._crashing_phase(crashes=1, log=log)
+        ctx = _ctx(recovery=RecoveryPolicy(
+            checkpoint_every=0, max_crash_recoveries=2,
+        ))
+        JoinPipeline("TOY", [phase]).execute(ctx)
+        # No checkpointer, so the retry restarts from scratch.
+        assert log == [("attempt", None), ("attempt", None)]
+
+
+class TestDegradation:
+    def _failing_pipeline(self, allow_fallback: bool) -> JoinPipeline:
+        def explode(ctx):
+            raise CorruptPageError("page 7 corrupt")
+
+        def fallback() -> JoinPipeline:
+            return JoinPipeline("FB", [
+                JoinPhase("match", lambda c: c.state.update(pairs=[(0, 0)]),
+                          metrics_phase=Phase.MATCH),
+            ])
+
+        return JoinPipeline("MAIN", [
+            JoinPhase("construct", explode, metrics_phase=Phase.CONSTRUCT,
+                      allow_fallback=allow_fallback),
+            JoinPhase("match", lambda c: pytest.fail("must not match"),
+                      metrics_phase=Phase.MATCH),
+        ], fallback=fallback)
+
+    def test_degrades_only_under_armed_policy(self):
+        ctx = _ctx(recovery=RecoveryPolicy(fallback_to_bfj=True))
+        result = self._failing_pipeline(allow_fallback=True).execute(ctx)
+        assert result.degraded
+        assert result.fallback_from == "MAIN"
+        assert result.algorithm == "FB"
+        assert "CorruptPageError" in result.degraded_reason
+        assert result.pairs == [(0, 0)]
+        assert ctx.metrics.fault_totals().fallbacks == 1
+
+    def test_no_policy_means_no_degradation(self):
+        with pytest.raises(CorruptPageError):
+            self._failing_pipeline(allow_fallback=True).execute(_ctx())
+
+    def test_policy_with_fallback_disabled_propagates(self):
+        ctx = _ctx(recovery=RecoveryPolicy(fallback_to_bfj=False))
+        with pytest.raises(CorruptPageError):
+            self._failing_pipeline(allow_fallback=True).execute(ctx)
+
+    def test_phase_without_allow_fallback_propagates(self):
+        ctx = _ctx(recovery=RecoveryPolicy(fallback_to_bfj=True))
+        with pytest.raises(CorruptPageError):
+            self._failing_pipeline(allow_fallback=False).execute(ctx)
+
+    def test_degraded_run_traces_both_pipelines(self):
+        metrics = MetricsCollector(SystemConfig(512, 8))
+        ctx = _ctx(metrics=metrics, trace=JoinTrace(metrics),
+                   recovery=RecoveryPolicy(fallback_to_bfj=True))
+        result = self._failing_pipeline(allow_fallback=True).execute(ctx)
+        (root,) = result.trace.roots
+        names = [s.name for s in root.walk()]
+        assert root.name == "MAIN"
+        assert "join:FB" in names  # degradation re-enters under the root
+        construct = root.children[0]
+        assert construct.error is not None
+        assert "CorruptPageError" in construct.error

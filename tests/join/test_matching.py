@@ -1,6 +1,5 @@
 """Tests for the TM tree-matching algorithm."""
 
-import pytest
 from hypothesis import given, settings
 
 from repro.config import SystemConfig

@@ -1,7 +1,5 @@
 """Tests for STR bulk loading."""
 
-import pytest
-
 from repro.config import SystemConfig
 from repro.geometry import Rect
 from repro.metrics import MetricsCollector

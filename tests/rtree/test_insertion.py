@@ -8,7 +8,7 @@ import pytest
 
 from repro.config import SystemConfig
 from repro.errors import TreeError
-from repro.geometry import Rect, union_all
+from repro.geometry import Rect
 from repro.metrics import MetricsCollector
 from repro.rtree.insertion import choose_subtree, insert_into_subtree, new_node
 from repro.rtree.node import Entry, Node, node_mbr

@@ -1,7 +1,5 @@
 """Tests for tree-quality statistics."""
 
-import pytest
-
 from repro.config import SystemConfig
 from repro.geometry import Rect
 from repro.metrics import MetricsCollector

@@ -1,6 +1,5 @@
 """Tests for seed-level filtering (Section 3.2)."""
 
-import pytest
 from hypothesis import given, settings
 
 from repro.config import SystemConfig

@@ -1,7 +1,5 @@
 """Tests for sequential data files."""
 
-import pytest
-
 from repro.config import SystemConfig
 from repro.metrics import MetricsCollector, Phase
 from repro.storage import DataFile, DiskSimulator

@@ -22,7 +22,7 @@ from repro.errors import BufferFullError
 from repro.geometry import Rect
 from repro.metrics import MetricsCollector
 from repro.rtree import RTree
-from repro.storage import BufferPool, DiskSimulator, Page, PageKind
+from repro.storage import BufferPool, DiskSimulator, PageKind
 
 
 class BufferPoolMachine(RuleBasedStateMachine):

@@ -3,7 +3,6 @@
 import pytest
 
 from repro.errors import WorkloadError
-from repro.geometry import Rect
 from repro.workload import (
     generate_gaussian_clusters,
     generate_grid_cells,
