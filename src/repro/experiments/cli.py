@@ -68,6 +68,14 @@ def build_parser() -> argparse.ArgumentParser:
     p_table = sub.add_parser("table", help="regenerate one table (1-8)")
     p_table.add_argument("number", type=int, choices=sorted(EXPERIMENTS))
     _add_common(p_table)
+    p_table.add_argument(
+        "--workers", type=int, default=None, metavar="N",
+        help="run each row partition-parallel across N worker processes",
+    )
+    p_table.add_argument(
+        "--partitions", type=int, default=None, metavar="K",
+        help="grid tiles for parallel runs (default: 4x workers)",
+    )
 
     p_figure = sub.add_parser("figure", help="regenerate one figure (6-11)")
     p_figure.add_argument("number", type=int, choices=sorted(FIGURES))
@@ -144,7 +152,9 @@ def main(argv: list[str] | None = None) -> int:
             from .runner import run_table
 
             result = run_table(args.number, profile=args.profile,
-                               seed=args.seed, verify=not args.no_verify)
+                               seed=args.seed, verify=not args.no_verify,
+                               workers=args.workers,
+                               partitions=args.partitions)
             print(json.dumps(result.to_dict(), indent=2))
             return 0
         print(
@@ -152,6 +162,8 @@ def main(argv: list[str] | None = None) -> int:
                 args.number, profile=args.profile, seed=args.seed,
                 compare_paper=not args.no_paper,
                 verify=not args.no_verify,
+                workers=args.workers,
+                partitions=args.partitions,
             )
         )
         return 0

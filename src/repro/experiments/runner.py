@@ -144,6 +144,8 @@ def _run_spec(
     algorithms: tuple[str, ...],
     verify: bool,
     trace: bool = False,
+    workers: int | None = None,
+    partitions: int | None = None,
 ) -> TableResult:
     ws = env.workspace
     file_s, d_s_size = env.make_ds(spec)
@@ -161,6 +163,7 @@ def _run_spec(
         result = spatial_join(
             file_s, env.tree_r, ws.buffer, ws.config, ws.metrics,
             method=algorithm, trace=trace,
+            workers=workers, partitions=partitions,
         )
         elapsed = time.perf_counter() - started
         if verify:
@@ -200,16 +203,26 @@ def run_table(
     verify: bool = True,
     data_side_bound: float = 0.004,
     trace: bool = False,
+    workers: int | None = None,
+    partitions: int | None = None,
 ) -> TableResult:
     """Regenerate one paper table at the given scale profile.
 
     ``trace=True`` attaches a per-row engine trace (``row.trace``);
     tracing observes the metrics collector without changing any counter.
+
+    ``workers``/``partitions`` route every row through the
+    partition-parallel executor (see ``spatial_join``). The merged
+    accounting reconciles exactly with the per-partition counters, but
+    the cost *profile* is partitioned execution's, not the paper's
+    single-pipeline protocol — use for parallel experiments, not for
+    comparing against the paper's printed tables.
     """
     prof = profile if isinstance(profile, ScaleProfile) else get_profile(profile)
     spec = get_experiment(table)
     env = _Environment(spec, prof, seed, data_side_bound)
-    return _run_spec(env, spec, algorithms, verify, trace=trace)
+    return _run_spec(env, spec, algorithms, verify, trace=trace,
+                     workers=workers, partitions=partitions)
 
 
 @dataclass(frozen=True)

@@ -34,7 +34,7 @@ from ..seeded import CopyStrategy, UpdatePolicy
 from ..storage import BufferPool, DataFile, RecoveryPolicy
 from ..zorder.zfile import ZFile
 from .bfj import brute_force_join
-from .engine import ExecutionContext, JoinPhase, JoinPipeline
+from .engine import ExecutionContext, JoinPhase, JoinPipeline, ParallelExecutor
 from .naive import naive_pipeline
 from .result import JoinResult
 from .rtj import rtree_join
@@ -214,6 +214,63 @@ def _two_seeded_from_facade(
     return pipeline.execute(ctx)
 
 
+def _canonical_parallel_method(
+    upper: str, method_options: dict
+) -> tuple[str, dict, str]:
+    """Resolve a facade method name for per-partition dispatch.
+
+    Returns ``(worker_method, worker_options, display_label)``. Paper
+    variant names are lowered to plain STJ keyword arguments so workers
+    can clamp seed levels against their (smaller) shard trees while the
+    merged result still reports the variant name.
+    """
+    if upper in ("BFJ", "RTJ", "NAIVE", "ZJOIN", "2STJ"):
+        return upper, dict(method_options), upper
+    if upper == "STJ":
+        return "STJ", dict(method_options), "STJ"
+    variant = STJVariant.parse(upper)
+    options = dict(
+        copy_strategy=variant.copy_strategy,
+        update_policy=variant.update_policy,
+        seed_levels=variant.seed_levels,
+        filtering=variant.filtering,
+    )
+    options.update(method_options)
+    return "STJ", options, variant.name
+
+
+def _parallel_join(
+    upper: str,
+    data_s: DataFile,
+    tree_r: RTree,
+    config: SystemConfig,
+    metrics: MetricsCollector,
+    workers: int,
+    partitions: int | None,
+    parallel_seed: int,
+    recovery: RecoveryPolicy | None,
+    join_trace: JoinTrace | None,
+    data_r: DataFile | None,
+    method_options: dict,
+) -> JoinResult:
+    worker_method, options, label = _canonical_parallel_method(
+        upper, method_options
+    )
+    executor = ParallelExecutor(
+        method=worker_method,
+        config=config,
+        workers=workers,
+        partitions=partitions,
+        options=options,
+        seed=parallel_seed,
+        label=label,
+    )
+    return executor.run(
+        data_s, tree_r, metrics, trace=join_trace, data_r=data_r,
+        recovery=recovery,
+    )
+
+
 def spatial_join(
     data_s: DataFile,
     tree_r: RTree,
@@ -224,6 +281,9 @@ def spatial_join(
     recovery: RecoveryPolicy | None = None,
     trace: bool | JoinTrace = False,
     data_r: DataFile | None = None,
+    workers: int | None = None,
+    partitions: int | None = None,
+    parallel_seed: int = 0,
     **method_options,
 ) -> JoinResult:
     """Join a derived data set with an R-tree-indexed one.
@@ -246,9 +306,27 @@ def spatial_join(
     ``trace=True`` records a :class:`~repro.metrics.tracing.JoinTrace`
     span tree on the result (``result.trace``); tracing observes the
     metrics collector without perturbing any counter.
+
+    ``workers``/``partitions`` switch to partition-parallel execution:
+    the universe is tiled into ``partitions`` grid cells (default
+    ``4 * workers``), both inputs are split into boundary-replicated
+    shards, and per-tile joins run across a ``workers``-process pool
+    (in-process when ``workers=1``), each in its own seeded disk/buffer
+    substrate. Reference-point dedup makes the merged pair set exactly
+    equal to a sequential run's, and the merged counters are exactly
+    the sum of the per-partition counters (``result.partitions``).
+    Available for every method; ``None`` (the default) is the
+    single-substrate sequential path, byte-identical to before.
+    ``parallel_seed`` feeds the stable per-partition seed derivation.
     """
     upper = method.strip().upper()
     join_trace = _make_trace(trace, metrics, buffer)
+    if workers is not None or partitions is not None:
+        return _parallel_join(
+            upper, data_s, tree_r, config, metrics,
+            workers if workers is not None else 1, partitions,
+            parallel_seed, recovery, join_trace, data_r, method_options,
+        )
     if upper == "BFJ":
         return brute_force_join(data_s, tree_r, metrics, trace=join_trace)
     if upper == "RTJ":

@@ -25,21 +25,33 @@ parallel matching all wrap the executor, not six drivers.
 
 from __future__ import annotations
 
+import multiprocessing
+import time
 from contextlib import nullcontext
 from dataclasses import dataclass, field
 from typing import Any, Callable
 
 from ..config import SystemConfig
-from ..errors import RecoveryError, SimulatedCrashError, StorageError
-from ..metrics import MetricsCollector, Phase
-from ..metrics.tracing import JoinTrace
+from ..errors import ExperimentError, RecoveryError, SimulatedCrashError, StorageError
+from ..geometry import Rect
+from ..metrics import CollectorSnapshot, MetricsCollector, Phase
+from ..metrics.tracing import JoinTrace, TraceSpan, shift_span_times
+from ..partition import (
+    GridPartitioner,
+    PartitionStats,
+    joint_universe,
+    make_shards,
+)
 from ..storage import BufferPool, RecoveryPolicy
+from ..storage.datafile import DataEntry
+from ..workload.seeding import derive_seed
 from .result import JoinResult
 
 __all__ = [
     "ExecutionContext",
     "JoinPhase",
     "JoinPipeline",
+    "ParallelExecutor",
     "PHASE_ORDER",
 ]
 
@@ -262,3 +274,374 @@ class JoinPipeline:
         )
         result.trace = ctx.trace
         return result
+
+
+# --------------------------------------------------------------------- #
+# Partition-parallel execution
+# --------------------------------------------------------------------- #
+
+
+@dataclass(frozen=True)
+class _PartitionTask:
+    """Everything one worker needs to run one tile's join.
+
+    Plain data only — it crosses a process boundary. The worker builds
+    its own :class:`~repro.workspace.Workspace` from the shipped shard
+    entries, so no simulated disk, buffer, or tree ever needs pickling.
+    """
+
+    index: int
+    method: str
+    config: SystemConfig
+    universe: tuple[float, float, float, float]
+    rows: int
+    cols: int
+    entries_r: list[DataEntry]
+    entries_s: list[DataEntry]
+    options: dict[str, Any]
+    seed: int
+    want_trace: bool
+    recovery: RecoveryPolicy | None = None
+
+    @property
+    def needs_data_r(self) -> bool:
+        return self.method in ("NAIVE", "ZJOIN", "2STJ")
+
+
+@dataclass
+class _PartitionOutcome:
+    """What a worker sends back: answers, counters, spans."""
+
+    index: int
+    pairs: list[tuple[int, int]]
+    raw_pairs: int
+    snapshot: CollectorSnapshot
+    algorithm: str
+    n_r: int
+    n_s: int
+    wall_s: float
+    setup_s: float = 0.0
+    degraded: bool = False
+    trace_roots: list[TraceSpan] | None = None
+    trace_origin: float = 0.0
+
+
+def _adapt_method(task: _PartitionTask, tree_height: int
+                  ) -> tuple[str, dict[str, Any]]:
+    """Fit the requested method to one shard's substrate.
+
+    A tile's bulk-loaded ``T_R`` shard can be shallower than the seed
+    levels the caller asked for (seeding requires strictly more tree
+    levels than seed levels). The per-tile join then clamps the seed
+    depth, or — when the shard tree is a single leaf and cannot seed at
+    all — answers the tile by window queries (BFJ). Answers are
+    unaffected either way; the effective method is recorded in the
+    partition stats.
+    """
+    method = task.method
+    options = dict(task.options)
+    if method == "STJ":
+        levels = options.get("seed_levels", 2)
+        if tree_height < 2:
+            return "BFJ", {}
+        if levels >= tree_height:
+            options["seed_levels"] = tree_height - 1
+    elif method == "2STJ":
+        options.setdefault("sample_seed", task.seed)
+    return method, options
+
+
+def run_partition_task(task: _PartitionTask) -> _PartitionOutcome:
+    """Execute one tile's join in a private substrate (worker entry).
+
+    Module-level so a spawned pool can import it by reference. The
+    substrate build (shard data file, bulk-loaded shard ``T_R``) runs in
+    the SETUP accounting phase and is then discarded from the counters
+    by ``start_measurement`` — mirroring the sequential protocol, where
+    inputs and ``T_R`` pre-exist and only the join is charged.
+    """
+    from ..workspace import Workspace
+    from .api import spatial_join
+
+    setup_started = time.perf_counter()
+    ws = Workspace(task.config)
+    tree_r = ws.install_rtree(
+        task.entries_r, name=f"T_R[p{task.index}]", bulk=True,
+    )
+    file_s = ws.install_datafile(task.entries_s, name=f"D_S[p{task.index}]")
+    file_r = None
+    if task.needs_data_r:
+        file_r = ws.install_datafile(
+            task.entries_r, name=f"D_R[p{task.index}]"
+        )
+    method, options = _adapt_method(task, tree_r.height)
+    ws.start_measurement()
+    setup_s = time.perf_counter() - setup_started
+
+    started = time.perf_counter()
+    result = spatial_join(
+        file_s, tree_r, ws.buffer, ws.config, ws.metrics,
+        method=method, recovery=task.recovery, trace=task.want_trace,
+        data_r=file_r, **options,
+    )
+    wall_s = time.perf_counter() - started
+
+    # Reference-point dedup: keep only the pairs this tile owns.
+    partitioner = GridPartitioner(Rect(*task.universe), task.rows, task.cols)
+    rect_s = {oid: rect for rect, oid in task.entries_s}
+    rect_r = {oid: rect for rect, oid in task.entries_r}
+    kept = [
+        (oid_s, oid_r)
+        for oid_s, oid_r in result.pairs
+        if partitioner.owns_pair(task.index, rect_s[oid_s], rect_r[oid_r])
+    ]
+    return _PartitionOutcome(
+        index=task.index,
+        pairs=kept,
+        raw_pairs=len(result.pairs),
+        snapshot=CollectorSnapshot.capture(ws.metrics),
+        algorithm=result.algorithm,
+        n_r=len(task.entries_r),
+        n_s=len(task.entries_s),
+        wall_s=wall_s,
+        setup_s=setup_s,
+        degraded=result.degraded,
+        trace_roots=result.trace.roots if result.trace is not None else None,
+        trace_origin=(
+            result.trace.origin if result.trace is not None else 0.0
+        ),
+    )
+
+
+class ParallelExecutor:
+    """Runs one logical join as per-tile joins across a process pool.
+
+    The universe of both inputs is tiled into a uniform grid
+    (:class:`~repro.partition.GridPartitioner`); both inputs are split
+    into boundary-replicated shards; each productive tile becomes an
+    independent per-partition pipeline run in its own seeded
+    disk/buffer substrate (deterministic per-partition accounting); the
+    reference-point rule dedups answers tile-locally; and the parent
+    merges pair sets, I/O / CPU / fault counters, and trace spans into
+    one :class:`~repro.join.result.JoinResult` whose accounting is the
+    exact sum of the per-partition counters.
+
+    ``workers=1`` runs the same per-tile plan in-process (no pool) —
+    the differential harness uses this to separate partitioning effects
+    from multiprocessing effects.
+    """
+
+    def __init__(
+        self,
+        method: str,
+        config: SystemConfig,
+        workers: int = 1,
+        partitions: int | None = None,
+        options: dict[str, Any] | None = None,
+        seed: int = 0,
+        label: str | None = None,
+    ):
+        if workers < 1:
+            raise ExperimentError("workers must be >= 1")
+        if partitions is not None and partitions < 1:
+            raise ExperimentError("partitions must be >= 1")
+        self.method = method
+        self.config = config
+        self.workers = workers
+        self.partitions = partitions if partitions is not None else 4 * workers
+        self.options = dict(options or {})
+        self.seed = seed
+        self.label = label or method
+
+    # ----------------------------------------------------------------- #
+
+    def run(
+        self,
+        data_s: Any,
+        tree_r: Any,
+        metrics: MetricsCollector,
+        trace: JoinTrace | None = None,
+        data_r: Any | None = None,
+        recovery: RecoveryPolicy | None = None,
+    ) -> JoinResult:
+        root_cm = (
+            trace.span(f"parallel[{self.label}]", kind="join")
+            if trace is not None
+            else nullcontext()
+        )
+        with root_cm:
+            tasks = self._plan(data_s, tree_r, metrics, trace, data_r,
+                               recovery)
+            base = trace.clock() if trace is not None else 0.0
+            outcomes = self._execute(tasks)
+            return self._merge(tasks, outcomes, metrics, trace, base)
+
+    # ----------------------------------------------------------------- #
+    # Planning: extract, tile, shard
+    # ----------------------------------------------------------------- #
+
+    def _plan(
+        self,
+        data_s: Any,
+        tree_r: Any,
+        metrics: MetricsCollector,
+        trace: JoinTrace | None,
+        data_r: Any | None,
+        recovery: RecoveryPolicy | None,
+    ) -> list[_PartitionTask]:
+        span_cm = (
+            trace.span("prepare-shards", kind="phase", phase=Phase.SETUP)
+            if trace is not None
+            else nullcontext()
+        )
+        # Shard preparation is substrate work, charged to SETUP like all
+        # pre-existing-structure construction: each worker re-reads its
+        # shard through its own accounted substrate, so charging the
+        # parent-side extraction to a join phase would double-count it
+        # and break the sum-of-partitions reconciliation. The reads here
+        # are unaccounted for the same reason — this pass exists only to
+        # route entries to tiles, and its accounted twin happens inside
+        # every worker.
+        with span_cm, metrics.phase(Phase.SETUP):
+            entries_s = data_s.read_all_unaccounted()
+            entries_r = (
+                data_r.read_all_unaccounted() if data_r is not None
+                else list(tree_r.all_objects())
+            )
+            universe = joint_universe(entries_r, entries_s)
+            if universe is None:
+                self._partitioner = None
+                self._shards = []
+                return []
+            partitioner = GridPartitioner.for_tile_count(
+                universe, self.partitions
+            )
+            shards = make_shards(partitioner, entries_r, entries_s)
+            self._partitioner = partitioner
+            self._shards = shards
+        want_trace = trace is not None
+        return [
+            _PartitionTask(
+                index=shard.tile.index,
+                method=self.method,
+                config=self.config,
+                universe=partitioner.universe.as_tuple(),
+                rows=partitioner.rows,
+                cols=partitioner.cols,
+                entries_r=shard.entries_r,
+                entries_s=shard.entries_s,
+                options=self.options,
+                seed=derive_seed(self.seed, "partition", shard.tile.index),
+                want_trace=want_trace,
+                recovery=recovery,
+            )
+            for shard in shards
+        ]
+
+    # ----------------------------------------------------------------- #
+    # Execution: pool or in-process
+    # ----------------------------------------------------------------- #
+
+    def _execute(
+        self, tasks: list[_PartitionTask]
+    ) -> list[_PartitionOutcome]:
+        if not tasks:
+            return []
+        if self.workers == 1 or len(tasks) == 1:
+            return [run_partition_task(task) for task in tasks]
+        ctx = self._pool_context()
+        processes = min(self.workers, len(tasks))
+        with ctx.Pool(processes=processes) as pool:
+            return pool.map(run_partition_task, tasks)
+
+    @staticmethod
+    def _pool_context():
+        """Prefer fork (cheap, inherits the loaded modules); fall back
+        to the platform default where fork is unavailable."""
+        try:
+            return multiprocessing.get_context("fork")
+        except ValueError:  # pragma: no cover - non-POSIX platforms
+            return multiprocessing.get_context()
+
+    # ----------------------------------------------------------------- #
+    # Merge: pairs, counters, spans
+    # ----------------------------------------------------------------- #
+
+    def _merge(
+        self,
+        tasks: list[_PartitionTask],
+        outcomes: list[_PartitionOutcome],
+        metrics: MetricsCollector,
+        trace: JoinTrace | None,
+        base: float,
+    ) -> JoinResult:
+        tiles = {shard.tile.index: shard.tile for shard in self._shards}
+        stats: list[PartitionStats] = []
+        pairs: list[tuple[int, int]] = []
+        degraded = False
+        for outcome in sorted(outcomes, key=lambda o: o.index):
+            metrics.absorb(outcome.snapshot)
+            pairs.extend(outcome.pairs)
+            degraded = degraded or outcome.degraded
+            stats.append(PartitionStats(
+                index=outcome.index,
+                tile=tiles[outcome.index].rect.as_tuple(),
+                n_r=outcome.n_r,
+                n_s=outcome.n_s,
+                raw_pairs=outcome.raw_pairs,
+                pairs=len(outcome.pairs),
+                algorithm=outcome.algorithm,
+                wall_s=outcome.wall_s,
+                snapshot=outcome.snapshot,
+                degraded=outcome.degraded,
+                setup_s=outcome.setup_s,
+            ))
+            if trace is not None:
+                trace.adopt(self._partition_span(outcome, base))
+        pairs.sort()
+        result = JoinResult(
+            pairs=pairs, index=None, algorithm=self.label,
+        )
+        result.partitions = stats
+        result.trace = trace
+        if degraded:
+            result.degraded = True
+            result.fallback_from = self.label
+            result.degraded_reason = "one or more partitions degraded"
+        return result
+
+    @staticmethod
+    def _partition_span(
+        outcome: _PartitionOutcome, base: float
+    ) -> TraceSpan:
+        """One closed ``partition`` span wrapping the worker's own spans.
+
+        The worker's clock means nothing here, so the subtree is rebased
+        onto the parent timeline at the moment the parallel region
+        dispatched; per-span durations are preserved exactly.
+        """
+        span = TraceSpan(
+            name=f"partition[{outcome.index}]",
+            kind="partition",
+            start_s=base,
+            end_s=base + outcome.wall_s,
+        )
+        for phase_name, io in outcome.snapshot.io.items():
+            if io.total_accesses:
+                span.io[phase_name] = io
+        span.bbox_tests = outcome.snapshot.cpu.bbox_tests
+        span.xy_tests = outcome.snapshot.cpu.xy_tests
+        faults = outcome.snapshot.faults
+        span.faults_injected = sum(f.faults_injected for f in faults.values())
+        span.retries = sum(f.retries for f in faults.values())
+        span.crash_recoveries = sum(
+            f.crash_recoveries for f in faults.values()
+        )
+        span.checkpoints = sum(f.checkpoints for f in faults.values())
+        span.fallbacks = sum(f.fallbacks for f in faults.values())
+        if outcome.trace_roots:
+            for root in outcome.trace_roots:
+                shift_span_times(root, base - outcome.trace_origin)
+                span.children.append(root)
+        return span
+

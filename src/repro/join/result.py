@@ -30,6 +30,13 @@ class JoinResult:
     the engine recorded, when tracing was requested (``None`` otherwise):
     per-phase wall time, I/O deltas, buffer hit rates and fault counters,
     exportable as Chrome trace-event JSON via ``trace.to_chrome_trace()``.
+
+    ``partitions`` is filled by partition-parallel runs only: one
+    :class:`~repro.partition.PartitionStats` per executed tile, carrying
+    that tile's pair counts and its full counter snapshot. The merged
+    collector totals equal the sum of these snapshots exactly —
+    :func:`repro.partition.summed_summary` recomputes the right-hand
+    side of that equality.
     """
 
     pairs: list[JoinPair] = field(default_factory=list)
@@ -39,6 +46,7 @@ class JoinResult:
     fallback_from: str = ""
     degraded_reason: str = ""
     trace: Any | None = None
+    partitions: list[Any] | None = None
 
     def __len__(self) -> int:
         return len(self.pairs)

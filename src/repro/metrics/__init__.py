@@ -9,14 +9,20 @@ can be laid out exactly like the paper's Tables 1-8.
 """
 
 from .counters import CpuCounters, FaultCounters, IoCounters
-from .collector import CostSummary, MetricsCollector, Phase
-from .report import format_cost_table, format_fault_table, format_trace_tree
+from .collector import CollectorSnapshot, CostSummary, MetricsCollector, Phase
+from .report import (
+    format_cost_table,
+    format_fault_table,
+    format_partition_table,
+    format_trace_tree,
+)
 from .tracing import JoinTrace, TraceSpan, validate_chrome_trace
 
 __all__ = [
     "CpuCounters",
     "FaultCounters",
     "IoCounters",
+    "CollectorSnapshot",
     "CostSummary",
     "MetricsCollector",
     "Phase",
@@ -25,5 +31,6 @@ __all__ = [
     "validate_chrome_trace",
     "format_cost_table",
     "format_fault_table",
+    "format_partition_table",
     "format_trace_tree",
 ]

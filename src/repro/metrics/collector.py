@@ -83,6 +83,75 @@ class CostSummary:
         return self.xy_tests / 1000.0
 
 
+@dataclass
+class CollectorSnapshot:
+    """A picklable copy of one collector's counters.
+
+    The partition-parallel executor captures one of these in each worker
+    process (whose collector saw exactly one per-partition join) and
+    ships it back over the pool's pipe; the parent merges them with
+    :meth:`MetricsCollector.absorb`. Keys are phase *names* so the
+    payload stays plain data.
+    """
+
+    io: dict[str, IoCounters]
+    faults: dict[str, FaultCounters]
+    cpu: CpuCounters
+
+    @classmethod
+    def capture(cls, metrics: "MetricsCollector") -> "CollectorSnapshot":
+        return cls(
+            io={
+                p.value: IoCounters().merged_with(metrics.io_for(p))
+                for p in Phase
+            },
+            faults={
+                p.value: FaultCounters().merged_with(metrics.faults_for(p))
+                for p in Phase
+            },
+            cpu=CpuCounters(
+                bbox_tests=metrics.cpu.bbox_tests,
+                xy_tests=metrics.cpu.xy_tests,
+            ),
+        )
+
+    def merged_with(self, other: "CollectorSnapshot") -> "CollectorSnapshot":
+        """Counter-wise sum of two snapshots (missing phases are zero)."""
+        phases = sorted(set(self.io) | set(other.io))
+        return CollectorSnapshot(
+            io={
+                p: self.io.get(p, IoCounters()).merged_with(
+                    other.io.get(p, IoCounters())
+                )
+                for p in phases
+            },
+            faults={
+                p: self.faults.get(p, FaultCounters()).merged_with(
+                    other.faults.get(p, FaultCounters())
+                )
+                for p in sorted(set(self.faults) | set(other.faults))
+            },
+            cpu=CpuCounters(
+                bbox_tests=self.cpu.bbox_tests + other.cpu.bbox_tests,
+                xy_tests=self.cpu.xy_tests + other.cpu.xy_tests,
+            ),
+        )
+
+    def summary(self, config: SystemConfig) -> CostSummary:
+        """Paper-style summary of this snapshot's join-charged phases."""
+        seq = config.sequential_cost
+        construct = self.io.get(Phase.CONSTRUCT.value, IoCounters())
+        match = self.io.get(Phase.MATCH.value, IoCounters())
+        return CostSummary(
+            match_read=match.read_cost(seq),
+            match_write=match.write_cost(seq),
+            construct_read=construct.read_cost(seq),
+            construct_write=construct.write_cost(seq),
+            bbox_tests=self.cpu.bbox_tests,
+            xy_tests=self.cpu.xy_tests,
+        )
+
+
 class MetricsCollector:
     """Accumulates disk and CPU costs, attributed to phases.
 
@@ -193,6 +262,24 @@ class MetricsCollector:
     def faults_for(self, phase: Phase) -> FaultCounters:
         """Fault/recovery counters for one phase (a live reference)."""
         return self._faults[phase]
+
+    def absorb(self, snapshot: CollectorSnapshot) -> None:
+        """Add a worker's counters into this collector, phase by phase.
+
+        The merge is exact — plain counter addition with no re-weighting
+        — so after absorbing every partition, :meth:`summary` equals the
+        sum of the per-partition summaries. This is the reconciliation
+        invariant the differential suite asserts.
+        """
+        by_name = {p.value: p for p in Phase}
+        for name, io in snapshot.io.items():
+            phase = by_name[name]
+            self._io[phase] = self._io[phase].merged_with(io)
+        for name, faults in snapshot.faults.items():
+            phase = by_name[name]
+            self._faults[phase] = self._faults[phase].merged_with(faults)
+        self.cpu.bbox_tests += snapshot.cpu.bbox_tests
+        self.cpu.xy_tests += snapshot.cpu.xy_tests
 
     def fault_totals(self) -> FaultCounters:
         """Fault/recovery counters merged across all phases."""

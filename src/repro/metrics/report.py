@@ -126,6 +126,72 @@ def format_fault_table(
     return "\n".join(lines)
 
 
+def format_partition_table(
+    partitions: Sequence,
+    config,
+    title: str | None = None,
+) -> str:
+    """Render a parallel run's per-partition accounting plus the merged
+    total row.
+
+    ``partitions`` is ``result.partitions`` from a partition-parallel
+    join (:class:`~repro.partition.PartitionStats` records — accepted
+    duck-typed to keep this module free of a partition-package import).
+    The total row is the counter-wise sum of the partition rows, which
+    by the executor's reconciliation invariant equals the parent
+    collector's summary.
+    """
+    headers = (
+        "part", "n_r", "n_s", "raw", "pairs", "alg",
+        "cons io", "match io", "total io", "wall(ms)",
+    )
+    rows: list[tuple[str, ...]] = []
+    total = None
+    for stat in partitions:
+        s = stat.summary(config)
+        total = s if total is None else CostSummary(
+            match_read=total.match_read + s.match_read,
+            match_write=total.match_write + s.match_write,
+            construct_read=total.construct_read + s.construct_read,
+            construct_write=total.construct_write + s.construct_write,
+            bbox_tests=total.bbox_tests + s.bbox_tests,
+            xy_tests=total.xy_tests + s.xy_tests,
+        )
+        rows.append((
+            str(stat.index),
+            str(stat.n_r),
+            str(stat.n_s),
+            str(stat.raw_pairs),
+            str(stat.pairs),
+            stat.algorithm + ("!" if stat.degraded else ""),
+            f"{s.construct_read + s.construct_write:.0f}",
+            f"{s.match_read + s.match_write:.0f}",
+            f"{s.total_io:.0f}",
+            f"{stat.wall_s * 1e3:.1f}",
+        ))
+    if total is not None:
+        rows.append((
+            "sum", "", "", "", "", "",
+            f"{total.construct_read + total.construct_write:.0f}",
+            f"{total.match_read + total.match_write:.0f}",
+            f"{total.total_io:.0f}",
+            "",
+        ))
+    cells = [headers] + rows
+    widths = [max(len(row[i]) for row in cells) for i in range(len(headers))]
+
+    def fmt(row: Iterable[str]) -> str:
+        return "  ".join(cell.rjust(w) for cell, w in zip(row, widths))
+
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(fmt(cells[0]))
+    lines.append("  ".join("-" * w for w in widths))
+    lines.extend(fmt(row) for row in cells[1:])
+    return "\n".join(lines)
+
+
 def _span_cells(span: TraceSpan) -> str:
     """The per-span statistics column of the trace tree."""
     io = IoCounters()

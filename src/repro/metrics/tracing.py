@@ -33,9 +33,14 @@ from .counters import IoCounters
 __all__ = [
     "TraceSpan",
     "JoinTrace",
+    "shift_span_times",
     "validate_chrome_trace",
     "TraceSchemaError",
 ]
+
+#: Legal span kinds: a whole join, one pipeline phase, or one partition
+#: of a parallel run (whose children are the worker's own join spans).
+SPAN_KINDS = ("join", "phase", "partition")
 
 
 class TraceSchemaError(ValueError):
@@ -108,7 +113,7 @@ class TraceSpan:
     """One node of the span tree: a join, a phase, or a custom region."""
 
     name: str
-    kind: str  # "join" | "phase"
+    kind: str  # one of SPAN_KINDS
     phase: str | None = None  # accounting phase the work was charged to
     start_s: float = 0.0
     end_s: float | None = None
@@ -194,6 +199,25 @@ class JoinTrace:
     def depth(self) -> int:
         """Number of currently open spans (0 when idle)."""
         return len(self._stack)
+
+    @property
+    def origin(self) -> float:
+        """The clock value all exported timestamps are relative to."""
+        return self._origin
+
+    def adopt(self, span: TraceSpan) -> None:
+        """Attach an already-closed span under the currently open one.
+
+        This is how the parallel executor grafts per-partition subtrees
+        recorded in worker processes into the parent's trace. The
+        caller is responsible for rebasing the subtree's times onto this
+        trace's clock first (:func:`shift_span_times`) — worker
+        ``perf_counter`` values mean nothing on the parent's timeline.
+        """
+        if self._stack:
+            self._stack[-1].children.append(span)
+        else:
+            self.roots.append(span)
 
     # ----------------------------------------------------------------- #
     # Aggregation
@@ -329,6 +353,21 @@ class _SpanContext:
         return None
 
 
+def shift_span_times(span: TraceSpan, delta: float) -> None:
+    """Shift a span subtree's clock values by ``delta`` seconds, in place.
+
+    Used when grafting worker-recorded spans into a parent trace: the
+    worker's times are rebased so the subtree appears at the wall-clock
+    position the partition occupied in the parent's timeline (durations
+    are preserved exactly).
+    """
+    span.start_s += delta
+    if span.end_s is not None:
+        span.end_s += delta
+    for child in span.children:
+        shift_span_times(child, delta)
+
+
 # --------------------------------------------------------------------- #
 # Schema validation
 # --------------------------------------------------------------------- #
@@ -364,7 +403,7 @@ def validate_chrome_trace(events: list[dict]) -> None:
             )
         if not isinstance(event["name"], str) or not event["name"]:
             raise TraceSchemaError(f"{where}: name must be a non-empty string")
-        if event["cat"] not in ("join", "phase"):
+        if event["cat"] not in SPAN_KINDS:
             raise TraceSchemaError(f"{where}: cat {event['cat']!r} invalid")
         if event["ph"] != "X":
             raise TraceSchemaError(f"{where}: ph must be 'X' (complete event)")

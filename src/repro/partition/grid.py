@@ -1,0 +1,167 @@
+"""Uniform grid tiling with boundary replication and reference-point dedup.
+
+The partition-parallel executor (PBSM-style, after Patel & DeWitt and the
+in-memory treatment of Tsitsigkos & Mamoulis) tiles the joint universe of
+the two inputs into a ``rows x cols`` grid and replicates every rectangle
+into *all* tiles it overlaps. Replication makes each tile's join
+self-contained but finds a pair once per shared tile; the classic
+*reference-point* rule restores exactly-once semantics without any
+cross-tile communication: a pair is reported only by the tile that owns
+the bottom-left corner of the pair's intersection rectangle.
+
+Ownership must be a function, not a region test — a point on a tile
+boundary lies in two closed tiles. :meth:`GridPartitioner.owner_of`
+computes the owning tile index with the same clamped floor-division used
+to enumerate a rectangle's tiles, so for any point ``p`` inside a
+rectangle, the owner tile of ``p`` is always among the tiles the
+rectangle was replicated to (monotonicity of one shared formula), and is
+always unique. That pair of properties is what the Hypothesis suite in
+``tests/partition/test_partitioning.py`` pins down, including for
+zero-area rectangles and rectangles spanning the whole grid.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from ..errors import ExperimentError
+from ..geometry import Rect
+
+__all__ = ["Tile", "GridPartitioner"]
+
+
+@dataclass(frozen=True)
+class Tile:
+    """One grid cell: its flat index, grid position, and closed extent."""
+
+    index: int
+    row: int
+    col: int
+    rect: Rect
+
+
+class GridPartitioner:
+    """A ``rows x cols`` uniform tiling of a universe rectangle.
+
+    Degenerate universes are legal: a zero-width (or zero-height)
+    universe collapses that axis to a single strip, and every point maps
+    to index 0 along it.
+    """
+
+    def __init__(self, universe: Rect, rows: int, cols: int):
+        if rows < 1 or cols < 1:
+            raise ExperimentError("grid needs at least one row and column")
+        self.universe = universe
+        self.rows = rows
+        self.cols = cols
+        self.tile_w = universe.width / cols
+        self.tile_h = universe.height / rows
+        self.tiles: list[Tile] = []
+        for row in range(rows):
+            for col in range(cols):
+                # The last row/column closes on the universe edge exactly,
+                # avoiding float drift from repeated addition.
+                xhi = universe.xhi if col == cols - 1 else (
+                    universe.xlo + (col + 1) * self.tile_w
+                )
+                yhi = universe.yhi if row == rows - 1 else (
+                    universe.ylo + (row + 1) * self.tile_h
+                )
+                self.tiles.append(Tile(
+                    index=row * cols + col,
+                    row=row,
+                    col=col,
+                    rect=Rect(
+                        universe.xlo + col * self.tile_w,
+                        universe.ylo + row * self.tile_h,
+                        xhi,
+                        yhi,
+                    ),
+                ))
+
+    @classmethod
+    def for_tile_count(cls, universe: Rect, tiles: int) -> "GridPartitioner":
+        """A near-square grid with *at least* ``tiles`` cells.
+
+        Exactly ``tiles`` whenever it factors as ``ceil(sqrt) x rest``
+        (all perfect squares, and e.g. 2, 6, 12); otherwise the next
+        rectangle up. ``num_tiles`` reports the real count.
+        """
+        if tiles < 1:
+            raise ExperimentError("need at least one tile")
+        cols = max(1, math.isqrt(tiles))
+        if cols * cols < tiles:
+            cols += 1
+        rows = math.ceil(tiles / cols)
+        return cls(universe, rows, cols)
+
+    @property
+    def num_tiles(self) -> int:
+        return self.rows * self.cols
+
+    # ----------------------------------------------------------------- #
+    # Placement
+    # ----------------------------------------------------------------- #
+
+    def _axis_index(self, value: float, origin: float, step: float,
+                    count: int) -> int:
+        """Clamped floor cell index of ``value`` along one axis."""
+        if step <= 0.0 or count == 1:
+            return 0
+        idx = int((value - origin) / step)
+        if idx < 0:
+            return 0
+        if idx > count - 1:
+            return count - 1
+        return idx
+
+    def owner_of(self, x: float, y: float) -> int:
+        """The unique tile index owning point ``(x, y)``.
+
+        Total over the whole plane (points outside the universe clamp to
+        the nearest edge tile), so dedup never loses a pair to float
+        drift at the universe boundary.
+        """
+        col = self._axis_index(x, self.universe.xlo, self.tile_w, self.cols)
+        row = self._axis_index(y, self.universe.ylo, self.tile_h, self.rows)
+        return row * self.cols + col
+
+    def tiles_for(self, rect: Rect) -> list[int]:
+        """Indices of every tile ``rect`` must be replicated to.
+
+        Computed with the same clamped floor used by :meth:`owner_of`,
+        so the owner of any point of ``rect`` is guaranteed to be in
+        this list; always non-empty.
+        """
+        c_lo = self._axis_index(rect.xlo, self.universe.xlo, self.tile_w,
+                                self.cols)
+        c_hi = self._axis_index(rect.xhi, self.universe.xlo, self.tile_w,
+                                self.cols)
+        r_lo = self._axis_index(rect.ylo, self.universe.ylo, self.tile_h,
+                                self.rows)
+        r_hi = self._axis_index(rect.yhi, self.universe.ylo, self.tile_h,
+                                self.rows)
+        return [
+            row * self.cols + col
+            for row in range(r_lo, r_hi + 1)
+            for col in range(c_lo, c_hi + 1)
+        ]
+
+    def owns_pair(self, tile_index: int, rect_a: Rect, rect_b: Rect) -> bool:
+        """Reference-point dedup: does ``tile_index`` report this pair?
+
+        The reference point is the bottom-left corner of the pair's
+        intersection; disjoint rectangles belong to no tile. Exactly one
+        tile answers True for any intersecting pair.
+        """
+        inter = rect_a.intersection(rect_b)
+        if inter is None:
+            return False
+        return self.owner_of(inter.xlo, inter.ylo) == tile_index
+
+    def __repr__(self) -> str:
+        return (
+            f"GridPartitioner({self.rows}x{self.cols} over "
+            f"{self.universe!r})"
+        )

@@ -1,0 +1,70 @@
+"""Merging per-partition results back into one account.
+
+Each worker returns its kept pairs plus a
+:class:`~repro.metrics.CollectorSnapshot` of everything its private
+collector measured. The merge side is deliberately dumb — plain counter
+addition — because that is what makes the parallel accounting *exactly*
+reconcilable: the parent's merged totals are, by construction, the sum
+of the per-partition counters, and the differential suite asserts that
+equality down to the integer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..config import SystemConfig
+from ..metrics import CollectorSnapshot, CostSummary, CpuCounters
+
+__all__ = ["PartitionStats", "merged_snapshot", "summed_summary"]
+
+
+@dataclass(frozen=True)
+class PartitionStats:
+    """One partition's contribution to a parallel join.
+
+    ``raw_pairs`` counts what the per-tile join found before
+    reference-point dedup; ``pairs`` what survived it. ``algorithm``
+    is the method that actually ran in the tile — it can differ from
+    the requested one when a shard was too small to seed (see
+    :class:`~repro.join.engine.ParallelExecutor`). ``snapshot`` holds
+    the worker collector's full per-phase counters. ``wall_s`` times
+    the measured join alone; ``setup_s`` the worker's substrate build
+    (shard data file + bulk-loaded shard tree), which precedes it.
+    """
+
+    index: int
+    tile: tuple[float, float, float, float]
+    n_r: int
+    n_s: int
+    raw_pairs: int
+    pairs: int
+    algorithm: str
+    wall_s: float
+    snapshot: CollectorSnapshot
+    degraded: bool = False
+    setup_s: float = 0.0
+
+    def summary(self, config: SystemConfig) -> CostSummary:
+        """This partition's counters as a paper-style cost row."""
+        return self.snapshot.summary(config)
+
+
+def merged_snapshot(stats: list[PartitionStats]) -> CollectorSnapshot:
+    """Counter-wise sum of every partition's snapshot."""
+    merged = CollectorSnapshot(io={}, faults={}, cpu=CpuCounters())
+    for stat in stats:
+        merged = merged.merged_with(stat.snapshot)
+    return merged
+
+
+def summed_summary(
+    stats: list[PartitionStats], config: SystemConfig
+) -> CostSummary:
+    """The sum of per-partition cost summaries.
+
+    Equal — exactly, not approximately — to the parent collector's
+    :meth:`~repro.metrics.MetricsCollector.summary` after it absorbed
+    every partition; the differential suite pins this down.
+    """
+    return merged_snapshot(stats).summary(config)

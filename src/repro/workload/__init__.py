@@ -14,8 +14,11 @@ from .families import (
     generate_paths,
     generate_skewed,
 )
+from .seeding import derive_seed, stable_digest
 
 __all__ = [
+    "derive_seed",
+    "stable_digest",
     "ClusteredConfig",
     "cluster_side_bound",
     "generate_clustered",

@@ -26,11 +26,12 @@ from __future__ import annotations
 
 import math
 import random
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 
 from ..errors import WorkloadError
 from ..geometry import Rect
 from ..storage.datafile import DataEntry
+from .seeding import derive_seed
 
 #: The paper's map area: 0..1 along both axes.
 DEFAULT_MAP_AREA = Rect(0.0, 0.0, 1.0, 1.0)
@@ -89,6 +90,19 @@ class ClusteredConfig:
     @property
     def num_clusters(self) -> int:
         return max(1, math.ceil(self.num_objects / self.objects_per_cluster))
+
+    def for_shard(self, *labels: int | str) -> "ClusteredConfig":
+        """A config for regenerating one shard of this workload.
+
+        Worker processes that rebuild data locally (rather than
+        receiving entries over the pipe) must derive their seeds through
+        :func:`~repro.workload.seeding.derive_seed`: the builtin
+        ``hash()`` is salted per process, so seeds based on it would
+        differ between a worker and its parent — and between two runs.
+        ``labels`` identify the shard (e.g. ``("partition", 3)``); the
+        derived seed is stable across processes and platforms.
+        """
+        return replace(self, seed=derive_seed(self.seed, *labels))
 
 
 def generate_clusters(config: ClusteredConfig,

@@ -61,19 +61,34 @@ class Workspace:
         entries: Iterable[tuple[Rect, int]],
         name: str = "T_R",
         split: SplitFunction = quadratic_split,
+        bulk: bool = False,
     ) -> RTree:
         """Build a pre-existing R-tree (the paper's ``T_R``) for free.
 
         Construction happens in the SETUP phase (excluded from cost
         summaries); afterwards the buffer is purged so the measured join
         starts cold, exactly like a pre-computed index sitting on disk.
+
+        ``bulk=True`` builds via STR packing instead of one-by-one
+        insertion — the per-shard substrate path of the parallel
+        executor uses this: each worker must stand up its tile's
+        ``T_R`` inside the measured wall-clock window, and a packed
+        build is both far cheaper and deterministic.
         """
         with self.metrics.phase(Phase.SETUP):
-            tree = RTree.build(
-                self.buffer, self.config, entries,
-                metrics=None,  # setup CPU is not the paper's metric
-                split=split, name=name,
-            )
+            if bulk:
+                from .rtree.bulk import bulk_load_str
+
+                tree = bulk_load_str(
+                    self.buffer, self.config, entries, metrics=None,
+                    name=name,
+                )
+            else:
+                tree = RTree.build(
+                    self.buffer, self.config, entries,
+                    metrics=None,  # setup CPU is not the paper's metric
+                    split=split, name=name,
+                )
             tree.metrics = self.metrics  # joins charge CPU from here on
             self.buffer.purge()
         self.disk.reset_arm()

@@ -1,0 +1,111 @@
+"""Tests for stable seed derivation and shard-level regeneration."""
+
+from __future__ import annotations
+
+import subprocess
+import sys
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.workload import (
+    ClusteredConfig,
+    derive_seed,
+    generate_clustered,
+    stable_digest,
+)
+
+label = st.one_of(
+    st.integers(min_value=-(2**40), max_value=2**40), st.text(max_size=20)
+)
+
+
+# --------------------------------------------------------------------- #
+# derive_seed
+# --------------------------------------------------------------------- #
+
+
+@given(st.integers(min_value=0, max_value=2**62), st.lists(label, max_size=4))
+def test_derive_seed_range_and_determinism(base, labels):
+    a = derive_seed(base, *labels)
+    assert a == derive_seed(base, *labels)
+    assert 0 <= a < 2**63
+
+
+def test_known_values_are_frozen():
+    """Cross-process stability, pinned: these constants must never move —
+    they are what makes shard regeneration reproducible across runs."""
+    assert derive_seed(0) == derive_seed(0)
+    assert derive_seed(0, "partition", 3) != derive_seed(0, "partition", 4)
+    assert derive_seed(0, "partition", 3) != derive_seed(1, "partition", 3)
+    # The digest is the documented SHA-256 of the canonical encoding.
+    import hashlib
+
+    expected = hashlib.sha256(b"i0\x00spartition\x00i3\x00").digest()
+    assert stable_digest(0, "partition", 3) == expected
+
+
+def test_stable_across_interpreter_processes():
+    """The whole point: a fresh interpreter (fresh hash salt) agrees."""
+    import pathlib
+
+    import repro
+
+    src = str(pathlib.Path(repro.__file__).resolve().parent.parent)
+    code = (
+        f"import sys; sys.path.insert(0, {src!r});"
+        "from repro.workload import derive_seed;"
+        "print(derive_seed(42, 'partition', 7))"
+    )
+    out = subprocess.run(
+        [sys.executable, "-c", code], capture_output=True, text=True,
+        check=True,
+    )
+    assert int(out.stdout.strip()) == derive_seed(42, "partition", 7)
+
+
+def test_type_tags_prevent_aliasing():
+    """int 1 and str "1" must not collide; neither must shifted splits
+    of the same character stream."""
+    assert derive_seed(0, 1) != derive_seed(0, "1")
+    assert derive_seed(0, "ab", "c") != derive_seed(0, "a", "bc")
+
+
+def test_bool_and_other_types_rejected():
+    with pytest.raises(TypeError):
+        derive_seed(0, True)
+    with pytest.raises(TypeError):
+        stable_digest(0, 1.5)  # type: ignore[arg-type]
+
+
+@given(st.integers(min_value=0, max_value=1000))
+def test_neighbouring_bases_do_not_alias(base):
+    """``base + k`` arithmetic would collide streams; hashing does not."""
+    assert derive_seed(base, 1) != derive_seed(base + 1, 0)
+
+
+# --------------------------------------------------------------------- #
+# ClusteredConfig.for_shard
+# --------------------------------------------------------------------- #
+
+
+def test_for_shard_is_deterministic_and_distinct():
+    cfg = ClusteredConfig(100, cover_quotient=1.0, objects_per_cluster=10,
+                          seed=7)
+    a = cfg.for_shard("tile", 0)
+    b = cfg.for_shard("tile", 1)
+    assert a.seed == cfg.for_shard("tile", 0).seed
+    assert a.seed != b.seed != cfg.seed
+    # Only the seed changes; the workload shape is preserved.
+    assert (a.num_objects, a.cover_quotient, a.objects_per_cluster) == (
+        cfg.num_objects, cfg.cover_quotient, cfg.objects_per_cluster,
+    )
+
+
+def test_for_shard_regenerates_identically():
+    cfg = ClusteredConfig(60, cover_quotient=1.0, objects_per_cluster=6,
+                          seed=3)
+    shard_cfg = cfg.for_shard("tile", 2, "retry")
+    assert generate_clustered(shard_cfg) == generate_clustered(shard_cfg)
+    assert generate_clustered(shard_cfg) != generate_clustered(cfg)
