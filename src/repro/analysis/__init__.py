@@ -1,0 +1,38 @@
+"""Domain-aware static analysis and runtime invariant checking.
+
+Two halves, both specific to this reproduction's correctness story:
+
+* :mod:`repro.analysis.linter` — ``repro-lint``, an AST-based checker
+  whose rules (:mod:`repro.analysis.rules`) encode the project's cost
+  model and determinism contracts: page I/O must route through the
+  buffer manager, nondeterminism primitives are confined to
+  :mod:`repro.workload.seeding`, buffer pins must be released on every
+  control-flow path, accounting phases are entered only by the engine,
+  worker payloads must avoid module-level mutable state, and rectangle
+  coordinates are never compared with raw float ``==``.
+* :mod:`repro.analysis.sanitizer` — an opt-in runtime sanitizer
+  (``REPRO_SANITIZE=1`` or ``spatial_join(..., sanitize=True)``) that
+  validates structural invariants at the engine's phase boundaries:
+  tree well-formedness, buffer-pool consistency, and counter
+  monotonicity. It observes through unaccounted paths only, so a
+  sanitized run's :class:`~repro.metrics.CostSummary` is bit-identical
+  to an unsanitized one.
+
+The rule catalog and suppression policy are documented in DESIGN.md §9.
+"""
+
+from .linter import Finding, lint_file, lint_paths, lint_source
+from .rules import RULES, Rule
+from .sanitizer import Sanitizer, resolve_sanitizer, sanitizer_enabled
+
+__all__ = [
+    "Finding",
+    "RULES",
+    "Rule",
+    "Sanitizer",
+    "lint_file",
+    "lint_paths",
+    "lint_source",
+    "resolve_sanitizer",
+    "sanitizer_enabled",
+]

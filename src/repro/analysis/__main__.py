@@ -1,0 +1,9 @@
+"""``python -m repro.analysis`` — the uninstalled spelling of repro-lint.
+
+CI uses this form (``PYTHONPATH=src python -m repro.analysis src tests``)
+so the lint job needs no package installation step.
+"""
+
+from .cli import main
+
+raise SystemExit(main())

@@ -1,0 +1,83 @@
+"""``repro-lint`` — the console entry point.
+
+Usage::
+
+    repro-lint src/ tests/                 # lint trees (exit 1 on findings)
+    repro-lint --list-rules                # print the rule catalog
+    repro-lint src/ --cache-file .cache    # memoise per-file results
+
+Also runnable without installation as ``python -m repro.analysis``.
+Exit status: 0 clean, 1 findings, 2 usage error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+from .linter import lint_paths
+from .rules import RULE_SUMMARIES
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-lint",
+        description=(
+            "Domain-aware static checks for the seeded-tree reproduction: "
+            "I/O accounting, determinism, pin discipline, phase discipline, "
+            "worker-safe state, and float-safe geometry."
+        ),
+    )
+    parser.add_argument(
+        "paths", nargs="*",
+        help="files or directories to lint (directories recurse over *.py)",
+    )
+    parser.add_argument(
+        "--cache-file", default=None, metavar="PATH",
+        help="JSON cache of per-file results keyed by content digest",
+    )
+    parser.add_argument(
+        "--no-cache", action="store_true",
+        help="ignore --cache-file and lint everything from scratch",
+    )
+    parser.add_argument(
+        "--list-rules", action="store_true",
+        help="print the rule catalog and exit",
+    )
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    parser = _build_parser()
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        for code, summary in sorted(RULE_SUMMARIES.items()):
+            print(f"{code}  {summary}")
+        return 0
+
+    if not args.paths:
+        parser.print_usage(sys.stderr)
+        print("repro-lint: error: no paths given", file=sys.stderr)
+        return 2
+
+    cache_file = None if args.no_cache else args.cache_file
+    try:
+        findings = lint_paths(list(args.paths), cache_file=cache_file)
+    except OSError as exc:
+        print(f"repro-lint: error: {exc}", file=sys.stderr)
+        return 2
+
+    for finding in findings:
+        print(finding.render())
+    if findings:
+        print(
+            f"repro-lint: {len(findings)} finding(s)", file=sys.stderr
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__.py
+    raise SystemExit(main())

@@ -1,0 +1,243 @@
+"""The ``repro-lint`` driver: files in, findings out.
+
+Responsibilities on top of the rule catalog
+(:mod:`repro.analysis.rules`):
+
+* **Suppressions.** ``# repro-lint: disable=RPR001 -- reason`` silences
+  matching findings on its own line; on a line of its own it covers the
+  next line. The reason (after ``--``) is mandatory: a suppression
+  without one produces RPR000, which cannot itself be suppressed — the
+  policy is that every exemption documents *why* the invariant holds
+  anyway.
+* **Caching.** Linting is pure in (file bytes, rule sources), so results
+  are memoised in a JSON cache keyed by content digest. CI restores the
+  cache across runs to keep the AST pass well under a minute; edits
+  invalidate exactly the touched files, and any change to the analysis
+  package invalidates everything.
+"""
+
+from __future__ import annotations
+
+import ast
+import hashlib
+import io
+import json
+import re
+import tokenize
+from dataclasses import asdict
+from pathlib import Path
+
+from .rules import RULES, Finding, ModuleContext
+
+__all__ = ["Finding", "lint_file", "lint_paths", "lint_source"]
+
+_SUPPRESS_RE = re.compile(
+    r"#\s*repro-lint:\s*disable=([A-Z0-9,\s]+?)(?:\s*--\s*(\S.*))?\s*$"
+)
+
+
+def _parse_suppressions(
+    source: str, path: str
+) -> tuple[dict[int, set[str]], list[Finding]]:
+    """Line -> suppressed codes, plus RPR000 findings for missing reasons.
+
+    A comment sharing a line with code covers that line; a comment alone
+    on its line covers the following line (both map the same way: the
+    suppression applies to its own line *and* the next, which keeps the
+    standalone form natural without letting one comment blanket a region).
+    """
+    suppressed: dict[int, set[str]] = {}
+    findings: list[Finding] = []
+    try:
+        tokens = list(tokenize.generate_tokens(io.StringIO(source).readline))
+    except (tokenize.TokenError, IndentationError, SyntaxError):
+        return suppressed, findings  # the parse pass reports the breakage
+    for token in tokens:
+        if token.type != tokenize.COMMENT:
+            continue  # directives inside string literals are just text
+        lineno = token.start[0]
+        match = _SUPPRESS_RE.search(token.string)
+        if match is None:
+            continue
+        codes = {
+            code.strip().upper()
+            for code in match.group(1).split(",")
+            if code.strip()
+        }
+        reason = match.group(2)
+        if not reason:
+            findings.append(Finding(
+                code="RPR000",
+                path=path,
+                line=lineno,
+                message=(
+                    "suppression without a reason; write "
+                    "'# repro-lint: disable=CODE -- why the invariant "
+                    "holds here'"
+                ),
+            ))
+            continue
+        for covered in (lineno, lineno + 1):
+            suppressed.setdefault(covered, set()).update(codes)
+    return suppressed, findings
+
+
+def lint_source(source: str, path: str) -> list[Finding]:
+    """Lint one module's source under a (possibly virtual) path.
+
+    The path drives rule scoping (storage exemptions, test detection),
+    so fixture tests can exercise any rule by inventing the right path.
+    """
+    try:
+        tree = ast.parse(source, filename=path)
+    except SyntaxError as exc:
+        return [Finding(
+            code="RPR000",
+            path=path,
+            line=exc.lineno or 1,
+            message=f"could not parse: {exc.msg}",
+        )]
+    ctx = ModuleContext(path, source, tree)
+    raw: list[Finding] = []
+    for rule_cls in RULES.values():
+        raw.extend(rule_cls(ctx).run())
+    suppressed, findings = _parse_suppressions(source, path)
+    for finding in sorted(raw, key=lambda f: (f.line, f.code)):
+        if finding.code in suppressed.get(finding.line, ()):
+            continue
+        findings.append(finding)
+    findings.sort(key=lambda f: (f.line, f.code))
+    return findings
+
+
+def lint_file(path: str | Path) -> list[Finding]:
+    """Lint one file on disk (no caching)."""
+    text = Path(path).read_text(encoding="utf-8")
+    return lint_source(text, str(path))
+
+
+# --------------------------------------------------------------------- #
+# Cache
+# --------------------------------------------------------------------- #
+
+
+def _rules_fingerprint() -> str:
+    """Digest of the analysis package's own sources.
+
+    Any change to a rule (or this driver) must invalidate every cached
+    result, so the cache key folds in the code that produced it.
+    """
+    digest = hashlib.sha256()
+    package_dir = Path(__file__).resolve().parent
+    for module in sorted(package_dir.glob("*.py")):
+        digest.update(module.name.encode())
+        digest.update(module.read_bytes())
+    return digest.hexdigest()
+
+
+class LintCache:
+    """Content-addressed memo of per-file findings.
+
+    The on-disk format is plain JSON: ``{"fingerprint": …, "files":
+    {path: {"digest": …, "findings": [...]}}}``. A fingerprint mismatch
+    discards everything; a per-file digest mismatch discards that file.
+    """
+
+    def __init__(self, cache_path: Path):
+        self.cache_path = cache_path
+        self.fingerprint = _rules_fingerprint()
+        self._files: dict[str, dict] = {}
+        self._dirty = False
+        self._load()
+
+    def _load(self) -> None:
+        try:
+            raw = json.loads(self.cache_path.read_text(encoding="utf-8"))
+        except (OSError, ValueError):
+            return
+        if raw.get("fingerprint") != self.fingerprint:
+            return
+        files = raw.get("files")
+        if isinstance(files, dict):
+            self._files = files
+
+    def get(self, path: str, digest: str) -> list[Finding] | None:
+        entry = self._files.get(path)
+        if entry is None or entry.get("digest") != digest:
+            return None
+        try:
+            return [Finding(**f) for f in entry["findings"]]
+        except (KeyError, TypeError):
+            return None
+
+    def put(self, path: str, digest: str, findings: list[Finding]) -> None:
+        self._files[path] = {
+            "digest": digest,
+            "findings": [asdict(f) for f in findings],
+        }
+        self._dirty = True
+
+    def save(self) -> None:
+        if not self._dirty:
+            return
+        payload = {"fingerprint": self.fingerprint, "files": self._files}
+        try:
+            self.cache_path.write_text(
+                json.dumps(payload, sort_keys=True), encoding="utf-8"
+            )
+        except OSError:
+            pass  # a cold cache next run is the only consequence
+
+
+# --------------------------------------------------------------------- #
+# Path collection and the main entry point
+# --------------------------------------------------------------------- #
+
+
+def _collect_files(paths: list[str | Path]) -> list[Path]:
+    files: list[Path] = []
+    for raw in paths:
+        path = Path(raw)
+        if path.is_dir():
+            files.extend(sorted(path.rglob("*.py")))
+        else:
+            files.append(path)
+    # Deduplicate while preserving order.
+    seen: set[str] = set()
+    unique: list[Path] = []
+    for path in files:
+        key = str(path)
+        if key not in seen:
+            seen.add(key)
+            unique.append(path)
+    return unique
+
+
+def lint_paths(
+    paths: list[str | Path],
+    cache_file: str | Path | None = None,
+) -> list[Finding]:
+    """Lint files and directories (recursively); returns all findings.
+
+    ``cache_file`` enables the content-digest cache; ``None`` lints
+    everything from scratch.
+    """
+    cache = LintCache(Path(cache_file)) if cache_file is not None else None
+    findings: list[Finding] = []
+    for path in _collect_files(paths):
+        text = path.read_text(encoding="utf-8")
+        key = str(path)
+        if cache is not None:
+            digest = hashlib.sha256(text.encode("utf-8")).hexdigest()
+            cached = cache.get(key, digest)
+            if cached is not None:
+                findings.extend(cached)
+                continue
+            result = lint_source(text, key)
+            cache.put(key, digest, result)
+            findings.extend(result)
+        else:
+            findings.extend(lint_source(text, key))
+    if cache is not None:
+        cache.save()
+    return findings

@@ -1,0 +1,605 @@
+"""The ``repro-lint`` rule catalog.
+
+Each rule is an :class:`ast.NodeVisitor` subclass registered under a
+stable ``RPRxxx`` code. Rules see one module at a time through a
+:class:`ModuleContext`, which classifies the file (package path, test or
+source) so a rule can scope itself — e.g. RPR001 exempts the storage
+layer, which *is* the accounted I/O path the rule protects.
+
+The rules are deliberately domain-specific; generic style is ruff's job
+(PR 2). What they encode is the reproduction's cost model:
+
+* every page access must be visible to the metrics collector (RPR001,
+  RPR004);
+* results must be bit-reproducible across processes and platforms
+  (RPR002, RPR005);
+* the buffer pool's pin ledger must balance on every control-flow path,
+  or fault injection turns a transient error into a wedged pool
+  (RPR003);
+* float equality on coordinates silently breaks exact-MBR invariants
+  (RPR006).
+
+Suppressions (``# repro-lint: disable=RPRxxx -- reason``) are handled by
+:mod:`repro.analysis.linter`; a suppression without a reason is itself a
+finding (RPR000) that cannot be suppressed.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from pathlib import PurePosixPath
+
+__all__ = ["Finding", "ModuleContext", "RULES", "Rule", "register"]
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at one source location."""
+
+    code: str
+    path: str
+    line: int
+    message: str
+
+    def render(self) -> str:
+        return f"{self.path}:{self.line}: {self.code} {self.message}"
+
+
+class ModuleContext:
+    """One parsed module plus the path-based classification rules use.
+
+    ``path`` may be virtual (the fixture tests lint in-memory snippets
+    under invented paths); only its shape matters. Classification is by
+    path segments so the linter behaves identically from any working
+    directory.
+    """
+
+    def __init__(self, path: str, source: str, tree: ast.AST):
+        self.path = path
+        self.source = source
+        self.tree = tree
+        parts = PurePosixPath(path.replace("\\", "/")).parts
+        self.parts = parts
+        # Module path inside the repro package, e.g. "storage/buffer.py".
+        self.repro_rel: str | None = None
+        if "repro" in parts:
+            idx = len(parts) - 1 - parts[::-1].index("repro")
+            self.repro_rel = "/".join(parts[idx + 1:])
+        name = parts[-1] if parts else ""
+        self.is_test = (
+            "tests" in parts
+            or name.startswith("test_")
+            or name == "conftest.py"
+        )
+
+    def in_repro_package(self, prefix: str) -> bool:
+        """Whether the module lives under ``repro/<prefix>``."""
+        return self.repro_rel is not None and self.repro_rel.startswith(prefix)
+
+    def is_repro_module(self, rel: str) -> bool:
+        """Whether the module *is* ``repro/<rel>`` exactly."""
+        return self.repro_rel == rel
+
+
+class Rule(ast.NodeVisitor):
+    """Base class: one rule instance checks one module."""
+
+    code: str = "RPR000"
+    title: str = ""
+
+    def __init__(self, ctx: ModuleContext):
+        self.ctx = ctx
+        self.findings: list[Finding] = []
+
+    def applies(self) -> bool:
+        """Whether this rule runs on the context's module at all."""
+        return True
+
+    def run(self) -> list[Finding]:
+        if self.applies():
+            self.visit(self.ctx.tree)
+        return self.findings
+
+    def report(self, node: ast.AST, message: str) -> None:
+        self.findings.append(
+            Finding(
+                code=self.code,
+                path=self.ctx.path,
+                line=getattr(node, "lineno", 1),
+                message=message,
+            )
+        )
+
+
+#: Registry code -> rule class, in catalog order.
+RULES: dict[str, type[Rule]] = {}
+
+
+def register(cls: type[Rule]) -> type[Rule]:
+    if cls.code in RULES:
+        raise ValueError(f"duplicate rule code {cls.code}")
+    RULES[cls.code] = cls
+    return cls
+
+
+# --------------------------------------------------------------------- #
+# AST helpers
+# --------------------------------------------------------------------- #
+
+
+def _attr_chain(node: ast.AST) -> list[str] | None:
+    """``a.b.c`` -> ["a", "b", "c"]; None for non-name chains."""
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        parts.reverse()
+        return parts
+    return None
+
+
+def _receiver_is_disk(func: ast.Attribute) -> bool:
+    """Whether a method call's receiver is (an attribute named) ``disk``."""
+    value = func.value
+    if isinstance(value, ast.Name):
+        return value.id == "disk"
+    if isinstance(value, ast.Attribute):
+        return value.attr == "disk"
+    return False
+
+
+# --------------------------------------------------------------------- #
+# RPR001: direct disk access outside the storage layer
+# --------------------------------------------------------------------- #
+
+
+@register
+class DirectDiskAccess(Rule):
+    """Single-page disk I/O must go through the buffer pool.
+
+    ``disk.read`` / ``disk.write`` / ``disk.install`` bypass the
+    buffer's hit/miss accounting, so counters stop matching what a real
+    buffer manager would report. Outside ``repro/storage/`` these calls
+    are flagged. The *batch* protocol (``read_run`` / ``write_run``)
+    stays legal everywhere: it is the paper's explicit sequential-I/O
+    channel and reports to the metrics collector itself, as do the
+    unaccounted introspection entry points (``peek``, ``exists``,
+    ``reset_arm``, ``allocate``).
+    """
+
+    code = "RPR001"
+    title = "direct disk access outside storage/"
+
+    _FLAGGED = ("read", "write", "install")
+
+    def applies(self) -> bool:
+        return not self.ctx.is_test and not self.ctx.in_repro_package(
+            "storage/"
+        )
+
+    def visit_Call(self, node: ast.Call) -> None:
+        func = node.func
+        if (
+            isinstance(func, ast.Attribute)
+            and func.attr in self._FLAGGED
+            and _receiver_is_disk(func)
+        ):
+            self.report(
+                node,
+                f"direct disk.{func.attr}() bypasses the buffer pool; "
+                f"route page I/O through BufferPool so hit/miss "
+                f"accounting stays truthful",
+            )
+        self.generic_visit(node)
+
+
+# --------------------------------------------------------------------- #
+# RPR002: nondeterminism primitives outside workload/seeding.py
+# --------------------------------------------------------------------- #
+
+
+@register
+class NondeterminismPrimitive(Rule):
+    """Process-salted or wall-clock primitives break reproducibility.
+
+    ``hash()`` is salted per process (the exact bug PR 3 excised from
+    seed derivation), bare ``random.*`` module calls consume hidden
+    global state, and wall-clock reads (``time.time``, ``datetime.now``,
+    ``os.urandom``, ``uuid.uuid4``) make counters run-dependent. The one
+    legal home for such primitives is :mod:`repro.workload.seeding`,
+    which wraps them behind SHA-256-stable derivation. ``random.Random``
+    / ``random.SystemRandom`` constructors stay legal — an explicitly
+    seeded instance is the deterministic idiom. ``hash()`` stays legal
+    inside ``__hash__`` implementations and hash-named helpers.
+    """
+
+    code = "RPR002"
+    title = "nondeterminism primitive outside workload/seeding.py"
+
+    _RANDOM_OK = ("Random", "SystemRandom", "seed")
+    _CLOCKS = {
+        ("time", "time"),
+        ("time", "time_ns"),
+        ("datetime", "now"),
+        ("datetime", "today"),
+        ("datetime", "utcnow"),
+        ("date", "today"),
+        ("os", "urandom"),
+        ("uuid", "uuid4"),
+        ("uuid", "uuid1"),
+    }
+
+    def __init__(self, ctx: ModuleContext):
+        super().__init__(ctx)
+        self._func_stack: list[str] = []
+
+    def applies(self) -> bool:
+        return not self.ctx.is_repro_module("workload/seeding.py")
+
+    def _in_hash_context(self) -> bool:
+        return any("hash" in name.lower() for name in self._func_stack)
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        self._func_stack.append(node.name)
+        self.generic_visit(node)
+        self._func_stack.pop()
+
+    def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
+        self._func_stack.append(node.name)
+        self.generic_visit(node)
+        self._func_stack.pop()
+
+    def visit_Call(self, node: ast.Call) -> None:
+        func = node.func
+        if isinstance(func, ast.Name) and func.id == "hash":
+            if not self._in_hash_context():
+                self.report(
+                    node,
+                    "builtin hash() is salted per process; derive seeds "
+                    "with repro.workload.seeding.derive_seed/stable_digest",
+                )
+        elif isinstance(func, ast.Attribute):
+            chain = _attr_chain(func)
+            if chain is not None and len(chain) == 2:
+                head, attr = chain[0], chain[1]
+                if head == "random" and attr not in self._RANDOM_OK:
+                    self.report(
+                        node,
+                        f"bare random.{attr}() uses hidden global state; "
+                        f"use an explicitly seeded random.Random instance",
+                    )
+                elif (head, attr) in self._CLOCKS:
+                    self.report(
+                        node,
+                        f"{head}.{attr}() is wall-clock/entropy "
+                        f"nondeterminism; accounting paths must be "
+                        f"replayable (time.perf_counter is fine for "
+                        f"wall-time reporting)",
+                    )
+        self.generic_visit(node)
+
+
+# --------------------------------------------------------------------- #
+# RPR003: pin acquires must release on every control-flow path
+# --------------------------------------------------------------------- #
+
+
+@register
+class PinWithoutFinally(Rule):
+    """Every pin acquire needs a release protected by ``finally``.
+
+    A leaked pin survives the operation that took it: the next purge or
+    eviction raises :class:`~repro.errors.PinError` and the pool wedges.
+    With fault injection, *any* accounted read can raise mid-operation,
+    so releases that only run on the happy path are latent leaks. The
+    rule is per-function: a function that acquires (``pin=True`` or
+    ``.pin()``) must place at least one ``.unpin()`` inside a
+    ``finally`` block.
+    """
+
+    code = "RPR003"
+    title = "pin acquire without finally-protected release"
+
+    def applies(self) -> bool:
+        return not self.ctx.is_test
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        self._check_function(node)
+        # Nested functions are checked independently via generic_visit;
+        # _check_function itself does not descend into nested defs.
+        self.generic_visit(node)
+
+    visit_AsyncFunctionDef = visit_FunctionDef  # type: ignore[assignment]
+
+    def _check_function(self, func: ast.FunctionDef) -> None:
+        nodes = list(self._walk_excluding_nested(func))
+        finally_ids = set()
+        for node in nodes:
+            if isinstance(node, ast.Try):
+                for fin in node.finalbody:
+                    finally_ids.update(id(n) for n in ast.walk(fin))
+        acquires = [
+            n for n in nodes
+            if isinstance(n, ast.Call) and self._is_acquire(n)
+        ]
+        releases = [
+            n for n in nodes
+            if isinstance(n, ast.Call) and self._is_release(n)
+        ]
+        protected_releases = [n for n in releases if id(n) in finally_ids]
+        if not acquires:
+            return
+        if not releases:
+            self.report(
+                acquires[0],
+                f"{func.name}() acquires a pin but never releases one; "
+                f"pair every pin with an unpin",
+            )
+        elif not protected_releases:
+            self.report(
+                acquires[0],
+                f"{func.name}() releases pins outside try/finally; an "
+                f"exception mid-operation (e.g. injected fault) leaks "
+                f"the pin and wedges the buffer pool",
+            )
+
+    @staticmethod
+    def _walk_excluding_nested(func: ast.FunctionDef):
+        """Every node of ``func``'s body, skipping nested function defs
+        (each nested def gets its own per-function check)."""
+        stack: list[ast.AST] = list(func.body)
+        while stack:
+            node = stack.pop()
+            yield node
+            for child in ast.iter_child_nodes(node):
+                if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    continue
+                stack.append(child)
+
+    @staticmethod
+    def _is_acquire(call: ast.Call) -> bool:
+        for kw in call.keywords:
+            if (
+                kw.arg == "pin"
+                and isinstance(kw.value, ast.Constant)
+                and kw.value.value is True
+            ):
+                return True
+        func = call.func
+        return isinstance(func, ast.Attribute) and func.attr == "pin"
+
+    @staticmethod
+    def _is_release(call: ast.Call) -> bool:
+        func = call.func
+        return isinstance(func, ast.Attribute) and func.attr == "unpin"
+
+
+# --------------------------------------------------------------------- #
+# RPR004: accounting phases are entered by the engine only
+# --------------------------------------------------------------------- #
+
+
+@register
+class PhaseOutsideEngine(Rule):
+    """``metrics.phase(Phase.X)`` belongs to the engine and the workspace.
+
+    Cost attribution lives in exactly one place (the PR 2 invariant): the
+    pipeline executor charges join phases, and the workspace charges
+    SETUP for pre-existing structures. A driver or tree entering phases
+    by hand re-creates the pre-engine drift this centralisation removed.
+    Module-level I/O-issuing calls are also flagged: import-time I/O runs
+    outside any :class:`~repro.join.engine.ExecutionContext` phase, so
+    its cost would land in whatever phase the importer happened to be in.
+    """
+
+    code = "RPR004"
+    title = "accounting-phase entry outside the engine/workspace"
+
+    _ALLOWED = ("join/engine.py", "workspace.py")
+    _ALLOWED_PACKAGES = ("metrics/", "experiments/", "analysis/")
+    _IO_CALLS = (
+        "fetch", "read_node", "scan", "read_all", "read", "write",
+        "read_run", "write_run", "window_query",
+    )
+
+    def applies(self) -> bool:
+        return not self.ctx.is_test
+
+    def _phase_entry_allowed(self) -> bool:
+        return any(self.ctx.is_repro_module(m) for m in self._ALLOWED) or any(
+            self.ctx.in_repro_package(p) for p in self._ALLOWED_PACKAGES
+        )
+
+    def run(self) -> list[Finding]:
+        if not self.applies():
+            return self.findings
+        allowed = self._phase_entry_allowed()
+        for node in ast.walk(self.ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            if not allowed and self._is_phase_entry(node):
+                self.report(
+                    node,
+                    "metrics.phase(Phase.…) outside the engine/workspace; "
+                    "declare the accounting phase on the JoinPhase instead",
+                )
+        # Module top level: I/O-issuing calls run before any pipeline
+        # phase exists.
+        body = getattr(self.ctx.tree, "body", [])
+        for stmt in body:
+            if isinstance(
+                stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+            ):
+                continue
+            for child in ast.walk(stmt):
+                if isinstance(child, ast.Call):
+                    func = child.func
+                    if (
+                        isinstance(func, ast.Attribute)
+                        and func.attr in self._IO_CALLS
+                    ):
+                        self.report(
+                            child,
+                            f"module-level .{func.attr}() issues I/O "
+                            f"outside any execution phase",
+                        )
+        return self.findings
+
+    @staticmethod
+    def _is_phase_entry(call: ast.Call) -> bool:
+        func = call.func
+        if not (isinstance(func, ast.Attribute) and func.attr == "phase"):
+            return False
+        for arg in call.args:
+            if (
+                isinstance(arg, ast.Attribute)
+                and isinstance(arg.value, ast.Name)
+                and arg.value.id == "Phase"
+            ):
+                return True
+        return False
+
+
+# --------------------------------------------------------------------- #
+# RPR005: module-level mutable state in worker-shipped modules
+# --------------------------------------------------------------------- #
+
+
+@register
+class ModuleLevelMutableState(Rule):
+    """Worker payloads must not lean on module-level mutable state.
+
+    The parallel executor forks workers that import the same modules; a
+    module-level mutable object mutated by one process silently diverges
+    from its siblings (and from a spawn-context run), breaking the
+    counter-reconciliation invariant. ``global`` statements and
+    module-level mutable assignments to non-constant names are flagged.
+    ALL_CAPS names and dunders (``__all__``) are treated as constants by
+    convention.
+    """
+
+    code = "RPR005"
+    title = "module-level mutable state"
+
+    _MUTABLE_CALLS = ("list", "dict", "set", "defaultdict", "deque",
+                      "OrderedDict", "Counter")
+
+    def applies(self) -> bool:
+        return not self.ctx.is_test
+
+    def run(self) -> list[Finding]:
+        if not self.applies():
+            return self.findings
+        for node in ast.walk(self.ctx.tree):
+            if isinstance(node, ast.Global):
+                self.report(
+                    node,
+                    "global statement mutates module state shared across "
+                    "pool workers; thread state through the execution "
+                    "context instead",
+                )
+        for stmt in getattr(self.ctx.tree, "body", []):
+            targets: list[ast.expr] = []
+            value: ast.expr | None = None
+            if isinstance(stmt, ast.Assign):
+                targets, value = stmt.targets, stmt.value
+            elif isinstance(stmt, ast.AnnAssign) and stmt.value is not None:
+                targets, value = [stmt.target], stmt.value
+            if value is None or not self._is_mutable(value):
+                continue
+            for target in targets:
+                if isinstance(target, ast.Name) and not self._is_constant_name(
+                    target.id
+                ):
+                    self.report(
+                        stmt,
+                        f"module-level mutable {target.id!r} is shared "
+                        f"state across pool workers; make it a function "
+                        f"local or an ALL_CAPS constant never mutated",
+                    )
+        return self.findings
+
+    @classmethod
+    def _is_mutable(cls, value: ast.expr) -> bool:
+        if isinstance(value, (ast.List, ast.Dict, ast.Set, ast.ListComp,
+                              ast.DictComp, ast.SetComp)):
+            return True
+        if isinstance(value, ast.Call) and isinstance(value.func, ast.Name):
+            return value.func.id in cls._MUTABLE_CALLS
+        return False
+
+    @staticmethod
+    def _is_constant_name(name: str) -> bool:
+        if name.startswith("__") and name.endswith("__"):
+            return True
+        bare = name.lstrip("_")
+        return bool(bare) and bare == bare.upper()
+
+
+# --------------------------------------------------------------------- #
+# RPR006: raw float equality on rectangle coordinates
+# --------------------------------------------------------------------- #
+
+
+@register
+class RawCoordinateEquality(Rule):
+    """``r.xlo == x`` comparisons must use the geometry epsilon helpers.
+
+    Coordinate arithmetic (unions, centers, enlargements) accumulates
+    float error; raw ``==`` on a coordinate makes containment and
+    dedup decisions flip with operation order. Use
+    :func:`repro.geometry.feq` / :func:`repro.geometry.rect_approx_eq`
+    (or ``pytest.approx`` in tests). The geometry package itself is
+    exempt — it defines the exact-equality semantics (``Rect.__eq__``)
+    the helpers are built on.
+    """
+
+    code = "RPR006"
+    title = "raw float == on rectangle coordinates"
+
+    _COORDS = ("xlo", "ylo", "xhi", "yhi")
+
+    def applies(self) -> bool:
+        return not self.ctx.in_repro_package("geometry/")
+
+    def visit_Compare(self, node: ast.Compare) -> None:
+        operands = [node.left, *node.comparators]
+        for i, op in enumerate(node.ops):
+            if not isinstance(op, (ast.Eq, ast.NotEq)):
+                continue
+            left, right = operands[i], operands[i + 1]
+            if not (self._is_coord(left) or self._is_coord(right)):
+                continue
+            if self._is_approx(left) or self._is_approx(right):
+                continue
+            self.report(
+                node,
+                "raw float == on a rectangle coordinate; use "
+                "repro.geometry.feq/rect_approx_eq (or pytest.approx)",
+            )
+            break
+        self.generic_visit(node)
+
+    @classmethod
+    def _is_coord(cls, node: ast.expr) -> bool:
+        return isinstance(node, ast.Attribute) and node.attr in cls._COORDS
+
+    @staticmethod
+    def _is_approx(node: ast.expr) -> bool:
+        if not isinstance(node, ast.Call):
+            return False
+        func = node.func
+        if isinstance(func, ast.Attribute):
+            return func.attr == "approx"
+        return isinstance(func, ast.Name) and func.id == "approx"
+
+
+#: Descriptions surfaced by ``repro-lint --list-rules``; RPR000 is the
+#: linter-level rule for suppressions that fail to cite a reason.
+RULE_SUMMARIES: dict[str, str] = {
+    "RPR000": "suppression comment without a reason (unsuppressible)",
+    **{code: cls.title for code, cls in RULES.items()},
+}

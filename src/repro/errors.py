@@ -93,6 +93,15 @@ class TreePhaseError(TreeError):
     """
 
 
+class InvariantViolation(ReproError):
+    """A runtime sanitizer check failed at a phase boundary.
+
+    Raised only when sanitizing is enabled (``REPRO_SANITIZE=1`` or
+    ``sanitize=True``); see :mod:`repro.analysis.sanitizer`. The message
+    names the violated invariant and the phase boundary it was caught at.
+    """
+
+
 class WorkloadError(ReproError):
     """A workload/data-set generation request is invalid."""
 

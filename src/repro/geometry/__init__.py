@@ -6,7 +6,10 @@ bounding rectangles (MBRs); this subpackage owns their representation
 used by the tree-matching algorithm (:mod:`repro.geometry.sweep`).
 """
 
+from .eps import EPSILON, feq, rect_approx_eq
 from .rect import Rect, union_all
 from .sweep import sweep_pairs
 
-__all__ = ["Rect", "union_all", "sweep_pairs"]
+__all__ = [
+    "EPSILON", "Rect", "feq", "rect_approx_eq", "sweep_pairs", "union_all",
+]

@@ -1,0 +1,38 @@
+"""Tolerant float comparison for rectangle coordinates.
+
+Coordinates flow through unions, enlargement arithmetic, and the z-order
+transform, so two values that are "the same edge" can differ in their
+last bits. Comparing them with raw ``==`` silently turns such pairs into
+distinct edges; ``repro-lint`` flags that as RPR006 and points here.
+
+The helpers compare with a relative tolerance (:data:`EPSILON`) plus the
+same value as an absolute floor for coordinates near zero, via
+:func:`math.isclose`. Exact equality still short-circuits, so values
+produced by copying (the common case in tree code) never pay the
+tolerance arithmetic.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any
+
+__all__ = ["EPSILON", "feq", "rect_approx_eq"]
+
+#: Relative (and near-zero absolute) tolerance for coordinate equality.
+EPSILON = 1e-9
+
+
+def feq(a: float, b: float, eps: float = EPSILON) -> bool:
+    """Whether two coordinates are equal within tolerance."""
+    return a == b or math.isclose(a, b, rel_tol=eps, abs_tol=eps)
+
+
+def rect_approx_eq(a: Any, b: Any, eps: float = EPSILON) -> bool:
+    """Whether two rectangles coincide within tolerance on every edge."""
+    return (
+        feq(a.xlo, b.xlo, eps)
+        and feq(a.ylo, b.ylo, eps)
+        and feq(a.xhi, b.xhi, eps)
+        and feq(a.yhi, b.yhi, eps)
+    )

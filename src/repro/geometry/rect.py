@@ -31,7 +31,7 @@ class Rect:
 
     __slots__ = ("xlo", "ylo", "xhi", "yhi")
 
-    def __init__(self, xlo: float, ylo: float, xhi: float, yhi: float):
+    def __init__(self, xlo: float, ylo: float, xhi: float, yhi: float) -> None:
         if xlo > xhi or ylo > yhi:
             raise GeometryError(
                 f"malformed rectangle: ({xlo}, {ylo}, {xhi}, {yhi})"

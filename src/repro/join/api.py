@@ -115,10 +115,12 @@ def _naive_join(
     metrics: MetricsCollector,
     data_r: DataFile | None,
     trace: JoinTrace | None,
+    sanitize: bool | None = None,
 ) -> JoinResult:
     ctx = ExecutionContext(
         data_s=data_s, metrics=metrics, tree_r=tree_r, trace=trace,
         options={"data_r": _indexed_side_entries(tree_r, data_r)},
+        sanitize=sanitize,
     )
     return naive_pipeline("NAIVE").execute(ctx)
 
@@ -143,6 +145,7 @@ def _zorder_join(
     metrics: MetricsCollector,
     data_r: DataFile | None,
     trace: JoinTrace | None,
+    sanitize: bool | None = None,
     max_elements: int = 4,
 ) -> JoinResult:
     # The indexed side has an R-tree but no z-file, so a prepare phase
@@ -155,6 +158,7 @@ def _zorder_join(
         data_s=data_s, metrics=metrics, tree_r=tree_r, buffer=buffer,
         config=config, trace=trace,
         options={"data_r": data_r, "max_elements": max_elements},
+        sanitize=sanitize,
     )
     return pipeline.execute(ctx)
 
@@ -180,6 +184,7 @@ def _two_seeded_from_facade(
     metrics: MetricsCollector,
     data_r: DataFile | None,
     trace: JoinTrace | None,
+    sanitize: bool | None = None,
     *,
     seeds: str = "grid",
     grid_cells: int = 16,
@@ -210,6 +215,7 @@ def _two_seeded_from_facade(
             "split": split if split is not None else quadratic_split,
             "sample_seed": sample_seed,
         },
+        sanitize=sanitize,
     )
     return pipeline.execute(ctx)
 
@@ -251,6 +257,7 @@ def _parallel_join(
     recovery: RecoveryPolicy | None,
     join_trace: JoinTrace | None,
     data_r: DataFile | None,
+    sanitize: bool | None,
     method_options: dict,
 ) -> JoinResult:
     worker_method, options, label = _canonical_parallel_method(
@@ -267,7 +274,7 @@ def _parallel_join(
     )
     return executor.run(
         data_s, tree_r, metrics, trace=join_trace, data_r=data_r,
-        recovery=recovery,
+        recovery=recovery, sanitize=sanitize,
     )
 
 
@@ -284,6 +291,7 @@ def spatial_join(
     workers: int | None = None,
     partitions: int | None = None,
     parallel_seed: int = 0,
+    sanitize: bool | None = None,
     **method_options,
 ) -> JoinResult:
     """Join a derived data set with an R-tree-indexed one.
@@ -318,6 +326,12 @@ def spatial_join(
     Available for every method; ``None`` (the default) is the
     single-substrate sequential path, byte-identical to before.
     ``parallel_seed`` feeds the stable per-partition seed derivation.
+
+    ``sanitize`` arms the runtime invariant sanitizer
+    (:mod:`repro.analysis.sanitizer`): ``True`` forces it on, ``False``
+    off, and ``None`` (the default) defers to the ``REPRO_SANITIZE``
+    environment variable. All checks run through unaccounted paths, so
+    the returned cost summary is bit-identical either way.
     """
     upper = method.strip().upper()
     join_trace = _make_trace(trace, metrics, buffer)
@@ -325,27 +339,33 @@ def spatial_join(
         return _parallel_join(
             upper, data_s, tree_r, config, metrics,
             workers if workers is not None else 1, partitions,
-            parallel_seed, recovery, join_trace, data_r, method_options,
+            parallel_seed, recovery, join_trace, data_r, sanitize,
+            method_options,
         )
     if upper == "BFJ":
-        return brute_force_join(data_s, tree_r, metrics, trace=join_trace)
+        return brute_force_join(data_s, tree_r, metrics, trace=join_trace,
+                                sanitize=sanitize)
     if upper == "RTJ":
         return rtree_join(data_s, tree_r, buffer, config, metrics,
-                          recovery=recovery, trace=join_trace)
+                          recovery=recovery, trace=join_trace,
+                          sanitize=sanitize)
     if upper == "NAIVE":
-        return _naive_join(data_s, tree_r, metrics, data_r, join_trace)
+        return _naive_join(data_s, tree_r, metrics, data_r, join_trace,
+                           sanitize=sanitize)
     if upper == "ZJOIN":
         return _zorder_join(data_s, tree_r, buffer, config, metrics,
-                            data_r, join_trace, **method_options)
+                            data_r, join_trace, sanitize=sanitize,
+                            **method_options)
     if upper == "2STJ":
         return _two_seeded_from_facade(
             data_s, tree_r, buffer, config, metrics, data_r, join_trace,
-            **method_options,
+            sanitize=sanitize, **method_options,
         )
     if upper == "STJ":
         return seeded_tree_join(
             data_s, tree_r, buffer, config, metrics,
-            recovery=recovery, trace=join_trace, **method_options,
+            recovery=recovery, trace=join_trace, sanitize=sanitize,
+            **method_options,
         )
     variant = STJVariant.parse(upper)
     result = seeded_tree_join(
@@ -356,6 +376,7 @@ def spatial_join(
         filtering=variant.filtering,
         recovery=recovery,
         trace=join_trace,
+        sanitize=sanitize,
         **method_options,
     )
     if not result.degraded:

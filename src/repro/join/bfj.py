@@ -44,9 +44,11 @@ def brute_force_join(
     tree_r: RTree,
     metrics: MetricsCollector,
     trace: JoinTrace | None = None,
+    sanitize: bool | None = None,
 ) -> JoinResult:
     """Join ``data_s`` with the data indexed by ``tree_r`` via window queries."""
     ctx = ExecutionContext(
         data_s=data_s, metrics=metrics, tree_r=tree_r, trace=trace,
+        sanitize=sanitize,
     )
     return bfj_pipeline().execute(ctx)

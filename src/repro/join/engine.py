@@ -31,8 +31,15 @@ from contextlib import nullcontext
 from dataclasses import dataclass, field
 from typing import Any, Callable
 
+from ..analysis.sanitizer import Sanitizer, resolve_sanitizer
 from ..config import SystemConfig
-from ..errors import ExperimentError, RecoveryError, SimulatedCrashError, StorageError
+from ..errors import (
+    ExperimentError,
+    InvariantViolation,
+    RecoveryError,
+    SimulatedCrashError,
+    StorageError,
+)
 from ..geometry import Rect
 from ..metrics import CollectorSnapshot, MetricsCollector, Phase
 from ..metrics.tracing import JoinTrace, TraceSpan, shift_span_times
@@ -69,6 +76,14 @@ class ExecutionContext:
     policies, seed sources); ``state`` is the hand-off area phases write
     to and read from — conventionally ``state["index"]`` for the
     join-time structure and ``state["pairs"]`` for the answer set.
+
+    ``sanitize`` opts into runtime invariant checking at phase
+    boundaries (:mod:`repro.analysis.sanitizer`): ``True`` forces it on,
+    ``False`` off, ``None`` defers to the ``REPRO_SANITIZE`` environment
+    variable. The engine resolves the flag to a
+    :class:`~repro.analysis.sanitizer.Sanitizer` instance on first
+    execution and keeps it on the context, so a degradation re-entry
+    continues the same counter-snapshot history.
     """
 
     data_s: Any
@@ -80,6 +95,7 @@ class ExecutionContext:
     trace: JoinTrace | None = None
     options: dict[str, Any] = field(default_factory=dict)
     state: dict[str, Any] = field(default_factory=dict)
+    sanitize: bool | Sanitizer | None = None
 
 
 #: A phase body: mutates ``ctx.state``, returns nothing.
@@ -164,9 +180,12 @@ class JoinPipeline:
         """Run the phases and assemble the result.
 
         The engine — never a driver — enters accounting phases, drives
-        the crash-recovery loop, performs BFJ degradation, and records
-        trace spans.
+        the crash-recovery loop, performs BFJ degradation, records trace
+        spans, and (when enabled) runs the invariant sanitizer at every
+        phase boundary.
         """
+        sanitizer = resolve_sanitizer(ctx.sanitize)
+        ctx.sanitize = sanitizer if sanitizer is not None else False
         if ctx.trace is not None and ctx.trace.depth == 0:
             root_cm = ctx.trace.span(self.algorithm, kind="join")
         elif ctx.trace is not None:
@@ -187,6 +206,11 @@ class JoinPipeline:
                     ):
                         return self._degrade(ctx, exc)
                     raise
+                # Outside the phase's accounting context, so the checks
+                # could not perturb attribution even if they charged
+                # anything (they don't: all access is peek-only).
+                if sanitizer is not None:
+                    sanitizer.after_phase(ctx, phase.name)
             return self._assemble(ctx)
 
     def _run_phase(self, ctx: ExecutionContext, phase: JoinPhase) -> None:
@@ -302,6 +326,7 @@ class _PartitionTask:
     seed: int
     want_trace: bool
     recovery: RecoveryPolicy | None = None
+    sanitize: bool | None = None
 
     @property
     def needs_data_r(self) -> bool:
@@ -382,7 +407,7 @@ def run_partition_task(task: _PartitionTask) -> _PartitionOutcome:
     result = spatial_join(
         file_s, tree_r, ws.buffer, ws.config, ws.metrics,
         method=method, recovery=task.recovery, trace=task.want_trace,
-        data_r=file_r, **options,
+        data_r=file_r, sanitize=task.sanitize, **options,
     )
     wall_s = time.perf_counter() - started
 
@@ -463,7 +488,9 @@ class ParallelExecutor:
         trace: JoinTrace | None = None,
         data_r: Any | None = None,
         recovery: RecoveryPolicy | None = None,
+        sanitize: bool | None = None,
     ) -> JoinResult:
+        sanitizer = resolve_sanitizer(sanitize)
         root_cm = (
             trace.span(f"parallel[{self.label}]", kind="join")
             if trace is not None
@@ -471,10 +498,11 @@ class ParallelExecutor:
         )
         with root_cm:
             tasks = self._plan(data_s, tree_r, metrics, trace, data_r,
-                               recovery)
+                               recovery, sanitize)
             base = trace.clock() if trace is not None else 0.0
             outcomes = self._execute(tasks)
-            return self._merge(tasks, outcomes, metrics, trace, base)
+            return self._merge(tasks, outcomes, metrics, trace, base,
+                               sanitizer)
 
     # ----------------------------------------------------------------- #
     # Planning: extract, tile, shard
@@ -488,6 +516,7 @@ class ParallelExecutor:
         trace: JoinTrace | None,
         data_r: Any | None,
         recovery: RecoveryPolicy | None,
+        sanitize: bool | None = None,
     ) -> list[_PartitionTask]:
         span_cm = (
             trace.span("prepare-shards", kind="phase", phase=Phase.SETUP)
@@ -534,6 +563,7 @@ class ParallelExecutor:
                 seed=derive_seed(self.seed, "partition", shard.tile.index),
                 want_trace=want_trace,
                 recovery=recovery,
+                sanitize=sanitize,
             )
             for shard in shards
         ]
@@ -574,13 +604,25 @@ class ParallelExecutor:
         metrics: MetricsCollector,
         trace: JoinTrace | None,
         base: float,
+        sanitizer: Sanitizer | None = None,
     ) -> JoinResult:
         tiles = {shard.tile.index: shard.tile for shard in self._shards}
         stats: list[PartitionStats] = []
         pairs: list[tuple[int, int]] = []
         degraded = False
+        # Reconciliation invariant, checked under the sanitizer: the
+        # parent's counters after absorbing every partition equal the
+        # counter-wise sum of the per-partition snapshots — same fold
+        # order as the absorb loop, so even float fields (backoff
+        # seconds) must agree bit for bit.
+        expected = (
+            CollectorSnapshot.capture(metrics) if sanitizer is not None
+            else None
+        )
         for outcome in sorted(outcomes, key=lambda o: o.index):
             metrics.absorb(outcome.snapshot)
+            if expected is not None:
+                expected = expected.merged_with(outcome.snapshot)
             pairs.extend(outcome.pairs)
             degraded = degraded or outcome.degraded
             stats.append(PartitionStats(
@@ -598,6 +640,14 @@ class ParallelExecutor:
             ))
             if trace is not None:
                 trace.adopt(self._partition_span(outcome, base))
+        if expected is not None:
+            merged = CollectorSnapshot.capture(metrics)
+            if merged != expected:
+                raise InvariantViolation(
+                    "merged collector counters are not the exact sum of "
+                    "the per-partition snapshots (after merging "
+                    f"{len(outcomes)} partitions)"
+                )
         pairs.sort()
         result = JoinResult(
             pairs=pairs, index=None, algorithm=self.label,

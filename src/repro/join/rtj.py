@@ -97,11 +97,13 @@ def rtree_join(
     split: SplitFunction = quadratic_split,
     recovery: RecoveryPolicy | None = None,
     trace: JoinTrace | None = None,
+    sanitize: bool | None = None,
 ) -> JoinResult:
     """Build an R-tree for ``data_s`` and TM-match it against ``tree_r``."""
     ctx = ExecutionContext(
         data_s=data_s, metrics=metrics, tree_r=tree_r, buffer=buffer,
         config=config, recovery=recovery, trace=trace,
         options={"split": split},
+        sanitize=sanitize,
     )
     return rtj_pipeline().execute(ctx)

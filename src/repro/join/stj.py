@@ -106,6 +106,7 @@ def seeded_tree_join(
     split: SplitFunction = quadratic_split,
     recovery: RecoveryPolicy | None = None,
     trace: JoinTrace | None = None,
+    sanitize: bool | None = None,
 ) -> JoinResult:
     """Join ``data_s`` with ``tree_r`` by constructing a seeded tree.
 
@@ -124,5 +125,6 @@ def seeded_tree_join(
         data_s=data_s, metrics=metrics, tree_r=tree_r, buffer=buffer,
         config=config, recovery=recovery, trace=trace,
         options={"tree_kwargs": tree_kwargs},
+        sanitize=sanitize,
     )
     return stj_pipeline().execute(ctx)

@@ -161,7 +161,7 @@ class MetricsCollector:
         Supplies the sequential-access cost weight used when summarising.
     """
 
-    def __init__(self, config: SystemConfig | None = None):
+    def __init__(self, config: SystemConfig | None = None) -> None:
         self.config = config or SystemConfig()
         self.cpu = CpuCounters()
         self._io: dict[Phase, IoCounters] = {p: IoCounters() for p in Phase}

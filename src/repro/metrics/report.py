@@ -14,6 +14,7 @@ from __future__ import annotations
 
 from typing import Iterable, Sequence
 
+from ..config import SystemConfig
 from .collector import CostSummary, MetricsCollector, Phase
 from .counters import FaultCounters, IoCounters
 from .tracing import JoinTrace, TraceSpan
@@ -128,7 +129,7 @@ def format_fault_table(
 
 def format_partition_table(
     partitions: Sequence,
-    config,
+    config: SystemConfig,
     title: str | None = None,
 ) -> str:
     """Render a parallel run's per-partition accounting plus the merged

@@ -25,6 +25,7 @@ from __future__ import annotations
 import json
 import time
 from dataclasses import dataclass, field
+from types import TracebackType
 from typing import Any, Callable, Iterator
 
 from .collector import MetricsCollector, Phase
@@ -166,7 +167,7 @@ class JoinTrace:
         metrics: MetricsCollector,
         buffer: Any | None = None,
         clock: Callable[[], float] = time.perf_counter,
-    ):
+    ) -> None:
         self.metrics = metrics
         self.buffer = buffer
         self.clock = clock
@@ -313,7 +314,7 @@ class _SpanContext:
         name: str,
         kind: str,
         phase: Phase | None,
-    ):
+    ) -> None:
         self.trace = trace
         self.span = TraceSpan(
             name=name, kind=kind, phase=phase.value if phase else None
@@ -326,7 +327,12 @@ class _SpanContext:
         self.trace._open(self.span)
         return self.span
 
-    def __exit__(self, exc_type, exc, tb) -> None:
+    def __exit__(
+        self,
+        exc_type: type[BaseException] | None,
+        exc: BaseException | None,
+        tb: TracebackType | None,
+    ) -> None:
         span, before = self.span, self._before
         assert before is not None
         after = _Snapshot.capture(self.trace.metrics, self.trace.buffer)

@@ -116,6 +116,10 @@ class RTreeCheckpointer:
             return None
         pages = [
             retry_read(
+                # Snapshot blobs are reloaded straight off disk: the
+                # buffer may not have survived the crash, and replay
+                # reads must not disturb its LRU state.
+                # repro-lint: disable=RPR001 -- deliberate buffer bypass
                 lambda pid=page_id: self.disk.read(pid), self.disk.metrics
             )
             for page_id in range(

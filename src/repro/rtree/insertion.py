@@ -70,60 +70,66 @@ def insert_into_subtree(
     """
     buffer = owner.buffer
     node = buffer.fetch(root_id, pin=True).payload
-    if node.level < target_level:
-        raise TreeError(
-            f"cannot insert at level {target_level}: subtree root is at "
-            f"level {node.level}"
-        )
     path: list[Node] = [node]
-    child_idxs: list[int] = []
-    while node.level > target_level:
-        idx = choose_subtree(owner, node, entry.mbr)
-        child_idxs.append(idx)
-        node = buffer.fetch(node.entries[idx].ref, pin=True).payload
-        path.append(node)
-
-    node.entries.append(entry)
-    buffer.mark_dirty(node.page_id)
-
-    new_root_id = root_id
-    sibling: Node | None = None
-    for depth in range(len(path) - 1, -1, -1):
-        cur = path[depth]
-        if len(cur.entries) > owner.capacity:
-            group_a, group_b = owner.split(
-                cur.entries, owner.min_fill, owner.metrics
+    try:
+        if node.level < target_level:
+            raise TreeError(
+                f"cannot insert at level {target_level}: subtree root is at "
+                f"level {node.level}"
             )
-            cur.entries = group_a
-            sibling = new_node(owner, cur.level, group_b)
-            buffer.mark_dirty(cur.page_id)
-        else:
-            sibling = None
+        child_idxs: list[int] = []
+        while node.level > target_level:
+            idx = choose_subtree(owner, node, entry.mbr)
+            child_idxs.append(idx)
+            node = buffer.fetch(node.entries[idx].ref, pin=True).payload
+            path.append(node)
 
-        if depth > 0:
-            parent = path[depth - 1]
-            parent_entry = parent.entries[child_idxs[depth - 1]]
-            if sibling is None:
-                # Exact cheap extension: the child's true MBR grew by at
-                # most the inserted entry's rectangle.
-                parent_entry.mbr = parent_entry.mbr.union(entry.mbr)
+        node.entries.append(entry)
+        buffer.mark_dirty(node.page_id)
+
+        new_root_id = root_id
+        sibling: Node | None = None
+        for depth in range(len(path) - 1, -1, -1):
+            cur = path[depth]
+            if len(cur.entries) > owner.capacity:
+                group_a, group_b = owner.split(
+                    cur.entries, owner.min_fill, owner.metrics
+                )
+                cur.entries = group_a
+                sibling = new_node(owner, cur.level, group_b)
+                buffer.mark_dirty(cur.page_id)
             else:
-                parent_entry.mbr = node_mbr(cur)
-                parent.entries.append(Entry(node_mbr(sibling), sibling.page_id))
-            buffer.mark_dirty(parent.page_id)
-        elif sibling is not None:
-            # Root split: the subtree grows one level; hand the caller a
-            # new root id to store (RTree.root_id or a slot pointer).
-            root = new_node(
-                owner,
-                cur.level + 1,
-                [
-                    Entry(node_mbr(cur), cur.page_id),
-                    Entry(node_mbr(sibling), sibling.page_id),
-                ],
-            )
-            new_root_id = root.page_id
+                sibling = None
 
-    for n in path:
-        buffer.unpin(n.page_id)
+            if depth > 0:
+                parent = path[depth - 1]
+                parent_entry = parent.entries[child_idxs[depth - 1]]
+                if sibling is None:
+                    # Exact cheap extension: the child's true MBR grew by at
+                    # most the inserted entry's rectangle.
+                    parent_entry.mbr = parent_entry.mbr.union(entry.mbr)
+                else:
+                    parent_entry.mbr = node_mbr(cur)
+                    parent.entries.append(
+                        Entry(node_mbr(sibling), sibling.page_id)
+                    )
+                buffer.mark_dirty(parent.page_id)
+            elif sibling is not None:
+                # Root split: the subtree grows one level; hand the caller a
+                # new root id to store (RTree.root_id or a slot pointer).
+                root = new_node(
+                    owner,
+                    cur.level + 1,
+                    [
+                        Entry(node_mbr(cur), cur.page_id),
+                        Entry(node_mbr(sibling), sibling.page_id),
+                    ],
+                )
+                new_root_id = root.page_id
+    finally:
+        # Release every descent pin even when the level check or a
+        # mid-descent fault aborts the insert, or the leaked pins would
+        # make the next buffer purge fail.
+        for n in path:
+            buffer.unpin(n.page_id)
     return new_root_id

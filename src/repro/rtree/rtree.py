@@ -193,28 +193,33 @@ class RTree:
         if path is None:
             return False
         nodes, child_idxs, entry_idx = path
-        for n in nodes:
-            self.buffer.pin(n.page_id)
+        pinned: list[Node] = []
+        try:
+            for n in nodes:
+                self.buffer.pin(n.page_id)
+                pinned.append(n)
 
-        leaf = nodes[-1]
-        del leaf.entries[entry_idx]
-        self.buffer.mark_dirty(leaf.page_id)
-        self._count -= 1
+            leaf = nodes[-1]
+            del leaf.entries[entry_idx]
+            self.buffer.mark_dirty(leaf.page_id)
+            self._count -= 1
 
-        orphans: list[Node] = []
-        for depth in range(len(nodes) - 1, 0, -1):
-            cur = nodes[depth]
-            parent = nodes[depth - 1]
-            idx = child_idxs[depth - 1]
-            if len(cur.entries) < self.min_fill:
-                del parent.entries[idx]
-                orphans.append(cur)
-            else:
-                parent.entries[idx].mbr = node_mbr(cur)
-            self.buffer.mark_dirty(parent.page_id)
-
-        for n in nodes:
-            self.buffer.unpin(n.page_id)
+            orphans: list[Node] = []
+            for depth in range(len(nodes) - 1, 0, -1):
+                cur = nodes[depth]
+                parent = nodes[depth - 1]
+                idx = child_idxs[depth - 1]
+                if len(cur.entries) < self.min_fill:
+                    del parent.entries[idx]
+                    orphans.append(cur)
+                else:
+                    parent.entries[idx].mbr = node_mbr(cur)
+                self.buffer.mark_dirty(parent.page_id)
+        finally:
+            # Condensing must not leak pins when a fault interrupts it —
+            # a surviving pin would fail the next purge.
+            for n in pinned:
+                self.buffer.unpin(n.page_id)
         for orphan in orphans:
             self.buffer.drop(orphan.page_id, write_back=False)
 

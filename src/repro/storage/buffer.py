@@ -314,3 +314,20 @@ class BufferPool:
         """
         frame = self._frames.get(page_id)
         return frame.page if frame is not None else None
+
+    def audit_frames(self) -> list[tuple[int, int, int, bool]]:
+        """``(frame key, page id, pin count, dirty)`` per resident frame.
+
+        In eviction order; reads nothing through the accounted path and
+        perturbs neither statistics nor replacement state — the runtime
+        sanitizer inspects the pool through this without changing any
+        cost counter.
+        """
+        return [
+            (key, frame.page.page_id, frame.pin_count, frame.dirty)
+            for key, frame in self._frames.items()
+        ]
+
+    def total_pinned(self) -> int:
+        """Sum of all pin counts (0 means no operation holds a pin)."""
+        return sum(frame.pin_count for frame in self._frames.values())

@@ -1,0 +1,319 @@
+"""Fixture suite for the repro-lint rules.
+
+Each rule gets a *bad* snippet that must fire and a *good* twin —
+minimally different, doing the same job the approved way — that must
+stay silent. Snippets are linted under virtual paths so the per-rule
+path scoping (storage/ exemptions, test exemptions, and so on) is
+exercised exactly as it is on the real tree.
+"""
+
+from __future__ import annotations
+
+import textwrap
+
+from repro.analysis import RULES, lint_source
+from repro.analysis.rules import RULE_SUMMARIES
+
+
+def findings_for(snippet: str, path: str = "src/repro/join/example.py"):
+    return lint_source(textwrap.dedent(snippet), path)
+
+
+def codes_for(snippet: str, path: str = "src/repro/join/example.py"):
+    return [f.code for f in findings_for(snippet, path)]
+
+
+def test_every_rule_has_a_summary():
+    for code in RULES:
+        assert code in RULE_SUMMARIES
+    assert "RPR000" in RULE_SUMMARIES  # the meta-rule has one too
+
+
+# --------------------------------------------------------------------- #
+# RPR001: direct disk access outside storage/
+# --------------------------------------------------------------------- #
+
+BAD_DISK = """
+    def load(self, page_id):
+        return self.disk.read(page_id)
+"""
+
+GOOD_DISK = """
+    def load(self, page_id):
+        return self.buffer.fetch(page_id)
+"""
+
+
+def test_rpr001_fires_on_direct_disk_read():
+    assert codes_for(BAD_DISK) == ["RPR001"]
+
+
+def test_rpr001_silent_on_buffer_fetch():
+    assert codes_for(GOOD_DISK) == []
+
+
+def test_rpr001_exempts_storage_package():
+    assert codes_for(BAD_DISK, "src/repro/storage/buffer.py") == []
+
+
+def test_rpr001_exempts_tests():
+    assert codes_for(BAD_DISK, "tests/storage/test_disk.py") == []
+
+
+def test_rpr001_allows_unaccounted_peek():
+    snippet = """
+        def inspect(self, page_id):
+            return self.disk.peek(page_id)
+    """
+    assert codes_for(snippet) == []
+
+
+# --------------------------------------------------------------------- #
+# RPR002: nondeterminism primitives outside workload/seeding.py
+# --------------------------------------------------------------------- #
+
+BAD_RANDOM = """
+    import random
+
+    def jitter():
+        return random.random()
+"""
+
+GOOD_RANDOM = """
+    import random
+
+    def jitter(seed):
+        return random.Random(seed).random()
+"""
+
+
+def test_rpr002_fires_on_bare_random():
+    assert codes_for(BAD_RANDOM) == ["RPR002"]
+
+
+def test_rpr002_silent_on_seeded_rng():
+    assert codes_for(GOOD_RANDOM) == []
+
+
+def test_rpr002_fires_on_wall_clock():
+    snippet = """
+        import time
+
+        def stamp():
+            return time.time()
+    """
+    assert codes_for(snippet) == ["RPR002"]
+
+
+def test_rpr002_fires_on_builtin_hash():
+    snippet = """
+        def bucket(key, n):
+            return hash(key) % n
+    """
+    assert codes_for(snippet) == ["RPR002"]
+
+
+def test_rpr002_allows_hash_in_dunder_hash():
+    snippet = """
+        class Key:
+            def __hash__(self):
+                return hash((self.a, self.b))
+    """
+    assert codes_for(snippet) == []
+
+
+def test_rpr002_exempts_seeding_module():
+    assert codes_for(BAD_RANDOM, "src/repro/workload/seeding.py") == []
+
+
+# --------------------------------------------------------------------- #
+# RPR003: pin acquire without a release on every path
+# --------------------------------------------------------------------- #
+
+BAD_PIN = """
+    def visit(buffer, page_id):
+        page = buffer.fetch(page_id, pin=True)
+        if page.payload is None:
+            raise ValueError("empty page")
+        result = page.payload.entries
+        buffer.unpin(page_id)
+        return result
+"""
+
+GOOD_PIN = """
+    def visit(buffer, page_id):
+        page = buffer.fetch(page_id, pin=True)
+        try:
+            if page.payload is None:
+                raise ValueError("empty page")
+            return page.payload.entries
+        finally:
+            buffer.unpin(page_id)
+"""
+
+
+def test_rpr003_fires_on_unprotected_release():
+    assert codes_for(BAD_PIN) == ["RPR003"]
+
+
+def test_rpr003_silent_with_finally():
+    assert codes_for(GOOD_PIN) == []
+
+
+def test_rpr003_fires_when_release_is_missing_entirely():
+    snippet = """
+        def leak(buffer, page_id):
+            return buffer.fetch(page_id, pin=True).payload
+    """
+    assert codes_for(snippet) == ["RPR003"]
+
+
+def test_rpr003_ignores_nested_function_releases():
+    # The release lives in a nested function that may never run; the
+    # outer function still leaks.
+    snippet = """
+        def outer(buffer, page_id):
+            buffer.pin(page_id)
+
+            def later():
+                buffer.unpin(page_id)
+
+            return later
+    """
+    assert "RPR003" in codes_for(snippet)
+
+
+def test_rpr003_exempts_tests():
+    assert codes_for(BAD_PIN, "tests/rtree/test_pins.py") == []
+
+
+# --------------------------------------------------------------------- #
+# RPR004: I/O or phase entry outside the engine's jurisdiction
+# --------------------------------------------------------------------- #
+
+BAD_PHASE = """
+    from repro.metrics import Phase
+
+    def run(metrics):
+        with metrics.phase(Phase.MATCH):
+            pass
+"""
+
+
+def test_rpr004_fires_on_phase_entry_outside_engine():
+    assert codes_for(BAD_PHASE) == ["RPR004"]
+
+
+def test_rpr004_allows_phase_entry_in_engine():
+    assert codes_for(BAD_PHASE, "src/repro/join/engine.py") == []
+
+
+def test_rpr004_allows_phase_entry_in_workspace():
+    assert codes_for(BAD_PHASE, "src/repro/workspace.py") == []
+
+
+def test_rpr004_fires_on_module_level_io():
+    snippet = """
+        PAGES = buffer.fetch(0)
+    """
+    assert codes_for(snippet) == ["RPR004"]
+
+
+def test_rpr004_silent_on_function_level_io():
+    snippet = """
+        def load(buffer):
+            return buffer.fetch(0)
+    """
+    assert codes_for(snippet) == []
+
+
+# --------------------------------------------------------------------- #
+# RPR005: module-level mutable state
+# --------------------------------------------------------------------- #
+
+BAD_STATE = """
+    _cache = {}
+
+    def lookup(key):
+        return _cache.get(key)
+"""
+
+GOOD_STATE = """
+    _DEFAULTS = ("a", "b")
+
+    def lookup(key, cache):
+        return cache.get(key)
+"""
+
+
+def test_rpr005_fires_on_module_level_dict():
+    assert codes_for(BAD_STATE) == ["RPR005"]
+
+
+def test_rpr005_silent_on_immutable_constants():
+    assert codes_for(GOOD_STATE) == []
+
+
+def test_rpr005_fires_on_global_statement():
+    snippet = """
+        counter = 0
+
+        def bump():
+            global counter
+            counter += 1
+    """
+    assert "RPR005" in codes_for(snippet)
+
+
+def test_rpr005_allows_all_caps_registry():
+    # ALL_CAPS module registries (rule tables, flavour maps) are the
+    # sanctioned pattern: written once at import, never per-run.
+    snippet = """
+        RULES = {}
+
+        def register(cls):
+            RULES[cls.code] = cls
+            return cls
+    """
+    assert codes_for(snippet) == []
+
+
+def test_rpr005_exempts_tests():
+    assert codes_for(BAD_STATE, "tests/join/test_cache.py") == []
+
+
+# --------------------------------------------------------------------- #
+# RPR006: raw float equality on rectangle coordinates
+# --------------------------------------------------------------------- #
+
+BAD_EQ = """
+    def touches(a, b):
+        return a.xhi == b.xlo
+"""
+
+GOOD_EQ = """
+    from repro.geometry import feq
+
+    def touches(a, b):
+        return feq(a.xhi, b.xlo)
+"""
+
+
+def test_rpr006_fires_on_raw_coordinate_equality():
+    assert codes_for(BAD_EQ) == ["RPR006"]
+
+
+def test_rpr006_silent_on_feq():
+    assert codes_for(GOOD_EQ) == []
+
+
+def test_rpr006_exempts_geometry_package():
+    assert codes_for(BAD_EQ, "src/repro/geometry/rect.py") == []
+
+
+def test_rpr006_ignores_non_coordinate_attributes():
+    snippet = """
+        def same_page(a, b):
+            return a.page_id == b.page_id
+    """
+    assert codes_for(snippet) == []

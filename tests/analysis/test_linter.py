@@ -1,0 +1,150 @@
+"""Suppressions, the RPR000 meta-rule, the cache, and the CLI.
+
+Ends with the teeth of the whole exercise: the repository's own source
+tree must lint clean.
+"""
+
+from __future__ import annotations
+
+import textwrap
+from pathlib import Path
+
+from repro.analysis import lint_paths, lint_source
+from repro.analysis.cli import main as lint_main
+from repro.analysis.linter import LintCache
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+BAD_DISK = textwrap.dedent("""
+    def load(self, page_id):
+        return self.disk.read(page_id)
+""")
+
+
+def test_suppression_with_reason_silences_the_finding():
+    src = textwrap.dedent("""
+        def load(self, page_id):
+            # repro-lint: disable=RPR001 -- replay path bypasses the buffer
+            return self.disk.read(page_id)
+    """)
+    assert lint_source(src, "src/repro/join/example.py") == []
+
+
+def test_suppression_on_the_violating_line_itself():
+    src = textwrap.dedent("""
+        def load(self, page_id):
+            return self.disk.read(page_id)  # repro-lint: disable=RPR001 -- replay
+    """)
+    assert lint_source(src, "src/repro/join/example.py") == []
+
+
+def test_suppression_without_reason_is_rpr000():
+    src = textwrap.dedent("""
+        def load(self, page_id):
+            # repro-lint: disable=RPR001
+            return self.disk.read(page_id)
+    """)
+    codes = [f.code for f in lint_source(src, "src/repro/join/example.py")]
+    # A reasonless directive suppresses nothing: the original finding
+    # stays, and the directive itself becomes an (unsuppressible) one.
+    assert codes == ["RPR000", "RPR001"]
+
+
+def test_rpr000_cannot_be_suppressed():
+    # Line 1 legitimately suppresses RPR000 for itself and the next
+    # line; the reasonless directive on that next line must still be
+    # reported — the meta-rule ignores suppression entirely.
+    src = textwrap.dedent("""
+        def load(self, page_id):
+            # repro-lint: disable=RPR000 -- attempting to silence the meta-rule
+            # repro-lint: disable=RPR001
+            return self.disk.read(page_id)
+    """)
+    codes = [f.code for f in lint_source(src, "src/repro/join/example.py")]
+    assert "RPR000" in codes
+
+
+def test_suppressing_one_code_leaves_others():
+    src = textwrap.dedent("""
+        import time
+
+        def stamp(self, page_id):
+            # repro-lint: disable=RPR001 -- direct read is deliberate here
+            return self.disk.read(page_id), time.time()
+    """)
+    codes = [f.code for f in lint_source(src, "src/repro/join/example.py")]
+    assert codes == ["RPR002"]
+
+
+def test_syntax_error_becomes_rpr000():
+    findings = lint_source("def broken(:\n", "src/repro/join/example.py")
+    assert [f.code for f in findings] == ["RPR000"]
+
+
+def test_findings_render_as_path_line_code(tmp_path):
+    (tmp_path / "mod.py").write_text(BAD_DISK)
+    findings = lint_paths([tmp_path])
+    assert len(findings) == 1
+    rendered = findings[0].render()
+    assert "mod.py" in rendered and "RPR001" in rendered
+
+
+def test_cache_roundtrip_and_invalidation(tmp_path):
+    target = tmp_path / "mod.py"
+    target.write_text(BAD_DISK)
+    cache_file = tmp_path / "lint-cache.json"
+
+    first = lint_paths([target], cache_file=cache_file)
+    assert [f.code for f in first] == ["RPR001"]
+    assert cache_file.exists()
+
+    # Unchanged file: the cached findings come back identical.
+    again = lint_paths([target], cache_file=cache_file)
+    assert again == first
+
+    # Changed file: the stale entry must not survive.
+    target.write_text("def load(self, buffer, pid):\n    return buffer.fetch(pid)\n")
+    assert lint_paths([target], cache_file=cache_file) == []
+
+
+def test_cache_keyed_to_rule_fingerprint(tmp_path):
+    import hashlib
+    import json
+
+    target = tmp_path / "mod.py"
+    target.write_text(BAD_DISK)
+    cache_file = tmp_path / "lint-cache.json"
+    lint_paths([target], cache_file=cache_file)
+
+    # A cache produced by different rule sources must be discarded
+    # wholesale, even for files whose bytes are unchanged.
+    payload = json.loads(cache_file.read_text())
+    payload["fingerprint"] = "not-the-real-fingerprint"
+    cache_file.write_text(json.dumps(payload))
+    digest = hashlib.sha256(BAD_DISK.encode()).hexdigest()
+    assert LintCache(cache_file).get(str(target), digest) is None
+
+
+def test_cli_exit_codes(tmp_path, capsys):
+    bad = tmp_path / "bad.py"
+    bad.write_text(BAD_DISK)
+    good = tmp_path / "good.py"
+    good.write_text("X = 1\n")
+
+    assert lint_main(["--no-cache", str(good)]) == 0
+    assert lint_main(["--no-cache", str(bad)]) == 1
+    assert "RPR001" in capsys.readouterr().out
+    assert lint_main([]) == 2  # no paths is a usage error
+
+
+def test_cli_list_rules(capsys):
+    assert lint_main(["--list-rules"]) == 0
+    out = capsys.readouterr().out
+    for code in ("RPR000", "RPR001", "RPR006"):
+        assert code in out
+
+
+def test_repository_lints_clean():
+    """The gate the CI job re-runs: our own tree has zero findings."""
+    findings = lint_paths([REPO_ROOT / "src", REPO_ROOT / "tests"])
+    assert findings == [], "\n".join(f.render() for f in findings)

@@ -63,14 +63,18 @@ def test_tiling_covers_universe(dims):
     for tile in part.tiles:
         assert tile.index == tile.row * cols + tile.col
         if tile.col == cols - 1:
+            # repro-lint: disable=RPR006 -- bit-exact shared edges are the tested property
             assert tile.rect.xhi == UNIT.xhi
         else:
             right = part.tiles[tile.index + 1]
+            # repro-lint: disable=RPR006 -- bit-exact shared edges are the tested property
             assert tile.rect.xhi == right.rect.xlo
         if tile.row == rows - 1:
+            # repro-lint: disable=RPR006 -- bit-exact shared edges are the tested property
             assert tile.rect.yhi == UNIT.yhi
         else:
             above = part.tiles[tile.index + cols]
+            # repro-lint: disable=RPR006 -- bit-exact shared edges are the tested property
             assert tile.rect.yhi == above.rect.ylo
     # Area is conserved, so there are neither gaps nor overlaps beyond
     # the shared (measure-zero) boundaries.
