@@ -1,0 +1,340 @@
+#!/usr/bin/env python
+"""Benchmark the vectorized geometry kernels against the scalar path.
+
+Two tiers, both written into ``BENCH_kernels.json`` next to the repo
+root:
+
+* **micro** — leaf-sweep throughput: the scalar plane sweep
+  (:func:`repro.geometry.sweep.sweep_pairs`) versus the batch kernel
+  (:func:`repro.kernels.sweep_pairs_batch`) on pre-built column arrays,
+  at 1k/10k/100k rectangles per side and on both backends. Pre-built
+  arrays are the honest comparison: in the wired join the columns come
+  from :meth:`~repro.rtree.node.Node.rect_array`, whose cache amortises
+  construction across visits (build time is reported separately).
+  Every timed pair of runs is also checked for bit-identical pairs and
+  ``xy_tests``.
+* **e2e** — the paper's Table-2 workload at quarter scale (the
+  ``bench_parallel.py`` configuration) through all six facade methods,
+  kernels on versus off via ``REPRO_KERNELS``, with pair lists and
+  CostSummary fields asserted identical before any time is reported.
+
+Flags::
+
+    --quick   smaller sizes, two methods, divisor-10 scale (CI smoke)
+    --check   exit non-zero unless the kernel path beats the scalar
+              path (micro, numpy backend) and end-to-end STJ is not
+              slower with kernels on
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_kernels.py [--quick] [--check]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import pathlib
+import sys
+import time
+
+from repro.config import SystemConfig
+from repro.geometry.sweep import sweep_pairs
+from repro.join import spatial_join
+from repro.kernels import HAVE_NUMPY, RectArray, sweep_pairs_batch
+from repro.metrics.counters import CpuCounters
+from repro.workload import ClusteredConfig, generate_clustered, generate_uniform
+from repro.workspace import Workspace
+
+SEED = 20240131
+#: Table 2 at the quarter profile's divisor (4), as in bench_parallel.
+N_R = 25_000
+N_S = 10_000
+QUICK_N_R = 10_000
+QUICK_N_S = 4_000
+COVER_QUOTIENT = 0.2
+CONFIG = SystemConfig(page_size=512, buffer_pages=280)
+
+METHODS = ("BFJ", "RTJ", "STJ", "NAIVE", "ZJOIN", "2STJ")
+QUICK_METHODS = ("BFJ", "STJ")
+MICRO_SIZES = (1_000, 10_000, 100_000)
+QUICK_MICRO_SIZES = (1_000, 10_000)
+
+#: Acceptance gates (see ISSUE 5): numpy batch sweep at 10k-per-side
+#: must be >= 3x scalar; end-to-end STJ must be >= 1.2x with kernels on
+#: at quarter Table-2 scale. The quick (CI smoke) profile shrinks the
+#: workload 2.5x further, where the fixed per-run overheads compress
+#: the achievable e2e gain and runner noise dominates, so it only
+#: gates on "kernels do not lose" there.
+MICRO_TARGET = 3.0
+E2E_TARGET = 1.2
+QUICK_E2E_TARGET = 1.0
+
+SUMMARY_FIELDS = (
+    "match_read", "match_write", "construct_read", "construct_write",
+    "bbox_tests", "xy_tests",
+)
+
+
+def timed(fn, repeats: int = 3):
+    """Best-of-N wall time: the minimum is the least noisy estimator."""
+    best, result = None, None
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        result = fn()
+        elapsed = time.perf_counter() - t0
+        best = elapsed if best is None else min(best, elapsed)
+    return result, best
+
+
+# --------------------------------------------------------------------- #
+# Micro: leaf sweeps
+# --------------------------------------------------------------------- #
+
+
+def micro_inputs(n: int):
+    """Two uniform rectangle sets sized so pair count stays ~linear."""
+    side = (2.0 / n) ** 0.5
+    a = [r for r, _ in generate_uniform(n, side_bound=side, seed=SEED)]
+    b = [r for r, _ in generate_uniform(n, side_bound=side, seed=SEED + 1)]
+    return a, b
+
+
+def bench_micro_size(n: int, backends: tuple[str, ...]) -> dict:
+    rects_a, rects_b = micro_inputs(n)
+
+    def scalar():
+        counters = CpuCounters()
+        return sweep_pairs(rects_a, rects_b, counters=counters), counters
+
+    (scalar_pairs, scalar_counters), scalar_wall = timed(scalar)
+
+    # Index-level reference for order verification (identity-element
+    # sweeps cannot disambiguate duplicate rectangles).
+    ref = sweep_pairs(
+        list(enumerate(rects_a)), list(enumerate(rects_b)),
+        rect_of=lambda t: t[1],
+    )
+    ref_idx = [(ia, ib) for (ia, _), (ib, _) in ref]
+
+    entry: dict = {
+        "rects_per_side": n,
+        "pairs": len(scalar_pairs),
+        "scalar_wall_s": round(scalar_wall, 6),
+        "backends": {},
+    }
+    for backend in backends:
+        t0 = time.perf_counter()
+        arr_a = RectArray.from_rects(rects_a, backend=backend)
+        arr_b = RectArray.from_rects(rects_b, backend=backend)
+        build_s = time.perf_counter() - t0
+
+        def batch():
+            counters = CpuCounters()
+            return sweep_pairs_batch(arr_a, arr_b, counters=counters), counters
+
+        (batch_pairs, batch_counters), batch_wall = timed(batch)
+        if batch_pairs != ref_idx:
+            raise SystemExit(f"micro n={n} {backend}: pair order differs")
+        if batch_counters.xy_tests != scalar_counters.xy_tests:
+            raise SystemExit(
+                f"micro n={n} {backend}: xy_tests "
+                f"{batch_counters.xy_tests} != {scalar_counters.xy_tests}"
+            )
+        speedup = scalar_wall / batch_wall
+        entry["backends"][backend] = {
+            "build_s": round(build_s, 6),
+            "sweep_wall_s": round(batch_wall, 6),
+            "speedup": round(speedup, 3),
+        }
+        print(
+            f"micro n={n:>7,} {backend:6s} scalar={scalar_wall * 1e3:8.1f}ms"
+            f"  kernel={batch_wall * 1e3:8.1f}ms  (x{speedup:5.2f})"
+        )
+    return entry
+
+
+# --------------------------------------------------------------------- #
+# End-to-end: Table 2, quarter scale
+# --------------------------------------------------------------------- #
+
+
+def build_env(n_r: int, n_s: int):
+    ws = Workspace(CONFIG)
+    d_r = generate_clustered(ClusteredConfig(
+        n_r, cover_quotient=COVER_QUOTIENT, objects_per_cluster=20,
+        seed=SEED,
+    ))
+    d_s = generate_clustered(ClusteredConfig(
+        n_s, cover_quotient=COVER_QUOTIENT, objects_per_cluster=20,
+        seed=SEED + 1, oid_start=10**6,
+    ))
+    tree_r = ws.install_rtree(d_r)
+    file_s = ws.install_datafile(d_s)
+    return ws, tree_r, file_s
+
+
+def bench_e2e_method(ws, tree_r, file_s, method: str, repeats: int) -> dict:
+    def run():
+        ws.start_measurement()
+        result = spatial_join(
+            file_s, tree_r, ws.buffer, ws.config, ws.metrics, method=method,
+        )
+        return result.pairs, ws.metrics.summary()
+
+    # Interleave the modes so slow machine-wide drift (thermal, cache,
+    # background load) hits both walls equally instead of biasing
+    # whichever block ran second; keep the best of each.
+    walls: dict[str, float] = {}
+    outputs: dict[str, tuple] = {}
+    for _ in range(repeats):
+        for mode in ("1", "0"):
+            os.environ["REPRO_KERNELS"] = mode
+            t0 = time.perf_counter()
+            outputs[mode] = run()
+            elapsed = time.perf_counter() - t0
+            walls[mode] = min(walls.get(mode, elapsed), elapsed)
+    os.environ["REPRO_KERNELS"] = "1"
+    (pairs_on, summary_on), wall_on = outputs["1"], walls["1"]
+    (pairs_off, summary_off), wall_off = outputs["0"], walls["0"]
+
+    if pairs_on != pairs_off:
+        raise SystemExit(f"e2e {method}: kernel pairs differ from scalar")
+    for field in SUMMARY_FIELDS:
+        if getattr(summary_on, field) != getattr(summary_off, field):
+            raise SystemExit(
+                f"e2e {method}: CostSummary.{field} differs "
+                f"({getattr(summary_on, field)} vs "
+                f"{getattr(summary_off, field)})"
+            )
+
+    speedup = wall_off / wall_on
+    print(
+        f"e2e {method:8s} kernels-off={wall_off:8.3f}s  "
+        f"kernels-on={wall_on:8.3f}s  (x{speedup:5.2f})  "
+        f"pairs={len(pairs_on)}"
+    )
+    return {
+        "pairs": len(pairs_on),
+        "wall_on_s": round(wall_on, 6),
+        "wall_off_s": round(wall_off, 6),
+        "speedup": round(speedup, 3),
+    }
+
+
+# --------------------------------------------------------------------- #
+# Driver
+# --------------------------------------------------------------------- #
+
+
+def run(quick: bool) -> dict:
+    backends = ("numpy", "python") if HAVE_NUMPY else ("python",)
+    sizes = QUICK_MICRO_SIZES if quick else MICRO_SIZES
+    methods = QUICK_METHODS if quick else METHODS
+    n_r, n_s = (QUICK_N_R, QUICK_N_S) if quick else (N_R, N_S)
+    repeats = 3
+
+    out: dict = {
+        "quick": quick,
+        "have_numpy": HAVE_NUMPY,
+        "micro": {},
+        "e2e": {
+            "workload": {
+                "table": 2,
+                "seed": SEED,
+                "d_r": n_r,
+                "d_s": n_s,
+                "cover_quotient": COVER_QUOTIENT,
+                "page_size": CONFIG.page_size,
+                "buffer_pages": CONFIG.buffer_pages,
+            },
+            "algorithms": {},
+        },
+    }
+    for n in sizes:
+        out["micro"][str(n)] = bench_micro_size(n, backends)
+
+    ws, tree_r, file_s = build_env(n_r, n_s)
+    # Warm caches and code paths once so the first measured method does
+    # not absorb interpreter and allocator warm-up.
+    ws.start_measurement()
+    spatial_join(file_s, tree_r, ws.buffer, ws.config, ws.metrics,
+                 method="BFJ")
+    for method in methods:
+        out["e2e"]["algorithms"][method] = bench_e2e_method(
+            ws, tree_r, file_s, method, repeats
+        )
+    return out
+
+
+def verdicts(out: dict) -> dict:
+    """Acceptance gates, evaluated on whatever tier actually ran."""
+    e2e_target = QUICK_E2E_TARGET if out["quick"] else E2E_TARGET
+    micro_10k = out["micro"].get("10000", {}).get("backends", {})
+    numpy_10k = micro_10k.get("numpy", {}).get("speedup")
+    stj = out["e2e"]["algorithms"].get("STJ", {}).get("speedup")
+    kernel_never_slower = all(
+        be["speedup"] >= 1.0
+        for size in out["micro"].values()
+        for name, be in size["backends"].items()
+        if name == "numpy"
+    )
+    return {
+        "micro_10k_numpy_speedup": numpy_10k,
+        "micro_10k_target": MICRO_TARGET,
+        "micro_10k_ok": (
+            numpy_10k is None or numpy_10k >= MICRO_TARGET
+        ),
+        "e2e_stj_speedup": stj,
+        "e2e_stj_target": e2e_target,
+        "e2e_stj_ok": stj is None or stj >= e2e_target,
+        "numpy_kernel_never_slower": kernel_never_slower,
+    }
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--quick", action="store_true",
+                        help="CI smoke profile: fewer sizes and methods")
+    parser.add_argument("--check", action="store_true",
+                        help="exit non-zero when the kernel path loses")
+    args = parser.parse_args()
+
+    kernels_env = os.environ.get("REPRO_KERNELS")
+    try:
+        out = run(args.quick)
+    finally:
+        if kernels_env is None:
+            os.environ.pop("REPRO_KERNELS", None)
+        else:
+            os.environ["REPRO_KERNELS"] = kernels_env
+
+    out["verdicts"] = verdicts(out)
+    target = (
+        pathlib.Path(__file__).resolve().parent.parent
+        / "BENCH_kernels.json"
+    )
+    target.write_text(json.dumps(out, indent=2, sort_keys=True) + "\n")
+    print(f"wrote {target}")
+
+    v = out["verdicts"]
+    ok = bool(
+        v["numpy_kernel_never_slower"]
+        and v["micro_10k_ok"]
+        and v["e2e_stj_ok"]
+    )
+    print(
+        ("PASS" if ok else "MISS")
+        + f": micro10k=x{v['micro_10k_numpy_speedup']}"
+        f" (target x{MICRO_TARGET}),"
+        f" e2e STJ=x{v['e2e_stj_speedup']}"
+        f" (target x{v['e2e_stj_target']})"
+    )
+    if args.check and not ok:
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

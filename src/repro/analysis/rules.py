@@ -17,7 +17,10 @@ The rules are deliberately domain-specific; generic style is ruff's job
   or fault injection turns a transient error into a wedged pool
   (RPR003);
 * float equality on coordinates silently breaks exact-MBR invariants
-  (RPR006).
+  (RPR006);
+* the vectorized kernels must stay pure — no accounted I/O, no phase
+  entry, no storage/metrics imports — or their bit-identical-counters
+  contract becomes unauditable (RPR007).
 
 Suppressions (``# repro-lint: disable=RPRxxx -- reason``) are handled by
 :mod:`repro.analysis.linter`; a suppression without a reason is itself a
@@ -554,7 +557,11 @@ class RawCoordinateEquality(Rule):
     :func:`repro.geometry.feq` / :func:`repro.geometry.rect_approx_eq`
     (or ``pytest.approx`` in tests). The geometry package itself is
     exempt — it defines the exact-equality semantics (``Rect.__eq__``)
-    the helpers are built on.
+    the helpers are built on. The kernels package is exempt for the same
+    reason: its contract is *bit-identical* agreement with the scalar
+    path, so exact coordinate comparison (e.g. the sanitizer's
+    cache-coherence cross-check) is the specified semantics there, and
+    an epsilon would mask real divergence.
     """
 
     code = "RPR006"
@@ -563,7 +570,10 @@ class RawCoordinateEquality(Rule):
     _COORDS = ("xlo", "ylo", "xhi", "yhi")
 
     def applies(self) -> bool:
-        return not self.ctx.in_repro_package("geometry/")
+        return not (
+            self.ctx.in_repro_package("geometry/")
+            or self.ctx.in_repro_package("kernels/")
+        )
 
     def visit_Compare(self, node: ast.Compare) -> None:
         operands = [node.left, *node.comparators]
@@ -595,6 +605,105 @@ class RawCoordinateEquality(Rule):
         if isinstance(func, ast.Attribute):
             return func.attr == "approx"
         return isinstance(func, ast.Name) and func.id == "approx"
+
+
+# --------------------------------------------------------------------- #
+# RPR007: the kernels package must stay pure
+# --------------------------------------------------------------------- #
+
+
+@register
+class KernelImpurity(Rule):
+    """``repro.kernels`` may not touch storage, metrics, or phases.
+
+    The kernels' correctness contract is that a batch call is a drop-in
+    replacement for a scalar loop: same results, same counter deltas,
+    zero hidden I/O. That is only auditable if the package is *pure* —
+    callers charge the metrics collector and perform buffer fetches; the
+    kernels just compute. An import of the storage or metrics layers, an
+    accounted I/O call, or a phase entry inside ``kernels/`` would let
+    costs originate where the differential harness cannot see them.
+    ``CpuCounters`` arrives as a plain argument (``counters.xy_tests``
+    is attribute arithmetic, not an import), so this rule costs the
+    package nothing it needs.
+    """
+
+    code = "RPR007"
+    title = "impure dependency inside the kernels package"
+
+    _BANNED_MODULES = ("storage", "metrics", "join", "rtree", "seeded",
+                       "zorder")
+    _IO_CALLS = (
+        "fetch", "read_node", "scan", "read_all", "read_run", "write_run",
+        "new_page", "mark_dirty", "window_query",
+    )
+
+    def applies(self) -> bool:
+        return self.ctx.in_repro_package("kernels/")
+
+    def visit_If(self, node: ast.If) -> None:
+        # ``if TYPE_CHECKING:`` imports never execute; typing against a
+        # layer is not depending on it.
+        if not self._is_type_checking(node.test):
+            for stmt in node.body:
+                self.visit(stmt)
+        for stmt in node.orelse:
+            self.visit(stmt)
+
+    @staticmethod
+    def _is_type_checking(test: ast.expr) -> bool:
+        if isinstance(test, ast.Name):
+            return test.id == "TYPE_CHECKING"
+        return isinstance(test, ast.Attribute) and test.attr == "TYPE_CHECKING"
+
+    def _banned_module(self, module: str | None) -> str | None:
+        if not module:
+            return None
+        parts = module.split(".")
+        if parts[0] == "repro":
+            parts = parts[1:]
+        if parts and parts[0] in self._BANNED_MODULES:
+            return parts[0]
+        return None
+
+    def visit_Import(self, node: ast.Import) -> None:
+        for alias in node.names:
+            banned = self._banned_module(alias.name)
+            if banned is not None:
+                self.report(
+                    node,
+                    f"kernels must stay pure: import of repro.{banned} "
+                    f"pulls accounted machinery into the batch layer",
+                )
+        self.generic_visit(node)
+
+    def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
+        banned = self._banned_module(node.module)
+        if banned is not None:
+            self.report(
+                node,
+                f"kernels must stay pure: import of repro.{banned} "
+                f"pulls accounted machinery into the batch layer",
+            )
+        self.generic_visit(node)
+
+    def visit_Call(self, node: ast.Call) -> None:
+        func = node.func
+        if isinstance(func, ast.Attribute):
+            if func.attr in self._IO_CALLS:
+                self.report(
+                    node,
+                    f".{func.attr}() inside a kernel performs accounted "
+                    f"I/O the differential harness cannot attribute; "
+                    f"callers own all storage access",
+                )
+            elif func.attr == "phase":
+                self.report(
+                    node,
+                    "phase entry inside a kernel; cost attribution "
+                    "belongs to the engine, kernels just compute",
+                )
+        self.generic_visit(node)
 
 
 #: Descriptions surfaced by ``repro-lint --list-rules``; RPR000 is the

@@ -17,7 +17,12 @@ pipeline phase boundary:
   survives a phase boundary (a surviving pin is a leak: pins are
   operation-scoped);
 * **counter monotonicity** — every I/O, CPU, and fault counter is
-  non-decreasing across successive snapshots of the same collector.
+  non-decreasing across successive snapshots of the same collector;
+* **kernel-cache coherence** — a node's lazily built column/MBR caches
+  (:mod:`repro.kernels`) must be exact copies of its live entry list; a
+  stale cache means some mutation path forgot
+  :meth:`~repro.rtree.node.Node.invalidate_caches` and the batch
+  kernels would silently compute against dead geometry.
 
 Everything is observed through unaccounted paths (``peek``-backed node
 access, direct counter reads), so a sanitized run's
@@ -34,6 +39,7 @@ import os
 from typing import Any
 
 from ..errors import InvariantViolation
+from ..kernels import RectArray
 from ..metrics.collector import CollectorSnapshot, MetricsCollector
 from ..rtree.node import Node, node_mbr
 
@@ -293,6 +299,44 @@ class Sanitizer:
             raise InvariantViolation(
                 f"empty non-root node {page_id} ({where})"
             )
+        Sanitizer._check_node_caches(node, page_id, where)
+
+    @staticmethod
+    def _check_node_caches(node: Node, page_id: int, where: str) -> None:
+        """A populated kernel cache must mirror the live entries exactly.
+
+        ``None`` caches are always fine (lazily built); a stale populated
+        one means an entry mutation skipped ``invalidate_caches()`` and
+        the vectorized kernels would read dead geometry.
+        """
+        rect_cache = getattr(node, "_rect_cache", None)
+        if rect_cache is not None and not rect_cache.matches_entries(
+            node.entries
+        ):
+            raise InvariantViolation(
+                f"node {page_id} carries a stale MBR column cache "
+                f"(entries changed without invalidate_caches) ({where})"
+            )
+        mbr_cache = getattr(node, "_mbr_cache", None)
+        if mbr_cache is not None and (
+            not node.entries or mbr_cache != node_mbr(node)
+        ):
+            raise InvariantViolation(
+                f"node {page_id} carries a stale node-MBR cache "
+                f"{mbr_cache} (exact union is "
+                f"{node_mbr(node) if node.entries else 'empty'}) ({where})"
+            )
+        shadow_cache = getattr(node, "_shadow_cache", None)
+        if isinstance(shadow_cache, RectArray):
+            stale = shadow_cache.n != len(node.entries) or any(
+                e.shadow is None or shadow_cache.rect_at(i) != e.shadow
+                for i, e in enumerate(node.entries)
+            )
+            if stale:
+                raise InvariantViolation(
+                    f"node {page_id} carries a stale shadow column cache "
+                    f"({where})"
+                )
 
     @staticmethod
     def _check_parent_mbr(entry: Any, child: Node, where: str) -> None:

@@ -26,6 +26,7 @@ an ``xy_tests`` integer attribute:
 
 from __future__ import annotations
 
+from operator import itemgetter
 from typing import Any, Callable, Sequence, TypeVar
 
 from .rect import Rect
@@ -34,6 +35,28 @@ T = TypeVar("T")
 U = TypeVar("U")
 
 _IDENTITY: Callable[[Any], Rect] = lambda x: x  # noqa: E731 - tiny adapter
+
+#: Sort key over the decorated ``(xlo, xhi, ylo, yhi, element)`` tuples.
+#: Sorting the tuples directly would compare elements on coordinate
+#: ties; the explicit key keeps the sort stable over input order.
+_BY_XLO = itemgetter(0)
+
+
+def _decorate(
+    items: Sequence[Any], rect_of: Callable[[Any], Rect]
+) -> list[tuple[float, float, float, float, Any]]:
+    """``(xlo, xhi, ylo, yhi, element)`` tuples, stably sorted by xlo.
+
+    ``rect_of`` is invoked exactly once per element — the decorated
+    tuples feed both the sort and the inner scans, replacing the
+    per-comparison extractor calls of the original scalar sweep.
+    """
+    decorated = []
+    for element in items:
+        r = rect_of(element)
+        decorated.append((r.xlo, r.xhi, r.ylo, r.yhi, element))
+    decorated.sort(key=_BY_XLO)
+    return decorated
 
 
 def sweep_pairs(
@@ -57,7 +80,9 @@ def sweep_pairs(
         are made internally.
     rect_of:
         Extracts the rectangle from an element. Defaults to the identity,
-        for collections of bare :class:`Rect` objects.
+        for collections of bare :class:`Rect` objects. Called exactly
+        once per element (the coordinates are decorated onto sort
+        tuples), so it must be a pure function of the element.
     counters:
         Optional object with an ``xy_tests`` attribute (e.g.
         :class:`repro.metrics.counters.CpuCounters`) that receives the
@@ -66,45 +91,42 @@ def sweep_pairs(
     if not items_a or not items_b:
         return []
 
-    a_sorted = sorted(items_a, key=lambda e: rect_of(e).xlo)
-    b_sorted = sorted(items_b, key=lambda e: rect_of(e).xlo)
+    a_dec = _decorate(items_a, rect_of)
+    b_dec = _decorate(items_b, rect_of)
 
     out: list[tuple[T, U]] = []
     xy = 0
 
     i = j = 0
-    na, nb = len(a_sorted), len(b_sorted)
+    na, nb = len(a_dec), len(b_dec)
     while i < na and j < nb:
-        ea, eb = a_sorted[i], b_sorted[j]
-        ra, rb = rect_of(ea), rect_of(eb)
-        if ra.xlo <= rb.xlo:
-            # ea is the sweep anchor; scan b entries starting at j.
-            xhi = ra.xhi
-            ylo, yhi = ra.ylo, ra.yhi
+        ta, tb = a_dec[i], b_dec[j]
+        if ta[0] <= tb[0]:
+            # a is the sweep anchor; scan b entries starting at j.
+            xhi, ylo, yhi, ea = ta[1], ta[2], ta[3], ta[4]
             k = j
             while k < nb:
-                rk = rect_of(b_sorted[k])
+                tk = b_dec[k]
                 xy += 1  # x-axis comparison
-                if rk.xlo > xhi:
+                if tk[0] > xhi:
                     break
                 xy += 1  # y-axis overlap check
-                if ylo <= rk.yhi and rk.ylo <= yhi:
-                    out.append((ea, b_sorted[k]))
+                if ylo <= tk[3] and tk[2] <= yhi:
+                    out.append((ea, tk[4]))
                 k += 1
             i += 1
         else:
-            # eb is the sweep anchor; scan a entries starting at i.
-            xhi = rb.xhi
-            ylo, yhi = rb.ylo, rb.yhi
+            # b is the sweep anchor; scan a entries starting at i.
+            xhi, ylo, yhi, eb = tb[1], tb[2], tb[3], tb[4]
             k = i
             while k < na:
-                rk = rect_of(a_sorted[k])
+                tk = a_dec[k]
                 xy += 1
-                if rk.xlo > xhi:
+                if tk[0] > xhi:
                     break
                 xy += 1
-                if ylo <= rk.yhi and rk.ylo <= yhi:
-                    out.append((a_sorted[k], eb))
+                if ylo <= tk[3] and tk[2] <= yhi:
+                    out.append((tk[4], eb))
                 k += 1
             j += 1
 

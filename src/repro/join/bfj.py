@@ -16,6 +16,7 @@ when STJ construction fails irrecoverably.
 
 from __future__ import annotations
 
+from ..kernels import kernels_enabled
 from ..metrics import MetricsCollector, Phase
 from ..metrics.tracing import JoinTrace
 from ..rtree import RTree
@@ -26,8 +27,11 @@ from .result import JoinResult
 
 def _match(ctx: ExecutionContext) -> None:
     pairs = []
+    # One kernel-toggle read for the whole scan; BFJ issues thousands of
+    # window queries and the per-query environment lookup is measurable.
+    use_kernels = kernels_enabled()
     for rect, oid_s in ctx.data_s.scan():
-        for oid_r in ctx.tree_r.window_query(rect):
+        for oid_r in ctx.tree_r.window_query(rect, use_kernels):
             pairs.append((oid_s, oid_r))
     ctx.state["pairs"] = pairs
 

@@ -31,12 +31,17 @@ realistic configuration — the paper's is 512 pages for trees of height
 
 from __future__ import annotations
 
+from operator import attrgetter
 from typing import Any
 
 from ..geometry import Rect, sweep_pairs
+from ..kernels import intersect_indices, kernels_enabled, sweep_pairs_batch
 from ..metrics import MetricsCollector
-from ..rtree.node import Node, node_mbr
+from ..rtree.node import Node
 from .result import JoinPair
+
+#: Entry -> MBR adapter, hoisted out of the per-pair sweep calls.
+_MBR_OF = attrgetter("mbr")
 
 
 def match_trees(
@@ -65,6 +70,8 @@ class _TreeMatcher:
         self.metrics = metrics
         self.cpu = metrics.cpu if metrics is not None else None
         self.results: list[JoinPair] = []
+        # One env read per matching run, not per node pair.
+        self.use_kernels = kernels_enabled()
 
     def run(self) -> list[JoinPair]:
         root_a = self.tree_a.read_node(self.tree_a.root_id)
@@ -94,23 +101,53 @@ class _TreeMatcher:
 
     def _match_leaves(self, node_a: Node, node_b: Node) -> None:
         """Report overlapping (oid, oid) pairs via plane sweep."""
+        if self.use_kernels:
+            hits = sweep_pairs_batch(
+                node_a.rect_array(), node_b.rect_array(), counters=self.cpu,
+            )
+            entries_a, entries_b = node_a.entries, node_b.entries
+            self.results.extend(
+                (entries_a[i].ref, entries_b[j].ref) for i, j in hits
+            )
+            return
         pairs = sweep_pairs(
             node_a.entries, node_b.entries,
-            rect_of=lambda e: e.mbr, counters=self.cpu,
+            rect_of=_MBR_OF, counters=self.cpu,
         )
         self.results.extend((ea.ref, eb.ref) for ea, eb in pairs)
 
     def _match_internal(self, node_a: Node, node_b: Node) -> None:
         """Pair up overlapping children, restricted to the intersection box."""
-        box = node_mbr(node_a).intersection(node_mbr(node_b))
+        box = node_a.cached_mbr().intersection(node_b.cached_mbr())
         if box is None:
+            return
+        if self.use_kernels:
+            # Same restrict-then-sweep plan on the cached columns; the
+            # restriction charge stays two XY tests per child, emptiness
+            # still short-circuits after both sides were charged.
+            if self.cpu is not None:
+                self.cpu.xy_tests += 2 * (
+                    len(node_a.entries) + len(node_b.entries)
+                )
+            idx_a = intersect_indices(node_a.rect_array(), box)
+            idx_b = intersect_indices(node_b.rect_array(), box)
+            if len(idx_a) == 0 or len(idx_b) == 0:
+                return
+            hits = sweep_pairs_batch(
+                node_a.rect_array().take(idx_a),
+                node_b.rect_array().take(idx_b),
+                counters=self.cpu,
+            )
+            entries_a, entries_b = node_a.entries, node_b.entries
+            for i, j in hits:
+                self._match(entries_a[idx_a[i]].ref, entries_b[idx_b[j]].ref)
             return
         cand_a = self._restrict(node_a, box)
         cand_b = self._restrict(node_b, box)
         if not cand_a or not cand_b:
             return
         pairs = sweep_pairs(
-            cand_a, cand_b, rect_of=lambda e: e.mbr, counters=self.cpu,
+            cand_a, cand_b, rect_of=_MBR_OF, counters=self.cpu,
         )
         # Sweep order doubles as the traversal order ([BKS93]'s ordering
         # optimisation): consecutive pairs share pages, so the LRU buffer
@@ -125,9 +162,18 @@ class _TreeMatcher:
         Seeded trees make this common — a grown subtree may bottom out
         while the R-tree side still has internal levels.
         """
-        window = node_mbr(leaf)
+        window = leaf.cached_mbr()
         if self.cpu is not None:
             self.cpu.xy_tests += 2 * len(internal.entries)
+        if self.use_kernels:
+            entries = internal.entries
+            for i in intersect_indices(internal.rect_array(), window):
+                ref = entries[i].ref
+                if leaf_side == "a":
+                    self._match(leaf_page, ref)
+                else:
+                    self._match(ref, leaf_page)
+            return
         for e in internal.entries:
             if e.mbr.intersects(window):
                 if leaf_side == "a":

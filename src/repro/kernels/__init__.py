@@ -1,0 +1,56 @@
+"""Vectorized geometry kernels for the join hot path.
+
+The scalar geometry code in :mod:`repro.geometry` is the *semantic
+reference*: every kernel in this package computes bit-identical answers
+(pair lists in the same order, the same floats, the same
+``CpuCounters`` increments) while operating on struct-of-arrays data
+instead of per-object attribute chains.
+
+Layout
+------
+* :mod:`~repro.kernels.backend` — one-time backend selection (numpy
+  when importable, pure-Python list columns otherwise) and the
+  ``REPRO_KERNELS`` runtime toggle.
+* :mod:`~repro.kernels.rect_array` — :class:`RectArray`, the parallel
+  ``xlo/ylo/xhi/yhi`` coordinate columns, with a small-array heuristic
+  that keeps node-sized arrays on list columns where numpy's per-call
+  overhead would dominate.
+* :mod:`~repro.kernels.batch` — the batch kernels: intersect-filter,
+  MBR-of-slice, least-enlargement scan, center-distance scan, the
+  analytic plane sweep, the Guttman quadratic split, and the workload
+  generator's clipped-area sum.
+
+The kernels are *pure*: no buffered I/O, no metrics phases, no module
+state. Counter updates happen only where the scalar path updated them,
+with analytically derived (not measured) increments — see DESIGN.md
+§10 for the counting contract.
+"""
+
+from .backend import BACKEND, HAVE_NUMPY, kernels_enabled
+from .batch import (
+    all_points,
+    clipped_area_total,
+    intersect_indices,
+    least_enlargement_index,
+    mbr_of,
+    min_center_distance_index,
+    quadratic_split_indices,
+    sweep_pairs_batch,
+)
+from .rect_array import NUMPY_MIN_N, RectArray
+
+__all__ = [
+    "BACKEND",
+    "HAVE_NUMPY",
+    "NUMPY_MIN_N",
+    "RectArray",
+    "all_points",
+    "clipped_area_total",
+    "intersect_indices",
+    "kernels_enabled",
+    "least_enlargement_index",
+    "mbr_of",
+    "min_center_distance_index",
+    "quadratic_split_indices",
+    "sweep_pairs_batch",
+]

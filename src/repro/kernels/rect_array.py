@@ -1,0 +1,201 @@
+"""Struct-of-arrays rectangle storage.
+
+A :class:`RectArray` holds ``n`` rectangles as four parallel coordinate
+columns (``xlo``, ``ylo``, ``xhi``, ``yhi``) instead of ``n`` boxed
+:class:`~repro.geometry.rect.Rect` objects. Columns are
+``numpy.float64`` arrays on the numpy backend and plain Python lists of
+floats on the pure-Python fallback; both store exactly the IEEE-754
+doubles of the source rectangles, so kernels that only compare or
+min/max the columns reproduce the scalar results bit for bit.
+
+Small arrays stay on list columns even when numpy is available: below
+:data:`NUMPY_MIN_N` rectangles the fixed per-call overhead of a numpy
+kernel exceeds the whole scalar scan (an R-tree node at the paper's
+page sizes holds a few dozen entries), while the list-column loops in
+:mod:`repro.kernels.batch` still beat the scalar path by skipping the
+per-entry attribute and method dispatch. The heuristic applies only to
+the default backend: an explicit ``backend=`` argument or a pinned
+``REPRO_KERNELS_BACKEND`` always gets the representation it asked for,
+which is what the perf harness uses to benchmark both representations
+in a single process.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Iterable, Sequence
+
+from ..errors import GeometryError
+from ..geometry.rect import Rect
+from .backend import BACKEND, FORCED_BACKEND, np
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
+    from ..rtree.node import Entry
+
+#: Below this many rectangles the default backend keeps list columns:
+#: numpy's per-call overhead (~µs) outweighs a sub-hundred-element scan.
+NUMPY_MIN_N = 64
+
+
+def _use_numpy(backend: str | None) -> bool:
+    choice = BACKEND if backend is None else backend
+    if choice == "numpy":
+        if np is None:
+            raise GeometryError("numpy backend requested but numpy is unavailable")
+        return True
+    if choice == "python":
+        return False
+    raise GeometryError(f"unknown RectArray backend: {choice!r}")
+
+
+def _pick_numpy(backend: str | None, n: int) -> bool:
+    """Backend decision for ``n`` rectangles.
+
+    Explicit requests are honoured verbatim; the default backend takes
+    numpy only for arrays big enough to amortise the per-call overhead
+    (always, when ``REPRO_KERNELS_BACKEND`` pinned it).
+    """
+    if backend is None and np is not None:
+        return FORCED_BACKEND or n >= NUMPY_MIN_N
+    return _use_numpy(backend)
+
+
+class RectArray:
+    """``n`` rectangles as four parallel coordinate columns."""
+
+    __slots__ = ("n", "xlo", "ylo", "xhi", "yhi", "is_numpy", "_all_points")
+
+    def __init__(
+        self,
+        xlo: Any,
+        ylo: Any,
+        xhi: Any,
+        yhi: Any,
+        *,
+        is_numpy: bool,
+    ) -> None:
+        self.xlo = xlo
+        self.ylo = ylo
+        self.xhi = xhi
+        self.yhi = yhi
+        self.n = len(xlo)
+        self.is_numpy = is_numpy
+        # Lazily computed by kernels.all_points(); the columns are
+        # immutable, so the answer can never go stale.
+        self._all_points: bool | None = None
+
+    # ----------------------------------------------------------------- #
+    # Constructors
+    # ----------------------------------------------------------------- #
+
+    @classmethod
+    def from_rects(
+        cls, rects: Iterable[Rect], backend: str | None = None
+    ) -> "RectArray":
+        """Columns of the given rectangles, in iteration order."""
+        seq = rects if isinstance(rects, (list, tuple)) else list(rects)
+        xlo = [r.xlo for r in seq]
+        ylo = [r.ylo for r in seq]
+        xhi = [r.xhi for r in seq]
+        yhi = [r.yhi for r in seq]
+        return cls._from_columns(xlo, ylo, xhi, yhi, backend)
+
+    @classmethod
+    def from_entries(
+        cls, entries: "Sequence[Entry]", backend: str | None = None
+    ) -> "RectArray":
+        """Columns of the entries' MBRs, in entry order."""
+        xlo = [e.mbr.xlo for e in entries]
+        ylo = [e.mbr.ylo for e in entries]
+        xhi = [e.mbr.xhi for e in entries]
+        yhi = [e.mbr.yhi for e in entries]
+        return cls._from_columns(xlo, ylo, xhi, yhi, backend)
+
+    @classmethod
+    def from_coords(
+        cls,
+        xlo: Sequence[float],
+        ylo: Sequence[float],
+        xhi: Sequence[float],
+        yhi: Sequence[float],
+        backend: str | None = None,
+    ) -> "RectArray":
+        """Columns from pre-extracted coordinate sequences (copied)."""
+        return cls._from_columns(
+            list(xlo), list(ylo), list(xhi), list(yhi), backend
+        )
+
+    @classmethod
+    def _from_columns(
+        cls,
+        xlo: list,
+        ylo: list,
+        xhi: list,
+        yhi: list,
+        backend: str | None,
+    ) -> "RectArray":
+        if _pick_numpy(backend, len(xlo)):
+            return cls(
+                np.asarray(xlo, dtype=np.float64),
+                np.asarray(ylo, dtype=np.float64),
+                np.asarray(xhi, dtype=np.float64),
+                np.asarray(yhi, dtype=np.float64),
+                is_numpy=True,
+            )
+        return cls(xlo, ylo, xhi, yhi, is_numpy=False)
+
+    # ----------------------------------------------------------------- #
+    # Access
+    # ----------------------------------------------------------------- #
+
+    def __len__(self) -> int:
+        return self.n
+
+    def rect_at(self, i: int) -> Rect:
+        """The ``i``-th rectangle re-boxed as a scalar :class:`Rect`."""
+        return Rect(
+            float(self.xlo[i]), float(self.ylo[i]),
+            float(self.xhi[i]), float(self.yhi[i]),
+        )
+
+    def take(self, indices: Any) -> "RectArray":
+        """The sub-array at ``indices`` (kept in the given order)."""
+        if self.is_numpy:
+            return RectArray(
+                self.xlo[indices], self.ylo[indices],
+                self.xhi[indices], self.yhi[indices],
+                is_numpy=True,
+            )
+        xlo, ylo, xhi, yhi = self.xlo, self.ylo, self.xhi, self.yhi
+        return RectArray(
+            [xlo[i] for i in indices],
+            [ylo[i] for i in indices],
+            [xhi[i] for i in indices],
+            [yhi[i] for i in indices],
+            is_numpy=False,
+        )
+
+    def matches_entries(self, entries: "Sequence[Entry]") -> bool:
+        """Exact coordinate equality against the entries' MBRs.
+
+        Used by the runtime sanitizer to cross-check a node's cached
+        columns against its live entry list; exact (not approximate)
+        comparison is intentional — a cache is either a perfect copy or
+        stale.
+        """
+        if self.n != len(entries):
+            return False
+        xlo, ylo, xhi, yhi = self.xlo, self.ylo, self.xhi, self.yhi
+        for i, entry in enumerate(entries):
+            mbr = entry.mbr
+            if (
+                xlo[i] != mbr.xlo
+                or ylo[i] != mbr.ylo
+                or xhi[i] != mbr.xhi
+                or yhi[i] != mbr.yhi
+            ):
+                return False
+        return True
+
+    def __repr__(self) -> str:
+        backend = "numpy" if self.is_numpy else "python"
+        return f"RectArray(n={self.n}, backend={backend})"

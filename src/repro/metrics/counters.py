@@ -5,7 +5,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 
-@dataclass
+@dataclass(slots=True)
 class IoCounters:
     """Raw disk-access counts for one phase.
 
@@ -49,7 +49,7 @@ class IoCounters:
         )
 
 
-@dataclass
+@dataclass(slots=True)
 class FaultCounters:
     """Fault-injection and recovery activity for one phase.
 
@@ -105,7 +105,7 @@ class FaultCounters:
         )
 
 
-@dataclass
+@dataclass(slots=True)
 class CpuCounters:
     """CPU cost expressed as overlap-test counts, as in the paper.
 

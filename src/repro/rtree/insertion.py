@@ -19,12 +19,19 @@ from typing import Any
 
 from ..errors import TreeError
 from ..geometry import Rect
+from ..kernels import kernels_enabled, least_enlargement_index
 from ..storage import PageKind
 from .node import Entry, Node, node_mbr
 
 
-def choose_subtree(owner: Any, node: Node, rect: Rect) -> int:
+def choose_subtree(
+    owner: Any, node: Node, rect: Rect, use_kernels: bool | None = None
+) -> int:
     """Index of the child entry needing least enlargement (ties: area).
+
+    ``use_kernels`` lets a caller that already read the kernel toggle
+    (once per insert) pass it down instead of paying the environment
+    lookup per descended level.
 
     CPU accounting note: the paper's construction-time "bbox" column
     counts *bounding box overlap tests*; a least-enlargement scan is a
@@ -35,17 +42,31 @@ def choose_subtree(owner: Any, node: Node, rect: Rect) -> int:
     order of magnitude more — which per-entry charging here would bury
     under descent-scan noise.
     """
-    best_idx = 0
-    best_enl = float("inf")
-    best_area = float("inf")
-    for i, e in enumerate(node.entries):
-        enl = e.mbr.enlargement(rect)
-        if enl < best_enl:
-            best_idx, best_enl, best_area = i, enl, e.mbr.area()
-        elif enl == best_enl:
-            area = e.mbr.area()
-            if area < best_area:
-                best_idx, best_area = i, area
+    if use_kernels is None:
+        use_kernels = kernels_enabled()
+    arr = (
+        node.warm_rect_array()
+        if node.entries and use_kernels
+        else None
+    )
+    if arr is not None:
+        # Same winner as the scalar loop: first index attaining minimal
+        # enlargement, area as the tie-break (first occurrence again).
+        # Only a warm cache is used — this node is invalidated later in
+        # the same insert, so building columns here would never amortise.
+        best_idx = least_enlargement_index(arr, rect)
+    else:
+        best_idx = 0
+        best_enl = float("inf")
+        best_area = float("inf")
+        for i, e in enumerate(node.entries):
+            enl = e.mbr.enlargement(rect)
+            if enl < best_enl:
+                best_idx, best_enl, best_area = i, enl, e.mbr.area()
+            elif enl == best_enl:
+                area = e.mbr.area()
+                if area < best_area:
+                    best_idx, best_area = i, area
     if owner.metrics is not None:
         owner.metrics.count_bbox_tests(1)
     return best_idx
@@ -59,14 +80,16 @@ def new_node(owner: Any, level: int, entries: list[Entry]) -> Node:
 
 
 def insert_into_subtree(
-    owner: Any, root_id: int, entry: Entry, target_level: int = 0
+    owner: Any, root_id: int, entry: Entry, target_level: int = 0,
+    use_kernels: bool | None = None,
 ) -> int:
     """Insert ``entry`` into the subtree rooted at ``root_id``.
 
     Returns the root id after the insert — a new id when the root split
     (the subtree grew one level). ``target_level`` selects the level that
     receives the entry: 0 for data entries, higher for re-inserting
-    orphaned subtrees during deletion.
+    orphaned subtrees during deletion. ``use_kernels`` lets a bulk
+    caller read the kernel toggle once per build instead of per insert.
     """
     buffer = owner.buffer
     node = buffer.fetch(root_id, pin=True).payload
@@ -78,13 +101,16 @@ def insert_into_subtree(
                 f"level {node.level}"
             )
         child_idxs: list[int] = []
+        if use_kernels is None:
+            use_kernels = kernels_enabled()
         while node.level > target_level:
-            idx = choose_subtree(owner, node, entry.mbr)
+            idx = choose_subtree(owner, node, entry.mbr, use_kernels)
             child_idxs.append(idx)
             node = buffer.fetch(node.entries[idx].ref, pin=True).payload
             path.append(node)
 
         node.entries.append(entry)
+        node.invalidate_caches()
         buffer.mark_dirty(node.page_id)
 
         new_root_id = root_id
@@ -96,6 +122,7 @@ def insert_into_subtree(
                     cur.entries, owner.min_fill, owner.metrics
                 )
                 cur.entries = group_a
+                cur.invalidate_caches()
                 sibling = new_node(owner, cur.level, group_b)
                 buffer.mark_dirty(cur.page_id)
             else:
@@ -113,6 +140,7 @@ def insert_into_subtree(
                     parent.entries.append(
                         Entry(node_mbr(sibling), sibling.page_id)
                     )
+                parent.invalidate_caches()
                 buffer.mark_dirty(parent.page_id)
             elif sibling is not None:
                 # Root split: the subtree grows one level; hand the caller a

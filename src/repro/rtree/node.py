@@ -9,6 +9,13 @@ Seeded trees reuse these types for their grown nodes, and extend
 :class:`Entry` with the optional ``shadow`` field used by seed-level
 filtering (Section 3.2) — the field exists on every entry but is ``None``
 outside seed nodes, costing one slot per entry.
+
+Nodes carry three lazily built caches for the vectorized kernel layer
+(:mod:`repro.kernels`): the struct-of-arrays columns of the entry MBRs,
+the columns of the entry shadows, and the node MBR. Every code path
+that mutates ``entries`` (or an entry's ``mbr``/``shadow`` in place)
+must call :meth:`Node.invalidate_caches`; the runtime sanitizer
+cross-checks cache coherence at phase boundaries.
 """
 
 from __future__ import annotations
@@ -16,6 +23,11 @@ from __future__ import annotations
 from typing import Iterable
 
 from ..geometry import Rect, union_all
+from ..kernels import RectArray
+
+#: Sentinel cached when a node has at least one shadow-less entry, so
+#: the miss itself is remembered (``None`` means "not computed yet").
+_NO_SHADOWS = object()
 
 
 class Entry:
@@ -50,13 +62,19 @@ class Node:
     pool; a value of ``-1`` marks a node not yet materialised.
     """
 
-    __slots__ = ("page_id", "level", "entries")
+    __slots__ = (
+        "page_id", "level", "entries",
+        "_rect_cache", "_mbr_cache", "_shadow_cache",
+    )
 
     def __init__(self, level: int, entries: list[Entry] | None = None,
                  page_id: int = -1):
         self.level = level
         self.entries = entries if entries is not None else []
         self.page_id = page_id
+        self._rect_cache: RectArray | None = None
+        self._mbr_cache: Rect | None = None
+        self._shadow_cache: object = None
 
     @property
     def is_leaf(self) -> bool:
@@ -64,6 +82,103 @@ class Node:
 
     def __len__(self) -> int:
         return len(self.entries)
+
+    # ----------------------------------------------------------------- #
+    # Kernel caches
+    # ----------------------------------------------------------------- #
+
+    def invalidate_caches(self) -> None:
+        """Drop the column/MBR caches after any entry mutation."""
+        self._rect_cache = None
+        self._mbr_cache = None
+        self._shadow_cache = None
+
+    def patch_entry_mbr(self, i: int) -> None:
+        """Refresh the caches after entry ``i``'s MBR was replaced.
+
+        The seed-descent update policies rewrite one entry's box per
+        visited node; dropping the whole column cache there would force
+        a rebuild on every descent. Patching the one changed row keeps
+        the columns warm (shadows are untouched by updates; the node
+        MBR must still be recomputed).
+        """
+        cache = self._rect_cache
+        if cache is not None and cache.n == len(self.entries):
+            mbr = self.entries[i].mbr
+            cache.xlo[i] = mbr.xlo
+            cache.ylo[i] = mbr.ylo
+            cache.xhi[i] = mbr.xhi
+            cache.yhi[i] = mbr.yhi
+            # A non-point row settles the all-points memo without a
+            # rescan; a point row leaves it unknown (another row may
+            # still be a rectangle).
+            cache._all_points = None if mbr.is_point() else False
+        else:
+            self._rect_cache = None
+        self._mbr_cache = None
+
+    def rect_array(self) -> RectArray:
+        """Struct-of-arrays columns of the entry MBRs, lazily built.
+
+        The length check is a belt-and-suspenders guard: a caller that
+        appended an entry but forgot :meth:`invalidate_caches` still
+        gets a rebuild instead of a silently short array (in-place MBR
+        edits remain the sanitizer's job to catch).
+        """
+        cache = self._rect_cache
+        if cache is None or cache.n != len(self.entries):
+            cache = RectArray.from_entries(self.entries)
+            self._rect_cache = cache
+        return cache
+
+    def warm_rect_array(self) -> RectArray | None:
+        """The column cache only if it is already valid, else ``None``.
+
+        Insertion-path callers use this gate: a node chosen by
+        ``choose_subtree`` is invalidated later in the same insert, so
+        eagerly building columns there would cost a rebuild per insert
+        for no reuse. Query and match paths build eagerly instead
+        (:meth:`rect_array`) because their trees are static.
+        """
+        cache = self._rect_cache
+        if cache is not None and cache.n == len(self.entries):
+            return cache
+        return None
+
+    def cached_mbr(self) -> Rect:
+        """The node MBR, computed once per cache generation."""
+        mbr = self._mbr_cache
+        if mbr is None:
+            mbr = union_all(e.mbr for e in self.entries)
+            self._mbr_cache = mbr
+        return mbr
+
+    def shadow_array(self) -> RectArray | None:
+        """Columns of the entry shadows, or ``None`` if any is unset."""
+        cached = self._shadow_cache
+        if cached is None or (
+            isinstance(cached, RectArray) and cached.n != len(self.entries)
+        ):
+            shadows = [e.shadow for e in self.entries]
+            if any(s is None for s in shadows):
+                cached = _NO_SHADOWS
+            else:
+                cached = RectArray.from_rects(shadows)  # type: ignore[arg-type]
+            self._shadow_cache = cached
+        return cached if isinstance(cached, RectArray) else None
+
+    # ----------------------------------------------------------------- #
+    # Pickling (drop caches: numpy columns are heavier than the entries)
+    # ----------------------------------------------------------------- #
+
+    def __getstate__(self) -> tuple[int, int, list[Entry]]:
+        return (self.page_id, self.level, self.entries)
+
+    def __setstate__(self, state: tuple[int, int, list[Entry]]) -> None:
+        self.page_id, self.level, self.entries = state
+        self._rect_cache = None
+        self._mbr_cache = None
+        self._shadow_cache = None
 
     def __repr__(self) -> str:
         return (

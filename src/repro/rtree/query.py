@@ -17,21 +17,50 @@ from itertools import count
 from typing import Any
 
 from ..geometry import Rect
+from ..kernels import intersect_indices, kernels_enabled
 
 
-def window_query(tree: Any, window: Rect) -> list[int]:
+def window_query(
+    tree: Any, window: Rect, use_kernels: bool | None = None
+) -> list[int]:
     """Object ids of all objects whose MBRs intersect ``window``.
 
     Node reads are accounted through the tree's buffer; each entry
-    inspected costs one bbox test.
+    inspected costs one bbox test (the batch intersect filter charges
+    the same per-entry count). ``use_kernels`` lets a caller issuing
+    many queries (BFJ: one per ``D_S`` rectangle) read the kernel
+    toggle once instead of per query.
     """
     results: list[int] = []
     stack = [tree.root_id]
+    if use_kernels is None:
+        use_kernels = kernels_enabled()
     while stack:
         node = tree.read_node(stack.pop())
         if tree.metrics is not None:
             tree.metrics.count_bbox_tests(len(node.entries))
-        if node.is_leaf:
+        if use_kernels:
+            entries = node.entries
+            arr = node.rect_array()
+            out = results if node.is_leaf else stack
+            if arr.is_numpy:
+                out.extend(
+                    entries[i].ref
+                    for i in intersect_indices(arr, window)
+                )
+            else:
+                # List-backed columns (node-sized arrays): walk them
+                # directly, appending refs in one pass — an index list
+                # plus re-indexing costs more than the scan itself here.
+                wxlo, wylo = window.xlo, window.ylo
+                wxhi, wyhi = window.xhi, window.yhi
+                for e, xlo, ylo, xhi, yhi in zip(
+                    entries, arr.xlo, arr.ylo, arr.xhi, arr.yhi
+                ):
+                    if (xlo <= wxhi and wxlo <= xhi
+                            and ylo <= wyhi and wylo <= yhi):
+                        out.append(e.ref)
+        elif node.is_leaf:
             for e in node.entries:
                 if e.mbr.intersects(window):
                     results.append(e.ref)

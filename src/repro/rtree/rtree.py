@@ -160,13 +160,15 @@ class RTree:
     # Queries
     # ----------------------------------------------------------------- #
 
-    def window_query(self, window: Rect) -> list[int]:
+    def window_query(
+        self, window: Rect, use_kernels: bool | None = None
+    ) -> list[int]:
         """Object ids of all objects whose MBRs intersect ``window``.
 
         This is the spatial-selection operation BFJ issues once per input
         rectangle. Every entry inspected costs one bbox test.
         """
-        return shared_window_query(self, window)
+        return shared_window_query(self, window, use_kernels)
 
     def point_query(self, x: float, y: float) -> list[int]:
         """Object ids whose MBRs cover the point ``(x, y)``."""
@@ -201,6 +203,7 @@ class RTree:
 
             leaf = nodes[-1]
             del leaf.entries[entry_idx]
+            leaf.invalidate_caches()
             self.buffer.mark_dirty(leaf.page_id)
             self._count -= 1
 
@@ -214,6 +217,7 @@ class RTree:
                     orphans.append(cur)
                 else:
                     parent.entries[idx].mbr = node_mbr(cur)
+                parent.invalidate_caches()
                 self.buffer.mark_dirty(parent.page_id)
         finally:
             # Condensing must not leak pins when a fault interrupts it —

@@ -19,6 +19,7 @@ from typing import Callable
 
 from ..errors import TreeError
 from ..geometry import union_all
+from ..kernels import RectArray, kernels_enabled, quadratic_split_indices
 from ..metrics import MetricsCollector
 from .node import Entry
 
@@ -45,6 +46,19 @@ def quadratic_split(
         raise TreeError(
             f"min_fill {min_fill} impossible for {n} entries"
         )
+
+    if kernels_enabled():
+        # Column-batch twin of the loops below: same seeds, same
+        # assignments, same tie-breaks (None means the input triggered
+        # a scalar-only corner such as NaN waste, so fall through).
+        groups = quadratic_split_indices(
+            RectArray.from_entries(entries), min_fill
+        )
+        if groups is not None:
+            if metrics is not None:
+                metrics.count_bbox_tests(n)
+            idx_a, idx_b = groups
+            return [entries[k] for k in idx_a], [entries[k] for k in idx_b]
 
     # --- PickSeeds: maximise d = area(union) - area(e1) - area(e2) ----- #
     seed_a = seed_b = -1

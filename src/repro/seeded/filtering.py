@@ -23,6 +23,7 @@ of CPU for its I/O gain.
 from __future__ import annotations
 
 from ..geometry import Rect
+from ..kernels import intersect_indices, kernels_enabled
 from ..metrics import MetricsCollector
 from ..rtree.node import Node
 
@@ -55,10 +56,24 @@ def passes_filter(
     tests = 0
     frontier = [seed_root]
     passed = True
+    use_kernels = kernels_enabled()
     for depth in range(seed_levels):
         at_slot_level = depth == seed_levels - 1
         overlapping: list[int] = []
         for node in frontier:
+            shadows = node.shadow_array() if use_kernels else None
+            if shadows is not None:
+                # Batch path; a node with any shadow-less entry falls
+                # back to the scalar scan, which charges those entries
+                # a test too — so the per-entry charge is identical.
+                tests += shadows.n
+                hits = intersect_indices(shadows, rect)
+                if at_slot_level:
+                    overlapping.extend(-1 for _ in range(len(hits)))
+                else:
+                    entries = node.entries
+                    overlapping.extend(entries[i].ref for i in hits)
+                continue
             for entry in node.entries:
                 tests += 1
                 shadow = entry.shadow

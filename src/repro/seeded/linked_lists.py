@@ -31,7 +31,7 @@ from ..storage.disk import DiskSimulator
 from ..storage.faults import retry_read
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class ListSegment:
     """One slot's contiguous pages within a flushed batch."""
 
@@ -40,7 +40,7 @@ class ListSegment:
     num_pages: int
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Batch:
     """A set of linked lists written to disk together (Section 3.1).
 
@@ -54,7 +54,7 @@ class Batch:
     segments: tuple[ListSegment, ...]
 
 
-@dataclass
+@dataclass(slots=True)
 class SlotList:
     """The linked list accumulated under one slot."""
 

@@ -41,6 +41,12 @@ from typing import TYPE_CHECKING, Iterable, Iterator
 from ..config import SystemConfig
 from ..errors import SeedingError, TreeError, TreePhaseError
 from ..geometry import Rect
+from ..kernels import (
+    all_points,
+    kernels_enabled,
+    least_enlargement_index,
+    min_center_distance_index,
+)
 from ..metrics import MetricsCollector
 from ..rtree.insertion import insert_into_subtree, new_node
 from ..rtree.node import Entry, Node, node_mbr
@@ -66,7 +72,7 @@ class TreePhase(Enum):
     READY = "ready"
 
 
-@dataclass
+@dataclass(slots=True)
 class _Slot:
     """Join-time state of one slot (an (mbr, cp) pair at level k-1)."""
 
@@ -323,17 +329,20 @@ class SeededTree:
                 for node in nodes:
                     for entry in node.entries:
                         entry.mbr = entry.mbr.center_rect()
+                    node.invalidate_caches()
             return
         # C3: center points at the slot level; true MBR of the
         # (transformed) children everywhere above, computed bottom-up.
         for node in nodes_by_depth[slot_depth]:
             for entry in node.entries:
                 entry.mbr = entry.mbr.center_rect()
+            node.invalidate_caches()
         for depth in range(slot_depth - 1, -1, -1):
             for node in nodes_by_depth[depth]:
                 for entry in node.entries:
                     child = self._node_unaccounted(entry.ref)
                     entry.mbr = node_mbr(child)
+                node.invalidate_caches()
 
     def _seed_nodes_by_depth(self) -> list[list[Node]]:
         """Seed nodes grouped by depth (0 = root); unaccounted access."""
@@ -405,11 +414,12 @@ class SeededTree:
 
         skip = resume.entries_scanned if resume is not None else 0
         scanned = 0
+        use_kernels = kernels_enabled()  # one toggle read per growing phase
         for rect, oid in entries:
             scanned += 1
             if scanned <= skip:
                 continue
-            self.insert(rect, oid)
+            self.insert(rect, oid, use_kernels)
             if checkpointer is not None:
                 checkpointer.maybe_checkpoint(self, scanned)
 
@@ -440,8 +450,14 @@ class SeededTree:
         for slot, count in zip(self._slots, salvage.slot_counts):
             slot.count = count
 
-    def insert(self, rect: Rect, oid: int) -> None:
-        """Insert one object: filter, descend the seed levels, grow."""
+    def insert(
+        self, rect: Rect, oid: int, use_kernels: bool | None = None
+    ) -> None:
+        """Insert one object: filter, descend the seed levels, grow.
+
+        ``use_kernels`` lets :meth:`grow_from` read the kernel toggle
+        once for the whole growing phase instead of per object.
+        """
         if self.phase is not TreePhase.SEEDED:
             raise TreePhaseError(f"cannot insert in phase {self.phase.value}")
 
@@ -452,36 +468,48 @@ class SeededTree:
             self._filtered += 1
             return
 
-        slot = self._descend_to_slot(rect)
+        slot = self._descend_to_slot(rect, use_kernels)
         if self._lists is not None:
             self._lists.append(slot.index, (rect, oid))
         else:
-            self._insert_through_slot(slot, rect, oid)
+            self._insert_through_slot(slot, rect, oid, use_kernels)
         slot.count += 1
         self._count += 1
 
-    def _descend_to_slot(self, rect: Rect) -> _Slot:
+    def _descend_to_slot(
+        self, rect: Rect, use_kernels: bool | None = None
+    ) -> _Slot:
         """Root-to-slot descent, applying the update policy on the way."""
         node = self.read_node(self.root_id)
+        if use_kernels is None:
+            use_kernels = kernels_enabled()  # one env read per descent
         for depth in range(self.seed_levels):
             at_slot_level = depth == self.seed_levels - 1
-            entry = self._choose_seed_entry(node, rect)
+            entry, idx = self._choose_seed_entry(node, rect, use_kernels)
             if apply_update(self.update_policy, entry, rect, at_slot_level):
+                # The update rewrote exactly one entry's box: patch that
+                # row instead of dropping the whole column cache, which
+                # would force a rebuild on every descent.
+                node.patch_entry_mbr(idx)
                 self.buffer.mark_dirty(node.page_id)
             if at_slot_level:
                 return self._slots[entry.ref]
             node = self.read_node(entry.ref)
         raise TreeError("descent fell through the slot level")  # unreachable
 
-    def _choose_seed_entry(self, node: Node, rect: Rect) -> Entry:
-        """Pick the guiding entry for ``rect`` in one seed node.
+    def _choose_seed_entry(
+        self, node: Node, rect: Rect, use_kernels: bool | None = None
+    ) -> tuple[Entry, int]:
+        """Pick the guiding entry (and its index) for one seed node.
 
         The paper's criterion depends on what the bounding-box fields
         hold: center points are compared by center distance, areas by
         least enlargement. When updates have turned only some boxes into
         real rectangles, least enlargement is used for all (a degenerate
         box's enlargement grows with distance, so the criteria agree in
-        spirit).
+        spirit). ``use_kernels`` carries the per-descent kernel-toggle
+        read from :meth:`_descend_to_slot`; the index lets that caller
+        patch the one cache row an update rewrites.
         """
         entries = node.entries
         if not entries:
@@ -490,18 +518,41 @@ class SeededTree:
             # One classification pass per node visited, matching the
             # granularity of the R-tree's choose_subtree accounting.
             self.metrics.count_bbox_tests(1)
+        if use_kernels is None:
+            use_kernels = kernels_enabled()
+        if use_kernels:
+            # The update policies rewrite one box per visited node, but
+            # the descent patches that single cache row, so the column
+            # caches stay warm across inserts.
+            arr = node.rect_array()
+            if all_points(arr):
+                idx = min_center_distance_index(arr, rect)
+            else:
+                idx = least_enlargement_index(arr, rect)
+            return entries[idx], idx
         if all(e.mbr.is_point() for e in entries):
-            return min(entries, key=lambda e: e.mbr.center_distance_sq(rect))
-        best = entries[0]
-        best_enl = best.mbr.enlargement(rect)
-        best_area = best.mbr.area()
-        for e in entries[1:]:
+            # First-minimum semantics, same winner as min() over the
+            # entries (and as the center-distance kernel).
+            best_idx = 0
+            best_d = entries[0].mbr.center_distance_sq(rect)
+            for i, e in enumerate(entries[1:], 1):
+                d = e.mbr.center_distance_sq(rect)
+                if d < best_d:
+                    best_idx, best_d = i, d
+            return entries[best_idx], best_idx
+        best_idx = 0
+        best_enl = entries[0].mbr.enlargement(rect)
+        best_area = entries[0].mbr.area()
+        for i, e in enumerate(entries[1:], 1):
             enl = e.mbr.enlargement(rect)
             if enl < best_enl or (enl == best_enl and e.mbr.area() < best_area):
-                best, best_enl, best_area = e, enl, e.mbr.area()
-        return best
+                best_idx, best_enl, best_area = i, enl, e.mbr.area()
+        return entries[best_idx], best_idx
 
-    def _insert_through_slot(self, slot: _Slot, rect: Rect, oid: int) -> None:
+    def _insert_through_slot(
+        self, slot: _Slot, rect: Rect, oid: int,
+        use_kernels: bool | None = None,
+    ) -> None:
         """Grow the slot's subtree by one entry (allocating it if new).
 
         Tracks the subtree's exact MBR and root level as it grows, so the
@@ -513,7 +564,10 @@ class SeededTree:
             slot.root_id = leaf.page_id
             slot.true_mbr = rect
         else:
-            new_root = insert_into_subtree(self, slot.root_id, Entry(rect, oid))
+            new_root = insert_into_subtree(
+                self, slot.root_id, Entry(rect, oid),
+                use_kernels=use_kernels,
+            )
             if new_root != slot.root_id:
                 slot.root_id = new_root
                 slot.root_level += 1
@@ -545,6 +599,7 @@ class SeededTree:
                 # Nothing was inserted: collapse to an empty leaf.
                 root.entries = []
                 root.level = 0
+                root.invalidate_caches()
             self.buffer.mark_dirty(self.root_id)
         finally:
             self.buffer.unpin(self.root_id)
@@ -562,10 +617,11 @@ class SeededTree:
         vanish. This is the heart of the Section 3.1 optimisation.
         """
         assert self._lists is not None
+        use_kernels = kernels_enabled()  # one toggle read for the drain
         for slot_index, entries in self._lists.regroup_and_drain():
             slot = self._slots[slot_index]
             for rect, oid in entries:
-                self._insert_through_slot(slot, rect, oid)
+                self._insert_through_slot(slot, rect, oid, use_kernels)
         self._list_batches = self._lists.batches_flushed
         self._list_pages_flushed = self._lists.pages_flushed
         self._lists = None
@@ -606,6 +662,7 @@ class SeededTree:
             kept.append(entry)
             child_levels.append(child.level)
         node.entries = kept
+        node.invalidate_caches()
         if not kept:
             return None
         node.level = max(child_levels) + 1
@@ -617,11 +674,13 @@ class SeededTree:
     # Post-construction use
     # ----------------------------------------------------------------- #
 
-    def window_query(self, window: Rect) -> list[int]:
+    def window_query(
+        self, window: Rect, use_kernels: bool | None = None
+    ) -> list[int]:
         """Spatial selection on the finished tree (Section 5 notes a
         seeded tree may be retained as an ordinary access method)."""
         self._require_ready()
-        return shared_window_query(self, window)
+        return shared_window_query(self, window, use_kernels)
 
     def insert_retained(self, rect: Rect, oid: int) -> None:
         """Insert into the *finished* tree, used as an ordinary index.

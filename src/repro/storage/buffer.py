@@ -29,7 +29,7 @@ from .faults import DEFAULT_RETRY_POLICY, RetryPolicy
 from .pager import Page, PageKind
 
 
-@dataclass
+@dataclass(slots=True)
 class BufferStats:
     """Hit/miss/eviction statistics (not part of the paper's cost model)."""
 
@@ -79,9 +79,21 @@ class BufferPool:
         self.policy = policy
         self.retry = retry or DEFAULT_RETRY_POLICY
         self.stats = BufferStats()
+        self._is_lru = policy == "lru"
+        self._is_clock = policy == "clock"
         # Eviction order: least recently used first (LRU), insertion
         # order (FIFO), or clock-hand order with reference bits (CLOCK).
         self._frames: "OrderedDict[int, _Frame]" = OrderedDict()
+        # Pinned frames parked out of the eviction scan (LRU/FIFO only).
+        # A victim scan that meets a pinned frame at the head moves it
+        # here instead of re-skipping it on every subsequent eviction —
+        # with p long-pinned pages at the LRU head the old scan was
+        # O(p) per eviction. Invariants: every parked frame is pinned,
+        # and all parked frames are older (in eviction order) than every
+        # frame left in ``_frames``; unpinning a parked frame to zero
+        # merges the park back at the front, restoring the exact
+        # original order, so victim choice is unchanged frame for frame.
+        self._parked: "OrderedDict[int, _Frame]" = OrderedDict()
 
     # ----------------------------------------------------------------- #
     # Core operations
@@ -89,13 +101,30 @@ class BufferPool:
 
     def fetch(self, page_id: int, pin: bool = False) -> Page:
         """Return the page, reading it from disk on a miss."""
-        frame = self._frames.get(page_id)
+        frames = self._frames
+        frame = frames.get(page_id)
+        if frame is not None:
+            # Fast hit path: one dict probe, one move_to_end. This is the
+            # single hottest call in every join, so the policy test is a
+            # precomputed bool rather than a string compare.
+            self.stats.hits += 1
+            if self._is_lru:
+                frames.move_to_end(page_id)
+            elif self._is_clock:
+                frame.referenced = True
+            if pin:
+                frame.pin_count += 1
+            return frame.page
+        frame = self._parked.get(page_id)
         if frame is not None:
             self.stats.hits += 1
-            if self.policy == "lru":
-                self._frames.move_to_end(page_id)
-            elif self.policy == "clock":
-                frame.referenced = True
+            if self._is_lru:
+                # The hit makes it the most recent frame; re-join the
+                # scan order at the tail (exactly where move_to_end
+                # would have put it). FIFO never reorders on a hit, so
+                # a FIFO frame stays parked.
+                del self._parked[page_id]
+                frames[page_id] = frame
         else:
             self.stats.misses += 1
             page = self._read_retrying(page_id)
@@ -143,14 +172,21 @@ class BufferPool:
         ``T_R``'s pages, and by linked-list code that assembles pages
         before registering them.
         """
-        if page.page_id in self._frames:
+        if page.page_id in self._frames or page.page_id in self._parked:
             raise StorageError(f"page {page.page_id} is already buffered")
         frame = self._admit(page, dirty=dirty)
         if pin:
             frame.pin_count += 1
 
-    def mark_dirty(self, page_id: int) -> None:
+    def _frame_of(self, page_id: int) -> _Frame | None:
+        """Resident frame lookup across the scan order and the park."""
         frame = self._frames.get(page_id)
+        if frame is None:
+            frame = self._parked.get(page_id)
+        return frame
+
+    def mark_dirty(self, page_id: int) -> None:
+        frame = self._frame_of(page_id)
         if frame is None:
             raise StorageError(f"page {page_id} is not resident")
         frame.dirty = True
@@ -160,7 +196,7 @@ class BufferPool:
     # ----------------------------------------------------------------- #
 
     def pin(self, page_id: int) -> None:
-        frame = self._frames.get(page_id)
+        frame = self._frame_of(page_id)
         if frame is None:
             raise StorageError(f"cannot pin non-resident page {page_id}")
         frame.pin_count += 1
@@ -168,13 +204,24 @@ class BufferPool:
     def unpin(self, page_id: int) -> None:
         frame = self._frames.get(page_id)
         if frame is None:
-            raise PinError(f"cannot unpin non-resident page {page_id}")
+            frame = self._parked.get(page_id)
+            if frame is None:
+                raise PinError(f"cannot unpin non-resident page {page_id}")
+            if frame.pin_count <= 0:
+                raise PinError(f"page {page_id} is not pinned")
+            frame.pin_count -= 1
+            if frame.pin_count == 0:
+                # The frame is evictable again; restore the exact
+                # pre-park eviction order so the next victim choice
+                # matches what the unparked pool would have picked.
+                self._unpark_all()
+            return
         if frame.pin_count <= 0:
             raise PinError(f"page {page_id} is not pinned")
         frame.pin_count -= 1
 
     def pin_count(self, page_id: int) -> int:
-        frame = self._frames.get(page_id)
+        frame = self._frame_of(page_id)
         return frame.pin_count if frame is not None else 0
 
     # ----------------------------------------------------------------- #
@@ -183,7 +230,7 @@ class BufferPool:
 
     def flush_page(self, page_id: int) -> None:
         """Write one dirty page back to disk (it stays resident, clean)."""
-        frame = self._frames.get(page_id)
+        frame = self._frame_of(page_id)
         if frame is None:
             raise StorageError(f"page {page_id} is not resident")
         if frame.dirty:
@@ -191,7 +238,16 @@ class BufferPool:
             frame.dirty = False
 
     def flush_all(self) -> None:
-        """Write back every dirty resident page (pages stay resident)."""
+        """Write back every dirty resident page (pages stay resident).
+
+        Parked frames are written first: they are the oldest frames, so
+        this is the same page order an unparked pool would flush in (the
+        order matters — the disk classifies sequential vs. random I/O).
+        """
+        for frame in self._parked.values():
+            if frame.dirty:
+                self.disk.write(frame.page)
+                frame.dirty = False
         for frame in self._frames.values():
             if frame.dirty:
                 self.disk.write(frame.page)
@@ -204,14 +260,18 @@ class BufferPool:
         one sequential ``write_run`` and then *drops* the frames — paying
         the eviction write here as well would double-charge the I/O.
         """
-        frame = self._frames.get(page_id)
+        store = self._frames
+        frame = store.get(page_id)
         if frame is None:
-            return
+            store = self._parked
+            frame = store.get(page_id)
+            if frame is None:
+                return
         if frame.pin_count > 0:
             raise PinError(f"cannot drop pinned page {page_id}")
         if write_back and frame.dirty:
             self.disk.write(frame.page)
-        del self._frames[page_id]
+        del store[page_id]
 
     def crash_discard(self) -> None:
         """Drop every frame without any write-back (simulated power loss).
@@ -222,6 +282,7 @@ class BufferPool:
         from a checkpoint so nothing stale survives into the new attempt.
         """
         self._frames.clear()
+        self._parked.clear()
 
     def purge(self) -> None:
         """Empty the buffer, writing dirty pages back first.
@@ -231,7 +292,10 @@ class BufferPool:
         the paper's protocol.
         """
         self.flush_all()
-        if any(f.pin_count for f in self._frames.values()):
+        if self._parked or any(
+            f.pin_count for f in self._frames.values()
+        ):
+            # Parked frames are pinned by invariant.
             raise PinError("cannot purge: some pages are pinned")
         self._frames.clear()
 
@@ -240,7 +304,7 @@ class BufferPool:
     # ----------------------------------------------------------------- #
 
     def _admit(self, page: Page, dirty: bool) -> _Frame:
-        while len(self._frames) >= self.capacity:
+        while len(self._frames) + len(self._parked) >= self.capacity:
             self._evict_one()
         frame = _Frame(page, dirty)
         self._frames[page.page_id] = frame
@@ -249,6 +313,8 @@ class BufferPool:
     def _evict_one(self) -> None:
         victim = self._pick_victim()
         if victim is None:
+            # _pick_victim unparked everything before giving up, so the
+            # count below covers every resident page.
             raise BufferFullError(
                 f"all {len(self._frames)} buffered pages are pinned"
             )
@@ -259,19 +325,39 @@ class BufferPool:
         self.stats.evictions += 1
         del self._frames[victim]
 
+    def _unpark_all(self) -> None:
+        """Merge the park back in front of the scan order.
+
+        Parked frames are, by invariant, all older than every frame in
+        ``_frames`` and keep their relative order in the park, so
+        "parked first, then the rest" *is* the original eviction order.
+        """
+        if self._parked:
+            self._parked.update(self._frames)
+            self._frames = self._parked
+            self._parked = OrderedDict()
+
     def _pick_victim(self) -> int | None:
         """First evictable frame under the configured policy."""
-        if self.policy in ("lru", "fifo"):
-            # The OrderedDict is already in eviction order: access
-            # recency for LRU (move_to_end on hit), admission order for
-            # FIFO (never reordered).
-            for page_id, frame in self._frames.items():
+        if not self._is_clock:
+            # LRU/FIFO: the OrderedDict is already in eviction order —
+            # access recency for LRU (move_to_end on hit), admission
+            # order for FIFO (never reordered). Pinned frames met at the
+            # head are parked so the next scan starts past them instead
+            # of re-skipping the same pinned prefix every eviction.
+            frames = self._frames
+            while frames:
+                page_id, frame = next(iter(frames.items()))
                 if frame.pin_count == 0:
                     return page_id
+                del frames[page_id]
+                self._parked[page_id] = frame
+            self._unpark_all()
             return None
         # CLOCK: sweep, giving referenced frames a second chance by
         # rotating them behind the hand; two full sweeps guarantee a
-        # victim if any frame is unpinned.
+        # victim if any frame is unpinned. (Parking would break the
+        # rotating hand, so clock keeps the plain sweep.)
         for _ in range(2 * len(self._frames)):
             page_id, frame = next(iter(self._frames.items()))
             if frame.pin_count > 0:
@@ -289,21 +375,26 @@ class BufferPool:
     # ----------------------------------------------------------------- #
 
     def __contains__(self, page_id: int) -> bool:
-        return page_id in self._frames
+        return page_id in self._frames or page_id in self._parked
 
     def __len__(self) -> int:
-        return len(self._frames)
+        return len(self._frames) + len(self._parked)
 
     @property
     def free_frames(self) -> int:
-        return self.capacity - len(self._frames)
+        return self.capacity - len(self)
 
     def resident_ids(self) -> Iterator[int]:
-        """Resident page ids in LRU order (least recent first)."""
-        return iter(self._frames.keys())
+        """Resident page ids in LRU order (least recent first).
+
+        Parked frames come first: they are the oldest frames by the park
+        invariant, so the combined iteration is the plain LRU order.
+        """
+        yield from self._parked.keys()
+        yield from self._frames.keys()
 
     def is_dirty(self, page_id: int) -> bool:
-        frame = self._frames.get(page_id)
+        frame = self._frame_of(page_id)
         return bool(frame and frame.dirty)
 
     def peek(self, page_id: int) -> Page | None:
@@ -312,22 +403,29 @@ class BufferPool:
         For tests and tree-introspection helpers that must not perturb
         the cost accounting.
         """
-        frame = self._frames.get(page_id)
+        frame = self._frame_of(page_id)
         return frame.page if frame is not None else None
 
     def audit_frames(self) -> list[tuple[int, int, int, bool]]:
         """``(frame key, page id, pin count, dirty)`` per resident frame.
 
-        In eviction order; reads nothing through the accounted path and
-        perturbs neither statistics nor replacement state — the runtime
-        sanitizer inspects the pool through this without changing any
-        cost counter.
+        In eviction order (parked-oldest first); reads nothing through
+        the accounted path and perturbs neither statistics nor
+        replacement state — the runtime sanitizer inspects the pool
+        through this without changing any cost counter.
         """
-        return [
+        out = [
+            (key, frame.page.page_id, frame.pin_count, frame.dirty)
+            for key, frame in self._parked.items()
+        ]
+        out.extend(
             (key, frame.page.page_id, frame.pin_count, frame.dirty)
             for key, frame in self._frames.items()
-        ]
+        )
+        return out
 
     def total_pinned(self) -> int:
         """Sum of all pin counts (0 means no operation holds a pin)."""
-        return sum(frame.pin_count for frame in self._frames.values())
+        return sum(
+            frame.pin_count for frame in self._parked.values()
+        ) + sum(frame.pin_count for frame in self._frames.values())

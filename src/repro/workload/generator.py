@@ -30,6 +30,7 @@ from dataclasses import dataclass, field, replace
 
 from ..errors import WorkloadError
 from ..geometry import Rect
+from ..kernels import clipped_area_total
 from ..storage.datafile import DataEntry
 from .seeding import derive_seed
 
@@ -121,38 +122,43 @@ def generate_clusters(config: ClusteredConfig,
     area = config.map_area
     x = config.num_clusters
     bound = cluster_side_bound(config.cover_quotient, x, area)
-    raw: list[tuple[float, float, float, float]] = []
+    cxs: list[float] = []
+    cys: list[float] = []
+    ws: list[float] = []
+    hs: list[float] = []
     for _ in range(x):
-        cx = area.xlo + rng.random() * area.width
-        cy = area.ylo + rng.random() * area.height
-        w = rng.random() * bound
-        h = rng.random() * bound
-        raw.append((cx, cy, w, h))
+        cxs.append(area.xlo + rng.random() * area.width)
+        cys.append(area.ylo + rng.random() * area.height)
+        ws.append(rng.random() * bound)
+        hs.append(rng.random() * bound)
 
-    if sum(w * h for _, _, w, h in raw) <= 0.0:
+    if sum(w * h for w, h in zip(ws, hs)) <= 0.0:
         raise WorkloadError("degenerate cluster sample (zero total area)")
     target = config.cover_quotient * area.area()
 
-    def clipped_with_scale(scale: float) -> list[Rect]:
-        out = []
-        for cx, cy, w, h in raw:
-            rect = Rect.from_center(cx, cy, w * scale, h * scale)
-            clipped = rect.clipped_to(area)
-            if clipped is None:  # centers lie inside the map
-                raise WorkloadError("cluster rectangle fell outside the map")
-            out.append(clipped)
-        return out
-
+    # The convergence loop only needs the *total* clipped area at each
+    # candidate scale; the batch kernel computes it without materialising
+    # Rect objects (bit-identical to the per-Rect chain — it mirrors
+    # from_center/clipped_to/area expression by expression and sums
+    # left-to-right). Rects are built once, at the accepted scale.
     scale = 1.0
-    clusters = clipped_with_scale(scale)
     for _ in range(16):
-        total = sum(c.area() for c in clusters)
+        total = clipped_area_total(cxs, cys, ws, hs, scale, area)
+        if total is None:  # centers lie inside the map
+            raise WorkloadError("cluster rectangle fell outside the map")
         if total <= 0.0:
             raise WorkloadError("degenerate cluster sample (zero total area)")
         if abs(total - target) <= 0.005 * target:
             break
         scale *= math.sqrt(target / total)
-        clusters = clipped_with_scale(scale)
+
+    clusters: list[Rect] = []
+    for cx, cy, w, h in zip(cxs, cys, ws, hs):
+        rect = Rect.from_center(cx, cy, w * scale, h * scale)
+        clipped = rect.clipped_to(area)
+        if clipped is None:
+            raise WorkloadError("cluster rectangle fell outside the map")
+        clusters.append(clipped)
     return clusters
 
 

@@ -97,3 +97,103 @@ def test_parallel_equals_sequential(method: str, seed: int) -> None:
         assert getattr(merged, field) == getattr(summed, field), (
             f"{field}: merged collector disagrees with partition sum"
         )
+
+
+# --------------------------------------------------------------------- #
+# Kernels-on vs kernels-off
+# --------------------------------------------------------------------- #
+
+#: Wider data rectangles than the parallel workloads above, so the
+#: kernel-path sweep actually emits pairs (the contract being pinned is
+#: emission *order*, which zero-pair runs never exercise).
+_KERNEL_CACHE: dict[int, tuple[list, list]] = {}
+
+SUMMARY_FIELDS = (
+    "match_read", "match_write", "construct_read", "construct_write",
+    "bbox_tests", "xy_tests",
+)
+
+
+def _kernel_workload(seed: int):
+    if seed not in _KERNEL_CACHE:
+        d_r = generate_clustered(ClusteredConfig(
+            220, cover_quotient=2.0, objects_per_cluster=11,
+            data_side_bound=0.06, seed=900 + seed,
+        ))
+        d_s = generate_clustered(ClusteredConfig(
+            140, cover_quotient=2.0, objects_per_cluster=7,
+            data_side_bound=0.06, seed=950 + seed, oid_start=10**6,
+        ))
+        _KERNEL_CACHE[seed] = (d_r, d_s)
+    return _KERNEL_CACHE[seed]
+
+
+def _run_sequential(method: str, seed: int):
+    d_r, d_s = _kernel_workload(seed)
+    ws = Workspace(CFG)
+    tree_r = ws.install_rtree(d_r)
+    file_s = ws.install_datafile(d_s)
+    ws.start_measurement()
+    result = spatial_join(
+        file_s, tree_r, ws.buffer, ws.config, ws.metrics, method=method,
+    )
+    return result.pairs, ws.metrics.summary()
+
+
+@pytest.mark.parametrize("seed", (0, 1, 2))
+@pytest.mark.parametrize("method", METHODS)
+def test_kernels_bit_identical_to_scalar(method, seed, monkeypatch):
+    """The vectorized kernel layer changes nothing observable: pair list
+    (including order) and every CostSummary field match the scalar path
+    bit for bit."""
+    monkeypatch.setenv("REPRO_KERNELS", "1")
+    pairs_on, summary_on = _run_sequential(method, seed)
+    monkeypatch.setenv("REPRO_KERNELS", "0")
+    pairs_off, summary_off = _run_sequential(method, seed)
+
+    assert pairs_on, "workload produced no pairs; order is untested"
+    assert pairs_on == pairs_off
+    for field in SUMMARY_FIELDS:
+        assert getattr(summary_on, field) == getattr(summary_off, field), (
+            f"{field}: kernels-on disagrees with kernels-off"
+        )
+
+
+@pytest.mark.parametrize("method", ("STJ", "BFJ"))
+def test_kernels_bit_identical_under_sanitizer(method, monkeypatch):
+    """Kernels + sanitizer together still match the plain scalar run —
+    and the sanitizer's cache-coherence sweep stays silent."""
+    monkeypatch.setenv("REPRO_KERNELS", "1")
+    monkeypatch.setenv("REPRO_SANITIZE", "1")
+    pairs_san, summary_san = _run_sequential(method, 0)
+    monkeypatch.setenv("REPRO_KERNELS", "0")
+    monkeypatch.setenv("REPRO_SANITIZE", "0")
+    pairs_plain, summary_plain = _run_sequential(method, 0)
+
+    assert pairs_san == pairs_plain
+    for field in SUMMARY_FIELDS:
+        assert getattr(summary_san, field) == getattr(summary_plain, field)
+
+
+def test_kernels_bit_identical_in_parallel(monkeypatch):
+    """Workers inherit REPRO_KERNELS through fork; a kernels-on parallel
+    run must reconcile exactly with a kernels-off one."""
+    d_r, d_s = _kernel_workload(0)
+
+    def run(kernels: str):
+        monkeypatch.setenv("REPRO_KERNELS", kernels)
+        ws = Workspace(CFG)
+        tree_r = ws.install_rtree(d_r)
+        file_s = ws.install_datafile(d_s)
+        ws.start_measurement()
+        result = spatial_join(
+            file_s, tree_r, ws.buffer, ws.config, ws.metrics, method="STJ",
+            workers=2, partitions=4, parallel_seed=0,
+        )
+        return result.pair_set(), ws.metrics.summary()
+
+    pairs_on, summary_on = run("1")
+    pairs_off, summary_off = run("0")
+    assert pairs_on == pairs_off
+    for field in SUMMARY_FIELDS:
+        assert getattr(summary_on, field) == getattr(summary_off, field)
