@@ -1,0 +1,286 @@
+#!/usr/bin/env python
+"""Benchmark the resident join service under open-loop replay.
+
+Drives a seeded trace of mixed window-query / join requests through a
+:class:`~repro.service.JoinService` with Poisson (open-loop) arrivals in
+three phases — steady, burst, recovery — so the run exercises the whole
+robustness envelope: ordinary serving, admission downgrades, the
+overload ladder, queue shedding and deadline timeouts. Writes per-phase
+and overall p50/p99 latency, throughput, shed rate and degradation
+counts to ``BENCH_service.json`` next to the repo root.
+
+Open-loop means arrivals do not wait for completions: during the burst
+phase the offered rate deliberately exceeds service capacity, so the
+bounded queue must shed — a closed-loop driver could never show that.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_service.py            # full 100k
+    PYTHONPATH=src python benchmarks/bench_service.py --quick --check
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import json
+import pathlib
+import random
+import sys
+import time
+
+from repro.config import SystemConfig
+from repro.geometry import Rect
+from repro.service import (
+    ANSWERED,
+    JoinRequest,
+    JoinService,
+    Outcome,
+    ServiceConfig,
+    WindowQueryRequest,
+    WorkspaceRegistry,
+)
+from repro.workload import generate_uniform
+
+SEED = 20240131
+SESSION_OBJECTS = 10_000
+CONFIG = SystemConfig(page_size=512, buffer_pages=128)
+
+#: (name, request count, offered rate in requests/second). The burst
+#: rate sits well above the two-worker service's capacity, forcing the
+#: queue through the degrade and shed watermarks.
+PHASES = (
+    ("steady", 60_000, 1500.0),
+    ("burst", 25_000, 8000.0),
+    ("recovery", 15_000, 1000.0),
+)
+QUICK_DIVISOR = 100  # --quick: 1000 requests, same phase structure
+
+#: With the bench session (10K objects, 436 tree pages) the planner
+#: estimates: small joins (n<=120) BFJ ~90-360 / STJ ~380, big joins
+#: (n>=2000) STJ ~590-1010 cheapest. A 450 budget therefore admits the
+#: small-join traffic as requested, rejects the occasional big join
+#: outright, and leaves "tight-budget" requests (per-request override
+#: 350) to downgrade STJ -> BFJ at admission.
+SERVICE = ServiceConfig(
+    queue_capacity=64,
+    workers=2,
+    degrade_water=16,
+    high_water=56,
+    max_predicted_io=450.0,
+    watchdog_interval_s=0.01,
+)
+TIGHT_BUDGET = 350.0
+
+
+def build_schedule(quick: bool):
+    """The seeded request trace: (arrival offset, phase, request)."""
+    rng = random.Random(SEED)
+    schedule = []
+    offset = 0.0
+    for name, count, rate in PHASES:
+        n = max(count // QUICK_DIVISOR, 50) if quick else count
+        for _ in range(n):
+            offset += rng.expovariate(rate)
+            schedule.append((offset, name, _mixed_request(rng)))
+    return schedule
+
+
+def _mixed_request(rng: random.Random):
+    draw = rng.random()
+    if draw < 0.96:
+        cx, cy = rng.random(), rng.random()
+        half = 0.005 + rng.random() * 0.03
+        return WindowQueryRequest("bench", Rect(
+            max(0.0, cx - half), max(0.0, cy - half),
+            min(1.0, cx + half), min(1.0, cy + half),
+        ), deadline_s=1.0)
+    if draw < 0.995:
+        n = rng.randrange(30, 100)
+        stj = rng.random() < 0.4
+        # A third of the seeded joins carry a tight per-request budget:
+        # STJ's estimate busts it, BFJ's fits, so admission downgrades.
+        tight = stj and rng.random() < 0.3
+        return JoinRequest(
+            "bench",
+            generate_uniform(n, seed=rng.randrange(1 << 30),
+                             oid_start=10**6),
+            method="STJ1-2N" if stj else "BFJ",
+            max_predicted_io=TIGHT_BUDGET if tight else None,
+            deadline_s=5.0,
+        )
+    # Occasional big seeded join: every method's estimate busts the
+    # service budget, so admission rejects it for the cost of a
+    # metadata-driven estimate — no worker time burned.
+    return JoinRequest(
+        "bench",
+        generate_uniform(rng.randrange(2000, 5000),
+                         seed=rng.randrange(1 << 30), oid_start=10**6),
+        method="STJ1-2N",
+        deadline_s=10.0,
+    )
+
+
+async def replay(schedule):
+    registry = WorkspaceRegistry(CONFIG)
+    registry.create("bench", generate_uniform(SESSION_OBJECTS, seed=SEED))
+    service = JoinService(registry, SERVICE)
+    await service.start()
+
+    tasks = []
+    t0 = time.perf_counter()
+    for offset, phase, request in schedule:
+        delay = t0 + offset - time.perf_counter()
+        if delay > 0:
+            await asyncio.sleep(delay)
+        tasks.append((phase, asyncio.ensure_future(service.submit(request))))
+    responses = [
+        (phase, await task) for phase, task in tasks
+    ]
+    duration = time.perf_counter() - t0
+    await service.stop()
+    return service, responses, duration
+
+
+def _percentile(ordered, q):
+    if not ordered:
+        return 0.0
+    return ordered[min(len(ordered) - 1, int(q / 100.0 * len(ordered)))]
+
+
+def _latency_stats(latencies):
+    ordered = sorted(latencies)
+    return {
+        "count": len(ordered),
+        "mean_ms": round(sum(ordered) / len(ordered) * 1e3, 3)
+        if ordered else 0.0,
+        "p50_ms": round(_percentile(ordered, 50) * 1e3, 3),
+        "p99_ms": round(_percentile(ordered, 99) * 1e3, 3),
+        "max_ms": round(_percentile(ordered, 100) * 1e3, 3),
+    }
+
+
+def summarize(service, responses, duration):
+    counters = service.metrics.counters
+    phases = {}
+    for name, _count, rate in PHASES:
+        phase_responses = [r for p, r in responses if p == name]
+        answered = [r for r in phase_responses if r.outcome in ANSWERED]
+        phases[name] = {
+            "offered_rate_rps": rate,
+            "requests": len(phase_responses),
+            "answered": len(answered),
+            "shed": sum(
+                1 for r in phase_responses if r.outcome is Outcome.SHED
+            ),
+            "timed_out": sum(
+                1 for r in phase_responses
+                if r.outcome is Outcome.TIMED_OUT
+            ),
+            "latency": _latency_stats([r.latency_s for r in answered]),
+        }
+    all_answered = [r for _p, r in responses if r.outcome in ANSWERED]
+    out = {
+        "workload": {
+            "seed": SEED,
+            "session_objects": SESSION_OBJECTS,
+            "requests": len(responses),
+            "page_size": CONFIG.page_size,
+            "buffer_pages": CONFIG.buffer_pages,
+            "queue_capacity": SERVICE.queue_capacity,
+            "workers": SERVICE.workers,
+            "degrade_water": SERVICE.degrade_water,
+            "high_water": SERVICE.high_water,
+            "max_predicted_io": SERVICE.max_predicted_io,
+        },
+        "phases": phases,
+        "overall": {
+            "duration_s": round(duration, 3),
+            "throughput_rps": round(len(responses) / duration, 1),
+            "answered_rps": round(len(all_answered) / duration, 1),
+            "latency": _latency_stats([r.latency_s for r in all_answered]),
+        },
+        "outcomes": counters.as_dict(),
+        "shed_rate": round(counters.shed / max(counters.submitted, 1), 4),
+        "degradation": {
+            "total": counters.degraded,
+            "admission": counters.admission_downgrades,
+            "overload": counters.overload_degrades,
+        },
+    }
+    return out
+
+
+def check(out) -> list[str]:
+    """The acceptance gates for --check (and the full committed run)."""
+    problems = []
+    counters = out["outcomes"]
+    resolved = sum(
+        counters[k] for k in (
+            "served", "degraded", "shed", "rejected_budget",
+            "timed_out", "faulted",
+        )
+    )
+    if counters["submitted"] != out["workload"]["requests"]:
+        problems.append("submitted != requests replayed")
+    if resolved != counters["submitted"]:
+        problems.append(
+            f"outcome ledger unbalanced: {resolved} resolved vs "
+            f"{counters['submitted']} submitted"
+        )
+    if counters["shed"] == 0:
+        problems.append("no requests shed (burst never saturated the queue)")
+    if counters["degraded"] == 0:
+        problems.append("no degraded requests (ladder never engaged)")
+    if counters["faulted"] != 0:
+        problems.append(f"{counters['faulted']} faulted requests")
+    return problems
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true",
+                        help="1/100-scale replay (CI perf smoke)")
+    parser.add_argument("--check", action="store_true",
+                        help="exit nonzero unless the robustness gates hold")
+    parser.add_argument("--out", default=None,
+                        help="output path (default: BENCH_service.json at "
+                             "the repo root; --quick runs don't write)")
+    args = parser.parse_args(argv)
+
+    schedule = build_schedule(args.quick)
+    print(f"replaying {len(schedule)} requests "
+          f"({'quick' if args.quick else 'full'} scale)...")
+    service, responses, duration = asyncio.run(replay(schedule))
+    out = summarize(service, responses, duration)
+
+    overall = out["overall"]
+    print(f"done in {overall['duration_s']}s: "
+          f"{overall['throughput_rps']} req/s, "
+          f"p50={overall['latency']['p50_ms']}ms "
+          f"p99={overall['latency']['p99_ms']}ms")
+    print(f"outcomes: {out['outcomes']}")
+    print(f"shed rate {out['shed_rate'] * 100:.2f}%, "
+          f"degradations {out['degradation']}")
+
+    if args.out or not args.quick:
+        target = pathlib.Path(
+            args.out
+            or pathlib.Path(__file__).resolve().parent.parent
+            / "BENCH_service.json"
+        )
+        target.write_text(json.dumps(out, indent=2, sort_keys=True) + "\n")
+        print(f"wrote {target}")
+
+    if args.check:
+        problems = check(out)
+        if problems:
+            for problem in problems:
+                print(f"FAIL: {problem}")
+            return 1
+        print("PASS: ledger balanced, shed and degradation both nonzero")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -102,6 +102,48 @@ class InvariantViolation(ReproError):
     """
 
 
+class ServiceError(ReproError):
+    """Base class for resident-join-service failures.
+
+    Deliberately *not* a :class:`StorageError`: the engine's graceful-
+    degradation path catches storage errors and re-answers by brute
+    force, but a request that is over budget, shed, or out of time must
+    abort — degrading it would spend even more of what it has run out
+    of. Service errors therefore propagate as their own branch of the
+    hierarchy.
+    """
+
+
+class QueueFullError(ServiceError):
+    """The service's bounded request queue is past its high-water mark.
+
+    Backpressure, not failure: the request was never admitted, no work
+    was done on its behalf, and an identical resubmission may succeed
+    once the queue drains. Counted as a *shed* outcome.
+    """
+
+
+class BudgetExceededError(ServiceError):
+    """Admission control predicts the request would exceed its cost budget.
+
+    The planner's cost model estimated the request's
+    :class:`~repro.metrics.CostSummary` before any work ran; no cheaper
+    method fit under the per-request I/O budget either, so the request
+    was rejected outright rather than started and abandoned mid-flight.
+    """
+
+
+class DeadlineExceededError(ServiceError):
+    """A request ran (or waited) past its deadline and was cancelled.
+
+    Raised cooperatively from the storage layer's deadline checks — the
+    watchdog hard-expires the request's :class:`~repro.service.Deadline`
+    and the worker aborts at its next accounted disk access or phase
+    boundary — or by the retry loop when the remaining deadline cannot
+    cover another backoff.
+    """
+
+
 class WorkloadError(ReproError):
     """A workload/data-set generation request is invalid."""
 

@@ -91,6 +91,10 @@ def build_parser() -> argparse.ArgumentParser:
         help="re-run both series and check the paper's headline claims",
     )
     _add_common(p_claims)
+
+    from .serve import add_serve_parser
+
+    add_serve_parser(sub)
     return parser
 
 
@@ -130,6 +134,10 @@ def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     if args.command == "list":
         return _cmd_list()
+    if args.command == "serve":
+        from .serve import cmd_serve
+
+        return cmd_serve(args)
     if args.command == "table":
         if args.repeat > 1:
             from .runner import run_table_repeated

@@ -1,0 +1,196 @@
+"""``python -m repro.experiments serve`` — run the resident join service.
+
+Stands up a demo session (a synthetic uniform workload, STR-packed into
+a resident ``T_R``), starts the :class:`~repro.service.JoinService` and
+its :class:`~repro.service.MetricsServer`, and either serves until
+interrupted or — with ``--self-test N`` — drives a seeded mini-trace of
+mixed requests (with storage faults and deadline pressure) through the
+full stack, checks the exactly-one-typed-outcome invariant and the HTTP
+endpoints, and shuts down cleanly. CI's service-smoke job runs the
+self-test form.
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import random
+
+from ..config import SystemConfig
+from ..geometry import Rect
+from ..metrics import format_fault_table
+from ..service import (
+    JoinRequest,
+    JoinService,
+    MetricsServer,
+    ServiceConfig,
+    WindowQueryRequest,
+    WorkspaceRegistry,
+)
+from ..storage import FaultInjector, FaultPlan, RecoveryPolicy
+from ..workload import generate_uniform
+
+
+def add_serve_parser(sub) -> None:
+    p = sub.add_parser(
+        "serve", help="run the resident join service (HTTP metrics + demo "
+                      "session)",
+    )
+    p.add_argument("--objects", type=int, default=20000,
+                   help="objects in the demo resident tree (default: 20000)")
+    p.add_argument("--seed", type=int, default=0,
+                   help="workload/traffic seed (default: 0)")
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=8123,
+                   help="metrics port; 0 picks a free one (default: 8123)")
+    p.add_argument("--workers", type=int, default=2,
+                   help="executor threads (default: 2)")
+    p.add_argument("--queue", type=int, default=32,
+                   help="bounded queue capacity (default: 32)")
+    p.add_argument("--deadline-s", type=float, default=None,
+                   help="default per-request deadline in seconds")
+    p.add_argument("--max-predicted-io", type=float, default=None,
+                   help="admission budget in predicted I/O units")
+    p.add_argument("--fault-rate", type=float, default=0.0,
+                   help="transient-read fault rate armed on the session")
+    p.add_argument(
+        "--self-test", type=int, default=None, metavar="N",
+        help="drive N mixed requests through the running service, verify "
+             "the outcome invariant and endpoints, then exit",
+    )
+
+
+def _build_registry(args: argparse.Namespace) -> WorkspaceRegistry:
+    registry = WorkspaceRegistry(SystemConfig())
+    injector = None
+    if args.fault_rate > 0:
+        injector = FaultInjector(
+            FaultPlan(transient_read_rate=args.fault_rate), seed=args.seed
+        )
+    session = registry.create(
+        "demo",
+        generate_uniform(args.objects, seed=args.seed),
+        injector=injector,
+        recovery=RecoveryPolicy(fallback_to_bfj=True),
+    )
+    if injector is not None:
+        injector.metrics = session.workspace.metrics
+        injector.arm()
+    return registry
+
+
+def _service_config(args: argparse.Namespace) -> ServiceConfig:
+    return ServiceConfig(
+        queue_capacity=args.queue,
+        workers=args.workers,
+        default_deadline_s=args.deadline_s,
+        max_predicted_io=args.max_predicted_io,
+    )
+
+
+def _mixed_request(rng: random.Random, index: int):
+    """One request of the self-test mix (seeded, so traces replay)."""
+    draw = rng.random()
+    if draw < 0.88:
+        cx, cy = rng.random(), rng.random()
+        half = 0.01 + rng.random() * 0.05
+        return WindowQueryRequest("demo", Rect(
+            max(0.0, cx - half), max(0.0, cy - half),
+            min(1.0, cx + half), min(1.0, cy + half),
+        ))
+    if draw < 0.96:
+        n = rng.randrange(50, 400)
+        return JoinRequest(
+            "demo",
+            generate_uniform(n, seed=rng.randrange(1 << 30)),
+            method="BFJ" if rng.random() < 0.5 else "STJ1-2N",
+        )
+    # Deadline pressure: a stalled request with a deadline it must miss.
+    return WindowQueryRequest(
+        "demo", Rect(0.4, 0.4, 0.6, 0.6),
+        deadline_s=0.01, stall_s=0.05,
+    )
+
+
+async def _http_get(host: str, port: int, path: str) -> tuple[str, str]:
+    reader, writer = await asyncio.open_connection(host, port)
+    writer.write(f"GET {path} HTTP/1.0\r\n\r\n".encode("latin-1"))
+    await writer.drain()
+    raw = (await reader.read()).decode("utf-8", "replace")
+    writer.close()
+    head, _, body = raw.partition("\r\n\r\n")
+    return head.splitlines()[0], body
+
+
+async def _self_test(
+    service: JoinService, http: MetricsServer, registry: WorkspaceRegistry,
+    n: int, seed: int,
+) -> int:
+    rng = random.Random(seed)
+    status, body = await _http_get(http.host, http.port, "/healthz")
+    print(f"/healthz before trace: {status} {body.strip()}")
+    if "200" not in status:
+        return 1
+    # Mildly paced open-loop submission: bursts of 8, so the trace
+    # exercises both the served path and the shed/degrade ladder.
+    pending = []
+    for i in range(n):
+        pending.append(
+            asyncio.ensure_future(service.submit(_mixed_request(rng, i)))
+        )
+        if i % 8 == 7:
+            await asyncio.sleep(0.002)
+    responses = await asyncio.gather(*pending)
+    status, metrics_body = await _http_get(http.host, http.port, "/metrics")
+    print(f"/metrics: {status} ({len(metrics_body.splitlines())} lines)")
+    counters = service.metrics.counters
+    session = registry.get("demo")
+    print(format_fault_table(
+        session.workspace.metrics,
+        title=f"self-test trace ({n} requests, seed {seed})",
+        service=counters,
+    ))
+    resolved = len(responses)
+    if counters.submitted != n or counters.resolved != n or resolved != n:
+        print(f"FAIL: invariant broken (submitted={counters.submitted}, "
+              f"resolved={counters.resolved}, awaited={resolved})")
+        return 1
+    untyped = [r for r in responses if not r.answered and not r.error_type]
+    if untyped:
+        print(f"FAIL: {len(untyped)} unresolved/untyped responses")
+        return 1
+    print(f"self-test OK: every one of {n} requests resolved to exactly "
+          f"one typed outcome")
+    return 0
+
+
+async def _run(args: argparse.Namespace) -> int:
+    registry = _build_registry(args)
+    service = JoinService(registry, _service_config(args))
+    await service.start()
+    http = MetricsServer(service, host=args.host, port=args.port)
+    host, port = await http.start()
+    print(f"resident join service up: session 'demo' "
+          f"({args.objects} objects), metrics at http://{host}:{port}/metrics")
+    try:
+        if args.self_test is not None:
+            return await _self_test(
+                service, http, registry, args.self_test, args.seed
+            )
+        while True:  # serve until interrupted
+            await asyncio.sleep(3600)
+    except (KeyboardInterrupt, asyncio.CancelledError):
+        return 0
+    finally:
+        await http.stop()
+        await service.stop()
+        health = service.healthz()
+        print(f"shut down cleanly (ready={health.ready}: "
+              f"{'; '.join(health.reasons) or 'n/a'})")
+
+
+def cmd_serve(args: argparse.Namespace) -> int:
+    try:
+        return asyncio.run(_run(args))
+    except KeyboardInterrupt:
+        return 0

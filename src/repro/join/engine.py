@@ -195,6 +195,13 @@ class JoinPipeline:
             root_cm = nullcontext()
         with root_cm:
             for phase in self.phases:
+                # Cooperative request cancellation: a deadline installed
+                # on the substrate (by the resident join service) is
+                # honoured between phases too, so a CPU-bound phase over
+                # a warm buffer cannot run on long after its request was
+                # cancelled. No deadline, no behaviour change.
+                if ctx.buffer is not None:
+                    ctx.buffer.disk.check_deadline()
                 try:
                     self._run_phase(ctx, phase)
                 except StorageError as exc:

@@ -95,7 +95,9 @@ def _fault_cells(label: str, f: FaultCounters) -> tuple[str, ...]:
 
 
 def format_fault_table(
-    metrics: MetricsCollector, title: str | None = None
+    metrics: MetricsCollector,
+    title: str | None = None,
+    service=None,
 ) -> str:
     """Render per-phase fault/recovery counters as an aligned text table.
 
@@ -104,6 +106,13 @@ def format_fault_table(
     (retries, checkpoints, crash resumes, algorithm fallbacks) did about
     them. All-zero phases are kept: a flat row of zeros is itself the
     evidence that a run was fault-free.
+
+    ``service`` optionally appends the request-level outcome tallies of
+    a resident join service — anything with the counter attributes of
+    :class:`~repro.service.metrics.ServiceCounters` (duck-typed, to keep
+    this module free of a service-package import). The substrate table
+    above and the outcome lines below then tell one story: what faults
+    hit, and what each request resolved to.
     """
     rows = [
         _fault_cells(phase.value, metrics.faults_for(phase))
@@ -124,7 +133,31 @@ def format_fault_table(
     lines.append(fmt(cells[0]))
     lines.append("  ".join("-" * w for w in widths))
     lines.extend(fmt(row) for row in cells[1:])
+    if service is not None:
+        lines.append("")
+        lines.extend(_service_outcome_lines(service))
     return "\n".join(lines)
+
+
+def _service_outcome_lines(service) -> list[str]:
+    """The request-level outcome block under a fault table."""
+    fields = (
+        ("submitted", "requests submitted"),
+        ("served", "served as requested"),
+        ("degraded", "served by a cheaper method (exact answers)"),
+        ("shed", "shed at the queue high-water mark"),
+        ("rejected_budget", "rejected by cost-based admission"),
+        ("timed_out", "cancelled by their deadline"),
+        ("faulted", "failed with a typed error"),
+        ("admission_downgrades", "  - degradations decided at admission"),
+        ("overload_degrades", "  - degradations from the overload ladder"),
+    )
+    width = max(len(str(getattr(service, name, 0))) for name, _ in fields)
+    lines = ["service outcomes"]
+    for name, label in fields:
+        value = getattr(service, name, 0)
+        lines.append(f"  {str(value).rjust(width)}  {label}")
+    return lines
 
 
 def format_partition_table(

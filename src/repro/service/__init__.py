@@ -1,0 +1,64 @@
+"""The resident join service (ISSUE 6's robustness tentpole).
+
+Everything the one-shot experiment protocol could not express lives
+here: sessions whose pre-built ``T_R`` stays warm across requests, a
+bounded admission pipeline in front of the sync join engine, per-request
+deadlines with cooperative cancellation, and an overload ladder that
+degrades seeded joins to BFJ — exact answers, flatter cost — before
+shedding outright. See DESIGN.md §11 for the architecture.
+"""
+
+from .admission import (
+    Action,
+    AdmissionController,
+    AdmissionDecision,
+    RequestBudget,
+)
+from .deadline import Deadline
+from .http import MetricsServer
+from .metrics import (
+    LatencyDigest,
+    Readiness,
+    ServiceCounters,
+    ServiceMetrics,
+    readiness,
+    render_prometheus,
+)
+from .registry import ResidentSession, WorkspaceRegistry
+from .requests import (
+    ANSWERED,
+    JoinRequest,
+    Outcome,
+    Request,
+    ServiceResponse,
+    WindowQueryRequest,
+)
+from .service import JoinService, ServiceConfig
+from .shedding import LoadShedder, PressureLevel
+
+__all__ = [
+    "Action",
+    "AdmissionController",
+    "AdmissionDecision",
+    "RequestBudget",
+    "Deadline",
+    "MetricsServer",
+    "LatencyDigest",
+    "Readiness",
+    "ServiceCounters",
+    "ServiceMetrics",
+    "readiness",
+    "render_prometheus",
+    "ResidentSession",
+    "WorkspaceRegistry",
+    "ANSWERED",
+    "JoinRequest",
+    "Outcome",
+    "Request",
+    "ServiceResponse",
+    "WindowQueryRequest",
+    "JoinService",
+    "ServiceConfig",
+    "LoadShedder",
+    "PressureLevel",
+]

@@ -1,0 +1,72 @@
+"""Wall-clock request deadlines with cooperative cancellation.
+
+A :class:`Deadline` is created when a request enters the service and
+installed on the session substrate's :class:`~repro.storage.DiskSimulator`
+for the duration of the request. Cancellation is cooperative: the storage
+layer checks the deadline before every accounted access, the engine
+checks it at phase boundaries, and the retry loops cap their virtual
+backoff by :meth:`Deadline.remaining` — so an expired request aborts with
+a typed :class:`~repro.errors.DeadlineExceededError` at its next
+checkpoint instead of running to completion.
+
+The service's watchdog uses :meth:`Deadline.cancel` to hard-expire a
+straggler from the event loop: the worker thread observes the flipped
+deadline at its next storage access. Everything here is duck-typed from
+the storage layer's side (``expired`` / ``remaining()``), so storage
+never imports this package.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable
+
+from ..errors import DeadlineExceededError
+
+
+class Deadline:
+    """A monotonic-clock budget for one request.
+
+    Parameters
+    ----------
+    budget_s:
+        Seconds from now until expiry.
+    clock:
+        Time source (defaults to ``time.monotonic``). Tests inject a
+        fake clock to exercise expiry deterministically.
+    """
+
+    __slots__ = ("_clock", "_expires_at", "budget_s")
+
+    def __init__(
+        self, budget_s: float, clock: Callable[[], float] = time.monotonic
+    ):
+        self.budget_s = budget_s
+        self._clock = clock
+        self._expires_at = clock() + budget_s
+
+    def remaining(self) -> float:
+        """Seconds left before expiry (negative once expired)."""
+        return self._expires_at - self._clock()
+
+    @property
+    def expired(self) -> bool:
+        return self.remaining() <= 0.0
+
+    def cancel(self) -> None:
+        """Hard-expire the deadline (the watchdog's lever).
+
+        Every subsequent storage/engine check observes expiry
+        immediately, regardless of how much budget was left.
+        """
+        self._expires_at = float("-inf")
+
+    def check(self, context: str = "") -> None:
+        """Raise :class:`~repro.errors.DeadlineExceededError` if expired."""
+        if self.expired:
+            where = f" ({context})" if context else ""
+            raise DeadlineExceededError(f"request deadline expired{where}")
+
+    def __repr__(self) -> str:
+        return f"Deadline(budget={self.budget_s:.3f}s, " \
+               f"remaining={self.remaining():.3f}s)"

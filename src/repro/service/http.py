@@ -1,0 +1,90 @@
+"""Minimal stdlib HTTP exposition: ``/metrics`` and ``/healthz``.
+
+A deliberately tiny HTTP/1.0 responder over ``asyncio.start_server`` —
+just enough protocol for a Prometheus scraper or a readiness probe, with
+no framework dependency. Anything but GET on the two known paths gets a
+404/405; the service itself is reached through
+:meth:`~repro.service.JoinService.submit`, not HTTP.
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+from .metrics import render_prometheus
+
+
+class MetricsServer:
+    """Serves ``/metrics`` and ``/healthz`` for one JoinService."""
+
+    def __init__(self, service, host: str = "127.0.0.1", port: int = 0):
+        self.service = service
+        self.host = host
+        self.port = port
+        self._server: asyncio.AbstractServer | None = None
+
+    async def start(self) -> tuple[str, int]:
+        """Bind and return the actual (host, port) — port 0 picks one."""
+        self._server = await asyncio.start_server(
+            self._handle, self.host, self.port
+        )
+        sock = self._server.sockets[0]
+        self.host, self.port = sock.getsockname()[:2]
+        return self.host, self.port
+
+    async def stop(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+
+    # ----------------------------------------------------------------- #
+
+    async def _handle(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            request_line = await asyncio.wait_for(
+                reader.readline(), timeout=5.0
+            )
+            parts = request_line.decode("latin-1").split()
+            method, path = (parts + ["", ""])[:2]
+            # Drain headers; this responder never reads a body.
+            while True:
+                line = await asyncio.wait_for(reader.readline(), timeout=5.0)
+                if line in (b"\r\n", b"\n", b""):
+                    break
+            status, content_type, body = self._route(method, path)
+            payload = body.encode("utf-8")
+            writer.write(
+                f"HTTP/1.0 {status}\r\n"
+                f"Content-Type: {content_type}\r\n"
+                f"Content-Length: {len(payload)}\r\n"
+                f"Connection: close\r\n\r\n".encode("latin-1") + payload
+            )
+            await writer.drain()
+        except (asyncio.TimeoutError, ConnectionError):
+            pass
+        finally:
+            writer.close()
+
+    def _route(self, method: str, path: str) -> tuple[str, str, str]:
+        path = path.split("?", 1)[0]
+        if method != "GET":
+            return "405 Method Not Allowed", "text/plain", "GET only\n"
+        if path == "/metrics":
+            return (
+                "200 OK",
+                "text/plain; version=0.0.4; charset=utf-8",
+                render_prometheus(self.service),
+            )
+        if path == "/healthz":
+            health = self.service.healthz()
+            if health.ready:
+                return "200 OK", "text/plain", "ok\n"
+            return (
+                "503 Service Unavailable",
+                "text/plain",
+                "not ready: " + "; ".join(health.reasons) + "\n",
+            )
+        return "404 Not Found", "text/plain", f"no route {path!r}\n"

@@ -1,0 +1,267 @@
+"""Service-level observability: outcome counters, latency digests,
+Prometheus-style text exposition, and readiness.
+
+:class:`ServiceCounters` is the request-level analogue of the storage
+layer's :class:`~repro.metrics.FaultCounters`: one monotonically growing
+tally per typed outcome, plus the two degradation sub-causes (admission
+downgrade vs. overload ladder). The invariant the chaos suite asserts —
+every submitted request resolves to exactly one outcome — is checkable
+arithmetic here: ``submitted == resolved``.
+
+:func:`render_prometheus` flattens the counters, the latency digest and
+each resident session's substrate accounting (via the sessions' own
+:class:`~repro.metrics.MetricsCollector`) into the Prometheus text
+exposition format, all from the standard library.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+
+from .requests import Outcome
+
+#: Latency samples kept per reservoir; enough for stable p99 at the
+#: bench's scale without unbounded growth.
+_RESERVOIR = 8192
+
+
+@dataclass
+class ServiceCounters:
+    """Monotonic per-outcome tallies for one service lifetime."""
+
+    submitted: int = 0
+    served: int = 0
+    degraded: int = 0
+    shed: int = 0
+    rejected_budget: int = 0
+    timed_out: int = 0
+    faulted: int = 0
+    #: Degradation sub-causes (both also count in ``degraded``).
+    admission_downgrades: int = 0
+    overload_degrades: int = 0
+
+    _BY_OUTCOME = {
+        Outcome.SERVED: "served",
+        Outcome.DEGRADED: "degraded",
+        Outcome.SHED: "shed",
+        Outcome.REJECTED: "rejected_budget",
+        Outcome.TIMED_OUT: "timed_out",
+        Outcome.FAULTED: "faulted",
+    }
+
+    @property
+    def resolved(self) -> int:
+        """Requests that reached exactly one outcome."""
+        return (
+            self.served + self.degraded + self.shed + self.rejected_budget
+            + self.timed_out + self.faulted
+        )
+
+    @property
+    def in_flight(self) -> int:
+        return self.submitted - self.resolved
+
+    def record(self, outcome: Outcome) -> None:
+        name = self._BY_OUTCOME[outcome]
+        setattr(self, name, getattr(self, name) + 1)
+
+    def as_dict(self) -> dict[str, int]:
+        return {
+            "submitted": self.submitted,
+            "served": self.served,
+            "degraded": self.degraded,
+            "shed": self.shed,
+            "rejected_budget": self.rejected_budget,
+            "timed_out": self.timed_out,
+            "faulted": self.faulted,
+            "admission_downgrades": self.admission_downgrades,
+            "overload_degrades": self.overload_degrades,
+        }
+
+
+class LatencyDigest:
+    """A bounded reservoir of latency samples with exact percentiles.
+
+    Deterministic: once full, each new sample overwrites the oldest
+    (ring buffer) rather than random-replacement, so identical request
+    streams yield identical digests.
+    """
+
+    def __init__(self, capacity: int = _RESERVOIR):
+        self.capacity = capacity
+        self.count = 0
+        self.total = 0.0
+        self.max = 0.0
+        self._ring: list[float] = []
+        self._next = 0
+
+    def observe(self, seconds: float) -> None:
+        self.count += 1
+        self.total += seconds
+        if seconds > self.max:
+            self.max = seconds
+        if len(self._ring) < self.capacity:
+            self._ring.append(seconds)
+        else:
+            self._ring[self._next] = seconds
+            self._next = (self._next + 1) % self.capacity
+
+    def percentile(self, q: float) -> float:
+        """Exact percentile of the retained window (0 when empty)."""
+        if not self._ring:
+            return 0.0
+        ordered = sorted(self._ring)
+        idx = min(len(ordered) - 1, int(q / 100.0 * len(ordered)))
+        return ordered[idx]
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def summary(self) -> dict[str, float]:
+        return {
+            "count": float(self.count),
+            "mean_s": self.mean,
+            "p50_s": self.percentile(50),
+            "p99_s": self.percentile(99),
+            "max_s": self.max,
+        }
+
+
+class ServiceMetrics:
+    """Thread-safe façade over counters + per-outcome latency digests.
+
+    Workers record from executor threads, the HTTP endpoint reads from
+    the event loop; one lock keeps both sides consistent.
+    """
+
+    def __init__(self) -> None:
+        self.counters = ServiceCounters()
+        self.latency = LatencyDigest()
+        self.queue_wait = LatencyDigest()
+        self._lock = threading.Lock()
+
+    def record_submit(self) -> None:
+        with self._lock:
+            self.counters.submitted += 1
+
+    def record_outcome(
+        self,
+        outcome: Outcome,
+        latency_s: float,
+        queue_wait_s: float = 0.0,
+        admission_downgrade: bool = False,
+        overload_degrade: bool = False,
+    ) -> None:
+        with self._lock:
+            self.counters.record(outcome)
+            if admission_downgrade:
+                self.counters.admission_downgrades += 1
+            if overload_degrade:
+                self.counters.overload_degrades += 1
+            self.latency.observe(latency_s)
+            if queue_wait_s:
+                self.queue_wait.observe(queue_wait_s)
+
+    def snapshot(self) -> dict[str, object]:
+        with self._lock:
+            return {
+                "counters": self.counters.as_dict(),
+                "latency": self.latency.summary(),
+                "queue_wait": self.queue_wait.summary(),
+            }
+
+
+@dataclass
+class Readiness:
+    """What ``/healthz`` reports: readiness plus the reasons."""
+
+    ready: bool
+    reasons: list[str] = field(default_factory=list)
+
+
+def readiness(
+    running: bool, queue_depth: int, queue_capacity: int, sessions: int
+) -> Readiness:
+    """A service is ready when it is accepting and not saturated."""
+    reasons = []
+    if not running:
+        reasons.append("service not accepting requests")
+    if queue_capacity and queue_depth >= queue_capacity:
+        reasons.append(f"queue saturated ({queue_depth}/{queue_capacity})")
+    if sessions == 0:
+        reasons.append("no resident sessions registered")
+    return Readiness(ready=not reasons, reasons=reasons)
+
+
+# --------------------------------------------------------------------- #
+# Prometheus text exposition
+# --------------------------------------------------------------------- #
+
+def _metric(lines: list[str], name: str, value: float, help_: str,
+            kind: str = "counter", labels: str = "") -> None:
+    lines.append(f"# HELP {name} {help_}")
+    lines.append(f"# TYPE {name} {kind}")
+    tag = f"{{{labels}}}" if labels else ""
+    if float(value).is_integer():
+        lines.append(f"{name}{tag} {int(value)}")
+    else:
+        lines.append(f"{name}{tag} {value:.6f}")
+
+
+def render_prometheus(service) -> str:
+    """The ``/metrics`` payload for a :class:`~repro.service.JoinService`.
+
+    Exposes the request-level counters and latency digest, the queue
+    gauge, and — per resident session — the substrate's I/O and fault
+    accounting so one scrape shows both layers of the story.
+    """
+    snap = service.metrics.snapshot()
+    counters = snap["counters"]
+    lines: list[str] = []
+    for key, help_ in (
+        ("submitted", "Requests submitted to the service"),
+        ("served", "Requests served with the requested method"),
+        ("degraded", "Requests answered exactly by a cheaper method"),
+        ("shed", "Requests refused at the queue high-water mark"),
+        ("rejected_budget", "Requests rejected by cost-based admission"),
+        ("timed_out", "Requests cancelled by their deadline"),
+        ("faulted", "Requests failed with a typed storage/engine error"),
+        ("admission_downgrades", "Degradations decided at admission"),
+        ("overload_degrades", "Degradations decided by the overload ladder"),
+    ):
+        _metric(lines, f"repro_service_requests_{key}_total",
+                counters[key], help_)
+    for digest, prefix in ((snap["latency"], "latency"),
+                           (snap["queue_wait"], "queue_wait")):
+        for stat in ("mean_s", "p50_s", "p99_s", "max_s"):
+            _metric(lines, f"repro_service_{prefix}_{stat.rstrip('_s')}_seconds",
+                    digest[stat], f"Request {prefix} {stat[:-2]}", kind="gauge")
+    _metric(lines, "repro_service_queue_depth", service.queue_depth(),
+            "Requests currently queued", kind="gauge")
+    _metric(lines, "repro_service_queue_capacity", service.queue_capacity,
+            "Bounded queue capacity", kind="gauge")
+    _metric(lines, "repro_service_sessions", len(service.registry),
+            "Registered resident sessions", kind="gauge")
+
+    for session in service.registry.sessions():
+        label = f'session="{session.name}"'
+        summary = session.workspace.metrics.summary()
+        _metric(lines, "repro_session_objects", len(session),
+                "Objects in the resident tree", kind="gauge", labels=label)
+        _metric(lines, "repro_session_tree_height", session.tree.height,
+                "Height of the resident tree", kind="gauge", labels=label)
+        _metric(lines, "repro_session_total_io", summary.total_io,
+                "Weighted disk accesses charged to this session",
+                kind="gauge", labels=label)
+        faults = session.workspace.metrics.fault_totals()
+        _metric(lines, "repro_session_faults_injected",
+                faults.faults_injected, "Faults injected into the substrate",
+                kind="gauge", labels=label)
+        _metric(lines, "repro_session_retries", faults.retries,
+                "Storage retries spent", kind="gauge", labels=label)
+        _metric(lines, "repro_session_fallbacks", faults.fallbacks,
+                "Engine + service fallbacks recorded", kind="gauge",
+                labels=label)
+    return "\n".join(lines) + "\n"

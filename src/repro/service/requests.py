@@ -1,0 +1,124 @@
+"""The service's request/response vocabulary.
+
+Requests are plain data: a session name, the operation, and the
+robustness envelope (deadline, optional per-request budget override).
+Every submitted request resolves to exactly **one**
+:class:`ServiceResponse` whose :class:`Outcome` names what happened —
+the request-level extension of the storage layer's exact-or-typed-error
+invariant. There is no "maybe" state: a response either carries the
+operation's answer (``SERVED`` / ``DEGRADED``) or a typed error name and
+message (everything else).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Any
+
+from ..geometry import Rect
+
+#: Raw (rect, oid) entries, the derived input of a join request.
+Entries = list[tuple[Rect, int]]
+
+
+class Outcome(enum.Enum):
+    """How one request resolved. Exactly one per submitted request."""
+
+    #: Ran to completion with the requested method.
+    SERVED = "served"
+    #: Ran to completion, but by a cheaper method than requested
+    #: (admission downgrade or the overload ladder). Answers are exact.
+    DEGRADED = "degraded"
+    #: Never admitted: the bounded queue was past its high-water mark
+    #: (:class:`~repro.errors.QueueFullError`).
+    SHED = "shed"
+    #: Never admitted: predicted cost exceeded the request budget and no
+    #: cheaper method fit (:class:`~repro.errors.BudgetExceededError`).
+    REJECTED = "rejected"
+    #: Cancelled by its deadline, in the queue or mid-flight
+    #: (:class:`~repro.errors.DeadlineExceededError`).
+    TIMED_OUT = "timed_out"
+    #: A typed :class:`~repro.errors.ReproError` escaped the operation
+    #: (storage corruption, exhausted recovery, ...).
+    FAULTED = "faulted"
+
+
+#: Outcomes that carry an answer payload.
+ANSWERED = (Outcome.SERVED, Outcome.DEGRADED)
+
+
+@dataclass(frozen=True)
+class JoinRequest:
+    """Join a batch of derived rectangles against a resident tree.
+
+    ``entries_s`` is the request's derived data set ``D_S``; the service
+    installs it as a data file in the session substrate (SETUP phase,
+    uncharged — it plays the role of an input that already exists) and
+    runs ``method`` against the session's resident ``T_R``.
+
+    ``stall_s`` is a chaos-testing hook: the worker thread sleeps that
+    long before starting the operation, simulating a straggler worker so
+    the deadline watchdog has something real to catch.
+    """
+
+    session: str
+    entries_s: Entries
+    method: str = "STJ1-2N"
+    deadline_s: float | None = None
+    max_predicted_io: float | None = None
+    options: dict[str, Any] = field(default_factory=dict)
+    stall_s: float = 0.0
+
+
+@dataclass(frozen=True)
+class WindowQueryRequest:
+    """One spatial selection against a session's resident tree."""
+
+    session: str
+    window: Rect
+    deadline_s: float | None = None
+    stall_s: float = 0.0
+
+
+Request = JoinRequest | WindowQueryRequest
+
+
+@dataclass
+class ServiceResponse:
+    """The single resolution of one submitted request.
+
+    ``result`` is the operation's answer for the two answered outcomes:
+    a :class:`~repro.join.result.JoinResult` for joins (its ``degraded``
+    / ``fallback_from`` fields record any downgrade, exactly as the
+    engine's own fault fallback does) or a list of object ids for window
+    queries. For every other outcome ``error_type`` / ``error`` name the
+    typed error, and ``result`` is ``None``.
+
+    ``queue_wait_s`` is time spent queued; ``service_s`` is execution
+    time in the worker; ``latency_s`` is the submit-to-resolution total
+    the traffic driver aggregates into p50/p99.
+    """
+
+    outcome: Outcome
+    request: Request
+    result: Any | None = None
+    error_type: str = ""
+    error: str = ""
+    method_used: str = ""
+    predicted_io: float | None = None
+    queue_wait_s: float = 0.0
+    service_s: float = 0.0
+    latency_s: float = 0.0
+
+    @property
+    def answered(self) -> bool:
+        return self.outcome in ANSWERED
+
+    def __repr__(self) -> str:
+        tail = self.error_type if self.error_type else self.method_used
+        return (
+            f"ServiceResponse({self.outcome.value}"
+            f"{', ' + tail if tail else ''}, "
+            f"{self.latency_s * 1e3:.1f}ms)"
+        )

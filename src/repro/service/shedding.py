@@ -1,0 +1,61 @@
+"""Overload degradation: the NORMAL → DEGRADE → SHED ladder.
+
+The service's queue depth is its pressure gauge. The shedder maps depth
+to a :class:`PressureLevel` with two watermarks:
+
+* below ``degrade_water`` — **NORMAL**: requests run as asked;
+* at/above ``degrade_water`` — **DEGRADE**: join requests for seeded
+  methods are downgraded to the cheapest planned method (usually BFJ for
+  the small derived sets a degraded service still accepts), trading
+  construct-phase cost for latency while preserving exact answers;
+* at/above ``high_water`` — **SHED**: new requests are refused with a
+  typed :class:`~repro.errors.QueueFullError` before they enqueue.
+
+Hysteresis: once sheding starts it continues until depth falls back to
+``degrade_water`` (not just below ``high_water``), so a queue hovering
+at the brink flaps between DEGRADE and SHED instead of between SHED and
+NORMAL.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+
+class PressureLevel(enum.Enum):
+    NORMAL = "normal"
+    DEGRADE = "degrade"
+    SHED = "shed"
+
+
+@dataclass
+class LoadShedder:
+    """Queue-depth watermarks with shed hysteresis.
+
+    ``degrade_water`` and ``high_water`` are inclusive depth thresholds
+    measured *before* the incoming request enqueues.
+    """
+
+    degrade_water: int
+    high_water: int
+
+    def __post_init__(self) -> None:
+        if not 0 < self.degrade_water <= self.high_water:
+            raise ValueError(
+                "watermarks must satisfy 0 < degrade_water <= high_water, "
+                f"got {self.degrade_water} / {self.high_water}"
+            )
+        self._shedding = False
+
+    def level(self, depth: int) -> PressureLevel:
+        """Classify the current queue depth (stateful: shed hysteresis)."""
+        if depth >= self.high_water:
+            self._shedding = True
+        elif depth <= self.degrade_water:
+            self._shedding = False
+        if self._shedding:
+            return PressureLevel.SHED
+        if depth >= self.degrade_water:
+            return PressureLevel.DEGRADE
+        return PressureLevel.NORMAL

@@ -23,9 +23,15 @@ from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Any, Iterator
 
-from ..errors import BufferFullError, PinError, StorageError, TransientIOError
+from ..errors import (
+    BufferFullError,
+    DeadlineExceededError,
+    PinError,
+    StorageError,
+    TransientIOError,
+)
 from .disk import DiskSimulator
-from .faults import DEFAULT_RETRY_POLICY, RetryPolicy
+from .faults import DEFAULT_RETRY_POLICY, RetryPolicy, remaining_retry_budget
 from .pager import Page, PageKind
 
 
@@ -140,17 +146,33 @@ class BufferPool:
         count and virtual backoff land in the fault counters. Corruption
         is persistent and is never retried. Without fault injection the
         first attempt always succeeds and this is just ``disk.read``.
+
+        The loop is deadline-aware: backoff is capped by the remaining
+        deadline installed on the disk (if any), and once the cumulative
+        backoff would outlive the request the loop gives up with a typed
+        :class:`~repro.errors.DeadlineExceededError` instead of spending
+        retry budget a cancelled request can never use.
         """
         policy = self.retry
+        rng = policy.jitter_rng(page_id)
         attempt = 0
+        spent = 0.0
         while True:
             try:
                 page = self.disk.read(page_id)
-            except TransientIOError:
+            except TransientIOError as exc:
                 attempt += 1
                 if attempt >= policy.max_attempts:
                     raise
-                self.disk.metrics.record_retry(policy.delay_for(attempt - 1))
+                budget = remaining_retry_budget(self.disk.deadline, spent)
+                if budget <= 0.0:
+                    raise DeadlineExceededError(
+                        f"retry of page {page_id} abandoned after "
+                        f"{attempt} attempt(s): request deadline exhausted"
+                    ) from exc
+                delay = min(policy.delay_for(attempt - 1, rng), budget)
+                spent += delay
+                self.disk.metrics.record_retry(delay)
                 continue
             if attempt:
                 self.disk.metrics.record_page_recovered()

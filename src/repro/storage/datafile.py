@@ -110,7 +110,8 @@ class DataFile:
         """
         return [
             retry_read(
-                lambda pid=page_id: self.disk.read(pid), self.disk.metrics
+                lambda pid=page_id: self.disk.read(pid), self.disk.metrics,
+                deadline=self.disk.deadline,
             )
             for page_id in range(
                 self.first_page_id, self.first_page_id + self.num_pages

@@ -26,7 +26,7 @@ from __future__ import annotations
 
 from typing import Iterable, Sequence
 
-from ..errors import PageNotFoundError, StorageError
+from ..errors import DeadlineExceededError, PageNotFoundError, StorageError
 from ..metrics import MetricsCollector
 from .faults import FaultInjector
 from .pager import Page, PageKind
@@ -47,6 +47,28 @@ class DiskSimulator:
         self._pages: dict[int, Page] = {}
         self._next_id = 0
         self._last_accessed: int | None = None
+        #: Cooperative request cancellation (duck-typed; see
+        #: :class:`repro.service.Deadline`). When set, every accounted
+        #: access first checks it and raises
+        #: :class:`~repro.errors.DeadlineExceededError` once expired — a
+        #: cancelled request stops issuing I/O instead of running to
+        #: completion. ``None`` (the default) costs one attribute test
+        #: per access and changes nothing else.
+        self.deadline: object | None = None
+
+    def check_deadline(self) -> None:
+        """Raise if the installed request deadline has expired.
+
+        Called before charging each access (the request is cancelled, so
+        the access never happens — no phantom I/O lands in the
+        counters), and by the engine at phase boundaries so CPU-bound
+        stretches with a warm buffer stay cancellable too.
+        """
+        deadline = self.deadline
+        if deadline is not None and deadline.expired:  # type: ignore[attr-defined]
+            raise DeadlineExceededError(
+                "request deadline expired; cancelling at the next disk access"
+            )
 
     # ----------------------------------------------------------------- #
     # Allocation
@@ -89,6 +111,7 @@ class DiskSimulator:
 
     def read(self, page_id: int) -> Page:
         """Read one page, charging a random or sequential access."""
+        self.check_deadline()
         try:
             page = self._pages[page_id]
         except KeyError:
@@ -100,6 +123,7 @@ class DiskSimulator:
 
     def write(self, page: Page) -> None:
         """Write one page, charging a random or sequential access."""
+        self.check_deadline()
         if page.page_id < 0 or page.page_id >= self._next_id:
             raise StorageError(
                 f"page id {page.page_id} was not allocated on this disk"
@@ -119,6 +143,7 @@ class DiskSimulator:
         """Write contiguous pages as one sweep (1 random + n-1 sequential)."""
         if not pages:
             return
+        self.check_deadline()
         for i, page in enumerate(pages):
             if i and page.page_id != pages[i - 1].page_id + 1:
                 raise StorageError("write_run() requires contiguous page ids")
@@ -140,6 +165,7 @@ class DiskSimulator:
         re-charges) the whole run, as a real sequential replay would.
         """
         out = []
+        self.check_deadline()
         for page_id in range(first_id, first_id + count):
             try:
                 page = self._pages[page_id]

@@ -40,6 +40,7 @@ from typing import TYPE_CHECKING, Callable, TypeVar
 from ..errors import (
     ConfigError,
     CorruptPageError,
+    DeadlineExceededError,
     SimulatedCrashError,
     TransientIOError,
 )
@@ -250,12 +251,26 @@ class RetryPolicy:
     they are charged to the metrics collector's ``backoff_seconds`` so a
     chaos run shows how much wall time a real deployment would have
     spent waiting.
+
+    ``jitter`` subtracts a seeded random fraction of each delay (the
+    classic decorrelation trick against retry thundering herds);
+    ``jitter_seed`` fixes the draw sequence so the charged backoff stays
+    replayable. The default ``jitter=0.0`` keeps every pre-existing run
+    byte-identical.
+
+    Deadline awareness: the retry loops cap each backoff by the issuing
+    request's remaining deadline and give up — with a typed
+    :class:`~repro.errors.DeadlineExceededError` — once the cumulative
+    backoff would outlive the request. A storage retry can therefore
+    never keep spinning past the deadline of the request that issued it.
     """
 
     max_attempts: int = 4
     base_delay: float = 0.001
     multiplier: float = 2.0
     max_delay: float = 0.1
+    jitter: float = 0.0
+    jitter_seed: int = 0
 
     def __post_init__(self) -> None:
         if self.max_attempts < 1:
@@ -264,21 +279,53 @@ class RetryPolicy:
             raise ConfigError("delays must be non-negative")
         if self.multiplier < 1.0:
             raise ConfigError("multiplier must be at least 1")
+        if not 0.0 <= self.jitter <= 1.0:
+            raise ConfigError("jitter must be in [0, 1]")
 
-    def delay_for(self, retry_index: int) -> float:
+    def delay_for(
+        self, retry_index: int, rng: random.Random | None = None
+    ) -> float:
         """Backoff before the ``retry_index``-th retry (0-based)."""
-        return min(
+        delay = min(
             self.base_delay * self.multiplier ** retry_index, self.max_delay
         )
+        if rng is not None and self.jitter:
+            delay *= 1.0 - self.jitter * rng.random()
+        return delay
+
+    def jitter_rng(self, salt: int = 0) -> random.Random | None:
+        """A seeded jitter source for one retry loop (None when disabled).
+
+        ``salt`` (conventionally the page id) decorrelates the draw
+        sequences of concurrent loops while keeping each deterministic.
+        """
+        if not self.jitter:
+            return None
+        return random.Random((self.jitter_seed * 2654435761 + salt) % 2**63)
 
 
 DEFAULT_RETRY_POLICY = RetryPolicy()
+
+
+def remaining_retry_budget(deadline: object | None, spent: float) -> float:
+    """Virtual-backoff budget left under ``deadline`` after ``spent``.
+
+    ``deadline`` is duck-typed (anything with ``remaining()``; see
+    :class:`repro.service.Deadline`) so the storage layer never imports
+    the service package. ``None`` means unbounded. Backoff is virtual
+    time, so the budget is the wall clock the deadline has left minus
+    the virtual backoff this loop already charged.
+    """
+    if deadline is None:
+        return float("inf")
+    return deadline.remaining() - spent  # type: ignore[attr-defined]
 
 
 def retry_read(
     fn: Callable[[], T],
     metrics: "MetricsCollector | None",
     policy: RetryPolicy | None = None,
+    deadline: object | None = None,
 ) -> T:
     """Run a read thunk, retrying transient errors per ``policy``.
 
@@ -286,18 +333,33 @@ def retry_read(
     budget is charged to the I/O counters automatically; the retry count
     and virtual backoff go to the fault counters. A read that succeeds
     after at least one retry counts as a recovered page.
+
+    When ``deadline`` is given (duck-typed: ``remaining()``), each
+    backoff is capped by the remaining deadline and the loop raises
+    :class:`~repro.errors.DeadlineExceededError` instead of scheduling a
+    backoff the request can no longer afford.
     """
     policy = policy or DEFAULT_RETRY_POLICY
+    rng = policy.jitter_rng()
     attempt = 0
+    spent = 0.0
     while True:
         try:
             result = fn()
-        except TransientIOError:
+        except TransientIOError as exc:
             attempt += 1
             if attempt >= policy.max_attempts:
                 raise
+            budget = remaining_retry_budget(deadline, spent)
+            if budget <= 0.0:
+                raise DeadlineExceededError(
+                    f"transient-read retry abandoned after {attempt} "
+                    f"attempt(s): request deadline exhausted"
+                ) from exc
+            delay = min(policy.delay_for(attempt - 1, rng), budget)
+            spent += delay
             if metrics is not None:
-                metrics.record_retry(policy.delay_for(attempt - 1))
+                metrics.record_retry(delay)
             continue
         if attempt and metrics is not None:
             metrics.record_page_recovered()

@@ -95,6 +95,41 @@ class Workspace:
         return tree
 
     # ----------------------------------------------------------------- #
+    # Resident-service operations (charged phases live here: the
+    # workspace and the engine are the only legal phase-entry points)
+    # ----------------------------------------------------------------- #
+
+    def window_query(self, tree: RTree, window: Rect) -> list[int]:
+        """One resident-tree window query, charged to the MATCH phase.
+
+        The resident join service routes its window-query requests
+        through here so selection traffic lands in the same accounting
+        column as join-time matching.
+        """
+        with self.metrics.phase(Phase.MATCH):
+            return tree.window_query(window)
+
+    def maintenance_phase(self):
+        """Accounting context for resident-index maintenance.
+
+        Insert/delete streams against a registered resident tree are
+        index construction work that the original one-shot protocol
+        never had; they charge to CONSTRUCT, next to join-time builds.
+        """
+        return self.metrics.phase(Phase.CONSTRUCT)
+
+    def record_service_fallback(self) -> None:
+        """Count one service-level degradation (e.g. STJ request answered
+        by BFJ under overload or an admission downgrade).
+
+        Recorded under CONSTRUCT exactly like the engine's own
+        irrecoverable-construction fallback, so the existing fault table
+        shows engine and service downgrades in one column.
+        """
+        with self.metrics.phase(Phase.CONSTRUCT):
+            self.metrics.record_fallback()
+
+    # ----------------------------------------------------------------- #
     # Between-run hygiene
     # ----------------------------------------------------------------- #
 

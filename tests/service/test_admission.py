@@ -1,0 +1,153 @@
+"""Unit tests for the service's control plane: admission decisions,
+the overload ladder, and deadline semantics."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config import SystemConfig
+from repro.errors import DeadlineExceededError
+from repro.geometry import Rect
+from repro.service import (
+    Action,
+    AdmissionController,
+    Deadline,
+    JoinRequest,
+    LoadShedder,
+    PressureLevel,
+    RequestBudget,
+    WindowQueryRequest,
+    WorkspaceRegistry,
+)
+
+from ..conftest import random_entries
+
+
+@pytest.fixture(scope="module")
+def session():
+    registry = WorkspaceRegistry(SystemConfig(page_size=512, buffer_pages=64))
+    return registry.create("adm", random_entries(2000, seed=5))
+
+
+def _join(n: int, method: str = "STJ1-2N", **kw) -> JoinRequest:
+    return JoinRequest("adm", random_entries(n, seed=9), method=method, **kw)
+
+
+class TestAdmission:
+    def test_unlimited_budget_admits_everything(self, session):
+        ctrl = AdmissionController()
+        decision = ctrl.assess(session, _join(5000))
+        assert decision.action is Action.ADMIT
+        assert decision.predicted_io > 0
+
+    def test_over_budget_downgrades_to_cheaper_method(self, session):
+        # Find a derived-set size where STJ is NOT the cheapest estimate
+        # (small sets: BFJ against the resident tree wins).
+        ctrl = AdmissionController()
+        for n in (50, 100, 200, 400, 800):
+            plan = ctrl.plan_for(session, n_s=n)
+            stj = plan.estimate_for("STJ").total_io
+            cheapest = min(e.total_io for e in plan.estimates)
+            if cheapest < stj:
+                break
+        else:
+            pytest.fail("no size where STJ loses; estimators changed?")
+        tight = AdmissionController(RequestBudget(
+            max_predicted_io=(cheapest + stj) / 2
+        ))
+        decision = tight.assess(session, _join(n))
+        assert decision.action is Action.DOWNGRADE
+        assert decision.predicted_io == cheapest
+        assert "downgraded" in decision.reason
+
+    def test_nothing_fits_rejects(self, session):
+        ctrl = AdmissionController(RequestBudget(max_predicted_io=1.0))
+        decision = ctrl.assess(session, _join(3000))
+        assert decision.action is Action.REJECT
+        assert not decision.admitted
+        assert "no cheaper method fits" in decision.reason
+
+    def test_downgrade_disabled_rejects_instead(self, session):
+        ctrl = AdmissionController()
+        baseline = ctrl.assess(session, _join(3000)).predicted_io
+        strict = AdmissionController(RequestBudget(
+            max_predicted_io=baseline - 1, allow_downgrade=False
+        ))
+        assert strict.assess(session, _join(3000)).action is Action.REJECT
+
+    def test_per_request_budget_overrides_service_budget(self, session):
+        ctrl = AdmissionController(RequestBudget(max_predicted_io=1.0))
+        generous = _join(500, max_predicted_io=10_000_000.0)
+        assert ctrl.assess(session, generous).action is not Action.REJECT
+
+    def test_window_query_admits_on_descent_estimate(self, session):
+        ctrl = AdmissionController(RequestBudget(max_predicted_io=100.0))
+        decision = ctrl.assess(
+            session, WindowQueryRequest("adm", Rect(0, 0, 1, 1))
+        )
+        assert decision.action is Action.ADMIT
+        assert decision.predicted_io == session.tree.height + 1
+
+    def test_window_query_rejected_by_absurd_budget(self, session):
+        ctrl = AdmissionController(RequestBudget(max_predicted_io=0.5))
+        decision = ctrl.assess(
+            session, WindowQueryRequest("adm", Rect(0, 0, 1, 1))
+        )
+        assert decision.action is Action.REJECT
+
+    def test_unestimable_method_needs_unlimited_budget(self, session):
+        unlimited = AdmissionController()
+        bounded = AdmissionController(RequestBudget(max_predicted_io=1e12))
+        req = _join(100, method="NAIVE")
+        assert unlimited.assess(session, req).action is Action.ADMIT
+        assert bounded.assess(session, req).action is Action.REJECT
+
+
+class TestLoadShedder:
+    def test_ladder_levels(self):
+        shedder = LoadShedder(degrade_water=4, high_water=8)
+        assert shedder.level(0) is PressureLevel.NORMAL
+        assert shedder.level(3) is PressureLevel.NORMAL
+        assert shedder.level(4) is PressureLevel.DEGRADE
+        assert shedder.level(7) is PressureLevel.DEGRADE
+        assert shedder.level(8) is PressureLevel.SHED
+
+    def test_shed_hysteresis_holds_until_degrade_water(self):
+        shedder = LoadShedder(degrade_water=4, high_water=8)
+        assert shedder.level(8) is PressureLevel.SHED
+        # Still shedding in the band between the watermarks...
+        assert shedder.level(6) is PressureLevel.SHED
+        assert shedder.level(5) is PressureLevel.SHED
+        # ...until depth falls back to the degrade watermark.
+        assert shedder.level(4) is PressureLevel.DEGRADE
+        assert shedder.level(6) is PressureLevel.DEGRADE
+
+    def test_invalid_watermarks(self):
+        with pytest.raises(ValueError):
+            LoadShedder(degrade_water=0, high_water=4)
+        with pytest.raises(ValueError):
+            LoadShedder(degrade_water=5, high_water=4)
+
+
+class TestDeadline:
+    def test_fake_clock_expiry(self):
+        now = [0.0]
+        deadline = Deadline(1.0, clock=lambda: now[0])
+        assert not deadline.expired
+        assert deadline.remaining() == pytest.approx(1.0)
+        deadline.check()  # no raise
+        now[0] = 0.999
+        assert not deadline.expired
+        now[0] = 1.0
+        assert deadline.expired
+        with pytest.raises(DeadlineExceededError):
+            deadline.check("unit test")
+
+    def test_cancel_hard_expires(self):
+        deadline = Deadline(3600.0)
+        assert not deadline.expired
+        deadline.cancel()
+        assert deadline.expired
+        assert deadline.remaining() == float("-inf")
+        with pytest.raises(DeadlineExceededError):
+            deadline.check()

@@ -1,0 +1,88 @@
+"""Resident-tree maintenance: insert/delete streams against a
+registered session (the Guttman Delete/condense path, which the one-shot
+experiment protocol never drives)."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.config import SystemConfig
+from repro.geometry import Rect
+from repro.metrics import Phase
+from repro.service import WorkspaceRegistry
+
+from ..conftest import random_entries
+
+
+def _oracle_hits(live: dict[int, Rect], window: Rect) -> set[int]:
+    return {oid for oid, rect in live.items() if rect.intersects(window)}
+
+
+@pytest.fixture
+def registry() -> WorkspaceRegistry:
+    # Small fan-out so deletes actually underflow nodes and condense.
+    return WorkspaceRegistry(SystemConfig(page_size=104, buffer_pages=64))
+
+
+class TestResidentUpdates:
+    def test_mixed_update_stream_keeps_tree_valid_and_exact(self, registry):
+        entries = random_entries(300, seed=11)
+        session = registry.create("upd", entries, bulk=False)
+        live = dict((oid, rect) for rect, oid in entries)
+        rng = random.Random(42)
+        next_oid = 300
+
+        for step in range(6):
+            # Delete a batch of random live objects...
+            victims = rng.sample(sorted(live), 30)
+            for oid in victims:
+                assert session.delete(live.pop(oid), oid) is True
+            # ...insert a smaller batch of fresh ones...
+            for _ in range(12):
+                cx, cy = rng.random(), rng.random()
+                rect = Rect.from_center(cx, cy, 0.02, 0.02)
+                clipped = rect.clipped_to(Rect(0, 0, 1, 1))
+                session.insert(clipped, next_oid)
+                live[next_oid] = clipped
+                next_oid += 1
+            # ...and check structure + answers after every batch.
+            session.tree.validate()
+            assert len(session.tree) == len(live)
+            window = Rect(rng.random() * 0.5, rng.random() * 0.5, 1.0, 1.0)
+            assert set(session.window_query(window)) == _oracle_hits(
+                live, window
+            )
+
+    def test_delete_to_near_empty_condenses(self, registry):
+        entries = random_entries(150, seed=3)
+        session = registry.create("drain", entries, bulk=False)
+        height_before = session.tree.height
+        for rect, oid in entries[:-5]:
+            assert session.delete(rect, oid) is True
+        session.tree.validate()
+        assert len(session.tree) == 5
+        assert session.tree.height <= height_before
+        remaining = {oid for _, oid in entries[-5:]}
+        assert set(session.window_query(Rect(0, 0, 1, 1))) == remaining
+
+    def test_delete_of_absent_object_returns_false(self, registry):
+        entries = random_entries(40, seed=8)
+        session = registry.create("miss", entries, bulk=False)
+        rect, oid = entries[0]
+        assert session.delete(rect, oid) is True
+        assert session.delete(rect, oid) is False
+        session.tree.validate()
+
+    def test_maintenance_charges_construct_phase(self, registry):
+        entries = random_entries(80, seed=21)
+        session = registry.create("acct", entries, bulk=False)
+        metrics = session.workspace.metrics
+        before = metrics.faults_for(Phase.CONSTRUCT)  # phase exists
+        del before
+        io_before = metrics.summary().construct_io
+        for rect, oid in entries[:20]:
+            session.delete(rect, oid)
+        io_after = metrics.summary().construct_io
+        assert io_after > io_before  # condensing did accounted I/O

@@ -1,0 +1,283 @@
+"""Integration tests for the resident join service: answers, outcomes,
+backpressure, deadlines, endpoints, and clean shutdown."""
+
+from __future__ import annotations
+
+import asyncio
+
+import pytest
+
+from repro.config import SystemConfig
+from repro.geometry import Rect
+from repro.service import (
+    JoinRequest,
+    JoinService,
+    MetricsServer,
+    Outcome,
+    ServiceConfig,
+    WindowQueryRequest,
+    WorkspaceRegistry,
+)
+
+from ..conftest import random_entries
+
+CONFIG = SystemConfig(page_size=512, buffer_pages=64)
+
+
+def _registry(n: int = 2000, seed: int = 5) -> WorkspaceRegistry:
+    registry = WorkspaceRegistry(CONFIG)
+    registry.create("res", random_entries(n, seed=seed))
+    return registry
+
+
+def _oracle_pairs(entries_s, entries_r) -> set[tuple[int, int]]:
+    return {
+        (oid_s, oid_r)
+        for rect_s, oid_s in entries_s
+        for rect_r, oid_r in entries_r
+        if rect_s.intersects(rect_r)
+    }
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+class TestAnswers:
+    def test_window_query_matches_oracle(self):
+        entries_r = random_entries(2000, seed=5)
+        registry = _registry()
+
+        async def main():
+            service = JoinService(registry)
+            await service.start()
+            window = Rect(0.2, 0.1, 0.6, 0.5)
+            response = await service.submit(
+                WindowQueryRequest("res", window)
+            )
+            await service.stop()
+            return response
+
+        response = run(main())
+        assert response.outcome is Outcome.SERVED
+        expected = {
+            oid for rect, oid in entries_r if rect.intersects(
+                Rect(0.2, 0.1, 0.6, 0.5)
+            )
+        }
+        assert set(response.result) == expected
+
+    @pytest.mark.parametrize("method", ["BFJ", "STJ1-2N"])
+    def test_join_matches_oracle(self, method):
+        entries_r = random_entries(2000, seed=5)
+        entries_s = random_entries(300, seed=77, oid_start=10_000)
+        registry = _registry()
+
+        async def main():
+            service = JoinService(registry)
+            await service.start()
+            response = await service.submit(
+                JoinRequest("res", entries_s, method=method)
+            )
+            await service.stop()
+            return response
+
+        response = run(main())
+        assert response.outcome is Outcome.SERVED
+        assert response.method_used == method
+        assert set(response.result.pairs) == _oracle_pairs(
+            entries_s, entries_r
+        )
+
+    def test_admission_downgrade_is_exact_and_flagged(self):
+        entries_r = random_entries(2000, seed=5)
+        entries_s = random_entries(100, seed=31, oid_start=10_000)
+        registry = _registry()
+
+        async def main():
+            # Budget below STJ's estimate but above the cheapest method's:
+            # the request downgrades instead of rejecting.
+            from repro.service import AdmissionController
+
+            probe = AdmissionController()
+            plan = probe.plan_for(registry.get("res"), n_s=len(entries_s))
+            stj = plan.estimate_for("STJ").total_io
+            cheapest = min(e.total_io for e in plan.estimates)
+            assert cheapest < stj, "need a size where STJ loses"
+            service = JoinService(registry, ServiceConfig(
+                max_predicted_io=(cheapest + stj) / 2,
+            ))
+            await service.start()
+            response = await service.submit(
+                JoinRequest("res", entries_s, method="STJ1-2N")
+            )
+            await service.stop()
+            return service, response
+
+        service, response = run(main())
+        assert response.outcome is Outcome.DEGRADED
+        assert response.result.degraded is True
+        assert response.result.fallback_from == "STJ1-2N"
+        assert set(response.result.pairs) == _oracle_pairs(
+            entries_s, entries_r
+        )
+        counters = service.metrics.counters
+        assert counters.degraded == 1
+        assert counters.admission_downgrades == 1
+        # The downgrade also landed in the substrate fault counters.
+        assert registry.get("res").workspace.metrics.fault_totals(
+        ).fallbacks == 1
+
+
+class TestRobustness:
+    def test_burst_sheds_and_every_request_resolves(self):
+        registry = _registry()
+
+        async def main():
+            service = JoinService(registry, ServiceConfig(
+                workers=1, queue_capacity=4, degrade_water=2, high_water=4,
+            ))
+            await service.start()
+            responses = await asyncio.gather(*[
+                service.submit(WindowQueryRequest(
+                    "res", Rect(0, 0, 1, 1), stall_s=0.02
+                ))
+                for _ in range(20)
+            ])
+            await service.stop()
+            return service, responses
+
+        service, responses = run(main())
+        outcomes = [r.outcome for r in responses]
+        assert outcomes.count(Outcome.SHED) > 0
+        assert outcomes.count(Outcome.SERVED) > 0
+        shed = [r for r in responses if r.outcome is Outcome.SHED]
+        assert all(r.error_type == "QueueFullError" for r in shed)
+        counters = service.metrics.counters
+        assert counters.submitted == 20
+        assert counters.resolved == 20
+        assert counters.in_flight == 0
+
+    def test_deadline_times_out_stalled_request(self):
+        registry = _registry()
+
+        async def main():
+            service = JoinService(registry, ServiceConfig(
+                watchdog_interval_s=0.005
+            ))
+            await service.start()
+            response = await service.submit(WindowQueryRequest(
+                "res", Rect(0, 0, 1, 1), deadline_s=0.02, stall_s=0.5,
+            ))
+            await service.stop()
+            return response
+
+        response = run(main())
+        assert response.outcome is Outcome.TIMED_OUT
+        assert response.error_type == "DeadlineExceededError"
+        # The watchdog resolved the future well before the stall ended.
+        assert response.latency_s < 0.4
+
+    def test_unknown_session_is_typed_fault(self):
+        registry = _registry()
+
+        async def main():
+            service = JoinService(registry)
+            await service.start()
+            response = await service.submit(
+                WindowQueryRequest("ghost", Rect(0, 0, 1, 1))
+            )
+            await service.stop()
+            return response
+
+        response = run(main())
+        assert response.outcome is Outcome.FAULTED
+        assert response.error_type == "ExperimentError"
+
+    def test_stop_sheds_backlog_and_refuses_new_requests(self):
+        registry = _registry()
+
+        async def main():
+            service = JoinService(registry, ServiceConfig(
+                workers=1, queue_capacity=16,
+            ))
+            await service.start()
+            pending = [
+                asyncio.ensure_future(service.submit(WindowQueryRequest(
+                    "res", Rect(0, 0, 1, 1), stall_s=0.05
+                )))
+                for _ in range(6)
+            ]
+            await asyncio.sleep(0.01)  # let the worker pick up the first
+            await service.stop()
+            backlog = await asyncio.gather(*pending)
+            late = await service.submit(
+                WindowQueryRequest("res", Rect(0, 0, 1, 1))
+            )
+            return service, backlog, late
+
+        service, backlog, late = run(main())
+        assert all(
+            r.outcome in (Outcome.SERVED, Outcome.SHED) for r in backlog
+        )
+        assert any(r.outcome is Outcome.SHED for r in backlog)
+        assert late.outcome is Outcome.SHED
+        assert "not accepting" in late.error
+        counters = service.metrics.counters
+        assert counters.submitted == counters.resolved == 7
+
+
+class TestEndpoints:
+    @staticmethod
+    async def _get(host, port, path):
+        reader, writer = await asyncio.open_connection(host, port)
+        writer.write(f"GET {path} HTTP/1.0\r\n\r\n".encode("latin-1"))
+        await writer.drain()
+        raw = (await reader.read()).decode()
+        writer.close()
+        head, _, body = raw.partition("\r\n\r\n")
+        return head.splitlines()[0], body
+
+    def test_metrics_and_healthz_over_real_socket(self):
+        registry = _registry()
+
+        async def main():
+            service = JoinService(registry)
+            await service.start()
+            await service.submit(
+                WindowQueryRequest("res", Rect(0, 0, 1, 1))
+            )
+            http = MetricsServer(service, port=0)
+            host, port = await http.start()
+            health = await self._get(host, port, "/healthz")
+            metrics = await self._get(host, port, "/metrics")
+            missing = await self._get(host, port, "/nope")
+            await http.stop()
+            await service.stop()
+            return health, metrics, missing
+
+        health, metrics, missing = run(main())
+        assert "200" in health[0] and health[1].strip() == "ok"
+        assert "200" in metrics[0]
+        body = metrics[1]
+        assert "repro_service_requests_submitted_total 1" in body
+        assert "repro_service_requests_served_total 1" in body
+        assert 'repro_session_objects{session="res"} 2000' in body
+        assert "# TYPE repro_service_queue_depth gauge" in body
+        assert "404" in missing[0]
+
+    def test_healthz_not_ready_without_sessions(self):
+        registry = WorkspaceRegistry(CONFIG)
+
+        async def main():
+            service = JoinService(registry)
+            await service.start()
+            health = service.healthz()
+            await service.stop()
+            return health, service.healthz()
+
+        before_stop, after_stop = run(main())
+        assert not before_stop.ready
+        assert any("no resident sessions" in r for r in before_stop.reasons)
+        assert not after_stop.ready
+        assert any("not accepting" in r for r in after_stop.reasons)

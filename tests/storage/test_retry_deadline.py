@@ -1,0 +1,108 @@
+"""Deadline-aware retries and seeded backoff jitter (ISSUE 6 satellite):
+storage retries must never outlive the request that issued them."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigError, DeadlineExceededError, TransientIOError
+from repro.storage.faults import (
+    RetryPolicy,
+    remaining_retry_budget,
+    retry_read,
+)
+
+
+class _FakeDeadline:
+    """Duck-typed stand-in for repro.service.Deadline."""
+
+    def __init__(self, remaining: float):
+        self._remaining = remaining
+
+    def remaining(self) -> float:
+        return self._remaining
+
+    @property
+    def expired(self) -> bool:
+        return self._remaining <= 0.0
+
+
+def _always_transient():
+    raise TransientIOError("flaky page")
+
+
+class TestJitter:
+    def test_default_policy_has_no_jitter(self):
+        policy = RetryPolicy()
+        assert policy.jitter == 0.0
+        assert policy.jitter_rng() is None
+        # Exponential, capped, fully deterministic.
+        assert policy.delay_for(0) == pytest.approx(0.001)
+        assert policy.delay_for(1) == pytest.approx(0.002)
+        assert policy.delay_for(10) == pytest.approx(policy.max_delay)
+
+    def test_jitter_shrinks_delays_deterministically(self):
+        policy = RetryPolicy(jitter=0.5, jitter_seed=7)
+        rng_a = policy.jitter_rng(salt=3)
+        rng_b = policy.jitter_rng(salt=3)
+        seq_a = [policy.delay_for(i, rng_a) for i in range(6)]
+        seq_b = [policy.delay_for(i, rng_b) for i in range(6)]
+        assert seq_a == seq_b  # same seed+salt -> same draws
+        for i, jittered in enumerate(seq_a):
+            full = RetryPolicy().delay_for(i)
+            assert full * 0.5 <= jittered <= full
+
+    def test_salt_decorrelates_loops(self):
+        policy = RetryPolicy(jitter=0.9, jitter_seed=1)
+        seq = {
+            salt: [policy.delay_for(i, policy.jitter_rng(salt))
+                   for i in range(4)]
+            for salt in (0, 1, 2)
+        }
+        assert seq[0] != seq[1] != seq[2]
+
+    def test_jitter_validation(self):
+        with pytest.raises(ConfigError):
+            RetryPolicy(jitter=1.5)
+        with pytest.raises(ConfigError):
+            RetryPolicy(jitter=-0.1)
+
+
+class TestRetryBudget:
+    def test_no_deadline_is_unbounded(self):
+        assert remaining_retry_budget(None, 1e9) == float("inf")
+
+    def test_budget_shrinks_with_spent_backoff(self):
+        deadline = _FakeDeadline(2.0)
+        assert remaining_retry_budget(deadline, 0.0) == pytest.approx(2.0)
+        assert remaining_retry_budget(deadline, 1.5) == pytest.approx(0.5)
+        assert remaining_retry_budget(deadline, 2.5) == pytest.approx(-0.5)
+
+    def test_retry_raises_deadline_error_when_budget_exhausted(self):
+        policy = RetryPolicy(max_attempts=50, base_delay=1.0, max_delay=8.0)
+        with pytest.raises(DeadlineExceededError, match="retry abandoned"):
+            retry_read(
+                _always_transient, None, policy,
+                deadline=_FakeDeadline(2.5),
+            )
+
+    def test_retry_without_deadline_exhausts_attempts_instead(self):
+        policy = RetryPolicy(max_attempts=3, base_delay=1.0)
+        with pytest.raises(TransientIOError):
+            retry_read(_always_transient, None, policy)
+
+    def test_retry_succeeds_within_budget(self):
+        calls = {"n": 0}
+
+        def flaky_then_ok():
+            calls["n"] += 1
+            if calls["n"] < 3:
+                raise TransientIOError("flaky")
+            return "page"
+
+        policy = RetryPolicy(max_attempts=5, base_delay=0.5)
+        value = retry_read(
+            flaky_then_ok, None, policy, deadline=_FakeDeadline(10.0)
+        )
+        assert value == "page"
+        assert calls["n"] == 3
