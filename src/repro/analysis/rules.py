@@ -20,7 +20,10 @@ The rules are deliberately domain-specific; generic style is ruff's job
   (RPR006);
 * the vectorized kernels must stay pure — no accounted I/O, no phase
   entry, no storage/metrics imports — or their bit-identical-counters
-  contract becomes unauditable (RPR007).
+  contract becomes unauditable (RPR007);
+* shared-memory column views are written by their owning process only
+  — a store into an attached column would race every other attached
+  process and silently corrupt published datasets (RPR008).
 
 Suppressions (``# repro-lint: disable=RPRxxx -- reason``) are handled by
 :mod:`repro.analysis.linter`; a suppression without a reason is itself a
@@ -704,6 +707,95 @@ class KernelImpurity(Rule):
                     "belongs to the engine, kernels just compute",
                 )
         self.generic_visit(node)
+
+
+# --------------------------------------------------------------------- #
+# RPR008: writes to shared column views outside the owning process
+# --------------------------------------------------------------------- #
+
+
+@register
+class SharedColumnWrite(Rule):
+    """Shared-memory columns are written only while being created.
+
+    The pool's correctness story (``repro.parallel``) rests on published
+    columns being immutable after :meth:`SharedRectBuffer.create`
+    returns: attachers map read-only views, the dataset cache detects
+    change through *stamps*, and no coherence protocol exists. A store
+    into a column attribute — ``something.xlo[i] = v`` or
+    ``dataset.oids_r.values[i] = v`` — would race every attached process
+    and silently desynchronise workers from the parent. The owning
+    create path writes through a local ``memoryview`` of the raw
+    segment *before* any view exists, so this rule flags exactly the
+    dangerous pattern and costs the implementation nothing.
+
+    Re-enabling numpy writability on a view (``x.flags.writeable =
+    True``) is the loophole that would defeat the runtime read-only
+    enforcement, so it is flagged everywhere; clearing the flag
+    (``= False``) is how views are made safe and stays legal.
+    """
+
+    code = "RPR008"
+    title = "write to a shared/attached column view"
+
+    #: Attribute names that expose column views: the four coordinate
+    #: columns of RectArray/SharedRectArray and SharedInts.values.
+    _COLUMNS = ("xlo", "ylo", "xhi", "yhi", "values")
+
+    def applies(self) -> bool:
+        # The column implementations themselves are the owners: create
+        # paths fill segments before publication, and RectArray's
+        # patch_row() is the one sanctioned in-place edit (attached
+        # views are read-only, so it raises off-owner at runtime).
+        return not (
+            self.ctx.is_test
+            or self.ctx.is_repro_module("kernels/rect_array.py")
+            or self.ctx.is_repro_module("parallel/shm.py")
+        )
+
+    def visit_Assign(self, node: ast.Assign) -> None:
+        for target in node.targets:
+            self._check_target(target, node.value)
+        self.generic_visit(node)
+
+    def visit_AugAssign(self, node: ast.AugAssign) -> None:
+        self._check_target(node.target, None)
+        self.generic_visit(node)
+
+    def _check_target(
+        self, target: ast.expr, value: ast.expr | None
+    ) -> None:
+        if isinstance(target, ast.Tuple):
+            for element in target.elts:
+                self._check_target(element, value)
+            return
+        if isinstance(target, ast.Subscript):
+            inner = target.value
+            if (
+                isinstance(inner, ast.Attribute)
+                and inner.attr in self._COLUMNS
+            ):
+                self.report(
+                    target,
+                    f"store into .{inner.attr}[...] mutates a column "
+                    f"view; shared columns are written only by their "
+                    f"creator, before publication — build new columns "
+                    f"instead of editing in place",
+                )
+        if (
+            isinstance(target, ast.Attribute)
+            and target.attr == "writeable"
+            and isinstance(target.value, ast.Attribute)
+            and target.value.attr == "flags"
+        ):
+            if not (
+                isinstance(value, ast.Constant) and value.value is False
+            ):
+                self.report(
+                    target,
+                    "re-enabling .flags.writeable defeats the read-only "
+                    "enforcement on attached shared columns",
+                )
 
 
 #: Descriptions surfaced by ``repro-lint --list-rules``; RPR000 is the

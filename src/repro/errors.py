@@ -144,6 +144,36 @@ class DeadlineExceededError(ServiceError):
     """
 
 
+class ParallelError(ReproError):
+    """Base class for persistent-worker-pool failures.
+
+    Like :class:`ServiceError`, deliberately not a
+    :class:`StorageError`: pool plumbing failures are host problems, not
+    simulated-storage events, so they must never trigger the engine's
+    STJ→BFJ degradation path or be absorbed by retry loops.
+    """
+
+
+class WorkerCrashError(ParallelError):
+    """A pool worker process died while (or before) running a task.
+
+    The pool respawns a replacement before raising, so the pool object
+    remains usable; the *join* that was in flight is the casualty — its
+    partial per-tile outcomes are discarded and the caller decides
+    whether to rerun. The message names the worker, its exit code, and
+    the task it held.
+    """
+
+
+class StaleDatasetError(ParallelError):
+    """A worker was asked to run a tile of a dataset it cannot see.
+
+    Raised when the dispatch protocol's invariant — publish before
+    task, invalidate on version change — is broken, or when a shared
+    segment disappeared under a live attachment (owner unlinked early).
+    """
+
+
 class WorkloadError(ReproError):
     """A workload/data-set generation request is invalid."""
 

@@ -146,6 +146,7 @@ def main(argv: list[str] | None = None) -> int:
             _results, aggregates = run_table_repeated(
                 args.number, seeds, profile=args.profile,
                 verify=not args.no_verify,
+                workers=args.workers, partitions=args.partitions,
             )
             print(f"Table {args.number} [{args.profile}] over "
                   f"{args.repeat} seeds {seeds}: total I/O")

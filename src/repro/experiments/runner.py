@@ -216,7 +216,10 @@ def run_table(
     accounting reconciles exactly with the per-partition counters, but
     the cost *profile* is partitioned execution's, not the paper's
     single-pipeline protocol — use for parallel experiments, not for
-    comparing against the paper's printed tables.
+    comparing against the paper's printed tables. Parallel rows run on
+    the process-wide persistent worker pool: the table's inputs are
+    published into shared memory once and every algorithm row reuses
+    the same pool processes and published dataset.
     """
     prof = profile if isinstance(profile, ScaleProfile) else get_profile(profile)
     spec = get_experiment(table)
@@ -250,6 +253,8 @@ def run_table_repeated(
     algorithms: tuple[str, ...] = ALGORITHMS,
     verify: bool = True,
     data_side_bound: float = 0.004,
+    workers: int | None = None,
+    partitions: int | None = None,
 ) -> tuple[list[TableResult], list[AggregateRow]]:
     """Regenerate one table under several workload seeds.
 
@@ -257,6 +262,11 @@ def run_table_repeated(
     I/O. The paper reports single runs; repeated seeds quantify how
     seed-sensitive each conclusion is (the benchmark suite asserts the
     *orderings* are stable, not the exact values).
+
+    With ``workers`` set, every seed's rows share one persistent worker
+    pool (:mod:`repro.parallel`): processes spawn once for the whole
+    sweep, and within a seed the published dataset is reused across
+    algorithms.
     """
     import statistics
 
@@ -264,7 +274,8 @@ def run_table_repeated(
         raise ExperimentError("run_table_repeated needs at least one seed")
     results = [
         run_table(table, profile=profile, seed=seed, algorithms=algorithms,
-                  verify=verify, data_side_bound=data_side_bound)
+                  verify=verify, data_side_bound=data_side_bound,
+                  workers=workers, partitions=partitions)
         for seed in seeds
     ]
     aggregates = []

@@ -258,6 +258,8 @@ def _parallel_join(
     join_trace: JoinTrace | None,
     data_r: DataFile | None,
     sanitize: bool | None,
+    parallel_guard: bool | None,
+    parallel_start_method: str | None,
     method_options: dict,
 ) -> JoinResult:
     worker_method, options, label = _canonical_parallel_method(
@@ -271,6 +273,8 @@ def _parallel_join(
         options=options,
         seed=parallel_seed,
         label=label,
+        start_method=parallel_start_method,
+        guard=parallel_guard,
     )
     return executor.run(
         data_s, tree_r, metrics, trace=join_trace, data_r=data_r,
@@ -291,6 +295,8 @@ def spatial_join(
     workers: int | None = None,
     partitions: int | None = None,
     parallel_seed: int = 0,
+    parallel_guard: bool | None = None,
+    parallel_start_method: str | None = None,
     sanitize: bool | None = None,
     **method_options,
 ) -> JoinResult:
@@ -327,6 +333,18 @@ def spatial_join(
     single-substrate sequential path, byte-identical to before.
     ``parallel_seed`` feeds the stable per-partition seed derivation.
 
+    Parallel runs default to the **persistent worker pool**
+    (:mod:`repro.parallel`): inputs are published once into
+    shared-memory columns and workers stay warm across joins on the
+    same data — ``REPRO_POOL=0`` restores the legacy per-join pool.
+    ``parallel_guard`` controls the planner guard, which predicts the
+    elapsed speedup from a deterministic cost model and falls back to
+    in-process execution when parallelism would lose (``None`` defers
+    to ``REPRO_PARALLEL_GUARD``, default on); the decision lands on
+    ``result.parallel_decision``. ``parallel_start_method`` pins the
+    multiprocessing start method (default: ``REPRO_POOL_START_METHOD``,
+    else fork where available, else the platform default).
+
     ``sanitize`` arms the runtime invariant sanitizer
     (:mod:`repro.analysis.sanitizer`): ``True`` forces it on, ``False``
     off, and ``None`` (the default) defers to the ``REPRO_SANITIZE``
@@ -340,7 +358,7 @@ def spatial_join(
             upper, data_s, tree_r, config, metrics,
             workers if workers is not None else 1, partitions,
             parallel_seed, recovery, join_trace, data_r, sanitize,
-            method_options,
+            parallel_guard, parallel_start_method, method_options,
         )
     if upper == "BFJ":
         return brute_force_join(data_s, tree_r, metrics, trace=join_trace,

@@ -26,6 +26,7 @@ parallel matching all wrap the executor, not six drivers.
 from __future__ import annotations
 
 import multiprocessing
+import os
 import time
 from contextlib import nullcontext
 from dataclasses import dataclass, field
@@ -36,6 +37,7 @@ from ..config import SystemConfig
 from ..errors import (
     ExperimentError,
     InvariantViolation,
+    ParallelError,
     RecoveryError,
     SimulatedCrashError,
     StorageError,
@@ -52,7 +54,7 @@ from ..partition import (
 from ..storage import BufferPool, RecoveryPolicy
 from ..storage.datafile import DataEntry
 from ..workload.seeding import derive_seed
-from .result import JoinResult
+from .result import JoinResult, ParallelDecision
 
 __all__ = [
     "ExecutionContext",
@@ -383,17 +385,35 @@ def _adapt_method(task: _PartitionTask, tree_height: int
     return method, options
 
 
-def run_partition_task(task: _PartitionTask) -> _PartitionOutcome:
-    """Execute one tile's join in a private substrate (worker entry).
+@dataclass
+class _PartitionSubstrate:
+    """One tile's private simulated-storage world, reusable across joins.
 
-    Module-level so a spawned pool can import it by reference. The
-    substrate build (shard data file, bulk-loaded shard ``T_R``) runs in
-    the SETUP accounting phase and is then discarded from the counters
-    by ``start_measurement`` — mirroring the sequential protocol, where
-    inputs and ``T_R`` pre-exist and only the join is charged.
+    The persistent worker pool keeps these warm: the workspace, the
+    bulk-loaded shard ``T_R``, and the shard data files survive between
+    joins on the same (dataset, grid, tile), so repeat joins skip the
+    whole SETUP build. ``start_measurement`` before every join resets
+    buffer and counters, which keeps warm-path cost accounting
+    bit-identical to a cold build — the disk's page *contents* are the
+    same either way, and counters track accesses, not page ids.
+    """
+
+    ws: Any
+    tree_r: Any
+    file_s: Any
+    file_r: Any | None
+    setup_s: float
+
+
+def build_partition_substrate(task: _PartitionTask) -> _PartitionSubstrate:
+    """Build one tile's substrate (shard data files, bulk ``T_R``).
+
+    The build runs in the SETUP accounting phase and is later discarded
+    from the counters by ``start_measurement`` — mirroring the
+    sequential protocol, where inputs and ``T_R`` pre-exist and only
+    the join is charged.
     """
     from ..workspace import Workspace
-    from .api import spatial_join
 
     setup_started = time.perf_counter()
     ws = Workspace(task.config)
@@ -406,15 +426,27 @@ def run_partition_task(task: _PartitionTask) -> _PartitionOutcome:
         file_r = ws.install_datafile(
             task.entries_r, name=f"D_R[p{task.index}]"
         )
-    method, options = _adapt_method(task, tree_r.height)
+    return _PartitionSubstrate(
+        ws=ws, tree_r=tree_r, file_s=file_s, file_r=file_r,
+        setup_s=time.perf_counter() - setup_started,
+    )
+
+
+def join_on_substrate(
+    task: _PartitionTask, substrate: _PartitionSubstrate
+) -> _PartitionOutcome:
+    """Run one tile's (measured) join on an already-built substrate."""
+    from .api import spatial_join
+
+    ws = substrate.ws
+    method, options = _adapt_method(task, substrate.tree_r.height)
     ws.start_measurement()
-    setup_s = time.perf_counter() - setup_started
 
     started = time.perf_counter()
     result = spatial_join(
-        file_s, tree_r, ws.buffer, ws.config, ws.metrics,
+        substrate.file_s, substrate.tree_r, ws.buffer, ws.config, ws.metrics,
         method=method, recovery=task.recovery, trace=task.want_trace,
-        data_r=file_r, sanitize=task.sanitize, **options,
+        data_r=substrate.file_r, sanitize=task.sanitize, **options,
     )
     wall_s = time.perf_counter() - started
 
@@ -436,7 +468,7 @@ def run_partition_task(task: _PartitionTask) -> _PartitionOutcome:
         n_r=len(task.entries_r),
         n_s=len(task.entries_s),
         wall_s=wall_s,
-        setup_s=setup_s,
+        setup_s=substrate.setup_s,
         degraded=result.degraded,
         trace_roots=result.trace.roots if result.trace is not None else None,
         trace_origin=(
@@ -445,8 +477,71 @@ def run_partition_task(task: _PartitionTask) -> _PartitionOutcome:
     )
 
 
+def run_partition_task(task: _PartitionTask) -> _PartitionOutcome:
+    """Execute one tile's join in a fresh private substrate.
+
+    Module-level so a spawned pool can import it by reference; the
+    persistent pool's workers use the two halves
+    (:func:`build_partition_substrate` / :func:`join_on_substrate`)
+    separately so the substrate can stay warm between joins.
+    """
+    return join_on_substrate(task, build_partition_substrate(task))
+
+
+# Planner-guard cost model, in "entry units" — the (amortized) work of
+# pushing one entry through a per-tile join. The absolute scale cancels
+# out of the speedup ratio; only the overhead constants matter, and they
+# are deliberately calibrated coarse: the guard exists to catch joins
+# that are *obviously* too small to parallelize, not to rank close
+# calls. The model assumes workers can actually run concurrently (it
+# does not consult the host's core count): its question is "is this
+# workload big enough to cover the orchestration overhead", which is a
+# property of the join, not of today's machine.
+_GUARD_SPAWN_UNITS = 4000.0        # legacy mode: fork/spawn, per worker
+_GUARD_SHIP_UNITS = 0.3            # legacy mode: pickling, per shipped entry
+_GUARD_POOL_DISPATCH_UNITS = 400.0  # pooled mode: per-join round trip
+_GUARD_POOL_TILE_UNITS = 80.0      # pooled mode: per tile message
+
+
+def _lpt_makespan(costs: list[float], workers: int) -> float:
+    """Longest-processing-time-first schedule length for ``costs``."""
+    if not costs or workers < 1:
+        return 0.0
+    loads = [0.0] * min(workers, len(costs))
+    for cost in sorted(costs, reverse=True):
+        idx = min(range(len(loads)), key=loads.__getitem__)
+        loads[idx] += cost
+    return max(loads)
+
+
+def _pool_enabled() -> bool:
+    """Persistent-pool mode switch: ``REPRO_POOL=0`` restores the legacy
+    per-join fork pool (read per call so tests can flip it)."""
+    return os.environ.get("REPRO_POOL", "1").strip() != "0"
+
+
+@dataclass
+class _ParallelPlan:
+    """One parallel join's resolved inputs, in either representation.
+
+    ``shards`` (materialized entries) for the legacy route, or
+    ``dataset``/``grid``/``descriptors`` (shared columns plus row
+    indices) for the pooled route. ``tile_counts`` and ``seq_units``
+    feed the planner guard either way.
+    """
+
+    partitioner: Any
+    pooled: bool
+    seq_units: int
+    tile_counts: list[tuple[int, int]]
+    shards: list[Any] | None = None
+    dataset: Any | None = None
+    grid: Any | None = None
+    descriptors: list[Any] | None = None
+
+
 class ParallelExecutor:
-    """Runs one logical join as per-tile joins across a process pool.
+    """Runs one logical join as per-tile joins across worker processes.
 
     The universe of both inputs is tiled into a uniform grid
     (:class:`~repro.partition.GridPartitioner`); both inputs are split
@@ -458,9 +553,21 @@ class ParallelExecutor:
     one :class:`~repro.join.result.JoinResult` whose accounting is the
     exact sum of the per-partition counters.
 
-    ``workers=1`` runs the same per-tile plan in-process (no pool) —
-    the differential harness uses this to separate partitioning effects
-    from multiprocessing effects.
+    Execution picks between three routes, recorded on the result as a
+    :class:`~repro.join.result.ParallelDecision`:
+
+    * **pooled** (default for ``workers > 1``): the persistent
+      :class:`~repro.parallel.WorkerPool` — inputs published once into
+      shared-memory columns, tile *descriptors* shipped over pipes,
+      per-tile substrates kept warm between joins. ``REPRO_POOL=0``
+      disables it.
+    * **legacy**: a throwaway ``multiprocessing.Pool`` per join, whole
+      shard entry lists pickled to each worker. Also the automatic
+      fallback when inputs cannot be published (oids beyond int64).
+    * **in-process** (``workers=1``, or the planner guard predicting a
+      slowdown): the same per-tile plan run inline, no pool — the
+      differential harness uses this to separate partitioning effects
+      from multiprocessing effects.
     """
 
     def __init__(
@@ -472,6 +579,8 @@ class ParallelExecutor:
         options: dict[str, Any] | None = None,
         seed: int = 0,
         label: str | None = None,
+        start_method: str | None = None,
+        guard: bool | None = None,
     ):
         if workers < 1:
             raise ExperimentError("workers must be >= 1")
@@ -484,6 +593,8 @@ class ParallelExecutor:
         self.options = dict(options or {})
         self.seed = seed
         self.label = label or method
+        self.start_method = start_method
+        self.guard = guard
 
     # ----------------------------------------------------------------- #
 
@@ -504,12 +615,15 @@ class ParallelExecutor:
             else nullcontext()
         )
         with root_cm:
-            tasks = self._plan(data_s, tree_r, metrics, trace, data_r,
-                               recovery, sanitize)
+            plan = self._plan(data_s, tree_r, metrics, trace, data_r)
             base = trace.clock() if trace is not None else 0.0
-            outcomes = self._execute(tasks)
-            return self._merge(tasks, outcomes, metrics, trace, base,
-                               sanitizer)
+            decision = self._decide(plan)
+            outcomes = self._run_plan(
+                plan, decision, trace is not None, recovery, sanitize,
+            )
+            result = self._merge(outcomes, metrics, trace, base, sanitizer)
+            result.parallel_decision = decision
+            return result
 
     # ----------------------------------------------------------------- #
     # Planning: extract, tile, shard
@@ -522,9 +636,7 @@ class ParallelExecutor:
         metrics: MetricsCollector,
         trace: JoinTrace | None,
         data_r: Any | None,
-        recovery: RecoveryPolicy | None,
-        sanitize: bool | None = None,
-    ) -> list[_PartitionTask]:
+    ) -> _ParallelPlan:
         span_cm = (
             trace.span("prepare-shards", kind="phase", phase=Phase.SETUP)
             if trace is not None
@@ -537,8 +649,14 @@ class ParallelExecutor:
         # and break the sum-of-partitions reconciliation. The reads here
         # are unaccounted for the same reason — this pass exists only to
         # route entries to tiles, and its accounted twin happens inside
-        # every worker.
+        # every worker. (The pooled route may skip extraction entirely
+        # on a warm dataset cache hit; skipping unaccounted work cannot
+        # perturb a counter.)
         with span_cm, metrics.phase(Phase.SETUP):
+            if self._pool_wanted(data_s, tree_r, data_r):
+                plan = self._plan_pooled(data_s, tree_r, data_r)
+                if plan is not None:
+                    return plan
             entries_s = data_s.read_all_unaccounted()
             entries_r = (
                 data_r.read_all_unaccounted() if data_r is not None
@@ -548,36 +666,245 @@ class ParallelExecutor:
             if universe is None:
                 self._partitioner = None
                 self._shards = []
-                return []
+                return _ParallelPlan(
+                    partitioner=None, pooled=False, seq_units=0,
+                    tile_counts=[], shards=[],
+                )
             partitioner = GridPartitioner.for_tile_count(
                 universe, self.partitions
             )
             shards = make_shards(partitioner, entries_r, entries_s)
             self._partitioner = partitioner
             self._shards = shards
-        want_trace = trace is not None
+            return _ParallelPlan(
+                partitioner=partitioner,
+                pooled=False,
+                seq_units=len(entries_r) + len(entries_s),
+                tile_counts=[
+                    (len(s.entries_r), len(s.entries_s)) for s in shards
+                ],
+                shards=shards,
+            )
+
+    def _pool_wanted(
+        self, data_s: Any, tree_r: Any, data_r: Any | None
+    ) -> bool:
+        """Should this join even try the persistent pool?
+
+        A cheap pre-guard using only input *lengths* (no extraction, no
+        scatter): when even a replication-free, perfectly balanced
+        split could not beat sequential, don't publish shared columns
+        for a join the real guard would run inline anyway.
+        """
+        if self.workers <= 1 or not _pool_enabled():
+            return False
+        if not self._guard_enabled():
+            return True
+        try:
+            n = len(data_s) + (
+                len(data_r) if data_r is not None else len(tree_r)
+            )
+        except TypeError:  # pragma: no cover - exotic input containers
+            return True
+        if n == 0:
+            return False
+        best_parallel = (
+            _GUARD_POOL_DISPATCH_UNITS
+            + _GUARD_POOL_TILE_UNITS * self.partitions
+            + n / self.workers
+        )
+        return n / best_parallel >= 1.0
+
+    def _plan_pooled(
+        self, data_s: Any, tree_r: Any, data_r: Any | None
+    ) -> _ParallelPlan | None:
+        """The shared-memory plan, or ``None`` to fall back to legacy.
+
+        A warm :class:`~repro.parallel.DatasetCache` hit skips entry
+        extraction *and* the scatter pass; a miss publishes the columns
+        (once) and builds descriptor shards. Publication can refuse a
+        dataset (oids beyond int64) — that degrades to the legacy
+        pickled-entries route, never to a wrong answer.
+        """
+        from ..parallel import default_dataset_cache
+
+        cache = default_dataset_cache()
+        dataset = cache.lookup(data_s, tree_r, data_r)
+        if dataset is None:
+            entries_s = data_s.read_all_unaccounted()
+            entries_r = (
+                data_r.read_all_unaccounted() if data_r is not None
+                else list(tree_r.all_objects())
+            )
+            if joint_universe(entries_r, entries_s) is None:
+                return None
+            try:
+                dataset = cache.publish(
+                    data_s, tree_r, data_r, entries_r, entries_s
+                )
+            except ParallelError:
+                return None
+        partitioner, descriptors, grid = dataset.grid(self.partitions)
+        self._partitioner = partitioner
+        self._shards = descriptors
+        return _ParallelPlan(
+            partitioner=partitioner,
+            pooled=True,
+            seq_units=len(dataset.entries_r) + len(dataset.entries_s),
+            tile_counts=[(d.n_r, d.n_s) for d in descriptors],
+            dataset=dataset,
+            grid=grid,
+            descriptors=descriptors,
+        )
+
+    # ----------------------------------------------------------------- #
+    # The planner guard
+    # ----------------------------------------------------------------- #
+
+    def _guard_enabled(self) -> bool:
+        if self.guard is not None:
+            return self.guard
+        return os.environ.get("REPRO_PARALLEL_GUARD", "1").strip() != "0"
+
+    def _predict_speedup(self, plan: _ParallelPlan) -> float:
+        tile_units = [float(nr + ns) for nr, ns in plan.tile_counts]
+        workers = min(self.workers, len(tile_units))
+        makespan = _lpt_makespan(tile_units, workers)
+        if plan.pooled:
+            overhead = (
+                _GUARD_POOL_DISPATCH_UNITS
+                + _GUARD_POOL_TILE_UNITS * len(tile_units)
+            )
+        else:
+            overhead = (
+                _GUARD_SPAWN_UNITS * workers
+                + _GUARD_SHIP_UNITS * sum(tile_units)
+            )
+        parallel = overhead + makespan
+        return plan.seq_units / parallel if parallel > 0 else 0.0
+
+    def _decide(self, plan: _ParallelPlan) -> ParallelDecision:
+        tiles = len(plan.tile_counts)
+        if self.workers == 1:
+            return ParallelDecision(
+                1, 1, self.partitions, False, None,
+                "single worker requested",
+            )
+        if tiles == 0:
+            return ParallelDecision(
+                self.workers, 1, self.partitions, False, None,
+                "empty input",
+            )
+        if tiles == 1:
+            return ParallelDecision(
+                self.workers, 1, self.partitions, False, None,
+                "single productive tile",
+            )
+        predicted = self._predict_speedup(plan)
+        if self._guard_enabled() and predicted < 1.0:
+            return ParallelDecision(
+                self.workers, 1, self.partitions, False, predicted,
+                f"guard: predicted speedup {predicted:.2f} < 1.0; "
+                f"running in-process",
+            )
+        return ParallelDecision(
+            self.workers, self.workers, self.partitions, plan.pooled,
+            predicted,
+            "persistent worker pool" if plan.pooled
+            else "legacy per-join pool",
+        )
+
+    # ----------------------------------------------------------------- #
+    # Execution: pooled, legacy pool, or in-process
+    # ----------------------------------------------------------------- #
+
+    def _run_plan(
+        self,
+        plan: _ParallelPlan,
+        decision: ParallelDecision,
+        want_trace: bool,
+        recovery: RecoveryPolicy | None,
+        sanitize: bool | None,
+    ) -> list[_PartitionOutcome]:
+        if not plan.tile_counts:
+            return []
+        if decision.effective_workers == 1 or len(plan.tile_counts) == 1:
+            tasks = self._materialize_tasks(
+                plan, want_trace, recovery, sanitize,
+            )
+            return [run_partition_task(task) for task in tasks]
+        if decision.pooled:
+            from ..parallel import TileJob, forwarded_env, get_default_pool
+
+            dataset = plan.dataset
+            jobs = [
+                TileJob(
+                    dataset_key=dataset.key,
+                    version=dataset.version,
+                    grid=plan.grid,
+                    tile=d.tile.index,
+                    n_r=d.n_r,
+                    n_s=d.n_s,
+                    method=self.method,
+                    config=self.config,
+                    options=self.options,
+                    seed=derive_seed(self.seed, "partition", d.tile.index),
+                    want_trace=want_trace,
+                    recovery=recovery,
+                    sanitize=sanitize,
+                    env=forwarded_env(),
+                )
+                for d in plan.descriptors
+            ]
+            pool = get_default_pool(self.workers, self.start_method)
+            return pool.run_join(dataset, jobs)
+        tasks = self._materialize_tasks(plan, want_trace, recovery, sanitize)
+        return self._execute(tasks)
+
+    def _materialize_tasks(
+        self,
+        plan: _ParallelPlan,
+        want_trace: bool,
+        recovery: RecoveryPolicy | None,
+        sanitize: bool | None,
+    ) -> list[_PartitionTask]:
+        partitioner = plan.partitioner
+        if plan.shards is not None:
+            sliced = [
+                (s.tile.index, s.entries_r, s.entries_s) for s in plan.shards
+            ]
+        else:
+            # Descriptor indices reproduce the materialized shard order
+            # exactly (see shard.py), so both representations feed the
+            # in-process path bit-identically.
+            er = plan.dataset.entries_r
+            es = plan.dataset.entries_s
+            sliced = [
+                (
+                    d.tile.index,
+                    [er[i] for i in d.indices_r],
+                    [es[i] for i in d.indices_s],
+                )
+                for d in plan.descriptors
+            ]
         return [
             _PartitionTask(
-                index=shard.tile.index,
+                index=index,
                 method=self.method,
                 config=self.config,
                 universe=partitioner.universe.as_tuple(),
                 rows=partitioner.rows,
                 cols=partitioner.cols,
-                entries_r=shard.entries_r,
-                entries_s=shard.entries_s,
+                entries_r=entries_r,
+                entries_s=entries_s,
                 options=self.options,
-                seed=derive_seed(self.seed, "partition", shard.tile.index),
+                seed=derive_seed(self.seed, "partition", index),
                 want_trace=want_trace,
                 recovery=recovery,
                 sanitize=sanitize,
             )
-            for shard in shards
+            for index, entries_r, entries_s in sliced
         ]
-
-    # ----------------------------------------------------------------- #
-    # Execution: pool or in-process
-    # ----------------------------------------------------------------- #
 
     def _execute(
         self, tasks: list[_PartitionTask]
@@ -593,12 +920,12 @@ class ParallelExecutor:
 
     @staticmethod
     def _pool_context():
-        """Prefer fork (cheap, inherits the loaded modules); fall back
-        to the platform default where fork is unavailable."""
-        try:
-            return multiprocessing.get_context("fork")
-        except ValueError:  # pragma: no cover - non-POSIX platforms
-            return multiprocessing.get_context()
+        """The legacy per-join pool's context: the same resolved start
+        method the persistent pool uses (``REPRO_POOL_START_METHOD``,
+        else fork where available, else the platform default)."""
+        from ..parallel.pool import resolve_start_method
+
+        return multiprocessing.get_context(resolve_start_method())
 
     # ----------------------------------------------------------------- #
     # Merge: pairs, counters, spans
@@ -606,7 +933,6 @@ class ParallelExecutor:
 
     def _merge(
         self,
-        tasks: list[_PartitionTask],
         outcomes: list[_PartitionOutcome],
         metrics: MetricsCollector,
         trace: JoinTrace | None,

@@ -9,6 +9,29 @@ from typing import Any
 JoinPair = tuple[int, int]
 
 
+@dataclass(frozen=True)
+class ParallelDecision:
+    """How the parallel planner resolved a ``workers=N`` request.
+
+    ``predicted_speedup`` is the planner guard's deterministic
+    entry-unit estimate of elapsed speedup versus a sequential run
+    (``None`` when the guard never modelled the join — single worker,
+    single tile, or empty input). When the prediction lands below 1.0
+    the guard falls back to in-process execution: ``effective_workers``
+    drops to 1 while ``requested_workers`` keeps the caller's ask, and
+    ``reason`` says why. ``pooled`` records whether the persistent
+    worker pool actually ran the join (as opposed to the legacy
+    per-join pool or the in-process path).
+    """
+
+    requested_workers: int
+    effective_workers: int
+    partitions: int
+    pooled: bool
+    predicted_speedup: float | None
+    reason: str
+
+
 @dataclass
 class JoinResult:
     """What a join algorithm hands back.
@@ -37,6 +60,11 @@ class JoinResult:
     collector totals equal the sum of these snapshots exactly —
     :func:`repro.partition.summed_summary` recomputes the right-hand
     side of that equality.
+
+    ``parallel_decision`` is likewise parallel-only: the
+    :class:`ParallelDecision` recording what the planner guard
+    predicted and which execution mode (pooled, legacy pool, or
+    in-process fallback) actually ran.
     """
 
     pairs: list[JoinPair] = field(default_factory=list)
@@ -47,6 +75,7 @@ class JoinResult:
     degraded_reason: str = ""
     trace: Any | None = None
     partitions: list[Any] | None = None
+    parallel_decision: ParallelDecision | None = None
 
     def __len__(self) -> int:
         return len(self.pairs)

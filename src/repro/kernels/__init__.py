@@ -37,13 +37,24 @@ from .batch import (
     quadratic_split_indices,
     sweep_pairs_batch,
 )
-from .rect_array import NUMPY_MIN_N, RectArray
+from .rect_array import (
+    NUMPY_MIN_N,
+    LocalRectBuffer,
+    RectArray,
+    SharedRectArray,
+    SharedRectBuffer,
+    SharedRectDescriptor,
+)
 
 __all__ = [
     "BACKEND",
     "HAVE_NUMPY",
+    "LocalRectBuffer",
     "NUMPY_MIN_N",
     "RectArray",
+    "SharedRectArray",
+    "SharedRectBuffer",
+    "SharedRectDescriptor",
     "all_points",
     "clipped_area_total",
     "intersect_indices",

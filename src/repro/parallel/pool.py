@@ -1,0 +1,372 @@
+"""The persistent worker pool.
+
+Workers spawn **once** and survive across joins: the pool publishes a
+dataset's shared-memory columns to each worker lazily (first task that
+needs it), ships tile descriptors — never entries — over per-worker
+pipes, and keeps per-tile substrates warm inside the workers. Dispatch
+is dynamic longest-first with exactly one outstanding task per worker,
+so a straggler tile cannot strand the other workers idle and the pipes
+can never fill up with queued replies.
+
+Failure model: a dead worker is detected by its pipe (EOF) or its exit
+code, a replacement is spawned immediately (with an empty publish map —
+datasets re-publish lazily), and the in-flight join raises
+:class:`~repro.errors.WorkerCrashError` — the pool object itself stays
+usable. Replies are tagged with a per-join ``run_id``; stragglers from
+an aborted join are drained and discarded by tag, never confused with
+the next join's replies.
+
+Module-level registries (ALL_CAPS, process-wide by design) hold the
+default pools and the default dataset cache; one ``atexit`` hook shuts
+the pools down and unlinks every published segment, so a normal
+interpreter exit — including one triggered by ``KeyboardInterrupt`` —
+leaks nothing in ``/dev/shm``.
+"""
+
+from __future__ import annotations
+
+import atexit
+import itertools
+import multiprocessing
+import os
+import threading
+from multiprocessing import connection as mp_connection
+from typing import Any
+
+from ..errors import ParallelError, WorkerCrashError
+from .dataset import (
+    DatasetCache,
+    PublishedDataset,
+    add_invalidation_listener,
+    remove_invalidation_listener,
+)
+from .worker import TileJob, unpack_outcome, worker_main
+
+__all__ = [
+    "WorkerPool",
+    "default_dataset_cache",
+    "get_default_pool",
+    "resolve_start_method",
+    "shutdown_default_pools",
+]
+
+#: How long (seconds) each poll waits before re-checking worker health.
+_POLL_INTERVAL_S = 0.2
+#: Grace period (seconds) for a worker to exit after "shutdown".
+_SHUTDOWN_GRACE_S = 5.0
+
+
+def resolve_start_method(explicit: str | None = None) -> str:
+    """The multiprocessing start method the pools should use.
+
+    Priority: the ``explicit`` argument, then the
+    ``REPRO_POOL_START_METHOD`` environment variable, then ``fork``
+    where the platform offers it (cheapest, inherits loaded modules),
+    else the platform default (``spawn`` on macOS/Windows). The worker
+    entry point is a plain importable function, so every method works —
+    fork is an optimization, not an assumption.
+    """
+    available = multiprocessing.get_all_start_methods()
+    choice = explicit or os.environ.get(
+        "REPRO_POOL_START_METHOD", ""
+    ).strip() or None
+    if choice is not None:
+        if choice not in available:
+            raise ParallelError(
+                f"start method {choice!r} not available on this platform "
+                f"(have: {', '.join(available)})"
+            )
+        return choice
+    if "fork" in available:
+        return "fork"
+    return multiprocessing.get_start_method()  # pragma: no cover - non-POSIX
+
+
+class _WorkerHandle:
+    """Parent-side record of one worker process."""
+
+    __slots__ = ("wid", "process", "conn", "known", "busy", "warm")
+
+    def __init__(self, wid: int, process: Any, conn: Any) -> None:
+        self.wid = wid
+        self.process = process
+        self.conn = conn
+        #: dataset key -> version this worker has been sent a publish for.
+        self.known: dict[str, int] = {}
+        #: (run_id, TileJob) currently outstanding, or None.
+        self.busy: tuple[int, TileJob] | None = None
+        #: Tiles this worker has run — the parent's (approximate) mirror
+        #: of its warm-substrate cache, used for dispatch affinity.
+        self.warm: set[tuple] = set()
+
+
+class WorkerPool:
+    """A fixed-size pool of persistent join workers.
+
+    One join runs at a time: concurrent :meth:`run_join` callers (the
+    service's executor threads, for instance) serialize on an internal
+    lock. Register/unregister with the dataset cache's invalidation
+    listeners is automatic, so evicted datasets are detached in every
+    worker before their segments are unlinked.
+    """
+
+    def __init__(self, workers: int, start_method: str | None = None) -> None:
+        if workers < 1:
+            raise ParallelError("worker pool needs at least 1 worker")
+        self.start_method = resolve_start_method(start_method)
+        self._ctx = multiprocessing.get_context(self.start_method)
+        self._wids = itertools.count()
+        self._run_ids = itertools.count(1)
+        self._lock = threading.Lock()
+        self._closed = False
+        self._workers = [self._spawn() for _ in range(workers)]
+        add_invalidation_listener(self._on_invalidated)
+
+    # -- lifecycle ----------------------------------------------------- #
+
+    def _spawn(self) -> _WorkerHandle:
+        wid = next(self._wids)
+        parent_conn, child_conn = self._ctx.Pipe()
+        process = self._ctx.Process(
+            target=worker_main,
+            args=(child_conn,),
+            name=f"repro-pool-worker-{wid}",
+            daemon=True,
+        )
+        process.start()
+        child_conn.close()
+        return _WorkerHandle(wid, process, parent_conn)
+
+    def _replace(self, worker: _WorkerHandle) -> None:
+        """Swap a dead worker for a fresh one, in place."""
+        try:
+            worker.conn.close()
+        except OSError:  # pragma: no cover - already closed
+            pass
+        if worker.process.is_alive():  # pragma: no cover - defensive
+            worker.process.terminate()
+        worker.process.join(timeout=_SHUTDOWN_GRACE_S)
+        self._workers[self._workers.index(worker)] = self._spawn()
+
+    @property
+    def workers(self) -> int:
+        return len(self._workers)
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def close(self) -> None:
+        """Shut every worker down and sever the pipes (idempotent)."""
+        if self._closed:
+            return
+        self._closed = True
+        remove_invalidation_listener(self._on_invalidated)
+        for worker in self._workers:
+            try:
+                worker.conn.send(("shutdown",))
+            except (OSError, BrokenPipeError):
+                pass
+        for worker in self._workers:
+            worker.process.join(timeout=_SHUTDOWN_GRACE_S)
+            if worker.process.is_alive():  # pragma: no cover - stuck worker
+                worker.process.terminate()
+                worker.process.join(timeout=1.0)
+                if worker.process.is_alive():
+                    worker.process.kill()
+                    worker.process.join(timeout=1.0)
+            try:
+                worker.conn.close()
+            except OSError:  # pragma: no cover - already closed
+                pass
+        self._workers = []
+
+    def __enter__(self) -> "WorkerPool":
+        return self
+
+    def __exit__(self, *exc: Any) -> None:
+        self.close()
+
+    # -- dataset bookkeeping ------------------------------------------- #
+
+    def _on_invalidated(self, key: str) -> None:
+        """Cache eviction callback: detach ``key`` in every worker."""
+        for worker in self._workers:
+            if worker.known.pop(key, None) is not None:
+                worker.warm = {t for t in worker.warm if t[0] != key}
+                try:
+                    worker.conn.send(("invalidate", key))
+                except (OSError, BrokenPipeError):  # pragma: no cover
+                    pass
+
+    # -- join execution ------------------------------------------------ #
+
+    def run_join(
+        self, dataset: PublishedDataset, jobs: list[TileJob]
+    ) -> list[Any]:
+        """Run one join's tile jobs; returns unpacked outcomes.
+
+        Raises :class:`~repro.errors.WorkerCrashError` (after
+        respawning the replacement) if any worker dies mid-join, and
+        re-raises any exception a worker's join itself raised.
+        """
+        if self._closed:
+            raise ParallelError("worker pool is closed")
+        if not jobs:
+            return []
+        with self._lock:
+            return self._run_join_locked(dataset, jobs)
+
+    def _run_join_locked(
+        self, dataset: PublishedDataset, jobs: list[TileJob]
+    ) -> list[Any]:
+        run_id = next(self._run_ids)
+        # Longest first: the biggest tile starts immediately, so the
+        # dynamic schedule approximates LPT without knowing durations.
+        queue = sorted(jobs, key=lambda job: job.cost, reverse=True)
+        outcomes: list[Any] = []
+        inflight = 0  # this run's outstanding tasks only
+        while queue or inflight:
+            # Fill every idle worker. A worker still marked busy from an
+            # aborted earlier join frees itself below, when its stale
+            # (run-id-mismatched) reply is drained.
+            for worker in self._workers:
+                if queue and worker.busy is None:
+                    self._dispatch(
+                        worker, run_id, dataset, self._pick(worker, queue),
+                    )
+                    inflight += 1
+            busy = [w for w in self._workers if w.busy is not None]
+            if not busy:  # pragma: no cover - defensive; dispatch above
+                continue  # always leaves at least one busy worker
+            ready = mp_connection.wait(
+                [w.conn for w in busy], timeout=_POLL_INTERVAL_S,
+            )
+            if not ready:
+                self._check_liveness(run_id)
+                continue
+            by_conn = {id(w.conn): w for w in busy}
+            for conn in ready:
+                worker = by_conn[id(conn)]
+                try:
+                    message = conn.recv()
+                except (EOFError, OSError):
+                    self._crash(worker, run_id)
+                kind, reply_run = message[0], message[1]
+                worker.busy = None
+                if reply_run != run_id:
+                    # Straggler from an aborted earlier join: the worker
+                    # is healthy again, its stale answer is discarded.
+                    continue
+                inflight -= 1
+                if kind == "err":
+                    raise message[2]
+                outcomes.append(unpack_outcome(message[2]))
+        return outcomes
+
+    @staticmethod
+    def _warm_key(dataset: PublishedDataset, job: TileJob) -> tuple:
+        return (dataset.key, dataset.version, job.grid.rows,
+                job.grid.cols, job.tile)
+
+    def _pick(self, worker: _WorkerHandle, queue: list[TileJob]) -> TileJob:
+        """The next job for this worker: a tile it has warm if any
+        (deterministic across repeat joins — the same worker re-runs
+        the same tile on its cached substrate), else the longest one.
+
+        Affinity composes with longest-first rather than replacing it:
+        the queue stays cost-sorted, so among a worker's warm tiles the
+        biggest goes first, and a worker with nothing warm still grabs
+        the globally longest remaining tile.
+        """
+        if worker.warm:
+            for i, job in enumerate(queue):
+                if (job.dataset_key, job.version, job.grid.rows,
+                        job.grid.cols, job.tile) in worker.warm:
+                    return queue.pop(i)
+        return queue.pop(0)
+
+    def _dispatch(
+        self,
+        worker: _WorkerHandle,
+        run_id: int,
+        dataset: PublishedDataset,
+        job: TileJob,
+    ) -> None:
+        try:
+            if worker.known.get(dataset.key) != dataset.version:
+                worker.conn.send(("publish", dataset.descriptor))
+                worker.known[dataset.key] = dataset.version
+                worker.warm = {
+                    t for t in worker.warm if t[0] != dataset.key
+                }
+            worker.conn.send(("task", run_id, job))
+        except (OSError, BrokenPipeError):
+            self._crash(worker, run_id)
+        worker.busy = (run_id, job)
+        worker.warm.add(self._warm_key(dataset, job))
+
+    def _check_liveness(self, run_id: int) -> None:
+        for worker in self._workers:
+            if worker.busy is not None and not worker.process.is_alive():
+                self._crash(worker, run_id)
+
+    def _crash(self, worker: _WorkerHandle, run_id: int) -> None:
+        """Respawn a dead worker, then surface the typed error."""
+        job = worker.busy[1] if worker.busy is not None else None
+        exitcode = worker.process.exitcode
+        pid = worker.process.pid
+        self._replace(worker)
+        held = (
+            f"tile {job.tile} of dataset {job.dataset_key!r}"
+            if job is not None else "no task"
+        )
+        raise WorkerCrashError(
+            f"pool worker {worker.wid} (pid {pid}) died with exit code "
+            f"{exitcode} holding {held} (run {run_id}); a replacement "
+            f"worker was spawned and the pool remains usable"
+        )
+
+    def __repr__(self) -> str:
+        state = "closed" if self._closed else f"{len(self._workers)} workers"
+        return f"WorkerPool({state}, start_method={self.start_method!r})"
+
+
+# --------------------------------------------------------------------- #
+# Process-wide defaults
+# --------------------------------------------------------------------- #
+
+#: Default pools, keyed by (workers, resolved start method). Persistent
+#: by design: the whole point is reuse across joins and requests.
+_DEFAULT_POOLS: dict[tuple[int, str], WorkerPool] = {}
+
+#: The default parent-side dataset cache shared by every executor.
+_DEFAULT_CACHE = DatasetCache()
+
+
+def default_dataset_cache() -> DatasetCache:
+    return _DEFAULT_CACHE
+
+
+def get_default_pool(
+    workers: int, start_method: str | None = None
+) -> WorkerPool:
+    """The shared persistent pool for this worker count (created once)."""
+    method = resolve_start_method(start_method)
+    key = (workers, method)
+    pool = _DEFAULT_POOLS.get(key)
+    if pool is None or pool.closed:
+        pool = WorkerPool(workers, method)
+        _DEFAULT_POOLS[key] = pool
+    return pool
+
+
+def shutdown_default_pools() -> None:
+    """Close every default pool and unlink every published segment."""
+    for pool in list(_DEFAULT_POOLS.values()):
+        pool.close()
+    _DEFAULT_POOLS.clear()
+    _DEFAULT_CACHE.clear()
+
+
+atexit.register(shutdown_default_pools)

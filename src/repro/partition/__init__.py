@@ -13,14 +13,24 @@ is unit- and property-testable in isolation.
 
 from .grid import GridPartitioner, Tile
 from .merge import PartitionStats, merged_snapshot, summed_summary
-from .shard import Shard, joint_universe, make_shards
+from .shard import (
+    Shard,
+    ShardDescriptor,
+    joint_universe,
+    make_shard_descriptors,
+    make_shards,
+    shard_index_csr,
+)
 
 __all__ = [
     "GridPartitioner",
     "Tile",
     "Shard",
+    "ShardDescriptor",
     "joint_universe",
     "make_shards",
+    "make_shard_descriptors",
+    "shard_index_csr",
     "PartitionStats",
     "merged_snapshot",
     "summed_summary",

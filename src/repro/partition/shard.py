@@ -5,6 +5,14 @@ the (boundary-replicated) entries of both inputs that overlap it. Shards
 ship to worker processes as plain entry lists — each worker builds its
 own disk/buffer substrate from them, so no simulated-storage state ever
 crosses a process boundary.
+
+A :class:`ShardDescriptor` is the pooled executor's lightweight twin:
+instead of materialized entry copies it carries *row indices* into the
+dataset's column arrays (the order is exactly the order
+:func:`make_shards` would have appended the same entries, so a substrate
+built from either representation is bit-identical). Descriptors are what
+the persistent worker pool ships — the entries themselves travel once,
+through shared-memory columns, not once per join per tile.
 """
 
 from __future__ import annotations
@@ -15,7 +23,14 @@ from ..geometry import Rect, union_all
 from ..storage.datafile import DataEntry
 from .grid import GridPartitioner, Tile
 
-__all__ = ["Shard", "joint_universe", "make_shards"]
+__all__ = [
+    "Shard",
+    "ShardDescriptor",
+    "joint_universe",
+    "make_shards",
+    "make_shard_descriptors",
+    "shard_index_csr",
+]
 
 
 @dataclass
@@ -112,3 +127,131 @@ def make_shards(
         shard for shard in shards
         if keep_unproductive or shard.is_productive
     ]
+
+
+# --------------------------------------------------------------------- #
+# Descriptor shards (pooled executor)
+# --------------------------------------------------------------------- #
+
+
+@dataclass
+class ShardDescriptor:
+    """One tile's slice of both inputs, as row indices into columns.
+
+    ``indices_r``/``indices_s`` index the dataset's entry list (and thus
+    its shared coordinate/oid columns) in the exact order
+    :func:`make_shards` would have materialized the same shard, so
+    ``[entries[i] for i in indices_r]`` reproduces ``Shard.entries_r``
+    element for element.
+    """
+
+    tile: Tile
+    indices_r: list[int] = field(default_factory=list)
+    indices_s: list[int] = field(default_factory=list)
+
+    @property
+    def n_r(self) -> int:
+        return len(self.indices_r)
+
+    @property
+    def n_s(self) -> int:
+        return len(self.indices_s)
+
+    @property
+    def is_productive(self) -> bool:
+        """Same pruning rule as :attr:`Shard.is_productive`."""
+        return bool(self.indices_r) and bool(self.indices_s)
+
+
+def _scatter_indices(
+    partitioner: GridPartitioner,
+    entries: list[DataEntry],
+    buckets: list[list[int]],
+) -> None:
+    """:func:`_scatter`, appending entry *positions* instead of entries.
+
+    Kept as a separate loop rather than an indirection inside
+    ``_scatter`` so neither pass pays a per-entry branch; the clamped
+    floor arithmetic must stay in lock-step with ``_scatter`` and
+    ``_axis_index`` (the property suite cross-checks all three).
+    """
+    u = partitioner.universe
+    xlo0, ylo0 = u.xlo, u.ylo
+    step_x, step_y = partitioner.tile_w, partitioner.tile_h
+    cols, rows = partitioner.cols, partitioner.rows
+    cmax, rmax = cols - 1, rows - 1
+    flat_x = step_x <= 0.0 or cols == 1
+    flat_y = step_y <= 0.0 or rows == 1
+    for i, entry in enumerate(entries):
+        rect = entry[0]
+        if flat_x:
+            c_lo = c_hi = 0
+        else:
+            c_lo = int((rect.xlo - xlo0) / step_x)
+            c_lo = 0 if c_lo < 0 else (cmax if c_lo > cmax else c_lo)
+            c_hi = int((rect.xhi - xlo0) / step_x)
+            c_hi = 0 if c_hi < 0 else (cmax if c_hi > cmax else c_hi)
+        if flat_y:
+            r_lo = r_hi = 0
+        else:
+            r_lo = int((rect.ylo - ylo0) / step_y)
+            r_lo = 0 if r_lo < 0 else (rmax if r_lo > rmax else r_lo)
+            r_hi = int((rect.yhi - ylo0) / step_y)
+            r_hi = 0 if r_hi < 0 else (rmax if r_hi > rmax else r_hi)
+        if c_lo == c_hi and r_lo == r_hi:
+            buckets[r_lo * cols + c_lo].append(i)
+        else:
+            for row in range(r_lo, r_hi + 1):
+                base = row * cols
+                for col in range(c_lo, c_hi + 1):
+                    buckets[base + col].append(i)
+
+
+def make_shard_descriptors(
+    partitioner: GridPartitioner,
+    entries_r: list[DataEntry],
+    entries_s: list[DataEntry],
+    keep_unproductive: bool = False,
+) -> list[ShardDescriptor]:
+    """Index-only shards, one per (productive) tile.
+
+    Observationally equivalent to :func:`make_shards` — same tiles kept,
+    same per-tile entry order — but the entries stay where they are.
+    """
+    descriptors = [ShardDescriptor(tile=tile) for tile in partitioner.tiles]
+    _scatter_indices(
+        partitioner, entries_r, [d.indices_r for d in descriptors]
+    )
+    _scatter_indices(
+        partitioner, entries_s, [d.indices_s for d in descriptors]
+    )
+    return [
+        d for d in descriptors
+        if keep_unproductive or d.is_productive
+    ]
+
+
+def shard_index_csr(
+    descriptors: list[ShardDescriptor], num_tiles: int, side: str,
+) -> list[int]:
+    """Flatten one side of the descriptors into a CSR-style int list.
+
+    Layout: ``num_tiles + 1`` offsets, then the concatenated row
+    indices; tile ``t``'s rows live at
+    ``csr[1 + num_tiles + csr[t] : 1 + num_tiles + csr[t + 1]]``.
+    Tiles absent from ``descriptors`` (pruned as unproductive) are
+    empty rows. One flat list so the whole index ships as a single
+    shared-memory segment.
+    """
+    rows: list[list[int]] = [[] for _ in range(num_tiles)]
+    for d in descriptors:
+        rows[d.tile.index] = (
+            d.indices_r if side == "r" else d.indices_s
+        )
+    offsets = [0] * (num_tiles + 1)
+    for t, row in enumerate(rows):
+        offsets[t + 1] = offsets[t] + len(row)
+    flat = offsets
+    for row in rows:
+        flat.extend(row)
+    return flat

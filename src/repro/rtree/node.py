@@ -104,15 +104,7 @@ class Node:
         """
         cache = self._rect_cache
         if cache is not None and cache.n == len(self.entries):
-            mbr = self.entries[i].mbr
-            cache.xlo[i] = mbr.xlo
-            cache.ylo[i] = mbr.ylo
-            cache.xhi[i] = mbr.xhi
-            cache.yhi[i] = mbr.yhi
-            # A non-point row settles the all-points memo without a
-            # rescan; a point row leaves it unknown (another row may
-            # still be a rectangle).
-            cache._all_points = None if mbr.is_point() else False
+            cache.patch_row(i, self.entries[i].mbr)
         else:
             self._rect_cache = None
         self._mbr_cache = None

@@ -60,6 +60,10 @@ class RTree:
         self.capacity = config.node_capacity
         self.min_fill = config.node_min_fill
         self._count = 0
+        # Monotone edit stamp: bumped by every insert/delete so caches
+        # keyed on tree identity (the shared-dataset publisher) can tell
+        # "same tree object" from "same tree contents".
+        self.mutations = 0
         root = Node(level=0)
         root.page_id = buffer.new_page(PageKind.TREE_NODE, root).page_id
         self.root_id = root.page_id
@@ -143,6 +147,7 @@ class RTree:
         """Insert one data object (Guttman's Insert)."""
         self._insert_entry(Entry(rect, oid), target_level=0)
         self._count += 1
+        self.mutations += 1
 
     def _insert_entry(self, entry: Entry, target_level: int) -> None:
         """Place ``entry`` into a node at ``target_level``, splitting upward.
@@ -206,6 +211,7 @@ class RTree:
             leaf.invalidate_caches()
             self.buffer.mark_dirty(leaf.page_id)
             self._count -= 1
+            self.mutations += 1
 
             orphans: list[Node] = []
             for depth in range(len(nodes) - 1, 0, -1):

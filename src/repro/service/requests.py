@@ -57,6 +57,15 @@ class JoinRequest:
     uncharged — it plays the role of an input that already exists) and
     runs ``method`` against the session's resident ``T_R``.
 
+    ``workers``/``partitions`` request partition-parallel execution on
+    the process-wide persistent worker pool
+    (:mod:`repro.parallel`) — the pool and its published datasets
+    outlive individual requests, so repeat joins against the same
+    resident session reuse warm worker state. ``None`` (the default)
+    keeps the sequential single-substrate path. The planner guard still
+    applies: a request whose predicted parallel speedup is below one
+    runs in-process, recorded on ``result.parallel_decision``.
+
     ``stall_s`` is a chaos-testing hook: the worker thread sleeps that
     long before starting the operation, simulating a straggler worker so
     the deadline watchdog has something real to catch.
@@ -67,6 +76,8 @@ class JoinRequest:
     method: str = "STJ1-2N"
     deadline_s: float | None = None
     max_predicted_io: float | None = None
+    workers: int | None = None
+    partitions: int | None = None
     options: dict[str, Any] = field(default_factory=dict)
     stall_s: float = 0.0
 

@@ -33,6 +33,7 @@ import threading
 import time
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
+from typing import Any
 
 from ..errors import (
     BudgetExceededError,
@@ -183,7 +184,13 @@ class JoinService:
         self._accepting = True
 
     async def stop(self) -> None:
-        """Graceful shutdown: stop accepting, shed the backlog, drain."""
+        """Graceful shutdown: stop accepting, shed the backlog, drain.
+
+        Also closes the process-wide persistent worker pools and unlinks
+        every published shared-memory dataset: the service is the
+        longest-lived pool client, so its shutdown is the natural point
+        to return that memory (``atexit`` backstops abnormal exits).
+        """
         self._accepting = False
         while True:
             try:
@@ -211,6 +218,9 @@ class JoinService:
         if self._executor is not None:
             self._executor.shutdown(wait=True)
             self._executor = None
+        from ..parallel import shutdown_default_pools
+
+        shutdown_default_pools()
 
     @property
     def running(self) -> bool:
@@ -440,10 +450,15 @@ class JoinService:
         assert isinstance(request, JoinRequest)
         workspace = session.workspace
         data_s = session.install_join_input(request.entries_s)
+        parallel_kw: dict[str, Any] = {}
+        if request.workers is not None:
+            parallel_kw["workers"] = request.workers
+        if request.partitions is not None:
+            parallel_kw["partitions"] = request.partitions
         result = spatial_join(
             data_s, session.tree, workspace.buffer, workspace.config,
             workspace.metrics, method=ticket.method,
-            recovery=session.recovery, **request.options,
+            recovery=session.recovery, **parallel_kw, **request.options,
         )
         if ticket.admission_downgrade or ticket.overload_degrade:
             workspace.record_service_fallback()

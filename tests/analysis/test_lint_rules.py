@@ -317,3 +317,67 @@ def test_rpr006_ignores_non_coordinate_attributes():
             return a.page_id == b.page_id
     """
     assert codes_for(snippet) == []
+
+
+# --------------------------------------------------------------------- #
+# RPR008: writes to shared/attached column views
+# --------------------------------------------------------------------- #
+
+BAD_COLUMN_WRITE = """
+    def nudge(columns, i, dx):
+        columns.xlo[i] += dx
+"""
+
+GOOD_COLUMN_WRITE = """
+    def nudge(columns, i, dx):
+        return columns.patch_row(i, shifted(columns.rect_at(i), dx))
+"""
+
+
+def test_rpr008_fires_on_column_subscript_store():
+    assert codes_for(BAD_COLUMN_WRITE) == ["RPR008"]
+
+
+def test_rpr008_fires_on_values_store():
+    snippet = """
+        def renumber(shared, i, oid):
+            shared.values[i] = oid
+    """
+    assert codes_for(snippet) == ["RPR008"]
+
+
+def test_rpr008_silent_on_patch_row():
+    assert codes_for(GOOD_COLUMN_WRITE) == []
+
+
+def test_rpr008_silent_on_local_subscript_store():
+    # Writing through a bare local (the owner's memoryview during
+    # create) carries no attribute chain and stays legal.
+    snippet = """
+        def fill(mv, coords):
+            for i, x in enumerate(coords):
+                mv[i] = x
+    """
+    assert codes_for(snippet) == []
+
+
+def test_rpr008_fires_on_writeable_reenable():
+    snippet = """
+        def unseal(arr):
+            arr.flags.writeable = True
+    """
+    assert codes_for(snippet) == ["RPR008"]
+
+
+def test_rpr008_silent_on_writeable_clear():
+    snippet = """
+        def seal(arr):
+            arr.flags.writeable = False
+    """
+    assert codes_for(snippet) == []
+
+
+def test_rpr008_exempts_owning_modules_and_tests():
+    assert codes_for(BAD_COLUMN_WRITE, "src/repro/kernels/rect_array.py") == []
+    assert codes_for(BAD_COLUMN_WRITE, "src/repro/parallel/shm.py") == []
+    assert codes_for(BAD_COLUMN_WRITE, "tests/parallel/test_pool.py") == []

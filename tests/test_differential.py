@@ -197,3 +197,90 @@ def test_kernels_bit_identical_in_parallel(monkeypatch):
     assert pairs_on == pairs_off
     for field in SUMMARY_FIELDS:
         assert getattr(summary_on, field) == getattr(summary_off, field)
+
+
+# --------------------------------------------------------------------- #
+# Pooled mode vs sequential (and vs the legacy per-join pool)
+# --------------------------------------------------------------------- #
+
+
+def _run_routed(method: str, seed: int, **parallel_kw):
+    """One parallel run on the workload of ``seed``, any route."""
+    d_r, d_s = _workload(seed)
+    ws = Workspace(CFG)
+    tree_r = ws.install_rtree(d_r)
+    file_s = ws.install_datafile(d_s)
+    ws.start_measurement()
+    result = spatial_join(
+        file_s, tree_r, ws.buffer, ws.config, ws.metrics, method=method,
+        **parallel_kw,
+    )
+    return result, ws.metrics.summary(), ws
+
+
+@pytest.mark.parametrize("seed", (0, 1))
+@pytest.mark.parametrize("method", METHODS)
+def test_pooled_equals_sequential(method: str, seed: int) -> None:
+    """The persistent-pool route (guard disabled so it always engages)
+    is observationally equivalent to sequential: same pair set, no
+    duplicates, exactly reconcilable accounting."""
+    sequential, _summary, _ws = _run_routed(method, seed)
+    pooled, merged, ws = _run_routed(
+        method, seed, workers=2, partitions=4, parallel_seed=seed,
+        parallel_guard=False,
+    )
+    assert pooled.parallel_decision is not None
+    assert pooled.parallel_decision.pooled, pooled.parallel_decision
+    assert pooled.pair_set() == sequential.pair_set()
+    assert len(pooled.pairs) == len(set(pooled.pairs))
+    summed = summed_summary(pooled.partitions, ws.config)
+    for field in SUMMARY_FIELDS:
+        assert getattr(merged, field) == getattr(summed, field), (
+            f"{field}: merged collector disagrees with partition sum"
+        )
+
+
+def test_pooled_equals_legacy_pool(monkeypatch) -> None:
+    """The pooled route and the legacy per-join pool produce identical
+    pairs and identical merged counters on the same inputs."""
+    pooled, pooled_summary, _ws1 = _run_routed(
+        "STJ", 2, workers=2, partitions=4, parallel_seed=2,
+        parallel_guard=False,
+    )
+    monkeypatch.setenv("REPRO_POOL", "0")
+    legacy, legacy_summary, _ws2 = _run_routed(
+        "STJ", 2, workers=2, partitions=4, parallel_seed=2,
+        parallel_guard=False,
+    )
+    assert pooled.parallel_decision.pooled
+    assert not legacy.parallel_decision.pooled
+    assert pooled.pair_set() == legacy.pair_set()
+    for field in SUMMARY_FIELDS:
+        assert getattr(pooled_summary, field) == getattr(
+            legacy_summary, field
+        )
+
+
+def test_pooled_kernels_on_off_bit_identical(monkeypatch) -> None:
+    """Kernels on vs off through the pooled route: identical pairs and
+    counters (workers inherit REPRO_KERNELS at task time)."""
+    d_r, d_s = _kernel_workload(1)
+
+    def run(kernels: str):
+        monkeypatch.setenv("REPRO_KERNELS", kernels)
+        ws = Workspace(CFG)
+        tree_r = ws.install_rtree(d_r)
+        file_s = ws.install_datafile(d_s)
+        ws.start_measurement()
+        result = spatial_join(
+            file_s, tree_r, ws.buffer, ws.config, ws.metrics, method="STJ",
+            workers=2, partitions=4, parallel_seed=1, parallel_guard=False,
+        )
+        assert result.parallel_decision.pooled
+        return result.pair_set(), ws.metrics.summary()
+
+    pairs_on, summary_on = run("1")
+    pairs_off, summary_off = run("0")
+    assert pairs_on == pairs_off
+    for field in SUMMARY_FIELDS:
+        assert getattr(summary_on, field) == getattr(summary_off, field)
