@@ -1,0 +1,168 @@
+"""Seeded-tree staleness: how far the seeds have drifted from reality.
+
+The paper copies the partner tree's top ``k`` levels once, at build
+time (Section 2.1), and never revisits them. Under churn the partner's
+node boxes move while the seeded tree's internal structure stays where
+the *old* boxes put it, so slot guidance degrades: inserts land in
+slots whose true region moved away, subtrees overlap, and join cost
+creeps above what the planner predicts. :class:`StalenessTracker`
+quantifies that drift with three complementary signals:
+
+* **seed dilation** — how much the recorded seed-source boxes must
+  grow to cover the partner's *current* boxes at the same depth
+  (area-weighted enlargement; 0 = unchanged);
+* **occupancy skew** — max/mean object count under the seeded tree's
+  top-level entries (1 = perfectly even; grows as churn concentrates
+  data in slots the old seeds happened to favour);
+* **cost gap** — windowed measured-vs-predicted I/O ratio of recent
+  joins through the tree, the SOLAR-style signal: reuse measured costs
+  from prior runs to drive re-optimization decisions.
+
+Structural reads here use unaccounted introspection: the tracker
+models metadata a resident-index owner would maintain alongside the
+tree (the paper's cost model charges data-path I/O, not bookkeeping).
+Cost-gap inputs, by contrast, come from *measured, accounted* runs
+recorded via :meth:`StalenessTracker.record_run`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..geometry import Rect
+from ..rtree import RTree
+from ..rtree.node import Node
+from ..seeded import SeededTree
+
+
+@dataclass(frozen=True)
+class StalenessSnapshot:
+    """One staleness measurement; inputs to a re-seed policy."""
+
+    seed_dilation: float       # area-weighted box drift, 0 = fresh
+    occupancy_skew: float      # max/mean top-entry occupancy, 1 = even
+    cost_gap: float            # measured/predicted I/O ratio - 1, 0 = exact
+    partner_churn: int         # partner mutations since the baseline
+    runs: int                  # joins in the cost window
+    predicted_io: float        # summed planner predictions in the window
+    measured_io: float         # summed measured I/O in the window
+    tree_pages: int            # current seeded-tree size (re-seed cost scale)
+
+    @property
+    def excess_io(self) -> float:
+        """Measured-over-predicted I/O accumulated in the window."""
+        return max(0.0, self.measured_io - self.predicted_io)
+
+
+def partner_seed_boxes(partner: RTree, seed_levels: int) -> list[Rect]:
+    """The partner entry boxes a ``seed_levels``-deep seeding would copy.
+
+    These are the entry MBRs of the nodes at depth ``k - 1`` — exactly
+    the boxes that become slots in :meth:`repro.seeded.SeededTree.seed`.
+    Falls back to the deepest internal level when churn has shrunk the
+    partner below ``k + 1`` levels.
+    """
+    depth = min(seed_levels, max(partner.height - 1, 1)) - 1
+    nodes: list[Node] = [partner._node_unaccounted(partner.root_id)]
+    for _ in range(depth):
+        children: list[Node] = []
+        for node in nodes:
+            if node.is_leaf:
+                continue
+            children.extend(
+                partner._node_unaccounted(e.ref) for e in node.entries
+            )
+        if not children:
+            break
+        nodes = children
+    out: list[Rect] = []
+    for node in nodes:
+        if not node.is_leaf:
+            out.extend(e.mbr for e in node.entries)
+    return out
+
+
+def occupancy_skew(tree: SeededTree) -> float:
+    """Max/mean leaf-object count under the tree's top-level entries."""
+    root = tree._node_unaccounted(tree.root_id)
+    if root.is_leaf or not root.entries:
+        return 1.0
+
+    def count_below(page_id: int) -> int:
+        node = tree._node_unaccounted(page_id)
+        if node.is_leaf:
+            return len(node.entries)
+        return sum(count_below(e.ref) for e in node.entries)
+
+    counts = [count_below(e.ref) for e in root.entries]
+    total = sum(counts)
+    if total == 0:
+        return 1.0
+    return max(counts) * len(counts) / total
+
+
+class StalenessTracker:
+    """Accumulates drift evidence between re-baselines.
+
+    ``window`` bounds the cost history: only the most recent N
+    recorded joins feed the cost-gap signal, so one ancient outlier
+    cannot dominate a decision forever.
+    """
+
+    def __init__(self, window: int = 16) -> None:
+        if window < 1:
+            raise ValueError("cost window must hold at least one run")
+        self.window = window
+        self._boxes: list[Rect] = []
+        self._baseline_mutations = 0
+        self._runs: list[tuple[float, float]] = []  # (predicted, measured)
+
+    def rebaseline(self, partner: RTree, tree: SeededTree) -> None:
+        """Record the partner boxes the current seeds correspond to."""
+        self._boxes = partner_seed_boxes(partner, tree.seed_levels)
+        self._baseline_mutations = partner.mutations
+        self._runs = []
+
+    def record_run(self, predicted_io: float, measured_io: float) -> None:
+        """Feed one measured join (planner estimate vs accounted I/O)."""
+        self._runs.append((float(predicted_io), float(measured_io)))
+        if len(self._runs) > self.window:
+            del self._runs[0]
+
+    def seed_dilation(self, partner: RTree, seed_levels: int) -> float:
+        """Area-weighted growth of recorded boxes to cover current ones.
+
+        For each current box the nearest recorded box (center distance)
+        is found and its enlargement to cover the current box summed;
+        the total is normalized by the recorded area so the figure is
+        scale-free. O(n·m) over two slot-level box lists — hundreds of
+        boxes, not data objects.
+        """
+        if not self._boxes:
+            return 0.0
+        current = partner_seed_boxes(partner, seed_levels)
+        if not current:
+            return 0.0
+        base_area = sum(b.area() for b in self._boxes) or 1e-12
+        growth = 0.0
+        for cur in current:
+            nearest = min(
+                self._boxes, key=lambda b: b.center_distance_sq(cur)
+            )
+            growth += nearest.enlargement(cur)
+        return growth / base_area
+
+    def measure(self, partner: RTree, tree: SeededTree) -> StalenessSnapshot:
+        predicted = sum(p for p, _ in self._runs)
+        measured = sum(m for _, m in self._runs)
+        gap = (measured / predicted - 1.0) if predicted > 0 else 0.0
+        return StalenessSnapshot(
+            seed_dilation=self.seed_dilation(partner, tree.seed_levels),
+            occupancy_skew=occupancy_skew(tree),
+            cost_gap=gap,
+            partner_churn=partner.mutations - self._baseline_mutations,
+            runs=len(self._runs),
+            predicted_io=predicted,
+            measured_io=measured,
+            tree_pages=tree.num_nodes(),
+        )

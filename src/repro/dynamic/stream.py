@@ -1,0 +1,179 @@
+"""Streaming updates applied to one resident tree, fully accounted.
+
+:class:`UpdateStream` binds an update family (see
+:mod:`repro.workload.updates`) to one resident tree — the partner
+R-tree or a retained seeded tree — and applies each generated batch
+through the workspace's accounting surfaces: writes (insert / delete /
+move) run inside :meth:`~repro.workspace.Workspace.maintenance_phase`
+(CONSTRUCT, like any index build), window queries run through
+:meth:`~repro.workspace.Workspace.window_query` (MATCH, like any
+selection). Per-batch :class:`BatchReport` rows carry the measured
+I/O deltas so re-seed policies and benchmarks can reason about real
+maintenance cost rather than op counts.
+
+Listeners subscribe to the applied-op feed; the incremental join
+(:mod:`repro.dynamic.incremental`) keeps its materialized result in
+step this way. Listeners fire *after* the op's accounting context has
+closed, so their own probes land in their own phases.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Mapping
+
+from ..errors import TreeError
+from ..geometry import Rect
+from ..rtree import RTree
+from ..seeded import SeededTree
+from ..workload.updates import (
+    DELETE,
+    INSERT,
+    MOVE,
+    QUERY,
+    UpdateBatch,
+    UpdateFamily,
+    UpdateOp,
+)
+from ..workspace import Workspace
+
+OpListener = Callable[[UpdateOp], None]
+
+
+@dataclass(frozen=True)
+class BatchReport:
+    """What one applied batch did and what it cost."""
+
+    seq: int
+    family: str
+    inserts: int
+    deletes: int
+    moves: int
+    queries: int
+    query_hits: int
+    net_growth: int
+    construct_read: float
+    construct_write: float
+    match_read: float
+
+    @property
+    def writes(self) -> int:
+        return self.inserts + self.deletes + self.moves
+
+    @property
+    def maintenance_io(self) -> float:
+        return self.construct_read + self.construct_write
+
+
+class UpdateStream:
+    """Applies one family's batches to one resident tree.
+
+    ``live`` mirrors the tree's contents (oid → MBR) and is the model
+    the family generates against; it is seeded from the tree's own
+    objects when not given explicitly.
+    """
+
+    def __init__(
+        self,
+        workspace: Workspace,
+        tree: RTree | SeededTree,
+        family: UpdateFamily,
+        live: Mapping[int, Rect] | None = None,
+    ) -> None:
+        self.workspace = workspace
+        self.tree = tree
+        self.family = family
+        if live is None:
+            live = {oid: rect for rect, oid in tree.all_objects()}
+        self.live: dict[int, Rect] = dict(live)
+        self._listeners: list[OpListener] = []
+        self.batches_applied = 0
+        self.ops_applied = 0
+
+    # ------------------------------------------------------------- #
+    # Wiring
+    # ------------------------------------------------------------- #
+
+    def attach(self, listener: OpListener) -> None:
+        """Subscribe to applied ops (called after each op commits)."""
+        self._listeners.append(listener)
+
+    def detach(self, listener: OpListener) -> None:
+        """Unsubscribe a listener (e.g. to stop incremental maintenance
+        when a consumer switches to recompute-on-demand)."""
+        self._listeners.remove(listener)
+
+    def retree(self, tree: RTree | SeededTree) -> None:
+        """Point the stream at a replacement tree (after a re-seed)."""
+        self.tree = tree
+
+    # ------------------------------------------------------------- #
+    # Application
+    # ------------------------------------------------------------- #
+
+    def step(self, size: int) -> BatchReport:
+        """Generate the next batch against ``live`` and apply it."""
+        return self.apply(self.family.batch(self.live, size))
+
+    def apply(self, batch: UpdateBatch) -> BatchReport:
+        """Apply one batch op by op; returns the accounted report."""
+        before = self.workspace.metrics.summary()
+        counts = {INSERT: 0, DELETE: 0, MOVE: 0, QUERY: 0}
+        hits = 0
+        for op in batch.ops:
+            hits += self._apply_op(op)
+            counts[op.kind] += 1
+            self.ops_applied += 1
+            for listener in self._listeners:
+                listener(op)
+        after = self.workspace.metrics.summary()
+        self.batches_applied += 1
+        return BatchReport(
+            seq=batch.seq,
+            family=batch.family,
+            inserts=counts[INSERT],
+            deletes=counts[DELETE],
+            moves=counts[MOVE],
+            queries=counts[QUERY],
+            query_hits=hits,
+            net_growth=counts[INSERT] - counts[DELETE],
+            construct_read=after.construct_read - before.construct_read,
+            construct_write=after.construct_write - before.construct_write,
+            match_read=after.match_read - before.match_read,
+        )
+
+    def _apply_op(self, op: UpdateOp) -> int:
+        """Apply one op to the tree and the live model; returns hits."""
+        if op.kind == QUERY:
+            return len(self.workspace.window_query(self.tree, op.rect))
+        with self.workspace.maintenance_phase():
+            if op.kind == INSERT:
+                self._insert(op.rect, op.oid)
+                self.live[op.oid] = op.rect
+            elif op.kind == DELETE:
+                self._delete(op.rect, op.oid)
+                del self.live[op.oid]
+            else:  # MOVE
+                assert op.to_rect is not None
+                self._delete(op.rect, op.oid)
+                self._insert(op.to_rect, op.oid)
+                self.live[op.oid] = op.to_rect
+        return 0
+
+    def _insert(self, rect: Rect, oid: int) -> None:
+        if isinstance(self.tree, SeededTree):
+            self.tree.insert_retained(rect, oid)
+        else:
+            self.tree.insert(rect, oid)
+
+    def _delete(self, rect: Rect, oid: int) -> None:
+        if isinstance(self.tree, SeededTree):
+            deleted = self.tree.delete_retained(rect, oid)
+        else:
+            deleted = self.tree.delete(rect, oid)
+        if not deleted:
+            # The family only deletes live objects; a miss means the
+            # tree and the model have diverged — never paper over it.
+            raise TreeError(
+                f"update stream lost object {oid}: delete missed {rect}"
+            )

@@ -232,13 +232,14 @@ class WorkerPool:
             # (run-id-mismatched) reply is drained.
             for worker in self._workers:
                 if queue and worker.busy is None:
-                    self._dispatch(
-                        worker, run_id, dataset, self._pick(worker, queue),
-                    )
+                    job = self._pick(worker, queue)
+                    if job is None:
+                        continue  # its tiles are warm on busy seats
+                    self._dispatch(worker, run_id, dataset, job)
                     inflight += 1
             busy = [w for w in self._workers if w.busy is not None]
-            if not busy:  # pragma: no cover - defensive; dispatch above
-                continue  # always leaves at least one busy worker
+            if not busy:  # pragma: no cover - defensive; a deferred
+                continue  # tile's warm owner is always in busy
             ready = mp_connection.wait(
                 [w.conn for w in busy], timeout=_POLL_INTERVAL_S,
             )
@@ -269,22 +270,40 @@ class WorkerPool:
         return (dataset.key, dataset.version, job.grid.rows,
                 job.grid.cols, job.tile)
 
-    def _pick(self, worker: _WorkerHandle, queue: list[TileJob]) -> TileJob:
+    def _pick(
+        self, worker: _WorkerHandle, queue: list[TileJob]
+    ) -> TileJob | None:
         """The next job for this worker: a tile it has warm if any
         (deterministic across repeat joins — the same worker re-runs
-        the same tile on its cached substrate), else the longest one.
+        the same tile on its cached substrate), else the longest tile
+        no *other* live worker has warm.
 
         Affinity composes with longest-first rather than replacing it:
         the queue stays cost-sorted, so among a worker's warm tiles the
         biggest goes first, and a worker with nothing warm still grabs
-        the globally longest remaining tile.
+        the globally longest unclaimed tile. Tiles that are warm on
+        another worker are deferred (``None``: sit this fill pass out)
+        rather than stolen — stealing would rebuild the substrate cold
+        and forfeit the owner's cache, making warm-rerun setup time
+        depend on scheduling noise. The owner always claims its
+        deferred tiles when it next goes idle, and a crashed owner's
+        respawn starts with an empty warm set, which unclaims its
+        tiles for everyone else.
         """
         if worker.warm:
             for i, job in enumerate(queue):
                 if (job.dataset_key, job.version, job.grid.rows,
                         job.grid.cols, job.tile) in worker.warm:
                     return queue.pop(i)
-        return queue.pop(0)
+        claimed: set[tuple] = set()
+        for other in self._workers:
+            if other is not worker:
+                claimed |= other.warm
+        for i, job in enumerate(queue):
+            if (job.dataset_key, job.version, job.grid.rows,
+                    job.grid.cols, job.tile) not in claimed:
+                return queue.pop(i)
+        return None
 
     def _dispatch(
         self,

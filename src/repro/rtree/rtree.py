@@ -28,6 +28,54 @@ from .query import window_query as shared_window_query
 from .split import SplitFunction, quadratic_split
 
 
+def find_leaf_path(
+    tree: "RTree | object", rect: Rect, oid: int, pinned: list[int]
+) -> tuple[list[Node], list[int], int] | None:
+    """DFS for the leaf containing (rect, oid); accounted reads.
+
+    Shared by :meth:`RTree.delete` and the seeded tree's retained
+    deletion — ``tree`` needs ``read_node``/``buffer``/``metrics``/
+    ``root_id`` (the duck type both trees implement). Path nodes are
+    fetched *pinned* and the successful path stays pinned on return: an
+    unpinned DFS can evict its own ancestors once the tree outgrows the
+    buffer, and the condense step would then try to pin (or dirty) a
+    non-resident page. Every pin taken is recorded in ``pinned`` before
+    recursing so the caller's ``finally`` can release them even when a
+    storage fault fires mid-search; rejected branches are released on
+    backtrack.
+    """
+    buffer: BufferPool = tree.buffer  # type: ignore[attr-defined]
+    metrics: MetricsCollector | None = tree.metrics  # type: ignore[attr-defined]
+    read_node = tree.read_node  # type: ignore[attr-defined]
+    # repro-lint: disable=RPR003 -- pin custody transfers to the caller: every pin lands in `pinned` before anything can raise, and the caller's finally releases the whole list
+    root = read_node(tree.root_id, pin=True)  # type: ignore[attr-defined]
+    pinned.append(root.page_id)
+
+    def descend(
+        node: Node, nodes: list[Node], idxs: list[int]
+    ) -> tuple[list[Node], list[int], int] | None:
+        if metrics is not None:
+            metrics.count_bbox_tests(len(node.entries))
+        if node.is_leaf:
+            for i, e in enumerate(node.entries):
+                if e.ref == oid and e.mbr == rect:
+                    return nodes + [node], idxs, i
+            return None
+        for i, e in enumerate(node.entries):
+            if e.mbr.contains(rect):
+                # repro-lint: disable=RPR003 -- backtrack unpins pair with their pops; surviving pins are released by the caller's finally via `pinned`
+                child = read_node(e.ref, pin=True)
+                pinned.append(e.ref)
+                found = descend(child, nodes + [node], idxs + [i])
+                if found:
+                    return found
+                pinned.pop()
+                buffer.unpin(e.ref)
+        return None
+
+    return descend(root, [], [])
+
+
 class RTree:
     """Guttman R-tree with buffered node storage.
 
@@ -196,15 +244,13 @@ class RTree:
         their entries at their original levels), then shrink the root
         while it has a single child.
         """
-        path = self._find_leaf_path(rect, oid)
-        if path is None:
-            return False
-        nodes, child_idxs, entry_idx = path
-        pinned: list[Node] = []
+        pinned: list[int] = []
+        orphans: list[Node] = []
         try:
-            for n in nodes:
-                self.buffer.pin(n.page_id)
-                pinned.append(n)
+            path = self._find_leaf_path(rect, oid, pinned)
+            if path is None:
+                return False
+            nodes, child_idxs, entry_idx = path
 
             leaf = nodes[-1]
             del leaf.entries[entry_idx]
@@ -213,7 +259,6 @@ class RTree:
             self._count -= 1
             self.mutations += 1
 
-            orphans: list[Node] = []
             for depth in range(len(nodes) - 1, 0, -1):
                 cur = nodes[depth]
                 parent = nodes[depth - 1]
@@ -228,8 +273,8 @@ class RTree:
         finally:
             # Condensing must not leak pins when a fault interrupts it —
             # a surviving pin would fail the next purge.
-            for n in pinned:
-                self.buffer.unpin(n.page_id)
+            for pid in pinned:
+                self.buffer.unpin(pid)
         for orphan in orphans:
             self.buffer.drop(orphan.page_id, write_back=False)
 
@@ -246,30 +291,9 @@ class RTree:
         return True
 
     def _find_leaf_path(
-        self, rect: Rect, oid: int
+        self, rect: Rect, oid: int, pinned: list[int]
     ) -> tuple[list[Node], list[int], int] | None:
-        """DFS for the leaf containing (rect, oid); accounted reads."""
-        root = self.read_node(self.root_id)
-
-        def descend(
-            node: Node, nodes: list[Node], idxs: list[int]
-        ) -> tuple[list[Node], list[int], int] | None:
-            if self.metrics is not None:
-                self.metrics.count_bbox_tests(len(node.entries))
-            if node.is_leaf:
-                for i, e in enumerate(node.entries):
-                    if e.ref == oid and e.mbr == rect:
-                        return nodes + [node], idxs, i
-                return None
-            for i, e in enumerate(node.entries):
-                if e.mbr.contains(rect):
-                    child = self.read_node(e.ref)
-                    found = descend(child, nodes + [node], idxs + [i])
-                    if found:
-                        return found
-            return None
-
-        return descend(root, [], [])
+        return find_leaf_path(self, rect, oid, pinned)
 
     def _shrink_root(self) -> None:
         while True:

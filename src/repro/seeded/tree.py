@@ -52,7 +52,7 @@ from ..rtree.insertion import insert_into_subtree, new_node
 from ..rtree.node import Entry, Node, node_mbr
 from ..rtree.query import nearest_neighbors as shared_nearest_neighbors
 from ..rtree.query import window_query as shared_window_query
-from ..rtree.rtree import RTree
+from ..rtree.rtree import RTree, find_leaf_path
 from ..rtree.split import SplitFunction, quadratic_split
 from ..storage import BufferPool
 from ..storage.datafile import DataFile
@@ -151,6 +151,10 @@ class SeededTree:
 
         self.phase = TreePhase.CREATED
         self.root_id = -1
+        # Monotone edit stamp for retained-index use, mirroring
+        # RTree.mutations: caches keyed on tree identity use it to tell
+        # "same object" from "same contents".
+        self.mutations = 0
         self._slots: list[_Slot] = []
         self._seed_page_ids: list[int] = []
         self._lists: LinkedListManager | None = None
@@ -575,6 +579,44 @@ class SeededTree:
                 rect if slot.true_mbr is None else slot.true_mbr.union(rect)
             )
 
+    def attach_subtree(
+        self, mbr: Rect, root_id: int, root_level: int, count: int,
+        use_kernels: bool | None = None,
+    ) -> None:
+        """Graft an existing subtree into a slot (incremental re-seed).
+
+        Used while re-seeding a drifted tree: instead of re-inserting
+        every object through the new seed levels, whole grown subtrees
+        harvested from the old tree (whose pages are already on disk,
+        in the same buffer pool) are descended like one fat insert and
+        hung off the chosen slot. An occupied slot gains a small
+        *collector* node holding both subtrees — seeded trees tolerate
+        unbalance, and :meth:`cleanup` computes levels bottom-up — so
+        repeated grafts nest rather than rebalance.
+        """
+        if self.phase is not TreePhase.SEEDED:
+            raise TreePhaseError(
+                f"cannot attach a subtree in phase {self.phase.value}"
+            )
+        if count <= 0:
+            raise SeedingError("attached subtree must hold data")
+        slot = self._descend_to_slot(mbr, use_kernels)
+        if slot.root_id == -1:
+            slot.root_id = root_id
+            slot.root_level = root_level
+            slot.true_mbr = mbr
+        else:
+            assert slot.true_mbr is not None
+            existing = Entry(slot.true_mbr, slot.root_id)
+            grafted = Entry(mbr, root_id)
+            level = max(slot.root_level, root_level) + 1
+            collector = new_node(self, level, [existing, grafted])
+            slot.root_id = collector.page_id
+            slot.root_level = level
+            slot.true_mbr = slot.true_mbr.union(mbr)
+        slot.count += count
+        self._count += count
+
     # ----------------------------------------------------------------- #
     # Phase 3: clean-up
     # ----------------------------------------------------------------- #
@@ -697,6 +739,87 @@ class SeededTree:
             self, self.root_id, Entry(rect, oid)
         )
         self._count += 1
+        self.mutations += 1
+
+    def delete_retained(self, rect: Rect, oid: int) -> bool:
+        """Delete from the *finished* tree; returns False when absent.
+
+        The retained-index counterpart of :meth:`RTree.delete`. A
+        seeded tree is generally *unbalanced* — grown subtrees end at
+        different levels — so Guttman's condense step cannot re-insert
+        an orphaned node's entries "at their original level": the
+        descent in :func:`insert_into_subtree` may jump past that level
+        entirely. Instead, an under-full node's whole subtree is
+        flattened to its data entries (accounted reads — those pages
+        are genuinely visited) and re-inserted at the leaf level, which
+        is always reachable.
+        """
+        self._require_ready()
+        pinned: list[int] = []
+        orphan_roots: list[int] = []
+        try:
+            path = find_leaf_path(self, rect, oid, pinned)
+            if path is None:
+                return False
+            nodes, child_idxs, entry_idx = path
+            leaf = nodes[-1]
+            del leaf.entries[entry_idx]
+            leaf.invalidate_caches()
+            self.buffer.mark_dirty(leaf.page_id)
+            self._count -= 1
+            self.mutations += 1
+            for depth in range(len(nodes) - 1, 0, -1):
+                cur = nodes[depth]
+                parent = nodes[depth - 1]
+                idx = child_idxs[depth - 1]
+                if len(cur.entries) < self.min_fill:
+                    del parent.entries[idx]
+                    orphan_roots.append(cur.page_id)
+                else:
+                    parent.entries[idx].mbr = node_mbr(cur)
+                parent.invalidate_caches()
+                self.buffer.mark_dirty(parent.page_id)
+        finally:
+            for pid in pinned:
+                self.buffer.unpin(pid)
+
+        salvaged: list[Entry] = []
+        for page_id in orphan_roots:
+            self._flatten_subtree(page_id, salvaged)
+        root = self._node_unaccounted(self.root_id)
+        if not root.entries and not root.is_leaf:
+            # Every child was orphaned: restart from an empty leaf so
+            # re-insertion has a well-formed target.
+            root.entries = []
+            root.level = 0
+            root.invalidate_caches()
+            self.buffer.mark_dirty(self.root_id)
+        for e in salvaged:
+            self.root_id = insert_into_subtree(self, self.root_id, e)
+        self._shrink_root_retained()
+        return True
+
+    def _flatten_subtree(self, page_id: int, out: list[Entry]) -> None:
+        """Collect a subtree's data entries and drop its pages.
+
+        Reads are accounted — flattening visits every page it frees.
+        """
+        node = self.read_node(page_id)
+        if node.is_leaf:
+            out.extend(node.entries)
+        else:
+            for e in node.entries:
+                self._flatten_subtree(e.ref, out)
+        self.buffer.drop(page_id, write_back=False)
+
+    def _shrink_root_retained(self) -> None:
+        while True:
+            root = self._node_unaccounted(self.root_id)
+            if root.is_leaf or len(root.entries) != 1:
+                return
+            old_id = self.root_id
+            self.root_id = root.entries[0].ref
+            self.buffer.drop(old_id, write_back=False)
 
     def point_query(self, x: float, y: float) -> list[int]:
         self._require_ready()

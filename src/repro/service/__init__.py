@@ -24,13 +24,14 @@ from .metrics import (
     readiness,
     render_prometheus,
 )
-from .registry import ResidentSession, WorkspaceRegistry
+from .registry import ResidentSession, UpdateReport, WorkspaceRegistry
 from .requests import (
     ANSWERED,
     JoinRequest,
     Outcome,
     Request,
     ServiceResponse,
+    UpdateRequest,
     WindowQueryRequest,
 )
 from .service import JoinService, ServiceConfig
@@ -50,12 +51,14 @@ __all__ = [
     "readiness",
     "render_prometheus",
     "ResidentSession",
+    "UpdateReport",
     "WorkspaceRegistry",
     "ANSWERED",
     "JoinRequest",
     "Outcome",
     "Request",
     "ServiceResponse",
+    "UpdateRequest",
     "WindowQueryRequest",
     "JoinService",
     "ServiceConfig",

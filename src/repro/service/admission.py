@@ -29,7 +29,7 @@ from dataclasses import dataclass
 
 from ..join.planner import CostEstimate, JoinPlan, plan_join
 from .registry import ResidentSession
-from .requests import JoinRequest, Request, WindowQueryRequest
+from .requests import JoinRequest, Request, UpdateRequest, WindowQueryRequest
 
 #: Facade methods the estimators cover, mapped to their estimate keys.
 #: Paper variant names (``STJ1-2F``) estimate as STJ; everything else
@@ -122,6 +122,23 @@ class AdmissionController:
                 Action.REJECT, "WINDOW", predicted,
                 reason=f"window-query descent (~{predicted:.0f} I/O) "
                        f"exceeds budget {budget.max_predicted_io:.0f}",
+            )
+        if isinstance(request, UpdateRequest):
+            # One root-to-leaf descent plus a couple of write-backs per
+            # op: the Guttman insert/delete envelope without condense or
+            # split cascades (those are data-dependent; the budget prices
+            # the common case). Like window queries, maintenance batches
+            # cannot be downgraded — only admitted or rejected.
+            predicted = float(
+                len(request.ops) * (session.tree.height + 2)
+            )
+            if budget.fits(predicted):
+                return AdmissionDecision(Action.ADMIT, "UPDATE", predicted)
+            return AdmissionDecision(
+                Action.REJECT, "UPDATE", predicted,
+                reason=f"maintenance batch of {len(request.ops)} ops "
+                       f"(~{predicted:.0f} I/O) exceeds budget "
+                       f"{budget.max_predicted_io:.0f}",
             )
         return self._assess_join(session, request, budget)
 

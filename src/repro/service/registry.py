@@ -18,14 +18,40 @@ executor threads.
 from __future__ import annotations
 
 import threading
-from typing import Iterable, Iterator
+from dataclasses import dataclass
+from typing import Iterable, Iterator, Sequence
 
 from ..config import SystemConfig
 from ..errors import ExperimentError
 from ..geometry import Rect
 from ..rtree import RTree
 from ..storage import DataFile, FaultInjector, RecoveryPolicy
+from ..workload.updates import DELETE, INSERT, MOVE, QUERY, UpdateOp
 from ..workspace import Workspace
+
+
+@dataclass(frozen=True)
+class UpdateReport:
+    """The answer payload of one applied maintenance batch.
+
+    ``missing`` counts delete/move ops whose target was not in the tree
+    (the tree answer for those is "no such object", not an error — the
+    batch as a whole still applied); ``query_hits`` totals the result
+    sizes of embedded window queries.
+    """
+
+    inserts: int = 0
+    deletes: int = 0
+    moves: int = 0
+    queries: int = 0
+    missing: int = 0
+    query_hits: int = 0
+    tree_size: int = 0
+    mutations: int = 0
+
+    @property
+    def applied(self) -> int:
+        return self.inserts + self.deletes + self.moves
 
 
 class ResidentSession:
@@ -64,6 +90,46 @@ class ResidentSession:
         """Remove one object, condensing the tree (charged maintenance)."""
         with self.lock, self.workspace.maintenance_phase():
             return self.tree.delete(rect, oid)
+
+    def apply_updates(self, ops: Sequence[UpdateOp]) -> UpdateReport:
+        """Apply one ordered maintenance batch to the resident tree.
+
+        The session lock covers the whole batch, so concurrent joins on
+        the same session see either the pre-batch or post-batch tree,
+        never a half-applied one. Writes charge to the maintenance
+        (CONSTRUCT) phase; embedded queries charge to MATCH, exactly as
+        :class:`~repro.dynamic.UpdateStream` accounts them.
+        """
+        inserts = deletes = moves = queries = missing = hits = 0
+        with self.lock:
+            for op in ops:
+                if op.kind == QUERY:
+                    hits += len(
+                        self.workspace.window_query(self.tree, op.rect)
+                    )
+                    queries += 1
+                    continue
+                with self.workspace.maintenance_phase():
+                    if op.kind == INSERT:
+                        self.tree.insert(op.rect, op.oid)
+                        inserts += 1
+                    elif op.kind == DELETE:
+                        if self.tree.delete(op.rect, op.oid):
+                            deletes += 1
+                        else:
+                            missing += 1
+                    elif op.kind == MOVE:
+                        assert op.to_rect is not None
+                        if self.tree.delete(op.rect, op.oid):
+                            self.tree.insert(op.to_rect, op.oid)
+                            moves += 1
+                        else:
+                            missing += 1
+            return UpdateReport(
+                inserts=inserts, deletes=deletes, moves=moves,
+                queries=queries, missing=missing, query_hits=hits,
+                tree_size=len(self.tree), mutations=self.tree.mutations,
+            )
 
     def install_join_input(
         self, entries: Iterable[tuple[Rect, int]]

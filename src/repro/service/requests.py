@@ -17,6 +17,7 @@ from dataclasses import dataclass, field
 from typing import Any
 
 from ..geometry import Rect
+from ..workload.updates import UpdateOp
 
 #: Raw (rect, oid) entries, the derived input of a join request.
 Entries = list[tuple[Rect, int]]
@@ -92,7 +93,41 @@ class WindowQueryRequest:
     stall_s: float = 0.0
 
 
-Request = JoinRequest | WindowQueryRequest
+@dataclass(frozen=True)
+class UpdateRequest:
+    """One maintenance batch against a session's resident tree.
+
+    ``ops`` is an ordered sequence of :class:`~repro.workload.updates`
+    operations (insert / delete / move / query). The service applies
+    them atomically with respect to other requests on the same session
+    (the session lock covers the whole batch), charging writes to the
+    maintenance (CONSTRUCT) column and embedded queries to MATCH — the
+    dynamic-data accounting regime of :mod:`repro.dynamic`.
+
+    Updates share the join lane's robustness envelope: they can be shed
+    by the bounded queue, rejected by a budget (the descent estimate is
+    reject-only, like window queries — there is no cheaper method to
+    downgrade a batch of inserts to), timed out by their deadline, and
+    they resolve to exactly one typed outcome. The answer payload is an
+    :class:`~repro.service.registry.UpdateReport`.
+    """
+
+    session: str
+    ops: tuple[UpdateOp, ...]
+    deadline_s: float | None = None
+    max_predicted_io: float | None = None
+    stall_s: float = 0.0
+
+    def __post_init__(self) -> None:
+        # Tolerate lists at the call site; store a hashable tuple.
+        object.__setattr__(self, "ops", tuple(self.ops))
+
+    @property
+    def method(self) -> str:
+        return "UPDATE"
+
+
+Request = JoinRequest | WindowQueryRequest | UpdateRequest
 
 
 @dataclass

@@ -46,7 +46,13 @@ from .admission import Action, AdmissionController, RequestBudget
 from .deadline import Deadline
 from .metrics import Readiness, ServiceMetrics, readiness
 from .registry import ResidentSession, WorkspaceRegistry
-from .requests import JoinRequest, Outcome, Request, ServiceResponse
+from .requests import (
+    JoinRequest,
+    Outcome,
+    Request,
+    ServiceResponse,
+    UpdateRequest,
+)
 from .shedding import LoadShedder, PressureLevel
 
 
@@ -417,6 +423,9 @@ class JoinService:
                             if result.degraded
                             else Outcome.SERVED
                         )
+                    elif isinstance(request, UpdateRequest):
+                        result = session.apply_updates(request.ops)
+                        outcome = Outcome.SERVED
                     else:
                         result = session.window_query(request.window)
                         outcome = Outcome.SERVED

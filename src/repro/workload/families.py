@@ -24,11 +24,19 @@ from __future__ import annotations
 
 import math
 import random
+from dataclasses import dataclass
+from typing import Callable
 
 from ..errors import WorkloadError
 from ..geometry import Rect
 from ..storage.datafile import DataEntry
-from .generator import DEFAULT_MAP_AREA
+from .generator import DEFAULT_MAP_AREA, generate_clustered
+from .updates import (
+    DriftFamily,
+    MixedTrafficFamily,
+    UpdateFamily,
+    ZipfChurnFamily,
+)
 
 
 def _clip_entry(rect: Rect, oid: int, area: Rect) -> DataEntry | None:
@@ -214,3 +222,129 @@ def generate_grid_cells(
             oid += 1
     rng.shuffle(out)
     return out
+
+
+# --------------------------------------------------------------------- #
+# Pluggable family registry
+# --------------------------------------------------------------------- #
+
+#: Registry kinds: a "static" family is a ``(num_objects, seed, **params)
+#: -> list[DataEntry]`` dataset factory; a "stream" family is a
+#: ``(seed, **params) -> UpdateFamily`` factory producing stateful
+#: update-batch generators (see :mod:`repro.workload.updates`).
+STATIC = "static"
+STREAM = "stream"
+
+
+@dataclass(frozen=True)
+class FamilySpec:
+    """One registered workload family: a named, self-describing factory.
+
+    The registry follows the plugin-fetcher idiom: a standard interface
+    per kind, independently enable-able sources, lookup by name with a
+    helpful error. Experiments and benchmarks select families by name
+    so new ones become reachable without touching call sites.
+    """
+
+    name: str
+    kind: str
+    description: str
+    factory: Callable[..., object]
+
+    def __post_init__(self) -> None:
+        if self.kind not in (STATIC, STREAM):
+            raise WorkloadError(f"unknown family kind {self.kind!r}")
+
+
+# Mutated only by register_family(); built-ins land at import time, so
+# every pool worker sees the same mapping. Runtime plugins must register
+# before any worker pool spawns.
+FAMILY_REGISTRY: dict[str, FamilySpec] = {}
+
+
+def register_family(spec: FamilySpec) -> FamilySpec:
+    """Add a family to the registry; rejects duplicate names."""
+    if spec.name in FAMILY_REGISTRY:
+        raise WorkloadError(f"family {spec.name!r} already registered")
+    FAMILY_REGISTRY[spec.name] = spec
+    return spec
+
+
+def available_families(kind: str | None = None) -> list[str]:
+    """Registered family names, optionally restricted to one kind."""
+    return sorted(
+        name for name, spec in FAMILY_REGISTRY.items()
+        if kind is None or spec.kind == kind
+    )
+
+
+def get_family(name: str) -> FamilySpec:
+    spec = FAMILY_REGISTRY.get(name)
+    if spec is None:
+        raise WorkloadError(
+            f"unknown workload family {name!r}; "
+            f"available: {', '.join(available_families())}"
+        )
+    return spec
+
+
+def make_dataset(name: str, num_objects: int, seed: int = 0,
+                 **params: object) -> list[DataEntry]:
+    """Build a dataset from a registered static family."""
+    spec = get_family(name)
+    if spec.kind != STATIC:
+        raise WorkloadError(f"family {name!r} is a stream family, "
+                            f"not a dataset generator")
+    out = spec.factory(num_objects, seed, **params)
+    assert isinstance(out, list)
+    return out
+
+
+def make_stream(name: str, seed: int = 0, **params: object) -> UpdateFamily:
+    """Instantiate a registered stream family."""
+    spec = get_family(name)
+    if spec.kind != STREAM:
+        raise WorkloadError(f"family {name!r} is a dataset generator, "
+                            f"not a stream family")
+    fam = spec.factory(seed=seed, **params)
+    assert isinstance(fam, UpdateFamily)
+    return fam
+
+
+def _clustered_factory(num_objects: int, seed: int = 0,
+                       **params: object) -> list[DataEntry]:
+    from .generator import ClusteredConfig
+    return generate_clustered(
+        ClusteredConfig(num_objects=num_objects, seed=seed, **params)  # type: ignore[arg-type]
+    )
+
+
+def _grid_factory(num_objects: int, seed: int = 0,
+                  **params: object) -> list[DataEntry]:
+    side = max(1, math.isqrt(max(num_objects - 1, 0)) + 1)
+    return generate_grid_cells(side, seed=seed, **params)[:num_objects]  # type: ignore[arg-type]
+
+
+register_family(FamilySpec(
+    "clustered", STATIC, "the paper's Section-4 clustered rectangles",
+    _clustered_factory))
+register_family(FamilySpec(
+    "gaussian", STATIC, "normally scattered clusters (soft edges)",
+    lambda n, seed=0, **p: generate_gaussian_clusters(n, seed=seed, **p)))
+register_family(FamilySpec(
+    "skewed", STATIC, "Zipf-weighted cluster sizes (hot-spots + tail)",
+    lambda n, seed=0, **p: generate_skewed(n, seed=seed, **p)))
+register_family(FamilySpec(
+    "paths", STATIC, "thin segments along random walks (road networks)",
+    lambda n, seed=0, **p: generate_paths(n, seed=seed, **p)))
+register_family(FamilySpec(
+    "grid", STATIC, "regular tessellation (land parcels)", _grid_factory))
+register_family(FamilySpec(
+    "zipf-churn", STREAM, "hot-cluster inserts, uniform deletes",
+    ZipfChurnFamily))
+register_family(FamilySpec(
+    "drift", STREAM, "moving objects with persistent velocities",
+    DriftFamily))
+register_family(FamilySpec(
+    "mixed-traffic", STREAM, "window queries interleaved with churn",
+    MixedTrafficFamily))

@@ -1,0 +1,354 @@
+"""Streaming update workloads: op types and stateful stream families.
+
+The paper's evaluation is build-once-join-once; a resident service sees
+*churn*. This module defines the vocabulary of that churn — typed
+:class:`UpdateOp` records batched into :class:`UpdateBatch` — plus
+stateful generators ("stream families") that produce op batches against
+the current live set of objects:
+
+* :class:`ZipfChurnFamily` — inserts land in Zipf-weighted hot
+  clusters while deletes pick uniformly over the live set, so density
+  skew *grows* over time (the regime that ages a seeded tree fastest);
+* :class:`DriftFamily` — moving objects: every object carries a
+  persistent velocity and batches emit ``move`` ops that integrate it
+  with edge bounce (fleet/trajectory traffic);
+* :class:`MixedTrafficFamily` — wraps another family and interleaves
+  ``query`` ops (window reads) with the writes, the shape a resident
+  session actually serves.
+
+Families are deterministic per seed: two families constructed with the
+same seed and fed the same live-set history emit identical op
+sequences. Fresh object ids are allocated from a private counter and
+checked against the live set, so generated streams never collide with
+pre-loaded data.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+from typing import Mapping
+
+from ..errors import WorkloadError
+from ..geometry import Rect
+from .generator import DEFAULT_MAP_AREA
+from .seeding import derive_seed
+
+INSERT = "insert"
+DELETE = "delete"
+MOVE = "move"
+QUERY = "query"
+
+OP_KINDS = (INSERT, DELETE, MOVE, QUERY)
+
+
+@dataclass(frozen=True)
+class UpdateOp:
+    """One streaming operation against a resident tree.
+
+    ``insert``: add ``(rect, oid)``. ``delete``: remove ``(rect, oid)``
+    (``rect`` must be the object's current MBR — R-tree deletion is by
+    exact entry). ``move``: delete ``(rect, oid)`` then insert
+    ``(to_rect, oid)``. ``query``: window-read ``rect``; ``oid`` is
+    ignored.
+    """
+
+    kind: str
+    oid: int
+    rect: Rect
+    to_rect: Rect | None = None
+
+    def __post_init__(self) -> None:
+        if self.kind not in OP_KINDS:
+            raise WorkloadError(f"unknown update op kind {self.kind!r}")
+        if self.kind == MOVE and self.to_rect is None:
+            raise WorkloadError("move op requires to_rect")
+        if self.kind != MOVE and self.to_rect is not None:
+            raise WorkloadError(f"{self.kind} op must not carry to_rect")
+
+
+@dataclass(frozen=True)
+class UpdateBatch:
+    """An ordered batch of ops, as emitted by one family step."""
+
+    seq: int
+    family: str
+    ops: tuple[UpdateOp, ...] = field(default_factory=tuple)
+
+    def count(self, kind: str) -> int:
+        return sum(1 for op in self.ops if op.kind == kind)
+
+    @property
+    def writes(self) -> int:
+        return sum(1 for op in self.ops if op.kind != QUERY)
+
+    @property
+    def net_growth(self) -> int:
+        """Object-count delta once the batch is applied."""
+        return self.count(INSERT) - self.count(DELETE)
+
+    def __len__(self) -> int:
+        return len(self.ops)
+
+
+class UpdateFamily(ABC):
+    """A stateful, seeded generator of update batches.
+
+    Subclasses implement :meth:`_fill`, appending ops for one batch.
+    The base class owns fresh-oid allocation and the *overlay*: a local
+    view of the live set that tracks this batch's own inserts/deletes
+    so one batch never deletes the same object twice nor re-inserts a
+    live oid, even before the caller applies anything.
+    """
+
+    name = "update-family"
+
+    def __init__(
+        self,
+        seed: int = 0,
+        map_area: Rect = DEFAULT_MAP_AREA,
+        side_bound: float = 0.004,
+        oid_start: int = 1_000_000,
+    ) -> None:
+        self.seed = seed
+        self.map_area = map_area
+        self.side_bound = side_bound
+        self.rng = random.Random(derive_seed(seed, "update-family", self.name))
+        self._next_oid = oid_start
+        self._seq = 0
+
+    # ------------------------------------------------------------- #
+    # Public interface
+    # ------------------------------------------------------------- #
+
+    def batch(self, live: Mapping[int, Rect], size: int) -> UpdateBatch:
+        """Generate the next batch of ``size`` ops against ``live``.
+
+        ``live`` maps oid → current MBR and is *not* mutated; callers
+        apply the returned ops themselves (see ``repro.dynamic``).
+        """
+        if size < 0:
+            raise WorkloadError("batch size must be non-negative")
+        overlay = dict(live)
+        ops: list[UpdateOp] = []
+        self._fill(overlay, size, ops)
+        batch = UpdateBatch(seq=self._seq, family=self.name, ops=tuple(ops))
+        self._seq += 1
+        return batch
+
+    # ------------------------------------------------------------- #
+    # Helpers for subclasses
+    # ------------------------------------------------------------- #
+
+    def _fresh_oid(self, overlay: Mapping[int, Rect]) -> int:
+        while self._next_oid in overlay:
+            self._next_oid += 1
+        oid = self._next_oid
+        self._next_oid += 1
+        return oid
+
+    def _uniform_rect(self, rng: random.Random) -> Rect:
+        area = self.map_area
+        x = area.xlo + rng.random() * area.width
+        y = area.ylo + rng.random() * area.height
+        w = rng.random() * self.side_bound
+        h = rng.random() * self.side_bound
+        clipped = Rect.from_center(x, y, w, h).clipped_to(area)
+        assert clipped is not None  # center is inside the map
+        return clipped
+
+    def _pick_victim(
+        self, rng: random.Random, overlay: Mapping[int, Rect]
+    ) -> int:
+        # Sorted for cross-platform determinism: dict iteration order
+        # depends on insertion history the family cannot see.
+        return rng.choice(sorted(overlay))
+
+    @abstractmethod
+    def _fill(
+        self, overlay: dict[int, Rect], size: int, ops: list[UpdateOp]
+    ) -> None:
+        """Append ``size`` ops, keeping ``overlay`` in step."""
+
+
+class ZipfChurnFamily(UpdateFamily):
+    """Zipf-skewed churn: hot-cluster inserts, uniform deletes."""
+
+    name = "zipf-churn"
+
+    def __init__(
+        self,
+        seed: int = 0,
+        num_clusters: int = 50,
+        zipf_s: float = 1.2,
+        cluster_side: float = 0.08,
+        insert_fraction: float = 0.5,
+        map_area: Rect = DEFAULT_MAP_AREA,
+        side_bound: float = 0.004,
+        oid_start: int = 1_000_000,
+    ) -> None:
+        if num_clusters < 1:
+            raise WorkloadError("need at least one cluster")
+        if zipf_s <= 0:
+            raise WorkloadError("zipf_s must be positive")
+        if not 0 <= insert_fraction <= 1:
+            raise WorkloadError("insert_fraction must be in [0, 1]")
+        super().__init__(seed, map_area, side_bound, oid_start)
+        self.insert_fraction = insert_fraction
+        weights = [1.0 / (r ** zipf_s) for r in range(1, num_clusters + 1)]
+        total = sum(weights)
+        self.weights = [w / total for w in weights]
+        self.clusters: list[Rect] = []
+        while len(self.clusters) < num_clusters:
+            cluster = Rect.from_center(
+                map_area.xlo + self.rng.random() * map_area.width,
+                map_area.ylo + self.rng.random() * map_area.height,
+                self.rng.random() * cluster_side,
+                self.rng.random() * cluster_side,
+            ).clipped_to(map_area)
+            if cluster is not None:
+                self.clusters.append(cluster)
+
+    def _cluster_rect(self) -> Rect:
+        while True:
+            cluster = self.rng.choices(self.clusters, weights=self.weights,
+                                       k=1)[0]
+            x = cluster.xlo + self.rng.random() * cluster.width
+            y = cluster.ylo + self.rng.random() * cluster.height
+            w = self.rng.random() * self.side_bound
+            h = self.rng.random() * self.side_bound
+            clipped = Rect.from_center(x, y, w, h).clipped_to(self.map_area)
+            if clipped is not None:
+                return clipped
+
+    def _fill(
+        self, overlay: dict[int, Rect], size: int, ops: list[UpdateOp]
+    ) -> None:
+        for _ in range(size):
+            if not overlay or self.rng.random() < self.insert_fraction:
+                oid = self._fresh_oid(overlay)
+                rect = self._cluster_rect()
+                overlay[oid] = rect
+                ops.append(UpdateOp(INSERT, oid, rect))
+            else:
+                oid = self._pick_victim(self.rng, overlay)
+                ops.append(UpdateOp(DELETE, oid, overlay.pop(oid)))
+
+
+class DriftFamily(UpdateFamily):
+    """Moving objects: persistent per-object velocities with edge bounce."""
+
+    name = "drift"
+
+    def __init__(
+        self,
+        seed: int = 0,
+        speed: float = 0.01,
+        move_fraction: float = 0.8,
+        map_area: Rect = DEFAULT_MAP_AREA,
+        side_bound: float = 0.004,
+        oid_start: int = 1_000_000,
+    ) -> None:
+        if speed <= 0:
+            raise WorkloadError("speed must be positive")
+        if not 0 < move_fraction <= 1:
+            raise WorkloadError("move_fraction must be in (0, 1]")
+        super().__init__(seed, map_area, side_bound, oid_start)
+        self.speed = speed
+        self.move_fraction = move_fraction
+        self._velocity: dict[int, tuple[float, float]] = {}
+
+    def _velocity_for(self, oid: int) -> tuple[float, float]:
+        vel = self._velocity.get(oid)
+        if vel is None:
+            # Velocity derives from the oid, not from draw order, so
+            # the trajectory of object 7 is the same whether it was
+            # sampled first or last.
+            vrng = random.Random(derive_seed(self.seed, "drift-vel", oid))
+            angle = vrng.random() * 2 * math.pi
+            vel = (math.cos(angle) * self.speed, math.sin(angle) * self.speed)
+            self._velocity[oid] = vel
+        return vel
+
+    def _moved(self, oid: int, rect: Rect) -> Rect:
+        vx, vy = self._velocity_for(oid)
+        area = self.map_area
+        cx, cy = rect.center()
+        nx, ny = cx + vx, cy + vy
+        if not area.xlo <= nx <= area.xhi:
+            vx = -vx
+            nx = min(max(cx + vx, area.xlo), area.xhi)
+        if not area.ylo <= ny <= area.yhi:
+            vy = -vy
+            ny = min(max(cy + vy, area.ylo), area.yhi)
+        self._velocity[oid] = (vx, vy)
+        moved = Rect.from_center(nx, ny, rect.width, rect.height)
+        clipped = moved.clipped_to(area)
+        return clipped if clipped is not None else rect
+
+    def _fill(
+        self, overlay: dict[int, Rect], size: int, ops: list[UpdateOp]
+    ) -> None:
+        for _ in range(size):
+            if not overlay or self.rng.random() >= self.move_fraction:
+                oid = self._fresh_oid(overlay)
+                rect = self._uniform_rect(self.rng)
+                overlay[oid] = rect
+                ops.append(UpdateOp(INSERT, oid, rect))
+            else:
+                oid = self._pick_victim(self.rng, overlay)
+                old = overlay[oid]
+                new = self._moved(oid, old)
+                overlay[oid] = new
+                ops.append(UpdateOp(MOVE, oid, old, to_rect=new))
+
+
+class MixedTrafficFamily(UpdateFamily):
+    """Read/write mix: window queries interleaved with an inner family."""
+
+    name = "mixed-traffic"
+
+    def __init__(
+        self,
+        seed: int = 0,
+        inner: UpdateFamily | None = None,
+        read_fraction: float = 0.5,
+        query_side: float = 0.05,
+        map_area: Rect = DEFAULT_MAP_AREA,
+        side_bound: float = 0.004,
+        oid_start: int = 1_000_000,
+    ) -> None:
+        if not 0 <= read_fraction <= 1:
+            raise WorkloadError("read_fraction must be in [0, 1]")
+        if query_side <= 0:
+            raise WorkloadError("query_side must be positive")
+        super().__init__(seed, map_area, side_bound, oid_start)
+        self.read_fraction = read_fraction
+        self.query_side = query_side
+        self.inner = inner if inner is not None else ZipfChurnFamily(
+            seed=derive_seed(seed, "mixed-inner"),
+            map_area=map_area, side_bound=side_bound, oid_start=oid_start,
+        )
+
+    def _query_window(self) -> Rect:
+        area = self.map_area
+        x = area.xlo + self.rng.random() * area.width
+        y = area.ylo + self.rng.random() * area.height
+        window = Rect.from_center(
+            x, y, self.query_side, self.query_side
+        ).clipped_to(area)
+        assert window is not None
+        return window
+
+    def _fill(
+        self, overlay: dict[int, Rect], size: int, ops: list[UpdateOp]
+    ) -> None:
+        slots = [self.rng.random() < self.read_fraction for _ in range(size)]
+        writes = iter(self.inner.batch(overlay, size - sum(slots)).ops)
+        for is_read in slots:
+            if is_read:
+                ops.append(UpdateOp(QUERY, -1, self._query_window()))
+            else:
+                ops.append(next(writes))

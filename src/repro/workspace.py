@@ -16,7 +16,7 @@ Examples and the experiment harness both build on this class.
 
 from __future__ import annotations
 
-from typing import Iterable
+from typing import TYPE_CHECKING, Iterable
 
 from .config import SystemConfig
 from .geometry import Rect
@@ -24,6 +24,9 @@ from .metrics import MetricsCollector, Phase
 from .rtree import RTree
 from .rtree.split import SplitFunction, quadratic_split
 from .storage import BufferPool, DataFile, DiskSimulator, FaultInjector
+
+if TYPE_CHECKING:  # pragma: no cover - annotation-only import
+    from .seeded import SeededTree
 
 
 class Workspace:
@@ -94,12 +97,45 @@ class Workspace:
         self.disk.reset_arm()
         return tree
 
+    def install_seeded_tree(
+        self,
+        partner: RTree,
+        entries: Iterable[tuple[Rect, int]],
+        name: str = "T_S",
+        seed_levels: int = 2,
+        **kwargs,
+    ) -> "SeededTree":
+        """Build a pre-existing *retained* seeded tree during SETUP.
+
+        The dynamic-update scenario starts from a seeded tree that was
+        built by some earlier join and retained as an ordinary index
+        (paper Section 5); like :meth:`install_rtree` the construction
+        is free, the buffer is purged afterwards, and everything the
+        stream does to the tree later is charged.
+        """
+        from .seeded import SeededTree
+
+        with self.metrics.phase(Phase.SETUP):
+            tree = SeededTree(
+                self.buffer, self.config, metrics=None,
+                seed_levels=seed_levels, name=name, **kwargs,
+            )
+            tree.seed(partner)
+            tree.grow_from(list(entries))
+            tree.cleanup()
+            tree.metrics = self.metrics
+            self.buffer.purge()
+        self.disk.reset_arm()
+        return tree
+
     # ----------------------------------------------------------------- #
     # Resident-service operations (charged phases live here: the
     # workspace and the engine are the only legal phase-entry points)
     # ----------------------------------------------------------------- #
 
-    def window_query(self, tree: RTree, window: Rect) -> list[int]:
+    def window_query(
+        self, tree: "RTree | SeededTree", window: Rect
+    ) -> list[int]:
         """One resident-tree window query, charged to the MATCH phase.
 
         The resident join service routes its window-query requests
@@ -108,6 +144,18 @@ class Workspace:
         """
         with self.metrics.phase(Phase.MATCH):
             return tree.window_query(window)
+
+    def match_resident(self, tree_a, tree_b) -> list[tuple[int, int]]:
+        """TM tree-matching between two resident indexes, charged to MATCH.
+
+        The dynamic scenario joins its resident seeded tree against the
+        resident partner without rebuilding anything; only the match
+        phase exists, exactly the regime re-seed policies optimise.
+        """
+        from .join.matching import match_trees
+
+        with self.metrics.phase(Phase.MATCH):
+            return match_trees(tree_a, tree_b, self.metrics)
 
     def maintenance_phase(self):
         """Accounting context for resident-index maintenance.

@@ -1,0 +1,24 @@
+"""Shared wiring for the dynamic-data suite.
+
+Small pages keep the trees tall (the default two seed levels need a
+partner of height >= 3) while modest object counts keep every test
+inside tier-1 time budgets.
+"""
+
+from __future__ import annotations
+
+from repro.config import SystemConfig
+
+DYN_CONFIG = SystemConfig(page_size=256, buffer_pages=48)
+
+
+def oracle_pairs(
+    live_s: dict, live_r: dict
+) -> list[tuple[int, int]]:
+    """Brute-force S x R intersection pairs over two live models."""
+    return sorted(
+        (oid_s, oid_r)
+        for oid_s, rect_s in live_s.items()
+        for oid_r, rect_r in live_r.items()
+        if rect_s.intersects(rect_r)
+    )

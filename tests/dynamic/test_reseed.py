@@ -1,0 +1,199 @@
+"""Re-seed policies and procedures: decisions from snapshots, and both
+maintenance procedures preserving the live set exactly."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.dynamic import (
+    AlwaysRebuild,
+    CostCrossover,
+    IncrementalJoin,
+    NeverReseed,
+    ReseedDecision,
+    ReseedManager,
+    StalenessThreshold,
+    UpdateStream,
+    incremental_reseed,
+    rebuild_seeded,
+)
+from repro.dynamic.staleness import StalenessSnapshot
+from repro.geometry import Rect
+from repro.workload import make_stream
+from repro.workspace import Workspace
+
+from ..conftest import random_entries
+from .conftest import DYN_CONFIG
+
+
+def _snap(**kwargs) -> StalenessSnapshot:
+    base = dict(
+        seed_dilation=0.0, occupancy_skew=1.0, cost_gap=0.0,
+        partner_churn=0, runs=5, predicted_io=100.0, measured_io=100.0,
+        tree_pages=100,
+    )
+    base.update(kwargs)
+    return StalenessSnapshot(**base)
+
+
+class TestPolicies:
+    def test_never_reseed_never_fires(self):
+        policy = NeverReseed()
+        assert policy.decide(
+            _snap(seed_dilation=99.0, measured_io=1e9)
+        ) is ReseedDecision.NONE
+
+    def test_always_rebuild_needs_churn(self):
+        policy = AlwaysRebuild()
+        assert policy.decide(_snap()) is ReseedDecision.NONE
+        assert policy.decide(
+            _snap(partner_churn=1)
+        ) is ReseedDecision.REBUILD
+
+    def test_staleness_threshold_ladder(self):
+        policy = StalenessThreshold(incremental_at=0.25, rebuild_at=2.0,
+                                    skew_at=4.0)
+        assert policy.decide(_snap(seed_dilation=0.1)) is ReseedDecision.NONE
+        assert policy.decide(
+            _snap(seed_dilation=0.5)
+        ) is ReseedDecision.INCREMENTAL
+        assert policy.decide(
+            _snap(occupancy_skew=5.0)
+        ) is ReseedDecision.INCREMENTAL
+        assert policy.decide(
+            _snap(seed_dilation=3.0)
+        ) is ReseedDecision.REBUILD
+
+    def test_staleness_threshold_validates_bars(self):
+        with pytest.raises(ValueError):
+            StalenessThreshold(incremental_at=2.0, rebuild_at=1.0)
+
+    def test_cost_crossover_triggers_on_excess(self):
+        policy = CostCrossover(min_runs=3)
+        quiet = _snap(measured_io=110.0)  # excess 10 < 0.3 * 100
+        assert policy.decide(quiet) is ReseedDecision.NONE
+        mid = _snap(measured_io=150.0)  # excess 50 >= 30, < 220
+        assert policy.decide(mid) is ReseedDecision.INCREMENTAL
+        heavy = _snap(measured_io=400.0)  # excess 300 >= 220
+        assert policy.decide(heavy) is ReseedDecision.REBUILD
+
+    def test_cost_crossover_waits_for_evidence(self):
+        policy = CostCrossover(min_runs=3)
+        assert policy.decide(
+            _snap(runs=2, measured_io=1e6)
+        ) is ReseedDecision.NONE
+
+
+def _world(n: int = 250):
+    ws = Workspace(DYN_CONFIG)
+    data_r = random_entries(n, seed=81)
+    data_s = random_entries(n, seed=82, oid_start=10_000)
+    partner = ws.install_rtree(data_r)
+    tree_s = ws.install_seeded_tree(partner, data_s)
+    live_s = {oid: rect for rect, oid in data_s}
+    return ws, partner, tree_s, live_s
+
+
+class TestProcedures:
+    @pytest.mark.parametrize("procedure", (rebuild_seeded, incremental_reseed))
+    def test_successor_holds_exactly_the_live_set(self, procedure):
+        ws, partner, tree_s, live_s = _world()
+        successor = procedure(ws, tree_s, partner)
+        assert successor is not None
+        successor.validate()
+        assert len(successor) == len(live_s)
+        everything = Rect(0.0, 0.0, 1.0, 1.0)
+        assert set(successor.window_query(everything)) == set(live_s)
+
+    def test_procedures_charge_maintenance(self):
+        ws, partner, tree_s, _ = _world()
+        before = ws.metrics.summary().construct_io
+        rebuild_seeded(ws, tree_s, partner)
+        assert ws.metrics.summary().construct_io > before
+
+    def test_incremental_is_cheaper_than_rebuild(self):
+        """The whole point of grafting: an incremental re-seed must move
+        far less accounted I/O than a full rebuild of the same tree."""
+        ws_a, partner_a, tree_a, _ = _world()
+        before = ws_a.metrics.summary().construct_io
+        incremental_reseed(ws_a, tree_a, partner_a)
+        incr_cost = ws_a.metrics.summary().construct_io - before
+
+        ws_b, partner_b, tree_b, _ = _world()
+        before = ws_b.metrics.summary().construct_io
+        rebuild_seeded(ws_b, tree_b, partner_b)
+        rebuild_cost = ws_b.metrics.summary().construct_io - before
+
+        assert incr_cost < rebuild_cost
+
+    def test_reseeded_join_equals_rebuilt_join(self):
+        """Both procedures permute structure, not data: joins through
+        either successor produce identical pair sets."""
+        ws_a, partner_a, tree_a, _ = _world()
+        ws_b, partner_b, tree_b, _ = _world()
+        grafted = incremental_reseed(ws_a, tree_a, partner_a)
+        rebuilt = rebuild_seeded(ws_b, tree_b, partner_b)
+        assert grafted is not None
+        pairs_grafted = sorted(ws_a.match_resident(grafted, partner_a))
+        pairs_rebuilt = sorted(ws_b.match_resident(rebuilt, partner_b))
+        assert pairs_grafted == pairs_rebuilt
+        assert pairs_grafted  # non-vacuous
+
+
+class TestManager:
+    def _managed(self, policy):
+        ws, partner, tree_s, live_s = _world()
+        data_r_live = {
+            oid: rect for rect, oid in random_entries(250, seed=81)
+        }
+        stream_r = UpdateStream(
+            ws, partner, make_stream("drift", seed=91, speed=0.04),
+            live=data_r_live,
+        )
+        stream_s = UpdateStream(
+            ws, tree_s, make_stream("zipf-churn", seed=92), live=live_s
+        )
+        inc = IncrementalJoin(ws, tree_s, partner)
+        stream_s.attach(inc.on_s_op)
+        stream_r.attach(inc.on_r_op)
+        inc.bootstrap(ws.match_resident(tree_s, partner))
+        manager = ReseedManager(ws, tree_s, partner, policy)
+        manager.subscribe(stream_s.retree)
+        manager.subscribe(inc.retree_s)
+        return ws, manager, stream_s, stream_r, inc
+
+    def test_never_policy_keeps_tree_identity(self):
+        ws, manager, stream_s, stream_r, inc = self._managed(NeverReseed())
+        original = manager.tree
+        stream_r.step(40)
+        decision, snap = manager.evaluate()
+        assert decision is ReseedDecision.NONE
+        assert manager.tree is original
+        assert manager.reseeds == 0 and manager.rebuilds == 0
+
+    def test_rebuild_fires_and_repoints_subscribers(self):
+        ws, manager, stream_s, stream_r, inc = self._managed(AlwaysRebuild())
+        original = manager.tree
+        stream_r.step(40)
+        decision, snap = manager.evaluate()
+        assert decision is ReseedDecision.REBUILD
+        assert manager.rebuilds == 1
+        assert manager.tree is not original
+        assert stream_s.tree is manager.tree
+        assert inc.tree_s is manager.tree
+        # The incremental join stays exact through the swap.
+        stream_s.step(20)
+        stream_r.step(20)
+        fresh = sorted(ws.match_resident(manager.tree, manager.partner))
+        assert inc.pairs() == fresh
+
+    def test_incremental_fires_under_low_threshold(self):
+        policy = StalenessThreshold(incremental_at=1e-6, rebuild_at=1e6)
+        ws, manager, stream_s, stream_r, inc = self._managed(policy)
+        stream_r.step(60)
+        decision, snap = manager.evaluate()
+        assert decision is ReseedDecision.INCREMENTAL
+        assert manager.reseeds == 1
+        manager.tree.validate()
+        fresh = sorted(ws.match_resident(manager.tree, manager.partner))
+        assert inc.pairs() == fresh

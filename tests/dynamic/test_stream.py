@@ -1,0 +1,139 @@
+"""UpdateStream: accounted application of generated batches, listener
+ordering, and the incremental join it feeds."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.dynamic import IncrementalJoin, UpdateStream
+from repro.errors import TreeError
+from repro.geometry import Rect
+from repro.workload import (
+    DELETE,
+    INSERT,
+    MOVE,
+    QUERY,
+    UpdateBatch,
+    UpdateOp,
+    make_stream,
+)
+from repro.workspace import Workspace
+
+from ..conftest import random_entries
+from .conftest import DYN_CONFIG, oracle_pairs
+
+
+def _world(n_r: int = 200, n_s: int = 200, seeded: bool = True):
+    ws = Workspace(DYN_CONFIG)
+    data_r = random_entries(n_r, seed=21)
+    data_s = random_entries(n_s, seed=22, oid_start=10_000)
+    partner = ws.install_rtree(data_r)
+    # Small partners are too short to seed from; tests that only drive
+    # the partner R-tree skip the seeded side.
+    tree_s = ws.install_seeded_tree(partner, data_s) if seeded else None
+    return ws, partner, tree_s, data_r, data_s
+
+
+class TestUpdateStream:
+    def test_live_model_defaults_from_tree(self):
+        ws, partner, _, data_r, _ = _world()
+        stream = UpdateStream(ws, partner, make_stream("drift", seed=1))
+        assert stream.live == {oid: rect for rect, oid in data_r}
+
+    def test_batches_keep_tree_exact_and_valid(self):
+        ws, partner, tree_s, _, data_s = _world()
+        stream = UpdateStream(
+            ws, tree_s, make_stream("zipf-churn", seed=3),
+            live={oid: rect for rect, oid in data_s},
+        )
+        for _ in range(5):
+            report = stream.step(20)
+            assert report.writes + report.queries == 20
+            tree_s.validate()
+            assert len(tree_s) == len(stream.live)
+            window = Rect(0.2, 0.2, 0.8, 0.8)
+            expected = {
+                oid for oid, rect in stream.live.items()
+                if rect.intersects(window)
+            }
+            assert set(tree_s.window_query(window)) == expected
+
+    def test_writes_charge_construct_queries_charge_match(self):
+        ws, partner, _, _, _ = _world()
+        stream = UpdateStream(ws, partner, make_stream("mixed-traffic", seed=5))
+        report = stream.step(30)
+        assert report.queries > 0 and report.writes > 0
+        assert report.maintenance_io > 0
+        assert report.match_read > 0
+
+    def test_listener_sees_every_op_in_order(self):
+        ws, partner, _, _, _ = _world(n_r=80, seeded=False)
+        stream = UpdateStream(ws, partner, make_stream("drift", seed=7))
+        seen: list[UpdateOp] = []
+        stream.attach(seen.append)
+        batch = stream.family.batch(stream.live, 12)
+        stream.apply(batch)
+        assert tuple(seen) == batch.ops
+
+    def test_delete_miss_is_typed_error(self):
+        ws, partner, _, _, _ = _world(n_r=50, seeded=False)
+        stream = UpdateStream(ws, partner, make_stream("drift", seed=0))
+        ghost = UpdateBatch(0, "manual", (
+            UpdateOp(DELETE, 999_999, Rect(0.5, 0.5, 0.51, 0.51)),
+        ))
+        with pytest.raises(TreeError, match="lost object"):
+            stream.apply(ghost)
+
+
+class TestIncrementalJoin:
+    def _wired(self, n: int = 150):
+        ws = Workspace(DYN_CONFIG)
+        data_r = random_entries(n, seed=31)
+        data_s = random_entries(n, seed=32, oid_start=10_000)
+        partner = ws.install_rtree(data_r)
+        tree_s = ws.install_seeded_tree(partner, data_s)
+        stream_r = UpdateStream(
+            ws, partner, make_stream("drift", seed=41),
+            live={oid: rect for rect, oid in data_r},
+        )
+        stream_s = UpdateStream(
+            ws, tree_s, make_stream("zipf-churn", seed=42),
+            live={oid: rect for rect, oid in data_s},
+        )
+        inc = IncrementalJoin(ws, tree_s, partner)
+        stream_s.attach(inc.on_s_op)
+        stream_r.attach(inc.on_r_op)
+        inc.bootstrap(ws.match_resident(tree_s, partner))
+        return ws, stream_s, stream_r, inc
+
+    def test_stays_exact_under_two_sided_churn(self):
+        ws, stream_s, stream_r, inc = self._wired()
+        for _ in range(4):
+            stream_s.step(15)
+            stream_r.step(15)
+            assert inc.pairs() == oracle_pairs(stream_s.live, stream_r.live)
+
+    def test_matches_resident_join_after_churn(self):
+        ws, stream_s, stream_r, inc = self._wired()
+        stream_s.step(25)
+        stream_r.step(25)
+        fresh = sorted(ws.match_resident(stream_s.tree, stream_r.tree))
+        assert inc.pairs() == fresh
+
+    def test_probes_charge_match_phase(self):
+        ws, stream_s, stream_r, inc = self._wired()
+        before = ws.metrics.summary().match_read
+        probes_before = inc.probes
+        stream_s.step(20)
+        assert inc.probes > probes_before
+        assert ws.metrics.summary().match_read > before
+
+    def test_delete_is_pure_bookkeeping(self):
+        ws, stream_s, stream_r, inc = self._wired()
+        victim = sorted(stream_s.live)[0]
+        rect = stream_s.live[victim]
+        probes_before = inc.probes
+        stream_s.apply(UpdateBatch(99, "manual",
+                                   (UpdateOp(DELETE, victim, rect),)))
+        assert inc.probes == probes_before  # no window query for deletes
+        assert all(s != victim for s, _ in inc.pair_set())

@@ -118,6 +118,56 @@ class TestCondensation:
         assert sorted(tree.window_query(window)) == sorted(live)
 
 
+class TestSmallBufferDelete:
+    """Regression: delete must survive trees far larger than the buffer.
+
+    The old implementation located the leaf with an *unpinned* DFS and
+    pinned the path afterwards; with a small pool the search itself
+    evicted its own ancestors and ``buffer.pin`` blew up with
+    ``cannot pin non-resident page``. The path must be pinned while it
+    is being discovered.
+    """
+
+    def test_full_drain_under_tiny_buffer(self):
+        entries = random_entries(500, seed=11)
+        tree = build(entries, buffer_pages=8)
+        assert tree.height >= 5
+        rng = random.Random(12)
+        shuffled = entries[:]
+        rng.shuffle(shuffled)
+        for i, (rect, oid) in enumerate(shuffled):
+            assert tree.delete(rect, oid)
+            if i % 97 == 0:
+                tree.validate()
+        assert len(tree) == 0
+        tree.validate()
+
+    def test_no_pins_leak_when_target_absent(self):
+        entries = random_entries(300, seed=13)
+        tree = build(entries, buffer_pages=8)
+        assert not tree.delete(Rect(0.01, 0.01, 0.02, 0.02), 10_000)
+        assert not tree.delete(entries[5][0], 10_001)
+        # purge refuses pinned pages, so a leaked pin fails here.
+        tree.buffer.purge()
+        tree.validate()
+
+    def test_interleaved_churn_under_tiny_buffer(self):
+        cfg = SystemConfig(page_size=104, buffer_pages=8)
+        m = MetricsCollector(cfg)
+        tree = RTree(BufferPool(cfg.buffer_pages, DiskSimulator(m)), cfg,
+                     metrics=m)
+        live: dict[int, Rect] = {}
+        rng = random.Random(14)
+        for rect, oid in random_entries(400, seed=15):
+            tree.insert(rect, oid)
+            live[oid] = rect
+            if len(live) > 50 and rng.random() < 0.5:
+                victim = rng.choice(sorted(live))
+                assert tree.delete(live.pop(victim), victim)
+        tree.validate()
+        assert sorted(o for _, o in tree.all_objects()) == sorted(live)
+
+
 @settings(max_examples=15, deadline=None)
 @given(entry_lists(min_size=5, max_size=40), st.integers(0, 1_000_000))
 def test_delete_random_subset_preserves_invariants(entries, seed):

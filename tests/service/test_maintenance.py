@@ -1,0 +1,306 @@
+"""The service maintenance lane: UpdateRequest batches through the
+admission/deadline machinery, pooled-dataset invalidation on mutation,
+and session teardown under concurrent traffic."""
+
+from __future__ import annotations
+
+import asyncio
+
+import pytest
+
+from repro.config import SystemConfig
+from repro.geometry import Rect
+from repro.service import (
+    JoinRequest,
+    JoinService,
+    Outcome,
+    ServiceConfig,
+    UpdateReport,
+    UpdateRequest,
+    WindowQueryRequest,
+    WorkspaceRegistry,
+)
+from repro.service.admission import Action, AdmissionController, RequestBudget
+from repro.workload import DELETE, INSERT, MOVE, QUERY, UpdateOp
+
+from ..conftest import random_entries
+
+CONFIG = SystemConfig(page_size=512, buffer_pages=64)
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+def _registry(n: int = 500, seed: int = 5) -> WorkspaceRegistry:
+    registry = WorkspaceRegistry(CONFIG)
+    registry.create("res", random_entries(n, seed=seed))
+    return registry
+
+
+def _rect(i: int) -> Rect:
+    x = (i % 10) / 10.0
+    y = (i // 10 % 10) / 10.0
+    return Rect(x, y, x + 0.05, y + 0.05)
+
+
+class TestUpdateRequests:
+    def test_mixed_batch_served_with_exact_report(self):
+        entries = random_entries(300, seed=9)
+        registry = WorkspaceRegistry(CONFIG)
+        registry.create("upd", entries, bulk=False)
+        live = {oid: rect for rect, oid in entries}
+
+        moved_rect, moved_oid = entries[0]
+        gone_rect, gone_oid = entries[1]
+        new_rect = _rect(3)
+        ops = (
+            UpdateOp(INSERT, 9_000, _rect(7)),
+            UpdateOp(DELETE, gone_oid, gone_rect),
+            UpdateOp(MOVE, moved_oid, moved_rect, to_rect=new_rect),
+            UpdateOp(QUERY, 0, Rect(0.0, 0.0, 1.0, 1.0)),
+            UpdateOp(DELETE, 77_777, _rect(1)),  # absent target
+        )
+        live[9_000] = _rect(7)
+        del live[gone_oid]
+        live[moved_oid] = new_rect
+
+        async def main():
+            service = JoinService(registry)
+            await service.start()
+            response = await service.submit(UpdateRequest("upd", ops))
+            check = await service.submit(
+                WindowQueryRequest("upd", Rect(0.0, 0.0, 1.0, 1.0))
+            )
+            await service.stop()
+            return response, check
+
+        response, check = run(main())
+        assert response.outcome is Outcome.SERVED
+        report = response.result
+        assert isinstance(report, UpdateReport)
+        assert (report.inserts, report.deletes, report.moves) == (1, 1, 1)
+        assert report.queries == 1
+        assert report.missing == 1
+        assert report.applied == 3
+        assert report.query_hits == len(live)  # query ran post-move
+        assert report.tree_size == len(live)
+        # The resident tree now answers for the updated live set.
+        assert set(check.result) == set(live)
+        session = registry.get("upd")
+        session.tree.validate()
+
+    def test_over_budget_batch_rejected_not_downgraded(self):
+        registry = _registry()
+        ops = tuple(
+            UpdateOp(INSERT, 10_000 + i, _rect(i)) for i in range(50)
+        )
+
+        async def main():
+            service = JoinService(registry)
+            await service.start()
+            response = await service.submit(
+                UpdateRequest("res", ops, max_predicted_io=3.0)
+            )
+            await service.stop()
+            return response
+
+        response = run(main())
+        assert response.outcome is Outcome.REJECTED
+        assert response.error_type == "BudgetExceededError"
+        # Nothing ran: the resident tree is untouched.
+        assert len(registry.get("res").tree) == 500
+
+    def test_admission_prices_batch_by_descent_estimate(self):
+        registry = _registry()
+        session = registry.get("res")
+        controller = AdmissionController(RequestBudget())
+        ops = tuple(UpdateOp(INSERT, 20_000 + i, _rect(i)) for i in range(8))
+        decision = controller.assess(session, UpdateRequest("res", ops))
+        assert decision.action is Action.ADMIT
+        assert decision.method == "UPDATE"
+        assert decision.predicted_io == 8 * (session.tree.height + 2)
+        tight = AdmissionController(
+            RequestBudget(max_predicted_io=decision.predicted_io - 1)
+        )
+        rejected = tight.assess(session, UpdateRequest("res", ops))
+        assert rejected.action is Action.REJECT
+        assert "maintenance batch" in rejected.reason
+
+    def test_updates_charge_maintenance_phase(self):
+        registry = _registry(n=200)
+        session = registry.get("res")
+        before = session.workspace.metrics.summary().construct_io
+        ops = tuple(
+            UpdateOp(INSERT, 30_000 + i, _rect(i)) for i in range(10)
+        )
+
+        async def main():
+            service = JoinService(registry)
+            await service.start()
+            response = await service.submit(UpdateRequest("res", ops))
+            await service.stop()
+            return response
+
+        assert run(main()).outcome is Outcome.SERVED
+        after = session.workspace.metrics.summary().construct_io
+        assert after > before
+
+
+class TestUpdatesInterleavedWithJoins:
+    def test_concurrent_joins_and_updates_all_resolve_exactly(self):
+        """Joins and disjoint update batches race on one session; every
+        response is typed, and the final tree equals the oracle."""
+        entries = random_entries(400, seed=13)
+        registry = WorkspaceRegistry(CONFIG)
+        registry.create("mix", entries, bulk=False)
+        live = {oid: rect for rect, oid in entries}
+
+        # Disjoint batches: order of application cannot matter.
+        batches = []
+        for b in range(4):
+            ops = []
+            for i in range(5):
+                oid = 50_000 + b * 100 + i
+                rect = _rect(b * 17 + i)
+                ops.append(UpdateOp(INSERT, oid, rect))
+                live[oid] = rect
+            victim_rect, victim_oid = entries[b * 20 + 2]
+            ops.append(UpdateOp(DELETE, victim_oid, victim_rect))
+            del live[victim_oid]
+            batches.append(UpdateRequest("mix", tuple(ops)))
+        probe_s = random_entries(40, seed=91, oid_start=90_000)
+
+        async def main():
+            service = JoinService(
+                registry, ServiceConfig(workers=2, queue_capacity=32)
+            )
+            await service.start()
+            requests = []
+            for batch in batches:
+                requests.append(service.submit(batch))
+                requests.append(
+                    service.submit(JoinRequest("mix", probe_s, method="BFJ"))
+                )
+            responses = await asyncio.gather(*requests)
+            await service.stop()
+            return responses
+
+        responses = run(main())
+        assert all(r.outcome is Outcome.SERVED for r in responses)
+        session = registry.get("mix")
+        session.tree.validate()
+        assert len(session.tree) == len(live)
+        hits = set(session.window_query(Rect(0.0, 0.0, 1.0, 1.0)))
+        assert hits == set(live)
+
+
+class TestSessionTeardown:
+    def test_drop_under_live_traffic_keeps_outcomes_typed(self):
+        """Dropping a session mid-stream: in-flight requests finish,
+        later submissions fault with the registry's typed error — no
+        hang, no foreign exception."""
+        registry = _registry(n=400)
+        probe_s = random_entries(30, seed=7, oid_start=80_000)
+
+        async def main():
+            service = JoinService(
+                registry, ServiceConfig(workers=2, queue_capacity=32)
+            )
+            await service.start()
+            pre = [
+                service.submit(JoinRequest("res", probe_s, method="BFJ"))
+                for _ in range(3)
+            ]
+            pre_responses = await asyncio.gather(*pre)
+            registry.drop("res")
+            post = [
+                service.submit(JoinRequest("res", probe_s, method="BFJ")),
+                service.submit(
+                    UpdateRequest(
+                        "res", (UpdateOp(INSERT, 1, _rect(0)),)
+                    )
+                ),
+                service.submit(
+                    WindowQueryRequest("res", Rect(0, 0, 1, 1))
+                ),
+            ]
+            post_responses = await asyncio.gather(*post)
+            await service.stop()
+            return pre_responses, post_responses
+
+        pre_responses, post_responses = run(main())
+        assert all(r.outcome is Outcome.SERVED for r in pre_responses)
+        for response in post_responses:
+            assert response.outcome is Outcome.FAULTED
+            assert response.error_type == "ExperimentError"
+            assert "unknown session" in response.error
+
+
+class TestDatasetCacheInvalidation:
+    def test_service_updates_bump_stamps_and_evict(self):
+        """A maintenance batch moves the resident tree's ``mutations``
+        stamp, so the pooled-dataset cache treats every published shard
+        for that tree as stale: lookup misses, republish bumps the
+        version, and the invalidation listener hears about the old key."""
+        from repro.parallel import DatasetCache
+        from repro.parallel.dataset import (
+            add_invalidation_listener,
+            remove_invalidation_listener,
+        )
+
+        registry = _registry(n=120)
+        session = registry.get("res")
+        cache = DatasetCache(capacity=2)
+        entries_s = random_entries(40, seed=3, oid_start=70_000)
+        # The pooled path keys the cache on the DataFile / RTree source
+        # objects themselves (weakly referenced), as spatial_join does.
+        data_s = session.install_join_input(entries_s)
+        entries_r = [
+            (rect, oid) for rect, oid in random_entries(120, seed=5)
+        ]
+
+        invalidated: list[str] = []
+        add_invalidation_listener(invalidated.append)
+        try:
+            published = cache.publish(
+                data_s, session.tree, None, entries_r, entries_s
+            )
+            assert cache.lookup(data_s, session.tree) is published
+
+            ops = (UpdateOp(INSERT, 60_000, _rect(4)),)
+
+            async def main():
+                service = JoinService(registry)
+                await service.start()
+                response = await service.submit(UpdateRequest("res", ops))
+                await service.stop()
+                return response
+
+            assert run(main()).outcome is Outcome.SERVED
+
+            # The stamp moved: the warm entry is evicted on lookup.
+            assert cache.lookup(data_s, session.tree) is None
+            assert published.key in invalidated
+
+            refreshed = cache.publish(
+                data_s, session.tree, None,
+                entries_r + [(_rect(4), 60_000)], entries_s,
+            )
+            assert refreshed.version > published.version
+            assert cache.lookup(data_s, session.tree) is refreshed
+        finally:
+            remove_invalidation_listener(invalidated.append)
+            cache.clear()
+
+
+class TestUpdateRequestShape:
+    def test_ops_normalised_to_tuple(self):
+        ops = [UpdateOp(INSERT, 1, _rect(0))]
+        request = UpdateRequest("s", ops)
+        assert isinstance(request.ops, tuple)
+        assert request.method == "UPDATE"
+
+    def test_rejects_bad_op_kind(self):
+        with pytest.raises(Exception):
+            UpdateOp("upsert", 1, _rect(0))

@@ -1,0 +1,166 @@
+"""Unit tests for the streaming update vocabulary and stream families."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import WorkloadError
+from repro.geometry import Rect
+from repro.workload import (
+    DELETE,
+    INSERT,
+    MOVE,
+    QUERY,
+    DriftFamily,
+    MixedTrafficFamily,
+    UpdateBatch,
+    UpdateOp,
+    ZipfChurnFamily,
+    available_families,
+    get_family,
+    make_dataset,
+    make_stream,
+)
+
+
+def _live(n: int) -> dict[int, Rect]:
+    out = {}
+    for i in range(n):
+        x = (i % 8) / 8.0
+        y = (i // 8 % 8) / 8.0
+        out[i] = Rect(x, y, x + 0.01, y + 0.01)
+    return out
+
+
+class TestOps:
+    def test_rejects_unknown_kind(self):
+        with pytest.raises(WorkloadError):
+            UpdateOp("upsert", 1, Rect(0, 0, 1, 1))
+
+    def test_move_requires_to_rect(self):
+        with pytest.raises(WorkloadError):
+            UpdateOp(MOVE, 1, Rect(0, 0, 1, 1))
+
+    def test_non_move_must_not_carry_to_rect(self):
+        with pytest.raises(WorkloadError):
+            UpdateOp(INSERT, 1, Rect(0, 0, 1, 1), to_rect=Rect(0, 0, 1, 1))
+
+    def test_batch_counts(self):
+        r = Rect(0, 0, 0.1, 0.1)
+        batch = UpdateBatch(0, "t", (
+            UpdateOp(INSERT, 1, r),
+            UpdateOp(DELETE, 2, r),
+            UpdateOp(QUERY, -1, r),
+            UpdateOp(MOVE, 3, r, to_rect=Rect(0.1, 0.1, 0.2, 0.2)),
+        ))
+        assert len(batch) == 4
+        assert batch.writes == 3
+        assert batch.net_growth == 0
+        assert batch.count(QUERY) == 1
+
+
+class TestFamilies:
+    @pytest.mark.parametrize(
+        "family_cls", (ZipfChurnFamily, DriftFamily, MixedTrafficFamily)
+    )
+    def test_deterministic_per_seed(self, family_cls):
+        live = _live(60)
+        a = family_cls(seed=7).batch(live, 40)
+        b = family_cls(seed=7).batch(live, 40)
+        assert a == b
+        c = family_cls(seed=8).batch(live, 40)
+        assert a != c
+
+    def test_zipf_deletes_only_live_objects(self):
+        live = _live(50)
+        family = ZipfChurnFamily(seed=1, insert_fraction=0.3)
+        batch = family.batch(live, 60)
+        seen_live = dict(live)
+        for op in batch.ops:
+            if op.kind == DELETE:
+                assert op.oid in seen_live
+                assert op.rect == seen_live.pop(op.oid)
+            else:
+                assert op.oid not in seen_live
+                seen_live[op.oid] = op.rect
+
+    def test_drift_moves_preserve_identity_and_bounds(self):
+        live = _live(40)
+        family = DriftFamily(seed=2, move_fraction=1.0)
+        area = family.map_area
+        batch = family.batch(live, 30)
+        model = dict(live)  # same object may move twice in one batch
+        for op in batch.ops:
+            if op.kind != MOVE:
+                continue
+            assert op.oid in model
+            assert op.rect == model[op.oid]
+            assert op.to_rect is not None
+            assert op.to_rect.xlo >= area.xlo - 1e-9
+            assert op.to_rect.xhi <= area.xhi + 1e-9
+            model[op.oid] = op.to_rect
+
+    def test_drift_velocity_is_stable_per_oid(self):
+        a = DriftFamily(seed=5)
+        b = DriftFamily(seed=5)
+        # Touch oids in different orders: same velocities either way.
+        va = [a._velocity_for(oid) for oid in (3, 1, 2)]
+        vb = [b._velocity_for(oid) for oid in (2, 1, 3)]
+        assert va[0] == vb[2] and va[1] == vb[1] and va[2] == vb[0]
+
+    def test_mixed_interleaves_reads_with_inner_writes(self):
+        family = MixedTrafficFamily(seed=3, read_fraction=0.5)
+        batch = family.batch(_live(80), 50)
+        assert len(batch) == 50
+        assert batch.count(QUERY) > 0
+        assert batch.writes > 0
+        for op in batch.ops:
+            if op.kind == QUERY:
+                assert op.oid == -1
+
+    def test_fresh_oids_never_collide_with_live(self):
+        live = {1_000_000: Rect(0, 0, 0.1, 0.1)}  # squats on oid_start
+        family = ZipfChurnFamily(seed=0, insert_fraction=1.0)
+        batch = family.batch(live, 10)
+        oids = [op.oid for op in batch.ops]
+        assert 1_000_000 not in oids
+        assert len(set(oids)) == len(oids)
+
+    def test_batch_sequence_numbers_increment(self):
+        family = DriftFamily(seed=0)
+        live = _live(10)
+        assert [family.batch(live, 2).seq for _ in range(3)] == [0, 1, 2]
+
+
+class TestRegistry:
+    def test_static_and_stream_families_listed(self):
+        static = available_families("static")
+        stream = available_families("stream")
+        assert "clustered" in static and "grid" in static
+        assert "zipf-churn" in stream and "drift" in stream
+        assert "mixed-traffic" in stream
+
+    def test_make_dataset_matches_direct_generator(self):
+        a = make_dataset("clustered", 200, seed=4)
+        b = make_dataset("clustered", 200, seed=4)
+        assert a == b
+        assert len(a) == 200
+
+    def test_grid_family_truncates_to_requested_count(self):
+        data = make_dataset("grid", 10, seed=0)
+        assert len(data) == 10
+
+    def test_make_stream_builds_seeded_family(self):
+        stream = make_stream("drift", seed=9)
+        assert isinstance(stream, DriftFamily)
+        assert stream.seed == 9
+
+    def test_unknown_family_is_typed_error(self):
+        with pytest.raises(WorkloadError, match="clustered"):
+            get_family("no-such-family")
+
+    def test_kind_mismatch_is_typed_error(self):
+        with pytest.raises(WorkloadError):
+            make_dataset("drift", 100)
+        with pytest.raises(WorkloadError):
+            make_stream("clustered")
