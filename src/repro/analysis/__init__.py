@@ -24,6 +24,7 @@ The rule catalog and suppression policy are documented in DESIGN.md §9.
 from .linter import Finding, lint_file, lint_paths, lint_source
 from .rules import RULES, Rule
 from .sanitizer import Sanitizer, resolve_sanitizer, sanitizer_enabled
+from .witness import witness_enabled, witnessed_lock
 
 __all__ = [
     "Finding",
@@ -35,4 +36,6 @@ __all__ = [
     "lint_source",
     "resolve_sanitizer",
     "sanitizer_enabled",
+    "witness_enabled",
+    "witnessed_lock",
 ]

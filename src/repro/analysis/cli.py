@@ -5,6 +5,8 @@ Usage::
     repro-lint src/ tests/                 # lint trees (exit 1 on findings)
     repro-lint --list-rules                # print the rule catalog
     repro-lint src/ --cache-file .cache    # memoise per-file results
+    repro-lint --check-suppressions src/   # report stale disable= comments
+    repro-lint --check-witness edges.json  # diff runtime edges vs lattice
 
 Also runnable without installation as ``python -m repro.analysis``.
 Exit status: 0 clean, 1 findings, 2 usage error.
@@ -13,11 +15,14 @@ Exit status: 0 clean, 1 findings, 2 usage error.
 from __future__ import annotations
 
 import argparse
+import json
 import sys
+from pathlib import Path
 from typing import Sequence
 
-from .linter import lint_paths
+from .linter import _collect_files, check_suppressions, lint_paths
 from .rules import RULE_SUMMARIES
+from .witness import check_edges
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -45,7 +50,78 @@ def _build_parser() -> argparse.ArgumentParser:
         "--list-rules", action="store_true",
         help="print the rule catalog and exit",
     )
+    parser.add_argument(
+        "--check-suppressions", action="store_true",
+        help=(
+            "instead of linting, report disable= comments whose rule no "
+            "longer fires on the covered lines (exit 1 if any are stale)"
+        ),
+    )
+    parser.add_argument(
+        "--check-witness", default=None, metavar="JSON",
+        help=(
+            "validate a runtime lock-witness edge file (REPRO_WITNESS_OUT) "
+            "against the declared lock-order lattice and exit"
+        ),
+    )
     return parser
+
+
+def _run_check_witness(path: str) -> int:
+    try:
+        payload = json.loads(Path(path).read_text(encoding="utf-8"))
+    except (OSError, ValueError) as exc:
+        print(f"repro-lint: error: cannot read witness file: {exc}",
+              file=sys.stderr)
+        return 2
+    if "edges" not in payload:
+        print(
+            "repro-lint: error: witness file has no 'edges' key — not a "
+            "REPRO_WITNESS_OUT ledger",
+            file=sys.stderr,
+        )
+        return 2
+    edges = [tuple(edge) for edge in payload["edges"]]
+    if not edges:
+        # An armed run that nested nothing: the repo's critical sections
+        # are deliberately single-domain, so this is the common (and
+        # vacuously lattice-consistent) outcome. The file's existence is
+        # the proof the witness actually flushed.
+        print(
+            "repro-lint: witness armed, 0 lock edges observed (no "
+            "lattice-domain nesting executed); vacuously consistent"
+        )
+        return 0
+    problems = check_edges(edges)
+    for problem in problems:
+        print(f"{path}: {problem}")
+    if problems:
+        print(
+            f"repro-lint: {len(problems)} witness violation(s)",
+            file=sys.stderr,
+        )
+        return 1
+    print(
+        f"repro-lint: {len(set(edges))} observed lock edge(s) consistent "
+        f"with the declared lattice"
+    )
+    return 0
+
+
+def _run_check_suppressions(paths: list[str]) -> int:
+    stale = []
+    for path in _collect_files(list(paths)):
+        text = path.read_text(encoding="utf-8")
+        stale.extend(check_suppressions(text, str(path)))
+    for finding in stale:
+        print(finding.render())
+    if stale:
+        print(
+            f"repro-lint: {len(stale)} stale suppression(s)",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
 
 
 def main(argv: Sequence[str] | None = None) -> int:
@@ -57,10 +133,20 @@ def main(argv: Sequence[str] | None = None) -> int:
             print(f"{code}  {summary}")
         return 0
 
+    if args.check_witness is not None:
+        return _run_check_witness(args.check_witness)
+
     if not args.paths:
         parser.print_usage(sys.stderr)
         print("repro-lint: error: no paths given", file=sys.stderr)
         return 2
+
+    if args.check_suppressions:
+        try:
+            return _run_check_suppressions(list(args.paths))
+        except OSError as exc:
+            print(f"repro-lint: error: {exc}", file=sys.stderr)
+            return 2
 
     cache_file = None if args.no_cache else args.cache_file
     try:

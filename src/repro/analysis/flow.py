@@ -1,0 +1,639 @@
+"""Per-function control-flow graphs and a bounded typestate walker.
+
+PR 4's rules are per-statement pattern matches; the concurrency surface
+grown since (resident service, worker pool, shared segments, maintenance
+lane) needs *path* questions answered: "is this pin released on every
+path?", "can this lock be taken while a later-ordered one is held?",
+"does every created segment reach close+unlink before the function
+escapes?". This module is the engine those rules share:
+
+* :class:`CFG` — a conservative per-function control-flow graph built
+  straight from ``ast``. Basic blocks carry linear *event* streams
+  (statements, control expressions, ``with`` enter/exit, flattened
+  ``finally`` bodies) rather than raw statement lists, so a typestate
+  transfer function never re-implements control flow.
+* :func:`walk` — a path-sensitive fixpoint over the CFG: sets of
+  abstract states per block, bounded at :data:`MAX_STATES_PER_BLOCK` to
+  keep pathological functions linear, with back edges iterated to a
+  fixpoint. Exit states are labelled ``return`` / ``raise`` / ``end``
+  so lifecycle rules can distinguish crash paths from normal ones.
+* :func:`function_summaries` — a one-level call summary per module:
+  which parameter (if any) receives pin custody, and which lock domains
+  a function may acquire. Summaries propagate through module-local
+  calls (bounded rounds), which is what lets the rewritten RPR003 see
+  through ``RTree.delete`` → ``_find_leaf_path`` → ``find_leaf_path``.
+
+Design notes on the conservative parts:
+
+* ``finally`` bodies are emitted as *flat* events (one event per
+  top-level statement, compound statements included whole). They are
+  inlined both on the fall-through path and ahead of every ``return``
+  / ``break`` / ``continue`` / ``raise`` that unwinds past them, which
+  is exactly the runtime order; structuring them as sub-CFGs would buy
+  nothing for the release/cleanup patterns they exist to express.
+* Exception edges are approximated: each handler is entered with the
+  state at ``try`` entry (the earliest an exception could fire). This
+  over-approximates where in the body the exception occurred, which is
+  safe for the lifecycle rules (they treat mid-body raises via the
+  per-event at-risk checks instead).
+* Explicit ``raise`` terminates a path with a ``raise`` exit after
+  unwinding ``with``/``finally`` frames; rules decide whether crash
+  paths carry obligations (RPR003 says yes, RPR010 says no).
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Callable, Hashable, Iterable, Sequence
+
+__all__ = [
+    "CFG",
+    "Block",
+    "Event",
+    "ExitState",
+    "FunctionSummary",
+    "MAX_STATES_PER_BLOCK",
+    "function_summaries",
+    "walk",
+]
+
+#: Per-block cap on tracked abstract states. Beyond it, new states are
+#: dropped (first-come, insertion-ordered, so results are deterministic
+#: and independent of hash seeds). 64 is far above what the repo's real
+#: functions generate (~a dozen) while keeping adversarial fixtures
+#: linear.
+MAX_STATES_PER_BLOCK = 64
+
+FuncDef = "ast.FunctionDef | ast.AsyncFunctionDef"
+
+
+@dataclass(frozen=True)
+class Event:
+    """One atomic step inside a basic block.
+
+    kind:
+        ``stmt``        a simple statement, executed whole;
+        ``expr``        a control expression (if/while test, for iterable);
+        ``loop``        a loop header node (rules may match release loops);
+        ``with_enter``  a context manager being entered (node = the
+                        ``with`` item's context expression);
+        ``with_exit``   the matching exit, emitted in reverse order;
+        ``final_stmt``  one top-level statement of a ``finally`` body,
+                        emitted flat (compound statements included whole).
+    """
+
+    kind: str
+    node: ast.AST
+    is_async: bool = False
+
+
+@dataclass
+class Block:
+    """A basic block: a linear event stream plus successor edges."""
+
+    bid: int
+    events: list[Event] = field(default_factory=list)
+    succs: list[int] = field(default_factory=list)
+    #: Indices into ``CFG.finalbodies`` for every enclosing ``finally``
+    #: active in this block, innermost first. Rules use these to decide
+    #: whether an outstanding obligation is exception-protected here.
+    protections: tuple[int, ...] = ()
+    #: Terminal kind when this block ends the function: ``return``,
+    #: ``raise``, or ``end`` (fall off the body). ``None`` = not a
+    #: terminal block.
+    exit: str | None = None
+
+
+@dataclass(frozen=True)
+class ExitState:
+    """One abstract state observed at one function exit."""
+
+    kind: str  # "return" | "raise" | "end"
+    state: Hashable
+    block: int
+
+
+class CFG:
+    """Control-flow graph of one function body."""
+
+    def __init__(self, func: ast.FunctionDef | ast.AsyncFunctionDef) -> None:
+        self.func = func
+        self.blocks: list[Block] = []
+        #: Raw ``finally`` statement lists, referenced by Block.protections.
+        self.finalbodies: list[list[ast.stmt]] = []
+        builder = _Builder(self)
+        self.entry = builder.build(func)
+
+    def block(self, bid: int) -> Block:
+        return self.blocks[bid]
+
+
+# --------------------------------------------------------------------- #
+# CFG construction
+# --------------------------------------------------------------------- #
+
+#: Cleanup-stack frames: ("with", context_expr, is_async) or
+#: ("finally", finalbody_index).
+_Cleanup = tuple
+
+
+class _Builder:
+    def __init__(self, cfg: CFG) -> None:
+        self.cfg = cfg
+        self._cleanup: list[_Cleanup] = []
+        #: (continue_target, break_target, cleanup_depth) per open loop.
+        self._loops: list[tuple[int, int, int]] = []
+        self._current: Block = self._new_block()
+
+    # -- plumbing ----------------------------------------------------- #
+
+    def _new_block(self) -> Block:
+        protections = tuple(
+            frame[1] for frame in reversed(self._cleanup)
+            if frame[0] == "finally"
+        )
+        block = Block(bid=len(self.cfg.blocks), protections=protections)
+        self.cfg.blocks.append(block)
+        return block
+
+    def _edge(self, src: Block, dst: Block) -> None:
+        if src.exit is None and dst.bid not in src.succs:
+            src.succs.append(dst.bid)
+
+    def _emit(self, event: Event) -> None:
+        if self._current.exit is None:
+            self._current.events.append(event)
+
+    def _terminate(self, kind: str) -> None:
+        if self._current.exit is None:
+            self._current.exit = kind
+        # Anything after a terminator is unreachable; give it a fresh
+        # block with no in-edges so the walker never visits it.
+        self._current = self._new_block()
+
+    def _unwind(self, down_to: int) -> None:
+        """Emit cleanup events for frames above ``down_to`` (LIFO).
+
+        Models what the interpreter runs when a ``return`` / ``break`` /
+        ``continue`` / ``raise`` leaves ``with`` blocks and ``try``
+        statements with ``finally`` clauses. The stack itself is not
+        popped — it describes lexical context, not this one exit path.
+        """
+        for frame in reversed(self._cleanup[down_to:]):
+            if frame[0] == "with":
+                self._emit(Event("with_exit", frame[1], is_async=frame[2]))
+            else:
+                for stmt in self.cfg.finalbodies[frame[1]]:
+                    self._emit(Event("final_stmt", stmt))
+
+    # -- entry point --------------------------------------------------- #
+
+    def build(self, func: ast.FunctionDef | ast.AsyncFunctionDef) -> int:
+        entry = self._current
+        for stmt in func.body:
+            self._visit(stmt)
+        self._terminate("end")
+        return entry.bid
+
+    # -- statement dispatch -------------------------------------------- #
+
+    def _visit(self, stmt: ast.stmt) -> None:
+        if self._current.exit is not None:
+            # Unreachable code after a terminator: skip (building blocks
+            # with no in-edges for it would only cost memory).
+            return
+        if isinstance(stmt, ast.If):
+            self._visit_if(stmt)
+        elif isinstance(stmt, (ast.While, ast.For, ast.AsyncFor)):
+            self._visit_loop(stmt)
+        elif isinstance(stmt, ast.Try):
+            self._visit_try(stmt)
+        elif isinstance(stmt, (ast.With, ast.AsyncWith)):
+            self._visit_with(stmt)
+        elif isinstance(stmt, ast.Return):
+            if stmt.value is not None:
+                self._emit(Event("expr", stmt.value))
+            self._unwind(0)
+            self._terminate("return")
+        elif isinstance(stmt, ast.Raise):
+            if stmt.exc is not None:
+                self._emit(Event("expr", stmt.exc))
+            self._unwind(0)
+            self._terminate("raise")
+        elif isinstance(stmt, ast.Break):
+            # break/continue outside a loop is a SyntaxError, so the
+            # loop stack is never empty here.
+            self._unwind(self._loops[-1][2])
+            self._edge(self._current, self.cfg.block(self._loops[-1][1]))
+            self._dead()
+        elif isinstance(stmt, ast.Continue):
+            self._unwind(self._loops[-1][2])
+            self._edge(self._current, self.cfg.block(self._loops[-1][0]))
+            self._dead()
+        else:
+            # Simple statement (including nested def/class, which rules
+            # skip or analyse independently).
+            self._emit(Event("stmt", stmt))
+
+    def _dead(self) -> None:
+        """Seal the current block after a jump whose edge is already set."""
+        if self._current.exit is None:
+            self._current.exit = "jump"
+            # "jump" terminals are not exits; mark and move on.
+        self._current = self._new_block()
+
+    def _visit_if(self, stmt: ast.If) -> None:
+        self._emit(Event("expr", stmt.test))
+        cond = self._current
+        after = self._new_block()
+
+        then_entry = self._new_block()
+        self._edge(cond, then_entry)
+        self._current = then_entry
+        for s in stmt.body:
+            self._visit(s)
+        self._edge(self._current, after)
+        if self._current.exit is None:
+            self._current.exit = "jump"
+
+        if stmt.orelse:
+            else_entry = self._new_block()
+            self._edge(cond, else_entry)
+            self._current = else_entry
+            for s in stmt.orelse:
+                self._visit(s)
+            self._edge(self._current, after)
+            if self._current.exit is None:
+                self._current.exit = "jump"
+        else:
+            self._edge(cond, after)
+
+        self._current = after
+
+    def _visit_loop(
+        self, stmt: ast.While | ast.For | ast.AsyncFor
+    ) -> None:
+        head = self._new_block()
+        self._edge(self._current, head)
+        if self._current.exit is None:
+            self._current.exit = "jump"
+        if isinstance(stmt, ast.While):
+            head.events.append(Event("expr", stmt.test))
+        else:
+            head.events.append(Event("expr", stmt.iter))
+            head.events.append(Event("loop", stmt))
+
+        after = self._new_block()
+        body_entry = self._new_block()
+        head.succs.extend([body_entry.bid, after.bid])
+
+        self._loops.append((head.bid, after.bid, len(self._cleanup)))
+        self._current = body_entry
+        for s in stmt.body:
+            self._visit(s)
+        self._edge(self._current, head)  # back edge
+        if self._current.exit is None:
+            self._current.exit = "jump"
+        self._loops.pop()
+
+        self._current = after
+        for s in stmt.orelse:
+            self._visit(s)
+
+    def _visit_with(self, stmt: ast.With | ast.AsyncWith) -> None:
+        is_async = isinstance(stmt, ast.AsyncWith)
+        depth = len(self._cleanup)
+        for item in stmt.items:
+            self._emit(Event("with_enter", item.context_expr, is_async))
+            self._cleanup.append(("with", item.context_expr, is_async))
+        for s in stmt.body:
+            self._visit(s)
+        while len(self._cleanup) > depth:
+            frame = self._cleanup.pop()
+            self._emit(Event("with_exit", frame[1], is_async=frame[2]))
+
+    def _visit_try(self, stmt: ast.Try) -> None:
+        before = self._current
+        fb_index: int | None = None
+        if stmt.finalbody:
+            fb_index = len(self.cfg.finalbodies)
+            self.cfg.finalbodies.append(stmt.finalbody)
+            self._cleanup.append(("finally", fb_index))
+
+        body_entry = self._new_block()
+        self._edge(before, body_entry)
+        if before.exit is None:
+            before.exit = "jump"
+        self._current = body_entry
+        for s in stmt.body:
+            self._visit(s)
+        for s in stmt.orelse:
+            self._visit(s)
+        body_end = self._current
+
+        # Handlers are entered with the state at try entry — the
+        # earliest point an exception could have fired.
+        handler_ends: list[Block] = []
+        for handler in stmt.handlers:
+            h_entry = self._new_block()
+            before.succs.append(h_entry.bid)
+            self._current = h_entry
+            for s in handler.body:
+                self._visit(s)
+            handler_ends.append(self._current)
+
+        # The join block runs the flattened finally body (if any) on the
+        # normal path, then continues.
+        if fb_index is not None:
+            self._cleanup.pop()
+        join = self._new_block()
+        if fb_index is not None:
+            for s in stmt.finalbody:
+                join.events.append(Event("final_stmt", s))
+        self._edge(body_end, join)
+        if body_end.exit is None:
+            body_end.exit = "jump"
+        for h_end in handler_ends:
+            self._edge(h_end, join)
+            if h_end.exit is None:
+                h_end.exit = "jump"
+        self._current = join
+
+
+# --------------------------------------------------------------------- #
+# Bounded path-sensitive walker
+# --------------------------------------------------------------------- #
+
+Transfer = Callable[[Hashable, Event, Block], Iterable[Hashable]]
+
+
+def walk(
+    cfg: CFG,
+    transfer: Transfer,
+    initial: Hashable,
+    max_states: int = MAX_STATES_PER_BLOCK,
+) -> list[ExitState]:
+    """Run ``transfer`` over every path of ``cfg`` to a bounded fixpoint.
+
+    ``transfer(state, event, block)`` returns the successor states after
+    one event (usually exactly one; empty to kill a path). States must
+    be hashable; per-block state sets are insertion-ordered and capped
+    at ``max_states``, so results are deterministic. Returns the states
+    observed at each ``return`` / ``raise`` / ``end`` terminator.
+    """
+    in_states: dict[int, dict[Hashable, None]] = {
+        cfg.entry: {initial: None}
+    }
+    processed: set[tuple[int, Hashable]] = set()
+    exits: list[ExitState] = []
+    worklist: list[int] = [cfg.entry]
+    while worklist:
+        bid = worklist.pop(0)
+        block = cfg.block(bid)
+        pending = [
+            s for s in in_states.get(bid, {}) if (bid, s) not in processed
+        ]
+        for state in pending:
+            processed.add((bid, state))
+            out_states: list[Hashable] = [state]
+            for event in block.events:
+                next_states: list[Hashable] = []
+                for s in out_states:
+                    next_states.extend(transfer(s, event, block))
+                out_states = next_states[:max_states]
+            if block.exit in ("return", "raise", "end"):
+                exits.extend(
+                    ExitState(block.exit, s, bid) for s in out_states
+                )
+            for succ in block.succs:
+                bucket = in_states.setdefault(succ, {})
+                added = False
+                for s in out_states:
+                    if s not in bucket and len(bucket) < max_states:
+                        bucket[s] = None
+                        added = True
+                if added and succ not in worklist:
+                    worklist.append(succ)
+    return exits
+
+
+# --------------------------------------------------------------------- #
+# One-level call summaries
+# --------------------------------------------------------------------- #
+
+
+@dataclass(frozen=True)
+class FunctionSummary:
+    """What a module-local function does to pins and locks.
+
+    ``pin_param`` names the parameter that receives pin custody: every
+    pin the function (transitively) takes is recorded into that list
+    argument before anything can raise, so the *caller* owns release.
+    ``lock_domains`` is the set of declared lock domains the function
+    may acquire (directly or through module-local calls).
+    """
+
+    name: str
+    params: tuple[str, ...]
+    pin_param: str | None
+    lock_domains: frozenset[str]
+
+    def pin_param_index(self) -> int | None:
+        if self.pin_param is None:
+            return None
+        try:
+            return self.params.index(self.pin_param)
+        except ValueError:
+            return None
+
+
+def _walk_excluding_nested(
+    body: Sequence[ast.stmt],
+) -> Iterable[ast.AST]:
+    stack: list[ast.AST] = list(body)
+    while stack:
+        node = stack.pop()
+        yield node
+        for child in ast.iter_child_nodes(node):
+            if isinstance(
+                child, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)
+            ):
+                continue
+            stack.append(child)
+
+
+def is_pin_acquire(call: ast.Call) -> bool:
+    """``…(…, pin=True)`` or ``….pin(…)`` — a buffer pin acquisition."""
+    for kw in call.keywords:
+        if (
+            kw.arg == "pin"
+            and isinstance(kw.value, ast.Constant)
+            and kw.value.value is True
+        ):
+            return True
+    func = call.func
+    return isinstance(func, ast.Attribute) and func.attr == "pin"
+
+
+def call_name(call: ast.Call) -> str | None:
+    """The bare name a call resolves to: ``f(…)`` or ``obj.f(…)`` → f."""
+    func = call.func
+    if isinstance(func, ast.Name):
+        return func.id
+    if isinstance(func, ast.Attribute):
+        return func.attr
+    return None
+
+
+def call_is_method_form(call: ast.Call) -> bool:
+    """Whether the call is attribute form (receiver bound as first param)."""
+    return isinstance(call.func, ast.Attribute)
+
+
+def map_argument(
+    summary: FunctionSummary, call: ast.Call, param_index: int
+) -> ast.expr | None:
+    """The call argument bound to ``summary.params[param_index]``.
+
+    Attribute-form calls bind the receiver to a leading ``self``/``cls``
+    parameter, shifting positional arguments by one.
+    """
+    index = param_index
+    if call_is_method_form(call) and summary.params[:1] in (
+        ("self",), ("cls",)
+    ):
+        index -= 1
+    if 0 <= index < len(call.args):
+        return call.args[index]
+    param_name = summary.params[param_index]
+    for kw in call.keywords:
+        if kw.arg == param_name:
+            return kw.value
+    return None
+
+
+def _func_params(func: ast.FunctionDef | ast.AsyncFunctionDef) -> tuple[str, ...]:
+    args = func.args
+    names = [a.arg for a in args.posonlyargs] + [a.arg for a in args.args]
+    return tuple(names)
+
+
+def _direct_pin_param(
+    func: ast.FunctionDef | ast.AsyncFunctionDef,
+) -> str | None:
+    """A parameter list that every direct pin acquire is appended into."""
+    params = set(_func_params(func))
+    has_acquire = False
+    append_targets: set[str] = set()
+    for node in _walk_excluding_nested(func.body):
+        if not isinstance(node, ast.Call):
+            continue
+        if is_pin_acquire(node):
+            has_acquire = True
+        func_expr = node.func
+        if (
+            isinstance(func_expr, ast.Attribute)
+            and func_expr.attr == "append"
+            and isinstance(func_expr.value, ast.Name)
+            and func_expr.value.id in params
+        ):
+            append_targets.add(func_expr.value.id)
+    if has_acquire and len(append_targets) == 1:
+        return next(iter(append_targets))
+    return None
+
+
+def function_summaries(
+    tree: ast.AST,
+    classify_lock: Callable[[ast.expr, str | None], str | None] | None = None,
+    max_rounds: int = 4,
+) -> dict[str, FunctionSummary]:
+    """Summaries for every function in a module, keyed by bare name.
+
+    Names are bare (methods and module functions share a namespace —
+    last definition wins), which matches how rules resolve call sites:
+    ``self._find_leaf_path(…)`` and ``find_leaf_path(…)`` both look up
+    by the trailing identifier. Summaries propagate through
+    module-local calls for up to ``max_rounds`` rounds, so forwarding
+    helpers inherit their callee's pin custody and lock domains.
+    """
+    funcs: list[tuple[str | None, ast.FunctionDef | ast.AsyncFunctionDef]] = []
+
+    def collect(node: ast.AST, cls: str | None) -> None:
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                funcs.append((cls, child))
+                collect(child, cls)
+            elif isinstance(child, ast.ClassDef):
+                collect(child, child.name)
+            else:
+                collect(child, cls)
+
+    collect(tree, None)
+
+    summaries: dict[str, FunctionSummary] = {}
+    for cls, func in funcs:
+        domains: set[str] = set()
+        if classify_lock is not None:
+            for node in _walk_excluding_nested(func.body):
+                expr: ast.expr | None = None
+                if isinstance(node, (ast.With, ast.AsyncWith)):
+                    for item in node.items:
+                        got = classify_lock(item.context_expr, cls)
+                        if got is not None:
+                            domains.add(got)
+                elif isinstance(node, ast.Call):
+                    func_expr = node.func
+                    if (
+                        isinstance(func_expr, ast.Attribute)
+                        and func_expr.attr == "acquire"
+                    ):
+                        expr = func_expr.value
+                        got = classify_lock(expr, cls)
+                        if got is not None:
+                            domains.add(got)
+        summaries[func.name] = FunctionSummary(
+            name=func.name,
+            params=_func_params(func),
+            pin_param=_direct_pin_param(func),
+            lock_domains=frozenset(domains),
+        )
+
+    # Propagate pin custody and lock domains through module-local calls.
+    for _ in range(max_rounds):
+        changed = False
+        for cls, func in funcs:
+            mine = summaries[func.name]
+            pin_param = mine.pin_param
+            domains = set(mine.lock_domains)
+            params = set(mine.params)
+            for node in _walk_excluding_nested(func.body):
+                if not isinstance(node, ast.Call):
+                    continue
+                name = call_name(node)
+                if name is None or name == func.name:
+                    continue
+                callee = summaries.get(name)
+                if callee is None:
+                    continue
+                domains.update(callee.lock_domains)
+                idx = callee.pin_param_index()
+                if idx is not None and pin_param is None:
+                    arg = map_argument(callee, node, idx)
+                    if isinstance(arg, ast.Name) and arg.id in params:
+                        pin_param = arg.id
+            if (
+                pin_param != mine.pin_param
+                or frozenset(domains) != mine.lock_domains
+            ):
+                summaries[func.name] = FunctionSummary(
+                    name=mine.name,
+                    params=mine.params,
+                    pin_param=pin_param,
+                    lock_domains=frozenset(domains),
+                )
+                changed = True
+        if not changed:
+            break
+    return summaries

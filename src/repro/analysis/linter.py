@@ -24,52 +24,76 @@ import io
 import json
 import re
 import tokenize
-from dataclasses import asdict
+from dataclasses import asdict, dataclass
 from pathlib import Path
 
 from .rules import RULES, Finding, ModuleContext
 
-__all__ = ["Finding", "lint_file", "lint_paths", "lint_source"]
+__all__ = [
+    "Finding",
+    "check_suppressions",
+    "lint_file",
+    "lint_paths",
+    "lint_source",
+]
 
 _SUPPRESS_RE = re.compile(
     r"#\s*repro-lint:\s*disable=([A-Z0-9,\s]+?)(?:\s*--\s*(\S.*))?\s*$"
 )
 
 
-def _parse_suppressions(
-    source: str, path: str
-) -> tuple[dict[int, set[str]], list[Finding]]:
-    """Line -> suppressed codes, plus RPR000 findings for missing reasons.
+@dataclass(frozen=True)
+class Directive:
+    """One parsed ``# repro-lint: disable=…`` comment."""
 
-    A comment sharing a line with code covers that line; a comment alone
-    on its line covers the following line (both map the same way: the
-    suppression applies to its own line *and* the next, which keeps the
-    standalone form natural without letting one comment blanket a region).
-    """
-    suppressed: dict[int, set[str]] = {}
-    findings: list[Finding] = []
+    line: int
+    codes: frozenset[str]
+    reason: str | None
+
+    @property
+    def covers(self) -> tuple[int, int]:
+        """The lines this directive silences: its own and the next (a
+        standalone comment naturally covers the statement below it
+        without letting one comment blanket a region)."""
+        return (self.line, self.line + 1)
+
+
+def _iter_directives(source: str) -> list[Directive]:
+    """Every suppression comment in the file, in source order."""
+    directives: list[Directive] = []
     try:
         tokens = list(tokenize.generate_tokens(io.StringIO(source).readline))
     except (tokenize.TokenError, IndentationError, SyntaxError):
-        return suppressed, findings  # the parse pass reports the breakage
+        return directives  # the parse pass reports the breakage
     for token in tokens:
         if token.type != tokenize.COMMENT:
             continue  # directives inside string literals are just text
-        lineno = token.start[0]
         match = _SUPPRESS_RE.search(token.string)
         if match is None:
             continue
-        codes = {
+        codes = frozenset(
             code.strip().upper()
             for code in match.group(1).split(",")
             if code.strip()
-        }
-        reason = match.group(2)
-        if not reason:
+        )
+        directives.append(
+            Directive(token.start[0], codes, match.group(2))
+        )
+    return directives
+
+
+def _parse_suppressions(
+    source: str, path: str
+) -> tuple[dict[int, set[str]], list[Finding]]:
+    """Line -> suppressed codes, plus RPR000 findings for missing reasons."""
+    suppressed: dict[int, set[str]] = {}
+    findings: list[Finding] = []
+    for directive in _iter_directives(source):
+        if not directive.reason:
             findings.append(Finding(
                 code="RPR000",
                 path=path,
-                line=lineno,
+                line=directive.line,
                 message=(
                     "suppression without a reason; write "
                     "'# repro-lint: disable=CODE -- why the invariant "
@@ -77,9 +101,23 @@ def _parse_suppressions(
                 ),
             ))
             continue
-        for covered in (lineno, lineno + 1):
-            suppressed.setdefault(covered, set()).update(codes)
+        for covered in directive.covers:
+            suppressed.setdefault(covered, set()).update(directive.codes)
     return suppressed, findings
+
+
+def _raw_findings(source: str, path: str) -> list[Finding] | None:
+    """Every rule's findings before suppression, or ``None`` on a
+    syntax error (the caller decides how to report that)."""
+    try:
+        tree = ast.parse(source, filename=path)
+    except SyntaxError:
+        return None
+    ctx = ModuleContext(path, source, tree)
+    raw: list[Finding] = []
+    for rule_cls in RULES.values():
+        raw.extend(rule_cls(ctx).run())
+    return raw
 
 
 def lint_source(source: str, path: str) -> list[Finding]:
@@ -89,7 +127,7 @@ def lint_source(source: str, path: str) -> list[Finding]:
     so fixture tests can exercise any rule by inventing the right path.
     """
     try:
-        tree = ast.parse(source, filename=path)
+        ast.parse(source, filename=path)
     except SyntaxError as exc:
         return [Finding(
             code="RPR000",
@@ -97,10 +135,8 @@ def lint_source(source: str, path: str) -> list[Finding]:
             line=exc.lineno or 1,
             message=f"could not parse: {exc.msg}",
         )]
-    ctx = ModuleContext(path, source, tree)
-    raw: list[Finding] = []
-    for rule_cls in RULES.values():
-        raw.extend(rule_cls(ctx).run())
+    raw = _raw_findings(source, path)
+    assert raw is not None
     suppressed, findings = _parse_suppressions(source, path)
     for finding in sorted(raw, key=lambda f: (f.line, f.code)):
         if finding.code in suppressed.get(finding.line, ()):
@@ -108,6 +144,40 @@ def lint_source(source: str, path: str) -> list[Finding]:
         findings.append(finding)
     findings.sort(key=lambda f: (f.line, f.code))
     return findings
+
+
+def check_suppressions(source: str, path: str) -> list[Finding]:
+    """Report stale suppressions: directives whose rule no longer fires.
+
+    A directive earns its keep only while the code it silences would
+    actually be reported on one of its covered lines; once a rewrite
+    (or a fix) makes the finding disappear, the directive is dead
+    weight that would silently mask a future regression, so
+    ``repro-lint --check-suppressions`` flags it for deletion.
+    """
+    raw = _raw_findings(source, path)
+    if raw is None:
+        return []  # the ordinary lint pass reports the syntax error
+    fired: dict[int, set[str]] = {}
+    for finding in raw:
+        fired.setdefault(finding.line, set()).add(finding.code)
+    stale: list[Finding] = []
+    for directive in _iter_directives(source):
+        for code in sorted(directive.codes):
+            if any(
+                code in fired.get(line, ()) for line in directive.covers
+            ):
+                continue
+            stale.append(Finding(
+                code="RPR000",
+                path=path,
+                line=directive.line,
+                message=(
+                    f"stale suppression: {code} no longer fires on this "
+                    f"line; delete the directive"
+                ),
+            ))
+    return stale
 
 
 def lint_file(path: str | Path) -> list[Finding]:
@@ -143,7 +213,7 @@ class LintCache:
     discards everything; a per-file digest mismatch discards that file.
     """
 
-    def __init__(self, cache_path: Path):
+    def __init__(self, cache_path: Path) -> None:
         self.cache_path = cache_path
         self.fingerprint = _rules_fingerprint()
         self._files: dict[str, dict] = {}

@@ -42,8 +42,18 @@ from ..errors import InvariantViolation
 from ..kernels import RectArray
 from ..metrics.collector import CollectorSnapshot, MetricsCollector
 from ..rtree.node import Node, node_mbr
+from .witness import (  # noqa: F401  (re-export: the runtime lock witness)
+    witness_enabled,
+    witnessed_lock,
+)
 
-__all__ = ["Sanitizer", "resolve_sanitizer", "sanitizer_enabled"]
+__all__ = [
+    "Sanitizer",
+    "resolve_sanitizer",
+    "sanitizer_enabled",
+    "witness_enabled",
+    "witnessed_lock",
+]
 
 ENV_VAR = "REPRO_SANITIZE"
 

@@ -125,89 +125,91 @@ def match_trees_bfs(
         nxt = _PairQueue(disk, config, queue_budget_pairs)
         for page_a, page_b in current.drain():
             node_a = tree_a.read_node(page_a, pin=True)
-            node_b = tree_b.read_node(page_b, pin=True)
             try:
-                if node_a.is_leaf and node_b.is_leaf:
-                    if use_kernels:
-                        idx_hits = sweep_pairs_batch(
-                            node_a.rect_array(), node_b.rect_array(),
-                            counters=cpu,
-                        )
-                        entries_a, entries_b = node_a.entries, node_b.entries
-                        results.extend(
-                            (entries_a[i].ref, entries_b[j].ref)
-                            for i, j in idx_hits
-                        )
-                    else:
-                        hits = sweep_pairs(
-                            node_a.entries, node_b.entries,
-                            rect_of=_MBR_OF, counters=cpu,
-                        )
-                        results.extend((ea.ref, eb.ref) for ea, eb in hits)
-                elif node_a.is_leaf or node_b.is_leaf:
-                    leaf, internal, leaf_is_a = (
-                        (node_a, node_b, True) if node_a.is_leaf
-                        else (node_b, node_a, False)
-                    )
-                    window = leaf.cached_mbr()
-                    if cpu is not None:
-                        cpu.xy_tests += 2 * len(internal.entries)
-                    if use_kernels:
-                        entries = internal.entries
-                        for i in intersect_indices(
-                            internal.rect_array(), window
-                        ):
-                            ref = entries[i].ref
-                            nxt.append(
-                                (page_a, ref) if leaf_is_a
-                                else (ref, page_b)
+                node_b = tree_b.read_node(page_b, pin=True)
+                try:
+                    if node_a.is_leaf and node_b.is_leaf:
+                        if use_kernels:
+                            idx_hits = sweep_pairs_batch(
+                                node_a.rect_array(), node_b.rect_array(),
+                                counters=cpu,
                             )
-                    else:
-                        for e in internal.entries:
-                            if e.mbr.intersects(window):
-                                nxt.append(
-                                    (page_a, e.ref) if leaf_is_a
-                                    else (e.ref, page_b)
-                                )
-                else:
-                    box = node_a.cached_mbr().intersection(
-                        node_b.cached_mbr()
-                    )
-                    if box is None:
-                        continue
-                    if cpu is not None:
-                        cpu.xy_tests += 2 * (
-                            len(node_a.entries) + len(node_b.entries)
+                            entries_a, entries_b = node_a.entries, node_b.entries
+                            results.extend(
+                                (entries_a[i].ref, entries_b[j].ref)
+                                for i, j in idx_hits
+                            )
+                        else:
+                            hits = sweep_pairs(
+                                node_a.entries, node_b.entries,
+                                rect_of=_MBR_OF, counters=cpu,
+                            )
+                            results.extend((ea.ref, eb.ref) for ea, eb in hits)
+                    elif node_a.is_leaf or node_b.is_leaf:
+                        leaf, internal, leaf_is_a = (
+                            (node_a, node_b, True) if node_a.is_leaf
+                            else (node_b, node_a, False)
                         )
-                    if use_kernels:
-                        idx_a = intersect_indices(node_a.rect_array(), box)
-                        idx_b = intersect_indices(node_b.rect_array(), box)
-                        if len(idx_a) and len(idx_b):
-                            entries_a = node_a.entries
-                            entries_b = node_b.entries
-                            for i, j in sweep_pairs_batch(
-                                node_a.rect_array().take(idx_a),
-                                node_b.rect_array().take(idx_b),
-                                counters=cpu,
+                        window = leaf.cached_mbr()
+                        if cpu is not None:
+                            cpu.xy_tests += 2 * len(internal.entries)
+                        if use_kernels:
+                            entries = internal.entries
+                            for i in intersect_indices(
+                                internal.rect_array(), window
                             ):
-                                nxt.append((
-                                    entries_a[idx_a[i]].ref,
-                                    entries_b[idx_b[j]].ref,
-                                ))
+                                ref = entries[i].ref
+                                nxt.append(
+                                    (page_a, ref) if leaf_is_a
+                                    else (ref, page_b)
+                                )
+                        else:
+                            for e in internal.entries:
+                                if e.mbr.intersects(window):
+                                    nxt.append(
+                                        (page_a, e.ref) if leaf_is_a
+                                        else (e.ref, page_b)
+                                    )
                     else:
-                        cand_a = [e for e in node_a.entries
-                                  if e.mbr.intersects(box)]
-                        cand_b = [e for e in node_b.entries
-                                  if e.mbr.intersects(box)]
-                        if cand_a and cand_b:
-                            for ea, eb in sweep_pairs(
-                                cand_a, cand_b, rect_of=_MBR_OF,
-                                counters=cpu,
-                            ):
-                                nxt.append((ea.ref, eb.ref))
+                        box = node_a.cached_mbr().intersection(
+                            node_b.cached_mbr()
+                        )
+                        if box is None:
+                            continue
+                        if cpu is not None:
+                            cpu.xy_tests += 2 * (
+                                len(node_a.entries) + len(node_b.entries)
+                            )
+                        if use_kernels:
+                            idx_a = intersect_indices(node_a.rect_array(), box)
+                            idx_b = intersect_indices(node_b.rect_array(), box)
+                            if len(idx_a) and len(idx_b):
+                                entries_a = node_a.entries
+                                entries_b = node_b.entries
+                                for i, j in sweep_pairs_batch(
+                                    node_a.rect_array().take(idx_a),
+                                    node_b.rect_array().take(idx_b),
+                                    counters=cpu,
+                                ):
+                                    nxt.append((
+                                        entries_a[idx_a[i]].ref,
+                                        entries_b[idx_b[j]].ref,
+                                    ))
+                        else:
+                            cand_a = [e for e in node_a.entries
+                                      if e.mbr.intersects(box)]
+                            cand_b = [e for e in node_b.entries
+                                      if e.mbr.intersects(box)]
+                            if cand_a and cand_b:
+                                for ea, eb in sweep_pairs(
+                                    cand_a, cand_b, rect_of=_MBR_OF,
+                                    counters=cpu,
+                                ):
+                                    nxt.append((ea.ref, eb.ref))
+                finally:
+                    tree_b.buffer.unpin(page_b)
             finally:
                 tree_a.buffer.unpin(page_a)
-                tree_b.buffer.unpin(page_b)
         current = nxt
 
     return results

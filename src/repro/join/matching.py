@@ -85,19 +85,21 @@ class _TreeMatcher:
 
     def _match(self, page_a: int, page_b: int) -> None:
         node_a = self.tree_a.read_node(page_a, pin=True)
-        node_b = self.tree_b.read_node(page_b, pin=True)
         try:
-            if node_a.is_leaf and node_b.is_leaf:
-                self._match_leaves(node_a, node_b)
-            elif node_a.is_leaf:
-                self._descend_one(node_a, page_a, node_b, leaf_side="a")
-            elif node_b.is_leaf:
-                self._descend_one(node_b, page_b, node_a, leaf_side="b")
-            else:
-                self._match_internal(node_a, node_b)
+            node_b = self.tree_b.read_node(page_b, pin=True)
+            try:
+                if node_a.is_leaf and node_b.is_leaf:
+                    self._match_leaves(node_a, node_b)
+                elif node_a.is_leaf:
+                    self._descend_one(node_a, page_a, node_b, leaf_side="a")
+                elif node_b.is_leaf:
+                    self._descend_one(node_b, page_b, node_a, leaf_side="b")
+                else:
+                    self._match_internal(node_a, node_b)
+            finally:
+                self.tree_b.buffer.unpin(page_b)
         finally:
             self.tree_a.buffer.unpin(page_a)
-            self.tree_b.buffer.unpin(page_b)
 
     def _match_leaves(self, node_a: Node, node_b: Node) -> None:
         """Report overlapping (oid, oid) pairs via plane sweep."""

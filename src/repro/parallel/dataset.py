@@ -29,6 +29,7 @@ import weakref
 from dataclasses import dataclass
 from typing import Any, Callable
 
+from ..analysis.witness import witnessed_lock
 from ..errors import ParallelError, StaleDatasetError
 from ..geometry import Rect
 from ..kernels.rect_array import SharedRectArray, SharedRectDescriptor
@@ -337,7 +338,7 @@ class DatasetCache:
         # insertion-ordered: first key is the least recently used.
         self._entries: dict[tuple[int, ...], dict[str, Any]] = {}
         self._versions = itertools.count(1)
-        self._lock = threading.RLock()
+        self._lock = witnessed_lock("dataset", threading.RLock())
 
     # ----------------------------------------------------------------- #
 

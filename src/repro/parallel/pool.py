@@ -33,6 +33,7 @@ import threading
 from multiprocessing import connection as mp_connection
 from typing import Any
 
+from ..analysis.witness import witnessed_lock
 from ..errors import ParallelError, WorkerCrashError
 from .dataset import (
     DatasetCache,
@@ -117,7 +118,7 @@ class WorkerPool:
         self._ctx = multiprocessing.get_context(self.start_method)
         self._wids = itertools.count()
         self._run_ids = itertools.count(1)
-        self._lock = threading.Lock()
+        self._lock = witnessed_lock("pool", threading.Lock())
         self._closed = False
         self._workers = [self._spawn() for _ in range(workers)]
         add_invalidation_listener(self._on_invalidated)

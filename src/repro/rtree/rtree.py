@@ -47,7 +47,6 @@ def find_leaf_path(
     buffer: BufferPool = tree.buffer  # type: ignore[attr-defined]
     metrics: MetricsCollector | None = tree.metrics  # type: ignore[attr-defined]
     read_node = tree.read_node  # type: ignore[attr-defined]
-    # repro-lint: disable=RPR003 -- pin custody transfers to the caller: every pin lands in `pinned` before anything can raise, and the caller's finally releases the whole list
     root = read_node(tree.root_id, pin=True)  # type: ignore[attr-defined]
     pinned.append(root.page_id)
 
@@ -63,7 +62,6 @@ def find_leaf_path(
             return None
         for i, e in enumerate(node.entries):
             if e.mbr.contains(rect):
-                # repro-lint: disable=RPR003 -- backtrack unpins pair with their pops; surviving pins are released by the caller's finally via `pinned`
                 child = read_node(e.ref, pin=True)
                 pinned.append(e.ref)
                 found = descend(child, nodes + [node], idxs + [i])

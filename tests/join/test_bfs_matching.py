@@ -150,3 +150,39 @@ def test_bfs_always_equals_naive(a_entries, b_entries):
     tree_b = RTree.build(buf, cfg, b_entries, metrics=m)
     got = set(match_trees_bfs(tree_a, tree_b, m, queue_budget_pairs=6))
     assert got == naive_join(a_entries, b_entries).pair_set()
+
+
+class TestBfsPinSafetyUnderFaults:
+    """Regression twin of the TM matcher's double-pin fix: a fault on
+    the B-side read inside the BFS drain loop must not leak the A-side
+    pin taken just before it."""
+
+    def test_fault_on_second_read_leaks_no_pins(self):
+        cfg, m, buf = make_env()
+        tree_a = RTree.build(buf, cfg, random_entries(200, seed=1),
+                             metrics=m)
+        tree_b = RTree.build(
+            buf, cfg, random_entries(200, seed=2, oid_start=1000),
+            metrics=m,
+        )
+        original = tree_b.read_node
+
+        def faulting_read(page_id, pin=False):
+            if pin:
+                raise RuntimeError("injected fault on the B-side read")
+            return original(page_id, pin=pin)
+
+        tree_b.read_node = faulting_read
+        try:
+            try:
+                match_trees_bfs(tree_a, tree_b, m)
+            except RuntimeError:
+                pass
+            leaked = [
+                (page_id, pins)
+                for _key, page_id, pins, _dirty in buf.audit_frames()
+                if pins
+            ]
+            assert leaked == []
+        finally:
+            tree_b.read_node = original

@@ -174,3 +174,38 @@ def test_match_always_equals_naive(a_entries, b_entries):
     tree_b = RTree.build(buf, cfg, b_entries, metrics=m)
     got = set(match_trees(tree_a, tree_b, m))
     assert got == naive_join(a_entries, b_entries).pair_set()
+
+
+class TestPinSafetyUnderFaults:
+    """Regression: the matcher pinned both nodes *before* entering its
+    try/finally, so a fault on the second read leaked the first pin and
+    wedged the buffer pool. Each pin now has its own protected region."""
+
+    def test_fault_on_second_read_leaks_no_pins(self):
+        env = make_env()
+        tree_a, _ = build_rtree(random_entries(200, seed=1), env)
+        tree_b, _ = build_rtree(
+            random_entries(200, seed=2, oid_start=1000), env
+        )
+        buf = env[2]
+        original = tree_b.read_node
+
+        def faulting_read(page_id, pin=False):
+            if pin:
+                raise RuntimeError("injected fault on the B-side read")
+            return original(page_id, pin=pin)
+
+        tree_b.read_node = faulting_read
+        try:
+            try:
+                match_trees(tree_a, tree_b, env[1])
+            except RuntimeError:
+                pass
+            leaked = [
+                (page_id, pins)
+                for _key, page_id, pins, _dirty in buf.audit_frames()
+                if pins
+            ]
+            assert leaked == []
+        finally:
+            tree_b.read_node = original

@@ -281,3 +281,53 @@ class TestEndpoints:
         assert any("no resident sessions" in r for r in before_stop.reasons)
         assert not after_stop.ready
         assert any("not accepting" in r for r in after_stop.reasons)
+
+
+class TestStopKeepsLoopResponsive:
+    """Regression: ``stop()`` used to call ``executor.shutdown(wait=True)``
+    and ``shutdown_default_pools()`` inline, freezing the event loop (and
+    every health check / in-flight ticket) for the whole teardown. Both
+    now hop through ``run_in_executor``; a concurrent ticker task must
+    keep ticking while a deliberately slow pool teardown runs."""
+
+    def test_ticker_ticks_through_a_slow_pool_teardown(self, monkeypatch):
+        import time as _time
+
+        import repro.parallel as parallel_mod
+
+        def slow_teardown():
+            _time.sleep(0.4)  # stands in for worker joins
+
+        monkeypatch.setattr(
+            parallel_mod, "shutdown_default_pools", slow_teardown
+        )
+        registry = _registry(200)
+
+        async def main():
+            service = JoinService(registry)
+            await service.start()
+            ticks = 0
+            stopping = False
+
+            async def ticker():
+                nonlocal ticks
+                while True:
+                    await asyncio.sleep(0.02)
+                    if stopping:
+                        ticks += 1
+
+            task = asyncio.create_task(ticker())
+            await asyncio.sleep(0.05)  # let the ticker settle
+            stopping = True
+            await service.stop()
+            task.cancel()
+            try:
+                await task
+            except asyncio.CancelledError:
+                pass
+            return ticks
+
+        ticks = run(main())
+        # A frozen loop yields ~0 ticks across the 0.4 s teardown; the
+        # executor hop keeps the loop serving (expect ~20, demand 8).
+        assert ticks >= 8
