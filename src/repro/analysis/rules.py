@@ -412,6 +412,13 @@ class PinLifecycle(Rule):
     * *registration* into a local list that an enclosing ``finally``
       blanket-releases (``for x in pins: buffer.unpin(...)``).
 
+    Releases are recognised through *bound-method hoists* as well: the
+    hot paths bind ``unpin_b = tree.buffer.unpin`` (or ``self._unpin_b
+    = ...`` in a matcher object) once per run, so a call through any
+    name or attribute the module ever assigns from ``<expr>.unpin`` is
+    treated exactly like a direct ``.unpin(...)`` — it discharges the
+    matching obligation and cannot itself raise.
+
     Two findings: an obligation outstanding at a function exit
     (including explicit ``raise`` paths — the finally bodies are
     inlined first, so only genuinely unreleased pins surface), and an
@@ -431,6 +438,8 @@ class PinLifecycle(Rule):
             return self.findings
         self._reported: set[tuple[int, str]] = set()
         self._at_risk_lines: set[int] = set()
+        self._release_names, self._release_attrs = \
+            self._unpin_aliases(self.ctx.tree)
         summaries = _module_summaries(self.ctx)
         for _cls, func in _iter_functions(self.ctx.tree):
             self._check_function(func, summaries)
@@ -483,6 +492,44 @@ class PinLifecycle(Rule):
         if summary is not None and summary.pin_param is not None:
             return summary
         return None
+
+    @staticmethod
+    def _unpin_aliases(
+        tree: ast.AST,
+    ) -> tuple[frozenset[str], frozenset[str]]:
+        """Names and attributes the module binds to an ``unpin`` method.
+
+        Collected module-wide (hoists happen in ``__init__`` or an
+        enclosing function; calls happen elsewhere), split into plain
+        names (``unpin_b = buffer.unpin``) and attribute names
+        (``self._unpin_b = buffer.unpin``).
+        """
+        names: set[str] = set()
+        attrs: set[str] = set()
+        for node in ast.walk(tree):
+            if not (
+                isinstance(node, ast.Assign)
+                and isinstance(node.value, ast.Attribute)
+                and node.value.attr == "unpin"
+            ):
+                continue
+            for target in node.targets:
+                if isinstance(target, ast.Name):
+                    names.add(target.id)
+                elif isinstance(target, ast.Attribute):
+                    attrs.add(target.attr)
+        return frozenset(names), frozenset(attrs)
+
+    def _is_release(self, func_expr: ast.expr) -> bool:
+        """A direct ``.unpin`` call or a call through a hoisted alias."""
+        if isinstance(func_expr, ast.Attribute):
+            return (
+                func_expr.attr == "unpin"
+                or func_expr.attr in self._release_attrs
+            )
+        if isinstance(func_expr, ast.Name):
+            return func_expr.id in self._release_names
+        return False
 
     @staticmethod
     def _assigned_names(
@@ -556,12 +603,7 @@ class PinLifecycle(Rule):
 
         # 2. Releases.
         for call in calls:
-            func_expr = call.func
-            if (
-                isinstance(func_expr, ast.Attribute)
-                and func_expr.attr == "unpin"
-                and call.args
-            ):
+            if self._is_release(call.func) and call.args:
                 index = self._match_token(tokens, call.args[0])
                 if index is not None:
                     tokens.pop(index)
@@ -673,9 +715,10 @@ class PinLifecycle(Rule):
             return stmt.target.id
         return None
 
-    @staticmethod
-    def _may_raise(call: ast.Call) -> bool:
+    def _may_raise(self, call: ast.Call) -> bool:
         func_expr = call.func
+        if self._is_release(func_expr):
+            return False
         if isinstance(func_expr, ast.Attribute):
             return func_expr.attr not in _PIN_SAFE_ATTRS
         if isinstance(func_expr, ast.Name):
@@ -699,9 +742,7 @@ class PinLifecycle(Rule):
             if not isinstance(loop.iter, ast.Name):
                 continue
             if any(
-                isinstance(n, ast.Call)
-                and isinstance(n.func, ast.Attribute)
-                and n.func.attr == "unpin"
+                isinstance(n, ast.Call) and self._is_release(n.func)
                 for n in ast.walk(loop)
             ):
                 released.add(loop.iter.id)
@@ -728,16 +769,13 @@ class PinLifecycle(Rule):
                     and node.iter.id == reg
                 ):
                     if any(
-                        isinstance(n, ast.Call)
-                        and isinstance(n.func, ast.Attribute)
-                        and n.func.attr == "unpin"
+                        isinstance(n, ast.Call) and self._is_release(n.func)
                         for n in ast.walk(node)
                     ):
                         return True
             elif (
                 isinstance(node, ast.Call)
-                and isinstance(node.func, ast.Attribute)
-                and node.func.attr == "unpin"
+                and self._is_release(node.func)
                 and node.args
             ):
                 arg = node.args[0]

@@ -1,0 +1,308 @@
+"""Accounted replay of batch traversal plans.
+
+The pure plan builders in :mod:`repro.kernels.node_store` turn a
+columnar tree snapshot into flat traversal programs — which pages the
+scalar algorithms would fetch, what they would charge, what they would
+emit. This module is the *impure* half: it owns the snapshots (built
+from unaccounted peeks, cached on the tree, invalidated by the
+``mutations`` version stamp) and replays the plans through the real
+buffer so the cost model observes the exact scalar behavior:
+
+* the same ``fetch``/``pin``/``unpin`` calls in the same order (LRU
+  state, hit/miss split, eviction and fault positions all preserved);
+* the same ``CpuCounters`` increments at the same positions relative
+  to accounted reads (a fault mid-traversal leaves counters exactly
+  where the scalar run would);
+* the same pairs in the same emission order.
+
+What the replay *skips* is the per-node Python work between accounted
+operations — Rect allocation, per-entry predicate loops, one kernel
+dispatch per node — which is precisely the control-flow overhead the
+Amdahl gap consists of. Dispatch lives with the callers
+(:mod:`repro.join.matching`, :mod:`repro.join.bfj`): the batch path
+runs only when ``REPRO_KERNELS`` and ``REPRO_BATCH`` are both on and
+the numpy backend is live, and either switch restores the scalar
+reference unchanged.
+"""
+
+from __future__ import annotations
+
+import zlib
+from typing import Any
+
+from ..kernels.backend import np
+from ..kernels.node_store import ColumnTree, build_match_plans, build_window_plans
+from ..metrics import MetricsCollector
+from .result import JoinPair
+
+__all__ = [
+    "batch_traversal_available",
+    "column_tree_of",
+    "match_trees_batch",
+    "window_join_batch",
+]
+
+
+def batch_traversal_available() -> bool:
+    """Whether the batch path *can* run: live numpy backend required.
+
+    (``HAVE_NUMPY`` is not enough — ``REPRO_KERNELS_BACKEND=python``
+    pins the kernels to list columns, and the plan builders are numpy
+    only.) The runtime toggles are checked separately by callers.
+    """
+    return np is not None
+
+
+# --------------------------------------------------------------------- #
+# Snapshot ownership and invalidation
+# --------------------------------------------------------------------- #
+
+def column_tree_of(tree: Any) -> ColumnTree:
+    """The columnar snapshot of ``tree``, rebuilt when its version moves.
+
+    The version stamp is ``(tree.mutations, tree.root_id)``: every
+    mutating lane bumps ``mutations`` (R-tree insert/delete, retained
+    seeded-tree insert/delete — the dynamic-update maintenance path —
+    and seeded construction's graft/cleanup), and root replacement
+    covers the root-split/collapse edge. Building reads nodes through
+    the unaccounted peek path (`iter_nodes`), so a snapshot never
+    perturbs the cost model.
+    """
+    key = (tree.mutations, tree.root_id)
+    cached = getattr(tree, "_column_tree", None)
+    if cached is not None and cached.stamp == key:
+        return cached
+    records = []
+    for node in tree.iter_nodes():
+        entries = node.entries
+        records.append((
+            node.page_id,
+            node.level,
+            [e.ref for e in entries],
+            [e.mbr.xlo for e in entries],
+            [e.mbr.ylo for e in entries],
+            [e.mbr.xhi for e in entries],
+            [e.mbr.yhi for e in entries],
+        ))
+    snapshot = ColumnTree.build(records, tree.root_id, stamp=key)
+    tree._column_tree = snapshot
+    return snapshot
+
+
+# --------------------------------------------------------------------- #
+# Batched tree matching (STJ / RTJ / 2STJ match phase)
+# --------------------------------------------------------------------- #
+
+class _PreparedMatch:
+    """A MatchPlan lowered to plain Python lists for the replay loop."""
+
+    __slots__ = ("anode", "bnode", "pa", "pb", "xy", "cs", "ce",
+                 "es", "ee", "emits")
+
+    def __init__(self, ct_a: ColumnTree, ct_b: ColumnTree):
+        plan = build_match_plans(ct_a, ct_b)
+        self.anode = plan.p_anode
+        self.bnode = plan.p_bnode
+        self.xy = plan.xy.tolist()
+        self.cs = plan.child_start.tolist()
+        self.ce = plan.child_end.tolist()
+        self.es = plan.emit_start.tolist()
+        self.ee = plan.emit_end.tolist()
+        self.emits = list(zip(plan.emit_a.tolist(), plan.emit_b.tolist()))
+        self.rebind(ct_a, ct_b)
+
+    def rebind(self, ct_a: ColumnTree, ct_b: ColumnTree) -> None:
+        """Re-lower the page-id columns against (digest-equal) snapshots.
+
+        The plan proper — visit order, child wiring, XY charges, emitted
+        object ids — is a pure function of the structural digest, but
+        the replayed fetch sequence addresses *pages*, and a rebuilt
+        tree lands on fresh page ids. Re-lowering is two gathers.
+        """
+        self.pa = ct_a.page[self.anode].tolist()
+        self.pb = ct_b.page[self.bnode].tolist()
+
+
+def _prepared_match_of(
+    tree_a: Any, tree_b: Any, ct_a: ColumnTree, ct_b: ColumnTree
+) -> _PreparedMatch:
+    """Cache the lowered plan for re-matching, content-addressed.
+
+    The cache lives on ``tree_b`` (in STJ/2STJ that is the persistent
+    data tree; the seed-side tree is rebuilt per join). Two lookups:
+
+    * identity — the resident case, both snapshots unchanged;
+    * digest — ``tree_a`` was rebuilt but describes the identical tree
+      (repeated joins over the same inputs, the benchmark's shape), so
+      the plan, which is a pure function of the two snapshots, is
+      reused.
+    """
+    cached = getattr(tree_b, "_batch_match_plan", None)
+    if cached is not None and cached[0] is ct_b:
+        peer = cached[1]
+        if peer is ct_a:
+            return cached[2]
+        if peer.digest() == ct_a.digest():
+            prepared = cached[2]
+            prepared.rebind(ct_a, ct_b)
+            tree_b._batch_match_plan = (ct_b, ct_a, prepared)
+            return prepared
+    prepared = _PreparedMatch(ct_a, ct_b)
+    tree_b._batch_match_plan = (ct_b, ct_a, prepared)
+    return prepared
+
+
+def match_trees_batch(
+    tree_a: Any,
+    tree_b: Any,
+    metrics: MetricsCollector | None = None,
+) -> list[JoinPair]:
+    """Batch-planned TM: identical answers and costs, no per-pair Python.
+
+    The preamble mirrors the scalar :func:`~repro.join.matching
+    .match_trees` exactly — both roots read unpinned, empty-tree early
+    exit — and the pair forest is then walked depth-first with the
+    scalar's pin discipline: pin a, pin b, charge the pair's XY total,
+    emit, descend children in sweep order, unpin b then a. The
+    ``finally`` chain is the scalar ``_match``'s, so a storage fault
+    unwinds the pins identically; recursion depth is the forest depth
+    (bounded by the two tree heights), same as the scalar matcher.
+    """
+    root_a = tree_a.read_node(tree_a.root_id)
+    root_b = tree_b.read_node(tree_b.root_id)
+    if not root_a.entries or not root_b.entries:
+        return []
+    prep = _prepared_match_of(
+        tree_a, tree_b, column_tree_of(tree_a), column_tree_of(tree_b)
+    )
+
+    cpu = metrics.cpu if metrics is not None else None
+    fetch_a = tree_a.buffer.fetch
+    unpin_a = tree_a.buffer.unpin
+    fetch_b = tree_b.buffer.fetch
+    unpin_b = tree_b.buffer.unpin
+    pa, pb, xy = prep.pa, prep.pb, prep.xy
+    cs, ce, es, ee = prep.cs, prep.ce, prep.es, prep.ee
+    emits = prep.emits
+
+    results: list[JoinPair] = []
+    extend = results.extend
+
+    def replay(pair: int) -> None:
+        page_a = pa[pair]
+        fetch_a(page_a, pin=True)
+        try:
+            page_b = pb[pair]
+            fetch_b(page_b, pin=True)
+            try:
+                if cpu is not None:
+                    cpu.xy_tests += xy[pair]
+                e0 = es[pair]
+                if ee[pair] != e0:
+                    extend(emits[e0:ee[pair]])
+                for child in range(cs[pair], ce[pair]):
+                    replay(child)
+            finally:
+                unpin_b(page_b)
+        finally:
+            unpin_a(page_a)
+
+    replay(0)
+    return results
+
+
+# --------------------------------------------------------------------- #
+# Batched window queries (BFJ's match phase)
+# --------------------------------------------------------------------- #
+
+class _PreparedWindow:
+    """A WindowPlan flattened to the scalar replay order, plus answers.
+
+    The scalar BFJ walks each query's stack depth-first (children pushed
+    in entry order, popped last-first). That order is a pure function of
+    the plan, so it is linearised once here: ``pages``/``weights`` are
+    the full accounted fetch-and-charge sequence across all queries, and
+    ``pairs`` the complete emission list in scalar order. Replay is then
+    a single :meth:`BufferPool.fetch_run`. Emissions carry no accounting
+    and a faulted join discards its partial pairs, so returning the
+    precomputed list is observationally identical to emitting at each
+    leaf visit.
+    """
+
+    __slots__ = ("pages", "weights", "pairs")
+
+    def __init__(self, ct: ColumnTree, plan: Any, oids: list):
+        cs = plan.child_start.tolist()
+        ce = plan.child_end.tolist()
+        hs = plan.hit_start.tolist()
+        he = plan.hit_end.tolist()
+        hits = plan.hit_ref.tolist()
+        order: list[int] = []
+        visit_order = order.append
+        pairs: list[JoinPair] = []
+        emit = pairs.append
+        stack: list[int] = []
+        pop = stack.pop
+        for q in range(plan.n_queries):  # query q's root visit id is q
+            oid_s = oids[q]
+            stack.append(q)
+            while stack:
+                v = pop()
+                visit_order(v)
+                c0 = cs[v]
+                c1 = ce[v]
+                if c1 != c0:
+                    stack.extend(range(c0, c1))
+                else:
+                    h0 = hs[v]
+                    if he[v] != h0:
+                        for ref in hits[h0:he[v]]:
+                            emit((oid_s, ref))
+        dfs = plan.v_node[np.asarray(order, dtype=np.int64)]
+        self.pages = ct.page[dfs].tolist()
+        self.weights = ct.nent[dfs].tolist()
+        self.pairs = pairs
+
+
+def window_join_batch(data_s: Any, tree_r: Any) -> list[JoinPair]:
+    """All of BFJ's window queries planned together, replayed in order.
+
+    The sequential scan is materialised first — the scalar loop charges
+    every run read on its first iteration anyway — and the whole query
+    batch then descends the columnar snapshot level-synchronously. The
+    lowered plan is cached on the tree, keyed by snapshot identity and
+    query-batch content, so a resident service probing the same run
+    against the same tree pays only the accounted replay.
+    """
+    rows = list(data_s.scan())
+    ct = column_tree_of(tree_r)
+    nq = len(rows)
+    qxlo = np.empty(nq)
+    qylo = np.empty(nq)
+    qxhi = np.empty(nq)
+    qyhi = np.empty(nq)
+    oids = []
+    add_oid = oids.append
+    for i, (rect, oid_s) in enumerate(rows):
+        qxlo[i] = rect.xlo
+        qylo[i] = rect.ylo
+        qxhi[i] = rect.xhi
+        qyhi[i] = rect.yhi
+        add_oid(oid_s)
+    qkey = (
+        nq, zlib.crc32(np.asarray(oids, dtype=np.int64).tobytes()),
+        zlib.crc32(qxlo.tobytes()), zlib.crc32(qylo.tobytes()),
+        zlib.crc32(qxhi.tobytes()), zlib.crc32(qyhi.tobytes()),
+    )
+    cached = getattr(tree_r, "_batch_window_plan", None)
+    if cached is not None and cached[0] is ct and cached[1] == qkey:
+        prep = cached[2]
+    else:
+        plan = build_window_plans(ct, qxlo, qylo, qxhi, qyhi)
+        prep = _PreparedWindow(ct, plan, oids)
+        tree_r._batch_window_plan = (ct, qkey, prep)
+
+    metrics = tree_r.metrics
+    cpu = metrics.cpu if metrics is not None else None
+    tree_r.buffer.fetch_run(prep.pages, prep.weights, cpu)
+    return list(prep.pairs)

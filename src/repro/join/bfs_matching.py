@@ -110,7 +110,13 @@ def match_trees_bfs(
     cpu = metrics.cpu if metrics is not None else None
     config = tree_a.config
     disk = tree_a.buffer.disk
+    # One env read per run, and bound-method hoists for the per-pair
+    # attribute chains (tree -> buffer -> unpin), as in the DFS matcher.
     use_kernels = kernels_enabled()
+    read_a = tree_a.read_node
+    read_b = tree_b.read_node
+    unpin_a = tree_a.buffer.unpin
+    unpin_b = tree_b.buffer.unpin
 
     root_a = tree_a.read_node(tree_a.root_id)
     root_b = tree_b.read_node(tree_b.root_id)
@@ -124,9 +130,9 @@ def match_trees_bfs(
     while len(current):
         nxt = _PairQueue(disk, config, queue_budget_pairs)
         for page_a, page_b in current.drain():
-            node_a = tree_a.read_node(page_a, pin=True)
+            node_a = read_a(page_a, pin=True)
             try:
-                node_b = tree_b.read_node(page_b, pin=True)
+                node_b = read_b(page_b, pin=True)
                 try:
                     if node_a.is_leaf and node_b.is_leaf:
                         if use_kernels:
@@ -207,9 +213,9 @@ def match_trees_bfs(
                                 ):
                                     nxt.append((ea.ref, eb.ref))
                 finally:
-                    tree_b.buffer.unpin(page_b)
+                    unpin_b(page_b)
             finally:
-                tree_a.buffer.unpin(page_a)
+                unpin_a(page_a)
         current = nxt
 
     return results

@@ -234,11 +234,18 @@ class JoinPipeline:
             if ctx.trace is not None
             else nullcontext()
         )
+        started = time.perf_counter()
         with span_cm, metrics_cm:
             if phase.recoverable_body is not None and ctx.recovery is not None:
                 self._run_with_recovery(ctx, phase)
             else:
                 phase.body(ctx)
+        # Accumulated (not overwritten): a degraded run keeps the failed
+        # attempt's time alongside the fallback pipeline's phases.
+        walls = ctx.state.setdefault("phase_walls", {})
+        walls[phase.name] = (
+            walls.get(phase.name, 0.0) + time.perf_counter() - started
+        )
 
     def _run_with_recovery(
         self, ctx: ExecutionContext, phase: JoinPhase
@@ -304,6 +311,7 @@ class JoinPipeline:
             pairs=ctx.state.get("pairs", []),
             index=ctx.state.get("index"),
             algorithm=self.algorithm,
+            phase_walls=ctx.state.get("phase_walls", {}),
         )
         result.trace = ctx.trace
         return result

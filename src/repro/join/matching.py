@@ -35,9 +35,15 @@ from operator import attrgetter
 from typing import Any
 
 from ..geometry import Rect, sweep_pairs
-from ..kernels import intersect_indices, kernels_enabled, sweep_pairs_batch
+from ..kernels import (
+    batch_enabled,
+    intersect_indices,
+    kernels_enabled,
+    sweep_pairs_batch,
+)
 from ..metrics import MetricsCollector
 from ..rtree.node import Node
+from .batch import batch_traversal_available, match_trees_batch
 from .result import JoinPair
 
 #: Entry -> MBR adapter, hoisted out of the per-pair sweep calls.
@@ -52,10 +58,21 @@ def match_trees(
     """All (ref_a, ref_b) pairs of overlapping objects in the two trees.
 
     ``tree_a`` and ``tree_b`` are duck-typed: they need ``root_id``,
-    ``read_node(page_id, pin=...)`` and ``buffer`` attributes — both
-    :class:`~repro.rtree.RTree` and :class:`~repro.seeded.SeededTree`
-    qualify. Either tree may be unbalanced.
+    ``read_node(page_id, pin=...)``, ``buffer``, ``mutations`` and
+    ``iter_nodes`` attributes — both :class:`~repro.rtree.RTree` and
+    :class:`~repro.seeded.SeededTree` qualify. Either tree may be
+    unbalanced.
+
+    With the kernels and the batch layer both enabled (and the numpy
+    backend live), the whole pair tree is planned level-at-a-time over
+    columnar snapshots and replayed through the buffer —
+    :func:`~repro.join.batch.match_trees_batch` — with bit-identical
+    pairs, counters and I/O. ``REPRO_KERNELS=0`` or ``REPRO_BATCH=0``
+    restores the scalar recursion below.
     """
+    if (kernels_enabled() and batch_enabled()
+            and batch_traversal_available()):
+        return match_trees_batch(tree_a, tree_b, metrics)
     matcher = _TreeMatcher(tree_a, tree_b, metrics)
     return matcher.run()
 
@@ -72,6 +89,13 @@ class _TreeMatcher:
         self.results: list[JoinPair] = []
         # One env read per matching run, not per node pair.
         self.use_kernels = kernels_enabled()
+        # Bound-method hoists: _match runs once per overlapping node
+        # pair, and the attribute chains (tree -> buffer -> unpin) cost
+        # more than the call they set up.
+        self._read_a = tree_a.read_node
+        self._read_b = tree_b.read_node
+        self._unpin_a = tree_a.buffer.unpin
+        self._unpin_b = tree_b.buffer.unpin
 
     def run(self) -> list[JoinPair]:
         root_a = self.tree_a.read_node(self.tree_a.root_id)
@@ -84,9 +108,9 @@ class _TreeMatcher:
     # ----------------------------------------------------------------- #
 
     def _match(self, page_a: int, page_b: int) -> None:
-        node_a = self.tree_a.read_node(page_a, pin=True)
+        node_a = self._read_a(page_a, pin=True)
         try:
-            node_b = self.tree_b.read_node(page_b, pin=True)
+            node_b = self._read_b(page_b, pin=True)
             try:
                 if node_a.is_leaf and node_b.is_leaf:
                     self._match_leaves(node_a, node_b)
@@ -97,9 +121,9 @@ class _TreeMatcher:
                 else:
                     self._match_internal(node_a, node_b)
             finally:
-                self.tree_b.buffer.unpin(page_b)
+                self._unpin_b(page_b)
         finally:
-            self.tree_a.buffer.unpin(page_a)
+            self._unpin_a(page_a)
 
     def _match_leaves(self, node_a: Node, node_b: Node) -> None:
         """Report overlapping (oid, oid) pairs via plane sweep."""

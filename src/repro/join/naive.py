@@ -15,6 +15,7 @@ from __future__ import annotations
 from typing import Any, Iterable
 
 from ..geometry import Rect
+from ..kernels import RectArray, intersect_indices, kernels_enabled
 from ..metrics import MetricsCollector, Phase
 from .engine import ExecutionContext, JoinPhase, JoinPipeline
 from .result import JoinResult
@@ -29,10 +30,23 @@ def _entries(source: Any) -> Iterable[tuple[Rect, int]]:
 def _match(ctx: ExecutionContext) -> None:
     list_r = list(_entries(ctx.options["data_r"]))
     pairs = []
-    for rect_s, oid_s in _entries(ctx.data_s):
-        for rect_r, oid_r in list_r:
-            if rect_s.intersects(rect_r):
-                pairs.append((oid_s, oid_r))
+    if kernels_enabled() and list_r:
+        # Block-intersect through the RectArray columns: one vectorized
+        # pass over the whole inner set per outer rectangle, emitting
+        # hits in the same row-major order as the scalar loop. No CPU
+        # accounting either way — the oracle stays outside the cost
+        # model it checks.
+        arr = RectArray.from_rects([rect for rect, _ in list_r])
+        oids_r = [oid for _, oid in list_r]
+        append = pairs.append
+        for rect_s, oid_s in _entries(ctx.data_s):
+            for i in intersect_indices(arr, rect_s):
+                append((oid_s, oids_r[i]))
+    else:
+        for rect_s, oid_s in _entries(ctx.data_s):
+            for rect_r, oid_r in list_r:
+                if rect_s.intersects(rect_r):
+                    pairs.append((oid_s, oid_r))
     ctx.state["pairs"] = pairs
 
 

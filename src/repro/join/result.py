@@ -54,6 +54,12 @@ class JoinResult:
     per-phase wall time, I/O deltas, buffer hit rates and fault counters,
     exportable as Chrome trace-event JSON via ``trace.to_chrome_trace()``.
 
+    ``phase_walls`` maps each engine phase name to its wall-clock
+    seconds, recorded unconditionally (a dict read costs nothing, and
+    unlike ``trace`` it never changes which execution path runs).
+    Accumulated, not overwritten: a degraded run keeps the abandoned
+    construction attempt's time alongside the fallback's phases.
+
     ``partitions`` is filled by partition-parallel runs only: one
     :class:`~repro.partition.PartitionStats` per executed tile, carrying
     that tile's pair counts and its full counter snapshot. The merged
@@ -74,6 +80,7 @@ class JoinResult:
     fallback_from: str = ""
     degraded_reason: str = ""
     trace: Any | None = None
+    phase_walls: dict[str, float] = field(default_factory=dict)
     partitions: list[Any] | None = None
     parallel_decision: ParallelDecision | None = None
 

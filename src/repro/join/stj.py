@@ -36,6 +36,7 @@ from ..metrics.tracing import JoinTrace
 from ..rtree import RTree
 from ..rtree.split import SplitFunction, quadratic_split
 from ..seeded import CopyStrategy, GrowCheckpointer, SeededTree, UpdatePolicy
+from ..seeded.replay import cached_construct
 from ..storage import BufferPool, DataFile, RecoveryPolicy
 from .bfj import bfj_pipeline
 from .engine import ExecutionContext, JoinPhase, JoinPipeline
@@ -54,7 +55,13 @@ def _build_tree(ctx: ExecutionContext, checkpointer: Any, salvage: Any) -> None:
 
 
 def _construct(ctx: ExecutionContext) -> None:
-    _build_tree(ctx, None, None)
+    # The non-recovering construct is a pure function of (T_R, D_S,
+    # knobs): a resident workspace re-joining the same inputs replays
+    # the first build's recorded effect log instead of re-running the
+    # insertion loop (see repro.seeded.replay). Recovery, tracing,
+    # sanitizing, fault-injected and kernels/batch-off runs all take
+    # the scalar body below unchanged.
+    cached_construct(ctx, lambda c: _build_tree(c, None, None))
 
 
 def _make_checkpointer(ctx: ExecutionContext) -> GrowCheckpointer:

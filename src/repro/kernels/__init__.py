@@ -19,6 +19,11 @@ Layout
   MBR-of-slice, least-enlargement scan, center-distance scan, the
   analytic plane sweep, the Guttman quadratic split, and the workload
   generator's clipped-area sum.
+* :mod:`~repro.kernels.node_store` — :class:`ColumnTree`, the
+  level-order struct-of-arrays snapshot of a built tree, plus the
+  batch traversal plan builders (whole-frontier window descent,
+  level-at-a-time tree matching, segmented multi-node plane sweep)
+  behind the ``REPRO_BATCH`` toggle.
 
 The kernels are *pure*: no buffered I/O, no metrics phases, no module
 state. Counter updates happen only where the scalar path updated them,
@@ -26,7 +31,7 @@ with analytically derived (not measured) increments — see DESIGN.md
 §10 for the counting contract.
 """
 
-from .backend import BACKEND, HAVE_NUMPY, kernels_enabled
+from .backend import BACKEND, HAVE_NUMPY, batch_enabled, kernels_enabled
 from .batch import (
     all_points,
     clipped_area_total,
@@ -36,6 +41,14 @@ from .batch import (
     min_center_distance_index,
     quadratic_split_indices,
     sweep_pairs_batch,
+)
+from .node_store import (
+    ColumnTree,
+    MatchPlan,
+    WindowPlan,
+    build_match_plans,
+    build_window_plans,
+    sweep_pairs_segmented,
 )
 from .rect_array import (
     NUMPY_MIN_N,
@@ -49,13 +62,19 @@ from .rect_array import (
 __all__ = [
     "BACKEND",
     "HAVE_NUMPY",
+    "ColumnTree",
     "LocalRectBuffer",
+    "MatchPlan",
     "NUMPY_MIN_N",
     "RectArray",
     "SharedRectArray",
     "SharedRectBuffer",
     "SharedRectDescriptor",
+    "WindowPlan",
     "all_points",
+    "batch_enabled",
+    "build_match_plans",
+    "build_window_plans",
     "clipped_area_total",
     "intersect_indices",
     "kernels_enabled",
@@ -64,4 +83,5 @@ __all__ = [
     "min_center_distance_index",
     "quadratic_split_indices",
     "sweep_pairs_batch",
+    "sweep_pairs_segmented",
 ]

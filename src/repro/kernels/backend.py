@@ -66,3 +66,21 @@ def kernels_enabled() -> bool:
         # the bench harness's explicit "1".
         return True
     return value.strip().lower() not in _DISABLED_VALUES
+
+
+def batch_enabled() -> bool:
+    """Whether the batch-first traversal layer is enabled for this call.
+
+    Controlled by ``REPRO_BATCH`` (default: enabled), read per call for
+    the same reasons as :func:`kernels_enabled`. This is a *narrower*
+    switch than ``REPRO_KERNELS``: it gates only the columnar
+    node-store traversal plans (:mod:`repro.kernels.node_store`), so
+    the differential harness can compare scalar control flow against
+    batch control flow while the per-node kernels stay on. The batch
+    path additionally requires numpy and ``REPRO_KERNELS`` itself —
+    callers combine the three via their dispatch helpers.
+    """
+    value = os.environ.get("REPRO_BATCH")
+    if value is None or value == "1":
+        return True
+    return value.strip().lower() not in _DISABLED_VALUES

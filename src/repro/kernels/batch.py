@@ -127,13 +127,11 @@ def least_enlargement_index(arr: RectArray, rect: Rect) -> int:
         enl = (uxhi - uxlo) * (uyhi - uylo) - area
         cand = np.nonzero(enl == enl.min())[0]
         return int(cand[np.argmin(area[cand])])
-    xlo, ylo, xhi, yhi = arr.xlo, arr.ylo, arr.xhi, arr.yhi
     rxlo, rylo, rxhi, ryhi = rect.xlo, rect.ylo, rect.xhi, rect.yhi
     best_idx = 0
     best_enl = best_area = None
-    for i in range(arr.n):
-        x0, y0, x1, y1 = xlo[i], ylo[i], xhi[i], yhi[i]
-        a = (x1 - x0) * (y1 - y0)
+    rows = zip(arr.xlo, arr.ylo, arr.xhi, arr.yhi, arr.areas())
+    for i, (x0, y0, x1, y1, a) in enumerate(rows):
         uxlo = x0 if x0 <= rxlo else rxlo
         uylo = y0 if y0 <= rylo else rylo
         uxhi = x1 if x1 >= rxhi else rxhi
@@ -374,6 +372,11 @@ def _sweep_python(
 #: too small for numpy to beat the inline loop.
 _SEEDS_NUMPY_MIN = 16
 
+#: Upper-triangle index pairs per ``n``, cached across splits: a build
+#: inserts thousands of entries at one fixed fanout, and ``triu_indices``
+#: (which materialises an n×n mask) dominates the numpy PickSeeds cost.
+_TRIU_CACHE: dict = {}
+
 
 def quadratic_split_indices(
     arr: RectArray, min_fill: int
@@ -408,7 +411,11 @@ def quadratic_split_indices(
         axhi = np.asarray(xhi)
         ayhi = np.asarray(yhi)
         aar = np.asarray(areas)
-        iu, ju = np.triu_indices(n, k=1)  # row-major: the scalar order
+        pair_idx = _TRIU_CACHE.get(n)
+        if pair_idx is None:
+            pair_idx = np.triu_indices(n, k=1)  # row-major: scalar order
+            _TRIU_CACHE[n] = pair_idx
+        iu, ju = pair_idx
         d = (
             (np.maximum(axhi[iu], axhi[ju]) - np.minimum(axlo[iu], axlo[ju]))
             * (np.maximum(ayhi[iu], ayhi[ju]) - np.minimum(aylo[iu], aylo[ju]))
@@ -445,15 +452,22 @@ def quadratic_split_indices(
     group_b = [seed_b]
     ax0, ay0, ax1, ay1 = xlo[seed_a], ylo[seed_a], xhi[seed_a], yhi[seed_a]
     bx0, by0, bx1, by1 = xlo[seed_b], ylo[seed_b], xhi[seed_b], yhi[seed_b]
-    remaining = [k for k in range(n) if k != seed_a and k != seed_b]
+    # Rows prefetched as tuples: the PickNext loop rescans the remaining
+    # set every round, and tuple unpacking beats four indexed column
+    # loads per candidate.
+    remaining = [
+        (k, xlo[k], ylo[k], xhi[k], yhi[k])
+        for k in range(n)
+        if k != seed_a and k != seed_b
+    ]
 
     # --- PickNext loop ------------------------------------------------- #
     while remaining:
         if len(group_a) + len(remaining) == min_fill:
-            group_a.extend(remaining)
+            group_a.extend(row[0] for row in remaining)
             break
         if len(group_b) + len(remaining) == min_fill:
-            group_b.extend(remaining)
+            group_b.extend(row[0] for row in remaining)
             break
 
         area_a = (ax1 - ax0) * (ay1 - ay0)
@@ -461,8 +475,7 @@ def quadratic_split_indices(
         best_pos = -1
         best_pref = -1.0
         best_d1 = best_d2 = 0.0
-        for pos, k in enumerate(remaining):
-            kx0, ky0, kx1, ky1 = xlo[k], ylo[k], xhi[k], yhi[k]
+        for pos, (k, kx0, ky0, kx1, ky1) in enumerate(remaining):
             uxlo = ax0 if ax0 <= kx0 else kx0
             uylo = ay0 if ay0 <= ky0 else ky0
             uxhi = ax1 if ax1 >= kx1 else kx1
@@ -478,7 +491,7 @@ def quadratic_split_indices(
                 best_pref = pref
                 best_pos = pos
                 best_d1, best_d2 = d1, d2
-        chosen = remaining.pop(best_pos)
+        chosen, cx0, cy0, cx1, cy1 = remaining.pop(best_pos)
 
         if best_d1 < best_d2:
             to_a = True
@@ -490,7 +503,6 @@ def quadratic_split_indices(
             to_a = False
         else:
             to_a = len(group_a) <= len(group_b)
-        cx0, cy0, cx1, cy1 = xlo[chosen], ylo[chosen], xhi[chosen], yhi[chosen]
         if to_a:
             group_a.append(chosen)
             ax0 = ax0 if ax0 <= cx0 else cx0

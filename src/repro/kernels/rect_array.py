@@ -83,7 +83,9 @@ def _pick_numpy(backend: str | None, n: int) -> bool:
 class RectArray:
     """``n`` rectangles as four parallel coordinate columns."""
 
-    __slots__ = ("n", "xlo", "ylo", "xhi", "yhi", "is_numpy", "_all_points")
+    __slots__ = (
+        "n", "xlo", "ylo", "xhi", "yhi", "is_numpy", "_all_points", "_areas",
+    )
 
     def __init__(
         self,
@@ -103,6 +105,8 @@ class RectArray:
         # Lazily computed by kernels.all_points(); the only column
         # mutation is patch_row(), which refreshes this memo itself.
         self._all_points: bool | None = None
+        # Lazily computed by areas(); patch_row() keeps it fresh.
+        self._areas: list | None = None
 
     # ----------------------------------------------------------------- #
     # Constructors
@@ -196,6 +200,29 @@ class RectArray:
         # a point row leaves it unknown (another row may still be a
         # rectangle).
         self._all_points = None if rect.is_point() else False
+        if self._areas is not None:
+            self._areas[i] = (rect.xhi - rect.xlo) * (rect.yhi - rect.ylo)
+
+    def areas(self) -> list:
+        """Per-row areas as a plain list, memoised on the array.
+
+        The insertion path evaluates every row's area on each
+        least-enlargement scan of the same node columns; with
+        :meth:`patch_row` refreshing the one changed row, the memo
+        stays valid for the lifetime of the columns.
+        """
+        cached = self._areas
+        if cached is None:
+            xlo, ylo, xhi, yhi = self.xlo, self.ylo, self.xhi, self.yhi
+            if self.is_numpy:
+                cached = ((xhi - xlo) * (yhi - ylo)).tolist()
+            else:
+                cached = [
+                    (x1 - x0) * (y1 - y0)
+                    for x0, y0, x1, y1 in zip(xlo, ylo, xhi, yhi)
+                ]
+            self._areas = cached
+        return cached
 
     def take(self, indices: Any) -> "RectArray":
         """The sub-array at ``indices`` (kept in the given order)."""

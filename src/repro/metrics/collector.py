@@ -169,6 +169,8 @@ class MetricsCollector:
             p: FaultCounters() for p in Phase
         }
         self._phase = Phase.SETUP
+        # Construction-effect recorder hook (see repro.seeded.replay).
+        self._recorder: list | None = None
 
     # ----------------------------------------------------------------- #
     # Phase control
@@ -247,6 +249,9 @@ class MetricsCollector:
 
     def count_bbox_tests(self, count: int = 1) -> None:
         self.cpu.bbox_tests += count
+        rec = self._recorder
+        if rec is not None:
+            rec.append((6, count))
 
     def count_xy_tests(self, count: int = 1) -> None:
         self.cpu.xy_tests += count

@@ -44,17 +44,13 @@ def choose_subtree(
     """
     if use_kernels is None:
         use_kernels = kernels_enabled()
-    arr = (
-        node.warm_rect_array()
-        if node.entries and use_kernels
-        else None
-    )
-    if arr is not None:
+    if node.entries and use_kernels:
         # Same winner as the scalar loop: first index attaining minimal
         # enlargement, area as the tie-break (first occurrence again).
-        # Only a warm cache is used — this node is invalidated later in
-        # the same insert, so building columns here would never amortise.
-        best_idx = least_enlargement_index(arr, rect)
+        # Building columns eagerly amortises because the non-split
+        # adjust below patches the one grown row instead of dropping
+        # the cache — only a split still invalidates this node.
+        best_idx = least_enlargement_index(node.rect_array(), rect)
     else:
         best_idx = 0
         best_enl = float("inf")
@@ -130,17 +126,27 @@ def insert_into_subtree(
 
             if depth > 0:
                 parent = path[depth - 1]
-                parent_entry = parent.entries[child_idxs[depth - 1]]
+                child_idx = child_idxs[depth - 1]
+                parent_entry = parent.entries[child_idx]
                 if sibling is None:
                     # Exact cheap extension: the child's true MBR grew by at
-                    # most the inserted entry's rectangle.
-                    parent_entry.mbr = parent_entry.mbr.union(entry.mbr)
+                    # most the inserted entry's rectangle. Patching the one
+                    # changed row keeps the parent's columns warm for the
+                    # next insert's choose_subtree scan; when the rectangle
+                    # was already covered the union is the identity and the
+                    # caches stay valid untouched.
+                    m = parent_entry.mbr
+                    em = entry.mbr
+                    if not (m.xlo <= em.xlo and m.ylo <= em.ylo
+                            and m.xhi >= em.xhi and m.yhi >= em.yhi):
+                        parent_entry.mbr = m.union(em)
+                        parent.patch_entry_mbr(child_idx)
                 else:
                     parent_entry.mbr = node_mbr(cur)
                     parent.entries.append(
                         Entry(node_mbr(sibling), sibling.page_id)
                     )
-                parent.invalidate_caches()
+                    parent.invalidate_caches()
                 buffer.mark_dirty(parent.page_id)
             elif sibling is not None:
                 # Root split: the subtree grows one level; hand the caller a

@@ -126,11 +126,11 @@ class Node:
     def warm_rect_array(self) -> RectArray | None:
         """The column cache only if it is already valid, else ``None``.
 
-        Insertion-path callers use this gate: a node chosen by
-        ``choose_subtree`` is invalidated later in the same insert, so
-        eagerly building columns there would cost a rebuild per insert
-        for no reuse. Query and match paths build eagerly instead
-        (:meth:`rect_array`) because their trees are static.
+        A gate for callers that cannot amortise a build — they take the
+        columns when some earlier pass left them warm and fall back to
+        the scalar loop otherwise. (The insertion path no longer needs
+        it: choose_subtree builds eagerly because the non-split adjust
+        patches rather than invalidates.)
         """
         cache = self._rect_cache
         if cache is not None and cache.n == len(self.entries):

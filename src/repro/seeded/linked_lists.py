@@ -151,6 +151,9 @@ class LinkedListManager:
                 next_id += 1
             segments.append(ListSegment(slot_index, seg_first, count))
             slot.pages = []
+        rec = self.disk._recorder
+        if rec is not None:
+            rec.append((8, first_id, tuple(pages)))
         self.disk.write_run(pages)
         self.batches.append(Batch(first_id, total, tuple(segments)))
         self.resident_pages -= total
@@ -214,10 +217,13 @@ class LinkedListManager:
         which is precisely the miss pattern linked lists exist to avoid.
         """
         per_slot: dict[int, list[DataEntry]] = {}
+        rec = self.disk._recorder
 
         # Step 1: sequential batch replays, each page retried on
         # transient faults (identical charge when fault-free).
         for batch in self.batches:
+            if rec is not None:
+                rec.append((9, batch.first_page_id, batch.num_pages))
             pages = [
                 retry_read(
                     # Section 3.1 replays flushed list runs sequentially;
@@ -271,6 +277,9 @@ class LinkedListManager:
                 )
                 for i in range(num_pages)
             ]
+            if rec is not None:
+                rec.append((8, first_id, tuple(pages)))
+                rec.append((9, first_id, num_pages))
             self.disk.write_run(pages)
             for page_id in range(first_id, first_id + num_pages):
                 retry_read(

@@ -616,6 +616,10 @@ class SeededTree:
             slot.true_mbr = slot.true_mbr.union(mbr)
         slot.count += count
         self._count += count
+        # Grafts restructure the tree outside the ordinary insert path;
+        # bump the version stamp so columnar snapshots cannot survive an
+        # incremental re-seed (see repro.join.batch.column_tree_of).
+        self.mutations += 1
 
     # ----------------------------------------------------------------- #
     # Phase 3: clean-up
@@ -646,6 +650,10 @@ class SeededTree:
         finally:
             self.buffer.unpin(self.root_id)
         self._seed_page_ids = []
+        # One stamp bump covers the whole construction epoch: snapshots
+        # are only taken from READY trees, so invalidating at the phase
+        # transition subsumes every grow/graft/salvage mutation.
+        self.mutations += 1
         self.phase = TreePhase.READY
 
     def _build_subtrees_from_lists(self) -> None:

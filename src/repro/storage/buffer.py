@@ -85,6 +85,11 @@ class BufferPool:
         self.policy = policy
         self.retry = retry or DEFAULT_RETRY_POLICY
         self.stats = BufferStats()
+        # Optional construction-effect recorder (a plain list shared with
+        # the disk and metrics hooks; see repro.seeded.replay). When set,
+        # every pool operation appends one op tuple. None costs a single
+        # attribute test on the hot paths.
+        self._recorder: list | None = None
         self._is_lru = policy == "lru"
         self._is_clock = policy == "clock"
         # Eviction order: least recently used first (LRU), insertion
@@ -107,6 +112,9 @@ class BufferPool:
 
     def fetch(self, page_id: int, pin: bool = False) -> Page:
         """Return the page, reading it from disk on a miss."""
+        rec = self._recorder
+        if rec is not None:
+            rec.append((1, page_id) if pin else (0, page_id))
         frames = self._frames
         frame = frames.get(page_id)
         if frame is not None:
@@ -138,6 +146,182 @@ class BufferPool:
         if pin:
             frame.pin_count += 1
         return frame.page
+
+    def fetch_run(self, page_ids: list, weights: list, cpu: Any) -> None:
+        """Replay a sequence of unpinned fetches with per-page CPU charges.
+
+        Semantically identical to::
+
+            for page_id, w in zip(page_ids, weights):
+                self.fetch(page_id)
+                if cpu is not None:
+                    cpu.bbox_tests += w
+
+        but with the per-call overhead amortised, which is what makes
+        batch traversal replay (:mod:`repro.join.batch`) faster than the
+        scalar loop it reproduces. Hit/charge bookkeeping is buffered in
+        locals and flushed *before* every slow-path fetch — the only
+        point that can raise — so a storage fault observes exactly the
+        counters the per-call loop would have accumulated. Only the LRU
+        policy takes the tight loop; other policies fall back to the
+        per-call path (same behavior, none of the speedup).
+        """
+        if not self._is_lru:
+            for page_id, w in zip(page_ids, weights):
+                self.fetch(page_id)
+                if cpu is not None:
+                    cpu.bbox_tests += w
+            return
+        frames = self._frames
+        get = frames.get
+        move = frames.move_to_end
+        stats = self.stats
+        hits = 0
+        charged = 0
+        try:
+            for page_id, w in zip(page_ids, weights):
+                frame = get(page_id)
+                if frame is not None:
+                    hits += 1
+                    move(page_id)
+                else:
+                    # Parked hit or miss: flush the buffered counters so
+                    # the full fetch (and any fault inside it) sees the
+                    # same state as the scalar loop, then take the
+                    # ordinary path.
+                    stats.hits += hits
+                    hits = 0
+                    if cpu is not None:
+                        cpu.bbox_tests += charged
+                        charged = 0
+                    self.fetch(page_id)
+                charged += w
+        finally:
+            stats.hits += hits
+            if cpu is not None:
+                cpu.bbox_tests += charged
+
+    def replay_ops(
+        self,
+        ops: list,
+        start: int,
+        delta: int,
+        payloads: list,
+        metrics: Any,
+        data_file: Any,
+    ) -> None:
+        """Execute a recorded construction effect log against the pool.
+
+        ``ops`` is the op vocabulary the ``_recorder`` hooks emit —
+        ``(0, pid)`` unpinned fetch, ``(1, pid)`` pinned fetch,
+        ``(2, old_id, kind)`` page creation, ``(3, pid)`` mark dirty,
+        ``(4, pid)`` unpin, ``(5, pid, write_back)`` drop,
+        ``(6, n)`` bbox-test charge, ``(7, 0)`` data-file scan,
+        ``(8, first_old, pages)`` direct run write, ``(9, first_old, n)``
+        direct run read. Page ids at or past ``start`` were allocated by
+        the recorded build and are shifted by ``delta`` — the allocator
+        is monotone, so a faithful re-issue of the recorded allocations
+        lands every created page exactly ``delta`` past its recorded id.
+        Creations consume ``payloads`` in order (final-state node images
+        with pre-shifted ids and refs).
+
+        The replay makes the same pool calls in the same order as the
+        recorded build would if re-run now: hits, misses, evictions,
+        write-backs and the disk's sequential/random classification all
+        fall out of the *current* pool state, exactly as they would for
+        the scalar build. The unpinned-fetch hit path is inlined for the
+        LRU policy (the overwhelmingly common op); everything else takes
+        the ordinary methods. Callers gate on a fault-free disk, so no
+        op can raise mid-stream.
+        """
+        from .datafile import DataPageRecord
+
+        frames = self._frames
+        get = frames.get
+        move = frames.move_to_end
+        stats = self.stats
+        is_lru = self._is_lru
+        fetch = self.fetch
+        disk = self.disk
+        hits = 0
+        payload_i = 0
+        try:
+            for op in ops:
+                code = op[0]
+                if code == 0:
+                    pid = op[1]
+                    if pid >= start:
+                        pid += delta
+                    frame = get(pid)
+                    if frame is not None and is_lru:
+                        hits += 1
+                        move(pid)
+                    else:
+                        fetch(pid)
+                elif code == 6:
+                    metrics.count_bbox_tests(op[1])
+                elif code == 3:
+                    pid = op[1]
+                    self.mark_dirty(pid + delta if pid >= start else pid)
+                elif code == 1:
+                    pid = op[1]
+                    # Pin lifetime mirrors the recorded build's own
+                    # pin/unpin ops; eligibility gates on a fault-free
+                    # disk, so nothing here can raise mid-sequence.
+                    # repro-lint: disable=RPR003 -- replayed pin, release op follows in the log
+                    fetch(pid + delta if pid >= start else pid, pin=True)
+                elif code == 4:
+                    pid = op[1]
+                    self.unpin(pid + delta if pid >= start else pid)
+                elif code == 2:
+                    payload = payloads[payload_i]
+                    payload_i += 1
+                    page = self.new_page(op[2], payload)
+                    if page.page_id != op[1] + delta:
+                        # Not a StorageError: the engine's degradation
+                        # path would silently downgrade the join and
+                        # mask a broken replay invariant.
+                        raise RuntimeError(
+                            "construction replay allocation drifted: "
+                            f"page {page.page_id} != {op[1] + delta}"
+                        )
+                elif code == 5:
+                    pid = op[1]
+                    self.drop(pid + delta if pid >= start else pid,
+                              write_back=op[2])
+                elif code == 7:
+                    for _ in data_file.scan_pages():
+                        pass
+                elif code == 8:
+                    pages = op[2]
+                    first = disk.allocate(len(pages))
+                    if first != op[1] + delta:
+                        raise RuntimeError(
+                            "construction replay allocation drifted: "
+                            f"run {first} != {op[1] + delta}"
+                        )
+                    disk.write_run([
+                        Page(
+                            p.page_id + delta, p.kind,
+                            DataPageRecord(
+                                p.payload.entries,
+                                p.payload.next_page_id + delta
+                                if p.payload.next_page_id != -1 else -1,
+                            ),
+                        )
+                        for p in pages
+                    ])
+                elif code == 9:
+                    first = op[1] + delta
+                    for i in range(op[2]):
+                        # Recorded linked-list sweeps bypass the buffer
+                        # by design (Section 3.1), so their replay must
+                        # too.
+                        disk.read(first + i)
+                else:  # pragma: no cover - recorder emits only 0..9
+                    raise RuntimeError(f"unknown replay op {code}")
+        finally:
+            stats.hits += hits
 
     def _read_retrying(self, page_id: int) -> Page:
         """Disk read with bounded exponential backoff on transient faults.
@@ -181,6 +365,9 @@ class BufferPool:
     def new_page(self, kind: PageKind, payload: Any, pin: bool = False) -> Page:
         """Create a page in the buffer (no I/O yet; it is born dirty)."""
         page_id = self.disk.allocate()
+        rec = self._recorder
+        if rec is not None:
+            rec.append((2, page_id, kind))
         page = Page(page_id, kind, payload)
         frame = self._admit(page, dirty=True)
         if pin:
@@ -208,6 +395,9 @@ class BufferPool:
         return frame
 
     def mark_dirty(self, page_id: int) -> None:
+        rec = self._recorder
+        if rec is not None:
+            rec.append((3, page_id))
         frame = self._frame_of(page_id)
         if frame is None:
             raise StorageError(f"page {page_id} is not resident")
@@ -224,6 +414,9 @@ class BufferPool:
         frame.pin_count += 1
 
     def unpin(self, page_id: int) -> None:
+        rec = self._recorder
+        if rec is not None:
+            rec.append((4, page_id))
         frame = self._frames.get(page_id)
         if frame is None:
             frame = self._parked.get(page_id)
@@ -282,6 +475,9 @@ class BufferPool:
         one sequential ``write_run`` and then *drops* the frames — paying
         the eviction write here as well would double-charge the I/O.
         """
+        rec = self._recorder
+        if rec is not None:
+            rec.append((5, page_id, write_back))
         store = self._frames
         frame = store.get(page_id)
         if frame is None:

@@ -47,6 +47,11 @@ class DiskSimulator:
         self._pages: dict[int, Page] = {}
         self._next_id = 0
         self._last_accessed: int | None = None
+        # Shared construction-effect recorder (see repro.seeded.replay):
+        # components that bypass the buffer pool by design — data-file
+        # scans, linked-list batch I/O — append their ops here so the
+        # recorded log keeps the true global order.
+        self._recorder: list | None = None
         #: Cooperative request cancellation (duck-typed; see
         #: :class:`repro.service.Deadline`). When set, every accounted
         #: access first checks it and raises

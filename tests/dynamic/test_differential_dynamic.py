@@ -71,9 +71,27 @@ class TestIncrementalVsScratch:
         assert pooled == expected
         assert scenario.incremental.pairs() == expected
 
-    def test_resident_rejoin_agrees_after_more_churn(self):
+    @pytest.mark.parametrize("batch", ("0", "1"))
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_sequential_batch_modes(self, seed, batch, monkeypatch):
+        """The batch-first traversal layer (REPRO_BATCH) is invisible to
+        the dynamic pipeline too."""
+        monkeypatch.setenv("REPRO_KERNELS", "1")
+        monkeypatch.setenv("REPRO_BATCH", batch)
+        scenario = _churned(seed)
+        expected = scenario.reference_pairs()
+        assert expected
+        assert scenario.incremental.pairs() == expected
+        assert _scratch_pairs(scenario) == expected
+
+    @pytest.mark.parametrize("batch", ("0", "1"))
+    def test_resident_rejoin_agrees_after_more_churn(self, batch,
+                                                     monkeypatch):
         """The resident TM join, the incremental result, and a scratch
-        join stay three-way identical as churn continues."""
+        join stay three-way identical as churn continues — with and
+        without the batch layer, whose plan and construction-replay
+        caches must invalidate on every churn step's tree mutations."""
+        monkeypatch.setenv("REPRO_BATCH", batch)
         scenario = _churned(0)
         for _ in range(2):
             scenario.step(s_ops=10, r_ops=10)

@@ -1,0 +1,168 @@
+"""Construction replay cache mechanics (see :mod:`repro.seeded.replay`).
+
+Bit-identity of replayed runs is proven end-to-end by the differential
+suite (``test_batch_repeat_runs_bit_identical``); these tests pin the
+mechanics — when the cache records, when it replays, when it stands
+down, when it invalidates, and that the allocation-drift invariant
+fails loudly instead of degrading.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+import repro.seeded.replay as replay_mod
+from repro.config import SystemConfig
+from repro.geometry import Rect
+from repro.join import spatial_join
+from repro.rtree.node import Node
+from repro.storage import PageKind
+from repro.workload import ClusteredConfig, generate_clustered
+from repro.workspace import Workspace
+
+CFG = SystemConfig(page_size=104, buffer_pages=64)
+
+SUMMARY_FIELDS = (
+    "match_read", "match_write", "construct_read", "construct_write",
+    "bbox_tests", "xy_tests",
+)
+
+
+def _workload():
+    d_r = generate_clustered(ClusteredConfig(
+        220, cover_quotient=2.0, objects_per_cluster=11,
+        data_side_bound=0.06, seed=977,
+    ))
+    d_s = generate_clustered(ClusteredConfig(
+        140, cover_quotient=2.0, objects_per_cluster=7,
+        data_side_bound=0.06, seed=978, oid_start=10**6,
+    ))
+    return d_r, d_s
+
+
+@pytest.fixture
+def env(monkeypatch):
+    monkeypatch.setenv("REPRO_KERNELS", "1")
+    monkeypatch.setenv("REPRO_BATCH", "1")
+    d_r, d_s = _workload()
+    ws = Workspace(CFG)
+    tree_r = ws.install_rtree(d_r)
+    file_s = ws.install_datafile(d_s)
+    return ws, tree_r, file_s
+
+
+@pytest.fixture
+def spies(monkeypatch):
+    """Count _record/_replay invocations without changing behaviour."""
+    counts = {"record": 0, "replay": 0}
+    orig_record, orig_replay = replay_mod._record, replay_mod._replay
+
+    def record(ctx, build, key):
+        counts["record"] += 1
+        return orig_record(ctx, build, key)
+
+    def replay(rec, ctx):
+        counts["replay"] += 1
+        return orig_replay(rec, ctx)
+
+    monkeypatch.setattr(replay_mod, "_record", record)
+    monkeypatch.setattr(replay_mod, "_replay", replay)
+    return counts
+
+
+def _join(ws, tree_r, file_s):
+    ws.start_measurement()
+    return spatial_join(
+        file_s, tree_r, ws.buffer, ws.config, ws.metrics, method="STJ",
+    )
+
+
+def test_first_run_records_then_replays(env, spies):
+    ws, tree_r, file_s = env
+    first = _join(ws, tree_r, file_s)
+    assert spies == {"record": 1, "replay": 0}
+    rec = tree_r._construct_recording
+    assert rec is not None
+
+    second = _join(ws, tree_r, file_s)
+    assert spies == {"record": 1, "replay": 1}
+    assert tree_r._construct_recording is rec, "hit must not re-record"
+    assert second.pairs == first.pairs
+    # The replayed tree is a fresh finished instance, not the recording's.
+    assert second.index is not first.index
+    assert second.index.mutations == 1
+    assert len(second.index) == len(first.index)
+
+
+def test_batch_kill_switch_stands_down(env, spies, monkeypatch):
+    ws, tree_r, file_s = env
+    monkeypatch.setenv("REPRO_BATCH", "0")
+    _join(ws, tree_r, file_s)
+    _join(ws, tree_r, file_s)
+    assert spies == {"record": 0, "replay": 0}
+    assert getattr(tree_r, "_construct_recording", None) is None
+
+
+def test_sanitizer_stands_down(env, spies, monkeypatch):
+    ws, tree_r, file_s = env
+    monkeypatch.setenv("REPRO_SANITIZE", "1")
+    _join(ws, tree_r, file_s)
+    _join(ws, tree_r, file_s)
+    assert spies == {"record": 0, "replay": 0}
+
+
+def test_seeding_tree_mutation_invalidates(env, spies):
+    ws, tree_r, file_s = env
+    first = _join(ws, tree_r, file_s)
+    rec = tree_r._construct_recording
+
+    tree_r.insert(Rect(0.4, 0.4, 0.46, 0.46), 424242)
+    second = _join(ws, tree_r, file_s)
+    # The stale recording was replaced by a fresh one, never replayed.
+    assert spies == {"record": 2, "replay": 0}
+    assert tree_r._construct_recording is not rec
+    third = _join(ws, tree_r, file_s)
+    assert spies == {"record": 2, "replay": 1}
+    assert third.pairs == second.pairs
+    assert first.pairs  # the pre-mutation run was non-vacuous
+
+
+def test_replay_costs_match_a_scalar_rerun(monkeypatch):
+    """Twin workspaces, three runs each: every replayed run's counters
+    and cumulative buffer stats equal the scalar path's run for run."""
+    d_r, d_s = _workload()
+
+    def runs(kernels, batch):
+        monkeypatch.setenv("REPRO_KERNELS", kernels)
+        monkeypatch.setenv("REPRO_BATCH", batch)
+        ws = Workspace(CFG)
+        tree_r = ws.install_rtree(d_r)
+        file_s = ws.install_datafile(d_s)
+        out = []
+        for _ in range(3):
+            result = _join(ws, tree_r, file_s)
+            out.append((result.pairs, ws.metrics.summary(),
+                        ws.buffer.stats.hits, ws.buffer.stats.misses))
+        return out
+
+    for (pb, sb, hb, mb), (ps, ss, hs, ms) in zip(
+        runs("1", "1"), runs("0", "0")
+    ):
+        assert pb == ps
+        for field in SUMMARY_FIELDS:
+            assert getattr(sb, field) == getattr(ss, field)
+        assert (hb, mb) == (hs, ms)
+
+
+def test_allocation_drift_raises_runtime_error():
+    """A replay whose allocations do not land exactly delta past the
+    recorded ids must fail loudly — RuntimeError, not StorageError, so
+    the engine's degradation path cannot mask it."""
+    ws = Workspace(CFG)
+    buffer, disk = ws.buffer, ws.disk
+    # Claim the recorded page 5 will land at 5 + delta, but pick a delta
+    # that disagrees with where the allocator actually is.
+    delta = (disk._next_id - 5) + 7
+    ops = [(2, 5, PageKind.TREE_NODE)]
+    with pytest.raises(RuntimeError, match="drifted"):
+        buffer.replay_ops(ops, 0, delta, [Node(0, [])], ws.metrics, None)

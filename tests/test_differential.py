@@ -200,6 +200,121 @@ def test_kernels_bit_identical_in_parallel(monkeypatch):
 
 
 # --------------------------------------------------------------------- #
+# Batch-first traversal vs per-node kernels vs scalar
+# --------------------------------------------------------------------- #
+
+#: (REPRO_KERNELS, REPRO_BATCH): the columnar batch-first path, PR 5's
+#: per-node kernel path, and the scalar reference.
+BATCH_MODES = (("1", "1"), ("1", "0"), ("0", "0"))
+
+
+def _set_modes(monkeypatch, kernels: str, batch: str) -> None:
+    monkeypatch.setenv("REPRO_KERNELS", kernels)
+    monkeypatch.setenv("REPRO_BATCH", batch)
+
+
+@pytest.mark.parametrize("seed", (0, 1, 2))
+@pytest.mark.parametrize("method", METHODS)
+def test_batch_bit_identical_to_scalar(method, seed, monkeypatch):
+    """The batch-first layer changes nothing observable on a cold
+    workspace: pair list (including order) and every CostSummary field
+    match both the per-node kernel path and the scalar path."""
+    outputs = []
+    for kernels, batch in BATCH_MODES:
+        _set_modes(monkeypatch, kernels, batch)
+        outputs.append(_run_sequential(method, seed))
+    (pairs_b, sum_b), (pairs_k, _), (pairs_s, sum_s) = outputs
+    assert pairs_b, "workload produced no pairs; order is untested"
+    assert pairs_b == pairs_k == pairs_s
+    for field in SUMMARY_FIELDS:
+        assert getattr(sum_b, field) == getattr(sum_s, field), (
+            f"{field}: batch disagrees with scalar"
+        )
+
+
+@pytest.mark.parametrize("method", METHODS)
+def test_batch_repeat_runs_bit_identical(method, monkeypatch):
+    """Repeated joins in ONE workspace — the resident steady state,
+    where the traversal plan caches and the construction replay cache
+    actually engage (a fresh workspace never hits them) — stay
+    bit-identical to the scalar path run by run, down to the buffer's
+    cumulative hit and miss counts."""
+    d_r, d_s = _kernel_workload(0)
+
+    def runs(kernels: str, batch: str):
+        _set_modes(monkeypatch, kernels, batch)
+        ws = Workspace(CFG)
+        tree_r = ws.install_rtree(d_r)
+        file_s = ws.install_datafile(d_s)
+        out = []
+        for _ in range(3):
+            ws.start_measurement()
+            result = spatial_join(
+                file_s, tree_r, ws.buffer, ws.config, ws.metrics,
+                method=method,
+            )
+            out.append((
+                result.pairs, ws.metrics.summary(),
+                ws.buffer.stats.hits, ws.buffer.stats.misses,
+            ))
+        return out
+
+    batch_runs = runs("1", "1")
+    scalar_runs = runs("0", "0")
+    assert batch_runs[0][0], "workload produced no pairs"
+    for i, (b, s) in enumerate(zip(batch_runs, scalar_runs)):
+        assert b[0] == s[0], f"run {i}: pairs differ"
+        for field in SUMMARY_FIELDS:
+            assert getattr(b[1], field) == getattr(s[1], field), (
+                f"run {i}: CostSummary.{field} differs"
+            )
+        assert b[2] == s[2], f"run {i}: buffer hits differ"
+        assert b[3] == s[3], f"run {i}: buffer misses differ"
+
+
+@pytest.mark.parametrize("method", ("STJ", "BFJ"))
+def test_batch_bit_identical_under_sanitizer(method, monkeypatch):
+    """Batch + sanitizer together still match the plain scalar run (the
+    replay cache stands down under the sanitizer; the traversal caches
+    must stay coherent under its peeks)."""
+    monkeypatch.setenv("REPRO_SANITIZE", "1")
+    _set_modes(monkeypatch, "1", "1")
+    pairs_b, summary_b = _run_sequential(method, 0)
+    monkeypatch.setenv("REPRO_SANITIZE", "0")
+    _set_modes(monkeypatch, "0", "0")
+    pairs_s, summary_s = _run_sequential(method, 0)
+
+    assert pairs_b == pairs_s
+    for field in SUMMARY_FIELDS:
+        assert getattr(summary_b, field) == getattr(summary_s, field)
+
+
+def test_pooled_batch_on_off_bit_identical(monkeypatch) -> None:
+    """Batch on vs off through the pooled parallel route: identical
+    pairs and counters (workers inherit REPRO_BATCH at task time)."""
+    d_r, d_s = _kernel_workload(1)
+
+    def run(batch: str):
+        _set_modes(monkeypatch, "1", batch)
+        ws = Workspace(CFG)
+        tree_r = ws.install_rtree(d_r)
+        file_s = ws.install_datafile(d_s)
+        ws.start_measurement()
+        result = spatial_join(
+            file_s, tree_r, ws.buffer, ws.config, ws.metrics, method="STJ",
+            workers=2, partitions=4, parallel_seed=1, parallel_guard=False,
+        )
+        assert result.parallel_decision.pooled
+        return result.pair_set(), ws.metrics.summary()
+
+    pairs_on, summary_on = run("1")
+    pairs_off, summary_off = run("0")
+    assert pairs_on == pairs_off
+    for field in SUMMARY_FIELDS:
+        assert getattr(summary_on, field) == getattr(summary_off, field)
+
+
+# --------------------------------------------------------------------- #
 # Pooled mode vs sequential (and vs the legacy per-join pool)
 # --------------------------------------------------------------------- #
 
